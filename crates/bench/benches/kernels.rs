@@ -1,0 +1,64 @@
+//! Criterion micro-benchmarks of the solver kernels that dominate a CG
+//! iteration (SpMV, dot products, axpy) — the "useful work" baseline all
+//! resilience overheads in Tables 2–3 are measured against.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use feir_solvers::{cg, SolveOptions};
+use feir_sparse::generators::{manufactured_rhs, poisson_2d, poisson_3d_27pt};
+use feir_sparse::vecops;
+
+fn bench_spmv(c: &mut Criterion) {
+    let mut group = c.benchmark_group("spmv");
+    group.sample_size(20);
+    for n in [32usize, 64] {
+        let a = poisson_2d(n);
+        let x: Vec<f64> = (0..a.cols()).map(|i| (i as f64).sin()).collect();
+        let mut y = vec![0.0; a.rows()];
+        group.bench_with_input(BenchmarkId::new("serial", a.rows()), &a, |bench, a| {
+            bench.iter(|| a.spmv(black_box(&x), black_box(&mut y)))
+        });
+        group.bench_with_input(BenchmarkId::new("rayon", a.rows()), &a, |bench, a| {
+            bench.iter(|| a.spmv_parallel(black_box(&x), black_box(&mut y)))
+        });
+    }
+    // The HPCG-style 27-point operator of the scaling study.
+    let a = poisson_3d_27pt(16);
+    let x: Vec<f64> = (0..a.cols()).map(|i| (i as f64).cos()).collect();
+    let mut y = vec![0.0; a.rows()];
+    group.bench_function("serial/27pt_16", |bench| {
+        bench.iter(|| a.spmv(black_box(&x), black_box(&mut y)))
+    });
+    group.finish();
+}
+
+fn bench_vector_kernels(c: &mut Criterion) {
+    let mut group = c.benchmark_group("vecops");
+    group.sample_size(20);
+    let n = 1 << 16;
+    let x: Vec<f64> = (0..n).map(|i| i as f64 * 0.001).collect();
+    let mut y: Vec<f64> = (0..n).map(|i| (i as f64).sin()).collect();
+    group.bench_function("dot", |bench| {
+        bench.iter(|| vecops::dot(black_box(&x), black_box(&y)))
+    });
+    group.bench_function("axpy", |bench| {
+        bench.iter(|| vecops::axpy(black_box(1.0001), black_box(&x), black_box(&mut y)))
+    });
+    group.finish();
+}
+
+fn bench_cg_solve(c: &mut Criterion) {
+    let mut group = c.benchmark_group("cg_solve");
+    group.sample_size(10);
+    let a = poisson_2d(48);
+    let (_, b) = manufactured_rhs(&a, 3);
+    let options = SolveOptions::default().with_tolerance(1e-8);
+    group.bench_function("poisson_48x48", |bench| {
+        bench.iter(|| cg(black_box(&a), black_box(&b), None, black_box(&options)))
+    });
+    group.finish();
+}
+
+criterion_group!(kernels, bench_spmv, bench_vector_kernels, bench_cg_solve);
+criterion_main!(kernels);

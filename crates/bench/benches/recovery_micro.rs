@@ -1,0 +1,75 @@
+//! Criterion micro-benchmarks of the recovery primitives of Table 1: direct
+//! (lhs) recomputation, inverse (rhs) diagonal-block solves, the Lossy
+//! block-Jacobi interpolation and the checkpoint write they are compared
+//! against. These are the per-error costs behind Figures 3–5.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use feir_recovery::checkpoint::{CheckpointStore, CheckpointTarget};
+use feir_recovery::{lossy_interpolate_block, BlockRecovery};
+use feir_sparse::blocking::{BlockPartition, DiagonalBlocks};
+use feir_sparse::generators::{manufactured_rhs, poisson_2d};
+
+fn bench_block_recoveries(c: &mut Criterion) {
+    let mut group = c.benchmark_group("block_recovery");
+    group.sample_size(20);
+    let a = poisson_2d(64); // 4096 unknowns
+    let n = a.rows();
+    let partition = BlockPartition::new(n, 512);
+    let recovery = BlockRecovery::new(&a, partition, true);
+    let (x, b) = manufactured_rhs(&a, 11);
+    let mut g = vec![0.0; n];
+    a.spmv(&x, &mut g);
+    for (gi, bi) in g.iter_mut().zip(&b) {
+        *gi = bi - *gi;
+    }
+    let mut q = vec![0.0; n];
+    a.spmv(&x, &mut q);
+    let block = 3;
+    let len = partition.range(block).len();
+
+    group.bench_function("lhs_matvec", |bench| {
+        let mut out = vec![0.0; len];
+        bench.iter(|| recovery.recover_matvec_lhs(black_box(&a), black_box(&x), block, &mut out))
+    });
+    group.bench_function("rhs_block_solve", |bench| {
+        let mut out = vec![0.0; len];
+        bench.iter(|| recovery.recover_matvec_rhs(black_box(&a), black_box(&q), black_box(&x), block, &mut out))
+    });
+    group.bench_function("iterate_rhs", |bench| {
+        let mut out = vec![0.0; len];
+        bench.iter(|| {
+            recovery.recover_iterate_rhs(black_box(&a), black_box(&b), black_box(&g), black_box(&x), block, &mut out)
+        })
+    });
+    group.bench_function("lossy_interpolation", |bench| {
+        let blocks = DiagonalBlocks::factorize(&a, partition, true).unwrap();
+        bench.iter(|| lossy_interpolate_block(black_box(&a), black_box(&b), black_box(&x), &blocks, block))
+    });
+    // The cost of pre-factorizing all diagonal blocks (paid once per solve).
+    group.bench_function("factorize_diagonal_blocks", |bench| {
+        bench.iter(|| BlockRecovery::new(black_box(&a), partition, true))
+    });
+    group.finish();
+}
+
+fn bench_checkpoint(c: &mut Criterion) {
+    let mut group = c.benchmark_group("checkpoint");
+    group.sample_size(10);
+    let n = 1 << 15;
+    let x: Vec<f64> = (0..n).map(|i| i as f64).collect();
+    let d: Vec<f64> = (0..n).map(|i| -(i as f64)).collect();
+    group.bench_function("memory_write", |bench| {
+        let mut store = CheckpointStore::new(CheckpointTarget::Memory);
+        bench.iter(|| store.checkpoint(black_box(1), black_box(&x), black_box(&d), &[1.0, 2.0]))
+    });
+    group.bench_function("disk_write", |bench| {
+        let mut store = CheckpointStore::on_temp_disk();
+        bench.iter(|| store.checkpoint(black_box(1), black_box(&x), black_box(&d), &[1.0, 2.0]))
+    });
+    group.finish();
+}
+
+criterion_group!(recovery_micro, bench_block_recoveries, bench_checkpoint);
+criterion_main!(recovery_micro);

@@ -1,0 +1,72 @@
+//! Ablation benchmarks of the design choices DESIGN.md calls out:
+//!
+//! * FEIR (recoveries in the critical path) vs AFEIR (overlapped) vs the
+//!   ideal CG, with no errors — the Table-2 overheads as a Criterion bench;
+//! * block-Jacobi page-sized blocks (512) vs mismatched block sizes;
+//! * checkpoint interval sensitivity (200 vs 1000 iterations).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use feir_recovery::{RecoveryPolicy, ResilienceConfig, ResilientCg};
+use feir_solvers::SolveOptions;
+use feir_sparse::blocking::BlockPartition;
+use feir_sparse::generators::{manufactured_rhs, poisson_2d};
+use feir_sparse::BlockJacobi;
+
+fn solve_once(a: &feir_sparse::CsrMatrix, b: &[f64], policy: RecoveryPolicy) {
+    let config = ResilienceConfig {
+        policy,
+        page_doubles: 256,
+        preconditioned: false,
+        checkpoint_on_disk: false,
+        threads: None,
+    };
+    let options = SolveOptions::default()
+        .with_tolerance(1e-8)
+        .with_max_iterations(20_000);
+    let report = ResilientCg::new(a, b, config).solve(&options);
+    assert!(report.converged());
+}
+
+fn bench_policy_overheads(c: &mut Criterion) {
+    let mut group = c.benchmark_group("policy_overhead_no_errors");
+    group.sample_size(10);
+    let a = poisson_2d(40);
+    let (_, b) = manufactured_rhs(&a, 17);
+    for policy in [
+        RecoveryPolicy::Ideal,
+        RecoveryPolicy::Afeir,
+        RecoveryPolicy::Feir,
+        RecoveryPolicy::Checkpoint { interval: 1000 },
+        RecoveryPolicy::Checkpoint { interval: 200 },
+    ] {
+        let name = match policy {
+            RecoveryPolicy::Checkpoint { interval } => format!("ckpt_{interval}"),
+            other => other.name().to_string(),
+        };
+        group.bench_with_input(BenchmarkId::from_parameter(name), &policy, |bench, &policy| {
+            bench.iter(|| solve_once(black_box(&a), black_box(&b), policy))
+        });
+    }
+    group.finish();
+}
+
+fn bench_block_size_ablation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("block_jacobi_block_size");
+    group.sample_size(10);
+    let a = poisson_2d(48);
+    let n = a.rows();
+    let r: Vec<f64> = (0..n).map(|i| (i as f64 * 0.01).sin()).collect();
+    for block in [128usize, 256, 512] {
+        let bj = BlockJacobi::new(&a, BlockPartition::new(n, block), true).unwrap();
+        group.bench_with_input(BenchmarkId::from_parameter(block), &bj, |bench, bj| {
+            let mut z = vec![0.0; n];
+            bench.iter(|| bj.apply(black_box(&r), black_box(&mut z)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(ablation, bench_policy_overheads, bench_block_size_ablation);
+criterion_main!(ablation);

@@ -1,0 +1,317 @@
+//! Background fault injector.
+//!
+//! Replicates the paper's error-injection methodology (Section 5.3): errors
+//! arrive from a separate thread at times drawn from an exponential
+//! distribution parametrized by the Mean Time Between Errors (MTBE), and the
+//! affected memory page is selected uniformly at random over all protected
+//! pages. A deterministic schedule is also supported for the single-error
+//! convergence traces of Figure 3.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+use crate::registry::{PageRegistry, VectorId};
+
+/// When and where errors are injected.
+#[derive(Debug, Clone)]
+pub enum InjectionPlan {
+    /// No errors at all (baseline / overhead-only experiments, Table 2).
+    None,
+    /// Exponentially distributed inter-arrival times with the given mean,
+    /// targeting pages uniformly at random (Figure 4 / 5 experiments).
+    Exponential {
+        /// Mean time between errors.
+        mtbe: Duration,
+        /// RNG seed so repetitions are reproducible.
+        seed: u64,
+    },
+    /// A fixed schedule of (time after start, flat page index) injections.
+    /// A flat index of `usize::MAX` means "pick uniformly at random".
+    Scheduled(Vec<(Duration, usize)>),
+}
+
+impl InjectionPlan {
+    /// Convenience: the paper's normalized error frequency. A frequency of
+    /// `n` means `n` expected errors per ideal solve time `tau`.
+    pub fn normalized(frequency: f64, ideal_solve_time: Duration, seed: u64) -> Self {
+        if frequency <= 0.0 {
+            return InjectionPlan::None;
+        }
+        let mtbe = ideal_solve_time.as_secs_f64() / frequency;
+        InjectionPlan::Exponential {
+            mtbe: Duration::from_secs_f64(mtbe.max(1e-6)),
+            seed,
+        }
+    }
+}
+
+/// One injected error, for post-mortem reporting.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct InjectionRecord {
+    /// Time since the injector started.
+    pub at: Duration,
+    /// Target vector.
+    pub vector: VectorId,
+    /// Target page within the vector.
+    pub page: usize,
+    /// Whether the page was healthy (injection effective).
+    pub effective: bool,
+}
+
+/// Summary returned when the injector is stopped.
+#[derive(Debug, Clone, Default)]
+pub struct InjectionReport {
+    /// Every injection attempt in order.
+    pub records: Vec<InjectionRecord>,
+}
+
+impl InjectionReport {
+    /// Number of injections that hit a healthy page.
+    pub fn effective_count(&self) -> usize {
+        self.records.iter().filter(|r| r.effective).count()
+    }
+}
+
+/// Handle to the injector thread.
+pub struct FaultInjector {
+    stop: Arc<AtomicBool>,
+    handle: Option<JoinHandle<InjectionReport>>,
+}
+
+impl FaultInjector {
+    /// Starts injecting faults into the registry according to `plan`.
+    ///
+    /// The injector thread wakes up at each scheduled instant, picks the
+    /// target page and flips it to poisoned. It exits when [`Self::stop`] is
+    /// called or the schedule is exhausted.
+    pub fn start(registry: Arc<PageRegistry>, plan: InjectionPlan) -> Self {
+        let stop = Arc::new(AtomicBool::new(false));
+        let stop_clone = Arc::clone(&stop);
+        let handle = std::thread::Builder::new()
+            .name("feir-fault-injector".into())
+            .spawn(move || injector_loop(registry, plan, stop_clone))
+            .expect("failed to spawn fault injector thread");
+        Self {
+            stop,
+            handle: Some(handle),
+        }
+    }
+
+    /// Stops the injector and returns the report of what was injected.
+    pub fn stop(mut self) -> InjectionReport {
+        self.stop.store(true, Ordering::Release);
+        match self.handle.take() {
+            Some(h) => h.join().unwrap_or_default(),
+            None => InjectionReport::default(),
+        }
+    }
+}
+
+impl Drop for FaultInjector {
+    fn drop(&mut self) {
+        self.stop.store(true, Ordering::Release);
+        if let Some(h) = self.handle.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+/// Samples an exponential inter-arrival time with the given mean.
+fn sample_exponential(rng: &mut StdRng, mean: Duration) -> Duration {
+    let u: f64 = rng.random_range(0.0..1.0);
+    // Inverse CDF; (1 - u) is in (0, 1] so the log is finite.
+    let t = -mean.as_secs_f64() * (1.0 - u).ln();
+    Duration::from_secs_f64(t)
+}
+
+fn injector_loop(
+    registry: Arc<PageRegistry>,
+    plan: InjectionPlan,
+    stop: Arc<AtomicBool>,
+) -> InjectionReport {
+    let start = Instant::now();
+    let mut report = InjectionReport::default();
+    match plan {
+        InjectionPlan::None => {
+            // Nothing to do; park until asked to stop so drop() stays cheap.
+            while !stop.load(Ordering::Acquire) {
+                std::thread::sleep(Duration::from_millis(1));
+            }
+        }
+        InjectionPlan::Exponential { mtbe, seed } => {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let mut next = sample_exponential(&mut rng, mtbe);
+            while !stop.load(Ordering::Acquire) {
+                let now = start.elapsed();
+                if now < next {
+                    let wait = (next - now).min(Duration::from_millis(1));
+                    std::thread::sleep(wait);
+                    continue;
+                }
+                if let Some(record) = inject_random(&registry, &mut rng, now) {
+                    report.records.push(record);
+                }
+                next += sample_exponential(&mut rng, mtbe);
+            }
+        }
+        InjectionPlan::Scheduled(schedule) => {
+            let mut rng = StdRng::seed_from_u64(0xFE1C);
+            for (at, flat) in schedule {
+                while start.elapsed() < at {
+                    if stop.load(Ordering::Acquire) {
+                        return report;
+                    }
+                    std::thread::sleep(Duration::from_micros(200));
+                }
+                let now = start.elapsed();
+                let record = if flat == usize::MAX {
+                    inject_random(&registry, &mut rng, now)
+                } else {
+                    registry.flat_index_to_target(flat).map(|(vector, page)| {
+                        let effective = registry.inject(vector, page);
+                        InjectionRecord {
+                            at: now,
+                            vector,
+                            page,
+                            effective,
+                        }
+                    })
+                };
+                if let Some(r) = record {
+                    report.records.push(r);
+                }
+            }
+            // Schedule exhausted: wait for stop so that timing is owned by the
+            // experiment driver.
+            while !stop.load(Ordering::Acquire) {
+                std::thread::sleep(Duration::from_millis(1));
+            }
+        }
+    }
+    report
+}
+
+fn inject_random(
+    registry: &PageRegistry,
+    rng: &mut StdRng,
+    now: Duration,
+) -> Option<InjectionRecord> {
+    let total = registry.total_pages();
+    if total == 0 {
+        return None;
+    }
+    let flat = rng.random_range(0..total);
+    registry.flat_index_to_target(flat).map(|(vector, page)| {
+        let effective = registry.inject(vector, page);
+        InjectionRecord {
+            at: now,
+            vector,
+            page,
+            effective,
+        }
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exponential_sampling_has_requested_mean() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let mean = Duration::from_millis(20);
+        let samples: Vec<f64> = (0..20_000)
+            .map(|_| sample_exponential(&mut rng, mean).as_secs_f64())
+            .collect();
+        let avg = samples.iter().sum::<f64>() / samples.len() as f64;
+        assert!(
+            (avg - 0.020).abs() < 0.002,
+            "sample mean {avg} too far from 0.020"
+        );
+        assert!(samples.iter().all(|&s| s >= 0.0));
+    }
+
+    #[test]
+    fn normalized_plan_computes_mtbe() {
+        let plan = InjectionPlan::normalized(4.0, Duration::from_secs(8), 1);
+        match plan {
+            InjectionPlan::Exponential { mtbe, .. } => {
+                assert!((mtbe.as_secs_f64() - 2.0).abs() < 1e-9)
+            }
+            _ => panic!("expected exponential plan"),
+        }
+        assert!(matches!(
+            InjectionPlan::normalized(0.0, Duration::from_secs(1), 1),
+            InjectionPlan::None
+        ));
+    }
+
+    #[test]
+    fn none_plan_injects_nothing() {
+        let reg = Arc::new(PageRegistry::new());
+        reg.register("x", 8);
+        let injector = FaultInjector::start(Arc::clone(&reg), InjectionPlan::None);
+        std::thread::sleep(Duration::from_millis(10));
+        let report = injector.stop();
+        assert!(report.records.is_empty());
+        assert!(reg.all_healthy());
+    }
+
+    #[test]
+    fn scheduled_plan_hits_requested_pages() {
+        let reg = Arc::new(PageRegistry::new());
+        let x = reg.register("x", 4);
+        let g = reg.register("g", 4);
+        let plan = InjectionPlan::Scheduled(vec![
+            (Duration::from_millis(1), 2),
+            (Duration::from_millis(2), 5),
+        ]);
+        let injector = FaultInjector::start(Arc::clone(&reg), plan);
+        std::thread::sleep(Duration::from_millis(30));
+        let report = injector.stop();
+        assert_eq!(report.effective_count(), 2);
+        assert_eq!(reg.poisoned_pages(x), vec![2]);
+        assert_eq!(reg.poisoned_pages(g), vec![1]);
+    }
+
+    #[test]
+    fn exponential_plan_injects_roughly_at_rate() {
+        let reg = Arc::new(PageRegistry::new());
+        reg.register("x", 64);
+        let plan = InjectionPlan::Exponential {
+            mtbe: Duration::from_millis(5),
+            seed: 42,
+        };
+        let injector = FaultInjector::start(Arc::clone(&reg), plan);
+        std::thread::sleep(Duration::from_millis(120));
+        let report = injector.stop();
+        // Expect on the order of 24 injections; accept a generous range to
+        // keep the test robust on loaded CI machines.
+        assert!(
+            report.records.len() >= 5,
+            "too few injections: {}",
+            report.records.len()
+        );
+        assert_eq!(reg.injected_count(), report.effective_count());
+    }
+
+    #[test]
+    fn injector_with_empty_registry_is_harmless() {
+        let reg = Arc::new(PageRegistry::new());
+        let injector = FaultInjector::start(
+            Arc::clone(&reg),
+            InjectionPlan::Exponential {
+                mtbe: Duration::from_micros(100),
+                seed: 3,
+            },
+        );
+        std::thread::sleep(Duration::from_millis(5));
+        let report = injector.stop();
+        assert!(report.records.is_empty());
+    }
+}

@@ -1,0 +1,268 @@
+//! Checkpoint / rollback baseline (Section 4.2).
+//!
+//! The paper's rollback recovery periodically writes the iterate `x` and the
+//! search direction `d` of each processing element to its local disk (the
+//! minimum state needed to resume CG), and rolls every PE back to the latest
+//! checkpoint when a DUE is discovered. The checkpoint interval is chosen to
+//! minimise expected run time given the checkpoint cost and the MTBE, following
+//! the first-order optimum of Young/Daly as used in the paper
+//! (Bougeret et al. [5]).
+
+use std::io::{Read, Write};
+use std::path::PathBuf;
+use std::time::Duration;
+
+/// Where checkpoints are stored.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CheckpointTarget {
+    /// Keep the snapshot in memory (fast; used in unit tests).
+    Memory,
+    /// Write the snapshot to a file in the given directory, mimicking the
+    /// paper's local-disk checkpointing and paying a realistic I/O cost.
+    LocalDisk(PathBuf),
+}
+
+/// A checkpoint store holding the latest snapshot of `x` and `d`.
+#[derive(Debug)]
+pub struct CheckpointStore {
+    target: CheckpointTarget,
+    /// Iteration at which the last snapshot was taken.
+    last_iteration: Option<usize>,
+    /// In-memory copy (also kept when writing to disk, as the paper assumes
+    /// the process itself survives — only data pages are lost).
+    x: Vec<f64>,
+    d: Vec<f64>,
+    scalar_state: Vec<f64>,
+    /// Number of checkpoints written / rollbacks served.
+    checkpoints_written: usize,
+    rollbacks: usize,
+}
+
+impl CheckpointStore {
+    /// Creates an empty store.
+    pub fn new(target: CheckpointTarget) -> Self {
+        Self {
+            target,
+            last_iteration: None,
+            x: Vec::new(),
+            d: Vec::new(),
+            scalar_state: Vec::new(),
+            checkpoints_written: 0,
+            rollbacks: 0,
+        }
+    }
+
+    /// Creates a store that writes to a fresh temporary directory on disk.
+    pub fn on_temp_disk() -> Self {
+        static NEXT: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+        let unique = NEXT.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        let dir = std::env::temp_dir().join(format!(
+            "feir-ckpt-{}-{}",
+            std::process::id(),
+            unique
+        ));
+        let _ = std::fs::create_dir_all(&dir);
+        Self::new(CheckpointTarget::LocalDisk(dir))
+    }
+
+    /// Number of checkpoints written so far.
+    pub fn checkpoints_written(&self) -> usize {
+        self.checkpoints_written
+    }
+
+    /// Number of rollbacks served so far.
+    pub fn rollbacks(&self) -> usize {
+        self.rollbacks
+    }
+
+    /// Iteration of the last snapshot, if any.
+    pub fn last_iteration(&self) -> Option<usize> {
+        self.last_iteration
+    }
+
+    /// Takes a snapshot of the solver state at `iteration`.
+    ///
+    /// `scalar_state` carries the handful of scalars needed to resume (the
+    /// previous ε / ρ), so the restart is exact.
+    pub fn checkpoint(&mut self, iteration: usize, x: &[f64], d: &[f64], scalar_state: &[f64]) {
+        self.x.clear();
+        self.x.extend_from_slice(x);
+        self.d.clear();
+        self.d.extend_from_slice(d);
+        self.scalar_state.clear();
+        self.scalar_state.extend_from_slice(scalar_state);
+        self.last_iteration = Some(iteration);
+        self.checkpoints_written += 1;
+        if let CheckpointTarget::LocalDisk(dir) = &self.target {
+            // Pay the real I/O cost of writing the vectors, like the paper's
+            // local-disk checkpoints do.
+            let path = dir.join("cg-checkpoint.bin");
+            if let Ok(mut file) = std::fs::File::create(&path) {
+                let as_bytes = |v: &[f64]| -> Vec<u8> {
+                    v.iter().flat_map(|x| x.to_le_bytes()).collect()
+                };
+                let _ = file.write_all(&(iteration as u64).to_le_bytes());
+                let _ = file.write_all(&as_bytes(x));
+                let _ = file.write_all(&as_bytes(d));
+                let _ = file.write_all(&as_bytes(scalar_state));
+                let _ = file.sync_all();
+            }
+        }
+    }
+
+    /// Restores the latest snapshot into the given buffers and returns the
+    /// iteration to resume from, or `None` if no checkpoint was ever taken.
+    pub fn rollback(
+        &mut self,
+        x: &mut [f64],
+        d: &mut [f64],
+        scalar_state: &mut Vec<f64>,
+    ) -> Option<usize> {
+        let iteration = self.last_iteration?;
+        if let CheckpointTarget::LocalDisk(dir) = &self.target {
+            // Pay the read cost; the actual payload equals the in-memory copy.
+            let path = dir.join("cg-checkpoint.bin");
+            if let Ok(mut file) = std::fs::File::open(&path) {
+                let mut buf = Vec::new();
+                let _ = file.read_to_end(&mut buf);
+            }
+        }
+        x.copy_from_slice(&self.x);
+        d.copy_from_slice(&self.d);
+        scalar_state.clear();
+        scalar_state.extend_from_slice(&self.scalar_state);
+        self.rollbacks += 1;
+        Some(iteration)
+    }
+}
+
+impl Drop for CheckpointStore {
+    fn drop(&mut self) {
+        if let CheckpointTarget::LocalDisk(dir) = &self.target {
+            let _ = std::fs::remove_file(dir.join("cg-checkpoint.bin"));
+            let _ = std::fs::remove_dir(dir);
+        }
+    }
+}
+
+/// Optimal checkpoint interval in *iterations*, following the Young/Daly
+/// first-order optimum `T_opt = sqrt(2 · C · MTBE)` used by the paper, where
+/// `C` is the time to write one checkpoint.
+///
+/// * `checkpoint_cost` — measured (or estimated) time to write one checkpoint,
+/// * `mtbe` — mean time between errors,
+/// * `iteration_time` — measured time of one solver iteration.
+///
+/// The returned interval is clamped to at least 1 iteration.
+pub fn optimal_checkpoint_interval(
+    checkpoint_cost: Duration,
+    mtbe: Duration,
+    iteration_time: Duration,
+) -> usize {
+    let c = checkpoint_cost.as_secs_f64();
+    let m = mtbe.as_secs_f64();
+    let it = iteration_time.as_secs_f64().max(1e-12);
+    if c <= 0.0 || !m.is_finite() || m <= 0.0 {
+        // Free checkpoints -> checkpoint every iteration; no errors -> huge interval.
+        return if m.is_finite() && m > 0.0 { 1 } else { usize::MAX / 2 };
+    }
+    let t_opt = (2.0 * c * m).sqrt();
+    ((t_opt / it).round() as usize).max(1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn memory_checkpoint_roundtrip() {
+        let mut store = CheckpointStore::new(CheckpointTarget::Memory);
+        assert_eq!(store.last_iteration(), None);
+        let x = vec![1.0, 2.0, 3.0];
+        let d = vec![4.0, 5.0, 6.0];
+        store.checkpoint(17, &x, &d, &[0.25]);
+        assert_eq!(store.checkpoints_written(), 1);
+
+        let mut x2 = vec![0.0; 3];
+        let mut d2 = vec![0.0; 3];
+        let mut scalars = Vec::new();
+        let iter = store.rollback(&mut x2, &mut d2, &mut scalars);
+        assert_eq!(iter, Some(17));
+        assert_eq!(x2, x);
+        assert_eq!(d2, d);
+        assert_eq!(scalars, vec![0.25]);
+        assert_eq!(store.rollbacks(), 1);
+    }
+
+    #[test]
+    fn rollback_without_checkpoint_returns_none() {
+        let mut store = CheckpointStore::new(CheckpointTarget::Memory);
+        let mut x = vec![0.0; 2];
+        let mut d = vec![0.0; 2];
+        let mut s = Vec::new();
+        assert_eq!(store.rollback(&mut x, &mut d, &mut s), None);
+    }
+
+    #[test]
+    fn disk_checkpoint_roundtrip() {
+        let mut store = CheckpointStore::on_temp_disk();
+        let x: Vec<f64> = (0..1000).map(|i| i as f64).collect();
+        let d: Vec<f64> = (0..1000).map(|i| -(i as f64)).collect();
+        store.checkpoint(3, &x, &d, &[1.0, 2.0]);
+        store.checkpoint(6, &x, &d, &[3.0, 4.0]);
+        assert_eq!(store.checkpoints_written(), 2);
+        let mut x2 = vec![0.0; 1000];
+        let mut d2 = vec![0.0; 1000];
+        let mut s = Vec::new();
+        assert_eq!(store.rollback(&mut x2, &mut d2, &mut s), Some(6));
+        assert_eq!(x2[999], 999.0);
+        assert_eq!(s, vec![3.0, 4.0]);
+    }
+
+    #[test]
+    fn newer_checkpoint_overwrites_older() {
+        let mut store = CheckpointStore::new(CheckpointTarget::Memory);
+        store.checkpoint(1, &[1.0], &[1.0], &[]);
+        store.checkpoint(2, &[2.0], &[2.0], &[]);
+        let mut x = vec![0.0];
+        let mut d = vec![0.0];
+        let mut s = Vec::new();
+        assert_eq!(store.rollback(&mut x, &mut d, &mut s), Some(2));
+        assert_eq!(x, vec![2.0]);
+    }
+
+    #[test]
+    fn optimal_interval_follows_young_daly() {
+        // C = 2 ms, MTBE = 1 s -> T_opt = sqrt(2*0.002*1) ≈ 63 ms.
+        // With 1 ms iterations that is ~63 iterations.
+        let interval = optimal_checkpoint_interval(
+            Duration::from_millis(2),
+            Duration::from_secs(1),
+            Duration::from_millis(1),
+        );
+        assert!((50..=80).contains(&interval), "interval = {interval}");
+    }
+
+    #[test]
+    fn optimal_interval_edge_cases() {
+        // No errors expected: effectively never checkpoint.
+        let huge = optimal_checkpoint_interval(
+            Duration::from_millis(1),
+            Duration::from_secs(0),
+            Duration::from_millis(1),
+        );
+        assert!(huge > 1_000_000);
+        // Longer MTBE -> longer interval (monotonicity).
+        let short = optimal_checkpoint_interval(
+            Duration::from_millis(1),
+            Duration::from_secs(1),
+            Duration::from_millis(1),
+        );
+        let long = optimal_checkpoint_interval(
+            Duration::from_millis(1),
+            Duration::from_secs(100),
+            Duration::from_millis(1),
+        );
+        assert!(long > short);
+    }
+}

@@ -1,0 +1,202 @@
+//! Run reports: convergence, recovery events and time accounting.
+
+use std::time::Duration;
+
+use feir_solvers::history::{ConvergenceHistory, StopReason};
+use serde::{Deserialize, Serialize};
+
+use crate::policy::RecoveryPolicy;
+
+/// What a recovery did about one lost page.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum RecoveryAction {
+    /// Exact forward interpolation (lhs recomputation or rhs block solve).
+    ExactInterpolation,
+    /// Lossy block-Jacobi interpolation followed by a restart.
+    LossyInterpolation,
+    /// Rollback to the last checkpoint.
+    Rollback,
+    /// Blank page accepted as-is (trivial recovery).
+    AcceptBlank,
+    /// The error could not be recovered (simultaneous related losses) and was
+    /// ignored, as in the paper's evaluation ("no fallback is used").
+    Ignored,
+}
+
+/// One recovery event, for tracing and debugging.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct RecoveryEvent {
+    /// Solver iteration at which the loss was handled.
+    pub iteration: usize,
+    /// Name of the affected vector.
+    pub vector: String,
+    /// Page index within the vector.
+    pub page: usize,
+    /// What was done.
+    pub action: RecoveryAction,
+}
+
+/// Wall-time buckets accumulated by the resilient solver, used to reproduce
+/// the per-state breakdown of Table 3.
+#[derive(Debug, Clone, Copy, Default, Serialize, Deserialize)]
+pub struct TimeBuckets {
+    /// Strip-mined solver computation (SpMV, axpy, dots).
+    pub compute: Duration,
+    /// Recovery-task work (scanning bitmasks, interpolating, restarting).
+    pub recovery: Duration,
+    /// Checkpoint writing and rollback reading.
+    pub checkpoint: Duration,
+    /// Task-creation / scheduling / bookkeeping overhead.
+    pub runtime: Duration,
+    /// Estimated idle time (imbalance): wall time not attributable to the
+    /// other buckets, scaled by the worker count.
+    pub idle: Duration,
+}
+
+impl TimeBuckets {
+    /// Total accounted time.
+    pub fn total(&self) -> Duration {
+        self.compute + self.recovery + self.checkpoint + self.runtime + self.idle
+    }
+
+    /// Fraction of time spent doing useful solver work.
+    pub fn useful_fraction(&self) -> f64 {
+        let total = self.total().as_secs_f64();
+        if total <= 0.0 {
+            return 0.0;
+        }
+        self.compute.as_secs_f64() / total
+    }
+
+    /// Fraction of time spent in runtime-like activities (recovery tasks,
+    /// checkpointing, scheduling).
+    pub fn runtime_fraction(&self) -> f64 {
+        let total = self.total().as_secs_f64();
+        if total <= 0.0 {
+            return 0.0;
+        }
+        (self.recovery + self.checkpoint + self.runtime).as_secs_f64() / total
+    }
+
+    /// Fraction of time spent idle.
+    pub fn idle_fraction(&self) -> f64 {
+        let total = self.total().as_secs_f64();
+        if total <= 0.0 {
+            return 0.0;
+        }
+        self.idle.as_secs_f64() / total
+    }
+}
+
+/// Full report of one resilient solve.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct RunReport {
+    /// Policy used.
+    pub policy: RecoveryPolicy,
+    /// Final iterate.
+    pub x: Vec<f64>,
+    /// Iterations executed (including re-done iterations after rollbacks and
+    /// restarts, i.e. total work performed).
+    pub iterations: usize,
+    /// Final relative residual (explicitly recomputed).
+    pub relative_residual: f64,
+    /// Why the run stopped.
+    pub stop_reason: StopReason,
+    /// Wall-clock solve time.
+    pub elapsed: Duration,
+    /// Per-iteration residual history (time-stamped), for Figure 3 traces.
+    pub history: ConvergenceHistory,
+    /// Recovery events in order.
+    pub events: Vec<RecoveryEvent>,
+    /// Faults discovered during the run.
+    pub faults_discovered: usize,
+    /// Pages recovered (any action other than `Ignored`).
+    pub pages_recovered: usize,
+    /// Number of rollbacks (checkpoint policy only).
+    pub rollbacks: usize,
+    /// Number of restarts (Lossy Restart policy only).
+    pub restarts: usize,
+    /// Time bucket accounting.
+    pub time: TimeBuckets,
+}
+
+impl RunReport {
+    /// True if the run converged.
+    pub fn converged(&self) -> bool {
+        self.stop_reason == StopReason::Converged
+    }
+
+    /// Slowdown of this run compared to a reference wall time, in percent
+    /// (the y-axis of Figure 4).
+    pub fn slowdown_percent(&self, reference: Duration) -> f64 {
+        let reference_secs = reference.as_secs_f64();
+        if reference_secs <= 0.0 {
+            return 0.0;
+        }
+        (self.elapsed.as_secs_f64() / reference_secs - 1.0) * 100.0
+    }
+}
+
+/// Harmonic mean of a set of positive values — the aggregation the paper uses
+/// to combine per-matrix overheads (Tables 2 and 4-adjacent text).
+pub fn harmonic_mean(values: &[f64]) -> f64 {
+    if values.is_empty() {
+        return 0.0;
+    }
+    let sum_inverse: f64 = values.iter().map(|v| 1.0 / v.max(1e-300)).sum();
+    values.len() as f64 / sum_inverse
+}
+
+/// Harmonic mean of slowdown factors expressed as percentages: the values are
+/// converted to factors (1 + p/100), averaged harmonically and converted back.
+pub fn harmonic_mean_slowdown_percent(percents: &[f64]) -> f64 {
+    if percents.is_empty() {
+        return 0.0;
+    }
+    let factors: Vec<f64> = percents.iter().map(|p| 1.0 + p / 100.0).collect();
+    (harmonic_mean(&factors) - 1.0) * 100.0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn time_bucket_fractions() {
+        let t = TimeBuckets {
+            compute: Duration::from_millis(80),
+            recovery: Duration::from_millis(5),
+            checkpoint: Duration::from_millis(5),
+            runtime: Duration::from_millis(5),
+            idle: Duration::from_millis(5),
+        };
+        assert_eq!(t.total(), Duration::from_millis(100));
+        assert!((t.useful_fraction() - 0.8).abs() < 1e-12);
+        assert!((t.runtime_fraction() - 0.15).abs() < 1e-12);
+        assert!((t.idle_fraction() - 0.05).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_time_fractions_are_zero() {
+        let t = TimeBuckets::default();
+        assert_eq!(t.useful_fraction(), 0.0);
+        assert_eq!(t.runtime_fraction(), 0.0);
+    }
+
+    #[test]
+    fn harmonic_mean_matches_hand_computation() {
+        let values = [1.0, 2.0, 4.0];
+        let expected = 3.0 / (1.0 + 0.5 + 0.25);
+        assert!((harmonic_mean(&values) - expected).abs() < 1e-12);
+        assert_eq!(harmonic_mean(&[]), 0.0);
+    }
+
+    #[test]
+    fn harmonic_mean_of_slowdowns() {
+        // Equal slowdowns stay unchanged.
+        assert!((harmonic_mean_slowdown_percent(&[10.0, 10.0]) - 10.0).abs() < 1e-9);
+        // Mixed slowdowns land between min and max, below the arithmetic mean.
+        let m = harmonic_mean_slowdown_percent(&[0.0, 100.0]);
+        assert!(m > 0.0 && m < 50.0);
+    }
+}

@@ -1,0 +1,464 @@
+//! Worker-pool executor for task graphs.
+//!
+//! The executor reproduces the scheduling behaviour the paper relies on:
+//! ready tasks are dispatched to a fixed pool of workers, highest priority
+//! first, and every worker accounts for the time it spends executing task
+//! bodies (useful), inside the scheduler (runtime) and waiting for work
+//! (idle / load imbalance). Those three buckets feed Table 3.
+
+use std::collections::BinaryHeap;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use crossbeam::channel;
+use parking_lot::{Condvar, Mutex};
+
+use crate::graph::{TaskGraph, TaskId};
+use crate::stats::{StateBreakdown, StateTimes};
+use crate::task::{Priority, TaskKind};
+
+/// Result of executing one task graph.
+#[derive(Debug, Clone)]
+pub struct RunStats {
+    /// Wall-clock time of the whole graph execution.
+    pub elapsed: Duration,
+    /// Number of tasks executed.
+    pub tasks_executed: usize,
+    /// Per-worker state times.
+    pub workers: Vec<StateTimes>,
+    /// Time spent executing tasks, broken down by [`TaskKind`].
+    pub time_by_kind: Vec<(TaskKind, Duration)>,
+}
+
+impl RunStats {
+    /// Aggregated state breakdown over all workers.
+    pub fn breakdown(&self) -> StateBreakdown {
+        StateBreakdown::from_workers(&self.workers)
+    }
+
+    /// Total useful time across workers.
+    pub fn total_useful(&self) -> Duration {
+        self.workers.iter().map(|w| w.useful).sum()
+    }
+
+    /// Time spent in tasks of the given kind.
+    pub fn time_for_kind(&self, kind: TaskKind) -> Duration {
+        self.time_by_kind
+            .iter()
+            .filter(|(k, _)| *k == kind)
+            .map(|(_, d)| *d)
+            .sum()
+    }
+}
+
+#[derive(PartialEq, Eq)]
+struct ReadyTask {
+    priority: Priority,
+    /// Tie-break on insertion order so equal-priority tasks run FIFO.
+    sequence: usize,
+    id: TaskId,
+}
+
+impl Ord for ReadyTask {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // Max-heap: higher priority first, then earlier sequence first.
+        self.priority
+            .cmp(&other.priority)
+            .then_with(|| other.sequence.cmp(&self.sequence))
+    }
+}
+
+impl PartialOrd for ReadyTask {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+struct SchedulerState {
+    ready: BinaryHeap<ReadyTask>,
+    remaining_predecessors: Vec<usize>,
+    pending: usize,
+    next_sequence: usize,
+    shutdown: bool,
+}
+
+struct Scheduler {
+    state: Mutex<SchedulerState>,
+    work_available: Condvar,
+}
+
+/// A fixed-size worker pool executing [`TaskGraph`]s.
+///
+/// The pool is cheap to construct; worker threads live for the duration of a
+/// single [`Executor::run`] call, which mirrors how the experiments submit one
+/// dependency graph per solver iteration.
+#[derive(Debug, Clone)]
+pub struct Executor {
+    num_workers: usize,
+}
+
+impl Executor {
+    /// Creates an executor with the given number of workers.
+    ///
+    /// # Panics
+    /// Panics if `num_workers == 0`.
+    pub fn new(num_workers: usize) -> Self {
+        assert!(num_workers > 0, "executor needs at least one worker");
+        Self { num_workers }
+    }
+
+    /// Number of workers used for each run.
+    pub fn num_workers(&self) -> usize {
+        self.num_workers
+    }
+
+    /// Executes the graph to completion and returns the run statistics.
+    ///
+    /// Task bodies run exactly once. Panics inside a task propagate after all
+    /// workers have stopped.
+    pub fn run(&self, graph: TaskGraph) -> RunStats {
+        let started = Instant::now();
+        let num_tasks = graph.tasks.len();
+        if num_tasks == 0 {
+            return RunStats {
+                elapsed: started.elapsed(),
+                tasks_executed: 0,
+                workers: vec![StateTimes::default(); self.num_workers],
+                time_by_kind: Vec::new(),
+            };
+        }
+
+        // Move the task bodies out of the graph so workers can take them.
+        let mut bodies: Vec<Option<Box<dyn FnOnce() + Send>>> = Vec::with_capacity(num_tasks);
+        let mut meta: Vec<(Priority, TaskKind, Vec<TaskId>)> = Vec::with_capacity(num_tasks);
+        let mut remaining = Vec::with_capacity(num_tasks);
+        for node in graph.tasks {
+            bodies.push(Some(node.func));
+            meta.push((node.priority, node.kind, node.dependents));
+            remaining.push(node.num_predecessors);
+        }
+        let bodies = Arc::new(Mutex::new(bodies));
+        let meta = Arc::new(meta);
+
+        let mut ready = BinaryHeap::new();
+        let mut sequence = 0usize;
+        for (i, r) in remaining.iter().enumerate() {
+            if *r == 0 {
+                ready.push(ReadyTask {
+                    priority: meta[i].0,
+                    sequence,
+                    id: TaskId(i),
+                });
+                sequence += 1;
+            }
+        }
+        let scheduler = Arc::new(Scheduler {
+            state: Mutex::new(SchedulerState {
+                ready,
+                remaining_predecessors: remaining,
+                pending: num_tasks,
+                next_sequence: sequence,
+                shutdown: false,
+            }),
+            work_available: Condvar::new(),
+        });
+
+        let (stats_tx, stats_rx) = channel::unbounded();
+        std::thread::scope(|scope| {
+            for worker_index in 0..self.num_workers {
+                let scheduler = Arc::clone(&scheduler);
+                let bodies = Arc::clone(&bodies);
+                let meta = Arc::clone(&meta);
+                let stats_tx = stats_tx.clone();
+                scope.spawn(move || {
+                    let result = worker_loop(worker_index, &scheduler, &bodies, &meta);
+                    // The receiver lives until the scope ends.
+                    let _ = stats_tx.send(result);
+                });
+            }
+        });
+        drop(stats_tx);
+
+        let mut workers = Vec::with_capacity(self.num_workers);
+        let mut tasks_executed = 0usize;
+        let mut time_by_kind: Vec<(TaskKind, Duration)> = Vec::new();
+        while let Ok((times, executed, kinds)) = stats_rx.recv() {
+            workers.push(times);
+            tasks_executed += executed;
+            for (kind, dur) in kinds {
+                if let Some(slot) = time_by_kind.iter_mut().find(|(k, _)| *k == kind) {
+                    slot.1 += dur;
+                } else {
+                    time_by_kind.push((kind, dur));
+                }
+            }
+        }
+
+        RunStats {
+            elapsed: started.elapsed(),
+            tasks_executed,
+            workers,
+            time_by_kind,
+        }
+    }
+}
+
+type WorkerResult = (StateTimes, usize, Vec<(TaskKind, Duration)>);
+
+/// Charges the wall time since `*mark` to `bucket` and advances the mark.
+fn charge(bucket: &mut Duration, mark: &mut Instant) {
+    let now = Instant::now();
+    *bucket += now.saturating_duration_since(*mark);
+    *mark = now;
+}
+
+fn worker_loop(
+    _worker_index: usize,
+    scheduler: &Scheduler,
+    bodies: &Mutex<Vec<Option<Box<dyn FnOnce() + Send>>>>,
+    meta: &[(Priority, TaskKind, Vec<TaskId>)],
+) -> WorkerResult {
+    let mut times = StateTimes::default();
+    let mut executed = 0usize;
+    let mut by_kind: Vec<(TaskKind, Duration)> = Vec::new();
+    let mut mark = Instant::now();
+
+    loop {
+        // --- scheduler section (runtime state): find a ready task ---
+        let task = {
+            let mut state = scheduler.state.lock();
+            loop {
+                if let Some(t) = state.ready.pop() {
+                    break Some(t);
+                }
+                if state.pending == 0 || state.shutdown {
+                    state.shutdown = true;
+                    scheduler.work_available.notify_all();
+                    break None;
+                }
+                // --- idle state: wait for work ---
+                charge(&mut times.runtime, &mut mark);
+                scheduler.work_available.wait(&mut state);
+                charge(&mut times.idle, &mut mark);
+            }
+        };
+        let Some(task) = task else {
+            charge(&mut times.runtime, &mut mark);
+            return (times, executed, by_kind);
+        };
+        let body = {
+            let mut bodies = bodies.lock();
+            bodies[task.id.0].take()
+        };
+        charge(&mut times.runtime, &mut mark);
+
+        // --- useful state: run the task body ---
+        if let Some(body) = body {
+            body();
+            let before = times.useful;
+            charge(&mut times.useful, &mut mark);
+            let dur = times.useful - before;
+            executed += 1;
+            let kind = meta[task.id.0].1;
+            if let Some(slot) = by_kind.iter_mut().find(|(k, _)| *k == kind) {
+                slot.1 += dur;
+            } else {
+                by_kind.push((kind, dur));
+            }
+        }
+
+        // --- scheduler section: release dependents ---
+        {
+            let mut state = scheduler.state.lock();
+            state.pending -= 1;
+            for dep in &meta[task.id.0].2 {
+                state.remaining_predecessors[dep.0] -= 1;
+                if state.remaining_predecessors[dep.0] == 0 {
+                    let sequence = state.next_sequence;
+                    state.next_sequence += 1;
+                    state.ready.push(ReadyTask {
+                        priority: meta[dep.0].0,
+                        sequence,
+                        id: *dep,
+                    });
+                    scheduler.work_available.notify_one();
+                }
+            }
+            if state.pending == 0 {
+                state.shutdown = true;
+                scheduler.work_available.notify_all();
+            }
+        }
+        charge(&mut times.runtime, &mut mark);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::{Access, RegionId};
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Mutex as StdMutex;
+
+    #[test]
+    fn empty_graph_runs_without_work() {
+        let exec = Executor::new(2);
+        let stats = exec.run(TaskGraph::new());
+        assert_eq!(stats.tasks_executed, 0);
+    }
+
+    #[test]
+    fn all_tasks_execute_exactly_once() {
+        let exec = Executor::new(4);
+        let counter = Arc::new(AtomicUsize::new(0));
+        let mut graph = TaskGraph::new();
+        for i in 0..64u64 {
+            let counter = Arc::clone(&counter);
+            graph.add_compute(
+                format!("t{i}"),
+                &[Access::write(RegionId(i))],
+                move || {
+                    counter.fetch_add(1, Ordering::Relaxed);
+                },
+            );
+        }
+        let stats = exec.run(graph);
+        assert_eq!(counter.load(Ordering::Relaxed), 64);
+        assert_eq!(stats.tasks_executed, 64);
+        assert_eq!(stats.workers.len(), 4);
+    }
+
+    #[test]
+    fn dependencies_order_execution() {
+        let exec = Executor::new(4);
+        let log = Arc::new(StdMutex::new(Vec::new()));
+        let mut graph = TaskGraph::new();
+        let region = RegionId(1);
+        for step in 0..8usize {
+            let log = Arc::clone(&log);
+            graph.add_compute(
+                format!("step{step}"),
+                &[Access::read_write(region)],
+                move || log.lock().expect("not poisoned").push(step),
+            );
+        }
+        exec.run(graph);
+        let log = log.lock().expect("not poisoned");
+        assert_eq!(*log, (0..8).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn diamond_dependency_executes_join_last() {
+        let exec = Executor::new(3);
+        let log = Arc::new(StdMutex::new(Vec::new()));
+        let mut graph = TaskGraph::new();
+        let push = |log: &Arc<StdMutex<Vec<&'static str>>>, name: &'static str| {
+            let log = Arc::clone(log);
+            move || log.lock().expect("not poisoned").push(name)
+        };
+        graph.add_compute("src", &[Access::write(RegionId(1))], push(&log, "src"));
+        graph.add_compute(
+            "left",
+            &[Access::read(RegionId(1)), Access::write(RegionId(2))],
+            push(&log, "left"),
+        );
+        graph.add_compute(
+            "right",
+            &[Access::read(RegionId(1)), Access::write(RegionId(3))],
+            push(&log, "right"),
+        );
+        graph.add_compute(
+            "join",
+            &[Access::read(RegionId(2)), Access::read(RegionId(3))],
+            push(&log, "join"),
+        );
+        exec.run(graph);
+        let log = log.lock().expect("not poisoned");
+        assert_eq!(log.len(), 4);
+        assert_eq!(log[0], "src");
+        assert_eq!(log[3], "join");
+    }
+
+    #[test]
+    fn priorities_pick_high_priority_tasks_first() {
+        // One worker, several independent ready tasks: execution order must
+        // follow priority (reduction before compute before low-priority
+        // recovery), which is the mechanism AFEIR relies on.
+        let exec = Executor::new(1);
+        let log = Arc::new(StdMutex::new(Vec::new()));
+        let mut graph = TaskGraph::new();
+        let push = |log: &Arc<StdMutex<Vec<&'static str>>>, name: &'static str| {
+            let log = Arc::clone(log);
+            move || log.lock().expect("not poisoned").push(name)
+        };
+        graph.add_task(
+            "recovery",
+            TaskKind::Recovery,
+            Priority::RECOVERY_LOW,
+            &[Access::write(RegionId(1))],
+            push(&log, "recovery"),
+        );
+        graph.add_task(
+            "compute",
+            TaskKind::Compute,
+            Priority::COMPUTE,
+            &[Access::write(RegionId(2))],
+            push(&log, "compute"),
+        );
+        graph.add_task(
+            "reduction",
+            TaskKind::Reduction,
+            Priority::REDUCTION,
+            &[Access::write(RegionId(3))],
+            push(&log, "reduction"),
+        );
+        let stats = exec.run(graph);
+        let log = log.lock().expect("not poisoned");
+        assert_eq!(*log, vec!["reduction", "compute", "recovery"]);
+        assert_eq!(stats.tasks_executed, 3);
+    }
+
+    #[test]
+    fn stats_track_useful_time_and_kinds() {
+        let exec = Executor::new(2);
+        let mut graph = TaskGraph::new();
+        graph.add_task(
+            "sleep",
+            TaskKind::Compute,
+            Priority::COMPUTE,
+            &[Access::write(RegionId(1))],
+            || std::thread::sleep(Duration::from_millis(5)),
+        );
+        graph.add_task(
+            "sleep2",
+            TaskKind::Recovery,
+            Priority::RECOVERY_LOW,
+            &[Access::write(RegionId(2))],
+            || std::thread::sleep(Duration::from_millis(2)),
+        );
+        let stats = exec.run(graph);
+        assert!(stats.total_useful() >= Duration::from_millis(6));
+        assert!(stats.time_for_kind(TaskKind::Compute) >= Duration::from_millis(4));
+        assert!(stats.time_for_kind(TaskKind::Recovery) >= Duration::from_millis(1));
+        let b = stats.breakdown();
+        assert!(b.useful_fraction > 0.0);
+    }
+
+    #[test]
+    fn parallel_speedup_on_independent_tasks() {
+        // 8 independent 4 ms tasks: 4 workers should finish in well under the
+        // serial 32 ms (allowing generous slack for CI noise).
+        let mut graph = TaskGraph::new();
+        for i in 0..8u64 {
+            graph.add_compute(format!("t{i}"), &[Access::write(RegionId(i))], || {
+                std::thread::sleep(Duration::from_millis(4))
+            });
+        }
+        let stats = Executor::new(4).run(graph);
+        assert!(
+            stats.elapsed < Duration::from_millis(28),
+            "no parallelism observed: {:?}",
+            stats.elapsed
+        );
+    }
+}

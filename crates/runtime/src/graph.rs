@@ -1,0 +1,340 @@
+//! Task graphs with data-flow dependences inferred from region annotations.
+//!
+//! Tasks are added in *sequential program order* with the set of data regions
+//! they read and write, exactly like OmpSs `in`/`out`/`inout` clauses. The
+//! graph derives read-after-write, write-after-read and write-after-write
+//! edges from overlapping accesses, which reproduces the dependency structure
+//! shown in Figure 1 of the paper for the CG task decomposition.
+
+use std::collections::HashMap;
+
+use crate::task::{Priority, TaskKind};
+
+/// Identifier of a logical data region (e.g. "page 3 of vector q" or
+/// "the scalar α"). The runtime does not interpret region ids beyond equality.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct RegionId(pub u64);
+
+/// Identifier of a task within one [`TaskGraph`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct TaskId(pub usize);
+
+/// Access mode of a task on a region.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AccessMode {
+    /// The task only reads the region (`in`).
+    Read,
+    /// The task overwrites the region (`out`).
+    Write,
+    /// The task reads and updates the region (`inout`).
+    ReadWrite,
+}
+
+/// A single region access.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Access {
+    /// The region touched.
+    pub region: RegionId,
+    /// How it is touched.
+    pub mode: AccessMode,
+}
+
+impl Access {
+    /// Convenience constructor for a read access.
+    pub fn read(region: RegionId) -> Self {
+        Self {
+            region,
+            mode: AccessMode::Read,
+        }
+    }
+
+    /// Convenience constructor for a write access.
+    pub fn write(region: RegionId) -> Self {
+        Self {
+            region,
+            mode: AccessMode::Write,
+        }
+    }
+
+    /// Convenience constructor for a read-write access.
+    pub fn read_write(region: RegionId) -> Self {
+        Self {
+            region,
+            mode: AccessMode::ReadWrite,
+        }
+    }
+
+    fn reads(&self) -> bool {
+        matches!(self.mode, AccessMode::Read | AccessMode::ReadWrite)
+    }
+
+    fn writes(&self) -> bool {
+        matches!(self.mode, AccessMode::Write | AccessMode::ReadWrite)
+    }
+}
+
+pub(crate) struct TaskNode {
+    pub(crate) name: String,
+    pub(crate) priority: Priority,
+    pub(crate) kind: TaskKind,
+    pub(crate) func: Box<dyn FnOnce() + Send + 'static>,
+    pub(crate) dependents: Vec<TaskId>,
+    pub(crate) num_predecessors: usize,
+}
+
+impl std::fmt::Debug for TaskNode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TaskNode")
+            .field("name", &self.name)
+            .field("priority", &self.priority)
+            .field("kind", &self.kind)
+            .field("dependents", &self.dependents)
+            .field("num_predecessors", &self.num_predecessors)
+            .finish()
+    }
+}
+
+/// Per-region bookkeeping used while building the graph.
+#[derive(Debug, Default, Clone)]
+struct RegionHistory {
+    last_writer: Option<TaskId>,
+    readers_since_last_write: Vec<TaskId>,
+}
+
+/// A task graph under construction / ready for execution.
+#[derive(Debug, Default)]
+pub struct TaskGraph {
+    pub(crate) tasks: Vec<TaskNode>,
+    history: HashMap<RegionId, RegionHistory>,
+    edges: usize,
+}
+
+impl TaskGraph {
+    /// Creates an empty graph.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of tasks added so far.
+    pub fn len(&self) -> usize {
+        self.tasks.len()
+    }
+
+    /// True if no tasks have been added.
+    pub fn is_empty(&self) -> bool {
+        self.tasks.is_empty()
+    }
+
+    /// Number of dependence edges inferred so far.
+    pub fn num_edges(&self) -> usize {
+        self.edges
+    }
+
+    /// Adds a task in program order and infers its dependences from `accesses`.
+    ///
+    /// Returns the new task's id.
+    pub fn add_task<F>(
+        &mut self,
+        name: impl Into<String>,
+        kind: TaskKind,
+        priority: Priority,
+        accesses: &[Access],
+        func: F,
+    ) -> TaskId
+    where
+        F: FnOnce() + Send + 'static,
+    {
+        let id = TaskId(self.tasks.len());
+        let mut predecessors: Vec<TaskId> = Vec::new();
+
+        for access in accesses {
+            let entry = self.history.entry(access.region).or_default();
+            if access.reads() {
+                // Read-after-write.
+                if let Some(w) = entry.last_writer {
+                    predecessors.push(w);
+                }
+            }
+            if access.writes() {
+                // Write-after-read and write-after-write.
+                predecessors.extend(entry.readers_since_last_write.iter().copied());
+                if let Some(w) = entry.last_writer {
+                    predecessors.push(w);
+                }
+            }
+        }
+        predecessors.sort_unstable();
+        predecessors.dedup();
+        predecessors.retain(|p| *p != id);
+
+        // Update the region history *after* computing dependences.
+        for access in accesses {
+            let entry = self.history.entry(access.region).or_default();
+            if access.writes() {
+                entry.last_writer = Some(id);
+                entry.readers_since_last_write.clear();
+            }
+            if access.reads() && !access.writes() {
+                entry.readers_since_last_write.push(id);
+            }
+        }
+
+        for p in &predecessors {
+            self.tasks[p.0].dependents.push(id);
+        }
+        self.edges += predecessors.len();
+
+        self.tasks.push(TaskNode {
+            name: name.into(),
+            priority,
+            kind,
+            func: Box::new(func),
+            dependents: Vec::new(),
+            num_predecessors: predecessors.len(),
+        });
+        id
+    }
+
+    /// Adds a task with default compute kind and priority.
+    pub fn add_compute<F>(&mut self, name: impl Into<String>, accesses: &[Access], func: F) -> TaskId
+    where
+        F: FnOnce() + Send + 'static,
+    {
+        self.add_task(name, TaskKind::Compute, Priority::COMPUTE, accesses, func)
+    }
+
+    /// Ids of tasks with no predecessors (ready at the start of execution).
+    pub fn initially_ready(&self) -> Vec<TaskId> {
+        self.tasks
+            .iter()
+            .enumerate()
+            .filter(|(_, t)| t.num_predecessors == 0)
+            .map(|(i, _)| TaskId(i))
+            .collect()
+    }
+
+    /// Name of a task (for diagnostics).
+    pub fn task_name(&self, id: TaskId) -> &str {
+        &self.tasks[id.0].name
+    }
+
+    /// Direct dependents of a task.
+    pub fn dependents(&self, id: TaskId) -> &[TaskId] {
+        &self.tasks[id.0].dependents
+    }
+
+    /// Number of predecessors of a task.
+    pub fn num_predecessors(&self, id: TaskId) -> usize {
+        self.tasks[id.0].num_predecessors
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn noop() {}
+
+    #[test]
+    fn raw_dependency_is_inferred() {
+        let mut g = TaskGraph::new();
+        let producer = g.add_compute("produce q", &[Access::write(RegionId(1))], noop);
+        let consumer = g.add_compute("reduce <d,q>", &[Access::read(RegionId(1))], noop);
+        assert_eq!(g.dependents(producer), &[consumer]);
+        assert_eq!(g.num_predecessors(consumer), 1);
+        assert_eq!(g.initially_ready(), vec![producer]);
+        assert_eq!(g.num_edges(), 1);
+    }
+
+    #[test]
+    fn war_and_waw_dependencies_are_inferred() {
+        let mut g = TaskGraph::new();
+        let reader = g.add_compute("read x", &[Access::read(RegionId(7))], noop);
+        let writer1 = g.add_compute("write x", &[Access::write(RegionId(7))], noop);
+        let writer2 = g.add_compute("write x again", &[Access::write(RegionId(7))], noop);
+        // WAR: writer1 depends on reader; WAW: writer2 depends on writer1.
+        assert_eq!(g.dependents(reader), &[writer1]);
+        assert_eq!(g.dependents(writer1), &[writer2]);
+        assert_eq!(g.num_predecessors(writer2), 1);
+    }
+
+    #[test]
+    fn independent_regions_share_no_edges() {
+        let mut g = TaskGraph::new();
+        let a = g.add_compute("a", &[Access::write(RegionId(1))], noop);
+        let b = g.add_compute("b", &[Access::write(RegionId(2))], noop);
+        assert!(g.dependents(a).is_empty());
+        assert!(g.dependents(b).is_empty());
+        assert_eq!(g.initially_ready().len(), 2);
+    }
+
+    #[test]
+    fn readers_do_not_depend_on_each_other() {
+        let mut g = TaskGraph::new();
+        let w = g.add_compute("w", &[Access::write(RegionId(3))], noop);
+        let r1 = g.add_compute("r1", &[Access::read(RegionId(3))], noop);
+        let r2 = g.add_compute("r2", &[Access::read(RegionId(3))], noop);
+        assert_eq!(g.dependents(w), &[r1, r2]);
+        assert!(g.dependents(r1).is_empty());
+        assert_eq!(g.num_predecessors(r2), 1);
+    }
+
+    #[test]
+    fn inout_chains_serialize() {
+        let mut g = TaskGraph::new();
+        let t0 = g.add_compute("u0", &[Access::read_write(RegionId(9))], noop);
+        let t1 = g.add_compute("u1", &[Access::read_write(RegionId(9))], noop);
+        let t2 = g.add_compute("u2", &[Access::read_write(RegionId(9))], noop);
+        assert_eq!(g.dependents(t0), &[t1]);
+        assert_eq!(g.dependents(t1), &[t2]);
+        assert_eq!(g.initially_ready(), vec![t0]);
+    }
+
+    #[test]
+    fn cg_like_reduction_pattern() {
+        // Strip-mined q tasks (writers of q pages) all feed one reduction that
+        // reads every page, reproducing the lattice of Figure 1.
+        let mut g = TaskGraph::new();
+        let pages = 4;
+        let mut q_tasks = Vec::new();
+        for p in 0..pages {
+            q_tasks.push(g.add_compute(
+                format!("q[{p}]"),
+                &[Access::write(RegionId(100 + p as u64))],
+                noop,
+            ));
+        }
+        let accesses: Vec<Access> = (0..pages)
+            .map(|p| Access::read(RegionId(100 + p as u64)))
+            .collect();
+        let red = g.add_task(
+            "<d,q>",
+            TaskKind::Reduction,
+            Priority::REDUCTION,
+            &accesses,
+            noop,
+        );
+        for q in q_tasks {
+            assert_eq!(g.dependents(q), &[red]);
+        }
+        assert_eq!(g.num_predecessors(red), pages);
+    }
+
+    #[test]
+    fn duplicate_predecessors_collapse() {
+        let mut g = TaskGraph::new();
+        let w = g.add_compute(
+            "w",
+            &[Access::write(RegionId(1)), Access::write(RegionId(2))],
+            noop,
+        );
+        let r = g.add_compute(
+            "r",
+            &[Access::read(RegionId(1)), Access::read(RegionId(2))],
+            noop,
+        );
+        // Only one edge even though two regions connect the same pair.
+        assert_eq!(g.dependents(w), &[r]);
+        assert_eq!(g.num_predecessors(r), 1);
+    }
+}

@@ -1,0 +1,173 @@
+//! Worker state-time accounting.
+//!
+//! Table 3 of the paper breaks down the overhead of FEIR/AFEIR into the
+//! increase of time spent in three states while the solver runs:
+//!
+//! * **useful** — executing solver tasks,
+//! * **runtime** — creating and scheduling tasks (runtime-system work),
+//! * **imbalance** — idling because no ready task is available.
+//!
+//! The executor records these three buckets per worker; this module holds the
+//! plain-data accumulation types and the aggregation used to print the table.
+
+use std::time::Duration;
+
+/// Time one worker spent in each of the three states.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct StateTimes {
+    /// Time spent executing task bodies.
+    pub useful: Duration,
+    /// Time spent inside the scheduler (popping tasks, releasing dependents).
+    pub runtime: Duration,
+    /// Time spent idle waiting for work (load imbalance).
+    pub idle: Duration,
+}
+
+impl StateTimes {
+    /// Total tracked time.
+    pub fn total(&self) -> Duration {
+        self.useful + self.runtime + self.idle
+    }
+
+    /// Adds another accumulation into this one.
+    pub fn accumulate(&mut self, other: &StateTimes) {
+        self.useful += other.useful;
+        self.runtime += other.runtime;
+        self.idle += other.idle;
+    }
+}
+
+/// Aggregated breakdown over all workers, expressed as fractions of the total.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct StateBreakdown {
+    /// Fraction of worker time doing useful work.
+    pub useful_fraction: f64,
+    /// Fraction of worker time doing runtime work.
+    pub runtime_fraction: f64,
+    /// Fraction of worker time idling.
+    pub idle_fraction: f64,
+}
+
+impl StateBreakdown {
+    /// Aggregates per-worker times into global fractions.
+    pub fn from_workers(workers: &[StateTimes]) -> Self {
+        let mut sum = StateTimes::default();
+        for w in workers {
+            sum.accumulate(w);
+        }
+        let total = sum.total().as_secs_f64();
+        if total <= 0.0 {
+            return Self::default();
+        }
+        Self {
+            useful_fraction: sum.useful.as_secs_f64() / total,
+            runtime_fraction: sum.runtime.as_secs_f64() / total,
+            idle_fraction: sum.idle.as_secs_f64() / total,
+        }
+    }
+
+    /// Percentage-point increase of each state relative to a baseline run —
+    /// the quantity reported in Table 3 ("increase of time spent per state").
+    ///
+    /// Returns `(imbalance, runtime, useful)` increases in percent, matching
+    /// the column order of the paper's table.
+    pub fn increase_over(&self, baseline: &StateBreakdown) -> (f64, f64, f64) {
+        let rel = |ours: f64, base: f64| {
+            if base <= 0.0 {
+                if ours <= 0.0 {
+                    0.0
+                } else {
+                    100.0
+                }
+            } else {
+                (ours - base) / base * 100.0
+            }
+        };
+        (
+            rel(self.idle_fraction, baseline.idle_fraction),
+            rel(self.runtime_fraction, baseline.runtime_fraction),
+            rel(self.useful_fraction, baseline.useful_fraction),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn totals_and_accumulation() {
+        let mut a = StateTimes {
+            useful: Duration::from_millis(10),
+            runtime: Duration::from_millis(2),
+            idle: Duration::from_millis(3),
+        };
+        assert_eq!(a.total(), Duration::from_millis(15));
+        let b = StateTimes {
+            useful: Duration::from_millis(5),
+            runtime: Duration::from_millis(1),
+            idle: Duration::from_millis(0),
+        };
+        a.accumulate(&b);
+        assert_eq!(a.useful, Duration::from_millis(15));
+        assert_eq!(a.total(), Duration::from_millis(21));
+    }
+
+    #[test]
+    fn breakdown_fractions_sum_to_one() {
+        let workers = vec![
+            StateTimes {
+                useful: Duration::from_millis(80),
+                runtime: Duration::from_millis(10),
+                idle: Duration::from_millis(10),
+            },
+            StateTimes {
+                useful: Duration::from_millis(60),
+                runtime: Duration::from_millis(20),
+                idle: Duration::from_millis(20),
+            },
+        ];
+        let b = StateBreakdown::from_workers(&workers);
+        let sum = b.useful_fraction + b.runtime_fraction + b.idle_fraction;
+        assert!((sum - 1.0).abs() < 1e-12);
+        assert!(b.useful_fraction > 0.6);
+    }
+
+    #[test]
+    fn empty_worker_list_gives_zero_breakdown() {
+        let b = StateBreakdown::from_workers(&[]);
+        assert_eq!(b, StateBreakdown::default());
+    }
+
+    #[test]
+    fn increase_over_baseline() {
+        let baseline = StateBreakdown {
+            useful_fraction: 0.8,
+            runtime_fraction: 0.1,
+            idle_fraction: 0.1,
+        };
+        let with_recovery = StateBreakdown {
+            useful_fraction: 0.82,
+            runtime_fraction: 0.11,
+            idle_fraction: 0.125,
+        };
+        let (imbalance, runtime, useful) = with_recovery.increase_over(&baseline);
+        assert!((imbalance - 25.0).abs() < 1e-9);
+        assert!((runtime - 10.0).abs() < 1e-9);
+        assert!((useful - 2.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn increase_from_zero_baseline_is_capped() {
+        let baseline = StateBreakdown::default();
+        let other = StateBreakdown {
+            useful_fraction: 0.5,
+            runtime_fraction: 0.0,
+            idle_fraction: 0.5,
+        };
+        let (imbalance, runtime, useful) = other.increase_over(&baseline);
+        assert_eq!(runtime, 0.0);
+        assert_eq!(imbalance, 100.0);
+        assert_eq!(useful, 100.0);
+    }
+}

@@ -1,0 +1,74 @@
+//! Task metadata: priorities and kinds.
+
+/// Scheduling priority of a task. Higher values are scheduled first among the
+/// ready tasks.
+///
+/// The paper's AFEIR scheme relies on exactly this mechanism: recovery tasks
+/// are released together with the reduction tasks but carry a *lower*
+/// priority, "as to start all reduction tasks first" (Section 3.3.2), so the
+/// recovery is overlapped with the reduction instead of delaying it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Priority(pub i32);
+
+impl Priority {
+    /// Priority used by scalar reduction tasks (highest).
+    pub const REDUCTION: Priority = Priority(100);
+    /// Default priority of strip-mined compute tasks.
+    pub const COMPUTE: Priority = Priority(0);
+    /// Priority of overlapped (AFEIR) recovery tasks: below compute and
+    /// reductions so they fill idle cycles.
+    pub const RECOVERY_LOW: Priority = Priority(-10);
+    /// Priority of critical-path (FEIR) recovery tasks.
+    pub const RECOVERY_CRITICAL: Priority = Priority(50);
+}
+
+impl Default for Priority {
+    fn default() -> Self {
+        Priority::COMPUTE
+    }
+}
+
+/// Broad classification of tasks, used for reporting and for the state-time
+/// accounting (recovery-task time is runtime overhead from the solver's point
+/// of view).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TaskKind {
+    /// Strip-mined solver computation (SpMV block, axpy block, …).
+    Compute,
+    /// Scalar reduction producing a value every other task depends on.
+    Reduction,
+    /// Recovery task (FEIR / AFEIR green tasks in Figure 1(b)).
+    Recovery,
+    /// Communication (halo exchange, allreduce) in distributed runs.
+    Communication,
+    /// Anything else (checkpoint writing, bookkeeping).
+    Other,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn priority_ordering_matches_paper_scheme() {
+        assert!(Priority::REDUCTION > Priority::RECOVERY_CRITICAL);
+        assert!(Priority::RECOVERY_CRITICAL > Priority::COMPUTE);
+        assert!(Priority::COMPUTE > Priority::RECOVERY_LOW);
+        assert_eq!(Priority::default(), Priority::COMPUTE);
+    }
+
+    #[test]
+    fn task_kind_is_hashable_and_comparable() {
+        use std::collections::HashSet;
+        let kinds: HashSet<TaskKind> = [
+            TaskKind::Compute,
+            TaskKind::Reduction,
+            TaskKind::Recovery,
+            TaskKind::Communication,
+            TaskKind::Other,
+        ]
+        .into_iter()
+        .collect();
+        assert_eq!(kinds.len(), 5);
+    }
+}

@@ -1,0 +1,218 @@
+//! Conjugate Gradient (Listing 1 of the paper).
+
+use std::time::Instant;
+
+use feir_sparse::{vecops, CsrMatrix};
+
+use crate::history::{ConvergenceHistory, SolveOptions, SolveResult, StopReason};
+
+/// Solves `A x = b` with the Conjugate Gradient method for SPD `A`.
+///
+/// This is the textbook formulation of Listing 1 in the paper:
+///
+/// ```text
+/// g ⇐ b − A·x
+/// loop: ε ⇐ ‖g‖² ; β ⇐ ε/ε_old ; d ⇐ β·d + g ; q ⇐ A·d ;
+///       α ⇐ ε / ⟨q,d⟩ ; x ⇐ x + α·d ; g ⇐ g − α·q
+/// ```
+///
+/// `x0` provides the initial guess (zeros when `None`).
+pub fn cg(a: &CsrMatrix, b: &[f64], x0: Option<&[f64]>, options: &SolveOptions) -> SolveResult {
+    assert_eq!(a.rows(), a.cols(), "CG requires a square matrix");
+    assert_eq!(a.rows(), b.len(), "rhs length mismatch");
+    let n = a.rows();
+    let start = Instant::now();
+
+    let mut x = match x0 {
+        Some(x0) => {
+            assert_eq!(x0.len(), n, "initial guess length mismatch");
+            x0.to_vec()
+        }
+        None => vec![0.0; n],
+    };
+
+    let norm_b = vecops::norm2(b);
+    if norm_b == 0.0 {
+        // The solution of A x = 0 is x = 0 for SPD A.
+        return SolveResult {
+            x: vec![0.0; n],
+            iterations: 0,
+            relative_residual: 0.0,
+            stop_reason: StopReason::Converged,
+            elapsed: start.elapsed(),
+            history: ConvergenceHistory::default(),
+        };
+    }
+
+    let spmv = |m: &CsrMatrix, v: &[f64], out: &mut [f64]| {
+        if options.parallel {
+            m.spmv_parallel(v, out);
+        } else {
+            m.spmv(v, out);
+        }
+    };
+
+    // g = b - A x
+    let mut g = vec![0.0; n];
+    spmv(a, &x, &mut g);
+    for (gi, bi) in g.iter_mut().zip(b) {
+        *gi = bi - *gi;
+    }
+    let mut d = vec![0.0; n];
+    let mut q = vec![0.0; n];
+
+    let mut history = ConvergenceHistory::default();
+    let mut epsilon_old = f64::INFINITY;
+    let mut stop_reason = StopReason::MaxIterations;
+    let mut iterations = 0usize;
+
+    for t in 0..options.max_iterations {
+        let epsilon = vecops::norm2_squared(&g);
+        let rel = epsilon.sqrt() / norm_b;
+        if options.record_history {
+            history.push(t, rel, start.elapsed());
+        }
+        if rel <= options.tolerance {
+            stop_reason = StopReason::Converged;
+            iterations = t;
+            break;
+        }
+        let beta = if epsilon_old.is_finite() {
+            epsilon / epsilon_old
+        } else {
+            0.0
+        };
+        // d ⇐ β·d + g
+        vecops::xpay(&g, beta, &mut d);
+        // q ⇐ A·d
+        spmv(a, &d, &mut q);
+        let dq = vecops::dot(&q, &d);
+        if dq == 0.0 || !dq.is_finite() {
+            stop_reason = StopReason::Breakdown;
+            iterations = t;
+            break;
+        }
+        let alpha = epsilon / dq;
+        // x ⇐ x + α·d ; g ⇐ g − α·q
+        vecops::axpy(alpha, &d, &mut x);
+        vecops::axpy(-alpha, &q, &mut g);
+        epsilon_old = epsilon;
+        iterations = t + 1;
+    }
+
+    // Recompute the true residual explicitly for the report.
+    let mut r = vec![0.0; n];
+    spmv(a, &x, &mut r);
+    for (ri, bi) in r.iter_mut().zip(b) {
+        *ri = bi - *ri;
+    }
+    let relative_residual = vecops::norm2(&r) / norm_b;
+    if stop_reason == StopReason::MaxIterations && relative_residual <= options.tolerance {
+        stop_reason = StopReason::Converged;
+    }
+
+    SolveResult {
+        x,
+        iterations,
+        relative_residual,
+        stop_reason,
+        elapsed: start.elapsed(),
+        history,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use feir_sparse::generators::{manufactured_rhs, poisson_2d, random_spd};
+
+    #[test]
+    fn solves_small_poisson_system() {
+        let a = poisson_2d(10);
+        let (x_true, b) = manufactured_rhs(&a, 7);
+        let result = cg(&a, &b, None, &SolveOptions::default());
+        assert!(result.converged(), "stop reason {:?}", result.stop_reason);
+        assert!(result.relative_residual <= 1e-10);
+        let err: f64 = result
+            .x
+            .iter()
+            .zip(&x_true)
+            .map(|(a, b)| (a - b) * (a - b))
+            .sum::<f64>()
+            .sqrt();
+        assert!(err < 1e-6, "solution error {err}");
+    }
+
+    #[test]
+    fn zero_rhs_returns_zero_solution() {
+        let a = poisson_2d(5);
+        let b = vec![0.0; a.rows()];
+        let result = cg(&a, &b, None, &SolveOptions::default());
+        assert!(result.converged());
+        assert_eq!(result.iterations, 0);
+        assert!(result.x.iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn warm_start_converges_faster() {
+        let a = poisson_2d(16);
+        let (x_true, b) = manufactured_rhs(&a, 3);
+        let cold = cg(&a, &b, None, &SolveOptions::default());
+        // Start from a slightly perturbed exact solution.
+        let warm_guess: Vec<f64> = x_true.iter().map(|v| v * (1.0 + 1e-6)).collect();
+        let warm = cg(&a, &b, Some(&warm_guess), &SolveOptions::default());
+        assert!(warm.converged());
+        assert!(warm.iterations < cold.iterations);
+    }
+
+    #[test]
+    fn parallel_kernels_match_serial() {
+        let a = poisson_2d(20);
+        let (_, b) = manufactured_rhs(&a, 11);
+        let serial = cg(&a, &b, None, &SolveOptions::default());
+        let parallel = cg(&a, &b, None, &SolveOptions::default().with_parallel(true));
+        assert!(serial.converged() && parallel.converged());
+        // Same iteration count; values agree to tight tolerance.
+        assert_eq!(serial.iterations, parallel.iterations);
+        for (s, p) in serial.x.iter().zip(&parallel.x) {
+            assert!((s - p).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn iteration_cap_is_respected() {
+        let a = poisson_2d(24);
+        let (_, b) = manufactured_rhs(&a, 1);
+        let result = cg(
+            &a,
+            &b,
+            None,
+            &SolveOptions::default().with_max_iterations(3),
+        );
+        assert_eq!(result.iterations, 3);
+        assert_eq!(result.stop_reason, StopReason::MaxIterations);
+    }
+
+    #[test]
+    fn history_tracks_residual_decrease() {
+        let a = random_spd(200, 4, 9);
+        let (_, b) = manufactured_rhs(&a, 2);
+        let result = cg(&a, &b, None, &SolveOptions::default());
+        assert!(result.converged());
+        assert!(result.history.len() >= 2);
+        let first = result.history.samples.first().unwrap().1;
+        let last = result.history.final_residual().unwrap();
+        assert!(last < first * 1e-6);
+    }
+
+    #[test]
+    fn converges_in_at_most_n_iterations_in_exact_arithmetic_sense() {
+        // CG's finite termination property (up to round-off): for a small
+        // well-conditioned matrix the iteration count stays below n.
+        let a = random_spd(80, 3, 21);
+        let (_, b) = manufactured_rhs(&a, 4);
+        let result = cg(&a, &b, None, &SolveOptions::default());
+        assert!(result.converged());
+        assert!(result.iterations <= 80);
+    }
+}

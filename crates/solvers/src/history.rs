@@ -1,0 +1,164 @@
+//! Solver options, convergence histories and results.
+
+use std::time::Duration;
+
+use serde::{Deserialize, Serialize};
+
+/// Options shared by all solvers.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SolveOptions {
+    /// Relative residual tolerance: the solver stops when
+    /// `‖b − A·x‖₂ / ‖b‖₂ ≤ tolerance`. The paper uses `1e-10`.
+    pub tolerance: f64,
+    /// Hard iteration cap.
+    pub max_iterations: usize,
+    /// Record the residual norm of every iteration (needed for the Figure-3
+    /// convergence traces; costs one `Vec` push per iteration).
+    pub record_history: bool,
+    /// Use the rayon-parallel SpMV / dot kernels.
+    pub parallel: bool,
+}
+
+impl Default for SolveOptions {
+    fn default() -> Self {
+        Self {
+            tolerance: 1e-10,
+            max_iterations: 20_000,
+            record_history: true,
+            parallel: false,
+        }
+    }
+}
+
+impl SolveOptions {
+    /// Paper defaults: tolerance 1e-10.
+    pub fn paper_defaults() -> Self {
+        Self::default()
+    }
+
+    /// Builder-style setter for the tolerance.
+    pub fn with_tolerance(mut self, tol: f64) -> Self {
+        self.tolerance = tol;
+        self
+    }
+
+    /// Builder-style setter for the iteration cap.
+    pub fn with_max_iterations(mut self, max: usize) -> Self {
+        self.max_iterations = max;
+        self
+    }
+
+    /// Builder-style setter for parallel kernels.
+    pub fn with_parallel(mut self, parallel: bool) -> Self {
+        self.parallel = parallel;
+        self
+    }
+}
+
+/// Why the solver stopped.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum StopReason {
+    /// The relative residual dropped below the tolerance.
+    Converged,
+    /// The iteration cap was reached first.
+    MaxIterations,
+    /// A breakdown occurred (zero denominator in a recurrence).
+    Breakdown,
+}
+
+/// Residual norm per iteration, with timestamps.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct ConvergenceHistory {
+    /// `(iteration, relative residual norm, elapsed time)` samples.
+    pub samples: Vec<(usize, f64, Duration)>,
+}
+
+impl ConvergenceHistory {
+    /// Records one sample.
+    pub fn push(&mut self, iteration: usize, relative_residual: f64, elapsed: Duration) {
+        self.samples.push((iteration, relative_residual, elapsed));
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// True if no samples were recorded.
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// Final recorded relative residual, if any.
+    pub fn final_residual(&self) -> Option<f64> {
+        self.samples.last().map(|(_, r, _)| *r)
+    }
+
+    /// True if the recorded residuals are non-increasing within a factor
+    /// `slack` (CG in exact arithmetic is monotone in the A-norm, not the
+    /// 2-norm, so some slack is expected).
+    pub fn is_roughly_monotone(&self, slack: f64) -> bool {
+        self.samples
+            .windows(2)
+            .all(|w| w[1].1 <= w[0].1 * slack)
+    }
+}
+
+/// Outcome of a solve.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SolveResult {
+    /// The computed solution.
+    pub x: Vec<f64>,
+    /// Iterations performed.
+    pub iterations: usize,
+    /// Final relative residual `‖b − A·x‖ / ‖b‖` (recomputed explicitly).
+    pub relative_residual: f64,
+    /// Why the solver stopped.
+    pub stop_reason: StopReason,
+    /// Wall time of the solve.
+    pub elapsed: Duration,
+    /// Per-iteration history (empty unless requested).
+    pub history: ConvergenceHistory,
+}
+
+impl SolveResult {
+    /// True if the solver reported convergence.
+    pub fn converged(&self) -> bool {
+        self.stop_reason == StopReason::Converged
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_options_match_paper() {
+        let opts = SolveOptions::paper_defaults();
+        assert_eq!(opts.tolerance, 1e-10);
+        assert!(opts.record_history);
+    }
+
+    #[test]
+    fn builder_setters() {
+        let opts = SolveOptions::default()
+            .with_tolerance(1e-6)
+            .with_max_iterations(10)
+            .with_parallel(true);
+        assert_eq!(opts.tolerance, 1e-6);
+        assert_eq!(opts.max_iterations, 10);
+        assert!(opts.parallel);
+    }
+
+    #[test]
+    fn history_monotonicity_check() {
+        let mut h = ConvergenceHistory::default();
+        h.push(0, 1.0, Duration::ZERO);
+        h.push(1, 0.5, Duration::from_millis(1));
+        h.push(2, 0.55, Duration::from_millis(2));
+        assert_eq!(h.len(), 3);
+        assert_eq!(h.final_residual(), Some(0.55));
+        assert!(h.is_roughly_monotone(1.2));
+        assert!(!h.is_roughly_monotone(1.0));
+    }
+}

@@ -1,0 +1,186 @@
+//! Coordinate-format (triplet) matrix builder.
+//!
+//! The COO format is the natural intermediate when assembling matrices from
+//! stencils or when parsing MatrixMarket files; it is converted to
+//! [`CsrMatrix`](crate::CsrMatrix) before use in solvers.
+
+use crate::{CsrMatrix, SparseError};
+
+/// A sparse matrix in coordinate (triplet) format.
+///
+/// Duplicate entries are allowed and are summed when converting to CSR, which
+/// matches the usual finite-element assembly semantics.
+#[derive(Debug, Clone, Default)]
+pub struct CooMatrix {
+    rows: usize,
+    cols: usize,
+    entries: Vec<(usize, usize, f64)>,
+}
+
+impl CooMatrix {
+    /// Creates an empty matrix with the given shape.
+    pub fn new(rows: usize, cols: usize) -> Self {
+        Self {
+            rows,
+            cols,
+            entries: Vec::new(),
+        }
+    }
+
+    /// Creates an empty matrix with the given shape and a capacity hint for
+    /// the expected number of non-zeros.
+    pub fn with_capacity(rows: usize, cols: usize, nnz: usize) -> Self {
+        Self {
+            rows,
+            cols,
+            entries: Vec::with_capacity(nnz),
+        }
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Number of stored entries, duplicates included.
+    pub fn nnz(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Pushes one entry. Entries with value exactly `0.0` are still stored so
+    /// that explicit zeros survive the round-trip through MatrixMarket files.
+    ///
+    /// # Errors
+    /// Returns [`SparseError::IndexOutOfBounds`] if the position lies outside
+    /// the matrix.
+    pub fn push(&mut self, row: usize, col: usize, value: f64) -> Result<(), SparseError> {
+        if row >= self.rows || col >= self.cols {
+            return Err(SparseError::IndexOutOfBounds {
+                row,
+                col,
+                shape: (self.rows, self.cols),
+            });
+        }
+        self.entries.push((row, col, value));
+        Ok(())
+    }
+
+    /// Pushes an entry and, if it is off-diagonal, its transposed twin.
+    /// Convenient when reading symmetric MatrixMarket files, which store only
+    /// the lower triangle.
+    pub fn push_symmetric(&mut self, row: usize, col: usize, value: f64) -> Result<(), SparseError> {
+        self.push(row, col, value)?;
+        if row != col {
+            self.push(col, row, value)?;
+        }
+        Ok(())
+    }
+
+    /// Iterates over stored triplets.
+    pub fn iter(&self) -> impl Iterator<Item = &(usize, usize, f64)> {
+        self.entries.iter()
+    }
+
+    /// Converts into CSR, summing duplicates.
+    pub fn to_csr(&self) -> CsrMatrix {
+        // Count entries per row first (duplicates collapse later).
+        let mut sorted = self.entries.clone();
+        sorted.sort_unstable_by(|a, b| (a.0, a.1).cmp(&(b.0, b.1)));
+
+        let mut row_ptr = Vec::with_capacity(self.rows + 1);
+        let mut col_idx = Vec::with_capacity(sorted.len());
+        let mut values = Vec::with_capacity(sorted.len());
+
+        row_ptr.push(0usize);
+        let mut current_row = 0usize;
+        for (r, c, v) in sorted {
+            while current_row < r {
+                row_ptr.push(col_idx.len());
+                current_row += 1;
+            }
+            if let (Some(&last_c), true) = (col_idx.last(), !values.is_empty()) {
+                if last_c == c && row_ptr.len() - 1 == r && row_ptr[r] < col_idx.len() {
+                    // Same row (row_ptr for r already open) and same column: accumulate.
+                    *values.last_mut().expect("values non-empty") += v;
+                    continue;
+                }
+            }
+            col_idx.push(c);
+            values.push(v);
+        }
+        while current_row < self.rows {
+            row_ptr.push(col_idx.len());
+            current_row += 1;
+        }
+
+        CsrMatrix::from_raw(self.rows, self.cols, row_ptr, col_idx, values)
+            .expect("COO to CSR conversion produced inconsistent structure")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn build_and_convert() {
+        let mut coo = CooMatrix::new(3, 3);
+        coo.push(0, 0, 2.0).unwrap();
+        coo.push(1, 1, 3.0).unwrap();
+        coo.push(2, 2, 4.0).unwrap();
+        coo.push(0, 2, 1.0).unwrap();
+        let csr = coo.to_csr();
+        assert_eq!(csr.rows(), 3);
+        assert_eq!(csr.nnz(), 4);
+        assert_eq!(csr.get(0, 0), 2.0);
+        assert_eq!(csr.get(0, 2), 1.0);
+        assert_eq!(csr.get(2, 2), 4.0);
+        assert_eq!(csr.get(1, 0), 0.0);
+    }
+
+    #[test]
+    fn duplicates_are_summed() {
+        let mut coo = CooMatrix::new(2, 2);
+        coo.push(0, 0, 1.0).unwrap();
+        coo.push(0, 0, 2.5).unwrap();
+        coo.push(1, 1, 1.0).unwrap();
+        let csr = coo.to_csr();
+        assert_eq!(csr.nnz(), 2);
+        assert!((csr.get(0, 0) - 3.5).abs() < 1e-15);
+    }
+
+    #[test]
+    fn out_of_bounds_rejected() {
+        let mut coo = CooMatrix::new(2, 2);
+        assert!(coo.push(2, 0, 1.0).is_err());
+        assert!(coo.push(0, 5, 1.0).is_err());
+    }
+
+    #[test]
+    fn symmetric_push_mirrors_off_diagonal() {
+        let mut coo = CooMatrix::new(3, 3);
+        coo.push_symmetric(1, 0, -1.0).unwrap();
+        coo.push_symmetric(1, 1, 2.0).unwrap();
+        let csr = coo.to_csr();
+        assert_eq!(csr.get(1, 0), -1.0);
+        assert_eq!(csr.get(0, 1), -1.0);
+        assert_eq!(csr.get(1, 1), 2.0);
+        assert_eq!(csr.nnz(), 3);
+    }
+
+    #[test]
+    fn empty_rows_have_consistent_pointers() {
+        let mut coo = CooMatrix::new(4, 4);
+        coo.push(0, 0, 1.0).unwrap();
+        coo.push(3, 3, 1.0).unwrap();
+        let csr = coo.to_csr();
+        assert_eq!(csr.row(1).0.len(), 0);
+        assert_eq!(csr.row(2).0.len(), 0);
+        assert_eq!(csr.nnz(), 2);
+    }
+}

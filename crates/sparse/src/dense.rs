@@ -1,0 +1,572 @@
+//! Dense matrices and the factorizations used to solve recovery block systems.
+//!
+//! The paper's inverse block relations (Table 1) require solving
+//! `A_ii x_i = r_i` where `A_ii` is the diagonal block of the sparse matrix
+//! corresponding to one lost memory page (at most 512×512). When `A` is SPD
+//! the diagonal block is SPD as well and a Cholesky factorization applies;
+//! otherwise LU with partial pivoting or a Householder least-squares solve on
+//! the full block column is used, mirroring Agullo et al.'s approach.
+
+use serde::{Deserialize, Serialize};
+
+use crate::SparseError;
+
+/// A dense, row-major matrix of `f64`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DenseMatrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f64>,
+}
+
+impl DenseMatrix {
+    /// Creates a zero matrix.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Self {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
+    }
+
+    /// Creates an identity matrix.
+    pub fn identity(n: usize) -> Self {
+        let mut m = Self::zeros(n, n);
+        for i in 0..n {
+            m.set(i, i, 1.0);
+        }
+        m
+    }
+
+    /// Creates a matrix from a row-major data slice.
+    ///
+    /// # Panics
+    /// Panics if `data.len() != rows * cols`.
+    pub fn from_row_major(rows: usize, cols: usize, data: Vec<f64>) -> Self {
+        assert_eq!(data.len(), rows * cols, "row-major data has wrong length");
+        Self { rows, cols, data }
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    #[inline]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Element accessor.
+    #[inline]
+    pub fn get(&self, r: usize, c: usize) -> f64 {
+        self.data[r * self.cols + c]
+    }
+
+    /// Element mutator.
+    #[inline]
+    pub fn set(&mut self, r: usize, c: usize, v: f64) {
+        self.data[r * self.cols + c] = v;
+    }
+
+    /// Adds `v` to element `(r, c)`.
+    #[inline]
+    pub fn add_to(&mut self, r: usize, c: usize, v: f64) {
+        self.data[r * self.cols + c] += v;
+    }
+
+    /// Row-major data slice.
+    #[inline]
+    pub fn data(&self) -> &[f64] {
+        &self.data
+    }
+
+    /// Matrix–vector product `y = A x`.
+    pub fn matvec(&self, x: &[f64]) -> Vec<f64> {
+        assert_eq!(x.len(), self.cols);
+        let mut y = vec![0.0; self.rows];
+        for r in 0..self.rows {
+            let row = &self.data[r * self.cols..(r + 1) * self.cols];
+            y[r] = row.iter().zip(x).map(|(a, b)| a * b).sum();
+        }
+        y
+    }
+
+    /// Transposed matrix–vector product `y = Aᵀ x`.
+    pub fn matvec_transpose(&self, x: &[f64]) -> Vec<f64> {
+        assert_eq!(x.len(), self.rows);
+        let mut y = vec![0.0; self.cols];
+        for r in 0..self.rows {
+            let row = &self.data[r * self.cols..(r + 1) * self.cols];
+            for (c, a) in row.iter().enumerate() {
+                y[c] += a * x[r];
+            }
+        }
+        y
+    }
+
+    /// Matrix product `A * B`.
+    pub fn matmul(&self, other: &DenseMatrix) -> DenseMatrix {
+        assert_eq!(self.cols, other.rows, "matmul dimension mismatch");
+        let mut out = DenseMatrix::zeros(self.rows, other.cols);
+        for i in 0..self.rows {
+            for k in 0..self.cols {
+                let aik = self.get(i, k);
+                if aik == 0.0 {
+                    continue;
+                }
+                for j in 0..other.cols {
+                    out.add_to(i, j, aik * other.get(k, j));
+                }
+            }
+        }
+        out
+    }
+
+    /// Returns the transpose.
+    pub fn transpose(&self) -> DenseMatrix {
+        let mut t = DenseMatrix::zeros(self.cols, self.rows);
+        for r in 0..self.rows {
+            for c in 0..self.cols {
+                t.set(c, r, self.get(r, c));
+            }
+        }
+        t
+    }
+
+    /// Frobenius norm.
+    pub fn frobenius_norm(&self) -> f64 {
+        self.data.iter().map(|v| v * v).sum::<f64>().sqrt()
+    }
+
+    /// Checks that the matrix is square and returns its order.
+    fn require_square(&self) -> Result<usize, SparseError> {
+        if self.rows != self.cols {
+            Err(SparseError::NotSquare {
+                rows: self.rows,
+                cols: self.cols,
+            })
+        } else {
+            Ok(self.rows)
+        }
+    }
+
+    /// Computes the Cholesky factorization `A = L Lᵀ`.
+    ///
+    /// # Errors
+    /// Fails with [`SparseError::SingularPivot`] if the matrix is not SPD.
+    pub fn cholesky(&self) -> Result<Cholesky, SparseError> {
+        Cholesky::new(self)
+    }
+
+    /// Computes the LU factorization with partial pivoting.
+    pub fn lu(&self) -> Result<Lu, SparseError> {
+        Lu::new(self)
+    }
+
+    /// Computes the Householder QR factorization.
+    pub fn qr(&self) -> Result<Qr, SparseError> {
+        Qr::new(self)
+    }
+}
+
+/// Cholesky factorization `A = L Lᵀ` of an SPD matrix.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Cholesky {
+    n: usize,
+    /// Lower-triangular factor stored row-major, including the diagonal.
+    l: Vec<f64>,
+}
+
+impl Cholesky {
+    /// Factorizes the given SPD matrix.
+    pub fn new(a: &DenseMatrix) -> Result<Self, SparseError> {
+        let n = a.require_square()?;
+        let mut l = vec![0.0; n * n];
+        for i in 0..n {
+            for j in 0..=i {
+                let mut sum = a.get(i, j);
+                for k in 0..j {
+                    sum -= l[i * n + k] * l[j * n + k];
+                }
+                if i == j {
+                    if sum <= 0.0 || !sum.is_finite() {
+                        return Err(SparseError::SingularPivot { pivot: i });
+                    }
+                    l[i * n + i] = sum.sqrt();
+                } else {
+                    l[i * n + j] = sum / l[j * n + j];
+                }
+            }
+        }
+        Ok(Self { n, l })
+    }
+
+    /// Dimension of the factorized matrix.
+    pub fn dim(&self) -> usize {
+        self.n
+    }
+
+    /// Solves `A x = b` in place.
+    pub fn solve_in_place(&self, b: &mut [f64]) {
+        assert_eq!(b.len(), self.n);
+        let n = self.n;
+        // Forward substitution L y = b.
+        for i in 0..n {
+            let mut sum = b[i];
+            for k in 0..i {
+                sum -= self.l[i * n + k] * b[k];
+            }
+            b[i] = sum / self.l[i * n + i];
+        }
+        // Backward substitution Lᵀ x = y.
+        for i in (0..n).rev() {
+            let mut sum = b[i];
+            for k in (i + 1)..n {
+                sum -= self.l[k * n + i] * b[k];
+            }
+            b[i] = sum / self.l[i * n + i];
+        }
+    }
+
+    /// Solves `A x = b`, returning a fresh vector.
+    pub fn solve(&self, b: &[f64]) -> Vec<f64> {
+        let mut x = b.to_vec();
+        self.solve_in_place(&mut x);
+        x
+    }
+}
+
+/// LU factorization with partial pivoting `P A = L U`.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Lu {
+    n: usize,
+    /// Combined L (unit lower, below diagonal) and U (upper) factors.
+    lu: Vec<f64>,
+    /// Row permutation.
+    perm: Vec<usize>,
+}
+
+impl Lu {
+    /// Factorizes the given square matrix.
+    pub fn new(a: &DenseMatrix) -> Result<Self, SparseError> {
+        let n = a.require_square()?;
+        let mut lu = a.data.clone();
+        let mut perm: Vec<usize> = (0..n).collect();
+        for k in 0..n {
+            // Pivot search.
+            let mut pivot_row = k;
+            let mut pivot_val = lu[k * n + k].abs();
+            for r in (k + 1)..n {
+                let v = lu[r * n + k].abs();
+                if v > pivot_val {
+                    pivot_val = v;
+                    pivot_row = r;
+                }
+            }
+            if pivot_val == 0.0 || !pivot_val.is_finite() {
+                return Err(SparseError::SingularPivot { pivot: k });
+            }
+            if pivot_row != k {
+                for c in 0..n {
+                    lu.swap(k * n + c, pivot_row * n + c);
+                }
+                perm.swap(k, pivot_row);
+            }
+            let pivot = lu[k * n + k];
+            for r in (k + 1)..n {
+                let factor = lu[r * n + k] / pivot;
+                lu[r * n + k] = factor;
+                for c in (k + 1)..n {
+                    lu[r * n + c] -= factor * lu[k * n + c];
+                }
+            }
+        }
+        Ok(Self { n, lu, perm })
+    }
+
+    /// Dimension of the factorized matrix.
+    pub fn dim(&self) -> usize {
+        self.n
+    }
+
+    /// Solves `A x = b`, returning a fresh vector.
+    pub fn solve(&self, b: &[f64]) -> Vec<f64> {
+        assert_eq!(b.len(), self.n);
+        let n = self.n;
+        // Apply permutation.
+        let mut x: Vec<f64> = self.perm.iter().map(|&p| b[p]).collect();
+        // Forward substitution with unit lower-triangular L.
+        for i in 0..n {
+            let mut sum = x[i];
+            for k in 0..i {
+                sum -= self.lu[i * n + k] * x[k];
+            }
+            x[i] = sum;
+        }
+        // Backward substitution with U.
+        for i in (0..n).rev() {
+            let mut sum = x[i];
+            for k in (i + 1)..n {
+                sum -= self.lu[i * n + k] * x[k];
+            }
+            x[i] = sum / self.lu[i * n + i];
+        }
+        x
+    }
+
+    /// Determinant of the factorized matrix (sign includes permutation parity).
+    pub fn determinant(&self) -> f64 {
+        let n = self.n;
+        let mut det: f64 = (0..n).map(|i| self.lu[i * n + i]).product();
+        // Count permutation parity.
+        let mut seen = vec![false; n];
+        let mut swaps = 0usize;
+        for i in 0..n {
+            if seen[i] {
+                continue;
+            }
+            let mut j = i;
+            let mut cycle_len = 0usize;
+            while !seen[j] {
+                seen[j] = true;
+                j = self.perm[j];
+                cycle_len += 1;
+            }
+            swaps += cycle_len - 1;
+        }
+        if swaps % 2 == 1 {
+            det = -det;
+        }
+        det
+    }
+}
+
+/// Householder QR factorization; solves least-squares problems
+/// `min_x ||A x − b||₂` for `A` with at least as many rows as columns.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Qr {
+    rows: usize,
+    cols: usize,
+    /// R factor (upper triangular, cols × cols) packed with Householder
+    /// vectors below the diagonal (rows × cols).
+    qr: Vec<f64>,
+    /// Householder scalar coefficients.
+    tau: Vec<f64>,
+}
+
+impl Qr {
+    /// Factorizes the given matrix (`rows >= cols` required).
+    pub fn new(a: &DenseMatrix) -> Result<Self, SparseError> {
+        let (m, n) = (a.rows, a.cols);
+        if m < n {
+            return Err(SparseError::DimensionMismatch {
+                expected: (n, n),
+                found: (m, n),
+            });
+        }
+        let mut qr = a.data.clone();
+        let mut tau = vec![0.0; n];
+        for k in 0..n {
+            // Compute the norm of the k-th column below the diagonal.
+            let mut norm = 0.0;
+            for i in k..m {
+                norm += qr[i * n + k] * qr[i * n + k];
+            }
+            norm = norm.sqrt();
+            if norm == 0.0 {
+                return Err(SparseError::SingularPivot { pivot: k });
+            }
+            let alpha = if qr[k * n + k] > 0.0 { -norm } else { norm };
+            // Householder vector v = x - alpha e1, normalized so v[k] = 1.
+            let vkk = qr[k * n + k] - alpha;
+            for i in (k + 1)..m {
+                qr[i * n + k] /= vkk;
+            }
+            tau[k] = -vkk / alpha;
+            qr[k * n + k] = alpha;
+            // Apply the reflector to the trailing columns.
+            for j in (k + 1)..n {
+                let mut dot = qr[k * n + j];
+                for i in (k + 1)..m {
+                    dot += qr[i * n + k] * qr[i * n + j];
+                }
+                dot *= tau[k];
+                qr[k * n + j] -= dot;
+                for i in (k + 1)..m {
+                    qr[i * n + j] -= dot * qr[i * n + k];
+                }
+            }
+        }
+        Ok(Self {
+            rows: m,
+            cols: n,
+            qr,
+            tau,
+        })
+    }
+
+    /// Solves the least-squares problem `min_x ||A x − b||₂`.
+    pub fn solve_least_squares(&self, b: &[f64]) -> Vec<f64> {
+        assert_eq!(b.len(), self.rows);
+        let (m, n) = (self.rows, self.cols);
+        let mut y = b.to_vec();
+        // Apply Qᵀ to b.
+        for k in 0..n {
+            let mut dot = y[k];
+            for i in (k + 1)..m {
+                dot += self.qr[i * n + k] * y[i];
+            }
+            dot *= self.tau[k];
+            y[k] -= dot;
+            for i in (k + 1)..m {
+                y[i] -= dot * self.qr[i * n + k];
+            }
+        }
+        // Backward substitution with R.
+        let mut x = vec![0.0; n];
+        for i in (0..n).rev() {
+            let mut sum = y[i];
+            for k in (i + 1)..n {
+                sum -= self.qr[i * n + k] * x[k];
+            }
+            x[i] = sum / self.qr[i * n + i];
+        }
+        x
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spd3() -> DenseMatrix {
+        DenseMatrix::from_row_major(
+            3,
+            3,
+            vec![4.0, 1.0, 0.5, 1.0, 5.0, 1.5, 0.5, 1.5, 6.0],
+        )
+    }
+
+    #[test]
+    fn matvec_and_transpose() {
+        let a = DenseMatrix::from_row_major(2, 3, vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        assert_eq!(a.matvec(&[1.0, 1.0, 1.0]), vec![6.0, 15.0]);
+        assert_eq!(a.matvec_transpose(&[1.0, 1.0]), vec![5.0, 7.0, 9.0]);
+        let t = a.transpose();
+        assert_eq!(t.rows(), 3);
+        assert_eq!(t.get(2, 1), 6.0);
+    }
+
+    #[test]
+    fn matmul_against_identity() {
+        let a = spd3();
+        let i = DenseMatrix::identity(3);
+        assert_eq!(a.matmul(&i), a);
+        assert_eq!(i.matmul(&a), a);
+    }
+
+    #[test]
+    fn cholesky_solves_spd_system() {
+        let a = spd3();
+        let chol = a.cholesky().expect("SPD matrix must factorize");
+        let x_true = vec![1.0, -2.0, 3.0];
+        let b = a.matvec(&x_true);
+        let x = chol.solve(&b);
+        for (xi, ti) in x.iter().zip(&x_true) {
+            assert!((xi - ti).abs() < 1e-12, "{xi} vs {ti}");
+        }
+    }
+
+    #[test]
+    fn cholesky_rejects_indefinite_matrix() {
+        let a = DenseMatrix::from_row_major(2, 2, vec![1.0, 2.0, 2.0, 1.0]);
+        assert!(matches!(
+            a.cholesky(),
+            Err(SparseError::SingularPivot { .. })
+        ));
+    }
+
+    #[test]
+    fn lu_solves_general_system() {
+        let a = DenseMatrix::from_row_major(3, 3, vec![0.0, 2.0, 1.0, 1.0, -1.0, 0.0, 3.0, 0.0, -2.0]);
+        let lu = a.lu().expect("non-singular matrix must factorize");
+        let x_true = vec![2.0, 0.5, -1.5];
+        let b = a.matvec(&x_true);
+        let x = lu.solve(&b);
+        for (xi, ti) in x.iter().zip(&x_true) {
+            assert!((xi - ti).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn lu_determinant() {
+        let a = DenseMatrix::from_row_major(2, 2, vec![3.0, 1.0, 4.0, 2.0]);
+        let lu = a.lu().unwrap();
+        assert!((lu.determinant() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn lu_rejects_singular_matrix() {
+        let a = DenseMatrix::from_row_major(2, 2, vec![1.0, 2.0, 2.0, 4.0]);
+        assert!(a.lu().is_err());
+    }
+
+    #[test]
+    fn qr_solves_square_system() {
+        let a = spd3();
+        let qr = a.qr().unwrap();
+        let x_true = vec![0.5, 1.5, -0.25];
+        let b = a.matvec(&x_true);
+        let x = qr.solve_least_squares(&b);
+        for (xi, ti) in x.iter().zip(&x_true) {
+            assert!((xi - ti).abs() < 1e-11);
+        }
+    }
+
+    #[test]
+    fn qr_solves_overdetermined_least_squares() {
+        // Fit y = 2x + 1 exactly through 4 points: the residual should be ~0
+        // and the solution should recover the coefficients.
+        let a = DenseMatrix::from_row_major(4, 2, vec![0.0, 1.0, 1.0, 1.0, 2.0, 1.0, 3.0, 1.0]);
+        let b = vec![1.0, 3.0, 5.0, 7.0];
+        let qr = a.qr().unwrap();
+        let x = qr.solve_least_squares(&b);
+        assert!((x[0] - 2.0).abs() < 1e-12);
+        assert!((x[1] - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn qr_least_squares_minimizes_residual() {
+        // Inconsistent system: check the normal equations Aᵀ(Ax - b) = 0.
+        let a = DenseMatrix::from_row_major(3, 2, vec![1.0, 0.0, 0.0, 1.0, 1.0, 1.0]);
+        let b = vec![1.0, 2.0, 0.0];
+        let qr = a.qr().unwrap();
+        let x = qr.solve_least_squares(&b);
+        let ax = a.matvec(&x);
+        let residual: Vec<f64> = ax.iter().zip(&b).map(|(p, q)| p - q).collect();
+        let grad = a.matvec_transpose(&residual);
+        for g in grad {
+            assert!(g.abs() < 1e-12, "normal equation residual {g}");
+        }
+    }
+
+    #[test]
+    fn qr_rejects_wide_matrix() {
+        let a = DenseMatrix::zeros(2, 3);
+        assert!(a.qr().is_err());
+    }
+
+    #[test]
+    fn cholesky_solve_in_place_matches_solve() {
+        let a = spd3();
+        let chol = a.cholesky().unwrap();
+        let b = vec![1.0, 2.0, 3.0];
+        let x1 = chol.solve(&b);
+        let mut x2 = b.clone();
+        chol.solve_in_place(&mut x2);
+        assert_eq!(x1, x2);
+    }
+}

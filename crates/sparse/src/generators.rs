@@ -1,0 +1,318 @@
+//! Matrix generators: Poisson stencils, anisotropic and jump-coefficient
+//! diffusion problems, and random diagonally-dominant SPD matrices.
+//!
+//! The paper evaluates on nine University-of-Florida SPD matrices and, for the
+//! scaling study, on the 27-point stencil discretization of the 3-D Poisson
+//! equation used by HPCG. These generators produce matrices with the same
+//! structure so every experiment can run without external data.
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+use crate::{CooMatrix, CsrMatrix};
+
+/// 2-D 5-point Laplacian on an `n × n` grid (Dirichlet boundary), size `n²`.
+pub fn poisson_2d(n: usize) -> CsrMatrix {
+    let size = n * n;
+    let mut coo = CooMatrix::with_capacity(size, size, 5 * size);
+    let idx = |i: usize, j: usize| i * n + j;
+    for i in 0..n {
+        for j in 0..n {
+            let row = idx(i, j);
+            coo.push(row, row, 4.0).expect("in bounds");
+            if i > 0 {
+                coo.push(row, idx(i - 1, j), -1.0).expect("in bounds");
+            }
+            if i + 1 < n {
+                coo.push(row, idx(i + 1, j), -1.0).expect("in bounds");
+            }
+            if j > 0 {
+                coo.push(row, idx(i, j - 1), -1.0).expect("in bounds");
+            }
+            if j + 1 < n {
+                coo.push(row, idx(i, j + 1), -1.0).expect("in bounds");
+            }
+        }
+    }
+    coo.to_csr()
+}
+
+/// 3-D 7-point Laplacian on an `n × n × n` grid (Dirichlet boundary), size `n³`.
+pub fn poisson_3d_7pt(n: usize) -> CsrMatrix {
+    let size = n * n * n;
+    let mut coo = CooMatrix::with_capacity(size, size, 7 * size);
+    let idx = |i: usize, j: usize, k: usize| (i * n + j) * n + k;
+    for i in 0..n {
+        for j in 0..n {
+            for k in 0..n {
+                let row = idx(i, j, k);
+                coo.push(row, row, 6.0).expect("in bounds");
+                if i > 0 {
+                    coo.push(row, idx(i - 1, j, k), -1.0).expect("in bounds");
+                }
+                if i + 1 < n {
+                    coo.push(row, idx(i + 1, j, k), -1.0).expect("in bounds");
+                }
+                if j > 0 {
+                    coo.push(row, idx(i, j - 1, k), -1.0).expect("in bounds");
+                }
+                if j + 1 < n {
+                    coo.push(row, idx(i, j + 1, k), -1.0).expect("in bounds");
+                }
+                if k > 0 {
+                    coo.push(row, idx(i, j, k - 1), -1.0).expect("in bounds");
+                }
+                if k + 1 < n {
+                    coo.push(row, idx(i, j, k + 1), -1.0).expect("in bounds");
+                }
+            }
+        }
+    }
+    coo.to_csr()
+}
+
+/// 3-D 27-point stencil on an `n × n × n` grid — the HPCG-style discretization
+/// used for the paper's scaling experiment (Figure 5).
+///
+/// The stencil has value 26 on the diagonal and −1 for each of the (up to) 26
+/// neighbours, which is the standard HPCG operator.
+pub fn poisson_3d_27pt(n: usize) -> CsrMatrix {
+    let size = n * n * n;
+    let mut coo = CooMatrix::with_capacity(size, size, 27 * size);
+    let idx = |i: usize, j: usize, k: usize| (i * n + j) * n + k;
+    for i in 0..n {
+        for j in 0..n {
+            for k in 0..n {
+                let row = idx(i, j, k);
+                for di in -1i64..=1 {
+                    for dj in -1i64..=1 {
+                        for dk in -1i64..=1 {
+                            let (ni, nj, nk) =
+                                (i as i64 + di, j as i64 + dj, k as i64 + dk);
+                            if ni < 0
+                                || nj < 0
+                                || nk < 0
+                                || ni >= n as i64
+                                || nj >= n as i64
+                                || nk >= n as i64
+                            {
+                                continue;
+                            }
+                            let col = idx(ni as usize, nj as usize, nk as usize);
+                            let value = if col == row { 26.0 } else { -1.0 };
+                            coo.push(row, col, value).expect("in bounds");
+                        }
+                    }
+                }
+            }
+        }
+    }
+    coo.to_csr()
+}
+
+/// Anisotropic 2-D diffusion operator: the `x`-direction coupling is scaled by
+/// `epsilon` (0 < ε ≤ 1). Small ε slows CG convergence, which is how the
+/// proxy matrices reproduce the wide range of iteration counts of the paper's
+/// test set.
+pub fn anisotropic_2d(n: usize, epsilon: f64) -> CsrMatrix {
+    assert!(epsilon > 0.0, "epsilon must be positive");
+    let size = n * n;
+    let mut coo = CooMatrix::with_capacity(size, size, 5 * size);
+    let idx = |i: usize, j: usize| i * n + j;
+    for i in 0..n {
+        for j in 0..n {
+            let row = idx(i, j);
+            coo.push(row, row, 2.0 + 2.0 * epsilon).expect("in bounds");
+            if i > 0 {
+                coo.push(row, idx(i - 1, j), -1.0).expect("in bounds");
+            }
+            if i + 1 < n {
+                coo.push(row, idx(i + 1, j), -1.0).expect("in bounds");
+            }
+            if j > 0 {
+                coo.push(row, idx(i, j - 1), -epsilon).expect("in bounds");
+            }
+            if j + 1 < n {
+                coo.push(row, idx(i, j + 1), -epsilon).expect("in bounds");
+            }
+        }
+    }
+    coo.to_csr()
+}
+
+/// 2-D diffusion with a jump in the coefficient: the right half of the domain
+/// has conductivity `jump` times the left half. Mimics the heterogeneous
+/// material problems (thermal / thermomechanical families) in the paper's
+/// matrix set.
+pub fn jump_coefficient_2d(n: usize, jump: f64) -> CsrMatrix {
+    assert!(jump > 0.0, "jump must be positive");
+    let size = n * n;
+    let mut coo = CooMatrix::with_capacity(size, size, 5 * size);
+    let idx = |i: usize, j: usize| i * n + j;
+    let coeff = |_i: usize, j: usize| if j >= n / 2 { jump } else { 1.0 };
+    for i in 0..n {
+        for j in 0..n {
+            let row = idx(i, j);
+            let c = coeff(i, j);
+            let mut diag = 0.0;
+            let push_neighbor = |coo: &mut CooMatrix, col: usize, w: f64| {
+                coo.push(row, col, -w).expect("in bounds");
+            };
+            if i > 0 {
+                let w = 0.5 * (c + coeff(i - 1, j));
+                push_neighbor(&mut coo, idx(i - 1, j), w);
+                diag += w;
+            }
+            if i + 1 < n {
+                let w = 0.5 * (c + coeff(i + 1, j));
+                push_neighbor(&mut coo, idx(i + 1, j), w);
+                diag += w;
+            }
+            if j > 0 {
+                let w = 0.5 * (c + coeff(i, j - 1));
+                push_neighbor(&mut coo, idx(i, j - 1), w);
+                diag += w;
+            }
+            if j + 1 < n {
+                let w = 0.5 * (c + coeff(i, j + 1));
+                push_neighbor(&mut coo, idx(i, j + 1), w);
+                diag += w;
+            }
+            // Add a boundary contribution so the matrix is non-singular.
+            coo.push(row, row, diag + 0.5 * c).expect("in bounds");
+        }
+    }
+    coo.to_csr()
+}
+
+/// Random sparse diagonally-dominant SPD matrix with roughly `nnz_per_row`
+/// off-diagonal entries per row.
+///
+/// Built as `A = B + Bᵀ + α·I` where `B` is random sparse and `α` enforces
+/// strict diagonal dominance, so the result is symmetric positive definite.
+pub fn random_spd(n: usize, nnz_per_row: usize, seed: u64) -> CsrMatrix {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut coo = CooMatrix::with_capacity(n, n, n * (nnz_per_row + 1) * 2);
+    let mut row_sums = vec![0.0f64; n];
+    for i in 0..n {
+        for _ in 0..nnz_per_row {
+            let j = rng.random_range(0..n);
+            if j == i {
+                continue;
+            }
+            let v: f64 = rng.random_range(-1.0..0.0);
+            coo.push(i, j, v).expect("in bounds");
+            coo.push(j, i, v).expect("in bounds");
+            row_sums[i] += v.abs();
+            row_sums[j] += v.abs();
+        }
+    }
+    for i in 0..n {
+        // Strictly dominant diagonal keeps the matrix SPD.
+        coo.push(i, i, row_sums[i] + 1.0 + rng.random_range(0.0..1.0))
+            .expect("in bounds");
+    }
+    coo.to_csr()
+}
+
+/// Builds a right-hand side `b = A·x_true` for a given "true" solution shape,
+/// plus returns `x_true`. Useful for manufactured-solution tests.
+pub fn manufactured_rhs(a: &CsrMatrix, seed: u64) -> (Vec<f64>, Vec<f64>) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let x_true: Vec<f64> = (0..a.cols()).map(|_| rng.random_range(-1.0..1.0)).collect();
+    let mut b = vec![0.0; a.rows()];
+    a.spmv(&x_true, &mut b);
+    (x_true, b)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn poisson_2d_structure() {
+        let a = poisson_2d(4);
+        assert_eq!(a.rows(), 16);
+        assert!(a.is_symmetric(0.0));
+        assert_eq!(a.get(0, 0), 4.0);
+        assert_eq!(a.get(0, 1), -1.0);
+        assert_eq!(a.get(0, 4), -1.0);
+        assert_eq!(a.get(0, 5), 0.0);
+        // Interior row has 5 entries.
+        let (cols, _) = a.row(5);
+        assert_eq!(cols.len(), 5);
+    }
+
+    #[test]
+    fn poisson_3d_7pt_structure() {
+        let a = poisson_3d_7pt(3);
+        assert_eq!(a.rows(), 27);
+        assert!(a.is_symmetric(0.0));
+        // Center point has all 6 neighbours.
+        let center = (1 * 3 + 1) * 3 + 1;
+        let (cols, _) = a.row(center);
+        assert_eq!(cols.len(), 7);
+        assert_eq!(a.get(center, center), 6.0);
+    }
+
+    #[test]
+    fn poisson_3d_27pt_structure() {
+        let a = poisson_3d_27pt(3);
+        assert_eq!(a.rows(), 27);
+        assert!(a.is_symmetric(0.0));
+        let center = (1 * 3 + 1) * 3 + 1;
+        let (cols, vals) = a.row(center);
+        assert_eq!(cols.len(), 27);
+        assert_eq!(a.get(center, center), 26.0);
+        let row_sum: f64 = vals.iter().sum();
+        assert!(row_sum.abs() < 1e-12, "row sum of interior 27pt row is 0");
+    }
+
+    #[test]
+    fn poisson_27pt_is_positive_definite_on_small_grid() {
+        let a = poisson_3d_27pt(3);
+        let dense = a.to_dense();
+        assert!(dense.cholesky().is_ok());
+    }
+
+    #[test]
+    fn anisotropic_is_spd() {
+        let a = anisotropic_2d(8, 0.01);
+        assert!(a.is_symmetric(1e-14));
+        assert!(a.to_dense().cholesky().is_ok());
+    }
+
+    #[test]
+    fn jump_coefficient_is_spd() {
+        let a = jump_coefficient_2d(8, 1000.0);
+        assert!(a.is_symmetric(1e-10));
+        assert!(a.to_dense().cholesky().is_ok());
+    }
+
+    #[test]
+    fn random_spd_is_spd() {
+        let a = random_spd(60, 4, 42);
+        assert!(a.is_symmetric(1e-12));
+        assert!(a.to_dense().cholesky().is_ok());
+    }
+
+    #[test]
+    fn random_spd_is_deterministic_per_seed() {
+        let a = random_spd(40, 3, 7);
+        let b = random_spd(40, 3, 7);
+        assert_eq!(a, b);
+        let c = random_spd(40, 3, 8);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn manufactured_rhs_is_consistent() {
+        let a = poisson_2d(6);
+        let (x_true, b) = manufactured_rhs(&a, 1);
+        let mut ax = vec![0.0; a.rows()];
+        a.spmv(&x_true, &mut ax);
+        for (u, v) in ax.iter().zip(&b) {
+            assert_eq!(u, v);
+        }
+    }
+}

@@ -1,0 +1,186 @@
+//! Dense vector kernels used by all solvers, in serial and rayon-parallel form.
+//!
+//! These are the `u = α·v + β·w`, dot-product and norm operations that appear
+//! in every Krylov iteration and whose block decomposition yields the linear
+//! redundancy relations of the paper (Table 1, middle row).
+
+use rayon::prelude::*;
+
+/// Dot product `⟨x, y⟩`.
+///
+/// # Panics
+/// Panics if the slices have different lengths.
+pub fn dot(x: &[f64], y: &[f64]) -> f64 {
+    assert_eq!(x.len(), y.len(), "dot: length mismatch");
+    x.iter().zip(y).map(|(a, b)| a * b).sum()
+}
+
+/// Rayon-parallel dot product.
+pub fn dot_parallel(x: &[f64], y: &[f64]) -> f64 {
+    assert_eq!(x.len(), y.len(), "dot: length mismatch");
+    x.par_iter().zip(y.par_iter()).map(|(a, b)| a * b).sum()
+}
+
+/// Euclidean norm `‖x‖₂`.
+pub fn norm2(x: &[f64]) -> f64 {
+    dot(x, x).sqrt()
+}
+
+/// Squared Euclidean norm `‖x‖₂²`.
+pub fn norm2_squared(x: &[f64]) -> f64 {
+    dot(x, x)
+}
+
+/// Infinity norm `‖x‖∞`.
+pub fn norm_inf(x: &[f64]) -> f64 {
+    x.iter().fold(0.0, |m, v| m.max(v.abs()))
+}
+
+/// `y ← y + α·x` (BLAS `axpy`).
+pub fn axpy(alpha: f64, x: &[f64], y: &mut [f64]) {
+    assert_eq!(x.len(), y.len(), "axpy: length mismatch");
+    for (yi, xi) in y.iter_mut().zip(x) {
+        *yi += alpha * xi;
+    }
+}
+
+/// Rayon-parallel `y ← y + α·x`.
+pub fn axpy_parallel(alpha: f64, x: &[f64], y: &mut [f64]) {
+    assert_eq!(x.len(), y.len(), "axpy: length mismatch");
+    y.par_iter_mut().zip(x.par_iter()).for_each(|(yi, xi)| {
+        *yi += alpha * xi;
+    });
+}
+
+/// `y ← x + β·y` (the `d ⇐ g + β·d` update of CG, BLAS `xpay`).
+pub fn xpay(x: &[f64], beta: f64, y: &mut [f64]) {
+    assert_eq!(x.len(), y.len(), "xpay: length mismatch");
+    for (yi, xi) in y.iter_mut().zip(x) {
+        *yi = xi + beta * *yi;
+    }
+}
+
+/// `out ← α·v + β·w`, the general linear combination of Table 1.
+pub fn linear_combination(alpha: f64, v: &[f64], beta: f64, w: &[f64], out: &mut [f64]) {
+    assert_eq!(v.len(), w.len(), "linear_combination: length mismatch");
+    assert_eq!(v.len(), out.len(), "linear_combination: length mismatch");
+    for ((o, vi), wi) in out.iter_mut().zip(v).zip(w) {
+        *o = alpha * vi + beta * wi;
+    }
+}
+
+/// `x ← α·x`.
+pub fn scale(alpha: f64, x: &mut [f64]) {
+    for v in x.iter_mut() {
+        *v *= alpha;
+    }
+}
+
+/// Copies `src` into `dst`.
+pub fn copy(src: &[f64], dst: &mut [f64]) {
+    assert_eq!(src.len(), dst.len(), "copy: length mismatch");
+    dst.copy_from_slice(src);
+}
+
+/// `out ← a − b`.
+pub fn sub(a: &[f64], b: &[f64], out: &mut [f64]) {
+    assert_eq!(a.len(), b.len(), "sub: length mismatch");
+    assert_eq!(a.len(), out.len(), "sub: length mismatch");
+    for ((o, ai), bi) in out.iter_mut().zip(a).zip(b) {
+        *o = ai - bi;
+    }
+}
+
+/// Fills `x` with zeros.
+pub fn zero(x: &mut [f64]) {
+    for v in x.iter_mut() {
+        *v = 0.0;
+    }
+}
+
+/// A-norm `‖x‖_A = sqrt(xᵀ A x)` of a vector with respect to an SPD matrix.
+///
+/// Used by the Lossy-Approach theorems (Theorems 1–3 of the paper) which state
+/// contraction / minimisation of the error in the A-norm.
+pub fn a_norm(a: &crate::CsrMatrix, x: &[f64]) -> f64 {
+    let mut ax = vec![0.0; x.len()];
+    a.spmv(x, &mut ax);
+    dot(x, &ax).max(0.0).sqrt()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dot_and_norms() {
+        let x = vec![3.0, 4.0];
+        assert_eq!(dot(&x, &x), 25.0);
+        assert_eq!(norm2(&x), 5.0);
+        assert_eq!(norm2_squared(&x), 25.0);
+        assert_eq!(norm_inf(&[-7.0, 2.0]), 7.0);
+    }
+
+    #[test]
+    fn dot_parallel_matches_serial() {
+        let x: Vec<f64> = (0..10_000).map(|i| (i as f64).cos()).collect();
+        let y: Vec<f64> = (0..10_000).map(|i| (i as f64 * 0.5).sin()).collect();
+        let s = dot(&x, &y);
+        let p = dot_parallel(&x, &y);
+        assert!((s - p).abs() < 1e-9 * s.abs().max(1.0));
+    }
+
+    #[test]
+    fn axpy_and_xpay() {
+        let x = vec![1.0, 2.0, 3.0];
+        let mut y = vec![10.0, 20.0, 30.0];
+        axpy(2.0, &x, &mut y);
+        assert_eq!(y, vec![12.0, 24.0, 36.0]);
+
+        let g = vec![1.0, 1.0, 1.0];
+        let mut d = vec![2.0, 4.0, 6.0];
+        xpay(&g, 0.5, &mut d);
+        assert_eq!(d, vec![2.0, 3.0, 4.0]);
+    }
+
+    #[test]
+    fn axpy_parallel_matches_serial() {
+        let x: Vec<f64> = (0..5_000).map(|i| i as f64).collect();
+        let mut y1 = vec![1.0; 5_000];
+        let mut y2 = vec![1.0; 5_000];
+        axpy(0.25, &x, &mut y1);
+        axpy_parallel(0.25, &x, &mut y2);
+        assert_eq!(y1, y2);
+    }
+
+    #[test]
+    fn linear_combination_general() {
+        let v = vec![1.0, 2.0];
+        let w = vec![3.0, 5.0];
+        let mut out = vec![0.0; 2];
+        linear_combination(2.0, &v, -1.0, &w, &mut out);
+        assert_eq!(out, vec![-1.0, -1.0]);
+    }
+
+    #[test]
+    fn scale_copy_sub_zero() {
+        let mut x = vec![1.0, -2.0];
+        scale(3.0, &mut x);
+        assert_eq!(x, vec![3.0, -6.0]);
+        let mut y = vec![0.0; 2];
+        copy(&x, &mut y);
+        assert_eq!(y, x);
+        let mut d = vec![0.0; 2];
+        sub(&x, &[1.0, 1.0], &mut d);
+        assert_eq!(d, vec![2.0, -7.0]);
+        zero(&mut d);
+        assert_eq!(d, vec![0.0, 0.0]);
+    }
+
+    #[test]
+    fn a_norm_of_identity_is_euclidean_norm() {
+        let a = crate::CsrMatrix::identity(3);
+        let x = vec![1.0, 2.0, 2.0];
+        assert!((a_norm(&a, &x) - 3.0).abs() < 1e-14);
+    }
+}

@@ -1,0 +1,50 @@
+//! Distributed CG on the 27-point Poisson operator (the paper's scaling
+//! workload) over simulated ranks, plus the analytic Figure-5 speedup model.
+//!
+//! ```text
+//! cargo run --release --example scaling_poisson [grid]
+//! ```
+
+use feir::dist::{distributed_cg, ScalingModel};
+use feir::prelude::*;
+
+fn main() {
+    let grid: usize = std::env::args()
+        .nth(1)
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(10);
+    let a = feir::sparse::generators::poisson_3d_27pt(grid);
+    let (_, b) = feir::sparse::generators::manufactured_rhs(&a, 3);
+    println!("27-point Poisson, {grid}³ = {} unknowns", a.rows());
+
+    let serial = cg(&a, &b, None, &SolveOptions::default().with_tolerance(1e-8));
+    println!(
+        "serial CG: {} iterations, residual {:.2e}",
+        serial.iterations, serial.relative_residual
+    );
+    for ranks in [2usize, 4, 8] {
+        let result = distributed_cg(&a, &b, ranks, 1e-8, 20_000);
+        println!(
+            "{ranks} simulated ranks: {} iterations, residual {:.2e}",
+            result.iterations, result.relative_residual
+        );
+    }
+
+    println!("\nFigure-5 style speedups from the calibrated scaling model (512³ problem):");
+    let model = ScalingModel::default();
+    for errors in [1usize, 2] {
+        println!("  {errors} error(s) per run, 1024 cores:");
+        for policy in [
+            RecoveryPolicy::Afeir,
+            RecoveryPolicy::Feir,
+            RecoveryPolicy::LossyRestart,
+            RecoveryPolicy::Checkpoint { interval: 1000 },
+        ] {
+            println!(
+                "    {:<8} speedup {:.2}",
+                policy.name(),
+                model.speedup(policy, 1024, errors)
+            );
+        }
+    }
+}

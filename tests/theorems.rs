@@ -1,0 +1,172 @@
+//! Property-based tests of the paper's mathematical statements:
+//!
+//! * Theorem 1 — the Lossy (block-Jacobi) interpolation is contracting;
+//! * Theorem 2 — for SPD `A` it diminishes the A-norm of the error;
+//! * Theorem 3 — it *minimises* the A-norm of the error over all possible
+//!   values of the lost block (the paper's own contribution);
+//! * the exact FEIR recoveries reproduce the lost data to round-off, for every
+//!   relation of Table 1, on randomly generated SPD systems.
+
+use feir::recovery::lossy::{a_norm_error, lossy_interpolate_in_place};
+use feir::recovery::BlockRecovery;
+use feir::sparse::blocking::{BlockPartition, DiagonalBlocks};
+use feir::sparse::generators::random_spd;
+use feir::sparse::{vecops, CsrMatrix};
+use proptest::prelude::*;
+
+/// A strategy producing small random SPD systems plus a perturbed iterate.
+fn spd_system() -> impl Strategy<Value = (CsrMatrix, Vec<f64>, Vec<f64>, usize, u64)> {
+    (40usize..120, 2usize..5, 0u64..1000, 8usize..24).prop_map(|(n, nnz, seed, block)| {
+        let a = random_spd(n, nnz, seed);
+        let (x_exact, b) = feir::sparse::generators::manufactured_rhs(&a, seed.wrapping_add(17));
+        (a, x_exact, b, block.min(n / 2).max(4), seed)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn theorem2_lossy_interpolation_never_increases_a_norm_error(
+        (a, x_exact, b, block_size, seed) in spd_system(),
+        noise in 0.0f64..0.5,
+        lost_block_selector in 0usize..64,
+    ) {
+        let n = a.rows();
+        let partition = BlockPartition::new(n, block_size);
+        let blocks = DiagonalBlocks::factorize(&a, partition, true).expect("SPD blocks factorize");
+        // A partially converged iterate.
+        let x: Vec<f64> = x_exact
+            .iter()
+            .enumerate()
+            .map(|(i, v)| v + noise * (((i as u64).wrapping_mul(seed + 1) % 13) as f64 - 6.0) / 6.0)
+            .collect();
+        let lost = lost_block_selector % partition.num_blocks();
+        let mut damaged = x.clone();
+        for v in &mut damaged[partition.range(lost)] {
+            *v = 0.0;
+        }
+        let before = a_norm_error(&a, &x_exact, &x);
+        lossy_interpolate_in_place(&a, &b, &mut damaged, &blocks, &[lost]);
+        let after = a_norm_error(&a, &x_exact, &damaged);
+        prop_assert!(after <= before * (1.0 + 1e-10), "A-norm error grew: {after} > {before}");
+    }
+
+    #[test]
+    fn theorem3_lossy_interpolation_beats_arbitrary_replacements(
+        (a, x_exact, b, block_size, seed) in spd_system(),
+        replacement_scale in -2.0f64..2.0,
+    ) {
+        let n = a.rows();
+        let partition = BlockPartition::new(n, block_size);
+        let blocks = DiagonalBlocks::factorize(&a, partition, true).expect("SPD blocks factorize");
+        let x: Vec<f64> = x_exact.iter().map(|v| v * 0.95).collect();
+        let lost = (seed as usize) % partition.num_blocks();
+        let range = partition.range(lost);
+
+        let mut interpolated = x.clone();
+        for v in &mut interpolated[range.clone()] {
+            *v = 0.0;
+        }
+        lossy_interpolate_in_place(&a, &b, &mut interpolated, &blocks, &[lost]);
+        let err_interpolated = a_norm_error(&a, &x_exact, &interpolated);
+
+        // An arbitrary alternative replacement for the lost block.
+        let mut alternative = x.clone();
+        for (k, v) in alternative[range].iter_mut().enumerate() {
+            *v = replacement_scale * ((k % 7) as f64 - 3.0);
+        }
+        let err_alternative = a_norm_error(&a, &x_exact, &alternative);
+        prop_assert!(
+            err_interpolated <= err_alternative + 1e-9,
+            "interpolation ({err_interpolated}) beaten by an arbitrary block ({err_alternative})"
+        );
+    }
+
+    #[test]
+    fn exact_matvec_recoveries_reproduce_lost_blocks(
+        (a, d, _b, block_size, seed) in spd_system(),
+    ) {
+        let n = a.rows();
+        let partition = BlockPartition::new(n, block_size);
+        let recovery = BlockRecovery::new(&a, partition, true);
+        let mut q = vec![0.0; n];
+        a.spmv(&d, &mut q);
+        let block = (seed as usize) % partition.num_blocks();
+        let range = partition.range(block);
+
+        // lhs recovery of q.
+        let mut out = vec![0.0; range.len()];
+        recovery.recover_matvec_lhs(&a, &d, block, &mut out);
+        for (k, r) in range.clone().enumerate() {
+            prop_assert!((out[k] - q[r]).abs() <= 1e-9 * (1.0 + q[r].abs()));
+        }
+
+        // rhs recovery of d (block content must not be read).
+        let mut damaged = d.clone();
+        for v in &mut damaged[range.clone()] {
+            *v = f64::NAN;
+        }
+        let mut out = vec![0.0; range.len()];
+        prop_assert!(recovery.recover_matvec_rhs(&a, &q, &damaged, block, &mut out));
+        for (k, r) in range.enumerate() {
+            prop_assert!((out[k] - d[r]).abs() <= 1e-7 * (1.0 + d[r].abs()));
+        }
+    }
+
+    #[test]
+    fn exact_iterate_recovery_reproduces_lost_block(
+        (a, x, b, block_size, seed) in spd_system(),
+    ) {
+        let n = a.rows();
+        let partition = BlockPartition::new(n, block_size);
+        let recovery = BlockRecovery::new(&a, partition, true);
+        let mut g = vec![0.0; n];
+        a.spmv(&x, &mut g);
+        for (gi, bi) in g.iter_mut().zip(&b) {
+            *gi = bi - *gi;
+        }
+        let block = (seed as usize) % partition.num_blocks();
+        let range = partition.range(block);
+        let mut damaged = x.clone();
+        for v in &mut damaged[range.clone()] {
+            *v = 0.0;
+        }
+        let mut out = vec![0.0; range.len()];
+        prop_assert!(recovery.recover_iterate_rhs(&a, &b, &g, &damaged, block, &mut out));
+        for (k, r) in range.enumerate() {
+            prop_assert!((out[k] - x[r]).abs() <= 1e-7 * (1.0 + x[r].abs()));
+        }
+    }
+
+    #[test]
+    fn cg_invariants_hold_for_random_spd_systems(
+        (a, _x, b, _block, _seed) in spd_system(),
+    ) {
+        // The relations the recovery relies on (g = b − A·x and q = A·d) hold
+        // at every CG iteration, on any SPD system.
+        let n = a.rows();
+        let mut x = vec![0.0; n];
+        let mut g = b.clone();
+        let mut d = vec![0.0; n];
+        let mut q = vec![0.0; n];
+        let mut eps_old = f64::INFINITY;
+        for _ in 0..8 {
+            let eps = vecops::norm2_squared(&g);
+            if eps.sqrt() <= 1e-14 {
+                break;
+            }
+            let beta = if eps_old.is_finite() { eps / eps_old } else { 0.0 };
+            vecops::xpay(&g, beta, &mut d);
+            a.spmv(&d, &mut q);
+            let alpha = eps / vecops::dot(&q, &d);
+            vecops::axpy(alpha, &d, &mut x);
+            vecops::axpy(-alpha, &q, &mut g);
+            eps_old = eps;
+            prop_assert!(
+                feir::solvers::relations::residual_relation_violation(&a, &b, &x, &g) < 1e-10
+            );
+            prop_assert!(feir::solvers::relations::matvec_relation_violation(&a, &d, &q) < 1e-10);
+        }
+    }
+}

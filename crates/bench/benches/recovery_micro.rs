@@ -35,17 +35,34 @@ fn bench_block_recoveries(c: &mut Criterion) {
     });
     group.bench_function("rhs_block_solve", |bench| {
         let mut out = vec![0.0; len];
-        bench.iter(|| recovery.recover_matvec_rhs(black_box(&a), black_box(&q), black_box(&x), block, &mut out))
+        bench.iter(|| {
+            recovery.recover_matvec_rhs(
+                black_box(&a),
+                black_box(&q),
+                black_box(&x),
+                block,
+                &mut out,
+            )
+        })
     });
     group.bench_function("iterate_rhs", |bench| {
         let mut out = vec![0.0; len];
         bench.iter(|| {
-            recovery.recover_iterate_rhs(black_box(&a), black_box(&b), black_box(&g), black_box(&x), block, &mut out)
+            recovery.recover_iterate_rhs(
+                black_box(&a),
+                black_box(&b),
+                black_box(&g),
+                black_box(&x),
+                block,
+                &mut out,
+            )
         })
     });
     group.bench_function("lossy_interpolation", |bench| {
         let blocks = DiagonalBlocks::factorize(&a, partition, true).unwrap();
-        bench.iter(|| lossy_interpolate_block(black_box(&a), black_box(&b), black_box(&x), &blocks, block))
+        bench.iter(|| {
+            lossy_interpolate_block(black_box(&a), black_box(&b), black_box(&x), &blocks, block)
+        })
     });
     // The cost of pre-factorizing all diagonal blocks (paid once per solve).
     group.bench_function("factorize_diagonal_blocks", |bench| {

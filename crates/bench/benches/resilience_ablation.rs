@@ -45,9 +45,11 @@ fn bench_policy_overheads(c: &mut Criterion) {
             RecoveryPolicy::Checkpoint { interval } => format!("ckpt_{interval}"),
             other => other.name().to_string(),
         };
-        group.bench_with_input(BenchmarkId::from_parameter(name), &policy, |bench, &policy| {
-            bench.iter(|| solve_once(black_box(&a), black_box(&b), policy))
-        });
+        group.bench_with_input(
+            BenchmarkId::from_parameter(name),
+            &policy,
+            |bench, &policy| bench.iter(|| solve_once(black_box(&a), black_box(&b), policy)),
+        );
     }
     group.finish();
 }

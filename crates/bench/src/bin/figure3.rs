@@ -47,7 +47,8 @@ fn main() {
     for (policy, name) in methods {
         let resilience = cfg.resilience(policy, false);
         // Flat page 0 = first page of x, matching the paper's injection target.
-        let report = run_with_single_error(&a, &b, &resilience, &cfg.options, ideal.elapsed, 0.5, 0);
+        let report =
+            run_with_single_error(&a, &b, &resilience, &cfg.options, ideal.elapsed, 0.5, 0);
         println!(
             "# {name}: {} iterations, {:.3}s, converged={}, faults={}, recovered={}, rollbacks={}, restarts={}",
             report.iterations,

@@ -13,7 +13,9 @@ use feir_core::{measure_ideal, run_with_errors, PaperMatrix, SlowdownRecord};
 
 fn main() {
     let cfg = HarnessConfig::from_env();
-    let full = std::env::var("FEIR_FULL").map(|v| v == "1").unwrap_or(false);
+    let full = std::env::var("FEIR_FULL")
+        .map(|v| v == "1")
+        .unwrap_or(false);
     let with_pcg = std::env::var("FEIR_PCG").map(|v| v == "1").unwrap_or(false);
 
     let matrices: Vec<PaperMatrix> = if full {
@@ -93,7 +95,8 @@ fn main() {
                         record.faults_discovered,
                         record.converged
                     );
-                    if let Some(slot) = per_method_all.iter_mut().find(|(m, _)| *m == record.policy) {
+                    if let Some(slot) = per_method_all.iter_mut().find(|(m, _)| *m == record.policy)
+                    {
                         slot.1.push(record.slowdown_percent);
                     } else {
                         per_method_all.push((record.policy.clone(), vec![record.slowdown_percent]));
@@ -103,7 +106,11 @@ fn main() {
         }
         println!("\n# {variant} mean slowdown per method (harmonic mean over all cells)");
         for (method, values) in &per_method_all {
-            println!("{variant:<4} mean {:<8} {:>9.2}%", method, aggregate_slowdowns(values));
+            println!(
+                "{variant:<4} mean {:<8} {:>9.2}%",
+                method,
+                aggregate_slowdowns(values)
+            );
         }
         println!();
     }

@@ -22,9 +22,18 @@ fn main() {
         .unwrap_or(12usize);
     let a = poisson_3d_27pt(grid);
     let (_, b) = manufactured_rhs(&a, 27);
-    println!("# Figure 5 — part 1: functional distributed CG (27-point stencil, {}³ = {} unknowns)", grid, a.rows());
+    println!(
+        "# Figure 5 — part 1: functional distributed CG (27-point stencil, {}³ = {} unknowns)",
+        grid,
+        a.rows()
+    );
     let serial = cg(&a, &b, None, &SolveOptions::default().with_tolerance(1e-8));
-    println!("serial      iterations={} residual={:.2e} time={:.3}s", serial.iterations, serial.relative_residual, serial.elapsed.as_secs_f64());
+    println!(
+        "serial      iterations={} residual={:.2e} time={:.3}s",
+        serial.iterations,
+        serial.relative_residual,
+        serial.elapsed.as_secs_f64()
+    );
     for ranks in [2usize, 4, 8] {
         let start = std::time::Instant::now();
         let dist = distributed_cg(&a, &b, ranks, 1e-8, 50_000);
@@ -46,10 +55,16 @@ fn main() {
     );
     for errors in [1usize, 2] {
         println!("\n## {errors} error(s) per run");
-        println!("{:<8} {:>6} {:>6} {:>6} {:>6} {:>6}", "method", 64, 128, 256, 512, 1024);
+        println!(
+            "{:<8} {:>6} {:>6} {:>6} {:>6} {:>6}",
+            "method", 64, 128, 256, 512, 1024
+        );
         for (policy, points) in model.figure5_series(errors) {
             let name = policy.name();
-            let row: Vec<String> = points.iter().map(|p| format!("{:>6.2}", p.speedup)).collect();
+            let row: Vec<String> = points
+                .iter()
+                .map(|p| format!("{:>6.2}", p.speedup))
+                .collect();
             println!("{:<8} {}", name, row.join(" "));
         }
     }

@@ -24,7 +24,12 @@ fn main() {
         "# scale={} reps={} tol={:e}",
         cfg.scale, cfg.repetitions, cfg.options.tolerance
     );
-    println!("{:<12} {:>10}  (harmonic mean over {} matrices)", "method", "overhead", matrices.len());
+    println!(
+        "{:<12} {:>10}  (harmonic mean over {} matrices)",
+        "method",
+        "overhead",
+        matrices.len()
+    );
 
     let mut rows = Vec::new();
     for (policy, name) in methods {
@@ -39,7 +44,11 @@ fn main() {
             for _ in 0..cfg.repetitions {
                 let ideal = measure_ideal(&a, &b, &resilience, &cfg.options);
                 let run = run_overhead(&a, &b, &resilience, &cfg.options);
-                assert!(ideal.converged() && run.converged(), "{name} on {} failed", matrix.name());
+                assert!(
+                    ideal.converged() && run.converged(),
+                    "{name} on {} failed",
+                    matrix.name()
+                );
                 ideal_best = ideal_best.min(ideal.elapsed.as_secs_f64());
                 method_best = method_best.min(run.elapsed.as_secs_f64());
             }

@@ -18,11 +18,17 @@ fn breakdown(report: &RunReport) -> StateBreakdown {
 fn main() {
     let cfg = HarnessConfig::from_env();
     println!("# Table 3: increase of time spent per state for FEIR methods (no errors)");
-    println!("{:<8} {:>11} {:>9} {:>8}", "method", "imbalance", "runtime", "useful");
+    println!(
+        "{:<8} {:>11} {:>9} {:>8}",
+        "method", "imbalance", "runtime", "useful"
+    );
 
     // Accumulate fractions over the full matrix set so one fast matrix does
     // not dominate, mirroring the paper's aggregated table.
-    for (policy, name) in [(RecoveryPolicy::Afeir, "AFEIR"), (RecoveryPolicy::Feir, "FEIR")] {
+    for (policy, name) in [
+        (RecoveryPolicy::Afeir, "AFEIR"),
+        (RecoveryPolicy::Feir, "FEIR"),
+    ] {
         let mut ideal_acc = StateBreakdown::default();
         let mut method_acc = StateBreakdown::default();
         let mut count = 0.0;

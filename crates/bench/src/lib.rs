@@ -187,8 +187,13 @@ mod tests {
 
     #[test]
     fn slowdown_math() {
-        assert!((slowdown_percent(Duration::from_secs(3), Duration::from_secs(2)) - 50.0).abs() < 1e-9);
-        assert_eq!(slowdown_percent(Duration::from_secs(1), Duration::ZERO), 0.0);
+        assert!(
+            (slowdown_percent(Duration::from_secs(3), Duration::from_secs(2)) - 50.0).abs() < 1e-9
+        );
+        assert_eq!(
+            slowdown_percent(Duration::from_secs(1), Duration::ZERO),
+            0.0
+        );
         let agg = aggregate_slowdowns(&[10.0, 10.0]);
         assert!((agg - 10.0).abs() < 1e-9);
     }

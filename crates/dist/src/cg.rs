@@ -1,0 +1,201 @@
+//! Block-row distributed Conjugate Gradient over simulated ranks.
+//!
+//! Each rank owns a contiguous block of rows (and the matching slices of
+//! `x`, `g`, `d`, `q`), exchanges the halo of the search direction before its
+//! local SpMV and contributes to the two allreduces of every iteration —
+//! exactly the communication structure of the paper's MPI+OmpSs solver
+//! (Section 3.4), with channels standing in for MPI.
+
+use feir_sparse::{vecops, CsrMatrix};
+
+use crate::comm::{effective_ranks, HaloPlan, RankComm};
+use crate::domains::RankDomains;
+use crate::partition::RankPartition;
+
+/// Outcome of a distributed solve.
+#[derive(Debug, Clone)]
+pub struct DistSolveResult {
+    /// The assembled solution (gathered from every rank).
+    pub x: Vec<f64>,
+    /// Iterations performed (identical on every rank by construction).
+    pub iterations: usize,
+    /// Final relative residual `‖b − A·x‖₂ / ‖b‖₂`, recomputed serially on
+    /// the assembled solution.
+    pub relative_residual: f64,
+    /// Number of simulated ranks that executed the solve.
+    pub ranks: usize,
+    /// True if the solver reported convergence before the iteration cap.
+    pub converged: bool,
+}
+
+impl DistSolveResult {
+    /// True if the solver converged to the requested tolerance.
+    pub fn converged(&self) -> bool {
+        self.converged
+    }
+}
+
+/// Solves `A x = b` with CG distributed over `ranks` simulated ranks.
+///
+/// The iteration is algebraically identical to the serial CG (same update
+/// order, deterministic rank-ordered reductions), so the iterate agrees with
+/// the shared-memory solver to round-off. Each rank registers its owned
+/// pages in its own [`RankDomains`] registry, giving every rank an
+/// independent fault domain; injection into those domains is the distributed
+/// recovery work tracked in ROADMAP.md.
+///
+/// # Panics
+/// Panics if the matrix is not square or `b` has the wrong length.
+pub fn distributed_cg(
+    a: &CsrMatrix,
+    b: &[f64],
+    ranks: usize,
+    tolerance: f64,
+    max_iterations: usize,
+) -> DistSolveResult {
+    assert_eq!(a.rows(), a.cols(), "distributed CG needs a square matrix");
+    assert_eq!(a.rows(), b.len(), "rhs length mismatch");
+    let n = a.rows();
+    let ranks = effective_ranks(n, ranks);
+    let partition = RankPartition::new(n, ranks);
+    let plan = HaloPlan::build(a, &partition);
+    let comms = RankComm::for_ranks(&plan, ranks);
+    let domains = RankDomains::new(ranks);
+    // One memory page per owned vector per rank is the coarsest useful fault
+    // granularity here; finer page splits are a RankDomains parameter.
+    for rank in 0..ranks {
+        domains.register_rank_vectors(rank, &["x", "g", "d", "q"], 1);
+    }
+
+    let mut x = vec![0.0; n];
+    let mut iterations = 0;
+    std::thread::scope(|scope| {
+        let mut handles = Vec::with_capacity(ranks);
+        for comm in comms {
+            let partition = partition.clone();
+            let handle =
+                scope.spawn(move || rank_cg(a, b, comm, &partition, tolerance, max_iterations));
+            handles.push(handle);
+        }
+        for handle in handles {
+            let (rank, local_x, iters) = handle.join().expect("rank thread panicked");
+            x[partition.range(rank)].copy_from_slice(&local_x);
+            iterations = iters;
+        }
+    });
+
+    // Explicit residual on the assembled solution.
+    let norm_b = vecops::norm2(b).max(f64::MIN_POSITIVE);
+    let mut residual = vec![0.0; n];
+    a.spmv(&x, &mut residual);
+    for (ri, bi) in residual.iter_mut().zip(b) {
+        *ri = bi - *ri;
+    }
+    let relative_residual = vecops::norm2(&residual) / norm_b;
+    DistSolveResult {
+        x,
+        iterations,
+        relative_residual,
+        ranks,
+        converged: relative_residual <= tolerance,
+    }
+}
+
+/// The per-rank CG loop. Returns `(rank, owned x block, iterations)`.
+fn rank_cg(
+    a: &CsrMatrix,
+    b: &[f64],
+    comm: RankComm,
+    partition: &RankPartition,
+    tolerance: f64,
+    max_iterations: usize,
+) -> (usize, Vec<f64>, usize) {
+    let rank = comm.rank();
+    let own = partition.range(rank);
+    let local_n = own.len();
+
+    let mut x = vec![0.0; local_n];
+    let mut g: Vec<f64> = b[own.clone()].to_vec(); // g = b − A·0
+    let mut d = vec![0.0; local_n];
+    let mut q = vec![0.0; local_n];
+    // Private full-length buffer for the halo exchange of d.
+    let mut d_full = vec![0.0; a.cols()];
+
+    let norm_b_sq = comm.allreduce_sum(vecops::norm2_squared(&b[own.clone()]));
+    let norm_b = norm_b_sq.sqrt().max(f64::MIN_POSITIVE);
+    let mut eps = comm.allreduce_sum(vecops::norm2_squared(&g));
+    let mut eps_old = f64::INFINITY;
+    let mut iterations = 0;
+
+    for _ in 0..max_iterations {
+        if eps.max(0.0).sqrt() / norm_b <= tolerance {
+            break;
+        }
+        iterations += 1;
+
+        let beta = if eps_old.is_finite() && eps_old != 0.0 {
+            eps / eps_old
+        } else {
+            0.0
+        };
+        // d ⇐ g + β·d, then ship the halo of d.
+        vecops::xpay(&g, beta, &mut d);
+        d_full[own.clone()].copy_from_slice(&d);
+        comm.exchange_halo(&mut d_full);
+
+        // q ⇐ A·d over the owned rows.
+        a.spmv_rows(own.start, own.end, &d_full, &mut q);
+        let dq = comm.allreduce_sum(vecops::dot(&d, &q));
+        if dq == 0.0 || !dq.is_finite() {
+            break;
+        }
+        let alpha = eps / dq;
+        vecops::axpy(alpha, &d, &mut x);
+        vecops::axpy(-alpha, &q, &mut g);
+
+        eps_old = eps;
+        eps = comm.allreduce_sum(vecops::norm2_squared(&g));
+    }
+    (rank, x, iterations)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use feir_solvers::{cg, SolveOptions};
+    use feir_sparse::generators::{manufactured_rhs, poisson_2d};
+
+    #[test]
+    fn distributed_cg_matches_serial_cg() {
+        let a = poisson_2d(12);
+        let (x_true, b) = manufactured_rhs(&a, 5);
+        let serial = cg(&a, &b, None, &SolveOptions::default().with_tolerance(1e-10));
+        for ranks in [1usize, 2, 3, 7] {
+            let dist = distributed_cg(&a, &b, ranks, 1e-10, 10_000);
+            assert!(dist.converged(), "{ranks} ranks did not converge");
+            assert_eq!(dist.ranks, ranks);
+            assert_eq!(dist.iterations, serial.iterations, "{ranks} ranks");
+            for (u, v) in dist.x.iter().zip(&x_true) {
+                assert!((u - v).abs() < 1e-7, "{ranks} ranks: {u} vs {v}");
+            }
+        }
+    }
+
+    #[test]
+    fn more_ranks_than_rows_is_clamped() {
+        let a = poisson_2d(2); // 4 unknowns
+        let (_, b) = manufactured_rhs(&a, 1);
+        let dist = distributed_cg(&a, &b, 64, 1e-12, 1_000);
+        assert!(dist.converged());
+        assert_eq!(dist.ranks, 4);
+    }
+
+    #[test]
+    fn iteration_cap_is_honoured() {
+        let a = poisson_2d(10);
+        let (_, b) = manufactured_rhs(&a, 2);
+        let dist = distributed_cg(&a, &b, 4, 1e-14, 3);
+        assert_eq!(dist.iterations, 3);
+        assert!(!dist.converged());
+    }
+}

@@ -1,0 +1,375 @@
+//! Message-passing primitives between simulated ranks: halo exchange for the
+//! block-row SpMV and the rank-ordered sum allreduce for the CG dot products.
+//!
+//! Ranks communicate exclusively through `std::sync::mpsc` channels — no rank
+//! ever reads another rank's buffers — so the data movement is exactly the
+//! send/receive pattern an MPI implementation of Section 3.4 would perform.
+
+use std::collections::HashMap;
+use std::sync::mpsc::{channel, Receiver, Sender};
+
+use feir_sparse::CsrMatrix;
+
+use crate::partition::RankPartition;
+
+/// For every rank, the remote entries its local rows reference, grouped by
+/// owning rank.
+///
+/// `needs[r]` maps a peer rank `s` to the sorted column indices owned by `s`
+/// that appear in rank `r`'s rows; the symmetric view `sends[s]` maps `r` to
+/// the same list (what `s` must ship to `r` each iteration). Only the entries
+/// actually referenced are exchanged, as a real halo exchange would.
+#[derive(Debug, Clone)]
+pub struct HaloPlan {
+    needs: Vec<HashMap<usize, Vec<usize>>>,
+    sends: Vec<HashMap<usize, Vec<usize>>>,
+}
+
+impl HaloPlan {
+    /// Builds the exchange lists for `a` distributed by `partition`.
+    pub fn build(a: &CsrMatrix, partition: &RankPartition) -> Self {
+        let ranks = partition.num_ranks();
+        let mut needs: Vec<HashMap<usize, Vec<usize>>> = vec![HashMap::new(); ranks];
+        for (r, needs_of_r) in needs.iter_mut().enumerate() {
+            let mut seen: Vec<usize> = Vec::new();
+            for row in partition.range(r) {
+                let (cols, _) = a.row(row);
+                for &c in cols {
+                    let owner = partition.owner_of(c);
+                    if owner != r && !seen.contains(&c) {
+                        seen.push(c);
+                    }
+                }
+            }
+            seen.sort_unstable();
+            for c in seen {
+                needs_of_r.entry(partition.owner_of(c)).or_default().push(c);
+            }
+        }
+        let mut sends: Vec<HashMap<usize, Vec<usize>>> = vec![HashMap::new(); ranks];
+        for (r, per_owner) in needs.iter().enumerate() {
+            for (&owner, cols) in per_owner {
+                sends[owner].insert(r, cols.clone());
+            }
+        }
+        Self { needs, sends }
+    }
+
+    /// A plan with no halo traffic (pure reductions, no SpMV).
+    pub fn empty(ranks: usize) -> Self {
+        Self {
+            needs: vec![HashMap::new(); ranks],
+            sends: vec![HashMap::new(); ranks],
+        }
+    }
+
+    /// Entries rank `rank` receives, grouped by sending rank.
+    pub fn needs_of(&self, rank: usize) -> &HashMap<usize, Vec<usize>> {
+        &self.needs[rank]
+    }
+
+    /// Entries rank `rank` ships, grouped by destination rank.
+    pub fn sends_of(&self, rank: usize) -> &HashMap<usize, Vec<usize>> {
+        &self.sends[rank]
+    }
+
+    /// Total number of values crossing rank boundaries per exchange.
+    pub fn halo_volume(&self) -> usize {
+        self.needs
+            .iter()
+            .flat_map(|m| m.values())
+            .map(Vec::len)
+            .sum()
+    }
+}
+
+/// Rank-ordered sum allreduce over channels.
+///
+/// Rank 0 gathers one partial value per peer, accumulates them **in rank
+/// order** (so the result is bitwise deterministic run-to-run) and broadcasts
+/// the sum back. This is the reduction under every `⟨d,q⟩` and `‖g‖²` of the
+/// distributed CG.
+#[derive(Debug)]
+pub enum Reducer {
+    /// Rank 0: gathers from every peer and broadcasts the total.
+    Root {
+        /// Receiving side of the gather channel.
+        gather: Receiver<(usize, f64)>,
+        /// Broadcast sender per peer rank (index 0 unused).
+        broadcast: Vec<Sender<f64>>,
+    },
+    /// Ranks 1..: send their partial and await the total.
+    Leaf {
+        /// This rank's id.
+        rank: usize,
+        /// Sending side of the gather channel.
+        gather: Sender<(usize, f64)>,
+        /// Receiving side of the broadcast channel.
+        broadcast: Receiver<f64>,
+    },
+}
+
+impl Reducer {
+    /// Creates one connected [`Reducer`] per rank.
+    pub fn for_ranks(ranks: usize) -> Vec<Reducer> {
+        assert!(ranks > 0, "need at least one rank");
+        let (gather_tx, gather_rx) = channel();
+        let mut broadcast_txs = Vec::with_capacity(ranks);
+        let mut broadcast_rxs = Vec::with_capacity(ranks);
+        for _ in 0..ranks {
+            let (tx, rx) = channel();
+            broadcast_txs.push(tx);
+            broadcast_rxs.push(rx);
+        }
+        let mut reducers = Vec::with_capacity(ranks);
+        reducers.push(Reducer::Root {
+            gather: gather_rx,
+            broadcast: broadcast_txs,
+        });
+        for (rank, rx) in broadcast_rxs.into_iter().enumerate().skip(1) {
+            reducers.push(Reducer::Leaf {
+                rank,
+                gather: gather_tx.clone(),
+                broadcast: rx,
+            });
+        }
+        reducers
+    }
+
+    /// Contributes `local` and returns the global sum; every rank must call
+    /// this the same number of times in the same order.
+    pub fn allreduce_sum(&self, local: f64) -> f64 {
+        match self {
+            Reducer::Root { gather, broadcast } => {
+                let peers = broadcast.len() - 1;
+                let mut partials = vec![0.0; peers + 1];
+                partials[0] = local;
+                for _ in 0..peers {
+                    let (rank, value) = gather.recv().expect("peer rank disconnected");
+                    partials[rank] = value;
+                }
+                let total: f64 = partials.iter().sum();
+                for tx in broadcast.iter().skip(1) {
+                    tx.send(total).expect("peer rank disconnected");
+                }
+                total
+            }
+            Reducer::Leaf {
+                rank,
+                gather,
+                broadcast,
+            } => {
+                gather.send((*rank, local)).expect("root rank disconnected");
+                broadcast.recv().expect("root rank disconnected")
+            }
+        }
+    }
+}
+
+/// One rank's endpoints: halo senders/receivers plus its [`Reducer`].
+///
+/// Build one per rank with [`RankComm::for_ranks`], move each into its rank's
+/// thread, and drive an iteration with [`RankComm::exchange_halo`] /
+/// [`RankComm::allreduce_sum`].
+#[derive(Debug)]
+pub struct RankComm {
+    rank: usize,
+    /// Outgoing halo: `(destination, indices to ship, sender)`.
+    halo_out: Vec<(usize, Vec<usize>, Sender<Vec<f64>>)>,
+    /// Incoming halo: `(source, indices received, receiver)`.
+    halo_in: Vec<(usize, Vec<usize>, Receiver<Vec<f64>>)>,
+    reducer: Reducer,
+}
+
+impl RankComm {
+    /// Creates the connected endpoints for every rank of `plan`.
+    pub fn for_ranks(plan: &HaloPlan, ranks: usize) -> Vec<RankComm> {
+        let mut comms: Vec<RankComm> = Reducer::for_ranks(ranks)
+            .into_iter()
+            .enumerate()
+            .map(|(rank, reducer)| RankComm {
+                rank,
+                halo_out: Vec::new(),
+                halo_in: Vec::new(),
+                reducer,
+            })
+            .collect();
+        // One channel per (sender, receiver) pair with a non-empty halo.
+        for receiver_rank in 0..ranks {
+            let mut sources: Vec<(usize, Vec<usize>)> = plan
+                .needs_of(receiver_rank)
+                .iter()
+                .map(|(&s, cols)| (s, cols.clone()))
+                .collect();
+            sources.sort_unstable_by_key(|(s, _)| *s);
+            for (sender_rank, cols) in sources {
+                let (tx, rx) = channel();
+                comms[sender_rank]
+                    .halo_out
+                    .push((receiver_rank, cols.clone(), tx));
+                comms[receiver_rank].halo_in.push((sender_rank, cols, rx));
+            }
+        }
+        comms
+    }
+
+    /// This rank's id.
+    pub fn rank(&self) -> usize {
+        self.rank
+    }
+
+    /// Ships this rank's owned entries of `full` to every peer that needs
+    /// them, then scatters the received remote entries back into `full`.
+    ///
+    /// `full` is this rank's private full-length working copy of the vector;
+    /// only its owned range is authoritative before the call, and exactly the
+    /// halo entries referenced by its rows are valid after it.
+    pub fn exchange_halo(&self, full: &mut [f64]) {
+        for (_, cols, tx) in &self.halo_out {
+            let payload: Vec<f64> = cols.iter().map(|&c| full[c]).collect();
+            tx.send(payload).expect("halo receiver disconnected");
+        }
+        for (_, cols, rx) in &self.halo_in {
+            let payload = rx.recv().expect("halo sender disconnected");
+            debug_assert_eq!(payload.len(), cols.len());
+            for (&c, v) in cols.iter().zip(payload) {
+                full[c] = v;
+            }
+        }
+    }
+
+    /// Global sum of `local` over all ranks (see [`Reducer::allreduce_sum`]).
+    pub fn allreduce_sum(&self, local: f64) -> f64 {
+        self.reducer.allreduce_sum(local)
+    }
+}
+
+/// Distributed SpMV `y = A·x` over `ranks` simulated ranks: one halo exchange
+/// followed by each rank's local block-row product.
+///
+/// This is the communication round-trip of one CG iteration in isolation,
+/// used by tests to validate the halo plan against the serial kernel.
+pub fn distributed_spmv(a: &CsrMatrix, x: &[f64], ranks: usize) -> Vec<f64> {
+    assert_eq!(x.len(), a.cols(), "distributed_spmv: x has wrong length");
+    assert_eq!(
+        a.rows(),
+        a.cols(),
+        "distributed_spmv: matrix must be square"
+    );
+    let ranks = effective_ranks(a.rows(), ranks);
+    let partition = RankPartition::new(a.rows(), ranks);
+    let plan = HaloPlan::build(a, &partition);
+    let comms = RankComm::for_ranks(&plan, ranks);
+
+    let mut y = vec![0.0; a.rows()];
+    std::thread::scope(|scope| {
+        let mut handles = Vec::with_capacity(ranks);
+        for comm in comms {
+            let partition = partition.clone();
+            let handle = scope.spawn(move || {
+                let rank = comm.rank();
+                let own = partition.range(rank);
+                // Private working copy: authoritative only on the owned range.
+                let mut full = vec![0.0; a.cols()];
+                full[own.clone()].copy_from_slice(&x[own.clone()]);
+                comm.exchange_halo(&mut full);
+                let mut local = vec![0.0; own.len()];
+                a.spmv_rows(own.start, own.end, &full, &mut local);
+                (rank, local)
+            });
+            handles.push(handle);
+        }
+        for handle in handles {
+            let (rank, local) = handle.join().expect("rank thread panicked");
+            y[partition.range(rank)].copy_from_slice(&local);
+        }
+    });
+    y
+}
+
+/// Distributed dot product `⟨x, y⟩` over `ranks` simulated ranks via the
+/// rank-ordered allreduce.
+pub fn distributed_dot(x: &[f64], y: &[f64], ranks: usize) -> f64 {
+    assert_eq!(x.len(), y.len(), "distributed_dot: length mismatch");
+    let ranks = effective_ranks(x.len(), ranks);
+    let partition = RankPartition::new(x.len(), ranks);
+    let comms = RankComm::for_ranks(&HaloPlan::empty(ranks), ranks);
+    let mut result = 0.0;
+    std::thread::scope(|scope| {
+        let mut handles = Vec::with_capacity(ranks);
+        for comm in comms {
+            let range = partition.range(comm.rank());
+            let handle = scope.spawn(move || {
+                let local = feir_sparse::vecops::dot(&x[range.clone()], &y[range]);
+                comm.allreduce_sum(local)
+            });
+            handles.push(handle);
+        }
+        for handle in handles {
+            result = handle.join().expect("rank thread panicked");
+        }
+    });
+    result
+}
+
+/// Clamps the requested rank count to something the problem can sustain.
+pub(crate) fn effective_ranks(n: usize, ranks: usize) -> usize {
+    ranks.max(1).min(n.max(1))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use feir_sparse::generators::poisson_2d;
+
+    #[test]
+    fn halo_plan_of_poisson_is_the_grid_boundary() {
+        let a = poisson_2d(8); // 64 rows, rows couple to ±1 and ±8.
+        let partition = RankPartition::new(a.rows(), 4);
+        let plan = HaloPlan::build(&a, &partition);
+        // Interior ranks exchange one grid line (8 entries) with each
+        // neighbour plus the single off-by-one entry of the 5-point stencil.
+        for r in 0..4 {
+            for (&peer, cols) in plan.needs_of(r) {
+                assert_ne!(peer, r);
+                assert!(!cols.is_empty());
+                assert!(cols.windows(2).all(|w| w[0] < w[1]), "sorted & unique");
+                for &c in cols {
+                    assert_eq!(partition.owner_of(c), peer);
+                }
+            }
+        }
+        assert!(plan.halo_volume() > 0);
+        // Sends mirror needs exactly.
+        for r in 0..4 {
+            for (&dest, cols) in plan.sends_of(r) {
+                assert_eq!(plan.needs_of(dest).get(&r), Some(cols));
+            }
+        }
+    }
+
+    #[test]
+    fn reducer_sums_across_ranks_deterministically() {
+        for ranks in [1usize, 2, 5] {
+            let reducers = Reducer::for_ranks(ranks);
+            let total: f64 = std::thread::scope(|scope| {
+                let handles: Vec<_> = reducers
+                    .into_iter()
+                    .enumerate()
+                    .map(|(rank, reducer)| {
+                        scope.spawn(move || reducer.allreduce_sum((rank + 1) as f64))
+                    })
+                    .collect();
+                let mut totals: Vec<f64> = handles
+                    .into_iter()
+                    .map(|h| h.join().expect("rank panicked"))
+                    .collect();
+                let first = totals.pop().unwrap();
+                assert!(totals.iter().all(|&t| t == first), "ranks disagree");
+                first
+            });
+            let expected: f64 = (1..=ranks).map(|r| r as f64).sum();
+            assert_eq!(total, expected);
+        }
+    }
+}

@@ -1,0 +1,43 @@
+//! # feir-dist
+//!
+//! Simulated distributed-memory substrate for the FEIR project (reproduction
+//! of *"Exploiting Asynchrony from Exact Forward Recovery for DUE in
+//! Iterative Solvers"*, Jaulmes et al., SC 2015).
+//!
+//! The paper's scaling study (Section 3.4 / Figure 5) runs the resilient CG
+//! as MPI+OmpSs: the matrix is distributed by block rows, each rank exchanges
+//! the halo of the search direction before its local SpMV, and the two dot
+//! products of the iteration are global allreduces. This crate reproduces
+//! that structure with *simulated ranks* — one OS thread per rank, message
+//! passing over channels, no shared mutable state between ranks — so the
+//! communication pattern (and its failure domains) can be studied on one
+//! machine:
+//!
+//! * [`RankPartition`] — contiguous block-row ownership, the paper's
+//!   distribution of the 27-point Poisson operator;
+//! * [`HaloPlan`] / [`RankComm`] — per-pair exchange lists of exactly the
+//!   remote entries each rank's rows reference, sent over channels each
+//!   iteration ([`distributed_spmv`] is the one-shot form);
+//! * [`Reducer`] — deterministic rank-ordered sum allreduce used for the CG
+//!   dot products ([`distributed_dot`] is the one-shot form);
+//! * [`RankDomains`] — one [`feir_pagemem::PageRegistry`] per rank: DUEs are
+//!   contained to the rank that owns the page, which is the fault-domain
+//!   model the distributed recovery of Section 3.4 relies on;
+//! * [`distributed_cg`] — block-row distributed CG over the simulated ranks,
+//!   agreeing with the shared-memory solver to round-off;
+//! * [`ScalingModel`] — the calibrated analytic model regenerating the
+//!   Figure-5 speedup curves for every recovery policy.
+
+#![warn(missing_docs)]
+
+pub mod cg;
+pub mod comm;
+pub mod domains;
+pub mod model;
+pub mod partition;
+
+pub use cg::{distributed_cg, DistSolveResult};
+pub use comm::{distributed_dot, distributed_spmv, HaloPlan, RankComm, Reducer};
+pub use domains::RankDomains;
+pub use model::{ScalingModel, ScalingPoint};
+pub use partition::RankPartition;

@@ -1,0 +1,270 @@
+//! The calibrated analytic weak/strong-scaling model behind Figure 5.
+//!
+//! The paper measures the resilient MPI+OmpSs CG on a 512³ 27-point Poisson
+//! problem from 64 to 1024 cores with one or two DUEs per run. This module
+//! reproduces the *shape* of those curves from four effects:
+//!
+//! 1. ideal strong scaling degraded by a communication/imbalance drag
+//!    calibrated so the fault-free parallel efficiency at 1024 cores matches
+//!    the paper's 80.17%;
+//! 2. a per-iteration protection overhead per policy (the Table-2 overheads:
+//!    AFEIR's overlapped recovery tasks cost less than FEIR's critical-path
+//!    ones);
+//! 3. a per-error recovery cost, expressed as a fraction of the run;
+//! 4. an error-cost amplification with core count — a stall holds more cores
+//!    idle at scale. AFEIR's exponent is the smallest because its recoveries
+//!    overlap the reductions instead of stalling them.
+//!
+//! Speedups are reported relative to the fault-free ideal CG on
+//! [`ScalingModel::baseline_cores`] cores, as in the paper's Figure 5.
+
+use feir_recovery::RecoveryPolicy;
+
+/// One point of a Figure-5 curve.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ScalingPoint {
+    /// Core count of this point.
+    pub cores: usize,
+    /// Speedup versus the fault-free ideal run on the baseline core count.
+    pub speedup: f64,
+}
+
+/// Calibrated analytic model of the Figure-5 scaling study.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScalingModel {
+    /// Core count the speedups are normalised to (the paper's 64).
+    pub baseline_cores: usize,
+    /// Linear efficiency drag per baseline multiple; calibrated so the ideal
+    /// parallel efficiency at 1024 cores is the paper's 80.17%.
+    pub efficiency_drag: f64,
+    /// Fault-free per-iteration overhead of AFEIR, as a fraction of the
+    /// iteration (recovery planning overlapped with the reductions).
+    pub afeir_iteration_overhead: f64,
+    /// Fault-free per-iteration overhead of FEIR (recovery checks in the
+    /// critical path) — strictly larger than AFEIR's.
+    pub feir_iteration_overhead: f64,
+    /// Fault-free per-iteration overhead of the Lossy Restart bookkeeping.
+    pub lossy_iteration_overhead: f64,
+    /// Fault-free per-iteration overhead of periodic checkpointing.
+    pub checkpoint_iteration_overhead: f64,
+    /// Fault-free per-iteration overhead of trivial forward recovery.
+    pub trivial_iteration_overhead: f64,
+    /// Per-error cost at the baseline core count, as a fraction of the run.
+    pub afeir_error_cost: f64,
+    /// FEIR per-error cost (critical-path reconstruction).
+    pub feir_error_cost: f64,
+    /// Lossy Restart per-error cost (interpolation + discarded Krylov space).
+    pub lossy_error_cost: f64,
+    /// Checkpoint per-error cost (rollback plus re-executed iterations).
+    pub checkpoint_error_cost: f64,
+    /// Trivial per-error cost (extra iterations after accepting blank pages).
+    pub trivial_error_cost: f64,
+    /// Exponent of the error-cost growth with `cores / baseline_cores`.
+    pub afeir_error_scale_exponent: f64,
+    /// FEIR error-cost exponent (stalls serialise more work at scale).
+    pub feir_error_scale_exponent: f64,
+    /// Lossy Restart error-cost exponent.
+    pub lossy_error_scale_exponent: f64,
+    /// Checkpoint error-cost exponent (global rollback).
+    pub checkpoint_error_scale_exponent: f64,
+    /// Trivial error-cost exponent.
+    pub trivial_error_scale_exponent: f64,
+}
+
+impl Default for ScalingModel {
+    fn default() -> Self {
+        Self {
+            baseline_cores: 64,
+            // eff(1024) = 1 / (1 + drag·15) = 0.8017.
+            efficiency_drag: 0.016_489,
+            afeir_iteration_overhead: 0.004,
+            feir_iteration_overhead: 0.018,
+            lossy_iteration_overhead: 0.006,
+            checkpoint_iteration_overhead: 0.035,
+            trivial_iteration_overhead: 0.003,
+            afeir_error_cost: 0.12,
+            feir_error_cost: 0.15,
+            lossy_error_cost: 0.20,
+            checkpoint_error_cost: 0.45,
+            trivial_error_cost: 0.35,
+            afeir_error_scale_exponent: 0.25,
+            feir_error_scale_exponent: 0.55,
+            lossy_error_scale_exponent: 0.35,
+            checkpoint_error_scale_exponent: 0.60,
+            trivial_error_scale_exponent: 0.50,
+        }
+    }
+}
+
+impl ScalingModel {
+    /// The paper's Figure-5 core counts.
+    pub const CORE_COUNTS: [usize; 5] = [64, 128, 256, 512, 1024];
+
+    /// Fault-free parallel efficiency at `cores` relative to the baseline
+    /// (1.0 at [`Self::baseline_cores`], 0.8017 at 1024 with defaults).
+    pub fn ideal_efficiency(&self, cores: usize) -> f64 {
+        let u = cores as f64 / self.baseline_cores as f64;
+        1.0 / (1.0 + self.efficiency_drag * (u - 1.0).max(0.0))
+    }
+
+    /// Fault-free ideal speedup versus the baseline core count.
+    pub fn ideal_speedup(&self, cores: usize) -> f64 {
+        (cores as f64 / self.baseline_cores as f64) * self.ideal_efficiency(cores)
+    }
+
+    /// Fault-free per-iteration overhead fraction of `policy`.
+    pub fn iteration_overhead(&self, policy: RecoveryPolicy) -> f64 {
+        match policy {
+            RecoveryPolicy::Ideal => 0.0,
+            RecoveryPolicy::Afeir => self.afeir_iteration_overhead,
+            RecoveryPolicy::Feir => self.feir_iteration_overhead,
+            RecoveryPolicy::LossyRestart => self.lossy_iteration_overhead,
+            RecoveryPolicy::Checkpoint { .. } => self.checkpoint_iteration_overhead,
+            RecoveryPolicy::Trivial => self.trivial_iteration_overhead,
+        }
+    }
+
+    /// Per-error cost fraction of `policy` at the baseline core count.
+    pub fn error_cost(&self, policy: RecoveryPolicy) -> f64 {
+        match policy {
+            RecoveryPolicy::Ideal => 0.0,
+            RecoveryPolicy::Afeir => self.afeir_error_cost,
+            RecoveryPolicy::Feir => self.feir_error_cost,
+            RecoveryPolicy::LossyRestart => self.lossy_error_cost,
+            RecoveryPolicy::Checkpoint { .. } => self.checkpoint_error_cost,
+            RecoveryPolicy::Trivial => self.trivial_error_cost,
+        }
+    }
+
+    /// Error-cost amplification exponent of `policy`.
+    pub fn error_scale_exponent(&self, policy: RecoveryPolicy) -> f64 {
+        match policy {
+            RecoveryPolicy::Ideal => 0.0,
+            RecoveryPolicy::Afeir => self.afeir_error_scale_exponent,
+            RecoveryPolicy::Feir => self.feir_error_scale_exponent,
+            RecoveryPolicy::LossyRestart => self.lossy_error_scale_exponent,
+            RecoveryPolicy::Checkpoint { .. } => self.checkpoint_error_scale_exponent,
+            RecoveryPolicy::Trivial => self.trivial_error_scale_exponent,
+        }
+    }
+
+    /// Modelled run time of `policy` on `cores` cores with `errors` DUEs per
+    /// run, normalised so the fault-free ideal run on the baseline is 1.0.
+    pub fn run_time(&self, policy: RecoveryPolicy, cores: usize, errors: usize) -> f64 {
+        let t_ideal = 1.0 / self.ideal_speedup(cores);
+        let amplification =
+            (cores as f64 / self.baseline_cores as f64).powf(self.error_scale_exponent(policy));
+        t_ideal
+            * (1.0
+                + self.iteration_overhead(policy)
+                + errors as f64 * self.error_cost(policy) * amplification)
+    }
+
+    /// Figure-5 speedup of `policy` on `cores` cores with `errors` DUEs per
+    /// run, versus the fault-free ideal run on the baseline core count.
+    pub fn speedup(&self, policy: RecoveryPolicy, cores: usize, errors: usize) -> f64 {
+        1.0 / self.run_time(policy, cores, errors)
+    }
+
+    /// The full Figure-5 sweep for `errors` DUEs per run: one speedup curve
+    /// over [`Self::CORE_COUNTS`] for each compared policy, in the paper's
+    /// plotting order.
+    pub fn figure5_series(&self, errors: usize) -> Vec<(RecoveryPolicy, Vec<ScalingPoint>)> {
+        RecoveryPolicy::COMPARED
+            .iter()
+            .map(|&policy| {
+                let points = Self::CORE_COUNTS
+                    .iter()
+                    .map(|&cores| ScalingPoint {
+                        cores,
+                        speedup: self.speedup(policy, cores, errors),
+                    })
+                    .collect();
+                (policy, points)
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn efficiency_is_calibrated_to_the_paper() {
+        let model = ScalingModel::default();
+        assert!((model.ideal_efficiency(64) - 1.0).abs() < 1e-12);
+        let eff_1024 = model.ideal_efficiency(1024);
+        assert!((eff_1024 - 0.8017).abs() < 1e-3, "eff(1024) = {eff_1024}");
+    }
+
+    #[test]
+    fn afeir_overhead_is_below_feir() {
+        let model = ScalingModel::default();
+        assert!(model.afeir_iteration_overhead < model.feir_iteration_overhead);
+        assert!(
+            model.speedup(RecoveryPolicy::Afeir, 1024, 1)
+                > model.speedup(RecoveryPolicy::Feir, 1024, 1)
+        );
+    }
+
+    #[test]
+    fn speedups_are_monotone_in_core_count() {
+        let model = ScalingModel::default();
+        for errors in [0usize, 1, 2] {
+            for policy in RecoveryPolicy::COMPARED {
+                let mut last = 0.0;
+                for cores in ScalingModel::CORE_COUNTS {
+                    let s = model.speedup(policy, cores, errors);
+                    assert!(
+                        s > last,
+                        "{} with {errors} errors not monotone at {cores} cores: {s} <= {last}",
+                        policy.name()
+                    );
+                    last = s;
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn errors_always_cost_time() {
+        let model = ScalingModel::default();
+        for policy in RecoveryPolicy::COMPARED {
+            for cores in ScalingModel::CORE_COUNTS {
+                assert!(
+                    model.speedup(policy, cores, 1) < model.ideal_speedup(cores),
+                    "{}",
+                    policy.name()
+                );
+                assert!(model.speedup(policy, cores, 2) < model.speedup(policy, cores, 1));
+            }
+        }
+    }
+
+    #[test]
+    fn figure5_ordering_matches_the_paper_at_scale() {
+        // Paper, 1024 cores, 1 error: AFEIR 10.01 > Lossy 8.17 > FEIR 7.50.
+        let model = ScalingModel::default();
+        let afeir = model.speedup(RecoveryPolicy::Afeir, 1024, 1);
+        let lossy = model.speedup(RecoveryPolicy::LossyRestart, 1024, 1);
+        let feir = model.speedup(RecoveryPolicy::Feir, 1024, 1);
+        assert!(afeir > lossy && lossy > feir, "{afeir} / {lossy} / {feir}");
+        // And the magnitudes are in the paper's ballpark.
+        assert!((afeir - 10.0).abs() < 1.5, "AFEIR speedup {afeir}");
+        assert!((feir - 7.5).abs() < 1.5, "FEIR speedup {feir}");
+        assert!((lossy - 8.2).abs() < 1.5, "Lossy speedup {lossy}");
+    }
+
+    #[test]
+    fn series_cover_all_policies_and_core_counts() {
+        let model = ScalingModel::default();
+        let series = model.figure5_series(2);
+        assert_eq!(series.len(), RecoveryPolicy::COMPARED.len());
+        for (_, points) in &series {
+            assert_eq!(points.len(), ScalingModel::CORE_COUNTS.len());
+            assert_eq!(points[0].cores, 64);
+            assert_eq!(points.last().unwrap().cores, 1024);
+        }
+    }
+}

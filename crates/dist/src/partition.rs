@@ -1,0 +1,102 @@
+//! Contiguous block-row ownership of a matrix across simulated ranks.
+
+use std::ops::Range;
+
+/// Assignment of contiguous row blocks to `ranks` simulated ranks.
+///
+/// Rows are split as evenly as possible: the first `n % ranks` ranks own one
+/// extra row. This mirrors the block-row distribution the paper uses for the
+/// 27-point Poisson operator of the scaling study.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RankPartition {
+    n: usize,
+    starts: Vec<usize>,
+}
+
+impl RankPartition {
+    /// Partitions `n` rows over `ranks` ranks.
+    ///
+    /// # Panics
+    /// Panics if `ranks == 0`.
+    pub fn new(n: usize, ranks: usize) -> Self {
+        assert!(ranks > 0, "need at least one rank");
+        let base = n / ranks;
+        let extra = n % ranks;
+        let mut starts = Vec::with_capacity(ranks + 1);
+        let mut at = 0;
+        for r in 0..ranks {
+            starts.push(at);
+            at += base + usize::from(r < extra);
+        }
+        starts.push(n);
+        Self { n, starts }
+    }
+
+    /// Total number of rows.
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// True if the partition covers no rows.
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// Number of ranks.
+    pub fn num_ranks(&self) -> usize {
+        self.starts.len() - 1
+    }
+
+    /// Row range owned by `rank`.
+    pub fn range(&self, rank: usize) -> Range<usize> {
+        self.starts[rank]..self.starts[rank + 1]
+    }
+
+    /// The rank owning `row`.
+    pub fn owner_of(&self, row: usize) -> usize {
+        debug_assert!(row < self.n);
+        match self.starts.binary_search(&row) {
+            Ok(r) => r.min(self.num_ranks() - 1),
+            Err(insert) => insert - 1,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn partitions_cover_all_rows_contiguously() {
+        for (n, ranks) in [(10, 3), (16, 4), (7, 7), (5, 2), (100, 8)] {
+            let p = RankPartition::new(n, ranks);
+            assert_eq!(p.num_ranks(), ranks);
+            assert_eq!(p.len(), n);
+            let mut at = 0;
+            for r in 0..ranks {
+                let range = p.range(r);
+                assert_eq!(range.start, at);
+                at = range.end;
+                for row in range {
+                    assert_eq!(p.owner_of(row), r, "row {row} of ({n}, {ranks})");
+                }
+            }
+            assert_eq!(at, n);
+        }
+    }
+
+    #[test]
+    fn load_is_balanced_within_one_row() {
+        let p = RankPartition::new(103, 8);
+        let sizes: Vec<usize> = (0..8).map(|r| p.range(r).len()).collect();
+        let min = *sizes.iter().min().unwrap();
+        let max = *sizes.iter().max().unwrap();
+        assert!(max - min <= 1, "{sizes:?}");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one rank")]
+    fn zero_ranks_is_rejected() {
+        let _ = RankPartition::new(4, 0);
+    }
+}

@@ -56,11 +56,7 @@ impl CheckpointStore {
     pub fn on_temp_disk() -> Self {
         static NEXT: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
         let unique = NEXT.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-        let dir = std::env::temp_dir().join(format!(
-            "feir-ckpt-{}-{}",
-            std::process::id(),
-            unique
-        ));
+        let dir = std::env::temp_dir().join(format!("feir-ckpt-{}-{}", std::process::id(), unique));
         let _ = std::fs::create_dir_all(&dir);
         Self::new(CheckpointTarget::LocalDisk(dir))
     }
@@ -98,9 +94,8 @@ impl CheckpointStore {
             // local-disk checkpoints do.
             let path = dir.join("cg-checkpoint.bin");
             if let Ok(mut file) = std::fs::File::create(&path) {
-                let as_bytes = |v: &[f64]| -> Vec<u8> {
-                    v.iter().flat_map(|x| x.to_le_bytes()).collect()
-                };
+                let as_bytes =
+                    |v: &[f64]| -> Vec<u8> { v.iter().flat_map(|x| x.to_le_bytes()).collect() };
                 let _ = file.write_all(&(iteration as u64).to_le_bytes());
                 let _ = file.write_all(&as_bytes(x));
                 let _ = file.write_all(&as_bytes(d));
@@ -164,7 +159,11 @@ pub fn optimal_checkpoint_interval(
     let it = iteration_time.as_secs_f64().max(1e-12);
     if c <= 0.0 || !m.is_finite() || m <= 0.0 {
         // Free checkpoints -> checkpoint every iteration; no errors -> huge interval.
-        return if m.is_finite() && m > 0.0 { 1 } else { usize::MAX / 2 };
+        return if m.is_finite() && m > 0.0 {
+            1
+        } else {
+            usize::MAX / 2
+        };
     }
     let t_opt = (2.0 * c * m).sqrt();
     ((t_opt / it).round() as usize).max(1)

@@ -156,7 +156,10 @@ impl BlockRecovery {
         blocks: &[usize],
         spd: bool,
     ) -> Option<Vec<f64>> {
-        let ranges: Vec<_> = blocks.iter().map(|&blk| self.partition.range(blk)).collect();
+        let ranges: Vec<_> = blocks
+            .iter()
+            .map(|&blk| self.partition.range(blk))
+            .collect();
         let mut rhs = Vec::with_capacity(ranges.iter().map(|r| r.len()).sum());
         for ri in &ranges {
             for r in ri.clone() {
@@ -313,7 +316,11 @@ mod tests {
         let (_, partition, recovery, v, w) = setup();
         let alpha = 0.3;
         let beta = -1.7;
-        let u: Vec<f64> = v.iter().zip(&w).map(|(a, b)| alpha * a + beta * b).collect();
+        let u: Vec<f64> = v
+            .iter()
+            .zip(&w)
+            .map(|(a, b)| alpha * a + beta * b)
+            .collect();
         let block = 1;
         let range = partition.range(block);
         let mut out = vec![0.0; range.len()];
@@ -378,7 +385,11 @@ mod tests {
                 iterations = t;
                 break;
             }
-            let beta = if eps_old.is_finite() { eps / eps_old } else { 0.0 };
+            let beta = if eps_old.is_finite() {
+                eps / eps_old
+            } else {
+                0.0
+            };
             vecops::xpay(&g, beta, &mut d);
             a.spmv(&d, &mut q);
             if t == 7 {
@@ -398,6 +409,9 @@ mod tests {
             eps_old = eps;
             iterations = t + 1;
         }
-        assert_eq!(iterations, clean.iterations, "exact recovery must not change convergence");
+        assert_eq!(
+            iterations, clean.iterations,
+            "exact recovery must not change convergence"
+        );
     }
 }

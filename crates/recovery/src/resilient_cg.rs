@@ -29,9 +29,9 @@ use std::sync::Arc;
 use std::time::Instant;
 
 use feir_pagemem::{AccessOutcome, PageRegistry, SkipMask, VectorId};
+use feir_solvers::history::{ConvergenceHistory, SolveOptions, StopReason};
 use feir_sparse::blocking::BlockPartition;
 use feir_sparse::{vecops, BlockJacobi, CsrMatrix};
-use feir_solvers::history::{ConvergenceHistory, SolveOptions, StopReason};
 use rayon::prelude::*;
 
 use crate::checkpoint::{CheckpointStore, CheckpointTarget};
@@ -388,15 +388,22 @@ impl<'a> ResilientCg<'a> {
                         // Critical path: recover, then reduce over clean data.
                         let mark = Instant::now();
                         let plan = self.plan_r1(
-                            beta, d_prev, d_prev_bit, update_src, update_src_bit, d_cur, d_cur_id,
-                            d_cur_bit, &q, q_id, &skip, t,
+                            beta,
+                            d_prev,
+                            d_prev_bit,
+                            update_src,
+                            update_src_bit,
+                            d_cur,
+                            d_cur_id,
+                            d_cur_bit,
+                            &q,
+                            q_id,
+                            &skip,
+                            t,
                         );
                         pages_recovered += self.apply_fixes(
                             &plan,
-                            &mut [
-                                (d_cur_id, d_cur_bit, &mut *d_cur),
-                                (q_id, bits::Q, &mut q),
-                            ],
+                            &mut [(d_cur_id, d_cur_bit, &mut *d_cur), (q_id, bits::Q, &mut q)],
                             &skip,
                         );
                         events.extend(plan.events);
@@ -415,11 +422,31 @@ impl<'a> ResilientCg<'a> {
                         // add the contributions of the recovered pages.
                         let mark = Instant::now();
                         let (reduction, plan) = rayon::join(
-                            || self.reduce_dot(d_cur, d_cur_id, d_cur_bit, &q, q_id, bits::Q, &skip),
+                            || {
+                                self.reduce_dot(
+                                    d_cur,
+                                    d_cur_id,
+                                    d_cur_bit,
+                                    &q,
+                                    q_id,
+                                    bits::Q,
+                                    &skip,
+                                )
+                            },
                             || {
                                 self.plan_r1(
-                                    beta, d_prev, d_prev_bit, update_src, update_src_bit, d_cur,
-                                    d_cur_id, d_cur_bit, &q, q_id, &skip, t,
+                                    beta,
+                                    d_prev,
+                                    d_prev_bit,
+                                    update_src,
+                                    update_src_bit,
+                                    d_cur,
+                                    d_cur_id,
+                                    d_cur_bit,
+                                    &q,
+                                    q_id,
+                                    &skip,
+                                    t,
                                 )
                             },
                         );
@@ -427,10 +454,7 @@ impl<'a> ResilientCg<'a> {
                         let (mut dq, skipped) = reduction;
                         pages_recovered += self.apply_fixes(
                             &plan,
-                            &mut [
-                                (d_cur_id, d_cur_bit, &mut *d_cur),
-                                (q_id, bits::Q, &mut q),
-                            ],
+                            &mut [(d_cur_id, d_cur_bit, &mut *d_cur), (q_id, bits::Q, &mut q)],
                             &skip,
                         );
                         events.extend(plan.events);
@@ -547,117 +571,117 @@ impl<'a> ResilientCg<'a> {
                     skip.clear_all();
                     time.recovery += mark.elapsed();
                 }
-                RecoveryPolicy::Checkpoint { .. } => {
-                    if !self.registry.all_healthy() {
-                        let mark = Instant::now();
-                        // Blank / absorb every outstanding fault, then roll back.
-                        for (vec, id) in [
-                            (&mut x, x_id),
-                            (&mut g, g_id),
-                            (&mut d0, d0_id),
-                            (&mut d1, d1_id),
-                            (&mut q, q_id),
-                            (&mut z, z_id.unwrap_or(q_id)),
-                        ] {
-                            self.absorb_faults(vec, id);
-                        }
-                        let store = checkpoint_store.as_mut().expect("store exists");
-                        let mut scalars = Vec::new();
-                        // The restored direction must act as d_prev of the
-                        // *next* loop iteration (t+1): that is buffer 0 when
-                        // t is even, buffer 1 when t is odd.
-                        let d_target = if t % 2 == 0 { &mut d0 } else { &mut d1 };
-                        if let Some(resume) = store.rollback(&mut x, d_target, &mut scalars) {
-                            rollbacks += 1;
-                            events.push(RecoveryEvent {
-                                iteration: t,
-                                vector: "x,d".into(),
-                                page: 0,
-                                action: RecoveryAction::Rollback,
-                            });
-                            // Recompute the residual from the restored iterate.
-                            self.a.spmv_parallel(&x, &mut g);
-                            g.par_iter_mut()
-                                .zip(self.b.par_iter())
-                                .for_each(|(gi, bi)| *gi = bi - *gi);
-                            eps_old = scalars.get(1).copied().unwrap_or(f64::INFINITY);
-                            eps = vecops::norm2_squared(&g);
-                            let _ = resume;
-                            // The rollback restored or will recompute every
-                            // vector: clear all outstanding page-loss state.
-                            for id in [x_id, g_id, d0_id, d1_id, q_id, z_id.unwrap_or(q_id)] {
-                                for p in self.registry.lost_pages(id) {
-                                    self.registry.mark_recovered(id, p);
-                                }
-                            }
-                            skip.clear_all();
-                            time.checkpoint += mark.elapsed();
-                            continue;
-                        }
-                        time.checkpoint += mark.elapsed();
+                RecoveryPolicy::Checkpoint { .. } if !self.registry.all_healthy() => {
+                    let mark = Instant::now();
+                    // Blank / absorb every outstanding fault, then roll back.
+                    for (vec, id) in [
+                        (&mut x, x_id),
+                        (&mut g, g_id),
+                        (&mut d0, d0_id),
+                        (&mut d1, d1_id),
+                        (&mut q, q_id),
+                        (&mut z, z_id.unwrap_or(q_id)),
+                    ] {
+                        self.absorb_faults(vec, id);
                     }
-                }
-                RecoveryPolicy::LossyRestart => {
-                    if !self.registry.all_healthy() {
-                        let mark = Instant::now();
-                        // Blank every lost page, then interpolate x and restart.
-                        let lost_x = {
-                            self.absorb_faults(&mut x, x_id);
-                            self.registry.lost_pages(x_id)
-                        };
-                        for (vec, id) in [
-                            (&mut g, g_id),
-                            (&mut d0, d0_id),
-                            (&mut d1, d1_id),
-                            (&mut q, q_id),
-                            (&mut z, z_id.unwrap_or(q_id)),
-                        ] {
-                            self.absorb_faults(vec, id);
-                            for p in self.registry.lost_pages(id) {
-                                self.registry.mark_recovered(id, p);
-                            }
-                        }
-                        // Lossy interpolation of the lost iterate pages.
-                        let recovery = self.recovery.as_ref().expect("lossy needs blocks");
-                        let lost_pages = self.registry.lost_pages(x_id);
-                        let all_lost: Vec<usize> =
-                            lost_pages.iter().chain(lost_x.iter()).copied().collect();
-                        let recovered = lossy::lossy_interpolate_in_place(
-                            self.a,
-                            self.b,
-                            &mut x,
-                            recovery.diagonal_blocks(),
-                            &all_lost,
-                        );
-                        pages_recovered += recovered;
-                        for p in &all_lost {
-                            self.registry.mark_recovered(x_id, *p);
-                            events.push(RecoveryEvent {
-                                iteration: t,
-                                vector: "x".into(),
-                                page: *p,
-                                action: RecoveryAction::LossyInterpolation,
-                            });
-                        }
-                        // Restart: recompute g, reset the Krylov space.
+                    let store = checkpoint_store.as_mut().expect("store exists");
+                    let mut scalars = Vec::new();
+                    // The restored direction must act as d_prev of the
+                    // *next* loop iteration (t+1): that is buffer 0 when
+                    // t is even, buffer 1 when t is odd.
+                    let d_target = if t % 2 == 0 { &mut d0 } else { &mut d1 };
+                    if let Some(resume) = store.rollback(&mut x, d_target, &mut scalars) {
+                        rollbacks += 1;
+                        events.push(RecoveryEvent {
+                            iteration: t,
+                            vector: "x,d".into(),
+                            page: 0,
+                            action: RecoveryAction::Rollback,
+                        });
+                        // Recompute the residual from the restored iterate.
                         self.a.spmv_parallel(&x, &mut g);
                         g.par_iter_mut()
                             .zip(self.b.par_iter())
                             .for_each(|(gi, bi)| *gi = bi - *gi);
-                        d0.iter_mut().for_each(|v| *v = 0.0);
-                        d1.iter_mut().for_each(|v| *v = 0.0);
-                        eps_old = f64::INFINITY;
+                        eps_old = scalars.get(1).copied().unwrap_or(f64::INFINITY);
                         eps = vecops::norm2_squared(&g);
-                        restarts += 1;
+                        let _ = resume;
+                        // The rollback restored or will recompute every
+                        // vector: clear all outstanding page-loss state.
+                        for id in [x_id, g_id, d0_id, d1_id, q_id, z_id.unwrap_or(q_id)] {
+                            for p in self.registry.lost_pages(id) {
+                                self.registry.mark_recovered(id, p);
+                            }
+                        }
                         skip.clear_all();
-                        time.recovery += mark.elapsed();
+                        time.checkpoint += mark.elapsed();
                         continue;
                     }
+                    time.checkpoint += mark.elapsed();
+                }
+                RecoveryPolicy::LossyRestart if !self.registry.all_healthy() => {
+                    let mark = Instant::now();
+                    // Blank every lost page, then interpolate x and restart.
+                    let lost_x = {
+                        self.absorb_faults(&mut x, x_id);
+                        self.registry.lost_pages(x_id)
+                    };
+                    for (vec, id) in [
+                        (&mut g, g_id),
+                        (&mut d0, d0_id),
+                        (&mut d1, d1_id),
+                        (&mut q, q_id),
+                        (&mut z, z_id.unwrap_or(q_id)),
+                    ] {
+                        self.absorb_faults(vec, id);
+                        for p in self.registry.lost_pages(id) {
+                            self.registry.mark_recovered(id, p);
+                        }
+                    }
+                    // Lossy interpolation of the lost iterate pages.
+                    let recovery = self.recovery.as_ref().expect("lossy needs blocks");
+                    let lost_pages = self.registry.lost_pages(x_id);
+                    let all_lost: Vec<usize> =
+                        lost_pages.iter().chain(lost_x.iter()).copied().collect();
+                    let recovered = lossy::lossy_interpolate_in_place(
+                        self.a,
+                        self.b,
+                        &mut x,
+                        recovery.diagonal_blocks(),
+                        &all_lost,
+                    );
+                    pages_recovered += recovered;
+                    for p in &all_lost {
+                        self.registry.mark_recovered(x_id, *p);
+                        events.push(RecoveryEvent {
+                            iteration: t,
+                            vector: "x".into(),
+                            page: *p,
+                            action: RecoveryAction::LossyInterpolation,
+                        });
+                    }
+                    // Restart: recompute g, reset the Krylov space.
+                    self.a.spmv_parallel(&x, &mut g);
+                    g.par_iter_mut()
+                        .zip(self.b.par_iter())
+                        .for_each(|(gi, bi)| *gi = bi - *gi);
+                    d0.iter_mut().for_each(|v| *v = 0.0);
+                    d1.iter_mut().for_each(|v| *v = 0.0);
+                    eps_old = f64::INFINITY;
+                    eps = vecops::norm2_squared(&g);
+                    restarts += 1;
+                    skip.clear_all();
+                    time.recovery += mark.elapsed();
+                    continue;
                 }
                 _ => {}
             }
 
-            eps_old = if self.preconditioner.is_some() { rho } else { eps };
+            eps_old = if self.preconditioner.is_some() {
+                rho
+            } else {
+                eps
+            };
             eps = new_eps;
         }
 
@@ -866,7 +890,8 @@ impl<'a> ResilientCg<'a> {
         let results: Vec<(usize, Option<f64>)> = (0..partition.num_blocks())
             .into_par_iter()
             .map(|p| {
-                if self.page_invalid(u_id, u_bit, p, skip) || self.page_invalid(v_id, v_bit, p, skip)
+                if self.page_invalid(u_id, u_bit, p, skip)
+                    || self.page_invalid(v_id, v_bit, p, skip)
                 {
                     (p, None)
                 } else {
@@ -948,7 +973,11 @@ impl<'a> ResilientCg<'a> {
             if prev_ok && src_ok {
                 // Linear update relation d_cur = β·d_prev + src: exact and cheap.
                 let mut out = vec![0.0; range.len()];
-                for ((o, dp), s) in out.iter_mut().zip(&d_prev[range.clone()]).zip(&src[range.clone()]) {
+                for ((o, dp), s) in out
+                    .iter_mut()
+                    .zip(&d_prev[range.clone()])
+                    .zip(&src[range.clone()])
+                {
                     *o = beta * dp + s;
                 }
                 d_view[range].copy_from_slice(&out);

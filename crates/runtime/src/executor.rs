@@ -129,7 +129,7 @@ impl Executor {
         }
 
         // Move the task bodies out of the graph so workers can take them.
-        let mut bodies: Vec<Option<Box<dyn FnOnce() + Send>>> = Vec::with_capacity(num_tasks);
+        let mut bodies: Vec<Option<TaskBody>> = Vec::with_capacity(num_tasks);
         let mut meta: Vec<(Priority, TaskKind, Vec<TaskId>)> = Vec::with_capacity(num_tasks);
         let mut remaining = Vec::with_capacity(num_tasks);
         for node in graph.tasks {
@@ -205,6 +205,9 @@ impl Executor {
 
 type WorkerResult = (StateTimes, usize, Vec<(TaskKind, Duration)>);
 
+/// A task body moved out of the graph, awaiting execution by a worker.
+type TaskBody = Box<dyn FnOnce() + Send>;
+
 /// Charges the wall time since `*mark` to `bucket` and advances the mark.
 fn charge(bucket: &mut Duration, mark: &mut Instant) {
     let now = Instant::now();
@@ -215,7 +218,7 @@ fn charge(bucket: &mut Duration, mark: &mut Instant) {
 fn worker_loop(
     _worker_index: usize,
     scheduler: &Scheduler,
-    bodies: &Mutex<Vec<Option<Box<dyn FnOnce() + Send>>>>,
+    bodies: &Mutex<Vec<Option<TaskBody>>>,
     meta: &[(Priority, TaskKind, Vec<TaskId>)],
 ) -> WorkerResult {
     let mut times = StateTimes::default();
@@ -314,13 +317,9 @@ mod tests {
         let mut graph = TaskGraph::new();
         for i in 0..64u64 {
             let counter = Arc::clone(&counter);
-            graph.add_compute(
-                format!("t{i}"),
-                &[Access::write(RegionId(i))],
-                move || {
-                    counter.fetch_add(1, Ordering::Relaxed);
-                },
-            );
+            graph.add_compute(format!("t{i}"), &[Access::write(RegionId(i))], move || {
+                counter.fetch_add(1, Ordering::Relaxed);
+            });
         }
         let stats = exec.run(graph);
         assert_eq!(counter.load(Ordering::Relaxed), 64);

@@ -196,7 +196,12 @@ impl TaskGraph {
     }
 
     /// Adds a task with default compute kind and priority.
-    pub fn add_compute<F>(&mut self, name: impl Into<String>, accesses: &[Access], func: F) -> TaskId
+    pub fn add_compute<F>(
+        &mut self,
+        name: impl Into<String>,
+        accesses: &[Access],
+        func: F,
+    ) -> TaskId
     where
         F: FnOnce() + Send + 'static,
     {

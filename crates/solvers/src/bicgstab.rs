@@ -263,7 +263,12 @@ mod tests {
     fn iteration_cap_is_respected() {
         let a = nonsymmetric_matrix(16);
         let (_, b) = manufactured_rhs(&a, 8);
-        let result = bicgstab(&a, &b, None, &SolveOptions::default().with_max_iterations(2));
+        let result = bicgstab(
+            &a,
+            &b,
+            None,
+            &SolveOptions::default().with_max_iterations(2),
+        );
         assert!(result.iterations <= 2);
     }
 }

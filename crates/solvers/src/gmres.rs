@@ -41,7 +41,14 @@ pub fn gmres(
     gmres_preconditioned(a, b, x0, &IdentityPreconditioner, options, gmres_options)
 }
 
-/// Left-preconditioned restarted GMRES(m) (Listing 7 of the paper).
+/// Right-preconditioned restarted GMRES(m) (Listing 7 of the paper).
+///
+/// Right preconditioning (`A M⁻¹ u = b`, `x = M⁻¹ u`) is used instead of left
+/// preconditioning because the least-squares problem then minimises the *true*
+/// residual norm: with a badly scaled `M` (diagonal entries spanning several
+/// orders of magnitude), the left-preconditioned norm hides true-residual
+/// components by up to `cond(M)`, which caps the attainable accuracy near
+/// `ε·cond(M)` regardless of restart length.
 pub fn gmres_preconditioned(
     a: &CsrMatrix,
     b: &[f64],
@@ -90,15 +97,9 @@ pub fn gmres_preconditioned(
     let mut scratch = vec![0.0; n];
     let mut precond_scratch = vec![0.0; n];
 
-    // Norm of the preconditioned right-hand side: the inner Arnoldi loop sees
-    // preconditioned residual norms, so its stopping estimate must be scaled
-    // consistently (otherwise a strong preconditioner triggers premature
-    // restarts or late exits).
-    preconditioner.apply(b, &mut precond_scratch);
-    let norm_mb = vecops::norm2(&precond_scratch).max(f64::MIN_POSITIVE);
-
     'outer: while total_inner < options.max_iterations {
-        // g ⇐ b − A·x, preconditioned: solve M z = g.
+        // r ⇐ b − A·x: with right preconditioning the Arnoldi process runs on
+        // the true residual, so the inner estimate needs no rescaling.
         spmv(a, &x, &mut scratch);
         for (si, bi) in scratch.iter_mut().zip(b) {
             *si = bi - *si;
@@ -111,8 +112,7 @@ pub fn gmres_preconditioned(
             stop_reason = StopReason::Converged;
             break;
         }
-        preconditioner.apply(&scratch, &mut precond_scratch);
-        let beta = vecops::norm2(&precond_scratch);
+        let beta = vecops::norm2(&scratch);
         if beta == 0.0 || !beta.is_finite() {
             stop_reason = StopReason::Breakdown;
             break;
@@ -120,7 +120,7 @@ pub fn gmres_preconditioned(
 
         // Arnoldi basis (m+1 vectors) and Hessenberg matrix (m+1 x m).
         let mut basis: Vec<Vec<f64>> = Vec::with_capacity(m + 1);
-        basis.push(precond_scratch.iter().map(|v| v / beta).collect());
+        basis.push(scratch.iter().map(|v| v / beta).collect());
         let mut h = DenseMatrix::zeros(m + 1, m);
 
         // Givens rotations and the rotated rhs `g_vec = beta * e1`.
@@ -134,10 +134,10 @@ pub fn gmres_preconditioned(
             if total_inner + l >= options.max_iterations {
                 break;
             }
-            // w ⇐ M⁻¹ A v_l
-            spmv(a, &basis[l], &mut scratch);
-            preconditioner.apply(&scratch, &mut precond_scratch);
-            let mut w = precond_scratch.clone();
+            // w ⇐ A M⁻¹ v_l
+            preconditioner.apply(&basis[l], &mut precond_scratch);
+            spmv(a, &precond_scratch, &mut scratch);
+            let mut w = scratch.clone();
             // Modified Gram-Schmidt.
             for (k, vk) in basis.iter().enumerate().take(l + 1) {
                 let hkl = vecops::dot(&w, vk);
@@ -167,7 +167,7 @@ pub fn gmres_preconditioned(
             g_vec[l + 1] = g_new;
             g_vec[l] *= c;
 
-            let est_rel = g_vec[l + 1].abs() / norm_mb;
+            let est_rel = g_vec[l + 1].abs() / norm_b;
             if options.record_history {
                 history.push(total_inner + l + 1, est_rel, start.elapsed());
             }
@@ -189,16 +189,24 @@ pub fn gmres_preconditioned(
         // Back-substitute R y = g_vec (R is the rotated H, upper triangular).
         let mut y = vec![0.0; inner_used];
         for i in (0..inner_used).rev() {
-            let mut sum = g_vec[i];
-            for k in (i + 1)..inner_used {
-                sum -= h.get(i, k) * y[k];
-            }
+            let dot: f64 = ((i + 1)..inner_used).map(|k| h.get(i, k) * y[k]).sum();
+            let sum = g_vec[i] - dot;
             let diag = h.get(i, i);
-            y[i] = if diag.abs() > f64::EPSILON { sum / diag } else { 0.0 };
+            y[i] = if diag.abs() > f64::EPSILON {
+                sum / diag
+            } else {
+                0.0
+            };
         }
-        // x ⇐ x + Σ y_l v_l
+        // x ⇐ x + M⁻¹ Σ y_l v_l (the update lives in the preconditioned
+        // variable u; map it back through M⁻¹ once per cycle).
+        vecops::zero(&mut scratch);
         for (l, yl) in y.iter().enumerate() {
-            vecops::axpy(*yl, &basis[l], &mut x);
+            vecops::axpy(*yl, &basis[l], &mut scratch);
+        }
+        preconditioner.apply(&scratch, &mut precond_scratch);
+        for (xi, zi) in x.iter_mut().zip(&precond_scratch) {
+            *xi += zi;
         }
         total_inner += inner_used;
     }
@@ -383,7 +391,13 @@ mod tests {
     fn zero_rhs_short_circuits() {
         let a = poisson_2d(4);
         let b = vec![0.0; a.rows()];
-        let result = gmres(&a, &b, None, &SolveOptions::default(), &GmresOptions::default());
+        let result = gmres(
+            &a,
+            &b,
+            None,
+            &SolveOptions::default(),
+            &GmresOptions::default(),
+        );
         assert!(result.converged());
         assert_eq!(result.iterations, 0);
     }

@@ -98,9 +98,7 @@ impl ConvergenceHistory {
     /// `slack` (CG in exact arithmetic is monotone in the A-norm, not the
     /// 2-norm, so some slack is expected).
     pub fn is_roughly_monotone(&self, slack: f64) -> bool {
-        self.samples
-            .windows(2)
-            .all(|w| w[1].1 <= w[0].1 * slack)
+        self.samples.windows(2).all(|w| w[1].1 <= w[0].1 * slack)
     }
 }
 

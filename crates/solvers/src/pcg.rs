@@ -88,7 +88,11 @@ pub fn pcg(
             iterations = t;
             break;
         }
-        let beta = if rho_old.is_finite() { rho / rho_old } else { 0.0 };
+        let beta = if rho_old.is_finite() {
+            rho / rho_old
+        } else {
+            0.0
+        };
         // d ⇐ β·d + z
         vecops::xpay(&z, beta, &mut d);
         // q ⇐ A·d
@@ -188,7 +192,13 @@ mod tests {
     fn zero_rhs_short_circuits() {
         let a = poisson_2d(6);
         let b = vec![0.0; a.rows()];
-        let result = pcg(&a, &b, None, &IdentityPreconditioner, &SolveOptions::default());
+        let result = pcg(
+            &a,
+            &b,
+            None,
+            &IdentityPreconditioner,
+            &SolveOptions::default(),
+        );
         assert!(result.converged());
         assert_eq!(result.iterations, 0);
     }

@@ -320,7 +320,11 @@ mod tests {
         let mut eps_old = f64::INFINITY;
         for _ in 0..5 {
             let eps = vecops::norm2_squared(&g);
-            let beta = if eps_old.is_finite() { eps / eps_old } else { 0.0 };
+            let beta = if eps_old.is_finite() {
+                eps / eps_old
+            } else {
+                0.0
+            };
             vecops::xpay(&g, beta, &mut d);
             a.spmv(&d, &mut q);
             let alpha = eps / vecops::dot(&q, &d);

@@ -57,7 +57,10 @@ impl BlockPartition {
     pub fn range(&self, b: usize) -> std::ops::Range<usize> {
         let start = b * self.block_size;
         let end = ((b + 1) * self.block_size).min(self.n);
-        assert!(start < self.n || (self.n == 0 && start == 0), "block out of range");
+        assert!(
+            start < self.n || (self.n == 0 && start == 0),
+            "block out of range"
+        );
         start..end
     }
 
@@ -268,7 +271,14 @@ mod tests {
 
         let range = part.range(1);
         let mut rhs = vec![0.0; range.len()];
-        a.spmv_rows_excluding(range.start, range.end, range.start, range.end, &x_true, &mut rhs);
+        a.spmv_rows_excluding(
+            range.start,
+            range.end,
+            range.start,
+            range.end,
+            &x_true,
+            &mut rhs,
+        );
         for (k, r) in range.clone().enumerate() {
             rhs[k] = b[r] - rhs[k];
         }

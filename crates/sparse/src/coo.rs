@@ -73,7 +73,12 @@ impl CooMatrix {
     /// Pushes an entry and, if it is off-diagonal, its transposed twin.
     /// Convenient when reading symmetric MatrixMarket files, which store only
     /// the lower triangle.
-    pub fn push_symmetric(&mut self, row: usize, col: usize, value: f64) -> Result<(), SparseError> {
+    pub fn push_symmetric(
+        &mut self,
+        row: usize,
+        col: usize,
+        value: f64,
+    ) -> Result<(), SparseError> {
         self.push(row, col, value)?;
         if row != col {
             self.push(col, row, value)?;
@@ -90,7 +95,7 @@ impl CooMatrix {
     pub fn to_csr(&self) -> CsrMatrix {
         // Count entries per row first (duplicates collapse later).
         let mut sorted = self.entries.clone();
-        sorted.sort_unstable_by(|a, b| (a.0, a.1).cmp(&(b.0, b.1)));
+        sorted.sort_unstable_by_key(|a| (a.0, a.1));
 
         let mut row_ptr = Vec::with_capacity(self.rows + 1);
         let mut col_idx = Vec::with_capacity(sorted.len());

@@ -59,11 +59,11 @@ impl CsrMatrix {
             }
         }
         for (r, w) in row_ptr.windows(2).enumerate() {
-            for k in w[0]..w[1] {
-                if col_idx[k] >= cols {
+            for &c in &col_idx[w[0]..w[1]] {
+                if c >= cols {
                     return Err(SparseError::IndexOutOfBounds {
                         row: r,
-                        col: col_idx[k],
+                        col: c,
                         shape: (rows, cols),
                     });
                 }
@@ -189,13 +189,13 @@ impl CsrMatrix {
     pub fn spmv(&self, x: &[f64], y: &mut [f64]) {
         assert_eq!(x.len(), self.cols, "spmv: x has wrong length");
         assert_eq!(y.len(), self.rows, "spmv: y has wrong length");
-        for r in 0..self.rows {
+        for (r, out) in y.iter_mut().enumerate() {
             let (cols, vals) = self.row(r);
             let mut acc = 0.0;
             for (c, v) in cols.iter().zip(vals) {
                 acc += v * x[*c];
             }
-            y[r] = acc;
+            *out = acc;
         }
     }
 

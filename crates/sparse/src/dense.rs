@@ -87,9 +87,11 @@ impl DenseMatrix {
     pub fn matvec(&self, x: &[f64]) -> Vec<f64> {
         assert_eq!(x.len(), self.cols);
         let mut y = vec![0.0; self.rows];
-        for r in 0..self.rows {
-            let row = &self.data[r * self.cols..(r + 1) * self.cols];
-            y[r] = row.iter().zip(x).map(|(a, b)| a * b).sum();
+        if self.cols == 0 {
+            return y;
+        }
+        for (out, row) in y.iter_mut().zip(self.data.chunks(self.cols)) {
+            *out = row.iter().zip(x).map(|(a, b)| a * b).sum();
         }
         y
     }
@@ -98,10 +100,12 @@ impl DenseMatrix {
     pub fn matvec_transpose(&self, x: &[f64]) -> Vec<f64> {
         assert_eq!(x.len(), self.rows);
         let mut y = vec![0.0; self.cols];
-        for r in 0..self.rows {
-            let row = &self.data[r * self.cols..(r + 1) * self.cols];
-            for (c, a) in row.iter().enumerate() {
-                y[c] += a * x[r];
+        if self.cols == 0 {
+            return y;
+        }
+        for (xr, row) in x.iter().zip(self.data.chunks(self.cols)) {
+            for (out, a) in y.iter_mut().zip(row) {
+                *out += a * xr;
             }
         }
         y
@@ -215,19 +219,13 @@ impl Cholesky {
         let n = self.n;
         // Forward substitution L y = b.
         for i in 0..n {
-            let mut sum = b[i];
-            for k in 0..i {
-                sum -= self.l[i * n + k] * b[k];
-            }
-            b[i] = sum / self.l[i * n + i];
+            let dot: f64 = (0..i).map(|k| self.l[i * n + k] * b[k]).sum();
+            b[i] = (b[i] - dot) / self.l[i * n + i];
         }
         // Backward substitution Lᵀ x = y.
         for i in (0..n).rev() {
-            let mut sum = b[i];
-            for k in (i + 1)..n {
-                sum -= self.l[k * n + i] * b[k];
-            }
-            b[i] = sum / self.l[i * n + i];
+            let dot: f64 = ((i + 1)..n).map(|k| self.l[k * n + i] * b[k]).sum();
+            b[i] = (b[i] - dot) / self.l[i * n + i];
         }
     }
 
@@ -300,19 +298,13 @@ impl Lu {
         let mut x: Vec<f64> = self.perm.iter().map(|&p| b[p]).collect();
         // Forward substitution with unit lower-triangular L.
         for i in 0..n {
-            let mut sum = x[i];
-            for k in 0..i {
-                sum -= self.lu[i * n + k] * x[k];
-            }
-            x[i] = sum;
+            let dot: f64 = (0..i).map(|k| self.lu[i * n + k] * x[k]).sum();
+            x[i] -= dot;
         }
         // Backward substitution with U.
         for i in (0..n).rev() {
-            let mut sum = x[i];
-            for k in (i + 1)..n {
-                sum -= self.lu[i * n + k] * x[k];
-            }
-            x[i] = sum / self.lu[i * n + i];
+            let dot: f64 = ((i + 1)..n).map(|k| self.lu[i * n + k] * x[k]).sum();
+            x[i] = (x[i] - dot) / self.lu[i * n + i];
         }
         x
     }
@@ -416,23 +408,18 @@ impl Qr {
         // Apply Qᵀ to b.
         for k in 0..n {
             let mut dot = y[k];
-            for i in (k + 1)..m {
-                dot += self.qr[i * n + k] * y[i];
-            }
+            dot += ((k + 1)..m).map(|i| self.qr[i * n + k] * y[i]).sum::<f64>();
             dot *= self.tau[k];
             y[k] -= dot;
-            for i in (k + 1)..m {
-                y[i] -= dot * self.qr[i * n + k];
+            for (i, yi) in y.iter_mut().enumerate().take(m).skip(k + 1) {
+                *yi -= dot * self.qr[i * n + k];
             }
         }
         // Backward substitution with R.
         let mut x = vec![0.0; n];
         for i in (0..n).rev() {
-            let mut sum = y[i];
-            for k in (i + 1)..n {
-                sum -= self.qr[i * n + k] * x[k];
-            }
-            x[i] = sum / self.qr[i * n + i];
+            let dot: f64 = ((i + 1)..n).map(|k| self.qr[i * n + k] * x[k]).sum();
+            x[i] = (y[i] - dot) / self.qr[i * n + i];
         }
         x
     }
@@ -443,11 +430,7 @@ mod tests {
     use super::*;
 
     fn spd3() -> DenseMatrix {
-        DenseMatrix::from_row_major(
-            3,
-            3,
-            vec![4.0, 1.0, 0.5, 1.0, 5.0, 1.5, 0.5, 1.5, 6.0],
-        )
+        DenseMatrix::from_row_major(3, 3, vec![4.0, 1.0, 0.5, 1.0, 5.0, 1.5, 0.5, 1.5, 6.0])
     }
 
     #[test]
@@ -491,7 +474,8 @@ mod tests {
 
     #[test]
     fn lu_solves_general_system() {
-        let a = DenseMatrix::from_row_major(3, 3, vec![0.0, 2.0, 1.0, 1.0, -1.0, 0.0, 3.0, 0.0, -2.0]);
+        let a =
+            DenseMatrix::from_row_major(3, 3, vec![0.0, 2.0, 1.0, 1.0, -1.0, 0.0, 3.0, 0.0, -2.0]);
         let lu = a.lu().expect("non-singular matrix must factorize");
         let x_true = vec![2.0, 0.5, -1.5];
         let b = a.matvec(&x_true);

@@ -87,8 +87,7 @@ pub fn poisson_3d_27pt(n: usize) -> CsrMatrix {
                 for di in -1i64..=1 {
                     for dj in -1i64..=1 {
                         for dk in -1i64..=1 {
-                            let (ni, nj, nk) =
-                                (i as i64 + di, j as i64 + dj, k as i64 + dk);
+                            let (ni, nj, nk) = (i as i64 + di, j as i64 + dj, k as i64 + dk);
                             if ni < 0
                                 || nj < 0
                                 || nk < 0
@@ -207,9 +206,9 @@ pub fn random_spd(n: usize, nnz_per_row: usize, seed: u64) -> CsrMatrix {
             row_sums[j] += v.abs();
         }
     }
-    for i in 0..n {
+    for (i, row_sum) in row_sums.iter().enumerate() {
         // Strictly dominant diagonal keeps the matrix SPD.
-        coo.push(i, i, row_sums[i] + 1.0 + rng.random_range(0.0..1.0))
+        coo.push(i, i, row_sum + 1.0 + rng.random_range(0.0..1.0))
             .expect("in bounds");
     }
     coo.to_csr()
@@ -249,7 +248,7 @@ mod tests {
         assert_eq!(a.rows(), 27);
         assert!(a.is_symmetric(0.0));
         // Center point has all 6 neighbours.
-        let center = (1 * 3 + 1) * 3 + 1;
+        let center = (3 + 1) * 3 + 1;
         let (cols, _) = a.row(center);
         assert_eq!(cols.len(), 7);
         assert_eq!(a.get(center, center), 6.0);
@@ -260,7 +259,7 @@ mod tests {
         let a = poisson_3d_27pt(3);
         assert_eq!(a.rows(), 27);
         assert!(a.is_symmetric(0.0));
-        let center = (1 * 3 + 1) * 3 + 1;
+        let center = (3 + 1) * 3 + 1;
         let (cols, vals) = a.row(center);
         assert_eq!(cols.len(), 27);
         assert_eq!(a.get(center, center), 26.0);

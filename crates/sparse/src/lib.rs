@@ -40,8 +40,8 @@ pub mod matrixmarket;
 pub mod proxies;
 pub mod vecops;
 
-pub use blockjacobi::BlockJacobi;
 pub use blocking::{BlockPartition, DiagonalBlocks};
+pub use blockjacobi::BlockJacobi;
 pub use coo::CooMatrix;
 pub use csr::CsrMatrix;
 pub use dense::{Cholesky, DenseMatrix, Lu, Qr};

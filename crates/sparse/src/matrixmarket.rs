@@ -226,10 +226,10 @@ mod tests {
             "%%MatrixMarket matrix coordinate complex general\n1 1 0\n".as_bytes()
         )
         .is_err());
-        assert!(read_matrix_market(
-            "%%MatrixMarket matrix array real general\n1 1\n".as_bytes()
-        )
-        .is_err());
+        assert!(
+            read_matrix_market("%%MatrixMarket matrix array real general\n1 1\n".as_bytes())
+                .is_err()
+        );
     }
 
     #[test]

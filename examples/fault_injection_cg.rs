@@ -25,7 +25,11 @@ fn main() {
     // Protect the iterate with the page registry.
     let registry = Arc::new(PageRegistry::new());
     let mut x = PagedVector::from_vec("x", x_true.clone(), Arc::clone(&registry));
-    println!("protected vector `x`: {} elements over {} pages", x.len(), x.num_pages());
+    println!(
+        "protected vector `x`: {} elements over {} pages",
+        x.len(),
+        x.num_pages()
+    );
 
     // Simulate a DUE on page 1 of x (what the hardware scrubber would report).
     registry.inject(x.id(), 1);

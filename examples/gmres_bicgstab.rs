@@ -54,7 +54,14 @@ fn main() {
 
     // GMRES(30) with a Jacobi preconditioner.
     let jacobi = JacobiPreconditioner::new(&a);
-    let result = gmres_preconditioned(&a, &b, None, &jacobi, &options, &GmresOptions { restart: 30 });
+    let result = gmres_preconditioned(
+        &a,
+        &b,
+        None,
+        &jacobi,
+        &options,
+        &GmresOptions { restart: 30 },
+    );
     println!(
         "GMRES(30)+Jacobi: {} iterations, residual {:.2e}",
         result.iterations, result.relative_residual

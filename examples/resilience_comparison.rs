@@ -67,5 +67,7 @@ fn main() {
             report.converged()
         );
     }
-    println!("\nExpected ordering at low rates (paper): AFEIR ≤ FEIR < Lossy << checkpoint, trivial.");
+    println!(
+        "\nExpected ordering at low rates (paper): AFEIR ≤ FEIR < Lossy << checkpoint, trivial."
+    );
 }

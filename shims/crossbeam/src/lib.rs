@@ -1,0 +1,84 @@
+//! Vendored shim for the subset of
+//! [crossbeam](https://crates.io/crates/crossbeam) this workspace uses:
+//! `crossbeam::channel::unbounded` with cloneable senders. Backed by
+//! `std::sync::mpsc`.
+
+/// Multi-producer channels (`crossbeam::channel` subset).
+pub mod channel {
+    /// Error returned when the receiving side has hung up.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub struct SendError<T>(pub T);
+
+    /// Error returned when all senders have hung up.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub struct RecvError;
+
+    /// Sending half of an unbounded channel.
+    #[derive(Debug)]
+    pub struct Sender<T> {
+        inner: std::sync::mpsc::Sender<T>,
+    }
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Self {
+            Self {
+                inner: self.inner.clone(),
+            }
+        }
+    }
+
+    impl<T> Sender<T> {
+        /// Sends a message, failing only if the receiver is gone.
+        pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+            self.inner.send(value).map_err(|e| SendError(e.0))
+        }
+    }
+
+    /// Receiving half of an unbounded channel.
+    #[derive(Debug)]
+    pub struct Receiver<T> {
+        inner: std::sync::mpsc::Receiver<T>,
+    }
+
+    impl<T> Receiver<T> {
+        /// Blocks for the next message; fails when every sender is gone.
+        pub fn recv(&self) -> Result<T, RecvError> {
+            self.inner.recv().map_err(|_| RecvError)
+        }
+
+        /// Non-blocking receive of any already-queued message.
+        pub fn try_recv(&self) -> Option<T> {
+            self.inner.try_recv().ok()
+        }
+    }
+
+    /// Creates an unbounded channel.
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        let (tx, rx) = std::sync::mpsc::channel();
+        (Sender { inner: tx }, Receiver { inner: rx })
+    }
+
+    #[cfg(test)]
+    mod tests {
+        #[test]
+        fn fan_in_from_clones() {
+            let (tx, rx) = super::unbounded();
+            let handles: Vec<_> = (0..4u32)
+                .map(|i| {
+                    let tx = tx.clone();
+                    std::thread::spawn(move || tx.send(i).unwrap())
+                })
+                .collect();
+            drop(tx);
+            let mut got = Vec::new();
+            while let Ok(v) = rx.recv() {
+                got.push(v);
+            }
+            for h in handles {
+                h.join().unwrap();
+            }
+            got.sort_unstable();
+            assert_eq!(got, vec![0, 1, 2, 3]);
+        }
+    }
+}

@@ -1,0 +1,260 @@
+//! Vendored shim for the subset of
+//! [proptest](https://crates.io/crates/proptest) this workspace uses: the
+//! `proptest!` macro over named strategies, range strategies, tuple
+//! strategies, `prop_map`, `ProptestConfig::with_cases` and the
+//! `prop_assert!` family. Cases are generated from a deterministic per-case
+//! seed, so failures are reproducible; there is no shrinking — the failing
+//! inputs are reported as-is through the panic message.
+
+/// Strategy trait and combinators.
+pub mod strategy {
+    use crate::test_runner::TestRng;
+
+    /// A recipe for generating values of type [`Strategy::Value`].
+    pub trait Strategy {
+        /// The type of the generated values.
+        type Value;
+
+        /// Generates one value from the deterministic `rng`.
+        fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Maps generated values through `f` (proptest's `prop_map`).
+        fn prop_map<U, F>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> U,
+        {
+            Map { inner: self, f }
+        }
+    }
+
+    /// Strategy returned by [`Strategy::prop_map`].
+    pub struct Map<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S, F, U> Strategy for Map<S, F>
+    where
+        S: Strategy,
+        F: Fn(S::Value) -> U,
+    {
+        type Value = U;
+
+        fn generate(&self, rng: &mut TestRng) -> U {
+            (self.f)(self.inner.generate(rng))
+        }
+    }
+
+    impl Strategy for std::ops::Range<usize> {
+        type Value = usize;
+
+        fn generate(&self, rng: &mut TestRng) -> usize {
+            rng.usize_in(self.start, self.end)
+        }
+    }
+
+    impl Strategy for std::ops::Range<u64> {
+        type Value = u64;
+
+        fn generate(&self, rng: &mut TestRng) -> u64 {
+            rng.u64_in(self.start, self.end)
+        }
+    }
+
+    impl Strategy for std::ops::Range<f64> {
+        type Value = f64;
+
+        fn generate(&self, rng: &mut TestRng) -> f64 {
+            rng.f64_in(self.start, self.end)
+        }
+    }
+
+    macro_rules! tuple_strategy {
+        ($($name:ident),+) => {
+            impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+                type Value = ($($name::Value,)+);
+
+                #[allow(non_snake_case)]
+                fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                    let ($($name,)+) = self;
+                    ($($name.generate(rng),)+)
+                }
+            }
+        };
+    }
+
+    tuple_strategy!(A, B);
+    tuple_strategy!(A, B, C);
+    tuple_strategy!(A, B, C, D);
+    tuple_strategy!(A, B, C, D, E);
+    tuple_strategy!(A, B, C, D, E, G);
+}
+
+/// Test-case configuration and deterministic RNG.
+pub mod test_runner {
+    /// Subset of proptest's `ProptestConfig`: just the case count.
+    #[derive(Debug, Clone)]
+    pub struct ProptestConfig {
+        /// Number of cases each property is checked against.
+        pub cases: u32,
+    }
+
+    impl ProptestConfig {
+        /// A configuration running `cases` cases per property.
+        pub fn with_cases(cases: u32) -> Self {
+            Self { cases }
+        }
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            Self { cases: 64 }
+        }
+    }
+
+    /// Deterministic per-case generator (SplitMix64 stream).
+    #[derive(Debug, Clone)]
+    pub struct TestRng {
+        state: u64,
+    }
+
+    impl TestRng {
+        /// The generator for case number `case` of a property.
+        pub fn for_case(case: u32) -> Self {
+            Self {
+                state: 0x5EED_0000_0000_0000
+                    ^ (u64::from(case).wrapping_mul(0x9E37_79B9_7F4A_7C15)),
+            }
+        }
+
+        fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+
+        /// Uniform draw in `[lo, hi)`.
+        pub fn usize_in(&mut self, lo: usize, hi: usize) -> usize {
+            assert!(lo < hi, "empty usize range");
+            lo + (self.next_u64() % (hi - lo) as u64) as usize
+        }
+
+        /// Uniform draw in `[lo, hi)`.
+        pub fn u64_in(&mut self, lo: u64, hi: u64) -> u64 {
+            assert!(lo < hi, "empty u64 range");
+            lo + self.next_u64() % (hi - lo)
+        }
+
+        /// Uniform draw in `[lo, hi)`.
+        pub fn f64_in(&mut self, lo: f64, hi: f64) -> f64 {
+            assert!(lo < hi, "empty f64 range");
+            let unit = (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+            lo + unit * (hi - lo)
+        }
+    }
+}
+
+/// Runs each property against `config.cases` deterministic cases.
+///
+/// Supported form (the one this workspace uses):
+///
+/// ```ignore
+/// proptest! {
+///     #![proptest_config(ProptestConfig::with_cases(24))]
+///     #[test]
+///     fn property(x in 0usize..10, (a, b) in pair_strategy()) { ... }
+/// }
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)]
+     $($(#[$meta:meta])*
+       fn $name:ident($($arg:pat in $strategy:expr),+ $(,)?) $body:block)+) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::test_runner::ProptestConfig = $config;
+                for case in 0..config.cases {
+                    let mut rng = $crate::test_runner::TestRng::for_case(case);
+                    $(let $arg = $crate::strategy::Strategy::generate(&($strategy), &mut rng);)+
+                    $body
+                }
+            }
+        )+
+    };
+    ($($(#[$meta:meta])*
+       fn $name:ident($($arg:pat in $strategy:expr),+ $(,)?) $body:block)+) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config = $crate::test_runner::ProptestConfig::default();
+                for case in 0..config.cases {
+                    let mut rng = $crate::test_runner::TestRng::for_case(case);
+                    $(let $arg = $crate::strategy::Strategy::generate(&($strategy), &mut rng);)+
+                    $body
+                }
+            }
+        )+
+    };
+}
+
+/// Property assertion; panics with the formatted message on failure.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        assert!($cond)
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        assert!($cond, $($fmt)+)
+    };
+}
+
+/// Property equality assertion.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(, $($fmt:tt)+)?) => {
+        assert_eq!($left, $right $(, $($fmt)+)?)
+    };
+}
+
+/// Everything a `proptest!` call site needs.
+pub mod prelude {
+    pub use crate::strategy::Strategy;
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, proptest};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    fn doubled() -> impl Strategy<Value = (usize, usize)> {
+        (1usize..50).prop_map(|n| (n, 2 * n))
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        #[test]
+        fn ranges_stay_in_bounds(x in 3usize..9, f in -1.0f64..1.0, s in 5u64..6) {
+            prop_assert!((3..9).contains(&x));
+            prop_assert!((-1.0..1.0).contains(&f), "f = {f}");
+            prop_assert_eq!(s, 5);
+        }
+
+        #[test]
+        fn mapped_tuples_hold_their_invariant((n, d) in doubled()) {
+            prop_assert_eq!(d, 2 * n);
+        }
+    }
+
+    #[test]
+    fn cases_are_deterministic() {
+        let mut a = crate::test_runner::TestRng::for_case(3);
+        let mut b = crate::test_runner::TestRng::for_case(3);
+        assert_eq!(a.usize_in(0, 1000), b.usize_in(0, 1000));
+    }
+}

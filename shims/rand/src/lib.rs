@@ -1,0 +1,142 @@
+//! Vendored shim for the subset of [rand](https://crates.io/crates/rand) this
+//! workspace uses: `StdRng::seed_from_u64` plus `random_range` over `usize`,
+//! `u64` and `f64` ranges. The generator is xoshiro256++ seeded through
+//! SplitMix64 — deterministic per seed, which is all the matrix generators and
+//! the fault injector require.
+
+use std::ops::Range;
+
+/// Deterministic pseudo-random generators.
+pub mod rngs {
+    /// Stand-in for `rand::rngs::StdRng`: xoshiro256++ with SplitMix64 seeding.
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        state: [u64; 4],
+    }
+
+    impl StdRng {
+        pub(crate) fn from_u64_seed(seed: u64) -> Self {
+            // SplitMix64 expansion of the seed, as the xoshiro authors suggest.
+            let mut sm = seed;
+            let mut next = || {
+                sm = sm.wrapping_add(0x9E37_79B9_7F4A_7C15);
+                let mut z = sm;
+                z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+                z ^ (z >> 31)
+            };
+            Self {
+                state: [next(), next(), next(), next()],
+            }
+        }
+
+        pub(crate) fn next_u64(&mut self) -> u64 {
+            let [s0, s1, s2, s3] = self.state;
+            let result = s0.wrapping_add(s3).rotate_left(23).wrapping_add(s0);
+            let t = s1 << 17;
+            let mut s = [s0, s1, s2, s3];
+            s[2] ^= s[0];
+            s[3] ^= s[1];
+            s[1] ^= s[2];
+            s[0] ^= s[3];
+            s[2] ^= t;
+            s[3] = s[3].rotate_left(45);
+            self.state = s;
+            result
+        }
+    }
+}
+
+/// Stand-in for `rand::SeedableRng` (only `seed_from_u64` is provided).
+pub trait SeedableRng: Sized {
+    /// Builds a generator from a 64-bit seed.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+impl SeedableRng for rngs::StdRng {
+    fn seed_from_u64(seed: u64) -> Self {
+        rngs::StdRng::from_u64_seed(seed)
+    }
+}
+
+/// Types that can be drawn uniformly from a half-open range.
+pub trait SampleUniform: Copy + PartialOrd {
+    /// Draws a value in `[lo, hi)`.
+    fn sample_range(rng: &mut rngs::StdRng, lo: Self, hi: Self) -> Self;
+}
+
+impl SampleUniform for usize {
+    fn sample_range(rng: &mut rngs::StdRng, lo: Self, hi: Self) -> Self {
+        let span = (hi - lo) as u64;
+        lo + (rng.next_u64() % span) as usize
+    }
+}
+
+impl SampleUniform for u64 {
+    fn sample_range(rng: &mut rngs::StdRng, lo: Self, hi: Self) -> Self {
+        lo + rng.next_u64() % (hi - lo)
+    }
+}
+
+impl SampleUniform for f64 {
+    fn sample_range(rng: &mut rngs::StdRng, lo: Self, hi: Self) -> Self {
+        // 53 uniform mantissa bits in [0, 1).
+        let unit = (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+        lo + unit * (hi - lo)
+    }
+}
+
+/// Stand-in for the `rand::RngExt` extension trait (only `random_range`).
+pub trait RngExt {
+    /// Draws a value uniformly from the half-open `range`.
+    ///
+    /// # Panics
+    /// Panics if the range is empty.
+    fn random_range<T: SampleUniform>(&mut self, range: Range<T>) -> T;
+}
+
+impl RngExt for rngs::StdRng {
+    fn random_range<T: SampleUniform>(&mut self, range: Range<T>) -> T {
+        assert!(range.start < range.end, "random_range: empty range");
+        T::sample_range(self, range.start, range.end)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{RngExt, SeedableRng};
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.random_range(0usize..1000), b.random_range(0usize..1000));
+        }
+        let mut c = StdRng::seed_from_u64(43);
+        let differs = (0..100)
+            .any(|_| a.random_range(0usize..1_000_000) != c.random_range(0usize..1_000_000));
+        assert!(differs);
+    }
+
+    #[test]
+    fn ranges_are_respected() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..10_000 {
+            let u = rng.random_range(3usize..17);
+            assert!((3..17).contains(&u));
+            let f = rng.random_range(-1.0f64..1.0);
+            assert!((-1.0..1.0).contains(&f));
+        }
+    }
+
+    #[test]
+    fn f64_mean_is_roughly_centered() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let n = 100_000;
+        let sum: f64 = (0..n).map(|_| rng.random_range(0.0f64..1.0)).sum();
+        let mean = sum / n as f64;
+        assert!((mean - 0.5).abs() < 0.01, "mean {mean}");
+    }
+}

@@ -1,0 +1,138 @@
+//! Vendored shim for the subset of [rayon](https://crates.io/crates/rayon)
+//! this workspace uses. The build environment has no registry access, so the
+//! real crate cannot be fetched; this shim keeps the exact call-site API
+//! (`par_iter`, `par_iter_mut`, `par_chunks_mut`, `into_par_iter`, `join`,
+//! `current_num_threads`) while executing the data-parallel iterators
+//! sequentially. `join` still runs its two closures on separate OS threads so
+//! the AFEIR reduction/recovery overlap remains genuinely concurrent.
+//!
+//! Swapping this shim for the real rayon is a one-line change in the root
+//! `Cargo.toml` and requires no source edits.
+
+/// Runs two closures, potentially in parallel, and returns both results.
+///
+/// Unlike the data-parallel iterator shims (which are sequential), this uses a
+/// real scoped thread for `b` because the AFEIR recovery path depends on the
+/// reduction and the recovery planning actually overlapping in time.
+pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA + Send,
+    B: FnOnce() -> RB + Send,
+    RA: Send,
+    RB: Send,
+{
+    std::thread::scope(|scope| {
+        let handle = scope.spawn(b);
+        let ra = a();
+        let rb = handle.join().expect("rayon shim: join closure panicked");
+        (ra, rb)
+    })
+}
+
+/// Number of threads the (shimmed) global pool would use.
+pub fn current_num_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1)
+}
+
+/// Drop-in replacement for `rayon::prelude`.
+pub mod prelude {
+    /// Sequential stand-ins for rayon's parallel iterators over shared slices.
+    pub trait ParallelSliceExt<T> {
+        /// Shim for `par_iter`: a plain sequential iterator.
+        fn par_iter(&self) -> std::slice::Iter<'_, T>;
+        /// Shim for `par_chunks`: plain sequential chunks.
+        fn par_chunks(&self, chunk_size: usize) -> std::slice::Chunks<'_, T>;
+    }
+
+    impl<T: Sync> ParallelSliceExt<T> for [T] {
+        fn par_iter(&self) -> std::slice::Iter<'_, T> {
+            self.iter()
+        }
+
+        fn par_chunks(&self, chunk_size: usize) -> std::slice::Chunks<'_, T> {
+            self.chunks(chunk_size)
+        }
+    }
+
+    /// Sequential stand-ins for rayon's parallel iterators over mutable slices.
+    pub trait ParallelSliceMutExt<T> {
+        /// Shim for `par_iter_mut`: a plain sequential iterator.
+        fn par_iter_mut(&mut self) -> std::slice::IterMut<'_, T>;
+        /// Shim for `par_chunks_mut`: plain sequential chunks.
+        fn par_chunks_mut(&mut self, chunk_size: usize) -> std::slice::ChunksMut<'_, T>;
+    }
+
+    impl<T: Send> ParallelSliceMutExt<T> for [T] {
+        fn par_iter_mut(&mut self) -> std::slice::IterMut<'_, T> {
+            self.iter_mut()
+        }
+
+        fn par_chunks_mut(&mut self, chunk_size: usize) -> std::slice::ChunksMut<'_, T> {
+            self.chunks_mut(chunk_size)
+        }
+    }
+
+    /// Shim for `IntoParallelIterator`: yields the ordinary iterator.
+    pub trait IntoParallelIterator {
+        /// The sequential iterator standing in for the parallel one.
+        type Iter: Iterator<Item = Self::Item>;
+        /// Items produced by the iterator.
+        type Item;
+        /// Shim for `into_par_iter`.
+        fn into_par_iter(self) -> Self::Iter;
+    }
+
+    impl IntoParallelIterator for std::ops::Range<usize> {
+        type Iter = std::ops::Range<usize>;
+        type Item = usize;
+
+        fn into_par_iter(self) -> Self::Iter {
+            self
+        }
+    }
+
+    impl<T: Send> IntoParallelIterator for Vec<T> {
+        type Iter = std::vec::IntoIter<T>;
+        type Item = T;
+
+        fn into_par_iter(self) -> Self::Iter {
+            self.into_iter()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn join_runs_both_closures_concurrently() {
+        let (a, b) = super::join(|| 1 + 1, || "two");
+        assert_eq!(a, 2);
+        assert_eq!(b, "two");
+    }
+
+    #[test]
+    fn par_iter_shims_match_sequential() {
+        let v = [1.0f64, 2.0, 3.0];
+        let s: f64 = v.par_iter().sum();
+        assert_eq!(s, 6.0);
+        let mut w = vec![0.0f64; 4];
+        w.par_iter_mut()
+            .enumerate()
+            .for_each(|(i, x)| *x = i as f64);
+        assert_eq!(w, vec![0.0, 1.0, 2.0, 3.0]);
+        let chunks: Vec<usize> = (0..10usize).into_par_iter().collect();
+        assert_eq!(chunks.len(), 10);
+        let mut y = vec![0u8; 7];
+        assert_eq!(y.par_chunks_mut(3).count(), 3);
+        assert_eq!(y.as_slice().par_chunks(3).count(), 3);
+    }
+
+    #[test]
+    fn current_num_threads_is_positive() {
+        assert!(super::current_num_threads() >= 1);
+    }
+}

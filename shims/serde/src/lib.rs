@@ -1,0 +1,36 @@
+//! Vendored shim for the subset of [serde](https://crates.io/crates/serde)
+//! this workspace uses. The workspace only ever *derives* `Serialize` /
+//! `Deserialize` (no code calls a serializer — see the note in
+//! `feir-core::experiment`), so the shim provides the two marker traits plus
+//! no-op derive macros. Swapping in the real serde is a one-line change in the
+//! root `Cargo.toml`.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker stand-in for `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker stand-in for `serde::Deserialize`.
+pub trait Deserialize {}
+
+#[cfg(test)]
+mod tests {
+    #[derive(Debug, Clone, PartialEq, super::Serialize, super::Deserialize)]
+    struct Probe {
+        value: u32,
+    }
+
+    #[derive(Debug, Clone, Copy, PartialEq, super::Serialize, super::Deserialize)]
+    enum ProbeEnum {
+        A,
+        B { interval: usize },
+    }
+
+    #[test]
+    fn derives_compile_on_structs_and_enums() {
+        let p = Probe { value: 7 };
+        assert_eq!(p.clone(), p);
+        let e = ProbeEnum::B { interval: 3 };
+        assert_ne!(e, ProbeEnum::A);
+    }
+}

@@ -1,0 +1,150 @@
+//! Reproducible benchmark snapshot: times the solver kernels (serial and
+//! parallel), the `rayon::join` overlap primitive and a CG solve, then emits
+//! one JSON object on stdout. The committed `BENCH_PR2.json` embeds a run of
+//! this tool; regenerate with
+//!
+//! ```text
+//! cargo run --release -p feir-bench --bin bench_snapshot > snapshot.json
+//! ```
+//!
+//! Pass `--smoke` for a seconds-scale run on tiny sizes (used by CI to keep
+//! the tool from bit-rotting). `FEIR_NUM_THREADS` sizes the pool as usual.
+
+use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+use feir_solvers::{cg, SolveOptions};
+use feir_sparse::generators::{manufactured_rhs, poisson_2d};
+use feir_sparse::vecops;
+
+/// Target measurement time per benchmark.
+const TARGET_MEASURE: Duration = Duration::from_millis(250);
+const SMOKE_MEASURE: Duration = Duration::from_millis(25);
+
+struct Harness {
+    budget: Duration,
+    results: Vec<(String, f64, u64)>,
+}
+
+impl Harness {
+    /// Times `routine`, recording the mean per-iteration nanoseconds.
+    fn bench<R>(&mut self, name: &str, mut routine: impl FnMut() -> R) {
+        // Calibrate with a single run, then spend the budget.
+        let start = Instant::now();
+        black_box(routine());
+        let once = start.elapsed().max(Duration::from_nanos(1));
+        let iters = (self.budget.as_nanos() / once.as_nanos()).clamp(1, 1_000_000) as u64;
+        let start = Instant::now();
+        for _ in 0..iters {
+            black_box(routine());
+        }
+        let mean_ns = start.elapsed().as_nanos() as f64 / iters as f64;
+        eprintln!("{name:<40} {:>12.0} ns/iter  ({iters} iters)", mean_ns);
+        self.results.push((name.to_string(), mean_ns, iters));
+    }
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let mut h = Harness {
+        budget: if smoke { SMOKE_MEASURE } else { TARGET_MEASURE },
+        results: Vec::new(),
+    };
+
+    // Warm the pool up front so lazy worker spawning doesn't skew the first
+    // benchmark's calibration pass.
+    let warm: Vec<f64> = (0..vecops::DOT_CHUNK * 2).map(|i| i as f64).collect();
+    black_box(vecops::dot_parallel(&warm, &warm));
+
+    let spmv_sizes: &[usize] = if smoke { &[16] } else { &[32, 64, 96] };
+    for &side in spmv_sizes {
+        let a = poisson_2d(side);
+        let x: Vec<f64> = (0..a.cols()).map(|i| (i as f64).sin()).collect();
+        let mut y = vec![0.0; a.rows()];
+        h.bench(&format!("spmv/serial/{}", a.rows()), || {
+            a.spmv(black_box(&x), black_box(&mut y))
+        });
+        h.bench(&format!("spmv/parallel/{}", a.rows()), || {
+            a.spmv_parallel(black_box(&x), black_box(&mut y))
+        });
+    }
+
+    let n = if smoke { 1 << 12 } else { 1 << 17 };
+    let x: Vec<f64> = (0..n).map(|i| i as f64 * 0.001).collect();
+    let z: Vec<f64> = (0..n).map(|i| (i as f64).sin()).collect();
+    let mut y = z.clone();
+    h.bench(&format!("dot/serial/{n}"), || {
+        black_box(vecops::dot(black_box(&x), black_box(&z)))
+    });
+    h.bench(&format!("dot/parallel/{n}"), || {
+        black_box(vecops::dot_parallel(black_box(&x), black_box(&z)))
+    });
+    h.bench(&format!("axpy/serial/{n}"), || {
+        vecops::axpy(black_box(1.0001), black_box(&x), black_box(&mut y))
+    });
+    h.bench(&format!("axpy/parallel/{n}"), || {
+        vecops::axpy_parallel(black_box(1.0001), black_box(&x), black_box(&mut y))
+    });
+
+    // The AFEIR overlap primitive: a join of two tiny closures measures the
+    // fork/sync overhead that used to be a full OS-thread spawn per call.
+    h.bench("join/overhead", || {
+        let (a, b) = rayon::join(|| black_box(1u64) + 1, || black_box(2u64) + 2);
+        black_box(a + b)
+    });
+
+    let side = if smoke { 16 } else { 48 };
+    let a = poisson_2d(side);
+    let (_, b) = manufactured_rhs(&a, 3);
+    let options = SolveOptions::default()
+        .with_tolerance(1e-8)
+        .with_parallel(false);
+    h.bench(&format!("cg/serial/poisson_{side}x{side}"), || {
+        black_box(cg(black_box(&a), black_box(&b), None, black_box(&options)))
+    });
+    let options_par = SolveOptions::default()
+        .with_tolerance(1e-8)
+        .with_parallel(true);
+    h.bench(&format!("cg/parallel/poisson_{side}x{side}"), || {
+        black_box(cg(
+            black_box(&a),
+            black_box(&b),
+            None,
+            black_box(&options_par),
+        ))
+    });
+
+    // Emit the snapshot JSON (no external JSON crate in this environment).
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str("  \"schema\": \"feir-bench-snapshot/v1\",\n");
+    out.push_str(&format!("  \"smoke\": {smoke},\n"));
+    out.push_str(&format!(
+        "  \"threads\": {},\n",
+        rayon::current_num_threads()
+    ));
+    out.push_str(&format!(
+        "  \"available_parallelism\": {},\n",
+        std::thread::available_parallelism()
+            .map(std::num::NonZeroUsize::get)
+            .unwrap_or(1)
+    ));
+    out.push_str(&format!(
+        "  \"feir_num_threads_env\": {},\n",
+        match std::env::var("FEIR_NUM_THREADS") {
+            Ok(v) => format!("\"{v}\""),
+            Err(_) => "null".to_string(),
+        }
+    ));
+    out.push_str("  \"benches\": [\n");
+    let rows: Vec<String> = h
+        .results
+        .iter()
+        .map(|(name, mean_ns, iters)| {
+            format!("    {{\"name\": \"{name}\", \"mean_ns\": {mean_ns:.1}, \"iters\": {iters}}}")
+        })
+        .collect();
+    out.push_str(&rows.join(",\n"));
+    out.push_str("\n  ]\n}\n");
+    print!("{out}");
+}

@@ -76,8 +76,9 @@ pub struct ResilienceConfig {
     pub preconditioned: bool,
     /// Checkpoints go to local disk (realistic cost) instead of memory.
     pub checkpoint_on_disk: bool,
-    /// Number of rayon worker threads used for the strip-mined phases
-    /// (`None` = rayon's default).
+    /// Worker-thread count assumed by the FEIR time-accounting model
+    /// (`None` = the ambient rayon pool size; see
+    /// [`ResilienceConfig::effective_threads`]).
     pub threads: Option<usize>,
 }
 
@@ -100,6 +101,29 @@ impl ResilienceConfig {
             policy,
             ..Self::default()
         }
+    }
+
+    /// Builder-style setter for the worker-thread count.
+    pub fn with_threads(mut self, threads: Option<usize>) -> Self {
+        self.threads = threads;
+        self
+    }
+
+    /// Worker-thread count used by the solver's time-accounting model (the
+    /// FEIR critical-path idle attribution): the explicit
+    /// [`ResilienceConfig::threads`] override when set, otherwise the ambient
+    /// rayon pool size (which itself honors the `FEIR_NUM_THREADS`
+    /// environment variable).
+    ///
+    /// Note that the strip-mined phases always *execute* on the ambient
+    /// rayon pool; an override only changes the accounting. To change actual
+    /// execution width, size the pool itself (`FEIR_NUM_THREADS`,
+    /// `rayon::ThreadPoolBuilder`, or `ThreadPool::install`) and leave this
+    /// at `None` so model and hardware agree.
+    pub fn effective_threads(&self) -> usize {
+        self.threads
+            .unwrap_or_else(rayon::current_num_threads)
+            .max(1)
     }
 }
 
@@ -128,6 +152,17 @@ mod tests {
     fn compared_set_has_five_methods() {
         assert_eq!(RecoveryPolicy::COMPARED.len(), 5);
         assert!(!RecoveryPolicy::COMPARED.contains(&RecoveryPolicy::Ideal));
+    }
+
+    #[test]
+    fn effective_threads_prefers_the_explicit_override() {
+        let cfg = ResilienceConfig::default().with_threads(Some(6));
+        assert_eq!(cfg.effective_threads(), 6);
+        let ambient = ResilienceConfig::default().with_threads(None);
+        assert_eq!(ambient.effective_threads(), rayon::current_num_threads());
+        // A zero override degenerates to one worker instead of panicking.
+        let zero = ResilienceConfig::default().with_threads(Some(0));
+        assert_eq!(zero.effective_threads(), 1);
     }
 
     #[test]

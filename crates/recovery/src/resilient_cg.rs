@@ -302,7 +302,10 @@ impl<'a> ResilientCg<'a> {
         let mut eps_old = f64::INFINITY;
         let mut stop_reason = StopReason::MaxIterations;
         let mut iterations = 0usize;
-        let threads = rayon::current_num_threads().max(1);
+        // The configured knob (policy `threads` override, else the ambient
+        // pool, which honors FEIR_NUM_THREADS) feeds the idle-time model of
+        // the FEIR critical-path accounting.
+        let threads = self.config.effective_threads();
 
         // ε for iteration 0.
         let mark = Instant::now();

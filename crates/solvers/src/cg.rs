@@ -66,8 +66,39 @@ pub fn cg(a: &CsrMatrix, b: &[f64], x0: Option<&[f64]>, options: &SolveOptions) 
     let mut stop_reason = StopReason::MaxIterations;
     let mut iterations = 0usize;
 
+    // Kernel dispatchers in the style of `spmv` above: one loop body, the
+    // serial or pool-parallel kernel chosen by the options.
+    let norm_sq = |v: &[f64]| {
+        if options.parallel {
+            vecops::norm2_squared_parallel(v)
+        } else {
+            vecops::norm2_squared(v)
+        }
+    };
+    let dot = |u: &[f64], v: &[f64]| {
+        if options.parallel {
+            vecops::dot_parallel(u, v)
+        } else {
+            vecops::dot(u, v)
+        }
+    };
+    let axpy = |alpha: f64, u: &[f64], v: &mut [f64]| {
+        if options.parallel {
+            vecops::axpy_parallel(alpha, u, v);
+        } else {
+            vecops::axpy(alpha, u, v);
+        }
+    };
+    let xpay = |u: &[f64], beta: f64, v: &mut [f64]| {
+        if options.parallel {
+            vecops::xpay_parallel(u, beta, v);
+        } else {
+            vecops::xpay(u, beta, v);
+        }
+    };
+
     for t in 0..options.max_iterations {
-        let epsilon = vecops::norm2_squared(&g);
+        let epsilon = norm_sq(&g);
         let rel = epsilon.sqrt() / norm_b;
         if options.record_history {
             history.push(t, rel, start.elapsed());
@@ -83,10 +114,10 @@ pub fn cg(a: &CsrMatrix, b: &[f64], x0: Option<&[f64]>, options: &SolveOptions) 
             0.0
         };
         // d ⇐ β·d + g
-        vecops::xpay(&g, beta, &mut d);
+        xpay(&g, beta, &mut d);
         // q ⇐ A·d
         spmv(a, &d, &mut q);
-        let dq = vecops::dot(&q, &d);
+        let dq = dot(&q, &d);
         if dq == 0.0 || !dq.is_finite() {
             stop_reason = StopReason::Breakdown;
             iterations = t;
@@ -94,8 +125,8 @@ pub fn cg(a: &CsrMatrix, b: &[f64], x0: Option<&[f64]>, options: &SolveOptions) 
         }
         let alpha = epsilon / dq;
         // x ⇐ x + α·d ; g ⇐ g − α·q
-        vecops::axpy(alpha, &d, &mut x);
-        vecops::axpy(-alpha, &q, &mut g);
+        axpy(alpha, &d, &mut x);
+        axpy(-alpha, &q, &mut g);
         epsilon_old = epsilon;
         iterations = t + 1;
     }

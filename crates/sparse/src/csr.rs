@@ -5,6 +5,15 @@ use serde::{Deserialize, Serialize};
 
 use crate::{DenseMatrix, SparseError};
 
+/// Minimum rows per parallel SpMV chunk: rows carry several multiply-adds
+/// each, so they amortize scheduling overhead much sooner than scalar
+/// elements do.
+const MIN_SPMV_ROW_CHUNK: usize = 256;
+
+/// Below this row count `spmv_parallel` runs the serial kernel: the whole
+/// product costs only a few microseconds, less than waking the workers.
+const MIN_PARALLEL_SPMV_ROWS: usize = 4096;
+
 /// A sparse matrix stored in Compressed Sparse Row format.
 ///
 /// Column indices inside a row are kept sorted, which is what the blocked
@@ -200,19 +209,31 @@ impl CsrMatrix {
     }
 
     /// Rayon-parallel sparse matrix–vector product `y = A x`.
+    ///
+    /// Row blocks sized for the ambient pool ([`crate::vecops::parallel_chunk_len`])
+    /// are fanned out across the workers; each row is accumulated exactly as
+    /// in [`CsrMatrix::spmv`], so the output is bitwise-identical to the
+    /// serial product at any thread count.
     pub fn spmv_parallel(&self, x: &[f64], y: &mut [f64]) {
         assert_eq!(x.len(), self.cols, "spmv: x has wrong length");
         assert_eq!(y.len(), self.rows, "spmv: y has wrong length");
-        let row_ptr = &self.row_ptr;
-        let col_idx = &self.col_idx;
-        let values = &self.values;
-        y.par_iter_mut().enumerate().for_each(|(r, out)| {
-            let (start, end) = (row_ptr[r], row_ptr[r + 1]);
-            let mut acc = 0.0;
-            for k in start..end {
-                acc += values[k] * x[col_idx[k]];
+        // Small systems (or a single-worker pool) do not amortize the fan-out:
+        // fall through to the serial kernel, which computes the exact same
+        // per-row accumulations.
+        if self.rows < MIN_PARALLEL_SPMV_ROWS || rayon::current_num_threads() <= 1 {
+            return self.spmv(x, y);
+        }
+        let chunk = crate::vecops::parallel_chunk_len_with_min(self.rows, MIN_SPMV_ROW_CHUNK);
+        y.par_chunks_mut(chunk).enumerate().for_each(|(ci, yc)| {
+            let base = ci * chunk;
+            for (i, out) in yc.iter_mut().enumerate() {
+                let (cols, vals) = self.row(base + i);
+                let mut acc = 0.0;
+                for (c, v) in cols.iter().zip(vals) {
+                    acc += v * x[*c];
+                }
+                *out = acc;
             }
-            *out = acc;
         });
     }
 

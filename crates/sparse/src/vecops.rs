@@ -6,6 +6,34 @@
 
 use rayon::prelude::*;
 
+/// Fixed chunk length (in doubles) of the parallel reductions.
+///
+/// Reduction chunk boundaries must **not** depend on the pool size: each
+/// chunk's partial sum is combined in chunk order, so with fixed boundaries
+/// `dot_parallel` / `norm2_squared_parallel` return bitwise-identical results
+/// for every thread count — the shared-memory mirror of the rank-ordered
+/// allreduce in `feir-dist`.
+pub const DOT_CHUNK: usize = 4096;
+
+/// Minimum elements per chunk for element-wise parallel kernels: below this,
+/// per-job scheduling overhead exceeds the arithmetic.
+const MIN_PARALLEL_CHUNK: usize = 1024;
+
+/// Chunk length for element-wise parallel kernels over `n` elements, sized
+/// for the ambient rayon pool (a few chunks per worker so work stealing can
+/// rebalance, but never below [`MIN_PARALLEL_CHUNK`]).
+pub fn parallel_chunk_len(n: usize) -> usize {
+    parallel_chunk_len_with_min(n, MIN_PARALLEL_CHUNK)
+}
+
+/// [`parallel_chunk_len`] with a caller-chosen minimum chunk, for kernels
+/// whose per-item cost is far from one flop (e.g. SpMV rows). Delegates to
+/// the pool's own sizing heuristic so pre-chunked kernels and plain `par_*`
+/// operations stay consistently chunked.
+pub fn parallel_chunk_len_with_min(n: usize, min_chunk: usize) -> usize {
+    rayon::iter::pool_chunk_len(n, min_chunk)
+}
+
 /// Dot product `⟨x, y⟩`.
 ///
 /// # Panics
@@ -15,10 +43,17 @@ pub fn dot(x: &[f64], y: &[f64]) -> f64 {
     x.iter().zip(y).map(|(a, b)| a * b).sum()
 }
 
-/// Rayon-parallel dot product.
+/// Rayon-parallel dot product over fixed [`DOT_CHUNK`]-sized chunks.
+///
+/// Per-chunk partial sums are combined in chunk order, so the result is
+/// bitwise-deterministic: identical across repeated runs *and* across thread
+/// counts (it equals the left-to-right fold of the per-chunk serial dots).
 pub fn dot_parallel(x: &[f64], y: &[f64]) -> f64 {
     assert_eq!(x.len(), y.len(), "dot: length mismatch");
-    x.par_iter().zip(y.par_iter()).map(|(a, b)| a * b).sum()
+    x.par_chunks(DOT_CHUNK)
+        .zip(y.par_chunks(DOT_CHUNK))
+        .map(|(xc, yc)| dot(xc, yc))
+        .sum()
 }
 
 /// Euclidean norm `‖x‖₂`.
@@ -29,6 +64,17 @@ pub fn norm2(x: &[f64]) -> f64 {
 /// Squared Euclidean norm `‖x‖₂²`.
 pub fn norm2_squared(x: &[f64]) -> f64 {
     dot(x, x)
+}
+
+/// Rayon-parallel squared norm with the [`dot_parallel`] determinism
+/// guarantee.
+pub fn norm2_squared_parallel(x: &[f64]) -> f64 {
+    dot_parallel(x, x)
+}
+
+/// Rayon-parallel Euclidean norm.
+pub fn norm2_parallel(x: &[f64]) -> f64 {
+    norm2_squared_parallel(x).sqrt()
 }
 
 /// Infinity norm `‖x‖∞`.
@@ -44,12 +90,26 @@ pub fn axpy(alpha: f64, x: &[f64], y: &mut [f64]) {
     }
 }
 
-/// Rayon-parallel `y ← y + α·x`.
+/// Below this length the element-wise parallel kernels run serially: the
+/// arithmetic is cheaper than waking workers. (The result is element-wise
+/// identical either way, so the gate never affects values.)
+const MIN_PARALLEL_ELEMS: usize = 32_768;
+
+/// Rayon-parallel `y ← y + α·x`, chunked for the ambient pool. Element-wise,
+/// so the result is bitwise-identical to [`axpy`] at any thread count.
 pub fn axpy_parallel(alpha: f64, x: &[f64], y: &mut [f64]) {
     assert_eq!(x.len(), y.len(), "axpy: length mismatch");
-    y.par_iter_mut().zip(x.par_iter()).for_each(|(yi, xi)| {
-        *yi += alpha * xi;
-    });
+    if y.len() < MIN_PARALLEL_ELEMS || rayon::current_num_threads() <= 1 {
+        return axpy(alpha, x, y);
+    }
+    let chunk = parallel_chunk_len(y.len());
+    y.par_chunks_mut(chunk)
+        .zip(x.par_chunks(chunk))
+        .for_each(|(yc, xc)| {
+            for (yi, xi) in yc.iter_mut().zip(xc) {
+                *yi += alpha * xi;
+            }
+        });
 }
 
 /// `y ← x + β·y` (the `d ⇐ g + β·d` update of CG, BLAS `xpay`).
@@ -58,6 +118,23 @@ pub fn xpay(x: &[f64], beta: f64, y: &mut [f64]) {
     for (yi, xi) in y.iter_mut().zip(x) {
         *yi = xi + beta * *yi;
     }
+}
+
+/// Rayon-parallel `y ← x + β·y`, chunked for the ambient pool. Element-wise,
+/// so the result is bitwise-identical to [`xpay`] at any thread count.
+pub fn xpay_parallel(x: &[f64], beta: f64, y: &mut [f64]) {
+    assert_eq!(x.len(), y.len(), "xpay: length mismatch");
+    if y.len() < MIN_PARALLEL_ELEMS || rayon::current_num_threads() <= 1 {
+        return xpay(x, beta, y);
+    }
+    let chunk = parallel_chunk_len(y.len());
+    y.par_chunks_mut(chunk)
+        .zip(x.par_chunks(chunk))
+        .for_each(|(yc, xc)| {
+            for (yi, xi) in yc.iter_mut().zip(xc) {
+                *yi = xi + beta * *yi;
+            }
+        });
 }
 
 /// `out ← α·v + β·w`, the general linear combination of Table 1.

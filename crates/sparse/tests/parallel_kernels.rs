@@ -1,0 +1,171 @@
+//! Parallel-kernel acceptance tests: `spmv_parallel` / `dot_parallel`
+//! (1) match the serial kernels to round-off, (2) are bitwise-deterministic
+//! across repeated runs and across thread counts, and (3) demonstrably
+//! execute on more than one pool worker for large inputs.
+//!
+//! The container may expose a single hardware core, so every test builds its
+//! pools explicitly with `ThreadPoolBuilder::num_threads` instead of relying
+//! on `available_parallelism`.
+
+use feir_sparse::generators::poisson_2d;
+use feir_sparse::vecops;
+
+fn pool(threads: usize) -> rayon::ThreadPool {
+    rayon::ThreadPoolBuilder::new()
+        .num_threads(threads)
+        .build()
+        .expect("pool construction failed")
+}
+
+fn test_vectors(n: usize) -> (Vec<f64>, Vec<f64>) {
+    let x: Vec<f64> = (0..n).map(|i| (i as f64 * 0.37).sin() * 3.0).collect();
+    let y: Vec<f64> = (0..n).map(|i| (i as f64 * 0.11).cos() / 5.0).collect();
+    (x, y)
+}
+
+#[test]
+fn dot_parallel_matches_serial_to_roundoff() {
+    let (x, y) = test_vectors(100_000);
+    let serial = vecops::dot(&x, &y);
+    for threads in [1usize, 2, 8] {
+        let parallel = pool(threads).install(|| vecops::dot_parallel(&x, &y));
+        let tol = 1e-12 * serial.abs().max(1.0);
+        assert!(
+            (serial - parallel).abs() < tol,
+            "threads={threads}: serial {serial} vs parallel {parallel}"
+        );
+    }
+}
+
+#[test]
+fn dot_parallel_is_bitwise_deterministic_across_runs_and_thread_counts() {
+    let (x, y) = test_vectors(150_000);
+    // The documented contract: the left-to-right fold of fixed DOT_CHUNK
+    // partial sums, independent of the pool.
+    let reference: f64 = x
+        .chunks(vecops::DOT_CHUNK)
+        .zip(y.chunks(vecops::DOT_CHUNK))
+        .map(|(xc, yc)| vecops::dot(xc, yc))
+        .sum();
+    for threads in [1usize, 2, 4, 8] {
+        let p = pool(threads);
+        for run in 0..5 {
+            let value = p.install(|| vecops::dot_parallel(&x, &y));
+            assert_eq!(
+                value.to_bits(),
+                reference.to_bits(),
+                "threads={threads} run={run}"
+            );
+        }
+    }
+}
+
+#[test]
+fn spmv_parallel_is_bitwise_identical_to_serial_at_any_thread_count() {
+    let a = poisson_2d(96); // 9216 rows: several chunks at every pool size
+    let x: Vec<f64> = (0..a.cols()).map(|i| (i as f64).sin()).collect();
+    let mut serial = vec![0.0; a.rows()];
+    a.spmv(&x, &mut serial);
+    for threads in [1usize, 2, 8] {
+        let p = pool(threads);
+        for run in 0..3 {
+            let mut parallel = vec![0.0; a.rows()];
+            p.install(|| a.spmv_parallel(&x, &mut parallel));
+            assert!(
+                serial
+                    .iter()
+                    .zip(&parallel)
+                    .all(|(s, q)| s.to_bits() == q.to_bits()),
+                "threads={threads} run={run}: spmv_parallel diverged from serial"
+            );
+        }
+    }
+}
+
+#[test]
+fn axpy_and_xpay_parallel_are_bitwise_identical_to_serial() {
+    let (x, base) = test_vectors(80_000);
+    for threads in [1usize, 2, 8] {
+        let p = pool(threads);
+        let mut serial = base.clone();
+        let mut parallel = base.clone();
+        vecops::axpy(0.731, &x, &mut serial);
+        p.install(|| vecops::axpy_parallel(0.731, &x, &mut parallel));
+        assert!(serial
+            .iter()
+            .zip(&parallel)
+            .all(|(s, q)| s.to_bits() == q.to_bits()));
+
+        let mut serial = base.clone();
+        let mut parallel = base.clone();
+        vecops::xpay(&x, -1.25, &mut serial);
+        p.install(|| vecops::xpay_parallel(&x, -1.25, &mut parallel));
+        assert!(serial
+            .iter()
+            .zip(&parallel)
+            .all(|(s, q)| s.to_bits() == q.to_bits()));
+    }
+}
+
+/// Runs `kernel` repeatedly on a fresh 4-worker pool until at least two
+/// distinct workers have executed jobs, and asserts that they did. The caller
+/// parks while its chunks run, so every chunk executes on a pool worker; the
+/// retry bounds scheduling noise on a single hardware core.
+fn assert_runs_on_multiple_workers(name: &str, mut kernel: impl FnMut()) {
+    let p = pool(4);
+    let mut counts = Vec::new();
+    for _ in 0..50 {
+        p.install(&mut kernel);
+        counts = p.job_counts();
+        if counts.iter().filter(|&&c| c > 0).count() > 1 {
+            break;
+        }
+    }
+    let active = counts.iter().filter(|&&c| c > 0).count();
+    assert!(
+        active > 1,
+        "{name}: expected chunks on >1 worker, job counts: {counts:?}"
+    );
+}
+
+#[test]
+fn spmv_executes_on_multiple_workers_for_large_inputs() {
+    let a = poisson_2d(96);
+    let x: Vec<f64> = (0..a.cols()).map(|i| (i as f64).cos()).collect();
+    let mut y = vec![0.0; a.rows()];
+    assert_runs_on_multiple_workers("spmv_parallel", || {
+        a.spmv_parallel(&x, &mut y);
+        std::hint::black_box(&mut y);
+    });
+}
+
+#[test]
+fn dot_executes_on_multiple_workers_for_large_inputs() {
+    // Isolated from spmv so a silently-sequential dot_parallel cannot hide
+    // behind another kernel's pool jobs.
+    let (u, v) = test_vectors(200_000);
+    assert_runs_on_multiple_workers("dot_parallel", || {
+        std::hint::black_box(vecops::dot_parallel(&u, &v));
+    });
+}
+
+#[test]
+fn axpy_executes_on_multiple_workers_for_large_inputs() {
+    let (x, mut y) = test_vectors(200_000);
+    assert_runs_on_multiple_workers("axpy_parallel", || {
+        vecops::axpy_parallel(1.0000001, &x, &mut y);
+        std::hint::black_box(&mut y);
+    });
+}
+
+#[test]
+fn norm_parallel_agrees_with_serial() {
+    let (x, _) = test_vectors(64_000);
+    let p = pool(3);
+    let serial = vecops::norm2(&x);
+    let parallel = p.install(|| vecops::norm2_parallel(&x));
+    assert!((serial - parallel).abs() < 1e-12 * serial.max(1.0));
+    let serial_sq = vecops::norm2_squared(&x);
+    let parallel_sq = p.install(|| vecops::norm2_squared_parallel(&x));
+    assert!((serial_sq - parallel_sq).abs() < 1e-11 * serial_sq.max(1.0));
+}

@@ -1,0 +1,596 @@
+//! Chunk-splitting parallel iterators over slices, ranges and vectors.
+//!
+//! Everything is built on one abstraction: a [`Producer`] is an exactly-sized
+//! source that can be split at an index and lowered to a sequential iterator.
+//! Terminal operations split the producer into contiguous chunks, run one
+//! pool job per chunk, and combine per-chunk results **in chunk order**.
+//!
+//! ## Determinism
+//!
+//! Reductions ([`ParIter::sum`]) use a *fixed* chunk length
+//! ([`REDUCE_CHUNK`]) that does not depend on the pool size, and the partial
+//! sums are folded left-to-right in chunk order. A reduction over the same
+//! data therefore produces bitwise-identical results for **every** thread
+//! count (including 1) — the shared-memory mirror of the rank-ordered
+//! allreduce in `feir-dist`. Work distribution (which worker runs which
+//! chunk) is free to vary; the combination order never does.
+
+use crate::pool::current_pool;
+use std::sync::Mutex;
+
+/// Fixed chunk length (in items) for order-deterministic reductions.
+pub const REDUCE_CHUNK: usize = 4096;
+
+/// Oversubscription factor: chunks per worker for splittable for-each work,
+/// so work stealing can absorb load imbalance between chunks.
+const CHUNKS_PER_WORKER: usize = 4;
+
+/// An exactly-sized, splittable source of items.
+pub trait Producer: Send + Sized {
+    /// Item type produced.
+    type Item: Send;
+    /// Sequential iterator over one chunk.
+    type IntoSeq: Iterator<Item = Self::Item>;
+
+    /// Number of items.
+    fn len(&self) -> usize;
+    /// True if no items remain.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+    /// Splits into `[0, mid)` and `[mid, len)`.
+    fn split_at(self, mid: usize) -> (Self, Self);
+    /// Lowers to a sequential iterator.
+    fn into_seq(self) -> Self::IntoSeq;
+    /// Minimum worthwhile chunk length in items: 1 for sources whose items
+    /// are already coarse (page-sized chunks, page indices), larger for
+    /// element-grained sources where per-job overhead must be amortized.
+    fn min_chunk(&self) -> usize {
+        1024
+    }
+}
+
+/// Splits `producer` into contiguous chunks of `chunk_len` items (the last
+/// chunk may be shorter), preserving order.
+fn split_chunks<P: Producer>(mut producer: P, chunk_len: usize) -> Vec<P> {
+    let mut remaining = producer.len();
+    let mut parts = Vec::with_capacity(remaining.div_ceil(chunk_len.max(1)));
+    while remaining > chunk_len {
+        let (head, tail) = producer.split_at(chunk_len);
+        parts.push(head);
+        producer = tail;
+        remaining -= chunk_len;
+    }
+    parts.push(producer);
+    parts
+}
+
+/// Runs `per_chunk` over `parts`, in parallel when the ambient pool has more
+/// than one worker, and returns the results in chunk order.
+fn run_ordered<P, R, F>(parts: Vec<P>, per_chunk: F) -> Vec<R>
+where
+    P: Producer,
+    R: Send,
+    F: Fn(P) -> R + Sync,
+{
+    let pool = current_pool();
+    if pool.num_threads() <= 1 || parts.len() <= 1 {
+        return parts.into_iter().map(per_chunk).collect();
+    }
+    let slots: Vec<Mutex<Option<R>>> = parts.iter().map(|_| Mutex::new(None)).collect();
+    let jobs: Vec<Box<dyn FnOnce() + Send + '_>> = parts
+        .into_iter()
+        .enumerate()
+        .map(|(i, part)| {
+            let slot = &slots[i];
+            let per_chunk = &per_chunk;
+            let job: Box<dyn FnOnce() + Send + '_> = Box::new(move || {
+                let value = per_chunk(part);
+                *slot.lock().expect("result slot poisoned") = Some(value);
+            });
+            job
+        })
+        .collect();
+    pool.run_scoped(jobs);
+    slots
+        .into_iter()
+        .map(|slot| {
+            slot.into_inner()
+                .expect("result slot poisoned")
+                .expect("pool job did not produce a result")
+        })
+        .collect()
+}
+
+/// Chunk length for splittable (non-reduction) work over `len` items with a
+/// per-item minimum worthwhile chunk: aim for [`CHUNKS_PER_WORKER`] chunks
+/// per worker of the ambient pool, never below `min_chunk`, and one single
+/// chunk on a single-worker pool (where splitting is pure overhead).
+///
+/// Public (shim extension, not part of real rayon) so kernels that pre-chunk
+/// their data with `par_chunks(_mut)` can size those chunks from the same
+/// heuristic every other `par_*` operation uses.
+pub fn pool_chunk_len(len: usize, min_chunk: usize) -> usize {
+    let threads = current_pool().num_threads();
+    if threads <= 1 {
+        return len.max(1);
+    }
+    len.div_ceil(threads * CHUNKS_PER_WORKER)
+        .max(min_chunk)
+        .min(len.max(1))
+}
+
+fn adaptive_chunk_len(len: usize, min_chunk: usize) -> usize {
+    pool_chunk_len(len, min_chunk)
+}
+
+/// A parallel iterator over a [`Producer`].
+#[derive(Debug)]
+pub struct ParIter<P> {
+    producer: P,
+}
+
+impl<P: Producer> ParIter<P> {
+    pub(crate) fn new(producer: P) -> Self {
+        Self { producer }
+    }
+
+    /// Number of items.
+    pub fn len(&self) -> usize {
+        self.producer.len()
+    }
+
+    /// True if there are no items.
+    pub fn is_empty(&self) -> bool {
+        self.producer.is_empty()
+    }
+
+    /// Pairs items positionally with `other`, truncating to the shorter side.
+    pub fn zip<Q: Producer>(self, other: ParIter<Q>) -> ParIter<ZipProducer<P, Q>> {
+        ParIter::new(ZipProducer {
+            a: self.producer,
+            b: other.producer,
+        })
+    }
+
+    /// Attaches the item index.
+    pub fn enumerate(self) -> ParIter<EnumerateProducer<P>> {
+        ParIter::new(EnumerateProducer {
+            base: 0,
+            inner: self.producer,
+        })
+    }
+
+    /// Maps each item through `map_op`.
+    pub fn map<R, F>(self, map_op: F) -> ParIter<MapProducer<P, F>>
+    where
+        R: Send,
+        F: Fn(P::Item) -> R + Clone + Send + Sync,
+    {
+        ParIter::new(MapProducer {
+            inner: self.producer,
+            map_op,
+        })
+    }
+
+    /// Calls `op` on every item, fanning chunks out across the pool.
+    pub fn for_each<F>(self, op: F)
+    where
+        F: Fn(P::Item) + Send + Sync,
+    {
+        let len = self.producer.len();
+        if len == 0 {
+            return;
+        }
+        let chunk_len = adaptive_chunk_len(len, self.producer.min_chunk());
+        let parts = split_chunks(self.producer, chunk_len);
+        run_ordered(parts, |part| part.into_seq().for_each(&op));
+    }
+
+    /// Order-deterministic parallel sum: fixed-length chunks are reduced
+    /// independently and the partial sums are folded in chunk order, so the
+    /// result is bitwise-identical for every pool size.
+    ///
+    /// Chunk length depends only on the producer's granularity, never on the
+    /// pool: element-grained producers reduce [`REDUCE_CHUNK`] items per
+    /// partial sum; coarse producers (`min_chunk() == 1`, whose items are
+    /// already whole sub-slices or page indices) reduce one item per partial
+    /// sum, so a pre-chunked reduction like `par_chunks(k).map(..).sum()`
+    /// still fans out across the workers.
+    pub fn sum<S>(self) -> S
+    where
+        S: std::iter::Sum<P::Item> + std::iter::Sum<S> + Send,
+    {
+        let chunk_len = if self.producer.min_chunk() <= 1 {
+            1
+        } else {
+            REDUCE_CHUNK
+        };
+        let parts = split_chunks(self.producer, chunk_len);
+        run_ordered(parts, |part| part.into_seq().sum::<S>())
+            .into_iter()
+            .sum()
+    }
+
+    /// Collects items into `C`, preserving sequential order.
+    pub fn collect<C>(self) -> C
+    where
+        C: FromIterator<P::Item>,
+    {
+        let len = self.producer.len();
+        if len == 0 {
+            return std::iter::empty().collect();
+        }
+        let chunk_len = adaptive_chunk_len(len, self.producer.min_chunk());
+        let parts = split_chunks(self.producer, chunk_len);
+        run_ordered(parts, |part| part.into_seq().collect::<Vec<_>>())
+            .into_iter()
+            .flatten()
+            .collect()
+    }
+
+    /// Number of items (all producers are exactly sized).
+    pub fn count(self) -> usize {
+        self.producer.len()
+    }
+}
+
+// ----- sources ---------------------------------------------------------------
+
+/// Shared-slice source (`par_iter`).
+#[derive(Debug)]
+pub struct SliceProducer<'a, T> {
+    slice: &'a [T],
+}
+
+impl<'a, T> SliceProducer<'a, T> {
+    pub(crate) fn new(slice: &'a [T]) -> Self {
+        Self { slice }
+    }
+}
+
+impl<'a, T: Sync> Producer for SliceProducer<'a, T> {
+    type Item = &'a T;
+    type IntoSeq = std::slice::Iter<'a, T>;
+
+    fn len(&self) -> usize {
+        self.slice.len()
+    }
+
+    fn split_at(self, mid: usize) -> (Self, Self) {
+        let (left, right) = self.slice.split_at(mid);
+        (Self { slice: left }, Self { slice: right })
+    }
+
+    fn into_seq(self) -> Self::IntoSeq {
+        self.slice.iter()
+    }
+}
+
+/// Mutable-slice source (`par_iter_mut`).
+#[derive(Debug)]
+pub struct SliceMutProducer<'a, T> {
+    slice: &'a mut [T],
+}
+
+impl<'a, T> SliceMutProducer<'a, T> {
+    pub(crate) fn new(slice: &'a mut [T]) -> Self {
+        Self { slice }
+    }
+}
+
+impl<'a, T: Send> Producer for SliceMutProducer<'a, T> {
+    type Item = &'a mut T;
+    type IntoSeq = std::slice::IterMut<'a, T>;
+
+    fn len(&self) -> usize {
+        self.slice.len()
+    }
+
+    fn split_at(self, mid: usize) -> (Self, Self) {
+        let (left, right) = self.slice.split_at_mut(mid);
+        (Self { slice: left }, Self { slice: right })
+    }
+
+    fn into_seq(self) -> Self::IntoSeq {
+        self.slice.iter_mut()
+    }
+}
+
+/// Shared chunked-slice source (`par_chunks`). Items are whole sub-slices, so
+/// one item is already a coarse unit of work.
+#[derive(Debug)]
+pub struct ChunksProducer<'a, T> {
+    slice: &'a [T],
+    chunk_size: usize,
+}
+
+impl<'a, T> ChunksProducer<'a, T> {
+    pub(crate) fn new(slice: &'a [T], chunk_size: usize) -> Self {
+        assert!(chunk_size > 0, "par_chunks: chunk size must be non-zero");
+        Self { slice, chunk_size }
+    }
+}
+
+impl<'a, T: Sync> Producer for ChunksProducer<'a, T> {
+    type Item = &'a [T];
+    type IntoSeq = std::slice::Chunks<'a, T>;
+
+    fn len(&self) -> usize {
+        self.slice.len().div_ceil(self.chunk_size)
+    }
+
+    fn split_at(self, mid: usize) -> (Self, Self) {
+        let at = (mid * self.chunk_size).min(self.slice.len());
+        let (left, right) = self.slice.split_at(at);
+        (
+            Self {
+                slice: left,
+                chunk_size: self.chunk_size,
+            },
+            Self {
+                slice: right,
+                chunk_size: self.chunk_size,
+            },
+        )
+    }
+
+    fn into_seq(self) -> Self::IntoSeq {
+        self.slice.chunks(self.chunk_size)
+    }
+
+    fn min_chunk(&self) -> usize {
+        1
+    }
+}
+
+/// Mutable chunked-slice source (`par_chunks_mut`).
+#[derive(Debug)]
+pub struct ChunksMutProducer<'a, T> {
+    slice: &'a mut [T],
+    chunk_size: usize,
+}
+
+impl<'a, T> ChunksMutProducer<'a, T> {
+    pub(crate) fn new(slice: &'a mut [T], chunk_size: usize) -> Self {
+        assert!(
+            chunk_size > 0,
+            "par_chunks_mut: chunk size must be non-zero"
+        );
+        Self { slice, chunk_size }
+    }
+}
+
+impl<'a, T: Send> Producer for ChunksMutProducer<'a, T> {
+    type Item = &'a mut [T];
+    type IntoSeq = std::slice::ChunksMut<'a, T>;
+
+    fn len(&self) -> usize {
+        self.slice.len().div_ceil(self.chunk_size)
+    }
+
+    fn split_at(self, mid: usize) -> (Self, Self) {
+        let at = (mid * self.chunk_size).min(self.slice.len());
+        let (left, right) = self.slice.split_at_mut(at);
+        (
+            Self {
+                slice: left,
+                chunk_size: self.chunk_size,
+            },
+            Self {
+                slice: right,
+                chunk_size: self.chunk_size,
+            },
+        )
+    }
+
+    fn into_seq(self) -> Self::IntoSeq {
+        self.slice.chunks_mut(self.chunk_size)
+    }
+
+    fn min_chunk(&self) -> usize {
+        1
+    }
+}
+
+/// Index-range source (`(a..b).into_par_iter()`). In this workspace ranges
+/// iterate page/block indices whose per-item work is large, so the minimum
+/// chunk is a single item.
+#[derive(Debug)]
+pub struct RangeProducer {
+    start: usize,
+    end: usize,
+}
+
+impl RangeProducer {
+    pub(crate) fn new(range: std::ops::Range<usize>) -> Self {
+        Self {
+            start: range.start,
+            end: range.end.max(range.start),
+        }
+    }
+}
+
+impl Producer for RangeProducer {
+    type Item = usize;
+    type IntoSeq = std::ops::Range<usize>;
+
+    fn len(&self) -> usize {
+        self.end - self.start
+    }
+
+    fn split_at(self, mid: usize) -> (Self, Self) {
+        let at = (self.start + mid).min(self.end);
+        (
+            Self {
+                start: self.start,
+                end: at,
+            },
+            Self {
+                start: at,
+                end: self.end,
+            },
+        )
+    }
+
+    fn into_seq(self) -> Self::IntoSeq {
+        self.start..self.end
+    }
+
+    fn min_chunk(&self) -> usize {
+        1
+    }
+}
+
+/// Owned-vector source (`vec.into_par_iter()`).
+#[derive(Debug)]
+pub struct VecProducer<T> {
+    data: Vec<T>,
+}
+
+impl<T> VecProducer<T> {
+    pub(crate) fn new(data: Vec<T>) -> Self {
+        Self { data }
+    }
+}
+
+impl<T: Send> Producer for VecProducer<T> {
+    type Item = T;
+    type IntoSeq = std::vec::IntoIter<T>;
+
+    fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    fn split_at(mut self, mid: usize) -> (Self, Self) {
+        let tail = self.data.split_off(mid);
+        (self, Self { data: tail })
+    }
+
+    fn into_seq(self) -> Self::IntoSeq {
+        self.data.into_iter()
+    }
+}
+
+// ----- combinators -----------------------------------------------------------
+
+/// Positional pairing of two producers.
+#[derive(Debug)]
+pub struct ZipProducer<A, B> {
+    a: A,
+    b: B,
+}
+
+impl<A: Producer, B: Producer> Producer for ZipProducer<A, B> {
+    type Item = (A::Item, B::Item);
+    type IntoSeq = std::iter::Zip<A::IntoSeq, B::IntoSeq>;
+
+    fn len(&self) -> usize {
+        self.a.len().min(self.b.len())
+    }
+
+    fn split_at(self, mid: usize) -> (Self, Self) {
+        let (a_left, a_right) = self.a.split_at(mid);
+        let (b_left, b_right) = self.b.split_at(mid);
+        (
+            Self {
+                a: a_left,
+                b: b_left,
+            },
+            Self {
+                a: a_right,
+                b: b_right,
+            },
+        )
+    }
+
+    fn into_seq(self) -> Self::IntoSeq {
+        self.a.into_seq().zip(self.b.into_seq())
+    }
+
+    fn min_chunk(&self) -> usize {
+        self.a.min_chunk().max(self.b.min_chunk())
+    }
+}
+
+/// Index attachment; `base` tracks the split offset so indices stay global.
+#[derive(Debug)]
+pub struct EnumerateProducer<P> {
+    base: usize,
+    inner: P,
+}
+
+impl<P: Producer> Producer for EnumerateProducer<P> {
+    type Item = (usize, P::Item);
+    type IntoSeq = std::iter::Zip<std::ops::Range<usize>, P::IntoSeq>;
+
+    fn len(&self) -> usize {
+        self.inner.len()
+    }
+
+    fn split_at(self, mid: usize) -> (Self, Self) {
+        let (left, right) = self.inner.split_at(mid);
+        (
+            Self {
+                base: self.base,
+                inner: left,
+            },
+            Self {
+                base: self.base + mid,
+                inner: right,
+            },
+        )
+    }
+
+    fn into_seq(self) -> Self::IntoSeq {
+        let len = self.inner.len();
+        (self.base..self.base + len).zip(self.inner.into_seq())
+    }
+
+    fn min_chunk(&self) -> usize {
+        self.inner.min_chunk()
+    }
+}
+
+/// Item mapping. The map closure is cloned into each chunk.
+#[derive(Debug)]
+pub struct MapProducer<P, F> {
+    inner: P,
+    map_op: F,
+}
+
+impl<P, F, R> Producer for MapProducer<P, F>
+where
+    P: Producer,
+    R: Send,
+    F: Fn(P::Item) -> R + Clone + Send + Sync,
+{
+    type Item = R;
+    type IntoSeq = std::iter::Map<P::IntoSeq, F>;
+
+    fn len(&self) -> usize {
+        self.inner.len()
+    }
+
+    fn split_at(self, mid: usize) -> (Self, Self) {
+        let (left, right) = self.inner.split_at(mid);
+        (
+            Self {
+                inner: left,
+                map_op: self.map_op.clone(),
+            },
+            Self {
+                inner: right,
+                map_op: self.map_op,
+            },
+        )
+    }
+
+    fn into_seq(self) -> Self::IntoSeq {
+        self.inner.into_seq().map(self.map_op)
+    }
+
+    fn min_chunk(&self) -> usize {
+        self.inner.min_chunk()
+    }
+}

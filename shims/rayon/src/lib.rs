@@ -1,104 +1,100 @@
 //! Vendored shim for the subset of [rayon](https://crates.io/crates/rayon)
 //! this workspace uses. The build environment has no registry access, so the
 //! real crate cannot be fetched; this shim keeps the exact call-site API
-//! (`par_iter`, `par_iter_mut`, `par_chunks_mut`, `into_par_iter`, `join`,
-//! `current_num_threads`) while executing the data-parallel iterators
-//! sequentially. `join` still runs its two closures on separate OS threads so
-//! the AFEIR reduction/recovery overlap remains genuinely concurrent.
+//! (`par_iter`, `par_iter_mut`, `par_chunks(_mut)`, `into_par_iter`, `join`,
+//! `current_num_threads`, `ThreadPoolBuilder`) and backs it with a real
+//! work-stealing thread pool: a lazily-initialized global pool (sized by
+//! `FEIR_NUM_THREADS` / `RAYON_NUM_THREADS` / available parallelism) with
+//! per-worker queues, chunk-based scheduling, caller-helping waits for
+//! deadlock-free nesting, and panic propagation.
+//!
+//! Parallel reductions combine fixed-length per-chunk partial sums in chunk
+//! order, so `sum()` is bitwise-deterministic for every thread count — see
+//! [`iter`] for the contract.
 //!
 //! Swapping this shim for the real rayon is a one-line change in the root
-//! `Cargo.toml` and requires no source edits.
+//! `Cargo.toml`; solver code needs no edits, only the shim-specific
+//! observability hooks ([`worker_job_counts`], [`ThreadPool::job_counts`])
+//! used by tests would need gating. The real crate also weakens the
+//! determinism guarantee: rayon reduces in an unspecified association order.
 
-/// Runs two closures, potentially in parallel, and returns both results.
-///
-/// Unlike the data-parallel iterator shims (which are sequential), this uses a
-/// real scoped thread for `b` because the AFEIR recovery path depends on the
-/// reduction and the recovery planning actually overlapping in time.
-pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
-where
-    A: FnOnce() -> RA + Send,
-    B: FnOnce() -> RB + Send,
-    RA: Send,
-    RB: Send,
-{
-    std::thread::scope(|scope| {
-        let handle = scope.spawn(b);
-        let ra = a();
-        let rb = handle.join().expect("rayon shim: join closure panicked");
-        (ra, rb)
-    })
-}
+pub mod iter;
+mod pool;
 
-/// Number of threads the (shimmed) global pool would use.
-pub fn current_num_threads() -> usize {
-    std::thread::available_parallelism()
-        .map(std::num::NonZeroUsize::get)
-        .unwrap_or(1)
-}
+pub use pool::{
+    current_num_threads, join, worker_job_counts, ThreadPool, ThreadPoolBuildError,
+    ThreadPoolBuilder,
+};
 
 /// Drop-in replacement for `rayon::prelude`.
 pub mod prelude {
-    /// Sequential stand-ins for rayon's parallel iterators over shared slices.
-    pub trait ParallelSliceExt<T> {
-        /// Shim for `par_iter`: a plain sequential iterator.
-        fn par_iter(&self) -> std::slice::Iter<'_, T>;
-        /// Shim for `par_chunks`: plain sequential chunks.
-        fn par_chunks(&self, chunk_size: usize) -> std::slice::Chunks<'_, T>;
+    pub use crate::iter::ParIter;
+    use crate::iter::{
+        ChunksMutProducer, ChunksProducer, RangeProducer, SliceMutProducer, SliceProducer,
+        VecProducer,
+    };
+
+    /// Parallel iterators over shared slices.
+    pub trait ParallelSliceExt<T: Sync> {
+        /// Parallel iterator over the elements.
+        fn par_iter(&self) -> ParIter<SliceProducer<'_, T>>;
+        /// Parallel iterator over contiguous `chunk_size`-element sub-slices.
+        fn par_chunks(&self, chunk_size: usize) -> ParIter<ChunksProducer<'_, T>>;
     }
 
     impl<T: Sync> ParallelSliceExt<T> for [T] {
-        fn par_iter(&self) -> std::slice::Iter<'_, T> {
-            self.iter()
+        fn par_iter(&self) -> ParIter<SliceProducer<'_, T>> {
+            ParIter::new(SliceProducer::new(self))
         }
 
-        fn par_chunks(&self, chunk_size: usize) -> std::slice::Chunks<'_, T> {
-            self.chunks(chunk_size)
+        fn par_chunks(&self, chunk_size: usize) -> ParIter<ChunksProducer<'_, T>> {
+            ParIter::new(ChunksProducer::new(self, chunk_size))
         }
     }
 
-    /// Sequential stand-ins for rayon's parallel iterators over mutable slices.
-    pub trait ParallelSliceMutExt<T> {
-        /// Shim for `par_iter_mut`: a plain sequential iterator.
-        fn par_iter_mut(&mut self) -> std::slice::IterMut<'_, T>;
-        /// Shim for `par_chunks_mut`: plain sequential chunks.
-        fn par_chunks_mut(&mut self, chunk_size: usize) -> std::slice::ChunksMut<'_, T>;
+    /// Parallel iterators over mutable slices.
+    pub trait ParallelSliceMutExt<T: Send> {
+        /// Parallel iterator over mutable elements.
+        fn par_iter_mut(&mut self) -> ParIter<SliceMutProducer<'_, T>>;
+        /// Parallel iterator over mutable `chunk_size`-element sub-slices.
+        fn par_chunks_mut(&mut self, chunk_size: usize) -> ParIter<ChunksMutProducer<'_, T>>;
     }
 
     impl<T: Send> ParallelSliceMutExt<T> for [T] {
-        fn par_iter_mut(&mut self) -> std::slice::IterMut<'_, T> {
-            self.iter_mut()
+        fn par_iter_mut(&mut self) -> ParIter<SliceMutProducer<'_, T>> {
+            ParIter::new(SliceMutProducer::new(self))
         }
 
-        fn par_chunks_mut(&mut self, chunk_size: usize) -> std::slice::ChunksMut<'_, T> {
-            self.chunks_mut(chunk_size)
+        fn par_chunks_mut(&mut self, chunk_size: usize) -> ParIter<ChunksMutProducer<'_, T>> {
+            ParIter::new(ChunksMutProducer::new(self, chunk_size))
         }
     }
 
-    /// Shim for `IntoParallelIterator`: yields the ordinary iterator.
+    /// Conversion into a parallel iterator.
     pub trait IntoParallelIterator {
-        /// The sequential iterator standing in for the parallel one.
-        type Iter: Iterator<Item = Self::Item>;
+        /// The parallel iterator type.
+        type Iter;
         /// Items produced by the iterator.
         type Item;
-        /// Shim for `into_par_iter`.
+        /// Converts `self` into a parallel iterator.
         fn into_par_iter(self) -> Self::Iter;
     }
 
     impl IntoParallelIterator for std::ops::Range<usize> {
-        type Iter = std::ops::Range<usize>;
+        type Iter = ParIter<RangeProducer>;
         type Item = usize;
 
         fn into_par_iter(self) -> Self::Iter {
-            self
+            ParIter::new(RangeProducer::new(self))
         }
     }
 
     impl<T: Send> IntoParallelIterator for Vec<T> {
-        type Iter = std::vec::IntoIter<T>;
+        type Iter = ParIter<VecProducer<T>>;
         type Item = T;
 
         fn into_par_iter(self) -> Self::Iter {
-            self.into_iter()
+            ParIter::new(VecProducer::new(self))
         }
     }
 }
@@ -108,7 +104,7 @@ mod tests {
     use super::prelude::*;
 
     #[test]
-    fn join_runs_both_closures_concurrently() {
+    fn join_runs_both_closures() {
         let (a, b) = super::join(|| 1 + 1, || "two");
         assert_eq!(a, 2);
         assert_eq!(b, "two");
@@ -125,7 +121,7 @@ mod tests {
             .for_each(|(i, x)| *x = i as f64);
         assert_eq!(w, vec![0.0, 1.0, 2.0, 3.0]);
         let chunks: Vec<usize> = (0..10usize).into_par_iter().collect();
-        assert_eq!(chunks.len(), 10);
+        assert_eq!(chunks, (0..10).collect::<Vec<_>>());
         let mut y = vec![0u8; 7];
         assert_eq!(y.par_chunks_mut(3).count(), 3);
         assert_eq!(y.as_slice().par_chunks(3).count(), 3);
@@ -134,5 +130,60 @@ mod tests {
     #[test]
     fn current_num_threads_is_positive() {
         assert!(super::current_num_threads() >= 1);
+    }
+
+    #[test]
+    fn map_sum_zip_pipeline() {
+        let x: Vec<f64> = (0..10_000).map(|i| i as f64).collect();
+        let y: Vec<f64> = (0..10_000).map(|i| (i * 2) as f64).collect();
+        let dot: f64 = x.par_iter().zip(y.par_iter()).map(|(a, b)| a * b).sum();
+        let reference: f64 = x.iter().zip(&y).map(|(a, b)| a * b).sum();
+        assert_eq!(dot, reference);
+    }
+
+    #[test]
+    fn enumerate_offsets_survive_splitting() {
+        let mut v = vec![0usize; 50_000];
+        v.par_iter_mut().enumerate().for_each(|(i, x)| *x = i);
+        assert!(v.iter().enumerate().all(|(i, &x)| x == i));
+    }
+
+    #[test]
+    fn collect_preserves_order_on_large_ranges() {
+        let out: Vec<usize> = (0..100_000).into_par_iter().map(|i| i * 3).collect();
+        assert_eq!(out.len(), 100_000);
+        assert!(out.iter().enumerate().all(|(i, &x)| x == i * 3));
+    }
+
+    #[test]
+    fn zip_truncates_to_shorter_side() {
+        let a = [1.0f64; 10];
+        let b = [2.0f64; 7];
+        let s: f64 = a.par_iter().zip(b.par_iter()).map(|(x, y)| x * y).sum();
+        assert_eq!(s, 14.0);
+    }
+
+    #[test]
+    fn par_chunks_mut_items_cover_the_slice() {
+        let mut v = vec![0i64; 1000];
+        v.par_chunks_mut(64).enumerate().for_each(|(p, chunk)| {
+            for item in chunk.iter_mut() {
+                *item = p as i64;
+            }
+        });
+        assert_eq!(v[0], 0);
+        assert_eq!(v[63], 0);
+        assert_eq!(v[64], 1);
+        assert_eq!(v[999], 15);
+    }
+
+    #[test]
+    fn for_each_panic_propagates() {
+        let result = std::panic::catch_unwind(|| {
+            (0..50_000)
+                .into_par_iter()
+                .for_each(|i| assert!(i < 49_999, "boom"));
+        });
+        assert!(result.is_err());
     }
 }

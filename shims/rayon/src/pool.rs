@@ -1,0 +1,504 @@
+//! The work-stealing thread pool behind the shim's parallel iterators.
+//!
+//! Layout: one OS worker thread per configured slot, each with its own FIFO
+//! job queue. Callers push batches of chunk jobs round-robin across the
+//! queues (a deterministic initial assignment); an idle worker first drains
+//! its own queue and then steals from the others, so load imbalance is
+//! absorbed without any caller-side rebalancing. Workers park on a condvar
+//! when every queue is empty.
+//!
+//! Blocking rules (the part that makes nested parallelism deadlock-free):
+//! a caller that is itself a pool worker *helps* — it keeps executing queued
+//! jobs while it waits for its batch latch — whereas an external caller
+//! parks on the latch and lets the workers do all the work. `join` runs its
+//! first closure on the calling thread and ships the second to the pool, so
+//! the two genuinely overlap even with a single worker.
+
+use std::any::Any;
+use std::cell::RefCell;
+use std::collections::VecDeque;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// A type-erased unit of work. Lifetimes are erased by [`PoolInner::run_scoped`],
+/// which guarantees completion before the borrowed frame unwinds.
+type Job = Box<dyn FnOnce() + Send + 'static>;
+
+/// Fallback park timeout: a belt-and-braces bound on wake-up latency should a
+/// notification ever race with a queue push.
+const PARK_TIMEOUT: Duration = Duration::from_millis(50);
+
+/// Shared state of one pool.
+pub(crate) struct PoolInner {
+    /// One FIFO queue per worker; batch jobs are dealt round-robin.
+    queues: Vec<Mutex<VecDeque<Job>>>,
+    /// Jobs pushed but not yet taken (fast idle check without locking queues).
+    pending: AtomicUsize,
+    /// Round-robin cursor for external submissions.
+    next_queue: AtomicUsize,
+    /// Per-worker count of executed jobs (observability for tests/benches).
+    executed: Vec<AtomicUsize>,
+    idle_lock: Mutex<()>,
+    idle_cv: Condvar,
+    shutdown: AtomicBool,
+}
+
+thread_local! {
+    /// Innermost (pool, worker-slot) binding of this thread. Workers push
+    /// their own pool at startup; `ThreadPool::install` pushes an entry with
+    /// `None` for the slot.
+    static CURRENT: RefCell<Vec<(Arc<PoolInner>, Option<usize>)>> = const { RefCell::new(Vec::new()) };
+}
+
+impl PoolInner {
+    /// Number of worker threads.
+    pub(crate) fn num_threads(&self) -> usize {
+        self.queues.len()
+    }
+
+    /// Jobs executed so far, per worker slot.
+    pub(crate) fn job_counts(&self) -> Vec<usize> {
+        self.executed
+            .iter()
+            .map(|c| c.load(Ordering::Relaxed))
+            .collect()
+    }
+
+    fn push_job(&self, job: Job) {
+        let slot = self.next_queue.fetch_add(1, Ordering::Relaxed) % self.queues.len();
+        self.pending.fetch_add(1, Ordering::Release);
+        self.queues[slot]
+            .lock()
+            .expect("pool queue poisoned")
+            .push_back(job);
+    }
+
+    fn notify(&self) {
+        let _guard = self.idle_lock.lock().expect("pool idle lock poisoned");
+        self.idle_cv.notify_all();
+    }
+
+    /// Pops a job, preferring the queue at `home` and stealing otherwise.
+    fn take_job(&self, home: usize) -> Option<Job> {
+        if self.pending.load(Ordering::Acquire) == 0 {
+            return None;
+        }
+        let n = self.queues.len();
+        for k in 0..n {
+            let q = (home + k) % n;
+            let job = self.queues[q]
+                .lock()
+                .expect("pool queue poisoned")
+                .pop_front();
+            if let Some(job) = job {
+                self.pending.fetch_sub(1, Ordering::AcqRel);
+                return Some(job);
+            }
+        }
+        None
+    }
+
+    fn worker_loop(self: Arc<Self>, index: usize) {
+        CURRENT.with(|c| c.borrow_mut().push((Arc::clone(&self), Some(index))));
+        loop {
+            if let Some(job) = self.take_job(index) {
+                self.executed[index].fetch_add(1, Ordering::Relaxed);
+                job();
+                continue;
+            }
+            let guard = self.idle_lock.lock().expect("pool idle lock poisoned");
+            if self.shutdown.load(Ordering::Acquire) {
+                return;
+            }
+            if self.pending.load(Ordering::Acquire) > 0 {
+                continue;
+            }
+            let _ = self
+                .idle_cv
+                .wait_timeout(guard, PARK_TIMEOUT)
+                .expect("pool idle lock poisoned");
+            if self.shutdown.load(Ordering::Acquire) {
+                return;
+            }
+        }
+    }
+
+    /// Runs a batch of borrowing jobs to completion before returning.
+    ///
+    /// The jobs may borrow the caller's stack frame: their lifetimes are
+    /// erased, which is sound because this function does not return (normally
+    /// or by unwinding) until every job has finished. The first panic among
+    /// the jobs is re-raised on the caller.
+    pub(crate) fn run_scoped<'scope>(
+        self: &Arc<Self>,
+        jobs: Vec<Box<dyn FnOnce() + Send + 'scope>>,
+    ) {
+        takeable_scope(self, jobs, || {});
+    }
+
+    /// Blocks until the latch opens. Worker threads of this pool help by
+    /// executing queued jobs meanwhile; external threads park.
+    fn wait_latch(&self, latch: &Latch) {
+        let helper_slot = CURRENT.with(|c| {
+            c.borrow().last().and_then(|(pool, slot)| {
+                if std::ptr::eq(Arc::as_ptr(pool), self) {
+                    *slot
+                } else {
+                    None
+                }
+            })
+        });
+        if let Some(home) = helper_slot {
+            let mut empty_polls = 0u32;
+            while !latch.is_open() {
+                match self.take_job(home) {
+                    Some(job) => {
+                        empty_polls = 0;
+                        self.executed[home].fetch_add(1, Ordering::Relaxed);
+                        job();
+                    }
+                    None => {
+                        // Nothing stealable: yield briefly, then park on the
+                        // latch with a short timeout instead of burning the
+                        // core against the worker running the final job. The
+                        // timeout bounds how late we notice *new* pool jobs
+                        // (which only signal the idle condvar).
+                        empty_polls += 1;
+                        if empty_polls < 64 {
+                            std::thread::yield_now();
+                        } else {
+                            let guard = latch.lock.lock().expect("latch lock poisoned");
+                            if latch.is_open() {
+                                return;
+                            }
+                            let _ = latch
+                                .cv
+                                .wait_timeout(guard, Duration::from_millis(1))
+                                .expect("latch lock poisoned");
+                        }
+                    }
+                }
+            }
+        } else {
+            loop {
+                let guard = latch.lock.lock().expect("latch lock poisoned");
+                if latch.is_open() {
+                    return;
+                }
+                let _ = latch
+                    .cv
+                    .wait_timeout(guard, PARK_TIMEOUT)
+                    .expect("latch lock poisoned");
+                if latch.is_open() {
+                    return;
+                }
+            }
+        }
+    }
+}
+
+/// SAFETY: the caller must guarantee the closure finishes before any borrow
+/// it captures goes out of scope (here: the completion latch in `run_scoped`).
+unsafe fn erase_lifetime<'scope>(job: Box<dyn FnOnce() + Send + 'scope>) -> Job {
+    std::mem::transmute(job)
+}
+
+/// Countdown latch with a condvar for external waiters.
+struct Latch {
+    remaining: AtomicUsize,
+    lock: Mutex<()>,
+    cv: Condvar,
+}
+
+impl Latch {
+    fn new(count: usize) -> Self {
+        Self {
+            remaining: AtomicUsize::new(count),
+            lock: Mutex::new(()),
+            cv: Condvar::new(),
+        }
+    }
+
+    fn is_open(&self) -> bool {
+        self.remaining.load(Ordering::Acquire) == 0
+    }
+
+    fn complete_one(&self) {
+        if self.remaining.fetch_sub(1, Ordering::AcqRel) == 1 {
+            let _guard = self.lock.lock().expect("latch lock poisoned");
+            self.cv.notify_all();
+        }
+    }
+}
+
+/// An owned thread pool. Dropping it shuts the workers down.
+///
+/// Mirrors `rayon::ThreadPool`: [`ThreadPool::install`] runs a closure with
+/// this pool as the ambient pool for every `par_*` call it makes.
+pub struct ThreadPool {
+    inner: Arc<PoolInner>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl ThreadPool {
+    fn build(num_threads: usize) -> Self {
+        let num_threads = num_threads.max(1);
+        let inner = Arc::new(PoolInner {
+            queues: (0..num_threads)
+                .map(|_| Mutex::new(VecDeque::new()))
+                .collect(),
+            pending: AtomicUsize::new(0),
+            next_queue: AtomicUsize::new(0),
+            executed: (0..num_threads).map(|_| AtomicUsize::new(0)).collect(),
+            idle_lock: Mutex::new(()),
+            idle_cv: Condvar::new(),
+            shutdown: AtomicBool::new(false),
+        });
+        let workers = (0..num_threads)
+            .map(|i| {
+                let pool = Arc::clone(&inner);
+                std::thread::Builder::new()
+                    .name(format!("feir-rayon-{i}"))
+                    .spawn(move || pool.worker_loop(i))
+                    .expect("failed to spawn pool worker")
+            })
+            .collect();
+        Self { inner, workers }
+    }
+
+    /// Number of worker threads in this pool.
+    pub fn current_num_threads(&self) -> usize {
+        self.inner.num_threads()
+    }
+
+    /// Jobs executed so far per worker (test/bench observability).
+    pub fn job_counts(&self) -> Vec<usize> {
+        self.inner.job_counts()
+    }
+
+    /// Runs `op` with this pool as the ambient pool of the calling thread:
+    /// every `par_iter` / `join` under `op` fans out to this pool's workers.
+    pub fn install<R>(&self, op: impl FnOnce() -> R) -> R {
+        CURRENT.with(|c| c.borrow_mut().push((Arc::clone(&self.inner), None)));
+        struct PopGuard;
+        impl Drop for PopGuard {
+            fn drop(&mut self) {
+                CURRENT.with(|c| {
+                    c.borrow_mut().pop();
+                });
+            }
+        }
+        let _guard = PopGuard;
+        op()
+    }
+
+    pub(crate) fn inner(&self) -> &Arc<PoolInner> {
+        &self.inner
+    }
+}
+
+impl Drop for ThreadPool {
+    fn drop(&mut self) {
+        self.inner.shutdown.store(true, Ordering::Release);
+        self.inner.notify();
+        for worker in self.workers.drain(..) {
+            let _ = worker.join();
+        }
+        // Workers exit on shutdown without draining their queues; run any
+        // abandoned jobs here so a concurrent `run_scoped` waiter (the pool
+        // is shareable through `&self`) cannot hang on a latch that would
+        // otherwise never open.
+        while let Some(job) = self.inner.take_job(0) {
+            job();
+        }
+    }
+}
+
+impl std::fmt::Debug for ThreadPool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ThreadPool")
+            .field("num_threads", &self.current_num_threads())
+            .finish()
+    }
+}
+
+/// Error returned when a pool cannot be (re)built.
+#[derive(Debug)]
+pub struct ThreadPoolBuildError {
+    message: &'static str,
+}
+
+impl std::fmt::Display for ThreadPoolBuildError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.message)
+    }
+}
+
+impl std::error::Error for ThreadPoolBuildError {}
+
+/// Builder mirroring `rayon::ThreadPoolBuilder` for the subset we support.
+#[derive(Debug, Clone, Default)]
+pub struct ThreadPoolBuilder {
+    num_threads: Option<usize>,
+}
+
+impl ThreadPoolBuilder {
+    /// Starts a builder with default settings.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sets the number of worker threads (0 or unset = automatic: the
+    /// `FEIR_NUM_THREADS` / `RAYON_NUM_THREADS` environment variables, then
+    /// the machine's available parallelism).
+    pub fn num_threads(mut self, num_threads: usize) -> Self {
+        self.num_threads = if num_threads == 0 {
+            None
+        } else {
+            Some(num_threads)
+        };
+        self
+    }
+
+    /// Builds an owned pool.
+    pub fn build(self) -> Result<ThreadPool, ThreadPoolBuildError> {
+        Ok(ThreadPool::build(
+            self.num_threads.unwrap_or_else(default_num_threads),
+        ))
+    }
+
+    /// Installs this configuration as the global pool. Fails if the global
+    /// pool has already been initialized (lazily or explicitly).
+    pub fn build_global(self) -> Result<(), ThreadPoolBuildError> {
+        let pool = self.build()?;
+        GLOBAL.set(pool).map_err(|_| ThreadPoolBuildError {
+            message: "the global thread pool has already been initialized",
+        })
+    }
+}
+
+static GLOBAL: OnceLock<ThreadPool> = OnceLock::new();
+
+/// Pool size used when nothing is configured explicitly: `FEIR_NUM_THREADS`,
+/// then `RAYON_NUM_THREADS`, then the machine's available parallelism.
+fn default_num_threads() -> usize {
+    for var in ["FEIR_NUM_THREADS", "RAYON_NUM_THREADS"] {
+        if let Some(n) = std::env::var(var)
+            .ok()
+            .and_then(|v| v.parse::<usize>().ok())
+        {
+            if n >= 1 {
+                return n;
+            }
+        }
+    }
+    std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1)
+}
+
+fn global_pool() -> &'static ThreadPool {
+    GLOBAL.get_or_init(|| ThreadPool::build(default_num_threads()))
+}
+
+/// The pool ambient on this thread: the innermost `install` / worker binding,
+/// falling back to the lazily-initialized global pool.
+pub(crate) fn current_pool() -> Arc<PoolInner> {
+    CURRENT
+        .with(|c| c.borrow().last().map(|(pool, _)| Arc::clone(pool)))
+        .unwrap_or_else(|| Arc::clone(global_pool().inner()))
+}
+
+/// Number of worker threads in the ambient pool.
+pub fn current_num_threads() -> usize {
+    current_pool().num_threads()
+}
+
+/// Per-worker executed-job counts of the ambient pool, in worker order.
+/// Zero-allocation observability hook used by the parallel-execution tests
+/// and the benchmark snapshot tool; not part of the real rayon API.
+pub fn worker_job_counts() -> Vec<usize> {
+    current_pool().job_counts()
+}
+
+/// Runs two closures, potentially in parallel, and returns both results.
+///
+/// `oper_a` runs on the calling thread while `oper_b` is shipped to the
+/// ambient pool, so the two overlap in time even with a single worker — the
+/// property the AFEIR recovery path (reduction ∥ recovery planning) relies
+/// on. The caller then waits for `b`, helping the pool if it is itself a
+/// worker thread (which keeps nested joins deadlock-free).
+pub fn join<A, B, RA, RB>(oper_a: A, oper_b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA + Send,
+    B: FnOnce() -> RB + Send,
+    RA: Send,
+    RB: Send,
+{
+    let pool = current_pool();
+    let mut ra: Option<RA> = None;
+    let mut rb: Option<RB> = None;
+    {
+        let rb_slot = SendPtr(&mut rb as *mut Option<RB>);
+        let job: Box<dyn FnOnce() + Send + '_> = Box::new(move || {
+            // Capture the whole wrapper (not the raw-pointer field) so the
+            // closure inherits SendPtr's Send impl.
+            let slot = rb_slot;
+            let value = oper_b();
+            // SAFETY: the slot outlives the batch (the scope waits for it)
+            // and is written by exactly this job.
+            unsafe { *slot.0 = Some(value) };
+        });
+        takeable_scope(&pool, vec![job], || ra = Some(oper_a()));
+    }
+    (
+        ra.expect("join: first closure did not run"),
+        rb.expect("join: second closure did not run"),
+    )
+}
+
+/// Runs `jobs` on the pool while executing `local` on the calling thread,
+/// returning only when both are done.
+fn takeable_scope<'scope>(
+    pool: &Arc<PoolInner>,
+    jobs: Vec<Box<dyn FnOnce() + Send + 'scope>>,
+    local: impl FnOnce(),
+) {
+    // run_scoped pushes the jobs and then waits; we need the local closure to
+    // run *between* push and wait. Reimplement the small sequence here.
+    let latch = Arc::new(Latch::new(jobs.len()));
+    let panic_slot: Arc<Mutex<Option<Box<dyn Any + Send>>>> = Arc::new(Mutex::new(None));
+    for job in jobs {
+        let latch = Arc::clone(&latch);
+        let panic_slot = Arc::clone(&panic_slot);
+        let wrapped: Box<dyn FnOnce() + Send + 'scope> = Box::new(move || {
+            let result = catch_unwind(AssertUnwindSafe(job));
+            if let Err(payload) = result {
+                let mut slot = panic_slot.lock().expect("panic slot poisoned");
+                slot.get_or_insert(payload);
+            }
+            latch.complete_one();
+        });
+        // SAFETY: the latch wait below runs before this frame unwinds.
+        let wrapped: Job = unsafe { erase_lifetime(wrapped) };
+        pool.push_job(wrapped);
+    }
+    pool.notify();
+    let local_result = catch_unwind(AssertUnwindSafe(local));
+    pool.wait_latch(&latch);
+    let payload = panic_slot.lock().expect("panic slot poisoned").take();
+    if let Err(local_panic) = local_result {
+        resume_unwind(local_panic);
+    }
+    if let Some(payload) = payload {
+        resume_unwind(payload);
+    }
+}
+
+struct SendPtr<T>(*mut T);
+// SAFETY: the pointer is only dereferenced by the single job that owns it,
+// strictly before the owning stack frame is released.
+unsafe impl<T> Send for SendPtr<T> {}

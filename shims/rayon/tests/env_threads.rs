@@ -1,0 +1,22 @@
+//! `FEIR_NUM_THREADS` must size the lazily-initialized global pool. This
+//! lives in its own integration-test binary so the env var can be set before
+//! the global pool's first use without racing other tests.
+
+#[test]
+fn feir_num_threads_overrides_global_pool_size() {
+    // SAFETY: no other thread is running in this test binary yet, and the
+    // global pool has not been touched.
+    unsafe { std::env::set_var("FEIR_NUM_THREADS", "3") };
+    assert_eq!(rayon::current_num_threads(), 3);
+
+    // Once the global pool exists its size is fixed; later env changes are
+    // intentionally ignored.
+    unsafe { std::env::set_var("FEIR_NUM_THREADS", "7") };
+    assert_eq!(rayon::current_num_threads(), 3);
+
+    // build_global must now report the pool as already initialized.
+    let result = rayon::ThreadPoolBuilder::new()
+        .num_threads(2)
+        .build_global();
+    assert!(result.is_err());
+}

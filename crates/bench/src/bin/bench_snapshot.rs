@@ -13,6 +13,8 @@
 use std::hint::black_box;
 use std::time::{Duration, Instant};
 
+use feir_dist::{distributed_resilient_cg, DistResilienceConfig, ProtectedVector, ScriptedFault};
+use feir_recovery::RecoveryPolicy;
 use feir_solvers::{cg, SolveOptions};
 use feir_sparse::generators::{manufactured_rhs, poisson_2d};
 use feir_sparse::vecops;
@@ -113,6 +115,72 @@ fn main() {
             black_box(&options_par),
         ))
     });
+
+    // Distributed recovery scenarios (PR 3): the fault-free ideal distributed
+    // CG against FEIR and AFEIR absorbing a deterministic burst of DUEs
+    // (iterate, direction and residual pages across the ranks, including a
+    // boundary page whose recovery fetches values from the neighbour rank).
+    // The FEIR-vs-AFEIR gap is the recovery overhead the paper's asynchrony
+    // removes from the critical path.
+    let side = if smoke { 12 } else { 24 };
+    let a = poisson_2d(side);
+    let (_, b) = manufactured_rhs(&a, 5);
+    for ranks in [2usize, 4] {
+        let dist_config = |policy: RecoveryPolicy, faulted: bool| {
+            let faults = if faulted {
+                vec![
+                    ScriptedFault {
+                        iteration: 3,
+                        rank: ranks - 1,
+                        vector: ProtectedVector::X,
+                        page: 0,
+                    },
+                    ScriptedFault {
+                        iteration: 5,
+                        rank: 0,
+                        vector: ProtectedVector::D,
+                        page: 1,
+                    },
+                    ScriptedFault {
+                        iteration: 8,
+                        rank: ranks / 2,
+                        vector: ProtectedVector::G,
+                        page: 0,
+                    },
+                ]
+            } else {
+                Vec::new()
+            };
+            DistResilienceConfig::for_policy(policy)
+                .with_page_doubles(32)
+                .with_tolerance(1e-8)
+                .with_max_iterations(20_000)
+                .with_scripted_faults(faults)
+        };
+        h.bench(&format!("dist_cg/ideal/ranks{ranks}"), || {
+            black_box(distributed_resilient_cg(
+                black_box(&a),
+                black_box(&b),
+                ranks,
+                dist_config(RecoveryPolicy::Ideal, false),
+            ))
+        });
+        for (label, policy) in [
+            ("feir", RecoveryPolicy::Feir),
+            ("afeir", RecoveryPolicy::Afeir),
+        ] {
+            h.bench(&format!("dist_recovery/{label}/ranks{ranks}"), || {
+                let report = distributed_resilient_cg(
+                    black_box(&a),
+                    black_box(&b),
+                    ranks,
+                    dist_config(policy, true),
+                );
+                debug_assert!(report.converged && report.pages_recovered >= 3);
+                black_box(report)
+            });
+        }
+    }
 
     // Emit the snapshot JSON (no external JSON crate in this environment).
     let mut out = String::new();

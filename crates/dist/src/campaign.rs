@@ -1,0 +1,282 @@
+//! Fault campaigns: policy × rank-count × fault-rate sweeps over the
+//! distributed resilient solver, producing the per-policy overhead tables of
+//! the paper's scaling study (Section 5 / Figure 5's measured points).
+//!
+//! For every rank count the campaign first measures the fault-free ideal
+//! distributed CG as the baseline, then runs every `(policy, frequency)`
+//! cell with one live injector stream per rank (frequency is machine-wide,
+//! in expected DUEs per fault-free solve, and is split evenly over the
+//! ranks). Each cell records wall time, iteration count, the overhead
+//! against the baseline, and the per-rank fault attribution from
+//! [`DistributedFaultReport`] — so a report can say not just *how many*
+//! errors occurred but *which ranks* absorbed and recovered them.
+
+use std::time::Duration;
+
+use feir_pagemem::InjectionPlan;
+use feir_recovery::report::{DistributedFaultReport, RankFaultStats};
+use feir_recovery::RecoveryPolicy;
+use feir_sparse::CsrMatrix;
+
+use crate::resilient::{DistResilienceConfig, DistResilientCg, InjectionDriver};
+
+/// A policy × rank-count × fault-rate sweep.
+#[derive(Debug, Clone)]
+pub struct FaultCampaign {
+    /// Policies to compare.
+    pub policies: Vec<RecoveryPolicy>,
+    /// Simulated rank counts to run at.
+    pub rank_counts: Vec<usize>,
+    /// Machine-wide error frequencies, in expected DUEs per fault-free solve
+    /// (the paper's normalized error frequency). `0.0` measures the pure
+    /// protection overhead.
+    pub error_frequencies: Vec<f64>,
+    /// Page size in doubles of the per-rank fault domains.
+    pub page_doubles: usize,
+    /// Convergence tolerance.
+    pub tolerance: f64,
+    /// Iteration cap per solve.
+    pub max_iterations: usize,
+    /// Base RNG seed; every cell derives an independent deterministic seed.
+    pub seed: u64,
+}
+
+impl Default for FaultCampaign {
+    fn default() -> Self {
+        Self {
+            policies: vec![
+                RecoveryPolicy::Afeir,
+                RecoveryPolicy::Feir,
+                RecoveryPolicy::LossyRestart,
+                RecoveryPolicy::Checkpoint { interval: 50 },
+                RecoveryPolicy::Trivial,
+            ],
+            rank_counts: vec![1, 2, 4],
+            error_frequencies: vec![0.0, 2.0],
+            page_doubles: 64,
+            tolerance: 1e-8,
+            max_iterations: 50_000,
+            seed: 0xC0FF_EE00,
+        }
+    }
+}
+
+/// Fault-free ideal distributed baseline at one rank count.
+#[derive(Debug, Clone, Copy)]
+pub struct CampaignBaseline {
+    /// Rank count.
+    pub ranks: usize,
+    /// Wall time of the ideal (unprotected) distributed solve.
+    pub elapsed: Duration,
+    /// Iterations of the ideal solve.
+    pub iterations: usize,
+}
+
+/// One measured cell of the sweep.
+#[derive(Debug, Clone)]
+pub struct CampaignCell {
+    /// Policy of this cell.
+    pub policy: RecoveryPolicy,
+    /// Rank count of this cell.
+    pub ranks: usize,
+    /// Machine-wide error frequency of this cell.
+    pub frequency: f64,
+    /// Iterations performed (including re-done work).
+    pub iterations: usize,
+    /// Wall time of the solve.
+    pub elapsed: Duration,
+    /// True if the explicit residual met the tolerance.
+    pub converged: bool,
+    /// Wall-time overhead versus the same-rank-count ideal baseline, in
+    /// percent (Figure 4/5's y-axis).
+    pub overhead_percent: f64,
+    /// Iteration overhead versus the baseline, in percent (timing-noise-free
+    /// work measure, useful on loaded CI machines).
+    pub iteration_overhead_percent: f64,
+    /// Per-rank fault attribution.
+    pub faults: DistributedFaultReport,
+    /// Pages reconstructed across all ranks.
+    pub pages_recovered: usize,
+    /// Values fetched across rank boundaries during recovery.
+    pub cross_rank_values: usize,
+    /// Rollbacks (checkpoint policy).
+    pub rollbacks: usize,
+    /// Restarts (Lossy Restart policy).
+    pub restarts: usize,
+}
+
+impl CampaignCell {
+    /// Number of ranks that absorbed at least one effective DUE.
+    pub fn faulty_ranks(&self) -> usize {
+        self.faults.faulty_ranks()
+    }
+
+    /// Per-rank statistics, in rank order.
+    pub fn per_rank(&self) -> &[RankFaultStats] {
+        &self.faults.per_rank
+    }
+}
+
+/// All measurements of one campaign run.
+#[derive(Debug, Clone, Default)]
+pub struct CampaignReport {
+    /// Ideal baseline per rank count.
+    pub baselines: Vec<CampaignBaseline>,
+    /// Every measured cell, in sweep order (rank count, then policy, then
+    /// frequency).
+    pub cells: Vec<CampaignCell>,
+}
+
+impl CampaignReport {
+    /// The baseline for a rank count, if it was measured.
+    pub fn baseline(&self, ranks: usize) -> Option<&CampaignBaseline> {
+        self.baselines.iter().find(|b| b.ranks == ranks)
+    }
+
+    /// Renders the fixed-width overhead table (one row per cell).
+    pub fn table(&self) -> String {
+        let mut out = String::new();
+        out.push_str(
+            "ranks  policy   freq  conv  iters    time_ms  overhd%  it_ovh%  inj/disc/rec  hit_ranks  xrank\n",
+        );
+        for cell in &self.cells {
+            out.push_str(&format!(
+                "{:>5}  {:<7}  {:>4.1}  {:>4}  {:>5}  {:>9.2}  {:>7.1}  {:>7.1}  {:>4}/{:>4}/{:>3}  {:>9}  {:>5}\n",
+                cell.ranks,
+                cell.policy.name(),
+                cell.frequency,
+                if cell.converged { "yes" } else { "NO" },
+                cell.iterations,
+                cell.elapsed.as_secs_f64() * 1e3,
+                cell.overhead_percent,
+                cell.iteration_overhead_percent,
+                cell.faults.total_injected(),
+                cell.faults.total_discovered(),
+                cell.faults.total_recovered(),
+                cell.faulty_ranks(),
+                cell.cross_rank_values,
+            ));
+        }
+        out
+    }
+}
+
+impl FaultCampaign {
+    /// Runs the sweep on `A x = b`.
+    pub fn run(&self, a: &CsrMatrix, b: &[f64]) -> CampaignReport {
+        let mut report = CampaignReport::default();
+        for (ri, &ranks) in self.rank_counts.iter().enumerate() {
+            // Fault-free ideal distributed baseline at this rank count.
+            let ideal =
+                DistResilientCg::new(a, b, ranks, self.cell_config(RecoveryPolicy::Ideal)).solve();
+            let baseline = CampaignBaseline {
+                ranks: ideal.ranks,
+                elapsed: ideal.elapsed,
+                iterations: ideal.iterations,
+            };
+            report.baselines.push(baseline);
+
+            for (pi, &policy) in self.policies.iter().enumerate() {
+                for (fi, &frequency) in self.error_frequencies.iter().enumerate() {
+                    let solver = DistResilientCg::new(a, b, ranks, self.cell_config(policy));
+                    let driver = (frequency > 0.0).then(|| {
+                        // The frequency is machine-wide: split the error rate
+                        // evenly over the per-rank streams.
+                        let per_rank = frequency / solver.ranks() as f64;
+                        let seed = self
+                            .seed
+                            .wrapping_add(1_000_000 * ri as u64)
+                            .wrapping_add(10_000 * pi as u64)
+                            .wrapping_add(100 * fi as u64);
+                        let plan = InjectionPlan::normalized(
+                            per_rank,
+                            baseline.elapsed.max(Duration::from_millis(1)),
+                            seed,
+                        );
+                        InjectionDriver::start_uniform(solver.domains(), &plan)
+                    });
+                    let mut solve = solver.solve();
+                    if let Some(driver) = driver {
+                        solve.absorb_injection_reports(&driver.stop());
+                    }
+                    let overhead = |value: f64, base: f64| {
+                        if base > 0.0 {
+                            (value / base - 1.0) * 100.0
+                        } else {
+                            0.0
+                        }
+                    };
+                    report.cells.push(CampaignCell {
+                        policy,
+                        ranks: solve.ranks,
+                        frequency,
+                        iterations: solve.iterations,
+                        elapsed: solve.elapsed,
+                        converged: solve.converged,
+                        overhead_percent: overhead(
+                            solve.elapsed.as_secs_f64(),
+                            baseline.elapsed.as_secs_f64(),
+                        ),
+                        iteration_overhead_percent: overhead(
+                            solve.iterations as f64,
+                            baseline.iterations as f64,
+                        ),
+                        faults: solve.faults,
+                        pages_recovered: solve.pages_recovered,
+                        cross_rank_values: solve.cross_rank_values,
+                        rollbacks: solve.rollbacks,
+                        restarts: solve.restarts,
+                    });
+                }
+            }
+        }
+        report
+    }
+
+    fn cell_config(&self, policy: RecoveryPolicy) -> DistResilienceConfig {
+        DistResilienceConfig::for_policy(policy)
+            .with_page_doubles(self.page_doubles)
+            .with_tolerance(self.tolerance)
+            .with_max_iterations(self.max_iterations)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use feir_sparse::generators::{manufactured_rhs, poisson_2d};
+
+    #[test]
+    fn campaign_sweeps_and_attributes_faults_to_ranks() {
+        let a = poisson_2d(12);
+        let (_, b) = manufactured_rhs(&a, 7);
+        let campaign = FaultCampaign {
+            policies: vec![RecoveryPolicy::Afeir, RecoveryPolicy::Feir],
+            rank_counts: vec![1, 3],
+            error_frequencies: vec![0.0, 2.0],
+            page_doubles: 16,
+            tolerance: 1e-8,
+            max_iterations: 20_000,
+            seed: 42,
+        };
+        let report = campaign.run(&a, &b);
+        assert_eq!(report.baselines.len(), 2);
+        assert_eq!(report.cells.len(), 2 * 2 * 2);
+        assert!(report.baseline(3).is_some());
+        for cell in &report.cells {
+            assert!(cell.converged, "{:?} did not converge", cell.policy);
+            assert!(cell.overhead_percent.is_finite());
+            assert_eq!(cell.per_rank().len(), cell.ranks);
+            // Totals must be consistent with the per-rank breakdown.
+            let sum: usize = cell.per_rank().iter().map(|s| s.injected).sum();
+            assert_eq!(sum, cell.faults.total_injected());
+            if cell.frequency == 0.0 {
+                assert_eq!(cell.faults.total_injected(), 0);
+                assert_eq!(cell.faulty_ranks(), 0);
+            }
+        }
+        let table = campaign.run(&a, &b).table();
+        assert!(table.contains("AFEIR") && table.contains("FEIR"));
+        assert!(table.lines().count() >= 9);
+    }
+}

@@ -83,6 +83,27 @@ impl HaloPlan {
     }
 }
 
+/// Message exchanged on the cross-rank recovery channels.
+///
+/// When a rank discovers a DUE whose recovery relation reaches across a rank
+/// boundary (the faulted block's matrix stencil references columns owned by a
+/// neighbour), it cannot reconstruct the block from local data alone: the
+/// off-diagonal contributions `A_ij · v_j` of the interpolation need the
+/// neighbour's current values. The recovery round is a collective over halo
+/// neighbours — every rank posts one [`RecoveryMsg::Request`] (possibly empty)
+/// per neighbour and answers the neighbour's request with one
+/// [`RecoveryMsg::Reply`], so the protocol stays deadlock-free in lockstep
+/// with the solver.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RecoveryMsg {
+    /// Ask the receiving rank for the current authoritative values of the
+    /// listed global indices (which it owns). An empty list means "nothing
+    /// needed this round" and still participates in the collective.
+    Request(Vec<usize>),
+    /// The values answering the sender's last request, in request order.
+    Reply(Vec<f64>),
+}
+
 /// Rank-ordered sum allreduce over channels.
 ///
 /// Rank 0 gathers one partial value per peer, accumulates them **in rank
@@ -178,6 +199,9 @@ pub struct RankComm {
     halo_out: Vec<(usize, Vec<usize>, Sender<Vec<f64>>)>,
     /// Incoming halo: `(source, indices received, receiver)`.
     halo_in: Vec<(usize, Vec<usize>, Receiver<Vec<f64>>)>,
+    /// Bidirectional recovery channels, one per halo neighbour, sorted by
+    /// peer rank: `(peer, sender to peer, receiver from peer)`.
+    recovery: Vec<(usize, Sender<RecoveryMsg>, Receiver<RecoveryMsg>)>,
     reducer: Reducer,
 }
 
@@ -191,6 +215,7 @@ impl RankComm {
                 rank,
                 halo_out: Vec::new(),
                 halo_in: Vec::new(),
+                recovery: Vec::new(),
                 reducer,
             })
             .collect();
@@ -209,6 +234,36 @@ impl RankComm {
                     .push((receiver_rank, cols.clone(), tx));
                 comms[receiver_rank].halo_in.push((sender_rank, cols, rx));
             }
+        }
+        // Recovery channels: one bidirectional pair per unordered neighbour
+        // pair with halo traffic in either direction, so a recovering rank can
+        // request the off-diagonal contributions of its interpolation from any
+        // rank its stencil reaches.
+        let mut neighbours: Vec<Vec<usize>> = vec![Vec::new(); ranks];
+        for r in 0..ranks {
+            for &s in plan.needs_of(r).keys() {
+                if !neighbours[r].contains(&s) {
+                    neighbours[r].push(s);
+                }
+                if !neighbours[s].contains(&r) {
+                    neighbours[s].push(r);
+                }
+            }
+        }
+        for r in 0..ranks {
+            neighbours[r].sort_unstable();
+            for &s in &neighbours[r] {
+                if s <= r {
+                    continue;
+                }
+                let (r_to_s_tx, r_to_s_rx) = channel();
+                let (s_to_r_tx, s_to_r_rx) = channel();
+                comms[r].recovery.push((s, r_to_s_tx, s_to_r_rx));
+                comms[s].recovery.push((r, s_to_r_tx, r_to_s_rx));
+            }
+        }
+        for comm in &mut comms {
+            comm.recovery.sort_unstable_by_key(|(peer, _, _)| *peer);
         }
         comms
     }
@@ -241,6 +296,87 @@ impl RankComm {
     /// Global sum of `local` over all ranks (see [`Reducer::allreduce_sum`]).
     pub fn allreduce_sum(&self, local: f64) -> f64 {
         self.reducer.allreduce_sum(local)
+    }
+
+    /// Global "did anyone fault?" indicator, built on the deterministic sum
+    /// allreduce. Every rank contributes its local count of freshly
+    /// discovered losses; the recovery round only runs when the result is
+    /// true, so the fault-free path pays one scalar reduction and no data
+    /// movement.
+    pub fn fault_flag(&self, local_faults: usize) -> bool {
+        self.reducer.allreduce_sum(local_faults as f64) > 0.0
+    }
+
+    /// The ranks this rank can exchange recovery data with (its halo
+    /// neighbours), in ascending order.
+    pub fn recovery_peers(&self) -> Vec<usize> {
+        self.recovery.iter().map(|(peer, _, _)| *peer).collect()
+    }
+
+    /// One collective cross-rank recovery round (see [`RecoveryMsg`]).
+    ///
+    /// `requests` maps a peer rank to the sorted global indices (owned by
+    /// that peer) whose current values this rank needs for its interpolation;
+    /// peers absent from the map receive an empty request. `data` is this
+    /// rank's full-length working buffer: its owned range answers incoming
+    /// requests, and the fetched remote values are scattered into it before
+    /// the call returns. Returns the number of values fetched across rank
+    /// boundaries.
+    ///
+    /// Every rank must call this the same number of times in the same order
+    /// (it is a neighbourhood collective); a healthy rank simply passes an
+    /// empty request map. Requests for peers that are not halo neighbours
+    /// are rejected, as no channel exists to serve them.
+    pub fn recovery_exchange(
+        &self,
+        requests: &HashMap<usize, Vec<usize>>,
+        data: &mut [f64],
+    ) -> usize {
+        // A request outside the neighbourhood has no channel to travel on and
+        // would otherwise be dropped silently — reject it loudly instead.
+        assert!(
+            requests
+                .keys()
+                .all(|peer| self.recovery.iter().any(|(p, _, _)| p == peer)),
+            "recovery request targets a rank outside the halo neighbourhood"
+        );
+        // Phase 1: every rank posts its (possibly empty) requests.
+        for (peer, tx, _) in &self.recovery {
+            let indices = requests.get(peer).cloned().unwrap_or_default();
+            tx.send(RecoveryMsg::Request(indices))
+                .expect("recovery peer disconnected");
+        }
+        // Phase 2: answer each incoming request from the owned data.
+        for (peer, tx, rx) in &self.recovery {
+            match rx.recv().expect("recovery peer disconnected") {
+                RecoveryMsg::Request(indices) => {
+                    let values: Vec<f64> = indices.iter().map(|&i| data[i]).collect();
+                    tx.send(RecoveryMsg::Reply(values))
+                        .expect("recovery peer disconnected");
+                }
+                RecoveryMsg::Reply(_) => {
+                    panic!("recovery protocol violation: reply from rank {peer} before request")
+                }
+            }
+        }
+        // Phase 3: scatter the fetched values into the working buffer.
+        let mut fetched = 0;
+        for (peer, _, rx) in &self.recovery {
+            match rx.recv().expect("recovery peer disconnected") {
+                RecoveryMsg::Reply(values) => {
+                    let indices = requests.get(peer).map(Vec::as_slice).unwrap_or(&[]);
+                    debug_assert_eq!(values.len(), indices.len());
+                    for (&i, v) in indices.iter().zip(values) {
+                        data[i] = v;
+                        fetched += 1;
+                    }
+                }
+                RecoveryMsg::Request(_) => {
+                    panic!("recovery protocol violation: second request from rank {peer}")
+                }
+            }
+        }
+        fetched
     }
 }
 
@@ -346,6 +482,86 @@ mod tests {
                 assert_eq!(plan.needs_of(dest).get(&r), Some(cols));
             }
         }
+    }
+
+    #[test]
+    fn recovery_exchange_fetches_cross_boundary_values() {
+        let a = poisson_2d(8);
+        let n = a.rows();
+        let ranks = 4;
+        let partition = RankPartition::new(n, ranks);
+        let plan = HaloPlan::build(&a, &partition);
+        let comms = RankComm::for_ranks(&plan, ranks);
+        // Rank 2 lost a page and requests every halo entry it references;
+        // the other ranks participate with empty requests.
+        let fetched: Vec<(usize, usize, Vec<f64>)> = std::thread::scope(|scope| {
+            let mut handles = Vec::new();
+            for comm in comms {
+                let partition = partition.clone();
+                let plan = plan.clone();
+                let handle = scope.spawn(move || {
+                    let rank = comm.rank();
+                    let own = partition.range(rank);
+                    let mut data = vec![f64::NAN; n];
+                    for i in own {
+                        data[i] = i as f64;
+                    }
+                    let requests: HashMap<usize, Vec<usize>> = if rank == 2 {
+                        plan.needs_of(2).clone()
+                    } else {
+                        HashMap::new()
+                    };
+                    let count = comm.recovery_exchange(&requests, &mut data);
+                    let values: Vec<f64> = requests
+                        .values()
+                        .flat_map(|cols| cols.iter().map(|&c| data[c] - c as f64))
+                        .collect();
+                    (rank, count, values)
+                });
+                handles.push(handle);
+            }
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("rank panicked"))
+                .collect()
+        });
+        for (rank, count, deltas) in fetched {
+            if rank == 2 {
+                assert!(count > 0, "rank 2 fetched nothing");
+                assert!(
+                    deltas.iter().all(|d| *d == 0.0),
+                    "fetched values disagree with the owner's data"
+                );
+            } else {
+                assert_eq!(count, 0, "healthy rank {rank} fetched data");
+            }
+        }
+    }
+
+    #[test]
+    fn fault_flag_is_a_global_or() {
+        let ranks = 3;
+        let comms = RankComm::for_ranks(&HaloPlan::empty(ranks), ranks);
+        let flags: Vec<bool> = std::thread::scope(|scope| {
+            let handles: Vec<_> = comms
+                .into_iter()
+                .map(|comm| {
+                    scope.spawn(move || {
+                        // Only rank 1 reports a fault; everyone must see it.
+                        let first = comm.fault_flag(usize::from(comm.rank() == 1));
+                        let second = comm.fault_flag(0);
+                        (first, second)
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("rank panicked"))
+                .flat_map(|(a, b)| [a, b])
+                .collect()
+        });
+        // First round: all true. Second round: all false.
+        assert_eq!(flags.iter().filter(|f| **f).count(), ranks);
     }
 
     #[test]

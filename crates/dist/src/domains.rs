@@ -11,6 +11,27 @@ use std::sync::Arc;
 
 use feir_pagemem::{PageRegistry, VectorId};
 
+/// Snapshot of one rank's fault counters, so campaign reports can attribute
+/// faults to the rank that owns the affected pages (not just machine totals).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RankFaultCounts {
+    /// The rank these counters belong to.
+    pub rank: usize,
+    /// Injections that landed on a healthy page of this rank.
+    pub injected: usize,
+    /// Faults discovered by this rank on access.
+    pub discovered: usize,
+    /// Pages of this rank marked recovered.
+    pub recovered: usize,
+}
+
+impl RankFaultCounts {
+    /// True if this rank saw at least one effective injection.
+    pub fn was_hit(&self) -> bool {
+        self.injected > 0
+    }
+}
+
 /// One independent [`PageRegistry`] per simulated rank.
 #[derive(Debug, Clone)]
 pub struct RankDomains {
@@ -70,9 +91,39 @@ impl RankDomains {
         self.registries.iter().map(|r| r.recovered_count()).sum()
     }
 
+    /// Fault counters of one rank.
+    pub fn rank_counts(&self, rank: usize) -> RankFaultCounts {
+        let registry = &self.registries[rank];
+        RankFaultCounts {
+            rank,
+            injected: registry.injected_count(),
+            discovered: registry.discovered_count(),
+            recovered: registry.recovered_count(),
+        }
+    }
+
+    /// Per-rank fault counter breakdown across every rank, in rank order.
+    pub fn per_rank_counts(&self) -> Vec<RankFaultCounts> {
+        (0..self.num_ranks()).map(|r| self.rank_counts(r)).collect()
+    }
+
+    /// Number of ranks with at least one effective injection.
+    pub fn faulty_rank_count(&self) -> usize {
+        self.registries
+            .iter()
+            .filter(|r| r.injected_count() > 0)
+            .count()
+    }
+
     /// True if every page of every rank is healthy.
     pub fn all_healthy(&self) -> bool {
         self.registries.iter().all(|r| r.all_healthy())
+    }
+
+    /// Resets one rank's registry (pages healthy, counters zeroed), leaving
+    /// the other ranks untouched.
+    pub fn reset_rank(&self, rank: usize) {
+        self.registries[rank].reset();
     }
 
     /// Resets every rank's registry.
@@ -127,5 +178,48 @@ mod tests {
         domains.reset();
         assert!(domains.all_healthy());
         assert_eq!(domains.total_injected(), 0);
+    }
+
+    #[test]
+    fn per_rank_counts_attribute_faults_to_the_owning_rank() {
+        let domains = RankDomains::new(3);
+        for rank in 0..3 {
+            domains.register_rank_vectors(rank, &["x"], 4);
+        }
+        let target = domains.registry(2);
+        target.inject(VectorId(0), 1);
+        target.inject(VectorId(0), 3);
+        target.on_access(VectorId(0), 1);
+        target.mark_recovered(VectorId(0), 1);
+
+        let counts = domains.per_rank_counts();
+        assert_eq!(counts.len(), 3);
+        assert_eq!(counts[0], domains.rank_counts(0));
+        assert!(!counts[0].was_hit() && !counts[1].was_hit());
+        assert_eq!(counts[2].rank, 2);
+        assert_eq!(counts[2].injected, 2);
+        assert_eq!(counts[2].discovered, 1);
+        assert_eq!(counts[2].recovered, 1);
+        assert_eq!(domains.faulty_rank_count(), 1);
+        // The totals stay consistent with the breakdown.
+        assert_eq!(
+            domains.total_injected(),
+            counts.iter().map(|c| c.injected).sum::<usize>()
+        );
+    }
+
+    #[test]
+    fn reset_rank_clears_only_that_rank() {
+        let domains = RankDomains::new(2);
+        for rank in 0..2 {
+            domains.register_rank_vectors(rank, &["x"], 2);
+        }
+        domains.registry(0).inject(VectorId(0), 0);
+        domains.registry(1).inject(VectorId(0), 1);
+        domains.reset_rank(0);
+        assert!(domains.registry(0).all_healthy());
+        assert_eq!(domains.rank_counts(0).injected, 0);
+        assert_eq!(domains.rank_counts(1).injected, 1);
+        assert!(!domains.all_healthy());
     }
 }

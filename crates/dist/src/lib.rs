@@ -25,19 +25,36 @@
 //!   model the distributed recovery of Section 3.4 relies on;
 //! * [`distributed_cg`] — block-row distributed CG over the simulated ranks,
 //!   agreeing with the shared-memory solver to round-off;
+//! * [`resilient`] — the distributed resilience subsystem: per-rank live
+//!   fault injection ([`InjectionDriver`]), the cross-rank
+//!   [`RecoveryMsg`](comm::RecoveryMsg) request/reply protocol for
+//!   interpolations whose stencil crosses a rank boundary, and
+//!   [`distributed_resilient_cg`] running the full
+//!   [`RecoveryPolicy`](feir_recovery::RecoveryPolicy) matrix (trivial /
+//!   checkpoint / lossy / FEIR / AFEIR) with a fault-free path that is
+//!   bitwise-identical to [`distributed_cg`];
+//! * [`campaign`] — the [`FaultCampaign`] runner sweeping policy ×
+//!   rank-count × fault-rate into Figure-5-comparable overhead tables;
 //! * [`ScalingModel`] — the calibrated analytic model regenerating the
 //!   Figure-5 speedup curves for every recovery policy.
 
 #![warn(missing_docs)]
 
+pub mod campaign;
 pub mod cg;
 pub mod comm;
 pub mod domains;
 pub mod model;
 pub mod partition;
+pub mod resilient;
 
+pub use campaign::{CampaignBaseline, CampaignCell, CampaignReport, FaultCampaign};
 pub use cg::{distributed_cg, DistSolveResult};
-pub use comm::{distributed_dot, distributed_spmv, HaloPlan, RankComm, Reducer};
-pub use domains::RankDomains;
+pub use comm::{distributed_dot, distributed_spmv, HaloPlan, RankComm, RecoveryMsg, Reducer};
+pub use domains::{RankDomains, RankFaultCounts};
 pub use model::{ScalingModel, ScalingPoint};
 pub use partition::RankPartition;
+pub use resilient::{
+    distributed_resilient_cg, DistResilienceConfig, DistResilientCg, DistResilientReport,
+    InjectionDriver, ProtectedVector, ScriptedFault,
+};

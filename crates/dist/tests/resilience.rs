@@ -1,0 +1,430 @@
+//! Integration tests of the distributed resilience subsystem: zero-fault
+//! bitwise identity with the plain distributed CG, the full policy matrix
+//! under injected DUEs, cross-boundary interpolation against the
+//! shared-memory `BlockRecovery`, and live per-rank injection streams.
+
+use std::time::Duration;
+
+use feir_dist::resilient::{recover_direction_rows, recover_iterate_rows};
+use feir_dist::{
+    distributed_cg, distributed_resilient_cg, DistResilienceConfig, DistResilientCg,
+    InjectionDriver, ProtectedVector, ScriptedFault,
+};
+use feir_pagemem::InjectionPlan;
+use feir_recovery::{BlockRecovery, RecoveryPolicy};
+use feir_sparse::blocking::BlockPartition;
+use feir_sparse::generators::{manufactured_rhs, poisson_2d};
+use feir_sparse::CsrMatrix;
+
+const TOL: f64 = 1e-10;
+
+fn config(policy: RecoveryPolicy) -> DistResilienceConfig {
+    DistResilienceConfig::for_policy(policy)
+        .with_page_doubles(16)
+        .with_tolerance(TOL)
+        .with_max_iterations(20_000)
+}
+
+#[test]
+fn zero_fault_run_is_bitwise_identical_to_distributed_cg() {
+    let a = poisson_2d(14);
+    let (_, b) = manufactured_rhs(&a, 11);
+    for ranks in [1usize, 2, 3, 5] {
+        let plain = distributed_cg(&a, &b, ranks, TOL, 20_000);
+        for policy in [
+            RecoveryPolicy::Ideal,
+            RecoveryPolicy::Feir,
+            RecoveryPolicy::Afeir,
+            RecoveryPolicy::Trivial,
+            RecoveryPolicy::Checkpoint { interval: 25 },
+            RecoveryPolicy::LossyRestart,
+        ] {
+            let resilient = distributed_resilient_cg(&a, &b, ranks, config(policy));
+            assert_eq!(
+                resilient.iterations, plain.iterations,
+                "{policy:?} at {ranks} ranks changed the iteration count"
+            );
+            assert_eq!(
+                resilient.residual_history.len(),
+                plain.residual_history.len(),
+                "{policy:?} at {ranks} ranks changed the history length"
+            );
+            for (i, (u, v)) in resilient
+                .residual_history
+                .iter()
+                .zip(&plain.residual_history)
+                .enumerate()
+            {
+                assert_eq!(
+                    u.to_bits(),
+                    v.to_bits(),
+                    "{policy:?} at {ranks} ranks: history[{i}] {u:e} != {v:e}"
+                );
+            }
+            for (i, (u, v)) in resilient.x.iter().zip(&plain.x).enumerate() {
+                assert_eq!(
+                    u.to_bits(),
+                    v.to_bits(),
+                    "{policy:?} at {ranks} ranks: x[{i}] {u:e} != {v:e}"
+                );
+            }
+            assert_eq!(resilient.faults.total_injected(), 0);
+            assert_eq!(resilient.pages_recovered, 0);
+            assert_eq!(resilient.cross_rank_values, 0);
+        }
+    }
+}
+
+/// Scripted DUEs on the direction and matvec product: every policy in the
+/// matrix must still converge to tolerance (these losses perturb the Krylov
+/// space but never break the `g = b − A·x` invariant).
+#[test]
+fn policy_matrix_converges_under_scripted_dues() {
+    let a = poisson_2d(15);
+    let (x_true, b) = manufactured_rhs(&a, 4);
+    let ranks = 3;
+    let faults = vec![
+        ScriptedFault {
+            iteration: 3,
+            rank: 0,
+            vector: ProtectedVector::D,
+            page: 1,
+        },
+        ScriptedFault {
+            iteration: 6,
+            rank: 2,
+            vector: ProtectedVector::Q,
+            page: 0,
+        },
+        ScriptedFault {
+            iteration: 9,
+            rank: 1,
+            vector: ProtectedVector::D,
+            page: 2,
+        },
+    ];
+    let ideal = distributed_resilient_cg(&a, &b, ranks, config(RecoveryPolicy::Ideal));
+    assert!(ideal.converged);
+    for policy in [
+        RecoveryPolicy::Feir,
+        RecoveryPolicy::Afeir,
+        RecoveryPolicy::Trivial,
+        RecoveryPolicy::Checkpoint { interval: 4 },
+        RecoveryPolicy::LossyRestart,
+    ] {
+        let report = distributed_resilient_cg(
+            &a,
+            &b,
+            ranks,
+            config(policy).with_scripted_faults(faults.clone()),
+        );
+        assert!(
+            report.converged,
+            "{policy:?} did not converge: residual {}",
+            report.relative_residual
+        );
+        assert_eq!(report.faults.total_injected(), 3, "{policy:?}");
+        assert!(report.faults.total_discovered() >= 1, "{policy:?}");
+        assert_eq!(report.faults.faulty_ranks(), 3, "{policy:?}");
+        let err: f64 = report
+            .x
+            .iter()
+            .zip(&x_true)
+            .map(|(u, v)| (u - v) * (u - v))
+            .sum::<f64>()
+            .sqrt();
+        assert!(err < 1e-6, "{policy:?}: solution error {err}");
+        match policy {
+            RecoveryPolicy::Feir | RecoveryPolicy::Afeir => {
+                assert!(report.pages_recovered >= 3, "{policy:?} recovered nothing");
+                // Exact forward recovery must not disturb convergence.
+                assert!(
+                    report.iterations <= ideal.iterations + 2,
+                    "{policy:?}: {} vs ideal {}",
+                    report.iterations,
+                    ideal.iterations
+                );
+            }
+            RecoveryPolicy::Checkpoint { .. } => {
+                assert!(report.rollbacks >= 1, "checkpoint policy never rolled back")
+            }
+            RecoveryPolicy::LossyRestart => {
+                assert!(report.restarts >= 1, "lossy policy never restarted")
+            }
+            _ => {}
+        }
+    }
+}
+
+/// Losing iterate and residual pages exercises the cross-rank recovery
+/// protocol: the interpolation of a boundary page needs x entries owned by
+/// the neighbouring rank, which are only reachable through `RecoveryMsg`.
+#[test]
+fn feir_and_afeir_recover_iterate_losses_across_rank_boundaries() {
+    let a = poisson_2d(16);
+    let (x_true, b) = manufactured_rhs(&a, 9);
+    let ranks = 2;
+    // Page 0 of rank 1's x spans the first rows it owns: its 5-point stencil
+    // reaches into rank 0's rows, so the recovery must fetch across the
+    // boundary.
+    let faults = vec![
+        ScriptedFault {
+            iteration: 4,
+            rank: 1,
+            vector: ProtectedVector::X,
+            page: 0,
+        },
+        ScriptedFault {
+            iteration: 8,
+            rank: 0,
+            vector: ProtectedVector::G,
+            page: 7,
+        },
+    ];
+    let ideal = distributed_resilient_cg(&a, &b, ranks, config(RecoveryPolicy::Ideal));
+    for policy in [RecoveryPolicy::Feir, RecoveryPolicy::Afeir] {
+        let report = distributed_resilient_cg(
+            &a,
+            &b,
+            ranks,
+            config(policy).with_scripted_faults(faults.clone()),
+        );
+        assert!(report.converged, "{policy:?} did not converge");
+        assert!(
+            report.iterations <= ideal.iterations + 2,
+            "{policy:?}: exact recovery changed convergence ({} vs {})",
+            report.iterations,
+            ideal.iterations
+        );
+        assert!(report.pages_recovered >= 2, "{policy:?}");
+        assert!(
+            report.cross_rank_values > 0,
+            "{policy:?} never used the cross-rank recovery protocol"
+        );
+        let err: f64 = report
+            .x
+            .iter()
+            .zip(&x_true)
+            .map(|(u, v)| (u - v) * (u - v))
+            .sum::<f64>()
+            .sqrt();
+        assert!(err < 1e-6, "{policy:?}: solution error {err}");
+    }
+}
+
+/// The cross-rank row recovery must agree with the shared-memory
+/// `BlockRecovery` interpolation to round-off on an aligned partition.
+#[test]
+fn cross_boundary_interpolation_matches_shared_memory_block_recovery() {
+    let a = poisson_2d(16); // n = 256
+    let n = a.rows();
+    let block_size = 32;
+    // With 2 ranks the boundary sits at row 128, which is block-aligned, so
+    // global block 4 (rows 128..160) is exactly rank 1's first local page and
+    // its stencil crosses the rank boundary.
+    let partition = BlockPartition::new(n, block_size);
+    let recovery = BlockRecovery::new(&a, partition, true);
+    let (x_exact, b) = manufactured_rhs(&a, 3);
+    // A partially converged iterate with a consistent residual g = b − A·x.
+    let x: Vec<f64> = x_exact
+        .iter()
+        .enumerate()
+        .map(|(i, v)| v + 0.01 * ((i * 13 % 7) as f64 - 3.0))
+        .collect();
+    let mut g = vec![0.0; n];
+    a.spmv(&x, &mut g);
+    for (gi, bi) in g.iter_mut().zip(&b) {
+        *gi = bi - *gi;
+    }
+    let block = 4;
+    let range = partition.range(block);
+    let rows: Vec<usize> = range.clone().collect();
+
+    // Iterate recovery: blank the block, recover through both paths.
+    let mut damaged = x.clone();
+    for v in &mut damaged[range.clone()] {
+        *v = 0.0;
+    }
+    let mut shared = vec![0.0; range.len()];
+    assert!(recovery.recover_iterate_rhs(&a, &b, &g, &damaged, block, &mut shared));
+    let g_at_rows: Vec<f64> = range.clone().map(|r| g[r]).collect();
+    let dist = recover_iterate_rows(&a, &b, &g_at_rows, &rows, &damaged)
+        .expect("cross-rank iterate recovery failed");
+    for (k, r) in range.clone().enumerate() {
+        assert!(
+            (dist[k] - shared[k]).abs() <= 1e-10 * (1.0 + shared[k].abs()),
+            "row {r}: distributed {} vs shared-memory {}",
+            dist[k],
+            shared[k]
+        );
+        assert!(
+            (dist[k] - x[r]).abs() < 1e-8,
+            "row {r}: recovered {} vs true {}",
+            dist[k],
+            x[r]
+        );
+    }
+
+    // Direction recovery: same comparison through the inverse matvec
+    // relation q = A·d.
+    let d = x_exact.clone();
+    let mut q = vec![0.0; n];
+    a.spmv(&d, &mut q);
+    let mut d_damaged = d.clone();
+    for v in &mut d_damaged[range.clone()] {
+        *v = f64::NAN; // recovery must not read the lost block
+    }
+    let mut shared_d = vec![0.0; range.len()];
+    assert!(recovery.recover_matvec_rhs(&a, &q, &d_damaged, block, &mut shared_d));
+    let q_at_rows: Vec<f64> = range.clone().map(|r| q[r]).collect();
+    let dist_d = recover_direction_rows(&a, &q_at_rows, &rows, &d_damaged)
+        .expect("cross-rank direction recovery failed");
+    for (k, r) in range.clone().enumerate() {
+        assert!(
+            (dist_d[k] - shared_d[k]).abs() <= 1e-10 * (1.0 + shared_d[k].abs()),
+            "row {r}: distributed {} vs shared-memory {}",
+            dist_d[k],
+            shared_d[k]
+        );
+    }
+}
+
+/// Simultaneous losses spanning several pages of one rank go through the
+/// coupled multi-row solve and still recover exactly.
+#[test]
+fn coupled_multi_page_recovery_is_exact() {
+    let a = poisson_2d(16);
+    let n = a.rows();
+    let partition = BlockPartition::new(n, 32);
+    let (x_exact, b) = manufactured_rhs(&a, 21);
+    let x: Vec<f64> = x_exact.iter().map(|v| 0.93 * v + 0.01).collect();
+    let mut g = vec![0.0; n];
+    a.spmv(&x, &mut g);
+    for (gi, bi) in g.iter_mut().zip(&b) {
+        *gi = bi - *gi;
+    }
+    // Two adjacent blocks lost at once.
+    let rows: Vec<usize> = partition.range(2).chain(partition.range(3)).collect();
+    let mut damaged = x.clone();
+    for &r in &rows {
+        damaged[r] = 0.0;
+    }
+    let g_at_rows: Vec<f64> = rows.iter().map(|&r| g[r]).collect();
+    let recovered =
+        recover_iterate_rows(&a, &b, &g_at_rows, &rows, &damaged).expect("coupled recovery failed");
+    for (k, &r) in rows.iter().enumerate() {
+        assert!(
+            (recovered[k] - x[r]).abs() < 1e-8,
+            "row {r}: {} vs {}",
+            recovered[k],
+            x[r]
+        );
+    }
+}
+
+/// Live per-rank injector streams (the paper's exponential error process)
+/// against AFEIR: the solve converges and the unified report attributes the
+/// faults to the ranks that absorbed them.
+#[test]
+fn live_injection_streams_are_attributed_per_rank() {
+    let a = poisson_2d(20);
+    let (_, b) = manufactured_rhs(&a, 2);
+    let ranks = 3;
+    let solver = DistResilientCg::new(&a, &b, ranks, config(RecoveryPolicy::Afeir));
+    let driver = InjectionDriver::start_uniform(
+        solver.domains(),
+        &InjectionPlan::Exponential {
+            mtbe: Duration::from_millis(3),
+            seed: 77,
+        },
+    );
+    assert_eq!(driver.num_ranks(), ranks);
+    let mut report = solver.solve();
+    report.absorb_injection_reports(&driver.stop());
+    assert!(
+        report.converged,
+        "AFEIR failed to converge under live injection: residual {}",
+        report.relative_residual
+    );
+    assert_eq!(report.faults.per_rank.len(), ranks);
+    // Every effective injection is one of the recorded attempts, and the
+    // registry totals match the per-rank breakdown.
+    assert!(report.faults.total_injected() <= report.faults.total_attempted());
+    assert!(report.faults.total_discovered() <= report.faults.total_injected());
+    let per_rank_sum: usize = report.faults.per_rank.iter().map(|s| s.injected).sum();
+    assert_eq!(per_rank_sum, report.faults.total_injected());
+}
+
+/// A heavier deterministic storm: several pages of every vector across every
+/// rank, forward policies must still converge with exact accuracy.
+#[test]
+fn feir_survives_a_multi_vector_fault_storm() {
+    let a = poisson_2d(15);
+    let (x_true, b) = manufactured_rhs(&a, 6);
+    let ranks = 3;
+    let mut faults = Vec::new();
+    for (i, vector) in [
+        ProtectedVector::X,
+        ProtectedVector::G,
+        ProtectedVector::D,
+        ProtectedVector::Q,
+    ]
+    .into_iter()
+    .enumerate()
+    {
+        for rank in 0..ranks {
+            faults.push(ScriptedFault {
+                iteration: 2 + 3 * i + rank,
+                rank,
+                vector,
+                page: rank % 3,
+            });
+        }
+    }
+    for policy in [RecoveryPolicy::Feir, RecoveryPolicy::Afeir] {
+        let report = distributed_resilient_cg(
+            &a,
+            &b,
+            ranks,
+            config(policy).with_scripted_faults(faults.clone()),
+        );
+        assert!(report.converged, "{policy:?} did not converge");
+        assert_eq!(report.faults.faulty_ranks(), ranks);
+        assert!(report.pages_recovered >= 8, "{policy:?}");
+        let err: f64 = report
+            .x
+            .iter()
+            .zip(&x_true)
+            .map(|(u, v)| (u - v) * (u - v))
+            .sum::<f64>()
+            .sqrt();
+        assert!(err < 1e-6, "{policy:?}: solution error {err}");
+    }
+}
+
+/// Sanity: a singular-free matrix and a fault on the very first iteration
+/// (the blank *is* the correct initial state).
+#[test]
+fn faults_before_and_at_iteration_zero_are_harmless() {
+    let a: CsrMatrix = poisson_2d(10);
+    let (_, b) = manufactured_rhs(&a, 1);
+    let solver = DistResilientCg::new(&a, &b, 2, config(RecoveryPolicy::Feir));
+    // Pre-solve injection into x and d of rank 0.
+    let registry = solver.domains().registry(0);
+    registry.inject(ProtectedVector::X.id(), 0);
+    registry.inject(ProtectedVector::D.id(), 1);
+    let report = solver.solve();
+    assert!(report.converged);
+    let with_t0 = distributed_resilient_cg(
+        &a,
+        &b,
+        2,
+        config(RecoveryPolicy::Afeir).with_scripted_faults(vec![ScriptedFault {
+            iteration: 0,
+            rank: 1,
+            vector: ProtectedVector::D,
+            page: 0,
+        }]),
+    );
+    assert!(with_t0.converged);
+}

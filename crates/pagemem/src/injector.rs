@@ -12,6 +12,7 @@ use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
+use parking_lot::Mutex;
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
 
@@ -80,7 +81,9 @@ impl InjectionReport {
 /// Handle to the injector thread.
 pub struct FaultInjector {
     stop: Arc<AtomicBool>,
-    handle: Option<JoinHandle<InjectionReport>>,
+    paused: Arc<AtomicBool>,
+    records: Arc<Mutex<Vec<InjectionRecord>>>,
+    handle: Option<JoinHandle<()>>,
 }
 
 impl FaultInjector {
@@ -91,23 +94,64 @@ impl FaultInjector {
     /// called or the schedule is exhausted.
     pub fn start(registry: Arc<PageRegistry>, plan: InjectionPlan) -> Self {
         let stop = Arc::new(AtomicBool::new(false));
+        let paused = Arc::new(AtomicBool::new(false));
+        let records = Arc::new(Mutex::new(Vec::new()));
         let stop_clone = Arc::clone(&stop);
+        let paused_clone = Arc::clone(&paused);
+        let records_clone = Arc::clone(&records);
         let handle = std::thread::Builder::new()
             .name("feir-fault-injector".into())
-            .spawn(move || injector_loop(registry, plan, stop_clone))
+            .spawn(move || injector_loop(registry, plan, stop_clone, paused_clone, records_clone))
             .expect("failed to spawn fault injector thread");
         Self {
             stop,
+            paused,
+            records,
             handle: Some(handle),
         }
     }
 
-    /// Stops the injector and returns the report of what was injected.
+    /// Pauses the error stream without tearing the injector down, so an
+    /// experiment driver can gate injection around phases it wants fault-free
+    /// (warmup, baseline measurement, teardown) while keeping the same
+    /// injector — and its record stream — attached.
+    ///
+    /// While paused no new injections occur and the remaining schedule is
+    /// shifted by the pause duration, so resuming does not release a burst
+    /// of "overdue" errors. The pause takes effect at the injector thread's
+    /// next wakeup (within about a millisecond): an injection already past
+    /// its final pause check when `pause` returns may still land.
+    pub fn pause(&self) {
+        self.paused.store(true, Ordering::Release);
+    }
+
+    /// Resumes a paused error stream.
+    pub fn resume(&self) {
+        self.paused.store(false, Ordering::Release);
+    }
+
+    /// True while the stream is paused.
+    pub fn is_paused(&self) -> bool {
+        self.paused.load(Ordering::Acquire)
+    }
+
+    /// Drains the records accumulated so far without stopping the injector.
+    ///
+    /// Drained records are removed from the buffer, so the report returned by
+    /// [`Self::stop`] only contains records produced after the last drain.
+    pub fn drain(&self) -> Vec<InjectionRecord> {
+        std::mem::take(&mut *self.records.lock())
+    }
+
+    /// Stops the injector and returns the report of what was injected (since
+    /// the last [`Self::drain`], if any).
     pub fn stop(mut self) -> InjectionReport {
         self.stop.store(true, Ordering::Release);
-        match self.handle.take() {
-            Some(h) => h.join().unwrap_or_default(),
-            None => InjectionReport::default(),
+        if let Some(h) = self.handle.take() {
+            let _ = h.join();
+        }
+        InjectionReport {
+            records: std::mem::take(&mut *self.records.lock()),
         }
     }
 }
@@ -129,13 +173,27 @@ fn sample_exponential(rng: &mut StdRng, mean: Duration) -> Duration {
     Duration::from_secs_f64(t)
 }
 
+/// Sleeps until `paused` clears (or `stop` is set) and returns how long the
+/// pause lasted, so the caller can shift its schedule by that amount.
+fn wait_while_paused(paused: &AtomicBool, stop: &AtomicBool) -> Duration {
+    if !paused.load(Ordering::Acquire) {
+        return Duration::ZERO;
+    }
+    let pause_start = Instant::now();
+    while paused.load(Ordering::Acquire) && !stop.load(Ordering::Acquire) {
+        std::thread::sleep(Duration::from_millis(1));
+    }
+    pause_start.elapsed()
+}
+
 fn injector_loop(
     registry: Arc<PageRegistry>,
     plan: InjectionPlan,
     stop: Arc<AtomicBool>,
-) -> InjectionReport {
+    paused: Arc<AtomicBool>,
+    records: Arc<Mutex<Vec<InjectionRecord>>>,
+) {
     let start = Instant::now();
-    let mut report = InjectionReport::default();
     match plan {
         InjectionPlan::None => {
             // Nothing to do; park until asked to stop so drop() stays cheap.
@@ -147,26 +205,43 @@ fn injector_loop(
             let mut rng = StdRng::seed_from_u64(seed);
             let mut next = sample_exponential(&mut rng, mtbe);
             while !stop.load(Ordering::Acquire) {
+                next += wait_while_paused(&paused, &stop);
                 let now = start.elapsed();
                 if now < next {
                     let wait = (next - now).min(Duration::from_millis(1));
                     std::thread::sleep(wait);
                     continue;
                 }
+                // Last-moment check: a pause raised since the wait above must
+                // defer this injection past the resume (the loop re-enters
+                // wait_while_paused, which shifts the schedule).
+                if paused.load(Ordering::Acquire) {
+                    continue;
+                }
                 if let Some(record) = inject_random(&registry, &mut rng, now) {
-                    report.records.push(record);
+                    records.lock().push(record);
                 }
                 next += sample_exponential(&mut rng, mtbe);
             }
         }
         InjectionPlan::Scheduled(schedule) => {
             let mut rng = StdRng::seed_from_u64(0xFE1C);
+            // Accumulated pause time: the schedule is interpreted relative to
+            // the un-paused clock.
+            let mut shift = Duration::ZERO;
             for (at, flat) in schedule {
-                while start.elapsed() < at {
+                while start.elapsed().saturating_sub(shift) < at {
                     if stop.load(Ordering::Acquire) {
-                        return report;
+                        return;
                     }
+                    shift += wait_while_paused(&paused, &stop);
                     std::thread::sleep(Duration::from_micros(200));
+                }
+                // Last-moment check: a pause raised after the wait loop above
+                // holds the due injection until the stream resumes.
+                shift += wait_while_paused(&paused, &stop);
+                if stop.load(Ordering::Acquire) {
+                    return;
                 }
                 let now = start.elapsed();
                 let record = if flat == usize::MAX {
@@ -183,7 +258,7 @@ fn injector_loop(
                     })
                 };
                 if let Some(r) = record {
-                    report.records.push(r);
+                    records.lock().push(r);
                 }
             }
             // Schedule exhausted: wait for stop so that timing is owned by the
@@ -193,7 +268,6 @@ fn injector_loop(
             }
         }
     }
-    report
 }
 
 fn inject_random(
@@ -298,6 +372,57 @@ mod tests {
             report.records.len()
         );
         assert_eq!(reg.injected_count(), report.effective_count());
+    }
+
+    #[test]
+    fn paused_injector_emits_nothing_and_resumes_cleanly() {
+        let reg = Arc::new(PageRegistry::new());
+        reg.register("x", 64);
+        let injector = FaultInjector::start(
+            Arc::clone(&reg),
+            InjectionPlan::Exponential {
+                mtbe: Duration::from_millis(2),
+                seed: 9,
+            },
+        );
+        // Let some errors land, then pause and verify the stream stalls.
+        std::thread::sleep(Duration::from_millis(30));
+        injector.pause();
+        assert!(injector.is_paused());
+        std::thread::sleep(Duration::from_millis(5));
+        let before_pause = injector.drain();
+        std::thread::sleep(Duration::from_millis(30));
+        let during_pause = injector.drain();
+        assert!(
+            during_pause.is_empty(),
+            "paused injector still injected {} errors",
+            during_pause.len()
+        );
+        // Resume and verify the stream picks back up without a burst.
+        injector.resume();
+        std::thread::sleep(Duration::from_millis(40));
+        let report = injector.stop();
+        assert!(
+            !before_pause.is_empty() || !report.records.is_empty(),
+            "injector never fired"
+        );
+    }
+
+    #[test]
+    fn drain_splits_the_record_stream_without_losing_records() {
+        let reg = Arc::new(PageRegistry::new());
+        let x = reg.register("x", 4);
+        let plan = InjectionPlan::Scheduled(vec![
+            (Duration::from_millis(1), 0),
+            (Duration::from_millis(25), 2),
+        ]);
+        let injector = FaultInjector::start(Arc::clone(&reg), plan);
+        std::thread::sleep(Duration::from_millis(12));
+        let first = injector.drain();
+        std::thread::sleep(Duration::from_millis(30));
+        let report = injector.stop();
+        assert_eq!(first.len() + report.records.len(), 2);
+        assert_eq!(reg.poisoned_pages(x), vec![0, 2]);
     }
 
     #[test]

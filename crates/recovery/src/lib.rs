@@ -37,5 +37,5 @@ pub use checkpoint::{optimal_checkpoint_interval, CheckpointStore};
 pub use interpolate::BlockRecovery;
 pub use lossy::lossy_interpolate_block;
 pub use policy::{RecoveryPolicy, ResilienceConfig};
-pub use report::{RecoveryEvent, RunReport, TimeBuckets};
+pub use report::{DistributedFaultReport, RankFaultStats, RecoveryEvent, RunReport, TimeBuckets};
 pub use resilient_cg::{ResilientCg, ResilientCgBuilder};

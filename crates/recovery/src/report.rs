@@ -1,7 +1,9 @@
-//! Run reports: convergence, recovery events and time accounting.
+//! Run reports: convergence, recovery events, time accounting and the
+//! per-rank fault aggregation consumed by distributed campaign runners.
 
 use std::time::Duration;
 
+use feir_pagemem::InjectionReport;
 use feir_solvers::history::{ConvergenceHistory, StopReason};
 use serde::{Deserialize, Serialize};
 
@@ -137,6 +139,103 @@ impl RunReport {
     }
 }
 
+/// Fault accounting of one rank of a distributed resilient solve, combining
+/// the injector-side view (attempts) with the registry-side view (effective
+/// injections, discoveries, recoveries).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RankFaultStats {
+    /// The rank these counters belong to.
+    pub rank: usize,
+    /// Injection attempts recorded by this rank's injector stream (including
+    /// attempts that hit an already-poisoned page).
+    pub attempted: usize,
+    /// Injections that landed on a healthy page (effective DUEs).
+    pub injected: usize,
+    /// Faults discovered by the solver on access (the "SIGBUS" count).
+    pub discovered: usize,
+    /// Pages marked recovered after reconstruction.
+    pub recovered: usize,
+}
+
+/// Per-rank [`InjectionReport`]s and registry counters aggregated into one
+/// unified fault report for a whole distributed solve.
+///
+/// On the simulated distributed machine every rank runs its own injector
+/// stream against its own registry; this type folds those per-rank views into
+/// the single report the campaign runner consumes, while keeping the per-rank
+/// attribution (which ranks were hit, how often) that machine-wide totals
+/// lose.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DistributedFaultReport {
+    /// Fault statistics per rank, in rank order.
+    pub per_rank: Vec<RankFaultStats>,
+}
+
+impl DistributedFaultReport {
+    /// An empty report covering `ranks` ranks.
+    pub fn new(ranks: usize) -> Self {
+        Self {
+            per_rank: (0..ranks)
+                .map(|rank| RankFaultStats {
+                    rank,
+                    ..RankFaultStats::default()
+                })
+                .collect(),
+        }
+    }
+
+    /// Folds per-rank injector reports (index-aligned with the ranks) into
+    /// the attempt counters.
+    pub fn absorb_injection_reports(&mut self, reports: &[InjectionReport]) {
+        for (rank, report) in reports.iter().enumerate() {
+            if let Some(stats) = self.per_rank.get_mut(rank) {
+                stats.attempted += report.records.len();
+            }
+        }
+    }
+
+    /// Records one rank's registry-side counters (effective injections,
+    /// discoveries, recoveries).
+    pub fn set_registry_counts(
+        &mut self,
+        rank: usize,
+        injected: usize,
+        discovered: usize,
+        recovered: usize,
+    ) {
+        let stats = &mut self.per_rank[rank];
+        stats.injected = injected;
+        stats.discovered = discovered;
+        stats.recovered = recovered;
+    }
+
+    /// Total injection attempts across every rank.
+    pub fn total_attempted(&self) -> usize {
+        self.per_rank.iter().map(|s| s.attempted).sum()
+    }
+
+    /// Total effective injections across every rank.
+    pub fn total_injected(&self) -> usize {
+        self.per_rank.iter().map(|s| s.injected).sum()
+    }
+
+    /// Total faults discovered across every rank.
+    pub fn total_discovered(&self) -> usize {
+        self.per_rank.iter().map(|s| s.discovered).sum()
+    }
+
+    /// Total pages recovered across every rank.
+    pub fn total_recovered(&self) -> usize {
+        self.per_rank.iter().map(|s| s.recovered).sum()
+    }
+
+    /// Number of ranks that saw at least one effective injection — the
+    /// paper's fault-containment unit.
+    pub fn faulty_ranks(&self) -> usize {
+        self.per_rank.iter().filter(|s| s.injected > 0).count()
+    }
+}
+
 /// Harmonic mean of a set of positive values — the aggregation the paper uses
 /// to combine per-matrix overheads (Tables 2 and 4-adjacent text).
 pub fn harmonic_mean(values: &[f64]) -> f64 {
@@ -189,6 +288,36 @@ mod tests {
         let expected = 3.0 / (1.0 + 0.5 + 0.25);
         assert!((harmonic_mean(&values) - expected).abs() < 1e-12);
         assert_eq!(harmonic_mean(&[]), 0.0);
+    }
+
+    #[test]
+    fn distributed_fault_report_aggregates_per_rank_views() {
+        use feir_pagemem::{InjectionRecord, VectorId};
+
+        let mut report = DistributedFaultReport::new(3);
+        // Rank 1's injector attempted two errors, rank 2's attempted one.
+        let mk = |n: usize| InjectionReport {
+            records: (0..n)
+                .map(|i| InjectionRecord {
+                    at: Duration::from_millis(i as u64),
+                    vector: VectorId(0),
+                    page: i,
+                    effective: true,
+                })
+                .collect(),
+        };
+        report.absorb_injection_reports(&[mk(0), mk(2), mk(1)]);
+        report.set_registry_counts(1, 2, 2, 2);
+        report.set_registry_counts(2, 1, 1, 0);
+
+        assert_eq!(report.total_attempted(), 3);
+        assert_eq!(report.total_injected(), 3);
+        assert_eq!(report.total_discovered(), 3);
+        assert_eq!(report.total_recovered(), 2);
+        assert_eq!(report.faulty_ranks(), 2);
+        assert_eq!(report.per_rank[0], RankFaultStats::default());
+        assert_eq!(report.per_rank[1].rank, 1);
+        assert_eq!(report.per_rank[1].attempted, 2);
     }
 
     #[test]

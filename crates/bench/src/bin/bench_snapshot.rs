@@ -13,7 +13,10 @@
 use std::hint::black_box;
 use std::time::{Duration, Instant};
 
-use feir_dist::{distributed_resilient_cg, DistResilienceConfig, ProtectedVector, ScriptedFault};
+use feir_dist::{
+    distributed_resilient_cg, distributed_resilient_pcg, DistResilienceConfig, HaloPlan,
+    ProtectedVector, RankComm, ScriptedFault,
+};
 use feir_recovery::RecoveryPolicy;
 use feir_solvers::{cg, SolveOptions};
 use feir_sparse::generators::{manufactured_rhs, poisson_2d};
@@ -176,9 +179,86 @@ fn main() {
                     ranks,
                     dist_config(policy, true),
                 );
-                debug_assert!(report.converged && report.pages_recovered >= 3);
+                assert!(report.converged && report.pages_recovered >= 3);
                 black_box(report)
             });
+        }
+        // PR 4: the PCG instantiation of the same engine — ideal baseline
+        // plus FEIR/AFEIR absorbing the same deterministic DUE burst (the
+        // preconditioner halves the iteration count, so the per-solve cost
+        // of recovery shifts toward the reconstruction itself).
+        h.bench(&format!("dist_pcg/ideal/ranks{ranks}"), || {
+            black_box(distributed_resilient_pcg(
+                black_box(&a),
+                black_box(&b),
+                ranks,
+                dist_config(RecoveryPolicy::Ideal, false),
+            ))
+        });
+        for (label, policy) in [
+            ("feir", RecoveryPolicy::Feir),
+            ("afeir", RecoveryPolicy::Afeir),
+        ] {
+            h.bench(&format!("dist_recovery_pcg/{label}/ranks{ranks}"), || {
+                let report = distributed_resilient_pcg(
+                    black_box(&a),
+                    black_box(&b),
+                    ranks,
+                    dist_config(policy, true),
+                );
+                assert!(report.converged && report.pages_recovered >= 3);
+                black_box(report)
+            });
+        }
+    }
+
+    // PR 4: the split-phase allreduce in isolation. Every rank performs the
+    // same local filler work per round; the blocking variant pays
+    // work-then-wait serially, the split variant posts its partial first and
+    // runs the work inside the collective — the gap is the overlap the
+    // AFEIR recovery path gets for free.
+    {
+        let ranks = 4;
+        let rounds = if smoke { 8 } else { 64 };
+        let filler = |rank: usize| {
+            let mut acc = 0.0;
+            for i in 0..400 * (rank + 1) {
+                acc += (i as f64).sqrt();
+            }
+            acc
+        };
+        for (label, split) in [("blocking", false), ("split", true)] {
+            h.bench(
+                &format!("split_phase_allreduce/{label}/ranks{ranks}"),
+                || {
+                    let comms = RankComm::for_ranks(&HaloPlan::empty(ranks), ranks);
+                    let totals: Vec<f64> = std::thread::scope(|scope| {
+                        let handles: Vec<_> = comms
+                            .into_iter()
+                            .map(|comm| {
+                                scope.spawn(move || {
+                                    let rank = comm.rank();
+                                    let mut total = 0.0;
+                                    for round in 0..rounds {
+                                        let local = rank as f64 + round as f64 * 0.01;
+                                        total += if split {
+                                            let pending = comm.start_allreduce(local);
+                                            black_box(filler(rank));
+                                            pending.finish()
+                                        } else {
+                                            black_box(filler(rank));
+                                            comm.allreduce_sum(local)
+                                        };
+                                    }
+                                    total
+                                })
+                            })
+                            .collect();
+                        handles.into_iter().map(|h| h.join().unwrap()).collect()
+                    });
+                    black_box(totals)
+                },
+            );
         }
     }
 

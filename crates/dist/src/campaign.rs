@@ -1,10 +1,13 @@
-//! Fault campaigns: policy × rank-count × fault-rate sweeps over the
-//! distributed resilient solver, producing the per-policy overhead tables of
-//! the paper's scaling study (Section 5 / Figure 5's measured points).
+//! Fault campaigns: solver × policy × rank-count × fault-rate sweeps over
+//! the distributed resilient solvers, producing the per-policy overhead
+//! tables of the paper's scaling study (Section 5 / Figure 5's measured
+//! points). The solver axis ([`CampaignSolver`]) covers both engine
+//! instantiations — plain CG and block-Jacobi PCG — in one sweep driver.
 //!
-//! For every rank count the campaign first measures the fault-free ideal
-//! distributed CG as the baseline, then runs every `(policy, frequency)`
-//! cell with one live injector stream per rank (frequency is machine-wide,
+//! For every solver × rank count the campaign first measures the fault-free
+//! ideal distributed solve as the baseline, then runs every `(policy,
+//! frequency)` cell with one live injector stream per rank (frequency is
+//! machine-wide,
 //! in expected DUEs per fault-free solve, and is split evenly over the
 //! ranks). Each cell records wall time, iteration count, the overhead
 //! against the baseline, and the per-rank fault attribution from
@@ -18,11 +21,48 @@ use feir_recovery::report::{DistributedFaultReport, RankFaultStats};
 use feir_recovery::RecoveryPolicy;
 use feir_sparse::CsrMatrix;
 
-use crate::resilient::{DistResilienceConfig, DistResilientCg, InjectionDriver};
+use crate::resilient::{DistResilienceConfig, DistResilientSolver, InjectionDriver};
 
-/// A policy × rank-count × fault-rate sweep.
+/// The solver axis of a campaign: which engine instantiation runs the
+/// sweep's cells. The PCG variant measures its overhead against the ideal
+/// distributed *PCG* baseline, so the two solvers' overhead tables are
+/// directly comparable without a second sweep driver.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CampaignSolver {
+    /// Plain distributed CG.
+    Cg,
+    /// Block-Jacobi preconditioned distributed CG (rank-local page blocks).
+    Pcg,
+}
+
+impl CampaignSolver {
+    /// Short name used in the overhead tables.
+    pub fn name(&self) -> &'static str {
+        match self {
+            CampaignSolver::Cg => "cg",
+            CampaignSolver::Pcg => "pcg",
+        }
+    }
+
+    fn build<'a>(
+        &self,
+        a: &'a CsrMatrix,
+        b: &'a [f64],
+        ranks: usize,
+        config: DistResilienceConfig,
+    ) -> DistResilientSolver<'a> {
+        match self {
+            CampaignSolver::Cg => DistResilientSolver::cg(a, b, ranks, config),
+            CampaignSolver::Pcg => DistResilientSolver::pcg(a, b, ranks, config),
+        }
+    }
+}
+
+/// A solver × policy × rank-count × fault-rate sweep.
 #[derive(Debug, Clone)]
 pub struct FaultCampaign {
+    /// Solver variants to sweep (CG, PCG or both).
+    pub solvers: Vec<CampaignSolver>,
     /// Policies to compare.
     pub policies: Vec<RecoveryPolicy>,
     /// Simulated rank counts to run at.
@@ -44,6 +84,7 @@ pub struct FaultCampaign {
 impl Default for FaultCampaign {
     fn default() -> Self {
         Self {
+            solvers: vec![CampaignSolver::Cg],
             policies: vec![
                 RecoveryPolicy::Afeir,
                 RecoveryPolicy::Feir,
@@ -61,9 +102,11 @@ impl Default for FaultCampaign {
     }
 }
 
-/// Fault-free ideal distributed baseline at one rank count.
+/// Fault-free ideal distributed baseline at one solver × rank count.
 #[derive(Debug, Clone, Copy)]
 pub struct CampaignBaseline {
+    /// Solver variant of this baseline.
+    pub solver: CampaignSolver,
     /// Rank count.
     pub ranks: usize,
     /// Wall time of the ideal (unprotected) distributed solve.
@@ -75,6 +118,8 @@ pub struct CampaignBaseline {
 /// One measured cell of the sweep.
 #[derive(Debug, Clone)]
 pub struct CampaignCell {
+    /// Solver variant of this cell.
+    pub solver: CampaignSolver,
     /// Policy of this cell.
     pub policy: RecoveryPolicy,
     /// Rank count of this cell.
@@ -128,20 +173,23 @@ pub struct CampaignReport {
 }
 
 impl CampaignReport {
-    /// The baseline for a rank count, if it was measured.
-    pub fn baseline(&self, ranks: usize) -> Option<&CampaignBaseline> {
-        self.baselines.iter().find(|b| b.ranks == ranks)
+    /// The baseline for a solver × rank count, if it was measured.
+    pub fn baseline(&self, solver: CampaignSolver, ranks: usize) -> Option<&CampaignBaseline> {
+        self.baselines
+            .iter()
+            .find(|b| b.solver == solver && b.ranks == ranks)
     }
 
     /// Renders the fixed-width overhead table (one row per cell).
     pub fn table(&self) -> String {
         let mut out = String::new();
         out.push_str(
-            "ranks  policy   freq  conv  iters    time_ms  overhd%  it_ovh%  inj/disc/rec  hit_ranks  xrank\n",
+            "solver  ranks  policy   freq  conv  iters    time_ms  overhd%  it_ovh%  inj/disc/rec  hit_ranks  xrank\n",
         );
         for cell in &self.cells {
             out.push_str(&format!(
-                "{:>5}  {:<7}  {:>4.1}  {:>4}  {:>5}  {:>9.2}  {:>7.1}  {:>7.1}  {:>4}/{:>4}/{:>3}  {:>9}  {:>5}\n",
+                "{:<6}  {:>5}  {:<7}  {:>4.1}  {:>4}  {:>5}  {:>9.2}  {:>7.1}  {:>7.1}  {:>4}/{:>4}/{:>3}  {:>9}  {:>5}\n",
+                cell.solver.name(),
                 cell.ranks,
                 cell.policy.name(),
                 cell.frequency,
@@ -165,68 +213,75 @@ impl FaultCampaign {
     /// Runs the sweep on `A x = b`.
     pub fn run(&self, a: &CsrMatrix, b: &[f64]) -> CampaignReport {
         let mut report = CampaignReport::default();
-        for (ri, &ranks) in self.rank_counts.iter().enumerate() {
-            // Fault-free ideal distributed baseline at this rank count.
-            let ideal =
-                DistResilientCg::new(a, b, ranks, self.cell_config(RecoveryPolicy::Ideal)).solve();
-            let baseline = CampaignBaseline {
-                ranks: ideal.ranks,
-                elapsed: ideal.elapsed,
-                iterations: ideal.iterations,
-            };
-            report.baselines.push(baseline);
+        for (si, &solver_kind) in self.solvers.iter().enumerate() {
+            for (ri, &ranks) in self.rank_counts.iter().enumerate() {
+                // Fault-free ideal distributed baseline at this solver ×
+                // rank count.
+                let ideal = solver_kind
+                    .build(a, b, ranks, self.cell_config(RecoveryPolicy::Ideal))
+                    .solve();
+                let baseline = CampaignBaseline {
+                    solver: solver_kind,
+                    ranks: ideal.ranks,
+                    elapsed: ideal.elapsed,
+                    iterations: ideal.iterations,
+                };
+                report.baselines.push(baseline);
 
-            for (pi, &policy) in self.policies.iter().enumerate() {
-                for (fi, &frequency) in self.error_frequencies.iter().enumerate() {
-                    let solver = DistResilientCg::new(a, b, ranks, self.cell_config(policy));
-                    let driver = (frequency > 0.0).then(|| {
-                        // The frequency is machine-wide: split the error rate
-                        // evenly over the per-rank streams.
-                        let per_rank = frequency / solver.ranks() as f64;
-                        let seed = self
-                            .seed
-                            .wrapping_add(1_000_000 * ri as u64)
-                            .wrapping_add(10_000 * pi as u64)
-                            .wrapping_add(100 * fi as u64);
-                        let plan = InjectionPlan::normalized(
-                            per_rank,
-                            baseline.elapsed.max(Duration::from_millis(1)),
-                            seed,
-                        );
-                        InjectionDriver::start_uniform(solver.domains(), &plan)
-                    });
-                    let mut solve = solver.solve();
-                    if let Some(driver) = driver {
-                        solve.absorb_injection_reports(&driver.stop());
-                    }
-                    let overhead = |value: f64, base: f64| {
-                        if base > 0.0 {
-                            (value / base - 1.0) * 100.0
-                        } else {
-                            0.0
+                for (pi, &policy) in self.policies.iter().enumerate() {
+                    for (fi, &frequency) in self.error_frequencies.iter().enumerate() {
+                        let solver = solver_kind.build(a, b, ranks, self.cell_config(policy));
+                        let driver = (frequency > 0.0).then(|| {
+                            // The frequency is machine-wide: split the error
+                            // rate evenly over the per-rank streams.
+                            let per_rank = frequency / solver.ranks() as f64;
+                            let seed = self
+                                .seed
+                                .wrapping_add(100_000_000 * si as u64)
+                                .wrapping_add(1_000_000 * ri as u64)
+                                .wrapping_add(10_000 * pi as u64)
+                                .wrapping_add(100 * fi as u64);
+                            let plan = InjectionPlan::normalized(
+                                per_rank,
+                                baseline.elapsed.max(Duration::from_millis(1)),
+                                seed,
+                            );
+                            InjectionDriver::start_uniform(solver.domains(), &plan)
+                        });
+                        let mut solve = solver.solve();
+                        if let Some(driver) = driver {
+                            solve.absorb_injection_reports(&driver.stop());
                         }
-                    };
-                    report.cells.push(CampaignCell {
-                        policy,
-                        ranks: solve.ranks,
-                        frequency,
-                        iterations: solve.iterations,
-                        elapsed: solve.elapsed,
-                        converged: solve.converged,
-                        overhead_percent: overhead(
-                            solve.elapsed.as_secs_f64(),
-                            baseline.elapsed.as_secs_f64(),
-                        ),
-                        iteration_overhead_percent: overhead(
-                            solve.iterations as f64,
-                            baseline.iterations as f64,
-                        ),
-                        faults: solve.faults,
-                        pages_recovered: solve.pages_recovered,
-                        cross_rank_values: solve.cross_rank_values,
-                        rollbacks: solve.rollbacks,
-                        restarts: solve.restarts,
-                    });
+                        let overhead = |value: f64, base: f64| {
+                            if base > 0.0 {
+                                (value / base - 1.0) * 100.0
+                            } else {
+                                0.0
+                            }
+                        };
+                        report.cells.push(CampaignCell {
+                            solver: solver_kind,
+                            policy,
+                            ranks: solve.ranks,
+                            frequency,
+                            iterations: solve.iterations,
+                            elapsed: solve.elapsed,
+                            converged: solve.converged,
+                            overhead_percent: overhead(
+                                solve.elapsed.as_secs_f64(),
+                                baseline.elapsed.as_secs_f64(),
+                            ),
+                            iteration_overhead_percent: overhead(
+                                solve.iterations as f64,
+                                baseline.iterations as f64,
+                            ),
+                            faults: solve.faults,
+                            pages_recovered: solve.pages_recovered,
+                            cross_rank_values: solve.cross_rank_values,
+                            rollbacks: solve.rollbacks,
+                            restarts: solve.restarts,
+                        });
+                    }
                 }
             }
         }
@@ -251,6 +306,7 @@ mod tests {
         let a = poisson_2d(12);
         let (_, b) = manufactured_rhs(&a, 7);
         let campaign = FaultCampaign {
+            solvers: vec![CampaignSolver::Cg],
             policies: vec![RecoveryPolicy::Afeir, RecoveryPolicy::Feir],
             rank_counts: vec![1, 3],
             error_frequencies: vec![0.0, 2.0],
@@ -262,7 +318,7 @@ mod tests {
         let report = campaign.run(&a, &b);
         assert_eq!(report.baselines.len(), 2);
         assert_eq!(report.cells.len(), 2 * 2 * 2);
-        assert!(report.baseline(3).is_some());
+        assert!(report.baseline(CampaignSolver::Cg, 3).is_some());
         for cell in &report.cells {
             assert!(cell.converged, "{:?} did not converge", cell.policy);
             assert!(cell.overhead_percent.is_finite());
@@ -278,5 +334,39 @@ mod tests {
         let table = campaign.run(&a, &b).table();
         assert!(table.contains("AFEIR") && table.contains("FEIR"));
         assert!(table.lines().count() >= 9);
+    }
+
+    #[test]
+    fn solver_axis_covers_cg_and_pcg_in_one_sweep() {
+        let a = poisson_2d(10);
+        let (_, b) = manufactured_rhs(&a, 3);
+        let campaign = FaultCampaign {
+            solvers: vec![CampaignSolver::Cg, CampaignSolver::Pcg],
+            policies: vec![RecoveryPolicy::Feir],
+            rank_counts: vec![2],
+            error_frequencies: vec![0.0, 1.5],
+            page_doubles: 10,
+            tolerance: 1e-8,
+            max_iterations: 20_000,
+            seed: 7,
+        };
+        let report = campaign.run(&a, &b);
+        // One baseline and one cell row per solver × frequency.
+        assert_eq!(report.baselines.len(), 2);
+        assert_eq!(report.cells.len(), 2 * 2);
+        let cg_base = report.baseline(CampaignSolver::Cg, 2).unwrap();
+        let pcg_base = report.baseline(CampaignSolver::Pcg, 2).unwrap();
+        // Block-Jacobi preconditioning must pay off in iterations.
+        assert!(pcg_base.iterations < cg_base.iterations);
+        for cell in &report.cells {
+            assert!(cell.converged, "{:?} {:?}", cell.solver, cell.policy);
+            // Each cell's iteration overhead is against its own solver's
+            // baseline, so fault-free cells sit at exactly zero.
+            if cell.frequency == 0.0 {
+                assert_eq!(cell.iteration_overhead_percent, 0.0);
+            }
+        }
+        let table = report.table();
+        assert!(table.contains("pcg") && table.contains("cg"));
     }
 }

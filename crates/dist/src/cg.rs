@@ -6,10 +6,11 @@
 //! exactly the communication structure of the paper's MPI+OmpSs solver
 //! (Section 3.4), with channels standing in for MPI.
 
-use feir_sparse::{vecops, CsrMatrix};
+use feir_sparse::CsrMatrix;
 
 use crate::comm::{effective_ranks, HaloPlan, RankComm};
 use crate::domains::RankDomains;
+use crate::kernels;
 use crate::partition::RankPartition;
 
 /// Outcome of a distributed solve.
@@ -94,13 +95,7 @@ pub fn distributed_cg(
     });
 
     // Explicit residual on the assembled solution.
-    let norm_b = vecops::norm2(b).max(f64::MIN_POSITIVE);
-    let mut residual = vec![0.0; n];
-    a.spmv(&x, &mut residual);
-    for (ri, bi) in residual.iter_mut().zip(b) {
-        *ri = bi - *ri;
-    }
-    let relative_residual = vecops::norm2(&residual) / norm_b;
+    let relative_residual = kernels::explicit_relative_residual(a, b, &x);
     DistSolveResult {
         x,
         iterations,
@@ -132,9 +127,8 @@ fn rank_cg(
     // Private full-length buffer for the halo exchange of d.
     let mut d_full = vec![0.0; a.cols()];
 
-    let norm_b_sq = comm.allreduce_sum(vecops::norm2_squared(&b[own.clone()]));
-    let norm_b = norm_b_sq.sqrt().max(f64::MIN_POSITIVE);
-    let mut eps = comm.allreduce_sum(vecops::norm2_squared(&g));
+    let norm_b = kernels::global_rhs_norm(&comm, &b[own.clone()]);
+    let mut eps = comm.allreduce_sum(kernels::norm2_squared(&g));
     let mut eps_old = f64::INFINITY;
     let mut iterations = 0;
     let mut history = Vec::new();
@@ -147,28 +141,24 @@ fn rank_cg(
         }
         iterations += 1;
 
-        let beta = if eps_old.is_finite() && eps_old != 0.0 {
-            eps / eps_old
-        } else {
-            0.0
-        };
+        let beta = kernels::beta_ratio(eps, eps_old);
         // d ⇐ g + β·d, then ship the halo of d.
-        vecops::xpay(&g, beta, &mut d);
+        kernels::xpay(&g, beta, &mut d);
         d_full[own.clone()].copy_from_slice(&d);
         comm.exchange_halo(&mut d_full);
 
         // q ⇐ A·d over the owned rows.
         a.spmv_rows(own.start, own.end, &d_full, &mut q);
-        let dq = comm.allreduce_sum(vecops::dot(&d, &q));
-        if dq == 0.0 || !dq.is_finite() {
+        let dq = comm.allreduce_sum(kernels::dot(&d, &q));
+        if kernels::is_breakdown(dq) {
             break;
         }
         let alpha = eps / dq;
-        vecops::axpy(alpha, &d, &mut x);
-        vecops::axpy(-alpha, &q, &mut g);
+        kernels::axpy(alpha, &d, &mut x);
+        kernels::axpy(-alpha, &q, &mut g);
 
         eps_old = eps;
-        eps = comm.allreduce_sum(vecops::norm2_squared(&g));
+        eps = comm.allreduce_sum(kernels::norm2_squared(&g));
     }
     (rank, x, iterations, history)
 }

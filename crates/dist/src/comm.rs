@@ -100,8 +100,18 @@ pub enum RecoveryMsg {
     /// listed global indices (which it owns). An empty list means "nothing
     /// needed this round" and still participates in the collective.
     Request(Vec<usize>),
-    /// The values answering the sender's last request, in request order.
-    Reply(Vec<f64>),
+    /// The answer to the sender's last request, in request order.
+    Reply {
+        /// The owner's current values at the requested indices.
+        values: Vec<f64>,
+        /// Per value, whether the owner can vouch for it. `false` marks an
+        /// index inside a page the owner itself lost this round (its data
+        /// is a post-scrub blank): two ranks faulting simultaneously on
+        /// stencil-adjacent pages is the cross-rank form of the paper's
+        /// "related data" case, and the requester must blank-accept rather
+        /// than install a reconstruction built on garbage.
+        valid: Vec<bool>,
+    },
 }
 
 /// Rank-ordered sum allreduce over channels.
@@ -159,12 +169,61 @@ impl Reducer {
 
     /// Contributes `local` and returns the global sum; every rank must call
     /// this the same number of times in the same order.
+    ///
+    /// This is the blocking form of the split-phase pair
+    /// [`Reducer::start_allreduce`] / [`PendingAllreduce::finish`] and is
+    /// bitwise-identical to it (same partials, same rank-ordered
+    /// accumulation).
     pub fn allreduce_sum(&self, local: f64) -> f64 {
-        match self {
+        self.start_allreduce(local).finish()
+    }
+
+    /// Starts a split-phase allreduce: the local partial is posted
+    /// immediately (leaf ranks send it to the root before returning), but
+    /// the blocking wait for the global sum is deferred to
+    /// [`PendingAllreduce::finish`]. Work done between the two calls
+    /// overlaps the reduction wait — this is the window AFEIR uses to run
+    /// page reconstruction *inside* the collective instead of only beside
+    /// local updates.
+    ///
+    /// At most one allreduce may be in flight per rank, and every rank must
+    /// still enter the collectives in the same order. The single-flight rule
+    /// is a protocol contract, not a compile-time guarantee: a leaf posts
+    /// its partial in `start`, so starting a second collective before
+    /// finishing the first desynchronizes the root's gather.
+    pub fn start_allreduce(&self, local: f64) -> PendingAllreduce<'_> {
+        if let Reducer::Leaf { rank, gather, .. } = self {
+            gather.send((*rank, local)).expect("root rank disconnected");
+        }
+        PendingAllreduce {
+            reducer: self,
+            local,
+        }
+    }
+}
+
+/// An in-flight split-phase allreduce (see [`Reducer::start_allreduce`]).
+///
+/// The contribution has already been posted; dropping the handle without
+/// calling [`PendingAllreduce::finish`] would deadlock the collective on the
+/// other ranks, hence the `must_use`.
+#[must_use = "finish() completes the collective; dropping the handle deadlocks the peers"]
+#[derive(Debug)]
+pub struct PendingAllreduce<'a> {
+    reducer: &'a Reducer,
+    local: f64,
+}
+
+impl PendingAllreduce<'_> {
+    /// Completes the collective and returns the global sum. On the root this
+    /// performs the rank-ordered gather + broadcast; on a leaf it blocks on
+    /// the broadcast of the total.
+    pub fn finish(self) -> f64 {
+        match self.reducer {
             Reducer::Root { gather, broadcast } => {
                 let peers = broadcast.len() - 1;
                 let mut partials = vec![0.0; peers + 1];
-                partials[0] = local;
+                partials[0] = self.local;
                 for _ in 0..peers {
                     let (rank, value) = gather.recv().expect("peer rank disconnected");
                     partials[rank] = value;
@@ -175,14 +234,7 @@ impl Reducer {
                 }
                 total
             }
-            Reducer::Leaf {
-                rank,
-                gather,
-                broadcast,
-            } => {
-                gather.send((*rank, local)).expect("root rank disconnected");
-                broadcast.recv().expect("root rank disconnected")
-            }
+            Reducer::Leaf { broadcast, .. } => broadcast.recv().expect("root rank disconnected"),
         }
     }
 }
@@ -298,6 +350,14 @@ impl RankComm {
         self.reducer.allreduce_sum(local)
     }
 
+    /// Starts a split-phase allreduce on this rank's reducer (see
+    /// [`Reducer::start_allreduce`]): post the partial now, overlap local
+    /// work with the reduction, collect the sum with
+    /// [`PendingAllreduce::finish`].
+    pub fn start_allreduce(&self, local: f64) -> PendingAllreduce<'_> {
+        self.reducer.start_allreduce(local)
+    }
+
     /// Global "did anyone fault?" indicator, built on the deterministic sum
     /// allreduce. Every rank contributes its local count of freshly
     /// discovered losses; the recovery round only runs when the result is
@@ -320,8 +380,13 @@ impl RankComm {
     /// peers absent from the map receive an empty request. `data` is this
     /// rank's full-length working buffer: its owned range answers incoming
     /// requests, and the fetched remote values are scattered into it before
-    /// the call returns. Returns the number of values fetched across rank
-    /// boundaries.
+    /// the call returns. `unserviceable` lists (sorted) the global indices
+    /// this rank owns but cannot vouch for this round — the rows of its own
+    /// freshly scrubbed pages; incoming requests for them are answered with
+    /// the blank value and flagged invalid. Returns the number of values
+    /// fetched across rank boundaries and the sorted fetched indices whose
+    /// owner flagged them invalid (the requester must not build an "exact"
+    /// reconstruction on those).
     ///
     /// Every rank must call this the same number of times in the same order
     /// (it is a neighbourhood collective); a healthy rank simply passes an
@@ -331,7 +396,8 @@ impl RankComm {
         &self,
         requests: &HashMap<usize, Vec<usize>>,
         data: &mut [f64],
-    ) -> usize {
+        unserviceable: &[usize],
+    ) -> (usize, Vec<usize>) {
         // A request outside the neighbourhood has no channel to travel on and
         // would otherwise be dropped silently — reject it loudly instead.
         assert!(
@@ -346,29 +412,43 @@ impl RankComm {
             tx.send(RecoveryMsg::Request(indices))
                 .expect("recovery peer disconnected");
         }
-        // Phase 2: answer each incoming request from the owned data.
+        // Phase 2: answer each incoming request from the owned data,
+        // flagging the entries this rank cannot vouch for.
+        debug_assert!(
+            unserviceable.windows(2).all(|w| w[0] < w[1]),
+            "unserviceable indices must be sorted"
+        );
         for (peer, tx, rx) in &self.recovery {
             match rx.recv().expect("recovery peer disconnected") {
                 RecoveryMsg::Request(indices) => {
                     let values: Vec<f64> = indices.iter().map(|&i| data[i]).collect();
-                    tx.send(RecoveryMsg::Reply(values))
+                    let valid: Vec<bool> = indices
+                        .iter()
+                        .map(|i| unserviceable.binary_search(i).is_err())
+                        .collect();
+                    tx.send(RecoveryMsg::Reply { values, valid })
                         .expect("recovery peer disconnected");
                 }
-                RecoveryMsg::Reply(_) => {
+                RecoveryMsg::Reply { .. } => {
                     panic!("recovery protocol violation: reply from rank {peer} before request")
                 }
             }
         }
         // Phase 3: scatter the fetched values into the working buffer.
         let mut fetched = 0;
+        let mut invalid = Vec::new();
         for (peer, _, rx) in &self.recovery {
             match rx.recv().expect("recovery peer disconnected") {
-                RecoveryMsg::Reply(values) => {
+                RecoveryMsg::Reply { values, valid } => {
                     let indices = requests.get(peer).map(Vec::as_slice).unwrap_or(&[]);
                     debug_assert_eq!(values.len(), indices.len());
-                    for (&i, v) in indices.iter().zip(values) {
+                    debug_assert_eq!(valid.len(), indices.len());
+                    for ((&i, v), ok) in indices.iter().zip(values).zip(valid) {
                         data[i] = v;
                         fetched += 1;
+                        if !ok {
+                            invalid.push(i);
+                        }
                     }
                 }
                 RecoveryMsg::Request(_) => {
@@ -376,7 +456,8 @@ impl RankComm {
                 }
             }
         }
-        fetched
+        invalid.sort_unstable();
+        (fetched, invalid)
     }
 }
 
@@ -511,7 +592,8 @@ mod tests {
                     } else {
                         HashMap::new()
                     };
-                    let count = comm.recovery_exchange(&requests, &mut data);
+                    let (count, invalid) = comm.recovery_exchange(&requests, &mut data, &[]);
+                    assert!(invalid.is_empty(), "no owner declared pages lost");
                     let values: Vec<f64> = requests
                         .values()
                         .flat_map(|cols| cols.iter().map(|&c| data[c] - c as f64))
@@ -534,6 +616,62 @@ mod tests {
                 );
             } else {
                 assert_eq!(count, 0, "healthy rank {rank} fetched data");
+            }
+        }
+    }
+
+    #[test]
+    fn recovery_exchange_flags_values_the_owner_lost() {
+        let a = poisson_2d(8);
+        let n = a.rows();
+        let ranks = 2;
+        let partition = RankPartition::new(n, ranks);
+        let plan = HaloPlan::build(&a, &partition);
+        let comms = RankComm::for_ranks(&plan, ranks);
+        // Rank 0 requests its halo from rank 1, but rank 1 declares the
+        // first rows it owns lost: rank 0 must get them flagged invalid.
+        let results: Vec<(usize, Vec<usize>)> = std::thread::scope(|scope| {
+            let handles: Vec<_> = comms
+                .into_iter()
+                .map(|comm| {
+                    let partition = partition.clone();
+                    let plan = plan.clone();
+                    scope.spawn(move || {
+                        let rank = comm.rank();
+                        let own = partition.range(rank);
+                        let mut data = vec![0.0; n];
+                        for i in own.clone() {
+                            data[i] = i as f64;
+                        }
+                        let requests: HashMap<usize, Vec<usize>> = if rank == 0 {
+                            plan.needs_of(0).clone()
+                        } else {
+                            HashMap::new()
+                        };
+                        let lost: Vec<usize> = if rank == 1 {
+                            (own.start..own.start + 4).collect()
+                        } else {
+                            Vec::new()
+                        };
+                        let (_, invalid) = comm.recovery_exchange(&requests, &mut data, &lost);
+                        (rank, invalid)
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("rank panicked"))
+                .collect()
+        });
+        let boundary = partition.range(1).start;
+        for (rank, invalid) in results {
+            if rank == 0 {
+                // Rank 0's 5-point halo includes the first row rank 1 owns,
+                // which rank 1 lost.
+                assert!(invalid.contains(&boundary), "lost row not flagged");
+                assert!(invalid.windows(2).all(|w| w[0] < w[1]), "sorted");
+            } else {
+                assert!(invalid.is_empty());
             }
         }
     }
@@ -562,6 +700,53 @@ mod tests {
         });
         // First round: all true. Second round: all false.
         assert_eq!(flags.iter().filter(|f| **f).count(), ranks);
+    }
+
+    #[test]
+    fn split_phase_allreduce_matches_blocking_bitwise() {
+        // Irrational-ish partials so the accumulation order matters; the
+        // split-phase handle must produce bit-for-bit the blocking result,
+        // with arbitrary local work between start and finish.
+        for ranks in [1usize, 2, 4] {
+            let blocking: Vec<f64> = {
+                let reducers = Reducer::for_ranks(ranks);
+                std::thread::scope(|scope| {
+                    let handles: Vec<_> = reducers
+                        .into_iter()
+                        .enumerate()
+                        .map(|(rank, reducer)| {
+                            scope.spawn(move || reducer.allreduce_sum(0.1 + rank as f64 * 0.3))
+                        })
+                        .collect();
+                    handles.into_iter().map(|h| h.join().unwrap()).collect()
+                })
+            };
+            let split: Vec<f64> = {
+                let reducers = Reducer::for_ranks(ranks);
+                std::thread::scope(|scope| {
+                    let handles: Vec<_> = reducers
+                        .into_iter()
+                        .enumerate()
+                        .map(|(rank, reducer)| {
+                            scope.spawn(move || {
+                                let pending = reducer.start_allreduce(0.1 + rank as f64 * 0.3);
+                                // Local work overlapping the reduction wait.
+                                let mut acc = 0.0;
+                                for i in 0..500 {
+                                    acc += (i as f64).sqrt();
+                                }
+                                assert!(acc > 0.0);
+                                pending.finish()
+                            })
+                        })
+                        .collect();
+                    handles.into_iter().map(|h| h.join().unwrap()).collect()
+                })
+            };
+            for (u, v) in blocking.iter().zip(&split) {
+                assert_eq!(u.to_bits(), v.to_bits(), "{ranks} ranks");
+            }
+        }
     }
 
     #[test]

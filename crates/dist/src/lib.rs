@@ -23,17 +23,22 @@
 //! * [`RankDomains`] — one [`feir_pagemem::PageRegistry`] per rank: DUEs are
 //!   contained to the rank that owns the page, which is the fault-domain
 //!   model the distributed recovery of Section 3.4 relies on;
-//! * [`distributed_cg`] — block-row distributed CG over the simulated ranks,
-//!   agreeing with the shared-memory solver to round-off;
-//! * [`resilient`] — the distributed resilience subsystem: per-rank live
-//!   fault injection ([`InjectionDriver`]), the cross-rank
-//!   [`RecoveryMsg`](comm::RecoveryMsg) request/reply protocol for
-//!   interpolations whose stencil crosses a rank boundary, and
-//!   [`distributed_resilient_cg`] running the full
-//!   [`RecoveryPolicy`](feir_recovery::RecoveryPolicy) matrix (trivial /
-//!   checkpoint / lossy / FEIR / AFEIR) with a fault-free path that is
-//!   bitwise-identical to [`distributed_cg`];
-//! * [`campaign`] — the [`FaultCampaign`] runner sweeping policy ×
+//! * [`distributed_cg`] / [`distributed_pcg`] — block-row distributed CG
+//!   and block-Jacobi PCG (rank-local page blocks, no communication in the
+//!   preconditioner) over the simulated ranks, agreeing with the
+//!   shared-memory solvers to round-off; the allreduce also has a
+//!   split-phase form ([`RankComm::start_allreduce`]) whose result is
+//!   bitwise-identical to the blocking one;
+//! * [`resilient`] — the distributed resilience subsystem, built on the
+//!   solver-agnostic engine of
+//!   [`feir_recovery::engine`]: per-rank live fault injection
+//!   ([`InjectionDriver`]), the cross-rank [`RecoveryMsg`] request/reply
+//!   protocol for interpolations whose stencil crosses a rank boundary, and
+//!   [`distributed_resilient_cg`] / [`distributed_resilient_pcg`] running
+//!   the full [`RecoveryPolicy`](feir_recovery::RecoveryPolicy) matrix
+//!   (trivial / checkpoint / lossy / FEIR / AFEIR) with fault-free paths
+//!   that are bitwise-identical to their plain counterparts;
+//! * [`campaign`] — the [`FaultCampaign`] runner sweeping solver × policy ×
 //!   rank-count × fault-rate into Figure-5-comparable overhead tables;
 //! * [`ScalingModel`] — the calibrated analytic model regenerating the
 //!   Figure-5 speedup curves for every recovery policy.
@@ -44,17 +49,23 @@ pub mod campaign;
 pub mod cg;
 pub mod comm;
 pub mod domains;
+mod kernels;
 pub mod model;
 pub mod partition;
+pub mod pcg;
+mod rank_loop;
 pub mod resilient;
 
-pub use campaign::{CampaignBaseline, CampaignCell, CampaignReport, FaultCampaign};
+pub use campaign::{CampaignBaseline, CampaignCell, CampaignReport, CampaignSolver, FaultCampaign};
 pub use cg::{distributed_cg, DistSolveResult};
-pub use comm::{distributed_dot, distributed_spmv, HaloPlan, RankComm, RecoveryMsg, Reducer};
+pub use comm::{
+    distributed_dot, distributed_spmv, HaloPlan, PendingAllreduce, RankComm, RecoveryMsg, Reducer,
+};
 pub use domains::{RankDomains, RankFaultCounts};
 pub use model::{ScalingModel, ScalingPoint};
 pub use partition::RankPartition;
+pub use pcg::distributed_pcg;
 pub use resilient::{
-    distributed_resilient_cg, DistResilienceConfig, DistResilientCg, DistResilientReport,
-    InjectionDriver, ProtectedVector, ScriptedFault,
+    distributed_resilient_cg, distributed_resilient_pcg, DistResilienceConfig, DistResilientCg,
+    DistResilientReport, DistResilientSolver, InjectionDriver, ProtectedVector, ScriptedFault,
 };

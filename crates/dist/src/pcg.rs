@@ -1,0 +1,200 @@
+//! Block-row distributed **preconditioned** Conjugate Gradient over
+//! simulated ranks (Listing 5 of the paper, in the Section 3.4 distributed
+//! configuration).
+//!
+//! The preconditioner is block-Jacobi with **rank-local page blocks**
+//! ([`LocalBlockJacobi`]): every diagonal block lives inside one rank's row
+//! range, so applying `M⁻¹` needs no communication — the iteration adds one
+//! coupled block solve per page and one extra allreduce (`ρ = ⟨z, g⟩`) to
+//! the plain [`distributed_cg`](crate::cg::distributed_cg) structure.
+//!
+//! This loop is the *plain* reference implementation: the engine-based
+//! [`distributed_resilient_pcg`](crate::resilient::distributed_resilient_pcg)
+//! must be bitwise-identical to it in its fault-free runs (asserted in
+//! `tests/resilience.rs`), which keeps the two code paths honest about
+//! executing the same arithmetic in the same order.
+
+use feir_sparse::{CsrMatrix, LocalBlockJacobi};
+
+use crate::cg::DistSolveResult;
+use crate::comm::{effective_ranks, HaloPlan, RankComm};
+use crate::kernels;
+use crate::partition::RankPartition;
+
+/// Solves `A x = b` with block-Jacobi PCG distributed over `ranks` simulated
+/// ranks; `page_doubles` is the preconditioner block size (and the page size
+/// the resilient twin protects at).
+///
+/// # Panics
+/// Panics if the matrix is not square or `b` has the wrong length.
+pub fn distributed_pcg(
+    a: &CsrMatrix,
+    b: &[f64],
+    ranks: usize,
+    page_doubles: usize,
+    tolerance: f64,
+    max_iterations: usize,
+) -> DistSolveResult {
+    assert_eq!(a.rows(), a.cols(), "distributed PCG needs a square matrix");
+    assert_eq!(a.rows(), b.len(), "rhs length mismatch");
+    let n = a.rows();
+    let ranks = effective_ranks(n, ranks);
+    let partition = RankPartition::new(n, ranks);
+    let plan = HaloPlan::build(a, &partition);
+    let comms = RankComm::for_ranks(&plan, ranks);
+    let page_doubles = page_doubles.max(1);
+
+    let mut x = vec![0.0; n];
+    let mut iterations = 0;
+    let mut residual_history = Vec::new();
+    std::thread::scope(|scope| {
+        let mut handles = Vec::with_capacity(ranks);
+        for comm in comms {
+            let partition = partition.clone();
+            let handle = scope.spawn(move || {
+                rank_pcg(
+                    a,
+                    b,
+                    comm,
+                    &partition,
+                    page_doubles,
+                    tolerance,
+                    max_iterations,
+                )
+            });
+            handles.push(handle);
+        }
+        for handle in handles {
+            let (rank, local_x, iters, history) = handle.join().expect("rank thread panicked");
+            x[partition.range(rank)].copy_from_slice(&local_x);
+            iterations = iters;
+            if rank == 0 {
+                residual_history = history;
+            }
+        }
+    });
+
+    let relative_residual = kernels::explicit_relative_residual(a, b, &x);
+    DistSolveResult {
+        x,
+        iterations,
+        relative_residual,
+        ranks,
+        converged: relative_residual <= tolerance,
+        residual_history,
+    }
+}
+
+/// The per-rank PCG loop. Returns `(rank, owned x block, iterations,
+/// residual history)`.
+fn rank_pcg(
+    a: &CsrMatrix,
+    b: &[f64],
+    comm: RankComm,
+    partition: &RankPartition,
+    page_doubles: usize,
+    tolerance: f64,
+    max_iterations: usize,
+) -> (usize, Vec<f64>, usize, Vec<f64>) {
+    let rank = comm.rank();
+    let own = partition.range(rank);
+    let local_n = own.len();
+    // Rank-local factorization: on a real machine this is each rank's own
+    // setup work, overlapping across ranks.
+    let jacobi = LocalBlockJacobi::new(a, own.clone(), page_doubles, true)
+        .expect("rank-local block-Jacobi construction failed");
+
+    let mut x = vec![0.0; local_n];
+    let mut g: Vec<f64> = b[own.clone()].to_vec(); // g = b − A·0
+    let mut z = vec![0.0; local_n];
+    let mut d = vec![0.0; local_n];
+    let mut q = vec![0.0; local_n];
+    // Private full-length buffer for the halo exchange of d.
+    let mut d_full = vec![0.0; a.cols()];
+
+    let norm_b = kernels::global_rhs_norm(&comm, &b[own.clone()]);
+    let mut eps = comm.allreduce_sum(kernels::norm2_squared(&g));
+    let mut rho_old = f64::INFINITY;
+    let mut iterations = 0;
+    let mut history = Vec::new();
+
+    for t in 0..max_iterations {
+        let rel = eps.max(0.0).sqrt() / norm_b;
+        history.push(rel);
+        if rel <= tolerance {
+            break;
+        }
+        iterations = t + 1;
+
+        // z ⇐ M⁻¹ g: one coupled block solve per page, no communication.
+        jacobi.apply(&g, &mut z);
+        let rho = comm.allreduce_sum(kernels::dot(&z, &g));
+        if kernels::is_breakdown(rho) {
+            break;
+        }
+        let beta = kernels::beta_ratio(rho, rho_old);
+        // d ⇐ z + β·d, then ship the halo of d.
+        kernels::xpay(&z, beta, &mut d);
+        d_full[own.clone()].copy_from_slice(&d);
+        comm.exchange_halo(&mut d_full);
+
+        // q ⇐ A·d over the owned rows.
+        a.spmv_rows(own.start, own.end, &d_full, &mut q);
+        let dq = comm.allreduce_sum(kernels::dot(&d, &q));
+        if kernels::is_breakdown(dq) {
+            break;
+        }
+        let alpha = rho / dq;
+        kernels::axpy(alpha, &d, &mut x);
+        kernels::axpy(-alpha, &q, &mut g);
+
+        rho_old = rho;
+        eps = comm.allreduce_sum(kernels::norm2_squared(&g));
+    }
+    (rank, x, iterations, history)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cg::distributed_cg;
+    use feir_sparse::generators::{anisotropic_2d, manufactured_rhs, poisson_2d};
+
+    #[test]
+    fn distributed_pcg_converges_and_matches_the_manufactured_solution() {
+        let a = poisson_2d(12);
+        let (x_true, b) = manufactured_rhs(&a, 5);
+        for ranks in [1usize, 2, 3] {
+            let result = distributed_pcg(&a, &b, ranks, 16, 1e-10, 10_000);
+            assert!(result.converged(), "{ranks} ranks did not converge");
+            for (u, v) in result.x.iter().zip(&x_true) {
+                assert!((u - v).abs() < 1e-7, "{ranks} ranks: {u} vs {v}");
+            }
+        }
+    }
+
+    #[test]
+    fn preconditioning_reduces_iterations_on_a_hard_problem() {
+        let a = anisotropic_2d(24, 0.02);
+        let (_, b) = manufactured_rhs(&a, 9);
+        let plain = distributed_cg(&a, &b, 2, 1e-8, 50_000);
+        let pre = distributed_pcg(&a, &b, 2, 64, 1e-8, 50_000);
+        assert!(plain.converged() && pre.converged());
+        assert!(
+            pre.iterations < plain.iterations,
+            "PCG ({}) should beat CG ({})",
+            pre.iterations,
+            plain.iterations
+        );
+    }
+
+    #[test]
+    fn rank_count_is_clamped_and_history_recorded() {
+        let a = poisson_2d(4);
+        let (_, b) = manufactured_rhs(&a, 1);
+        let result = distributed_pcg(&a, &b, 64, 8, 1e-12, 1_000);
+        assert!(result.converged());
+        assert_eq!(result.ranks, 16);
+        assert_eq!(result.residual_history.len(), result.iterations + 1);
+    }
+}

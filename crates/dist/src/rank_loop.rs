@@ -1,0 +1,766 @@
+//! The engine-based per-rank resilient solver loop.
+//!
+//! This is the distributed instantiation of the
+//! [`feir_recovery::engine`] layer: one generic loop, parameterised by a
+//! [`RecoverableIteration`] describing the solver's algebraic relations,
+//! runs the full [`RecoveryPolicy`] matrix on every simulated rank. Plain CG
+//! is [`CgRelations`](feir_recovery::CgRelations), block-Jacobi PCG is
+//! [`PcgRelations`](feir_recovery::PcgRelations); a future BiCGStab or
+//! GMRES-restart variant is another relations impl, not another loop.
+//!
+//! The loop preserves two hard guarantees:
+//!
+//! * **fault-free bitwise identity** — with zero faults every kernel call
+//!   and every collective happens in exactly the order of the plain
+//!   [`distributed_cg`](crate::cg::distributed_cg) /
+//!   [`distributed_pcg`](crate::pcg::distributed_pcg) loops, on the same
+//!   values (the scrub points do no floating-point work and the fault flag
+//!   is a separate scalar allreduce);
+//! * **AFEIR overlaps the reduction wait itself** — reconstruction is
+//!   planned beside the partial reductions (the PR 3 overlap) *and*, via
+//!   the split-phase [`RankComm::start_allreduce`], the coupled solves and
+//!   page installation run while the global sum is in flight instead of
+//!   before the collective starts. The split-phase collective itself is
+//!   bitwise-identical to the blocking one for the same local partial, and
+//!   the partial patched from *planned* values is exactly what installing
+//!   first and reducing after would have produced on this AFEIR path (the
+//!   FEIR path's whole-slice reductions may group the same sums
+//!   differently, as in PR 3).
+
+use std::collections::HashMap;
+use std::ops::Range;
+use std::sync::Arc;
+
+use feir_pagemem::{AccessOutcome, PageRegistry};
+use feir_recovery::checkpoint::{CheckpointStore, CheckpointTarget};
+use feir_recovery::engine::{
+    mark_page, overlap, plan_state_fixes, scrub_blank, split_related, StateLosses,
+};
+use feir_recovery::{RecoverableIteration, RecoveryPolicy};
+use feir_sparse::blocking::BlockPartition;
+use feir_sparse::CsrMatrix;
+
+use crate::comm::RankComm;
+use crate::kernels;
+use crate::partition::RankPartition;
+use crate::resilient::ScriptedFault;
+
+/// Registry ids of the protected vectors, in registration order.
+pub(crate) mod ids {
+    use feir_pagemem::VectorId;
+
+    pub const X: VectorId = VectorId(0);
+    pub const G: VectorId = VectorId(1);
+    pub const D: VectorId = VectorId(2);
+    pub const Q: VectorId = VectorId(3);
+    /// Preconditioned residual; registered only by the PCG instantiation.
+    pub const Z: VectorId = VectorId(4);
+}
+
+/// Everything one rank's solver thread needs.
+pub(crate) struct RankCtx<'a> {
+    pub a: &'a CsrMatrix,
+    pub b: &'a [f64],
+    pub policy: RecoveryPolicy,
+    pub tolerance: f64,
+    pub max_iterations: usize,
+    pub rank: usize,
+    pub own: Range<usize>,
+    pub pages: BlockPartition,
+    pub registry: Arc<PageRegistry>,
+    pub partition: RankPartition,
+    pub scripted: Vec<ScriptedFault>,
+}
+
+/// What one rank's solver thread reports back.
+pub(crate) struct RankOutcome {
+    pub rank: usize,
+    pub x_own: Vec<f64>,
+    pub iterations: usize,
+    pub history: Vec<f64>,
+    pub pages_recovered: usize,
+    pub pages_ignored: usize,
+    pub cross_rank_values: usize,
+    pub rollbacks: usize,
+    pub restarts: usize,
+}
+
+/// Global row range of rank-local page `p`.
+fn global_rows(own_start: usize, pages: &BlockPartition, p: usize) -> Range<usize> {
+    let local = pages.range(p);
+    own_start + local.start..own_start + local.end
+}
+
+/// For every given global row, the remote stencil columns grouped by owning
+/// rank — the request set of one recovery exchange.
+fn remote_stencil_requests(
+    a: &CsrMatrix,
+    partition: &RankPartition,
+    rank: usize,
+    rows: &[usize],
+) -> HashMap<usize, Vec<usize>> {
+    let own = partition.range(rank);
+    let mut requests: HashMap<usize, Vec<usize>> = HashMap::new();
+    for &r in rows {
+        let (cols, _) = a.row(r);
+        for &c in cols {
+            if !own.contains(&c) {
+                requests.entry(partition.owner_of(c)).or_default().push(c);
+            }
+        }
+    }
+    for indices in requests.values_mut() {
+        indices.sort_unstable();
+        indices.dedup();
+    }
+    requests
+}
+
+/// Page bookkeeping of one state-plan installation.
+#[derive(Default)]
+struct InstallCounters {
+    recovered: usize,
+    ignored: usize,
+}
+
+/// Installs a planned iterate/residual reconstruction into the live vectors
+/// and clears the page-loss state. Under AFEIR this runs inside the
+/// split-phase reduction wait: the planned values were already patched into
+/// the local partial, so the installation (memcpy + registry bookkeeping)
+/// cannot change the value in flight.
+#[allow(clippy::too_many_arguments)]
+fn install_state_plan(
+    plan: &feir_recovery::engine::StatePlan,
+    pages: &BlockPartition,
+    registry: &PageRegistry,
+    conflicted: &[usize],
+    x_full: &mut [f64],
+    g: &mut [f64],
+    counters: &mut InstallCounters,
+) {
+    match &plan.x_values {
+        Some(values) => {
+            for (&r, v) in plan.x_rows.iter().zip(values) {
+                x_full[r] = *v;
+            }
+            counters.recovered += plan.x_pages.len();
+        }
+        None => counters.ignored += plan.x_pages.len(),
+    }
+    for p in plan.x_pages.iter().chain(&plan.x_ignored) {
+        mark_page(registry, ids::X, *p);
+    }
+    counters.ignored += plan.x_ignored.len();
+    for (p, values) in &plan.g_fixes {
+        g[pages.range(*p)].copy_from_slice(values);
+        mark_page(registry, ids::G, *p);
+    }
+    counters.recovered += plan.g_fixes.len();
+    for &p in &plan.g_ignored {
+        mark_page(registry, ids::G, p);
+    }
+    counters.ignored += plan.g_ignored.len();
+    for &p in conflicted {
+        mark_page(registry, ids::X, p);
+        mark_page(registry, ids::G, p);
+    }
+    counters.ignored += 2 * conflicted.len();
+}
+
+/// One policy sweep point: scrubs every listed vector, blanking its lost
+/// pages and marking them healthy again; returns how many pages were
+/// blanked. Shared by the Trivial / Checkpoint / LossyRestart end-of-
+/// iteration sweeps.
+fn blank_sweep(
+    registry: &PageRegistry,
+    pages: &BlockPartition,
+    entries: Vec<(feir_pagemem::VectorId, &mut [f64])>,
+) -> usize {
+    let mut blanked = 0;
+    for (id, data) in entries {
+        for p in scrub_blank(registry, id, pages, data) {
+            mark_page(registry, id, p);
+            blanked += 1;
+        }
+    }
+    blanked
+}
+
+/// The generic per-rank resilient loop (see the module docs).
+#[allow(clippy::too_many_lines)]
+pub(crate) fn rank_resilient_solve<S: RecoverableIteration>(
+    ctx: RankCtx<'_>,
+    relations: &S,
+    comm: RankComm,
+) -> RankOutcome {
+    let a = ctx.a;
+    let b = ctx.b;
+    let own = ctx.own.clone();
+    let n = a.cols();
+    let protected = ctx.policy.needs_protection();
+    let forward = ctx.policy.is_forward_exact();
+    let preconditioned = relations.preconditioned();
+    let registry = &ctx.registry;
+    let pages = &ctx.pages;
+
+    // x lives inside its full-length buffer so cross-rank recovery can
+    // scatter fetched halo entries around the owned range.
+    let mut x_full = vec![0.0; n];
+    let mut g: Vec<f64> = b[own.clone()].to_vec(); // g = b − A·0
+    let mut d = vec![0.0; own.len()];
+    let mut q = vec![0.0; own.len()];
+    let mut z = vec![0.0; if preconditioned { own.len() } else { 0 }];
+    let mut d_full = vec![0.0; n];
+
+    let mut pages_recovered = 0usize;
+    let mut pages_ignored = 0usize;
+    let mut cross_rank_values = 0usize;
+    let mut rollbacks = 0usize;
+    let mut restarts = 0usize;
+
+    // Pre-loop scrub: faults injected before the solve land on the known
+    // initial state, so the blank page *is* the correct data (x = d = q = 0)
+    // or is refilled trivially (g = b; z is recomputed before first use).
+    if protected {
+        for p in scrub_blank(registry, ids::X, pages, &mut x_full[own.clone()]) {
+            mark_page(registry, ids::X, p);
+        }
+        for p in scrub_blank(registry, ids::D, pages, &mut d) {
+            mark_page(registry, ids::D, p);
+        }
+        for p in scrub_blank(registry, ids::Q, pages, &mut q) {
+            mark_page(registry, ids::Q, p);
+        }
+        if preconditioned {
+            for p in scrub_blank(registry, ids::Z, pages, &mut z) {
+                mark_page(registry, ids::Z, p);
+            }
+        }
+        for p in scrub_blank(registry, ids::G, pages, &mut g) {
+            let local = pages.range(p);
+            let global = global_rows(own.start, pages, p);
+            g[local].copy_from_slice(&b[global]);
+            mark_page(registry, ids::G, p);
+        }
+    }
+
+    let mut store = match ctx.policy {
+        RecoveryPolicy::Checkpoint { .. } => Some(CheckpointStore::new(CheckpointTarget::Memory)),
+        _ => None,
+    };
+
+    let norm_b = kernels::global_rhs_norm(&comm, &b[own.clone()]);
+    let mut eps = comm.allreduce_sum(kernels::norm2_squared(&g));
+    // For CG `ρ = ε` and this is the ε of the previous iteration; for PCG it
+    // is the previous `⟨z, g⟩`. Both start from the ∞ sentinel (β = 0).
+    let mut rho_old = f64::INFINITY;
+    let mut iterations = 0usize;
+    let mut history = Vec::new();
+
+    for t in 0..ctx.max_iterations {
+        let rel = eps.max(0.0).sqrt() / norm_b;
+        history.push(rel);
+        if rel <= ctx.tolerance {
+            break;
+        }
+        iterations = t + 1;
+
+        // Scripted faults for this iteration land now, before any touch.
+        if protected {
+            for fault in &ctx.scripted {
+                if fault.iteration == t {
+                    registry.inject(fault.vector.id(), fault.page);
+                }
+            }
+        }
+
+        // Periodic local checkpoint of (x, d, scalars).
+        if let (RecoveryPolicy::Checkpoint { interval }, Some(store)) = (ctx.policy, store.as_mut())
+        {
+            if t % interval.max(1) == 0 {
+                store.checkpoint(t, &x_full[own.clone()], &d, &[eps, rho_old]);
+            }
+        }
+
+        // ---- preconditioner application (PCG only) ------------------------
+        // z ⇐ M⁻¹ g, one coupled block solve per page. For the forward
+        // policies the reapplication is also the *recovery relation* for z:
+        // a lost page is simply re-solved from the factorized diagonal
+        // block, so the scrub here heals every z loss exactly. The baseline
+        // policies must not get that exact recovery for free — their z
+        // faults surface at the end-of-iteration sweeps and pay the
+        // policy's own price (blanking, rollback, restart).
+        let rho = if preconditioned {
+            let lost_z = if forward {
+                scrub_blank(registry, ids::Z, pages, &mut z)
+            } else {
+                Vec::new()
+            };
+            for p in 0..pages.num_blocks() {
+                let local = pages.range(p);
+                relations.reapply_preconditioner(p, &g[local.clone()], &mut z[local]);
+            }
+            for &p in &lost_z {
+                mark_page(registry, ids::Z, p);
+            }
+            pages_recovered += lost_z.len();
+            let rho = comm.allreduce_sum(kernels::dot(&z, &g));
+            if kernels::is_breakdown(rho) {
+                break;
+            }
+            rho
+        } else {
+            eps
+        };
+
+        let beta = kernels::beta_ratio(rho, rho_old);
+        let src: &[f64] = if preconditioned { &z } else { &g };
+
+        // ---- direction protection (FEIR/AFEIR; purely rank-local) --------
+        // d still holds d(t−1) here and q holds A·d(t−1), so a lost page of
+        // the direction is reconstructed from the inverse matvec relation
+        // before the in-place update consumes it.
+        let lost_d = if forward {
+            scrub_blank(registry, ids::D, pages, &mut d)
+        } else {
+            Vec::new()
+        };
+        if lost_d.is_empty() {
+            // Fault-free fast path: the exact arithmetic of the plain loop.
+            kernels::xpay(src, beta, &mut d);
+        } else {
+            // Refresh the owned range of the retained snapshot (blanks
+            // included — the lost values must not be readable) while the halo
+            // keeps the d(t−1) entries of the neighbours.
+            d_full[own.clone()].copy_from_slice(&d);
+            // A lost direction page is recoverable only if its q page
+            // survived (simultaneous loss of d_R and q_R is the "related
+            // data" case the paper ignores).
+            let mut recoverable = Vec::new();
+            let mut abandoned = Vec::new();
+            for &p in &lost_d {
+                if matches!(registry.on_access(ids::Q, p), AccessOutcome::Ok) {
+                    recoverable.push(p);
+                } else {
+                    abandoned.push(p);
+                }
+            }
+            let rows: Vec<usize> = recoverable
+                .iter()
+                .flat_map(|&p| global_rows(own.start, pages, p))
+                .collect();
+            let q_at_rows: Vec<f64> = recoverable
+                .iter()
+                .flat_map(|&p| pages.range(p))
+                .map(|i| q[i])
+                .collect();
+            let recover = || {
+                if rows.is_empty() {
+                    None
+                } else {
+                    relations.reconstruct_direction(&rows, &q_at_rows, &d_full)
+                }
+            };
+            let update_surviving = |d: &mut Vec<f64>| {
+                for p in 0..pages.num_blocks() {
+                    if !lost_d.contains(&p) {
+                        for i in pages.range(p) {
+                            d[i] = src[i] + beta * d[i];
+                        }
+                    }
+                }
+            };
+            // AFEIR reconstructs the lost pages while the surviving pages
+            // run their update on the work-stealing pool; FEIR runs the same
+            // two steps in the critical path.
+            let values = overlap(ctx.policy == RecoveryPolicy::Afeir, recover, || {
+                update_surviving(&mut d)
+            })
+            .0;
+            // Finish the update on the lost pages with the reconstructed
+            // d(t−1) (or the blank, when unrecoverable).
+            match values {
+                Some(values) => {
+                    for (&r, v) in rows.iter().zip(&values) {
+                        let i = r - own.start;
+                        d[i] = src[i] + beta * v;
+                    }
+                    pages_recovered += recoverable.len();
+                }
+                None => {
+                    for &p in &recoverable {
+                        for i in pages.range(p) {
+                            d[i] = src[i];
+                        }
+                    }
+                    pages_ignored += recoverable.len();
+                }
+            }
+            for &p in &abandoned {
+                for i in pages.range(p) {
+                    d[i] = src[i];
+                }
+            }
+            pages_ignored += abandoned.len();
+            for &p in &lost_d {
+                mark_page(registry, ids::D, p);
+            }
+        }
+
+        d_full[own.clone()].copy_from_slice(&d);
+        comm.exchange_halo(&mut d_full);
+        a.spmv_rows(own.start, own.end, &d_full, &mut q);
+
+        // ---- q protection (FEIR/AFEIR; local recompute, r1 of Figure 1) ---
+        let dq = if forward {
+            let lost_q = scrub_blank(registry, ids::Q, pages, &mut q);
+            if lost_q.is_empty() {
+                comm.allreduce_sum(kernels::dot(&d, &q))
+            } else if ctx.policy == RecoveryPolicy::Feir {
+                // Critical path: recompute, then reduce over clean data.
+                for &p in &lost_q {
+                    let rows = global_rows(own.start, pages, p);
+                    let local = pages.range(p);
+                    a.spmv_rows(rows.start, rows.end, &d_full, &mut q[local]);
+                    mark_page(registry, ids::Q, p);
+                }
+                pages_recovered += lost_q.len();
+                comm.allreduce_sum(kernels::dot(&d, &q))
+            } else {
+                // AFEIR: the recomputation overlaps the partial reduction,
+                // the skipped contributions are patched into the partial
+                // from the *planned* values, and the split-phase allreduce
+                // then keeps the collective in flight while the pages are
+                // installed — the reduction wait absorbs the installation.
+                let (fixes, partial) = overlap(
+                    true,
+                    || {
+                        lost_q
+                            .iter()
+                            .map(|&p| {
+                                let rows = global_rows(own.start, pages, p);
+                                let mut out = vec![0.0; rows.len()];
+                                a.spmv_rows(rows.start, rows.end, &d_full, &mut out);
+                                (p, out)
+                            })
+                            .collect::<Vec<_>>()
+                    },
+                    || {
+                        let mut sum = 0.0;
+                        for p in 0..pages.num_blocks() {
+                            if !lost_q.contains(&p) {
+                                let local = pages.range(p);
+                                sum += kernels::dot(&d[local.clone()], &q[local]);
+                            }
+                        }
+                        sum
+                    },
+                );
+                let mut sum = partial;
+                for (p, values) in &fixes {
+                    let local = pages.range(*p);
+                    sum += kernels::dot(&d[local], values);
+                }
+                let pending = comm.start_allreduce(sum);
+                for (p, values) in fixes {
+                    let local = pages.range(p);
+                    q[local].copy_from_slice(&values);
+                    mark_page(registry, ids::Q, p);
+                }
+                pages_recovered += lost_q.len();
+                pending.finish()
+            }
+        } else {
+            comm.allreduce_sum(kernels::dot(&d, &q))
+        };
+        if kernels::is_breakdown(dq) {
+            break;
+        }
+        let alpha = rho / dq;
+        kernels::axpy(alpha, &d, &mut x_full[own.clone()]);
+        kernels::axpy(-alpha, &q, &mut g);
+
+        // ---- iterate/residual protection + ε reduction --------------------
+        match ctx.policy {
+            RecoveryPolicy::Ideal => {
+                rho_old = rho;
+                eps = comm.allreduce_sum(kernels::norm2_squared(&g));
+            }
+            RecoveryPolicy::Feir | RecoveryPolicy::Afeir => {
+                let lost_x = scrub_blank(registry, ids::X, pages, &mut x_full[own.clone()]);
+                let lost_g = scrub_blank(registry, ids::G, pages, &mut g);
+                let faulty = comm.fault_flag(lost_x.len() + lost_g.len());
+                rho_old = rho;
+                if !faulty {
+                    eps = comm.allreduce_sum(kernels::norm2_squared(&g));
+                    continue;
+                }
+                // Cross-rank round: fetch the remote stencil entries of
+                // every lost row (x is never exchanged by CG, so this is
+                // the only way to evaluate the off-diagonal terms).
+                let lost_rows: Vec<usize> = lost_x
+                    .iter()
+                    .chain(&lost_g)
+                    .flat_map(|&p| global_rows(own.start, pages, p))
+                    .collect();
+                let requests = remote_stencil_requests(a, &ctx.partition, ctx.rank, &lost_rows);
+                // This rank's own scrubbed x rows are post-blank garbage: a
+                // neighbour recovering at the same time must not treat them
+                // as authoritative, so they travel as the unserviceable set.
+                let own_blank_x: Vec<usize> = lost_x
+                    .iter()
+                    .flat_map(|&p| global_rows(own.start, pages, p))
+                    .collect();
+                let (fetched, invalid_fetched) =
+                    comm.recovery_exchange(&requests, &mut x_full, &own_blank_x);
+                cross_rank_values += fetched;
+                // Pages lost in both x and g are the unrecoverable
+                // related-loss case: blank-accepted. Remote entries the
+                // owner flagged invalid join the same set — reconstructing
+                // from a simultaneously faulted neighbour's blanks would
+                // install garbage while reporting an exact recovery.
+                let (rec_x, rec_g, conflicted) = split_related(&lost_x, &lost_g);
+                let mut blank_x: Vec<usize> = conflicted
+                    .iter()
+                    .flat_map(|&p| global_rows(own.start, pages, p))
+                    .chain(invalid_fetched.iter().copied())
+                    .collect();
+                blank_x.sort_unstable();
+                blank_x.dedup();
+                let mut counters = InstallCounters::default();
+                if ctx.policy == RecoveryPolicy::Feir {
+                    // Critical path: reconstruct, install, reduce over the
+                    // repaired residual.
+                    let plan = plan_state_fixes(
+                        relations,
+                        a,
+                        pages,
+                        own.start,
+                        StateLosses {
+                            rec_x: &rec_x,
+                            rec_g: &rec_g,
+                            blank_x: &blank_x,
+                        },
+                        &g,
+                        &x_full,
+                    );
+                    install_state_plan(
+                        &plan,
+                        pages,
+                        registry,
+                        &conflicted,
+                        &mut x_full,
+                        &mut g,
+                        &mut counters,
+                    );
+                    eps = comm.allreduce_sum(kernels::norm2_squared(&g));
+                } else if lost_g.is_empty() {
+                    // AFEIR with only iterate losses: ε does not depend on x,
+                    // so the local partial is final immediately and the
+                    // *entire* coupled reconstruction overlaps the reduction
+                    // wait through the split-phase allreduce.
+                    let mut sum = 0.0;
+                    for p in 0..pages.num_blocks() {
+                        sum += kernels::norm2_squared(&g[pages.range(p)]);
+                    }
+                    let pending = comm.start_allreduce(sum);
+                    let plan = plan_state_fixes(
+                        relations,
+                        a,
+                        pages,
+                        own.start,
+                        StateLosses {
+                            rec_x: &rec_x,
+                            rec_g: &rec_g,
+                            blank_x: &blank_x,
+                        },
+                        &g,
+                        &x_full,
+                    );
+                    install_state_plan(
+                        &plan,
+                        pages,
+                        registry,
+                        &conflicted,
+                        &mut x_full,
+                        &mut g,
+                        &mut counters,
+                    );
+                    eps = pending.finish();
+                } else {
+                    // AFEIR with residual losses: plan beside the partial ε
+                    // reduction, patch the recovered pages' contributions
+                    // from the planned values, then install during the
+                    // reduction wait.
+                    let (plan, partial) = overlap(
+                        true,
+                        || {
+                            plan_state_fixes(
+                                relations,
+                                a,
+                                pages,
+                                own.start,
+                                StateLosses {
+                                    rec_x: &rec_x,
+                                    rec_g: &rec_g,
+                                    blank_x: &blank_x,
+                                },
+                                &g,
+                                &x_full,
+                            )
+                        },
+                        || {
+                            let mut sum = 0.0;
+                            for p in 0..pages.num_blocks() {
+                                if !lost_g.contains(&p) {
+                                    sum += kernels::norm2_squared(&g[pages.range(p)]);
+                                }
+                            }
+                            sum
+                        },
+                    );
+                    let mut sum = partial;
+                    for &p in &lost_g {
+                        // Conflicted and abandoned pages stay blank and
+                        // contribute an exact zero, which adding would not
+                        // change the bits of a non-negative partial sum.
+                        if let Some((_, values)) = plan.g_fixes.iter().find(|(fp, _)| *fp == p) {
+                            sum += kernels::norm2_squared(values);
+                        }
+                    }
+                    let pending = comm.start_allreduce(sum);
+                    install_state_plan(
+                        &plan,
+                        pages,
+                        registry,
+                        &conflicted,
+                        &mut x_full,
+                        &mut g,
+                        &mut counters,
+                    );
+                    eps = pending.finish();
+                }
+                pages_recovered += counters.recovered;
+                pages_ignored += counters.ignored;
+            }
+            RecoveryPolicy::Trivial => {
+                // Blank every lost page and keep going (Section 4.1): purely
+                // local, no collectives beyond the ε reduction. z (when
+                // present) is blank-accepted like everything else; the next
+                // iteration's reapplication overwrites it anyway.
+                let mut sweep: Vec<(_, &mut [f64])> = vec![
+                    (ids::X, &mut x_full[own.clone()]),
+                    (ids::G, &mut g[..]),
+                    (ids::D, &mut d[..]),
+                    (ids::Q, &mut q[..]),
+                ];
+                if preconditioned {
+                    sweep.push((ids::Z, &mut z[..]));
+                }
+                pages_ignored += blank_sweep(registry, pages, sweep);
+                rho_old = rho;
+                eps = comm.allreduce_sum(kernels::norm2_squared(&g));
+            }
+            RecoveryPolicy::Checkpoint { .. } => {
+                let mut sweep: Vec<(_, &mut [f64])> = vec![
+                    (ids::X, &mut x_full[own.clone()]),
+                    (ids::G, &mut g[..]),
+                    (ids::D, &mut d[..]),
+                    (ids::Q, &mut q[..]),
+                ];
+                if preconditioned {
+                    sweep.push((ids::Z, &mut z[..]));
+                }
+                let lost_total = blank_sweep(registry, pages, sweep);
+                if comm.fault_flag(lost_total) {
+                    // Global rollback: every rank restores its local
+                    // checkpoint, then the residual is recomputed from the
+                    // restored iterate (one extra halo exchange of x).
+                    let store = store.as_mut().expect("checkpoint store exists");
+                    let mut scalars = Vec::new();
+                    if store
+                        .rollback(&mut x_full[own.clone()], &mut d, &mut scalars)
+                        .is_some()
+                    {
+                        rollbacks += 1;
+                    }
+                    comm.exchange_halo(&mut x_full);
+                    a.spmv_rows(own.start, own.end, &x_full, &mut g);
+                    for (k, r) in own.clone().enumerate() {
+                        g[k] = b[r] - g[k];
+                    }
+                    rho_old = scalars.get(1).copied().unwrap_or(f64::INFINITY);
+                    eps = comm.allreduce_sum(kernels::norm2_squared(&g));
+                    continue;
+                }
+                rho_old = rho;
+                eps = comm.allreduce_sum(kernels::norm2_squared(&g));
+            }
+            RecoveryPolicy::LossyRestart => {
+                let lost_x = scrub_blank(registry, ids::X, pages, &mut x_full[own.clone()]);
+                let mut sweep: Vec<(_, &mut [f64])> = vec![
+                    (ids::G, &mut g[..]),
+                    (ids::D, &mut d[..]),
+                    (ids::Q, &mut q[..]),
+                ];
+                if preconditioned {
+                    sweep.push((ids::Z, &mut z[..]));
+                }
+                let lost_total = lost_x.len() + blank_sweep(registry, pages, sweep);
+                if comm.fault_flag(lost_total) {
+                    // Interpolate the lost iterate pages (block-Jacobi step,
+                    // no residual term), fetching the remote stencil entries
+                    // first, then restart globally. Lossy interpolation has
+                    // no exactness claim, so flagged-invalid fetches are
+                    // used as-is (they are part of what makes it lossy).
+                    let lost_rows: Vec<usize> = lost_x
+                        .iter()
+                        .flat_map(|&p| global_rows(own.start, pages, p))
+                        .collect();
+                    let requests = remote_stencil_requests(a, &ctx.partition, ctx.rank, &lost_rows);
+                    let (fetched, _) = comm.recovery_exchange(&requests, &mut x_full, &lost_rows);
+                    cross_rank_values += fetched;
+                    for &p in &lost_x {
+                        let rows: Vec<usize> = global_rows(own.start, pages, p).collect();
+                        match relations.lossy_iterate_rows(&rows, &x_full) {
+                            Some(values) => {
+                                for (&r, v) in rows.iter().zip(&values) {
+                                    x_full[r] = *v;
+                                }
+                                pages_recovered += 1;
+                            }
+                            None => pages_ignored += 1,
+                        }
+                        mark_page(registry, ids::X, p);
+                    }
+                    // Restart: recompute g from the interpolated iterate and
+                    // discard the Krylov space.
+                    comm.exchange_halo(&mut x_full);
+                    a.spmv_rows(own.start, own.end, &x_full, &mut g);
+                    for (k, r) in own.clone().enumerate() {
+                        g[k] = b[r] - g[k];
+                    }
+                    d.iter_mut().for_each(|v| *v = 0.0);
+                    restarts += 1;
+                    rho_old = f64::INFINITY;
+                    eps = comm.allreduce_sum(kernels::norm2_squared(&g));
+                    continue;
+                }
+                rho_old = rho;
+                eps = comm.allreduce_sum(kernels::norm2_squared(&g));
+            }
+        }
+    }
+
+    RankOutcome {
+        rank: ctx.rank,
+        x_own: x_full[own].to_vec(),
+        iterations,
+        history,
+        pages_recovered,
+        pages_ignored,
+        cross_rank_values,
+        rollbacks,
+        restarts,
+    }
+}

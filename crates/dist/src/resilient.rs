@@ -1,65 +1,61 @@
-//! Distributed resilient CG: cross-rank FEIR/AFEIR recovery with live fault
-//! injection (the paper's Section 3.4 scaling configuration).
+//! Distributed resilient solvers: cross-rank FEIR/AFEIR recovery with live
+//! fault injection (the paper's Section 3.4 scaling configuration).
 //!
 //! On the MPI+OmpSs machine of the paper a DUE is *contained to the rank that
 //! owns the faulted page*: the other ranks keep computing, and the recovering
 //! rank reconstructs the lost block with the exact forward interpolations of
-//! Table 1. When the faulted block's matrix stencil crosses a rank boundary,
-//! the off-diagonal contributions `A_ij · v_j` of the interpolation involve
-//! values the recovering rank never owns — the iterate `x` in particular is
-//! never exchanged by CG, so the recovering rank must *request* those entries
-//! from its halo neighbours. This module implements that protocol on the
-//! simulated substrate:
+//! Table 1. Since PR 4 the actual iteration machinery lives in two layers:
 //!
-//! * [`InjectionDriver`] attaches one live [`FaultInjector`] stream per rank
-//!   to the per-rank registries of a [`RankDomains`], so errors arrive on
-//!   every rank's private fault domain concurrently with the solve, and
-//!   returns one [`InjectionReport`] per rank when stopped;
-//! * [`DistResilientCg`] / [`distributed_resilient_cg`] run the block-row
-//!   distributed CG under the full [`RecoveryPolicy`] matrix (trivial
-//!   forward recovery, checkpoint/rollback, Lossy Restart, FEIR, AFEIR).
-//!   Faults materialise at per-iteration scrub points (the page-granular
-//!   analogue of SIGBUS-on-touch); forward-exact recovery then
-//!   - reconstructs lost **direction** pages from the inverse matvec relation
-//!     `A_RR d_R = q_R − Σ_{c∉R} A_Rc d_c` using the *retained halo snapshot*
-//!     of `d` (fetching would be wrong: a neighbour may already have advanced
-//!     its direction, while the snapshot is exactly the `d` that produced
-//!     `q`),
-//!   - reconstructs lost **iterate/residual** pages from
-//!     `A_RR x_R = b_R − g_R − Σ_{c∉R} A_Rc x_c`, fetching the remote
-//!     off-diagonal entries through the [`RecoveryMsg`](crate::comm::RecoveryMsg)
-//!     request/reply round of [`RankComm::recovery_exchange`];
-//!   - under **AFEIR** the reconstruction overlaps the neighbouring solver
-//!     work on the PR 2 work-stealing pool (`rayon::join`): direction
-//!     recovery runs beside the per-page direction update, and `q`/`g`
-//!     recovery runs beside the partial dot-product / norm reductions whose
-//!     skipped contributions are patched in before the allreduce;
-//! * with **zero faults the solve is bitwise-identical to
-//!   [`distributed_cg`](crate::cg::distributed_cg)**: the scrub points do no
-//!   floating-point work, the fault flag is a separate scalar allreduce, and
-//!   every kernel call and reduction happens in the same order on the same
-//!   values.
+//! * the solver-agnostic **engine** ([`feir_recovery::engine`]) owns the
+//!   algebraic recovery relations
+//!   ([`RecoverableIteration`](feir_recovery::RecoverableIteration),
+//!   instantiated here as [`CgRelations`] and [`PcgRelations`]), the
+//!   coupled-row page-reconstruction kernels, scrub-point fault
+//!   materialisation and the FEIR/AFEIR overlap scheduler;
+//! * the generic per-rank loop (the crate-private `rank_loop` module)
+//!   drives one relations instance per rank under the full
+//!   [`RecoveryPolicy`] matrix, using the cross-rank
+//!   [`RecoveryMsg`](crate::comm::RecoveryMsg) request/reply round for
+//!   interpolations whose stencil crosses a rank boundary and the
+//!   **split-phase allreduce** ([`RankComm::start_allreduce`]) so AFEIR
+//!   overlaps page reconstruction with the reduction wait itself.
+//!
+//! This module is the thin instantiation layer on top: configuration,
+//! per-rank fault domains, live injection ([`InjectionDriver`]), and the
+//! public entry points [`distributed_resilient_cg`] /
+//! [`distributed_resilient_pcg`] (block-Jacobi preconditioner with
+//! rank-local page blocks, applied without communication). With **zero
+//! faults both solvers are bitwise-identical to their plain counterparts**
+//! ([`distributed_cg`](crate::cg::distributed_cg) /
+//! [`distributed_pcg`](crate::pcg::distributed_pcg)): the scrub points do no
+//! floating-point work, the fault flag is a separate scalar allreduce, and
+//! every kernel call and reduction happens in the same order on the same
+//! values.
 
-use std::collections::HashMap;
-use std::ops::Range;
-use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-use feir_pagemem::{
-    AccessOutcome, FaultInjector, InjectionPlan, InjectionReport, PageRegistry, VectorId,
-};
-use feir_recovery::checkpoint::{CheckpointStore, CheckpointTarget};
+use feir_pagemem::{FaultInjector, InjectionPlan, InjectionReport, VectorId};
 use feir_recovery::report::DistributedFaultReport;
-use feir_recovery::RecoveryPolicy;
+use feir_recovery::{CgRelations, PcgRelations, RecoveryPolicy};
 use feir_sparse::blocking::BlockPartition;
-use feir_sparse::{vecops, CsrMatrix, DenseMatrix};
+use feir_sparse::{CsrMatrix, LocalBlockJacobi};
+
+// The coupled-row reconstruction kernels moved into the engine in PR 4;
+// re-exported here so existing callers (and the cross-boundary tests) keep
+// their import paths.
+pub use feir_recovery::engine::{
+    lossy_interpolate_rows, recover_direction_rows, recover_iterate_rows,
+};
 
 use crate::comm::{effective_ranks, HaloPlan, RankComm};
 use crate::domains::RankDomains;
+use crate::kernels;
 use crate::partition::RankPartition;
+use crate::rank_loop::{rank_resilient_solve, RankCtx};
 
-/// The four protected vectors of the distributed solve, in registration
-/// order (their [`VectorId`]s are 0..=3 within each rank's registry).
+/// The protected vectors of a distributed solve, in registration order
+/// (their [`VectorId`]s are 0..=4 within each rank's registry; `Z` exists
+/// only for the preconditioned solver).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum ProtectedVector {
     /// The iterate `x`.
@@ -70,6 +66,8 @@ pub enum ProtectedVector {
     D,
     /// The matvec product `q = A·d`.
     Q,
+    /// The preconditioned residual `z = M⁻¹g` (PCG only).
+    Z,
 }
 
 impl ProtectedVector {
@@ -85,18 +83,9 @@ impl ProtectedVector {
             ProtectedVector::G => "g",
             ProtectedVector::D => "d",
             ProtectedVector::Q => "q",
+            ProtectedVector::Z => "z",
         }
     }
-}
-
-/// Registry ids of the protected vectors, used by the per-rank solver loop.
-mod ids {
-    use feir_pagemem::VectorId;
-
-    pub const X: VectorId = VectorId(0);
-    pub const G: VectorId = VectorId(1);
-    pub const D: VectorId = VectorId(2);
-    pub const Q: VectorId = VectorId(3);
 }
 
 /// One deterministic fault scripted against a solve: at the top of
@@ -125,7 +114,8 @@ pub struct DistResilienceConfig {
     pub policy: RecoveryPolicy,
     /// Page size in doubles of the per-rank fault domains (512 = one 4 KiB
     /// page, the paper's value; tests use smaller pages so small matrices
-    /// span several pages per rank).
+    /// span several pages per rank). For the PCG solver this is also the
+    /// block size of the rank-local block-Jacobi preconditioner.
     pub page_doubles: usize,
     /// Convergence tolerance on the relative residual.
     pub tolerance: f64,
@@ -261,6 +251,8 @@ impl InjectionDriver {
 /// Outcome of a distributed resilient solve.
 #[derive(Debug, Clone)]
 pub struct DistResilientReport {
+    /// Solver variant that ran (`"cg"` or `"pcg"`).
+    pub solver: &'static str,
     /// The assembled solution.
     pub x: Vec<f64>,
     /// Iterations performed, counting re-done work after rollbacks/restarts.
@@ -304,17 +296,26 @@ impl DistResilientReport {
     }
 }
 
-/// A distributed resilient CG solver bound to one system, one rank count and
-/// one set of per-rank fault domains.
+/// Which engine instantiation a [`DistResilientSolver`] runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum SolverKind {
+    Cg,
+    Pcg,
+}
+
+/// A distributed resilient solver bound to one system, one rank count and
+/// one set of per-rank fault domains — CG or block-Jacobi PCG, both thin
+/// instantiations of the engine's generic per-rank loop.
 ///
 /// Create the solver first, then attach injection (an [`InjectionDriver`] on
-/// [`DistResilientCg::domains`], scripted faults in the config, or direct
-/// [`PageRegistry::inject`] calls) and finally call
-/// [`DistResilientCg::solve`].
-pub struct DistResilientCg<'a> {
+/// [`DistResilientSolver::domains`], scripted faults in the config, or
+/// direct [`feir_pagemem::PageRegistry::inject`] calls) and finally call
+/// [`DistResilientSolver::solve`].
+pub struct DistResilientSolver<'a> {
     a: &'a CsrMatrix,
     b: &'a [f64],
     ranks: usize,
+    kind: SolverKind,
     config: DistResilienceConfig,
     partition: RankPartition,
     plan: HaloPlan,
@@ -322,30 +323,78 @@ pub struct DistResilientCg<'a> {
     pages: Vec<BlockPartition>,
 }
 
-impl<'a> DistResilientCg<'a> {
-    /// Creates the solver and registers the protected vectors (`x`, `g`,
-    /// `d`, `q`) of every rank in its fault domain.
+/// The historical name of the CG instantiation;
+/// [`DistResilientSolver::new`] still builds exactly that solver.
+pub type DistResilientCg<'a> = DistResilientSolver<'a>;
+
+impl<'a> DistResilientSolver<'a> {
+    /// Creates the resilient **CG** solver (equivalent to
+    /// [`DistResilientSolver::cg`]; kept as `new` for source compatibility
+    /// with the pre-engine API).
+    pub fn new(a: &'a CsrMatrix, b: &'a [f64], ranks: usize, config: DistResilienceConfig) -> Self {
+        Self::cg(a, b, ranks, config)
+    }
+
+    /// Creates the resilient CG solver and registers the protected vectors
+    /// (`x`, `g`, `d`, `q`) of every rank in its fault domain.
     ///
     /// # Panics
-    /// Panics if the matrix is not square or `b` has the wrong length.
-    pub fn new(a: &'a CsrMatrix, b: &'a [f64], ranks: usize, config: DistResilienceConfig) -> Self {
-        assert_eq!(a.rows(), a.cols(), "resilient CG needs a square matrix");
+    /// Panics if the matrix is not square, `b` has the wrong length, or a
+    /// scripted fault targets a rank/page/vector outside the solve.
+    pub fn cg(a: &'a CsrMatrix, b: &'a [f64], ranks: usize, config: DistResilienceConfig) -> Self {
+        Self::build(a, b, ranks, config, SolverKind::Cg)
+    }
+
+    /// Creates the resilient block-Jacobi **PCG** solver; the protected set
+    /// gains the preconditioned residual `z`, and the preconditioner blocks
+    /// match the fault pages (`config.page_doubles`) so the factorization
+    /// needed to *recover* a lost `z` page is the one the preconditioner
+    /// already owns — the reason the paper pairs page-sized Jacobi blocks
+    /// with FEIR (Section 5.1).
+    ///
+    /// # Panics
+    /// Same conditions as [`DistResilientSolver::cg`].
+    pub fn pcg(a: &'a CsrMatrix, b: &'a [f64], ranks: usize, config: DistResilienceConfig) -> Self {
+        Self::build(a, b, ranks, config, SolverKind::Pcg)
+    }
+
+    fn build(
+        a: &'a CsrMatrix,
+        b: &'a [f64],
+        ranks: usize,
+        config: DistResilienceConfig,
+        kind: SolverKind,
+    ) -> Self {
+        assert_eq!(a.rows(), a.cols(), "resilient solve needs a square matrix");
         assert_eq!(a.rows(), b.len(), "rhs length mismatch");
         let ranks = effective_ranks(a.rows(), ranks);
         let partition = RankPartition::new(a.rows(), ranks);
         let plan = HaloPlan::build(a, &partition);
         let domains = RankDomains::new(ranks);
+        let protected: &[ProtectedVector] = match kind {
+            SolverKind::Cg => &[
+                ProtectedVector::X,
+                ProtectedVector::G,
+                ProtectedVector::D,
+                ProtectedVector::Q,
+            ],
+            SolverKind::Pcg => &[
+                ProtectedVector::X,
+                ProtectedVector::G,
+                ProtectedVector::D,
+                ProtectedVector::Q,
+                ProtectedVector::Z,
+            ],
+        };
+        // Clamp like `distributed_pcg` does, so the bitwise-identity pairing
+        // of the plain and resilient entry points holds for every input.
+        let page_doubles = config.page_doubles.max(1);
         let mut pages = Vec::with_capacity(ranks);
         for rank in 0..ranks {
-            let local = BlockPartition::new(partition.range(rank).len(), config.page_doubles);
+            let local = BlockPartition::new(partition.range(rank).len(), page_doubles);
             if config.policy.needs_protection() {
                 let registry = domains.registry(rank);
-                for vector in [
-                    ProtectedVector::X,
-                    ProtectedVector::G,
-                    ProtectedVector::D,
-                    ProtectedVector::Q,
-                ] {
+                for vector in protected {
                     let id = registry
                         .register(format!("rank{rank}/{}", vector.name()), local.num_blocks());
                     debug_assert_eq!(id, vector.id());
@@ -353,8 +402,8 @@ impl<'a> DistResilientCg<'a> {
             }
             pages.push(local);
         }
-        // A scripted fault outside the (possibly clamped) rank/page space
-        // would silently never fire and the experiment would measure a
+        // A scripted fault outside the (possibly clamped) rank/page/vector
+        // space would silently never fire and the experiment would measure a
         // fault-free run while claiming otherwise — reject it up front.
         if config.policy.needs_protection() {
             for fault in &config.scripted_faults {
@@ -363,6 +412,12 @@ impl<'a> DistResilientCg<'a> {
                     "scripted fault targets rank {} but the solve runs on {ranks} ranks \
                      (rank count is clamped to the problem size)",
                     fault.rank
+                );
+                assert!(
+                    protected.contains(&fault.vector),
+                    "scripted fault targets vector {} which this solver does not protect \
+                     (z exists only for the preconditioned solver)",
+                    fault.vector.name()
                 );
                 assert!(
                     fault.page < pages[fault.rank].num_blocks(),
@@ -378,6 +433,7 @@ impl<'a> DistResilientCg<'a> {
             a,
             b,
             ranks,
+            kind,
             config,
             partition,
             plan,
@@ -413,6 +469,7 @@ impl<'a> DistResilientCg<'a> {
         let start = Instant::now();
         let n = self.a.rows();
         let comms = RankComm::for_ranks(&self.plan, self.ranks);
+        let kind = self.kind;
 
         let mut x = vec![0.0; n];
         let mut iterations = 0;
@@ -446,7 +503,28 @@ impl<'a> DistResilientCg<'a> {
                         .copied()
                         .collect(),
                 };
-                handles.push(scope.spawn(move || rank_resilient_cg(ctx, comm)));
+                handles.push(scope.spawn(move || {
+                    // The engine relations are built inside the rank thread:
+                    // on a real machine the preconditioner factorization is
+                    // rank-local work.
+                    match kind {
+                        SolverKind::Cg => {
+                            let relations = CgRelations::new(ctx.a, ctx.b);
+                            rank_resilient_solve(ctx, &relations, comm)
+                        }
+                        SolverKind::Pcg => {
+                            let jacobi = LocalBlockJacobi::new(
+                                ctx.a,
+                                ctx.own.clone(),
+                                ctx.pages.block_size(),
+                                true,
+                            )
+                            .expect("rank-local block-Jacobi construction failed");
+                            let relations = PcgRelations::new(ctx.a, ctx.b, &jacobi);
+                            rank_resilient_solve(ctx, &relations, comm)
+                        }
+                    }
+                }));
             }
             for handle in handles {
                 let outcome = handle.join().expect("rank thread panicked");
@@ -470,13 +548,7 @@ impl<'a> DistResilientCg<'a> {
 
         // Explicit residual on the assembled solution: honest convergence
         // reporting even when blank-accepted pages corrupted the solver's ε.
-        let norm_b = vecops::norm2(self.b).max(f64::MIN_POSITIVE);
-        let mut residual = vec![0.0; n];
-        self.a.spmv(&x, &mut residual);
-        for (ri, bi) in residual.iter_mut().zip(self.b) {
-            *ri = bi - *ri;
-        }
-        let relative_residual = vecops::norm2(&residual) / norm_b;
+        let relative_residual = kernels::explicit_relative_residual(self.a, self.b, &x);
 
         let mut faults = DistributedFaultReport::new(self.ranks);
         for counts in self.domains.per_rank_counts() {
@@ -489,6 +561,10 @@ impl<'a> DistResilientCg<'a> {
         }
 
         DistResilientReport {
+            solver: match kind {
+                SolverKind::Cg => "cg",
+                SolverKind::Pcg => "pcg",
+            },
             x,
             iterations,
             relative_residual,
@@ -507,744 +583,26 @@ impl<'a> DistResilientCg<'a> {
     }
 }
 
-/// One-shot form of [`DistResilientCg`]: builds the solver and runs it with
-/// no live injection (scripted faults in `config` still apply).
+/// One-shot form of the resilient CG: builds the solver and runs it with no
+/// live injection (scripted faults in `config` still apply).
 pub fn distributed_resilient_cg(
     a: &CsrMatrix,
     b: &[f64],
     ranks: usize,
     config: DistResilienceConfig,
 ) -> DistResilientReport {
-    DistResilientCg::new(a, b, ranks, config).solve()
+    DistResilientSolver::cg(a, b, ranks, config).solve()
 }
 
-// ----- cross-rank exact recovery relations ---------------------------------
-
-/// Solves the coupled dense system `A_RR · y = rhs` over the given sorted
-/// global rows (a principal submatrix of the SPD operator, hence Cholesky).
-fn solve_coupled(a: &CsrMatrix, rows: &[usize], rhs: &[f64]) -> Option<Vec<f64>> {
-    debug_assert!(rows.windows(2).all(|w| w[0] < w[1]), "rows must be sorted");
-    let k = rows.len();
-    let mut m = DenseMatrix::zeros(k, k);
-    for (i, &r) in rows.iter().enumerate() {
-        let (cols, vals) = a.row(r);
-        for (c, v) in cols.iter().zip(vals) {
-            if let Ok(j) = rows.binary_search(c) {
-                m.set(i, j, *v);
-            }
-        }
-    }
-    m.cholesky().ok().map(|chol| chol.solve(rhs))
-}
-
-/// Exact recovery of lost rows of the **iterate**: solves
-/// `A_RR x_R = b_R − g_R − Σ_{c∉R} A_Rc x_c` over the sorted global rows `R`.
-///
-/// `g_at_rows[i]` is the residual at `rows[i]`; `x_full` must hold valid data
-/// at every stencil column outside `rows` — on a distributed machine the
-/// remote columns are fetched through the
-/// [`RecoveryMsg`](crate::comm::RecoveryMsg) exchange first. The result
-/// matches the shared-memory
-/// [`BlockRecovery::recover_iterate_rhs`](feir_recovery::BlockRecovery::recover_iterate_rhs)
-/// to round-off (and generalises it to arbitrary simultaneous row sets).
-pub fn recover_iterate_rows(
+/// One-shot form of the resilient block-Jacobi PCG (see
+/// [`DistResilientSolver::pcg`]). With zero faults the solve is
+/// bitwise-identical to [`distributed_pcg`](crate::pcg::distributed_pcg) at
+/// the same page size.
+pub fn distributed_resilient_pcg(
     a: &CsrMatrix,
     b: &[f64],
-    g_at_rows: &[f64],
-    rows: &[usize],
-    x_full: &[f64],
-) -> Option<Vec<f64>> {
-    debug_assert_eq!(g_at_rows.len(), rows.len());
-    let rhs: Vec<f64> = rows
-        .iter()
-        .zip(g_at_rows)
-        .map(|(&r, g_r)| {
-            let (cols, vals) = a.row(r);
-            let mut acc = b[r] - g_r;
-            for (c, v) in cols.iter().zip(vals) {
-                if rows.binary_search(c).is_err() {
-                    acc -= v * x_full[*c];
-                }
-            }
-            acc
-        })
-        .collect();
-    solve_coupled(a, rows, &rhs)
-}
-
-/// Exact recovery of lost rows of the **search direction**: solves
-/// `A_RR d_R = q_R − Σ_{c∉R} A_Rc d_c` over the sorted global rows `R`.
-///
-/// `q_at_rows[i]` is the matvec product at `rows[i]`; `d_full` must hold the
-/// direction that produced `q` at every stencil column outside `rows` — the
-/// recovering rank's retained halo snapshot, not freshly fetched values (a
-/// neighbour may already have advanced its direction).
-pub fn recover_direction_rows(
-    a: &CsrMatrix,
-    q_at_rows: &[f64],
-    rows: &[usize],
-    d_full: &[f64],
-) -> Option<Vec<f64>> {
-    debug_assert_eq!(q_at_rows.len(), rows.len());
-    let rhs: Vec<f64> = rows
-        .iter()
-        .zip(q_at_rows)
-        .map(|(&r, q_r)| {
-            let (cols, vals) = a.row(r);
-            let mut acc = *q_r;
-            for (c, v) in cols.iter().zip(vals) {
-                if rows.binary_search(c).is_err() {
-                    acc -= v * d_full[*c];
-                }
-            }
-            acc
-        })
-        .collect();
-    solve_coupled(a, rows, &rhs)
-}
-
-/// Lossy interpolation of one lost page of the iterate (no residual term):
-/// `A_RR x_R = b_R − Σ_{c∉R} A_Rc x_c`, the distributed form of the paper's
-/// Lossy Restart interpolation (Theorems 1–3).
-fn lossy_interpolate_rows(
-    a: &CsrMatrix,
-    b: &[f64],
-    rows: &[usize],
-    x_full: &[f64],
-) -> Option<Vec<f64>> {
-    let rhs: Vec<f64> = rows
-        .iter()
-        .map(|&r| {
-            let (cols, vals) = a.row(r);
-            let mut acc = b[r];
-            for (c, v) in cols.iter().zip(vals) {
-                if rows.binary_search(c).is_err() {
-                    acc -= v * x_full[*c];
-                }
-            }
-            acc
-        })
-        .collect();
-    solve_coupled(a, rows, &rhs)
-}
-
-/// For every given global row, the remote stencil columns grouped by owning
-/// rank — the request set of one recovery exchange.
-fn remote_stencil_requests(
-    a: &CsrMatrix,
-    partition: &RankPartition,
-    rank: usize,
-    rows: &[usize],
-) -> HashMap<usize, Vec<usize>> {
-    let own = partition.range(rank);
-    let mut requests: HashMap<usize, Vec<usize>> = HashMap::new();
-    for &r in rows {
-        let (cols, _) = a.row(r);
-        for &c in cols {
-            if !own.contains(&c) {
-                requests.entry(partition.owner_of(c)).or_default().push(c);
-            }
-        }
-    }
-    for indices in requests.values_mut() {
-        indices.sort_unstable();
-        indices.dedup();
-    }
-    requests
-}
-
-// ----- the per-rank solver loop --------------------------------------------
-
-/// Everything one rank's solver thread needs.
-struct RankCtx<'a> {
-    a: &'a CsrMatrix,
-    b: &'a [f64],
-    policy: RecoveryPolicy,
-    tolerance: f64,
-    max_iterations: usize,
-    rank: usize,
-    own: Range<usize>,
-    pages: BlockPartition,
-    registry: Arc<PageRegistry>,
-    partition: RankPartition,
-    scripted: Vec<ScriptedFault>,
-}
-
-/// What one rank's solver thread reports back.
-struct RankOutcome {
-    rank: usize,
-    x_own: Vec<f64>,
-    iterations: usize,
-    history: Vec<f64>,
-    pages_recovered: usize,
-    pages_ignored: usize,
-    cross_rank_values: usize,
-    rollbacks: usize,
-    restarts: usize,
-}
-
-/// Touches every page of a protected local vector; lost pages are blanked
-/// (the fresh `mmap` of the paper's signal handler) and returned.
-fn scrub_blank(
-    registry: &PageRegistry,
-    id: VectorId,
-    pages: &BlockPartition,
-    data: &mut [f64],
-) -> Vec<usize> {
-    let mut lost = Vec::new();
-    for p in 0..pages.num_blocks() {
-        match registry.on_access(id, p) {
-            AccessOutcome::Ok => {}
-            AccessOutcome::FaultDiscovered | AccessOutcome::AlreadyLost => {
-                for v in &mut data[pages.range(p)] {
-                    *v = 0.0;
-                }
-                lost.push(p);
-            }
-        }
-    }
-    lost
-}
-
-/// Marks a page healthy again after its data has been reconstructed (or
-/// blank-accepted).
-fn mark_page(registry: &PageRegistry, id: VectorId, page: usize) {
-    let _ = registry.on_access(id, page);
-    registry.mark_recovered(id, page);
-}
-
-/// Global row range of rank-local page `p`.
-fn global_rows(own_start: usize, pages: &BlockPartition, p: usize) -> Range<usize> {
-    let local = pages.range(p);
-    own_start + local.start..own_start + local.end
-}
-
-/// Reconstructions planned for lost iterate/residual pages (computed from a
-/// read-only snapshot so AFEIR can overlap it with the ε reduction).
-#[derive(Default)]
-struct StatePlan {
-    /// Coupled exact solve over every recoverable lost `x` row, if solvable.
-    x_rows: Vec<usize>,
-    x_values: Option<Vec<f64>>,
-    /// Recomputed residual pages `(page, values)`.
-    g_fixes: Vec<(usize, Vec<f64>)>,
-}
-
-/// Plans the exact recovery of lost `x` pages (`rec_x`) and lost `g` pages
-/// (`rec_g`) from the patched snapshot; never mutates solver state.
-fn plan_state_fixes(
-    ctx: &RankCtx<'_>,
-    rec_x: &[usize],
-    rec_g: &[usize],
-    g: &[f64],
-    x_full: &[f64],
-) -> StatePlan {
-    let x_rows: Vec<usize> = rec_x
-        .iter()
-        .flat_map(|&p| global_rows(ctx.own.start, &ctx.pages, p))
-        .collect();
-    let g_at_rows: Vec<f64> = rec_x
-        .iter()
-        .flat_map(|&p| ctx.pages.range(p))
-        .map(|i| g[i])
-        .collect();
-    let x_values = if x_rows.is_empty() {
-        None
-    } else {
-        recover_iterate_rows(ctx.a, ctx.b, &g_at_rows, &x_rows, x_full)
-    };
-    // Recompute lost residual pages from the repaired iterate:
-    // g_R = b_R − Σ_c A_Rc x_c.
-    let mut x_view = x_full.to_vec();
-    if let Some(values) = &x_values {
-        for (&r, v) in x_rows.iter().zip(values) {
-            x_view[r] = *v;
-        }
-    }
-    let mut g_fixes = Vec::with_capacity(rec_g.len());
-    for &p in rec_g {
-        let rows = global_rows(ctx.own.start, &ctx.pages, p);
-        let mut out = vec![0.0; rows.len()];
-        ctx.a.spmv_rows(rows.start, rows.end, &x_view, &mut out);
-        for (k, r) in rows.enumerate() {
-            out[k] = ctx.b[r] - out[k];
-        }
-        g_fixes.push((p, out));
-    }
-    StatePlan {
-        x_rows,
-        x_values,
-        g_fixes,
-    }
-}
-
-/// The per-rank resilient CG loop (see the module docs for the protocol).
-#[allow(clippy::too_many_lines)]
-fn rank_resilient_cg(ctx: RankCtx<'_>, comm: RankComm) -> RankOutcome {
-    let a = ctx.a;
-    let b = ctx.b;
-    let own = ctx.own.clone();
-    let n = a.cols();
-    let protected = ctx.policy.needs_protection();
-    let forward = ctx.policy.is_forward_exact();
-    let registry = &ctx.registry;
-    let pages = &ctx.pages;
-
-    // x lives inside its full-length buffer so cross-rank recovery can
-    // scatter fetched halo entries around the owned range.
-    let mut x_full = vec![0.0; n];
-    let mut g: Vec<f64> = b[own.clone()].to_vec(); // g = b − A·0
-    let mut d = vec![0.0; own.len()];
-    let mut q = vec![0.0; own.len()];
-    let mut d_full = vec![0.0; n];
-
-    let mut pages_recovered = 0usize;
-    let mut pages_ignored = 0usize;
-    let mut cross_rank_values = 0usize;
-    let mut rollbacks = 0usize;
-    let mut restarts = 0usize;
-
-    // Pre-loop scrub: faults injected before the solve land on the known
-    // initial state, so the blank page *is* the correct data (x = d = q = 0)
-    // or is refilled trivially (g = b).
-    if protected {
-        for p in scrub_blank(registry, ids::X, pages, &mut x_full[own.clone()]) {
-            mark_page(registry, ids::X, p);
-        }
-        for p in scrub_blank(registry, ids::D, pages, &mut d) {
-            mark_page(registry, ids::D, p);
-        }
-        for p in scrub_blank(registry, ids::Q, pages, &mut q) {
-            mark_page(registry, ids::Q, p);
-        }
-        for p in scrub_blank(registry, ids::G, pages, &mut g) {
-            let local = pages.range(p);
-            let global = global_rows(own.start, pages, p);
-            g[local].copy_from_slice(&b[global]);
-            mark_page(registry, ids::G, p);
-        }
-    }
-
-    let mut store = match ctx.policy {
-        RecoveryPolicy::Checkpoint { .. } => Some(CheckpointStore::new(CheckpointTarget::Memory)),
-        _ => None,
-    };
-
-    let norm_b_sq = comm.allreduce_sum(vecops::norm2_squared(&b[own.clone()]));
-    let norm_b = norm_b_sq.sqrt().max(f64::MIN_POSITIVE);
-    let mut eps = comm.allreduce_sum(vecops::norm2_squared(&g));
-    let mut eps_old = f64::INFINITY;
-    let mut iterations = 0usize;
-    let mut history = Vec::new();
-
-    for t in 0..ctx.max_iterations {
-        let rel = eps.max(0.0).sqrt() / norm_b;
-        history.push(rel);
-        if rel <= ctx.tolerance {
-            break;
-        }
-        iterations = t + 1;
-
-        // Scripted faults for this iteration land now, before any touch.
-        if protected {
-            for fault in &ctx.scripted {
-                if fault.iteration == t {
-                    registry.inject(fault.vector.id(), fault.page);
-                }
-            }
-        }
-
-        // Periodic local checkpoint of (x, d, scalars).
-        if let (RecoveryPolicy::Checkpoint { interval }, Some(store)) = (ctx.policy, store.as_mut())
-        {
-            if t % interval.max(1) == 0 {
-                store.checkpoint(t, &x_full[own.clone()], &d, &[eps, eps_old]);
-            }
-        }
-
-        let beta = if eps_old.is_finite() && eps_old != 0.0 {
-            eps / eps_old
-        } else {
-            0.0
-        };
-
-        // ---- direction protection (FEIR/AFEIR; purely rank-local) --------
-        // d still holds d(t−1) here and q holds A·d(t−1), so a lost page of
-        // the direction is reconstructed from the inverse matvec relation
-        // before the in-place update consumes it.
-        let lost_d = if forward {
-            scrub_blank(registry, ids::D, pages, &mut d)
-        } else {
-            Vec::new()
-        };
-        if lost_d.is_empty() {
-            // Fault-free fast path: the exact arithmetic of `distributed_cg`.
-            vecops::xpay(&g, beta, &mut d);
-        } else {
-            // Refresh the owned range of the retained snapshot (blanks
-            // included — the lost values must not be readable) while the halo
-            // keeps the d(t−1) entries of the neighbours.
-            d_full[own.clone()].copy_from_slice(&d);
-            // A lost direction page is recoverable only if its q page
-            // survived (simultaneous loss of d_R and q_R is the "related
-            // data" case the paper ignores).
-            let mut recoverable = Vec::new();
-            let mut abandoned = Vec::new();
-            for &p in &lost_d {
-                if matches!(registry.on_access(ids::Q, p), AccessOutcome::Ok) {
-                    recoverable.push(p);
-                } else {
-                    abandoned.push(p);
-                }
-            }
-            let rows: Vec<usize> = recoverable
-                .iter()
-                .flat_map(|&p| global_rows(own.start, pages, p))
-                .collect();
-            let q_at_rows: Vec<f64> = recoverable
-                .iter()
-                .flat_map(|&p| pages.range(p))
-                .map(|i| q[i])
-                .collect();
-            let recover = || {
-                if rows.is_empty() {
-                    None
-                } else {
-                    recover_direction_rows(a, &q_at_rows, &rows, &d_full)
-                }
-            };
-            let update_surviving = |d: &mut Vec<f64>| {
-                for p in 0..pages.num_blocks() {
-                    if !lost_d.contains(&p) {
-                        for i in pages.range(p) {
-                            d[i] = g[i] + beta * d[i];
-                        }
-                    }
-                }
-            };
-            let values = if ctx.policy == RecoveryPolicy::Afeir {
-                // AFEIR: reconstruct the lost pages while the surviving pages
-                // run their direction update on the work-stealing pool.
-                rayon::join(recover, || update_surviving(&mut d)).0
-            } else {
-                // FEIR: the same two steps, in the critical path.
-                let values = recover();
-                update_surviving(&mut d);
-                values
-            };
-            // Finish the update on the lost pages with the reconstructed
-            // d(t−1) (or the blank, when unrecoverable).
-            match values {
-                Some(values) => {
-                    for (&r, v) in rows.iter().zip(&values) {
-                        let i = r - own.start;
-                        d[i] = g[i] + beta * v;
-                    }
-                    pages_recovered += recoverable.len();
-                }
-                None => {
-                    for &p in &recoverable {
-                        for i in pages.range(p) {
-                            d[i] = g[i];
-                        }
-                    }
-                    pages_ignored += recoverable.len();
-                }
-            }
-            for &p in &abandoned {
-                for i in pages.range(p) {
-                    d[i] = g[i];
-                }
-            }
-            pages_ignored += abandoned.len();
-            for &p in &lost_d {
-                mark_page(registry, ids::D, p);
-            }
-        }
-
-        d_full[own.clone()].copy_from_slice(&d);
-        comm.exchange_halo(&mut d_full);
-        a.spmv_rows(own.start, own.end, &d_full, &mut q);
-
-        // ---- q protection (FEIR/AFEIR; local recompute, r1 of Figure 1) ---
-        let dq_local = if forward {
-            let lost_q = scrub_blank(registry, ids::Q, pages, &mut q);
-            if lost_q.is_empty() {
-                vecops::dot(&d, &q)
-            } else if ctx.policy == RecoveryPolicy::Feir {
-                // Critical path: recompute, then reduce over clean data.
-                for &p in &lost_q {
-                    let rows = global_rows(own.start, pages, p);
-                    let local = pages.range(p);
-                    a.spmv_rows(rows.start, rows.end, &d_full, &mut q[local]);
-                    mark_page(registry, ids::Q, p);
-                }
-                pages_recovered += lost_q.len();
-                vecops::dot(&d, &q)
-            } else {
-                // AFEIR: the recomputation overlaps the partial reduction;
-                // the skipped contributions are patched in afterwards,
-                // before the value enters the allreduce.
-                let (fixes, partial) = rayon::join(
-                    || {
-                        lost_q
-                            .iter()
-                            .map(|&p| {
-                                let rows = global_rows(own.start, pages, p);
-                                let mut out = vec![0.0; rows.len()];
-                                a.spmv_rows(rows.start, rows.end, &d_full, &mut out);
-                                (p, out)
-                            })
-                            .collect::<Vec<_>>()
-                    },
-                    || {
-                        let mut sum = 0.0;
-                        for p in 0..pages.num_blocks() {
-                            if !lost_q.contains(&p) {
-                                let local = pages.range(p);
-                                sum += vecops::dot(&d[local.clone()], &q[local]);
-                            }
-                        }
-                        sum
-                    },
-                );
-                let mut sum = partial;
-                for (p, values) in fixes {
-                    let local = pages.range(p);
-                    q[local.clone()].copy_from_slice(&values);
-                    mark_page(registry, ids::Q, p);
-                    sum += vecops::dot(&d[local.clone()], &q[local]);
-                }
-                pages_recovered += lost_q.len();
-                sum
-            }
-        } else {
-            vecops::dot(&d, &q)
-        };
-        let dq = comm.allreduce_sum(dq_local);
-        if dq == 0.0 || !dq.is_finite() {
-            break;
-        }
-        let alpha = eps / dq;
-        vecops::axpy(alpha, &d, &mut x_full[own.clone()]);
-        vecops::axpy(-alpha, &q, &mut g);
-
-        // ---- iterate/residual protection + ε reduction --------------------
-        match ctx.policy {
-            RecoveryPolicy::Ideal => {
-                eps_old = eps;
-                eps = comm.allreduce_sum(vecops::norm2_squared(&g));
-            }
-            RecoveryPolicy::Feir | RecoveryPolicy::Afeir => {
-                let lost_x = scrub_blank(registry, ids::X, pages, &mut x_full[own.clone()]);
-                let lost_g = scrub_blank(registry, ids::G, pages, &mut g);
-                let faulty = comm.fault_flag(lost_x.len() + lost_g.len());
-                let eps_local = if !faulty {
-                    vecops::norm2_squared(&g)
-                } else {
-                    // Cross-rank round: fetch the remote stencil entries of
-                    // every lost row (x is never exchanged by CG, so this is
-                    // the only way to evaluate the off-diagonal terms).
-                    let lost_rows: Vec<usize> = lost_x
-                        .iter()
-                        .chain(&lost_g)
-                        .flat_map(|&p| global_rows(own.start, pages, p))
-                        .collect();
-                    let requests = remote_stencil_requests(a, &ctx.partition, ctx.rank, &lost_rows);
-                    cross_rank_values += comm.recovery_exchange(&requests, &mut x_full);
-                    // Pages lost in both x and g are the unrecoverable
-                    // related-loss case: blank-accepted.
-                    let conflicted: Vec<usize> = lost_x
-                        .iter()
-                        .copied()
-                        .filter(|p| lost_g.contains(p))
-                        .collect();
-                    let rec_x: Vec<usize> = lost_x
-                        .iter()
-                        .copied()
-                        .filter(|p| !conflicted.contains(p))
-                        .collect();
-                    let rec_g: Vec<usize> = lost_g
-                        .iter()
-                        .copied()
-                        .filter(|p| !conflicted.contains(p))
-                        .collect();
-                    let (plan, partial) = if ctx.policy == RecoveryPolicy::Afeir {
-                        // AFEIR: interpolation beside the partial ε reduction.
-                        rayon::join(
-                            || plan_state_fixes(&ctx, &rec_x, &rec_g, &g, &x_full),
-                            || {
-                                let mut sum = 0.0;
-                                for p in 0..pages.num_blocks() {
-                                    if !lost_g.contains(&p) {
-                                        sum += vecops::norm2_squared(&g[pages.range(p)]);
-                                    }
-                                }
-                                Some(sum)
-                            },
-                        )
-                    } else {
-                        (plan_state_fixes(&ctx, &rec_x, &rec_g, &g, &x_full), None)
-                    };
-                    // Install the reconstructed pages.
-                    match &plan.x_values {
-                        Some(values) => {
-                            for (&r, v) in plan.x_rows.iter().zip(values) {
-                                x_full[r] = *v;
-                            }
-                            pages_recovered += rec_x.len();
-                        }
-                        None => pages_ignored += rec_x.len(),
-                    }
-                    for p in &rec_x {
-                        mark_page(registry, ids::X, *p);
-                    }
-                    for (p, values) in &plan.g_fixes {
-                        g[pages.range(*p)].copy_from_slice(values);
-                        mark_page(registry, ids::G, *p);
-                    }
-                    pages_recovered += plan.g_fixes.len();
-                    for &p in &conflicted {
-                        mark_page(registry, ids::X, p);
-                        mark_page(registry, ids::G, p);
-                    }
-                    pages_ignored += 2 * conflicted.len();
-                    match partial {
-                        Some(partial) => {
-                            // Patch the contributions of the pages the
-                            // overlapped reduction skipped.
-                            let mut sum = partial;
-                            for &p in &lost_g {
-                                sum += vecops::norm2_squared(&g[pages.range(p)]);
-                            }
-                            sum
-                        }
-                        None => vecops::norm2_squared(&g),
-                    }
-                };
-                eps_old = eps;
-                eps = comm.allreduce_sum(eps_local);
-            }
-            RecoveryPolicy::Trivial => {
-                // Blank every lost page and keep going (Section 4.1): purely
-                // local, no collectives beyond the ε reduction.
-                let mut blanked = 0;
-                for (id, data) in [
-                    (ids::X, &mut x_full[own.clone()]),
-                    (ids::G, &mut g[..]),
-                    (ids::D, &mut d[..]),
-                    (ids::Q, &mut q[..]),
-                ] {
-                    for p in scrub_blank(registry, id, pages, data) {
-                        mark_page(registry, id, p);
-                        blanked += 1;
-                    }
-                }
-                pages_ignored += blanked;
-                eps_old = eps;
-                eps = comm.allreduce_sum(vecops::norm2_squared(&g));
-            }
-            RecoveryPolicy::Checkpoint { .. } => {
-                let mut lost_total = 0;
-                for (id, data) in [
-                    (ids::X, &mut x_full[own.clone()]),
-                    (ids::G, &mut g[..]),
-                    (ids::D, &mut d[..]),
-                    (ids::Q, &mut q[..]),
-                ] {
-                    for p in scrub_blank(registry, id, pages, data) {
-                        mark_page(registry, id, p);
-                        lost_total += 1;
-                    }
-                }
-                if comm.fault_flag(lost_total) {
-                    // Global rollback: every rank restores its local
-                    // checkpoint, then the residual is recomputed from the
-                    // restored iterate (one extra halo exchange of x).
-                    let store = store.as_mut().expect("checkpoint store exists");
-                    let mut scalars = Vec::new();
-                    if store
-                        .rollback(&mut x_full[own.clone()], &mut d, &mut scalars)
-                        .is_some()
-                    {
-                        rollbacks += 1;
-                    }
-                    comm.exchange_halo(&mut x_full);
-                    a.spmv_rows(own.start, own.end, &x_full, &mut g);
-                    for (k, r) in own.clone().enumerate() {
-                        g[k] = b[r] - g[k];
-                    }
-                    eps_old = scalars.get(1).copied().unwrap_or(f64::INFINITY);
-                    eps = comm.allreduce_sum(vecops::norm2_squared(&g));
-                    continue;
-                }
-                eps_old = eps;
-                eps = comm.allreduce_sum(vecops::norm2_squared(&g));
-            }
-            RecoveryPolicy::LossyRestart => {
-                let lost_x = scrub_blank(registry, ids::X, pages, &mut x_full[own.clone()]);
-                let mut lost_total = lost_x.len();
-                for (id, data) in [
-                    (ids::G, &mut g[..]),
-                    (ids::D, &mut d[..]),
-                    (ids::Q, &mut q[..]),
-                ] {
-                    for p in scrub_blank(registry, id, pages, data) {
-                        mark_page(registry, id, p);
-                        lost_total += 1;
-                    }
-                }
-                if comm.fault_flag(lost_total) {
-                    // Interpolate the lost iterate pages (block-Jacobi step,
-                    // no residual term), fetching the remote stencil entries
-                    // first, then restart globally.
-                    let lost_rows: Vec<usize> = lost_x
-                        .iter()
-                        .flat_map(|&p| global_rows(own.start, pages, p))
-                        .collect();
-                    let requests = remote_stencil_requests(a, &ctx.partition, ctx.rank, &lost_rows);
-                    cross_rank_values += comm.recovery_exchange(&requests, &mut x_full);
-                    for &p in &lost_x {
-                        let rows: Vec<usize> = global_rows(own.start, pages, p).collect();
-                        match lossy_interpolate_rows(a, b, &rows, &x_full) {
-                            Some(values) => {
-                                for (&r, v) in rows.iter().zip(&values) {
-                                    x_full[r] = *v;
-                                }
-                                pages_recovered += 1;
-                            }
-                            None => pages_ignored += 1,
-                        }
-                        mark_page(registry, ids::X, p);
-                    }
-                    // Restart: recompute g from the interpolated iterate and
-                    // discard the Krylov space.
-                    comm.exchange_halo(&mut x_full);
-                    a.spmv_rows(own.start, own.end, &x_full, &mut g);
-                    for (k, r) in own.clone().enumerate() {
-                        g[k] = b[r] - g[k];
-                    }
-                    d.iter_mut().for_each(|v| *v = 0.0);
-                    restarts += 1;
-                    eps_old = f64::INFINITY;
-                    eps = comm.allreduce_sum(vecops::norm2_squared(&g));
-                    continue;
-                }
-                eps_old = eps;
-                eps = comm.allreduce_sum(vecops::norm2_squared(&g));
-            }
-        }
-    }
-
-    RankOutcome {
-        rank: ctx.rank,
-        x_own: x_full[own].to_vec(),
-        iterations,
-        history,
-        pages_recovered,
-        pages_ignored,
-        cross_rank_values,
-        rollbacks,
-        restarts,
-    }
+    ranks: usize,
+    config: DistResilienceConfig,
+) -> DistResilientReport {
+    DistResilientSolver::pcg(a, b, ranks, config).solve()
 }

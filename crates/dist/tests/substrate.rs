@@ -99,3 +99,56 @@ fn rank_domains_partition_the_fault_space() {
     domains.reset();
     assert!(domains.all_healthy());
 }
+
+#[test]
+fn split_phase_allreduce_is_bitwise_identical_to_blocking_at_1_2_4_ranks() {
+    // The AFEIR overlap relies on start_allreduce/finish producing exactly
+    // the value allreduce_sum would: same partials, same rank-ordered
+    // accumulation, regardless of how much local work fills the window.
+    use feir_dist::{HaloPlan, RankComm};
+    for ranks in [1usize, 2, 4] {
+        let run = |split: bool| -> Vec<f64> {
+            let comms = RankComm::for_ranks(&HaloPlan::empty(ranks), ranks);
+            std::thread::scope(|scope| {
+                let handles: Vec<_> = comms
+                    .into_iter()
+                    .map(|comm| {
+                        scope.spawn(move || {
+                            let mut totals = Vec::new();
+                            for round in 0..5 {
+                                // Partials whose accumulation order matters.
+                                let local = (comm.rank() as f64 + 1.0) * 0.1 + round as f64 * 1e-13;
+                                let total = if split {
+                                    let pending = comm.start_allreduce(local);
+                                    // Local work standing in for the page
+                                    // reconstruction AFEIR runs inside the
+                                    // collective.
+                                    let mut acc = 0.0;
+                                    for i in 0..200 * (comm.rank() + 1) {
+                                        acc += (i as f64).sqrt();
+                                    }
+                                    assert!(acc >= 0.0);
+                                    pending.finish()
+                                } else {
+                                    comm.allreduce_sum(local)
+                                };
+                                totals.push(total);
+                            }
+                            totals
+                        })
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .flat_map(|h| h.join().expect("rank panicked"))
+                    .collect()
+            })
+        };
+        let blocking = run(false);
+        let split = run(true);
+        assert_eq!(blocking.len(), split.len());
+        for (u, v) in blocking.iter().zip(&split) {
+            assert_eq!(u.to_bits(), v.to_bits(), "{ranks} ranks: {u:e} vs {v:e}");
+        }
+    }
+}

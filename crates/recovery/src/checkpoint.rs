@@ -6,7 +6,7 @@
 //! checkpoint when a DUE is discovered. The checkpoint interval is chosen to
 //! minimise expected run time given the checkpoint cost and the MTBE, following
 //! the first-order optimum of Young/Daly as used in the paper
-//! (Bougeret et al. [5]).
+//! (Bougeret et al., JPDC 2014).
 
 use std::io::{Read, Write};
 use std::path::PathBuf;

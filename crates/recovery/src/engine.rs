@@ -1,0 +1,751 @@
+//! The solver-agnostic **resilient iteration engine**.
+//!
+//! The paper's central observation (Sections 2–3, 5) is that exact forward
+//! recovery is a property of the *algebraic relations between an iteration's
+//! protected vectors*, not of one particular solver: the same reconstruction
+//! machinery applies to CG and to preconditioned CG, and (Table 1) to
+//! BiCGStab and GMRES. This module is that observation as code. It owns the
+//! pieces every resilient solver shares —
+//!
+//! * the [`RecoverableIteration`] trait describing one solver's algebraic
+//!   relations per protected vector (how an iterate, residual, direction,
+//!   matvec-product or preconditioned-residual page is reconstructed from
+//!   the surviving state);
+//! * the coupled-row **page-reconstruction kernels**
+//!   ([`recover_iterate_rows`], [`recover_direction_rows`],
+//!   [`lossy_interpolate_rows`]) generalising the shared-memory
+//!   [`BlockRecovery`](crate::BlockRecovery) solves to arbitrary
+//!   simultaneous row sets;
+//! * **scrub-point fault materialisation** ([`scrub_blank`], [`mark_page`])
+//!   — the page-granular analogue of SIGBUS-on-touch — and the related-data
+//!   partitioning of simultaneous losses ([`split_related`]);
+//! * **AFEIR overlap scheduling** ([`overlap`]): the same recovery closure
+//!   runs either in the critical path (FEIR, Figure 2(a)) or beside
+//!   neighbouring solver work on the work-stealing pool (AFEIR,
+//!   Figure 2(b));
+//! * the read-only **recovery planning** types ([`StatePlan`],
+//!   [`plan_state_fixes`], [`RecoveryPlan`]) that let reconstruction run
+//!   concurrently with a reduction without aliasing the pages being reduced
+//!   over.
+//!
+//! Both resilient solvers instantiate this layer: the shared-memory
+//! [`ResilientCg`](crate::ResilientCg) consumes the plan/overlap machinery
+//! directly, and `feir-dist`'s per-rank loop is generic over
+//! [`RecoverableIteration`] — plain CG is [`CgRelations`], block-Jacobi PCG
+//! is [`PcgRelations`], and every future solver variant is another ~100-line
+//! trait implementation instead of another monolithic solver copy.
+
+use std::ops::Range;
+
+use feir_pagemem::{AccessOutcome, PageRegistry, VectorId};
+use feir_sparse::blocking::BlockPartition;
+use feir_sparse::{CsrMatrix, DenseMatrix, LocalBlockJacobi};
+
+use crate::report::{RecoveryAction, RecoveryEvent};
+
+// ----- the solver-relation trait -------------------------------------------
+
+/// The algebraic relations of one solver's iteration, per protected vector.
+///
+/// An implementation answers exactly one question for each protected vector:
+/// *given the surviving state, how is a lost set of rows reconstructed
+/// exactly?* The engine (and the per-rank distributed loop built on it)
+/// handles everything else — scrub points, related-data conflicts, policy
+/// dispatch, AFEIR overlap, cross-rank fetches — so a new solver variant
+/// only describes its relations:
+///
+/// * **iterate** `x`: solve `A_RR x_R = b_R − g_R − Σ_{c∉R} A_Rc x_c`
+///   over the lost rows `R` ([`RecoverableIteration::reconstruct_iterate`]);
+/// * **direction** `d(t−1)`: solve `A_RR d_R = q_R − Σ_{c∉R} A_Rc d_c`
+///   against the *retained* snapshot of `d` that produced `q`
+///   ([`RecoverableIteration::reconstruct_direction`]);
+/// * **residual** `g`: recompute `g_R = b_R − Σ_c A_Rc x_c` from the
+///   repaired iterate ([`RecoverableIteration::residual_rows`]);
+/// * **preconditioned residual** `z` (PCG only): re-solve the rank-local
+///   coupled system `M_pp z_p = g_p` with the preconditioner's factorized
+///   diagonal block ([`RecoverableIteration::reapply_preconditioner`]);
+/// * the **Lossy Restart** interpolation drops the residual term
+///   ([`RecoverableIteration::lossy_iterate_rows`], Theorems 1–3).
+///
+/// All row indices are global; callers working on a rank-local page space
+/// offset them first (see [`plan_state_fixes`]).
+pub trait RecoverableIteration: Sync {
+    /// Short solver name for reports and tables (e.g. `"cg"`, `"pcg"`).
+    fn solver_name(&self) -> &'static str;
+
+    /// True when the iteration carries a preconditioned residual `z` whose
+    /// pages are protected in addition to `x`, `g`, `d`, `q`.
+    fn preconditioned(&self) -> bool {
+        false
+    }
+
+    /// Exact reconstruction of the lost (sorted, global) `rows` of the
+    /// iterate from the residual at those rows and the surviving iterate
+    /// view; `None` when the coupled system is unsolvable (the paper
+    /// "simply ignores" those losses).
+    fn reconstruct_iterate(
+        &self,
+        rows: &[usize],
+        g_at_rows: &[f64],
+        x_view: &[f64],
+    ) -> Option<Vec<f64>>;
+
+    /// Exact reconstruction of the lost `rows` of the search direction from
+    /// the retained matvec product `q = A·d` and the retained view of `d`
+    /// (the values that produced `q`, *not* freshly fetched ones).
+    fn reconstruct_direction(
+        &self,
+        rows: &[usize],
+        q_at_rows: &[f64],
+        d_view: &[f64],
+    ) -> Option<Vec<f64>>;
+
+    /// Recomputes the residual over `rows` from a repaired iterate view:
+    /// `out[k] = b[rows.start + k] − Σ_c A_{rows.start+k,c} x_view[c]`.
+    fn residual_rows(&self, rows: Range<usize>, x_view: &[f64], out: &mut [f64]);
+
+    /// Lossy (residual-free) interpolation of lost iterate rows — the
+    /// distributed form of the Lossy Restart step.
+    fn lossy_iterate_rows(&self, rows: &[usize], x_view: &[f64]) -> Option<Vec<f64>>;
+
+    /// Re-solves the preconditioner's coupled block system `M_pp z_p = g_p`
+    /// for one local page, writing the reconstructed preconditioned
+    /// residual; returns `false` for solvers without a `z` vector.
+    fn reapply_preconditioner(&self, page: usize, g_page: &[f64], z_page: &mut [f64]) -> bool {
+        let _ = (page, g_page, z_page);
+        false
+    }
+}
+
+/// The algebraic relations of plain CG (Listing 1): protected vectors
+/// `x, g, d, q` tied together by `g = b − A·x` and `q = A·d`.
+#[derive(Debug, Clone, Copy)]
+pub struct CgRelations<'a> {
+    a: &'a CsrMatrix,
+    b: &'a [f64],
+}
+
+impl<'a> CgRelations<'a> {
+    /// Binds the relations to one linear system.
+    ///
+    /// # Panics
+    /// Panics if the matrix is not square or `b` has the wrong length.
+    pub fn new(a: &'a CsrMatrix, b: &'a [f64]) -> Self {
+        assert_eq!(
+            a.rows(),
+            a.cols(),
+            "recovery relations need a square matrix"
+        );
+        assert_eq!(a.rows(), b.len(), "rhs length mismatch");
+        Self { a, b }
+    }
+
+    /// The bound operator.
+    pub fn matrix(&self) -> &'a CsrMatrix {
+        self.a
+    }
+
+    /// The bound right-hand side.
+    pub fn rhs(&self) -> &'a [f64] {
+        self.b
+    }
+}
+
+impl RecoverableIteration for CgRelations<'_> {
+    fn solver_name(&self) -> &'static str {
+        "cg"
+    }
+
+    fn reconstruct_iterate(
+        &self,
+        rows: &[usize],
+        g_at_rows: &[f64],
+        x_view: &[f64],
+    ) -> Option<Vec<f64>> {
+        recover_iterate_rows(self.a, self.b, g_at_rows, rows, x_view)
+    }
+
+    fn reconstruct_direction(
+        &self,
+        rows: &[usize],
+        q_at_rows: &[f64],
+        d_view: &[f64],
+    ) -> Option<Vec<f64>> {
+        recover_direction_rows(self.a, q_at_rows, rows, d_view)
+    }
+
+    fn residual_rows(&self, rows: Range<usize>, x_view: &[f64], out: &mut [f64]) {
+        self.a.spmv_rows(rows.start, rows.end, x_view, out);
+        for (k, r) in rows.enumerate() {
+            out[k] = self.b[r] - out[k];
+        }
+    }
+
+    fn lossy_iterate_rows(&self, rows: &[usize], x_view: &[f64]) -> Option<Vec<f64>> {
+        lossy_interpolate_rows(self.a, self.b, rows, x_view)
+    }
+}
+
+/// The algebraic relations of block-Jacobi PCG (Listing 5): everything CG
+/// has, plus the preconditioned residual `z` solved per page from
+/// `M_pp z_p = g_p` — whose factorization the recovery reuses, which is
+/// exactly why the paper picks page-sized Jacobi blocks (Section 5.1).
+#[derive(Debug, Clone, Copy)]
+pub struct PcgRelations<'a> {
+    cg: CgRelations<'a>,
+    jacobi: &'a LocalBlockJacobi,
+}
+
+impl<'a> PcgRelations<'a> {
+    /// Binds the CG relations plus a (rank-)local block-Jacobi
+    /// preconditioner.
+    pub fn new(a: &'a CsrMatrix, b: &'a [f64], jacobi: &'a LocalBlockJacobi) -> Self {
+        Self {
+            cg: CgRelations::new(a, b),
+            jacobi,
+        }
+    }
+
+    /// The bound preconditioner.
+    pub fn preconditioner(&self) -> &'a LocalBlockJacobi {
+        self.jacobi
+    }
+}
+
+impl RecoverableIteration for PcgRelations<'_> {
+    fn solver_name(&self) -> &'static str {
+        "pcg"
+    }
+
+    fn preconditioned(&self) -> bool {
+        true
+    }
+
+    fn reconstruct_iterate(
+        &self,
+        rows: &[usize],
+        g_at_rows: &[f64],
+        x_view: &[f64],
+    ) -> Option<Vec<f64>> {
+        self.cg.reconstruct_iterate(rows, g_at_rows, x_view)
+    }
+
+    fn reconstruct_direction(
+        &self,
+        rows: &[usize],
+        q_at_rows: &[f64],
+        d_view: &[f64],
+    ) -> Option<Vec<f64>> {
+        self.cg.reconstruct_direction(rows, q_at_rows, d_view)
+    }
+
+    fn residual_rows(&self, rows: Range<usize>, x_view: &[f64], out: &mut [f64]) {
+        self.cg.residual_rows(rows, x_view, out);
+    }
+
+    fn lossy_iterate_rows(&self, rows: &[usize], x_view: &[f64]) -> Option<Vec<f64>> {
+        self.cg.lossy_iterate_rows(rows, x_view)
+    }
+
+    fn reapply_preconditioner(&self, page: usize, g_page: &[f64], z_page: &mut [f64]) -> bool {
+        self.jacobi.apply_block(page, g_page, z_page);
+        true
+    }
+}
+
+// ----- coupled-row page-reconstruction kernels -----------------------------
+
+/// Solves the coupled dense system `A_RR · y = rhs` over the given sorted
+/// global rows (a principal submatrix of the SPD operator, hence Cholesky).
+fn solve_coupled(a: &CsrMatrix, rows: &[usize], rhs: &[f64]) -> Option<Vec<f64>> {
+    debug_assert!(rows.windows(2).all(|w| w[0] < w[1]), "rows must be sorted");
+    let k = rows.len();
+    let mut m = DenseMatrix::zeros(k, k);
+    for (i, &r) in rows.iter().enumerate() {
+        let (cols, vals) = a.row(r);
+        for (c, v) in cols.iter().zip(vals) {
+            if let Ok(j) = rows.binary_search(c) {
+                m.set(i, j, *v);
+            }
+        }
+    }
+    m.cholesky().ok().map(|chol| chol.solve(rhs))
+}
+
+/// Exact recovery of lost rows of the **iterate**: solves
+/// `A_RR x_R = b_R − g_R − Σ_{c∉R} A_Rc x_c` over the sorted global rows `R`.
+///
+/// `g_at_rows[i]` is the residual at `rows[i]`; `x_full` must hold valid data
+/// at every stencil column outside `rows` — on a distributed machine the
+/// remote columns are fetched through the recovery request/reply round
+/// first. The result matches the shared-memory
+/// [`BlockRecovery::recover_iterate_rhs`](crate::BlockRecovery::recover_iterate_rhs)
+/// to round-off (and generalises it to arbitrary simultaneous row sets).
+pub fn recover_iterate_rows(
+    a: &CsrMatrix,
+    b: &[f64],
+    g_at_rows: &[f64],
+    rows: &[usize],
+    x_full: &[f64],
+) -> Option<Vec<f64>> {
+    debug_assert_eq!(g_at_rows.len(), rows.len());
+    let rhs: Vec<f64> = rows
+        .iter()
+        .zip(g_at_rows)
+        .map(|(&r, g_r)| {
+            let (cols, vals) = a.row(r);
+            let mut acc = b[r] - g_r;
+            for (c, v) in cols.iter().zip(vals) {
+                if rows.binary_search(c).is_err() {
+                    acc -= v * x_full[*c];
+                }
+            }
+            acc
+        })
+        .collect();
+    solve_coupled(a, rows, &rhs)
+}
+
+/// Exact recovery of lost rows of the **search direction**: solves
+/// `A_RR d_R = q_R − Σ_{c∉R} A_Rc d_c` over the sorted global rows `R`.
+///
+/// `q_at_rows[i]` is the matvec product at `rows[i]`; `d_full` must hold the
+/// direction that produced `q` at every stencil column outside `rows` — the
+/// recovering rank's retained halo snapshot, not freshly fetched values (a
+/// neighbour may already have advanced its direction).
+pub fn recover_direction_rows(
+    a: &CsrMatrix,
+    q_at_rows: &[f64],
+    rows: &[usize],
+    d_full: &[f64],
+) -> Option<Vec<f64>> {
+    debug_assert_eq!(q_at_rows.len(), rows.len());
+    let rhs: Vec<f64> = rows
+        .iter()
+        .zip(q_at_rows)
+        .map(|(&r, q_r)| {
+            let (cols, vals) = a.row(r);
+            let mut acc = *q_r;
+            for (c, v) in cols.iter().zip(vals) {
+                if rows.binary_search(c).is_err() {
+                    acc -= v * d_full[*c];
+                }
+            }
+            acc
+        })
+        .collect();
+    solve_coupled(a, rows, &rhs)
+}
+
+/// Lossy interpolation of lost rows of the iterate (no residual term):
+/// `A_RR x_R = b_R − Σ_{c∉R} A_Rc x_c`, the block-Jacobi step of the paper's
+/// Lossy Restart interpolation (Theorems 1–3).
+pub fn lossy_interpolate_rows(
+    a: &CsrMatrix,
+    b: &[f64],
+    rows: &[usize],
+    x_full: &[f64],
+) -> Option<Vec<f64>> {
+    let rhs: Vec<f64> = rows
+        .iter()
+        .map(|&r| {
+            let (cols, vals) = a.row(r);
+            let mut acc = b[r];
+            for (c, v) in cols.iter().zip(vals) {
+                if rows.binary_search(c).is_err() {
+                    acc -= v * x_full[*c];
+                }
+            }
+            acc
+        })
+        .collect();
+    solve_coupled(a, rows, &rhs)
+}
+
+// ----- scrub-point fault materialisation -----------------------------------
+
+/// Touches every page of a protected vector at a scrub point; lost pages are
+/// blanked (the fresh `mmap` of the paper's signal handler) and returned.
+pub fn scrub_blank(
+    registry: &PageRegistry,
+    id: VectorId,
+    pages: &BlockPartition,
+    data: &mut [f64],
+) -> Vec<usize> {
+    let mut lost = Vec::new();
+    for p in 0..pages.num_blocks() {
+        match registry.on_access(id, p) {
+            AccessOutcome::Ok => {}
+            AccessOutcome::FaultDiscovered | AccessOutcome::AlreadyLost => {
+                for v in &mut data[pages.range(p)] {
+                    *v = 0.0;
+                }
+                lost.push(p);
+            }
+        }
+    }
+    lost
+}
+
+/// Marks a page healthy again after its data has been reconstructed (or
+/// blank-accepted).
+pub fn mark_page(registry: &PageRegistry, id: VectorId, page: usize) {
+    let _ = registry.on_access(id, page);
+    registry.mark_recovered(id, page);
+}
+
+/// Partitions two vectors' simultaneous page losses into the pages
+/// recoverable on each side and the *related-data* conflicts (pages lost in
+/// both, which no relation can reconstruct — the paper "simply ignores"
+/// them). Returns `(recoverable_a, recoverable_b, conflicted)`.
+pub fn split_related(lost_a: &[usize], lost_b: &[usize]) -> (Vec<usize>, Vec<usize>, Vec<usize>) {
+    let conflicted: Vec<usize> = lost_a
+        .iter()
+        .copied()
+        .filter(|p| lost_b.contains(p))
+        .collect();
+    let rec_a = lost_a
+        .iter()
+        .copied()
+        .filter(|p| !conflicted.contains(p))
+        .collect();
+    let rec_b = lost_b
+        .iter()
+        .copied()
+        .filter(|p| !conflicted.contains(p))
+        .collect();
+    (rec_a, rec_b, conflicted)
+}
+
+// ----- AFEIR overlap scheduling --------------------------------------------
+
+/// Runs a recovery closure either in the critical path (FEIR: `recover`
+/// first, then `work`) or overlapped with the neighbouring solver work on
+/// the work-stealing pool (AFEIR: `rayon::join`). The closures must not
+/// alias mutable state — recovery *plans* into side buffers and the caller
+/// installs afterwards, which is the engine's equivalent of the paper's
+/// communication through atomic bitmasks rather than task dependences.
+pub fn overlap<A, B, RA, RB>(asynchronous: bool, recover: A, work: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA + Send,
+    B: FnOnce() -> RB + Send,
+    RA: Send,
+    RB: Send,
+{
+    if asynchronous {
+        rayon::join(recover, work)
+    } else {
+        let ra = recover();
+        let rb = work();
+        (ra, rb)
+    }
+}
+
+// ----- read-only recovery planning -----------------------------------------
+
+/// Reconstructions planned for lost iterate/residual pages, computed from a
+/// read-only snapshot so AFEIR can overlap the planning with the ε reduction
+/// and the installation with the reduction *wait* (split-phase allreduce).
+#[derive(Debug, Default)]
+pub struct StatePlan {
+    /// Local iterate pages the coupled solve covered.
+    pub x_pages: Vec<usize>,
+    /// Global rows of the coupled exact solve over `x_pages`.
+    pub x_rows: Vec<usize>,
+    /// The reconstructed iterate values for `x_rows` (`None` when the
+    /// coupled system was unsolvable).
+    pub x_values: Option<Vec<f64>>,
+    /// Local iterate pages abandoned because their stencil depends on
+    /// known-blank entries (related losses, locally or across ranks).
+    pub x_ignored: Vec<usize>,
+    /// Recomputed residual pages `(local page, values)`.
+    pub g_fixes: Vec<(usize, Vec<f64>)>,
+    /// Local residual pages abandoned because their recomputation would
+    /// read blank iterate data.
+    pub g_ignored: Vec<usize>,
+}
+
+/// One scrub point's iterate/residual losses, as input to
+/// [`plan_state_fixes`].
+#[derive(Debug, Clone, Copy)]
+pub struct StateLosses<'a> {
+    /// Lost iterate pages with a surviving residual (related-loss conflicts
+    /// already excluded, e.g. via [`split_related`]).
+    pub rec_x: &'a [usize],
+    /// Lost residual pages with a surviving iterate.
+    pub rec_g: &'a [usize],
+    /// Sorted global iterate entries known to hold blank garbage that no
+    /// relation can repair this round: the rows of related-loss pages (`x`
+    /// and `g` lost together) plus remote entries whose owning rank flagged
+    /// them invalid in the recovery exchange. Pages whose relation reaches
+    /// into this set are *abandoned* (blank-accepted) instead of being
+    /// reconstructed from garbage and reported as exact — the cross-rank
+    /// form of the paper's "related data" case.
+    pub blank_x: &'a [usize],
+}
+
+/// Plans the exact recovery of the lost iterate/residual pages in `losses`
+/// from the patched snapshot; never mutates solver state. `pages` partitions
+/// the local slice `g`, whose global rows start at `row_offset`; `x_full` is
+/// the full-length (halo-patched) iterate view and `stencil` the operator
+/// whose rows decide which entries each reconstruction reads.
+pub fn plan_state_fixes<S: RecoverableIteration + ?Sized>(
+    relations: &S,
+    stencil: &CsrMatrix,
+    pages: &BlockPartition,
+    row_offset: usize,
+    losses: StateLosses<'_>,
+    g: &[f64],
+    x_full: &[f64],
+) -> StatePlan {
+    let StateLosses {
+        rec_x,
+        rec_g,
+        blank_x,
+    } = losses;
+    debug_assert!(blank_x.windows(2).all(|w| w[0] < w[1]), "blank_x sorted");
+    let page_rows = |p: usize| {
+        let local = pages.range(p);
+        row_offset + local.start..row_offset + local.end
+    };
+    let touches_blank = |p: usize, blanks: &[usize]| {
+        page_rows(p).any(|r| {
+            let (cols, _) = stencil.row(r);
+            cols.iter().any(|c| blanks.binary_search(c).is_ok())
+        })
+    };
+    // Iterate pages whose stencil reads known-blank entries cannot be
+    // reconstructed exactly; the rest go into one coupled solve. The taint
+    // is transitive — an abandoned page's own rows stay blank, poisoning
+    // any neighbour page whose stencil reads them — so the partition runs
+    // to a fixpoint before anything is solved.
+    let mut blanks: Vec<usize> = blank_x.to_vec();
+    let mut x_pages: Vec<usize> = rec_x.to_vec();
+    let mut x_ignored: Vec<usize> = Vec::new();
+    loop {
+        let (keep, dropped): (Vec<usize>, Vec<usize>) =
+            x_pages.iter().partition(|&&p| !touches_blank(p, &blanks));
+        x_pages = keep;
+        if dropped.is_empty() {
+            break;
+        }
+        blanks.extend(dropped.iter().flat_map(|&p| page_rows(p)));
+        blanks.sort_unstable();
+        blanks.dedup();
+        x_ignored.extend(dropped);
+    }
+    x_ignored.sort_unstable();
+    let x_rows: Vec<usize> = x_pages.iter().flat_map(|&p| page_rows(p)).collect();
+    let g_at_rows: Vec<f64> = x_pages
+        .iter()
+        .flat_map(|&p| pages.range(p))
+        .map(|i| g[i])
+        .collect();
+    let x_values = if x_rows.is_empty() {
+        None
+    } else {
+        relations.reconstruct_iterate(&x_rows, &g_at_rows, x_full)
+    };
+    // Recompute lost residual pages from the repaired iterate:
+    // g_R = b_R − Σ_c A_Rc x_c — but only where every iterate entry the
+    // stencil reads is trustworthy (repaired, surviving, or validly
+    // fetched). `blanks` already carries the abandoned pages' rows.
+    let mut x_view = x_full.to_vec();
+    if let Some(values) = &x_values {
+        for (&r, v) in x_rows.iter().zip(values) {
+            x_view[r] = *v;
+        }
+    }
+    let mut blank_for_g = blanks;
+    if x_values.is_none() {
+        blank_for_g.extend(x_rows.iter().copied());
+        blank_for_g.sort_unstable();
+        blank_for_g.dedup();
+    }
+    let mut g_fixes = Vec::with_capacity(rec_g.len());
+    let mut g_ignored = Vec::new();
+    for &p in rec_g {
+        if touches_blank(p, &blank_for_g) {
+            g_ignored.push(p);
+            continue;
+        }
+        let rows = page_rows(p);
+        let mut out = vec![0.0; rows.len()];
+        relations.residual_rows(rows, &x_view, &mut out);
+        g_fixes.push((p, out));
+    }
+    StatePlan {
+        x_pages,
+        x_rows,
+        x_values,
+        x_ignored,
+        g_fixes,
+        g_ignored,
+    }
+}
+
+/// Planned page reconstructions produced by a recovery task. The plan is
+/// computed from read-only state and applied afterwards so that the AFEIR
+/// overlap never aliases the pages being reduced over.
+#[derive(Debug, Default)]
+pub struct RecoveryPlan {
+    /// Pages with reconstructed data: `(vector, skip bit, page, values)`.
+    pub(crate) fixes: Vec<(VectorId, u32, usize, Vec<f64>)>,
+    /// Pages that could not be recovered (blank-accepted, "ignored").
+    pub(crate) abandoned: Vec<(VectorId, u32, usize)>,
+    /// Recovery events for the report.
+    pub(crate) events: Vec<RecoveryEvent>,
+}
+
+impl RecoveryPlan {
+    /// Records a reconstructed page.
+    pub fn fix(&mut self, id: VectorId, bit: u32, page: usize, values: Vec<f64>) {
+        self.fixes.push((id, bit, page, values));
+    }
+
+    /// Records a page the engine gives up on (blank-accepted).
+    pub fn give_up(&mut self, id: VectorId, bit: u32, page: usize) {
+        self.abandoned.push((id, bit, page));
+    }
+
+    /// Records a recovery event for the run report.
+    pub fn push(&mut self, iteration: usize, vector: &str, page: usize, action: RecoveryAction) {
+        self.events.push(RecoveryEvent {
+            iteration,
+            vector: vector.to_string(),
+            page,
+            action,
+        });
+    }
+
+    /// Pages of `id` the plan abandoned.
+    pub fn abandoned_pages(&self, id: VectorId) -> Vec<usize> {
+        self.abandoned
+            .iter()
+            .filter(|(aid, _, _)| *aid == id)
+            .map(|(_, _, p)| *p)
+            .collect()
+    }
+}
+
+/// For each output page of the row-blocked SpMV, the set of input pages its
+/// rows reference (used to decide whether a matvec page can be produced when
+/// some direction pages are lost).
+pub fn compute_touched_pages(a: &CsrMatrix, partition: BlockPartition) -> Vec<Vec<usize>> {
+    let mut touched = Vec::with_capacity(partition.num_blocks());
+    for (_, range) in partition.iter() {
+        let mut pages: Vec<usize> = Vec::new();
+        for r in range {
+            let (cols, _) = a.row(r);
+            for c in cols {
+                let p = partition.block_of(*c);
+                if !pages.contains(&p) {
+                    pages.push(p);
+                }
+            }
+        }
+        pages.sort_unstable();
+        touched.push(pages);
+    }
+    touched
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use feir_sparse::generators::{manufactured_rhs, poisson_2d};
+
+    #[test]
+    fn cg_relations_reconstruct_iterate_rows_exactly() {
+        let a = poisson_2d(12);
+        let n = a.rows();
+        let (x_true, b) = manufactured_rhs(&a, 5);
+        // Consistent (x, g) pair away from the solution.
+        let x: Vec<f64> = x_true.iter().map(|v| 0.9 * v + 0.02).collect();
+        let mut g = vec![0.0; n];
+        a.spmv(&x, &mut g);
+        for (gi, bi) in g.iter_mut().zip(&b) {
+            *gi = bi - *gi;
+        }
+        let relations = CgRelations::new(&a, &b);
+        let rows: Vec<usize> = (24..48).collect();
+        let g_at_rows: Vec<f64> = rows.iter().map(|&r| g[r]).collect();
+        let mut damaged = x.clone();
+        for &r in &rows {
+            damaged[r] = 0.0;
+        }
+        let recovered = relations
+            .reconstruct_iterate(&rows, &g_at_rows, &damaged)
+            .expect("coupled solve failed");
+        for (k, &r) in rows.iter().enumerate() {
+            assert!((recovered[k] - x[r]).abs() < 1e-8, "row {r}");
+        }
+    }
+
+    #[test]
+    fn pcg_relations_reapply_the_preconditioner_block() {
+        let a = poisson_2d(8);
+        let n = a.rows();
+        let (_, b) = manufactured_rhs(&a, 2);
+        let jacobi = LocalBlockJacobi::new(&a, 0..n, 16, true).unwrap();
+        let relations = PcgRelations::new(&a, &b, &jacobi);
+        assert!(relations.preconditioned());
+        assert_eq!(relations.solver_name(), "pcg");
+        let g: Vec<f64> = (0..n).map(|i| (i as f64 * 0.13).sin()).collect();
+        let mut z_full = vec![0.0; n];
+        jacobi.apply(&g, &mut z_full);
+        // "Recover" page 1 by re-solving its coupled block system.
+        let range = jacobi.partition().range(1);
+        let mut z_page = vec![0.0; range.len()];
+        assert!(relations.reapply_preconditioner(1, &g[range.clone()], &mut z_page));
+        assert_eq!(&z_full[range], z_page.as_slice());
+    }
+
+    #[test]
+    fn split_related_isolates_conflicts() {
+        let (rec_a, rec_b, conflicted) = split_related(&[0, 2, 5], &[2, 3]);
+        assert_eq!(rec_a, vec![0, 5]);
+        assert_eq!(rec_b, vec![3]);
+        assert_eq!(conflicted, vec![2]);
+    }
+
+    #[test]
+    fn overlap_runs_both_closures_in_either_mode() {
+        for asynchronous in [false, true] {
+            let (a, b) = overlap(asynchronous, || 6 * 7, || "done");
+            assert_eq!(a, 42);
+            assert_eq!(b, "done");
+        }
+    }
+
+    #[test]
+    fn cg_and_pcg_relations_agree_on_shared_kernels() {
+        let a = poisson_2d(10);
+        let n = a.rows();
+        let (x_true, b) = manufactured_rhs(&a, 7);
+        let jacobi = LocalBlockJacobi::new(&a, 0..n, 25, true).unwrap();
+        let cg = CgRelations::new(&a, &b);
+        let pcg = PcgRelations::new(&a, &b, &jacobi);
+        let d = x_true.clone();
+        let mut q = vec![0.0; n];
+        a.spmv(&d, &mut q);
+        let rows: Vec<usize> = (10..30).collect();
+        let q_at_rows: Vec<f64> = rows.iter().map(|&r| q[r]).collect();
+        let mut damaged = d.clone();
+        for &r in &rows {
+            damaged[r] = f64::NAN;
+        }
+        let from_cg = cg
+            .reconstruct_direction(&rows, &q_at_rows, &damaged)
+            .unwrap();
+        let from_pcg = pcg
+            .reconstruct_direction(&rows, &q_at_rows, &damaged)
+            .unwrap();
+        for (u, v) in from_cg.iter().zip(&from_pcg) {
+            assert_eq!(u.to_bits(), v.to_bits());
+        }
+        for (k, &r) in rows.iter().enumerate() {
+            assert!((from_cg[k] - d[r]).abs() < 1e-8, "row {r}");
+        }
+    }
+}

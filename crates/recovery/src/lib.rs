@@ -8,6 +8,13 @@
 //!
 //! The crate provides:
 //!
+//! * [`engine`] — the solver-agnostic **resilient iteration engine**: the
+//!   [`RecoverableIteration`] trait describing
+//!   a solver's algebraic relations per protected vector, the coupled-row
+//!   page-reconstruction kernels, scrub-point fault materialisation, the
+//!   related-data conflict split and the FEIR/AFEIR overlap scheduler —
+//!   shared by the shared-memory solver below and `feir-dist`'s distributed
+//!   CG/PCG;
 //! * [`interpolate`] — the exact block recoveries of Table 1: direct (lhs)
 //!   recomputation and inverse (rhs) diagonal-block solves, including the
 //!   combined multi-block solve for simultaneous errors (Section 2.4);
@@ -15,7 +22,7 @@
 //!   Approach, plus helpers used by the property tests of Theorems 1–3;
 //! * [`checkpoint`] — periodic checkpointing of `x` and `d` with the optimal
 //!   interval computation used by the paper's rollback baseline;
-//! * [`policy`] — the [`RecoveryPolicy`](policy::RecoveryPolicy) switch
+//! * [`policy`] — the [`RecoveryPolicy`] switch
 //!   selecting between Ideal, Trivial, Checkpoint, Lossy Restart, FEIR and
 //!   AFEIR;
 //! * [`resilient_cg`] — the page-protected, task-decomposed CG / PCG solver
@@ -27,6 +34,7 @@
 #![warn(missing_docs)]
 
 pub mod checkpoint;
+pub mod engine;
 pub mod interpolate;
 pub mod lossy;
 pub mod policy;
@@ -34,6 +42,7 @@ pub mod report;
 pub mod resilient_cg;
 
 pub use checkpoint::{optimal_checkpoint_interval, CheckpointStore};
+pub use engine::{CgRelations, PcgRelations, RecoverableIteration};
 pub use interpolate::BlockRecovery;
 pub use lossy::lossy_interpolate_block;
 pub use policy::{RecoveryPolicy, ResilienceConfig};

@@ -153,7 +153,10 @@ pub struct RankFaultStats {
     pub injected: usize,
     /// Faults discovered by the solver on access (the "SIGBUS" count).
     pub discovered: usize,
-    /// Pages marked recovered after reconstruction.
+    /// Pages marked healthy again in this rank's registry — after an exact
+    /// reconstruction *or* a blank acceptance (registries track page health,
+    /// not recovery quality; compare with the solve report's
+    /// `pages_recovered` / `pages_ignored` split for the latter).
     pub recovered: usize,
 }
 

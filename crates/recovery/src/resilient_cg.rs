@@ -35,6 +35,7 @@ use feir_sparse::{vecops, BlockJacobi, CsrMatrix};
 use rayon::prelude::*;
 
 use crate::checkpoint::{CheckpointStore, CheckpointTarget};
+use crate::engine::{self, RecoveryPlan};
 use crate::interpolate::BlockRecovery;
 use crate::lossy;
 use crate::policy::{RecoveryPolicy, ResilienceConfig};
@@ -161,7 +162,7 @@ impl<'a> ResilientCg<'a> {
             None
         };
 
-        let touched_pages = compute_touched_pages(a, partition);
+        let touched_pages = engine::compute_touched_pages(a, partition);
 
         // Register the protected dynamic vectors up front so fault injectors
         // attached to the registry can target them for the whole run.
@@ -384,98 +385,79 @@ impl<'a> ResilientCg<'a> {
             self.phase_matvec(d_cur, d_cur_id, d_cur_bit, &mut q, q_id, &skip);
             time.compute += mark.elapsed();
 
-            // r1 recovery + ⟨d,q⟩ reduction.
+            // r1 recovery + ⟨d,q⟩ reduction. FEIR and AFEIR are the *same*
+            // engine flow — plan into side buffers, reduce over the valid
+            // pages, install, patch the recovered pages' contributions —
+            // and differ only in the scheduling flag handed to
+            // [`engine::overlap`] (critical path vs. work-stealing pool).
             let dq = match policy {
                 RecoveryPolicy::Feir | RecoveryPolicy::Afeir => {
-                    if policy == RecoveryPolicy::Feir {
-                        // Critical path: recover, then reduce over clean data.
-                        let mark = Instant::now();
-                        let plan = self.plan_r1(
-                            beta,
-                            d_prev,
-                            d_prev_bit,
-                            update_src,
-                            update_src_bit,
-                            d_cur,
-                            d_cur_id,
-                            d_cur_bit,
-                            &q,
-                            q_id,
-                            &skip,
-                            t,
-                        );
-                        pages_recovered += self.apply_fixes(
-                            &plan,
-                            &mut [(d_cur_id, d_cur_bit, &mut *d_cur), (q_id, bits::Q, &mut q)],
-                            &skip,
-                        );
-                        events.extend(plan.events);
-                        let r_dur = mark.elapsed();
-                        time.recovery += r_dur;
-                        time.idle +=
-                            r_dur.mul_f64((threads.saturating_sub(1)) as f64 / threads as f64);
-                        let mark = Instant::now();
-                        let (dq, _) =
-                            self.reduce_dot(d_cur, d_cur_id, d_cur_bit, &q, q_id, bits::Q, &skip);
-                        time.compute += mark.elapsed();
-                        dq
-                    } else {
-                        // AFEIR: overlap the recovery planning with the
-                        // reduction (Figure 2(b)), then apply the fixes and
-                        // add the contributions of the recovered pages.
-                        let mark = Instant::now();
-                        let (reduction, plan) = rayon::join(
-                            || {
-                                self.reduce_dot(
-                                    d_cur,
-                                    d_cur_id,
-                                    d_cur_bit,
-                                    &q,
-                                    q_id,
-                                    bits::Q,
-                                    &skip,
-                                )
-                            },
-                            || {
-                                self.plan_r1(
-                                    beta,
-                                    d_prev,
-                                    d_prev_bit,
-                                    update_src,
-                                    update_src_bit,
-                                    d_cur,
-                                    d_cur_id,
-                                    d_cur_bit,
-                                    &q,
-                                    q_id,
-                                    &skip,
-                                    t,
-                                )
-                            },
-                        );
-                        let overlap = mark.elapsed();
-                        let (mut dq, skipped) = reduction;
-                        pages_recovered += self.apply_fixes(
-                            &plan,
-                            &mut [(d_cur_id, d_cur_bit, &mut *d_cur), (q_id, bits::Q, &mut q)],
-                            &skip,
-                        );
-                        events.extend(plan.events);
-                        // Fix-up: contributions of pages recovered meanwhile.
-                        for p in skipped {
-                            if !self.page_invalid(d_cur_id, d_cur_bit, p, &skip)
-                                && !self.page_invalid(q_id, bits::Q, p, &skip)
-                            {
-                                let range = self.partition.range(p);
-                                dq += vecops::dot(&d_cur[range.clone()], &q[range]);
-                            }
+                    let asynchronous = policy == RecoveryPolicy::Afeir;
+                    let (planned, reduced) = engine::overlap(
+                        asynchronous,
+                        || {
+                            let mark = Instant::now();
+                            let plan = self.plan_r1(
+                                beta,
+                                d_prev,
+                                d_prev_bit,
+                                update_src,
+                                update_src_bit,
+                                d_cur,
+                                d_cur_id,
+                                d_cur_bit,
+                                &q,
+                                q_id,
+                                &skip,
+                                t,
+                            );
+                            (plan, mark.elapsed())
+                        },
+                        || {
+                            let mark = Instant::now();
+                            let reduction = self.reduce_dot(
+                                d_cur,
+                                d_cur_id,
+                                d_cur_bit,
+                                &q,
+                                q_id,
+                                bits::Q,
+                                &skip,
+                            );
+                            (reduction, mark.elapsed())
+                        },
+                    );
+                    let (plan, plan_dur) = planned;
+                    let ((mut dq, skipped), reduce_dur) = reduced;
+                    pages_recovered += self.apply_fixes(
+                        &plan,
+                        &mut [(d_cur_id, d_cur_bit, &mut *d_cur), (q_id, bits::Q, &mut q)],
+                        &skip,
+                    );
+                    events.extend(plan.events);
+                    // Fix-up: contributions of the pages the reduction
+                    // skipped and the plan recovered.
+                    for p in skipped {
+                        if !self.page_invalid(d_cur_id, d_cur_bit, p, &skip)
+                            && !self.page_invalid(q_id, bits::Q, p, &skip)
+                        {
+                            let range = self.partition.range(p);
+                            dq += vecops::dot(&d_cur[range.clone()], &q[range]);
                         }
+                    }
+                    if asynchronous {
                         // Attribute the overlapped window: compute for the
                         // reduction, recovery for the spare capacity it used.
-                        time.compute += overlap;
-                        time.recovery += overlap;
-                        dq
+                        let window = plan_dur.max(reduce_dur);
+                        time.compute += window;
+                        time.recovery += window;
+                    } else {
+                        time.recovery += plan_dur;
+                        time.idle +=
+                            plan_dur.mul_f64((threads.saturating_sub(1)) as f64 / threads as f64);
+                        time.compute += reduce_dur;
                     }
+                    dq
                 }
                 _ => {
                     // Baselines: blank-accepting policies never skip, so this
@@ -501,50 +483,48 @@ impl<'a> ResilientCg<'a> {
             );
             time.compute += mark.elapsed();
 
-            // r2/r3 recovery + ε reduction.
+            // r2/r3 recovery + ε reduction: the same engine flow as r1.
             let new_eps = match policy {
                 RecoveryPolicy::Feir | RecoveryPolicy::Afeir => {
-                    if policy == RecoveryPolicy::Feir {
-                        let mark = Instant::now();
-                        let plan = self.plan_r2_r3(&x, x_id, &g, g_id, &skip, t);
-                        pages_recovered += self.apply_fixes(
-                            &plan,
-                            &mut [(x_id, bits::X, &mut x), (g_id, bits::G, &mut g)],
-                            &skip,
-                        );
-                        events.extend(plan.events);
-                        let r_dur = mark.elapsed();
-                        time.recovery += r_dur;
-                        time.idle +=
-                            r_dur.mul_f64((threads.saturating_sub(1)) as f64 / threads as f64);
-                        let mark = Instant::now();
-                        let (e, _) = self.reduce_norm_sq(&g, g_id, bits::G, &skip);
-                        time.compute += mark.elapsed();
-                        e
-                    } else {
-                        let mark = Instant::now();
-                        let (reduction, plan) = rayon::join(
-                            || self.reduce_norm_sq(&g, g_id, bits::G, &skip),
-                            || self.plan_r2_r3(&x, x_id, &g, g_id, &skip, t),
-                        );
-                        let overlap = mark.elapsed();
-                        let (mut e, skipped) = reduction;
-                        pages_recovered += self.apply_fixes(
-                            &plan,
-                            &mut [(x_id, bits::X, &mut x), (g_id, bits::G, &mut g)],
-                            &skip,
-                        );
-                        events.extend(plan.events);
-                        for p in skipped {
-                            if !self.page_invalid(g_id, bits::G, p, &skip) {
-                                let range = self.partition.range(p);
-                                e += vecops::norm2_squared(&g[range]);
-                            }
+                    let asynchronous = policy == RecoveryPolicy::Afeir;
+                    let (planned, reduced) = engine::overlap(
+                        asynchronous,
+                        || {
+                            let mark = Instant::now();
+                            let plan = self.plan_r2_r3(&x, x_id, &g, g_id, &skip, t);
+                            (plan, mark.elapsed())
+                        },
+                        || {
+                            let mark = Instant::now();
+                            let reduction = self.reduce_norm_sq(&g, g_id, bits::G, &skip);
+                            (reduction, mark.elapsed())
+                        },
+                    );
+                    let (plan, plan_dur) = planned;
+                    let ((mut e, skipped), reduce_dur) = reduced;
+                    pages_recovered += self.apply_fixes(
+                        &plan,
+                        &mut [(x_id, bits::X, &mut x), (g_id, bits::G, &mut g)],
+                        &skip,
+                    );
+                    events.extend(plan.events);
+                    for p in skipped {
+                        if !self.page_invalid(g_id, bits::G, p, &skip) {
+                            let range = self.partition.range(p);
+                            e += vecops::norm2_squared(&g[range]);
                         }
-                        time.compute += overlap;
-                        time.recovery += overlap;
-                        e
                     }
+                    if asynchronous {
+                        let window = plan_dur.max(reduce_dur);
+                        time.compute += window;
+                        time.recovery += window;
+                    } else {
+                        time.recovery += plan_dur;
+                        time.idle +=
+                            plan_dur.mul_f64((threads.saturating_sub(1)) as f64 / threads as f64);
+                        time.compute += reduce_dur;
+                    }
+                    e
                 }
                 _ => {
                     let mark = Instant::now();
@@ -1004,12 +984,7 @@ impl<'a> ResilientCg<'a> {
             }
         }
 
-        let unrecovered_d: Vec<usize> = plan
-            .abandoned
-            .iter()
-            .filter(|(id, _, _)| *id == d_cur_id)
-            .map(|(_, _, p)| *p)
-            .collect();
+        let unrecovered_d = plan.abandoned_pages(d_cur_id);
         for &p in &q_lost {
             let inputs_ok = self.touched_pages[p]
                 .iter()
@@ -1059,16 +1034,7 @@ impl<'a> ResilientCg<'a> {
         // Recover x first: A_ii x_i = b_i − g_i − Σ_{j≠i} A_ij x_j. Needs g_i
         // and the other x pages; simultaneous loss of x_i and g_i is the
         // "related data" case and is ignored.
-        let conflicting: Vec<usize> = x_pages
-            .iter()
-            .copied()
-            .filter(|p| g_pages.contains(p))
-            .collect();
-        let recoverable: Vec<usize> = x_pages
-            .iter()
-            .copied()
-            .filter(|p| !conflicting.contains(p))
-            .collect();
+        let (recoverable, _, conflicting) = engine::split_related(&x_pages, &g_pages);
         if recoverable.len() > 1 {
             // Combined multi-block solve (Section 2.4, case 1).
             if let Some(values) =
@@ -1109,12 +1075,7 @@ impl<'a> ResilientCg<'a> {
         }
 
         // Then recover g from the repaired iterate: g_i = b_i − Σ_j A_ij x_j.
-        let unrecovered_x: Vec<usize> = plan
-            .abandoned
-            .iter()
-            .filter(|(id, _, _)| *id == x_id)
-            .map(|(_, _, p)| *p)
-            .collect();
+        let unrecovered_x = plan.abandoned_pages(x_id);
         for &p in &g_pages {
             let inputs_ok = self.touched_pages[p]
                 .iter()
@@ -1208,60 +1169,6 @@ impl<'a> ResilientCg<'a> {
             }
         }
     }
-}
-
-/// Planned page reconstructions produced by a recovery task. The plan is
-/// computed from read-only state and applied afterwards so that the AFEIR
-/// overlap never aliases the pages being reduced over.
-#[derive(Debug, Default)]
-struct RecoveryPlan {
-    /// Pages with reconstructed data: `(vector, skip bit, page, values)`.
-    fixes: Vec<(VectorId, u32, usize, Vec<f64>)>,
-    /// Pages that could not be recovered (blank-accepted, "ignored").
-    abandoned: Vec<(VectorId, u32, usize)>,
-    /// Recovery events for the report.
-    events: Vec<RecoveryEvent>,
-}
-
-impl RecoveryPlan {
-    fn fix(&mut self, id: VectorId, bit: u32, page: usize, values: Vec<f64>) {
-        self.fixes.push((id, bit, page, values));
-    }
-
-    fn give_up(&mut self, id: VectorId, bit: u32, page: usize) {
-        self.abandoned.push((id, bit, page));
-    }
-
-    fn push(&mut self, iteration: usize, vector: &str, page: usize, action: RecoveryAction) {
-        self.events.push(RecoveryEvent {
-            iteration,
-            vector: vector.to_string(),
-            page,
-            action,
-        });
-    }
-}
-
-/// For each output page of the row-blocked SpMV, the set of input pages its
-/// rows reference (used to decide whether a q-page can be produced when some
-/// d-pages are lost).
-fn compute_touched_pages(a: &CsrMatrix, partition: BlockPartition) -> Vec<Vec<usize>> {
-    let mut touched = Vec::with_capacity(partition.num_blocks());
-    for (_, range) in partition.iter() {
-        let mut pages: Vec<usize> = Vec::new();
-        for r in range {
-            let (cols, _) = a.row(r);
-            for c in cols {
-                let p = partition.block_of(*c);
-                if !pages.contains(&p) {
-                    pages.push(p);
-                }
-            }
-        }
-        pages.sort_unstable();
-        touched.push(pages);
-    }
-    touched
 }
 
 #[cfg(test)]

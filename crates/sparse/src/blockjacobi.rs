@@ -8,6 +8,35 @@
 use crate::blocking::{BlockFactor, BlockPartition, DiagonalBlocks};
 use crate::{CsrMatrix, SparseError};
 
+/// Solves one diagonal-block system `M_bb z = r` with the pre-computed
+/// factor, falling back to point-Jacobi on `diag[diag_range]` for singular
+/// blocks — the single dispatch shared by the global and rank-local
+/// preconditioners so their solves can never diverge.
+fn solve_factored_block(
+    factor: &BlockFactor,
+    diag: &[f64],
+    diag_range: std::ops::Range<usize>,
+    r: &[f64],
+    z: &mut [f64],
+) {
+    match factor {
+        BlockFactor::Cholesky(c) => {
+            z.copy_from_slice(r);
+            c.solve_in_place(z);
+        }
+        BlockFactor::Lu(lu) => {
+            let solved = lu.solve(r);
+            z.copy_from_slice(&solved);
+        }
+        BlockFactor::Singular => {
+            for ((zi, ri), idx) in z.iter_mut().zip(r).zip(diag_range) {
+                let d = diag[idx];
+                *zi = if d.abs() > f64::EPSILON { ri / d } else { *ri };
+            }
+        }
+    }
+}
+
 /// A block-Jacobi preconditioner `M = blockdiag(A_00, A_11, …)`.
 ///
 /// `apply` solves `M z = r` block by block using the pre-computed Cholesky /
@@ -64,23 +93,123 @@ impl BlockJacobi {
     /// application* the paper relies on to recover preconditioned vectors
     /// cheaply (Section 3.2).
     pub fn apply_block(&self, block: usize, r: &[f64], z: &mut [f64]) {
-        match self.blocks.factor(block) {
-            BlockFactor::Cholesky(c) => {
-                z.copy_from_slice(r);
-                c.solve_in_place(z);
-            }
-            BlockFactor::Lu(lu) => {
-                let solved = lu.solve(r);
-                z.copy_from_slice(&solved);
-            }
-            BlockFactor::Singular => {
-                // Point-Jacobi fallback.
-                let range = self.blocks.partition().range(block);
-                for ((zi, ri), idx) in z.iter_mut().zip(r).zip(range) {
-                    let d = self.diag[idx];
-                    *zi = if d.abs() > f64::EPSILON { ri / d } else { *ri };
-                }
-            }
+        solve_factored_block(
+            self.blocks.factor(block),
+            &self.diag,
+            self.blocks.partition().range(block),
+            r,
+            z,
+        );
+    }
+}
+
+/// Block-Jacobi preconditioner over a *contiguous row range* of a larger
+/// matrix — the rank-local form used by the distributed PCG.
+///
+/// On a block-row distributed machine every rank owns a contiguous slice of
+/// rows and applies the preconditioner only to its own residual block: the
+/// diagonal blocks never cross a rank boundary, so the application needs no
+/// communication. `LocalBlockJacobi` factorizes exactly the diagonal blocks
+/// of one rank's page partition (at global row offset `rows.start`) and
+/// applies them to rank-local slices. This is also the factorization the
+/// engine's exact recovery of preconditioned-residual pages reuses: a lost
+/// `z` page is reconstructed by re-solving `M_pp z_p = g_p` with the same
+/// factor (the paper's Section 3.2 partial application).
+#[derive(Debug, Clone)]
+pub struct LocalBlockJacobi {
+    factors: Vec<BlockFactor>,
+    /// Partition of the *local* index space `0..rows.len()`.
+    partition: BlockPartition,
+    /// Global row offset of local index 0.
+    offset: usize,
+    /// Rank-local diagonal, the point-Jacobi fallback for singular blocks.
+    diag: Vec<f64>,
+}
+
+impl LocalBlockJacobi {
+    /// Factorizes the diagonal blocks of `a` restricted to the contiguous
+    /// global `rows`, partitioned into blocks of at most `block_size` rows.
+    ///
+    /// # Errors
+    /// Returns an error if `a` is not square or `rows` exceeds its dimension.
+    pub fn new(
+        a: &CsrMatrix,
+        rows: std::ops::Range<usize>,
+        block_size: usize,
+        spd: bool,
+    ) -> Result<Self, SparseError> {
+        if a.rows() != a.cols() {
+            return Err(SparseError::NotSquare {
+                rows: a.rows(),
+                cols: a.cols(),
+            });
+        }
+        if rows.end > a.rows() || rows.start > rows.end {
+            return Err(SparseError::DimensionMismatch {
+                expected: (a.rows(), a.rows()),
+                found: (rows.start, rows.end),
+            });
+        }
+        let partition = BlockPartition::new(rows.len(), block_size);
+        let mut factors = Vec::with_capacity(partition.num_blocks());
+        for (_, local) in partition.iter() {
+            let gs = rows.start + local.start;
+            let ge = rows.start + local.end;
+            let block = a.dense_block(gs, ge, gs, ge);
+            factors.push(crate::blocking::DiagonalBlocks::factorize_block(
+                &block, spd,
+            ));
+        }
+        let full_diag = a.diagonal();
+        let diag = full_diag[rows.clone()].to_vec();
+        Ok(Self {
+            factors,
+            partition,
+            offset: rows.start,
+            diag,
+        })
+    }
+
+    /// The partition of the local index space.
+    pub fn partition(&self) -> BlockPartition {
+        self.partition
+    }
+
+    /// Global row offset of local index 0.
+    pub fn offset(&self) -> usize {
+        self.offset
+    }
+
+    /// Number of local blocks.
+    pub fn num_blocks(&self) -> usize {
+        self.factors.len()
+    }
+
+    /// True if local block `b` has a usable direct factorization.
+    pub fn is_solvable(&self, b: usize) -> bool {
+        !matches!(self.factors[b], BlockFactor::Singular)
+    }
+
+    /// Solves `M_bb z = r` for one local block (`r` and `z` are block-sized
+    /// slices). Singular blocks fall back to point-Jacobi on their rows.
+    pub fn apply_block(&self, block: usize, r: &[f64], z: &mut [f64]) {
+        solve_factored_block(
+            &self.factors[block],
+            &self.diag,
+            self.partition.range(block),
+            r,
+            z,
+        );
+    }
+
+    /// Applies the preconditioner to the whole local range, block by block
+    /// in block order (deterministic: the distributed plain and resilient
+    /// PCG paths both call this sequence and stay bitwise-identical).
+    pub fn apply(&self, r: &[f64], z: &mut [f64]) {
+        assert_eq!(r.len(), self.partition.len());
+        assert_eq!(z.len(), self.partition.len());
+        for (b, range) in self.partition.iter() {
+            self.apply_block(b, &r[range.clone()], &mut z[range]);
         }
     }
 }
@@ -164,6 +293,32 @@ mod tests {
         let bj = BlockJacobi::with_page_blocks(&a, true).unwrap();
         assert_eq!(bj.partition().block_size(), crate::PAGE_DOUBLES);
         assert_eq!(bj.partition().num_blocks(), 4);
+    }
+
+    #[test]
+    fn local_block_jacobi_matches_global_on_aligned_ranges() {
+        // Splitting the matrix into two equal rank ranges with the same block
+        // size must reproduce the global block-Jacobi application exactly.
+        let a = poisson_2d(16); // n = 256
+        let n = a.rows();
+        let global = BlockJacobi::new(&a, BlockPartition::new(n, 32), true).unwrap();
+        let r: Vec<f64> = (0..n).map(|i| (i as f64 * 0.21).cos()).collect();
+        let mut z_global = vec![0.0; n];
+        global.apply(&r, &mut z_global);
+        for (start, end) in [(0usize, 128usize), (128, 256)] {
+            let local = LocalBlockJacobi::new(&a, start..end, 32, true).unwrap();
+            assert_eq!(local.offset(), start);
+            assert_eq!(local.num_blocks(), (end - start) / 32);
+            let mut z_local = vec![0.0; end - start];
+            local.apply(&r[start..end], &mut z_local);
+            assert_eq!(&z_global[start..end], z_local.as_slice());
+        }
+    }
+
+    #[test]
+    fn local_block_jacobi_rejects_out_of_range_rows() {
+        let a = poisson_2d(4);
+        assert!(LocalBlockJacobi::new(&a, 0..100, 8, true).is_err());
     }
 
     #[test]

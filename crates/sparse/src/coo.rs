@@ -2,7 +2,7 @@
 //!
 //! The COO format is the natural intermediate when assembling matrices from
 //! stencils or when parsing MatrixMarket files; it is converted to
-//! [`CsrMatrix`](crate::CsrMatrix) before use in solvers.
+//! [`CsrMatrix`] before use in solvers.
 
 use crate::{CsrMatrix, SparseError};
 

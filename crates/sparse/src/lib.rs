@@ -41,7 +41,7 @@ pub mod proxies;
 pub mod vecops;
 
 pub use blocking::{BlockPartition, DiagonalBlocks};
-pub use blockjacobi::BlockJacobi;
+pub use blockjacobi::{BlockJacobi, LocalBlockJacobi};
 pub use coo::CooMatrix;
 pub use csr::CsrMatrix;
 pub use dense::{Cholesky, DenseMatrix, Lu, Qr};

@@ -21,7 +21,7 @@ const MIN_PARALLEL_CHUNK: usize = 1024;
 
 /// Chunk length for element-wise parallel kernels over `n` elements, sized
 /// for the ambient rayon pool (a few chunks per worker so work stealing can
-/// rebalance, but never below [`MIN_PARALLEL_CHUNK`]).
+/// rebalance, but never below `MIN_PARALLEL_CHUNK`).
 pub fn parallel_chunk_len(n: usize) -> usize {
     parallel_chunk_len_with_min(n, MIN_PARALLEL_CHUNK)
 }

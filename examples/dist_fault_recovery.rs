@@ -10,8 +10,9 @@
 use std::time::Duration;
 
 use feir::dist::{
-    distributed_cg, distributed_resilient_cg, DistResilienceConfig, DistResilientCg, FaultCampaign,
-    InjectionDriver, ProtectedVector, ScriptedFault,
+    distributed_cg, distributed_pcg, distributed_resilient_cg, distributed_resilient_pcg,
+    CampaignSolver, DistResilienceConfig, DistResilientCg, FaultCampaign, InjectionDriver,
+    ProtectedVector, ScriptedFault,
 };
 use feir::pagemem::InjectionPlan;
 use feir::recovery::RecoveryPolicy;
@@ -98,6 +99,44 @@ fn main() {
         );
     }
 
+    // ---- 2b. The PCG instantiation of the same engine ---------------------
+    // Block-Jacobi with rank-local page blocks: zero faults is bitwise the
+    // plain distributed PCG, and the same scripted DUEs (plus one on the
+    // preconditioned residual z) recover exactly.
+    let plain_pcg = distributed_pcg(&a, &b, ranks, 32, 1e-9, 20_000);
+    let clean_pcg = distributed_resilient_pcg(&a, &b, ranks, config(RecoveryPolicy::Afeir));
+    let pcg_bitwise = plain_pcg
+        .x
+        .iter()
+        .zip(&clean_pcg.x)
+        .all(|(u, v)| u.to_bits() == v.to_bits());
+    let mut pcg_faults = faults.clone();
+    pcg_faults.push(ScriptedFault {
+        iteration: 5,
+        rank: 1,
+        vector: ProtectedVector::Z,
+        page: 1,
+    });
+    let pcg_report = distributed_resilient_pcg(
+        &a,
+        &b,
+        ranks,
+        config(RecoveryPolicy::Afeir).with_scripted_faults(pcg_faults),
+    );
+    println!(
+        "\ndistributed PCG: zero-fault bitwise identical to plain: {pcg_bitwise}; \
+         under 4 DUEs: converged={}, {} iterations ({} vs plain), {} pages recovered",
+        pcg_report.converged,
+        pcg_report.iterations,
+        plain_pcg.iterations,
+        pcg_report.pages_recovered
+    );
+    assert!(pcg_bitwise, "zero-fault PCG diverged from distributed_pcg");
+    assert!(
+        pcg_report.converged,
+        "resilient PCG must converge under DUEs"
+    );
+
     // ---- 3. Live per-rank injector streams --------------------------------
     let solver = DistResilientCg::new(&a, &b, ranks, config(RecoveryPolicy::Afeir));
     let driver = InjectionDriver::start_uniform(
@@ -122,8 +161,9 @@ fn main() {
     }
     assert!(report.converged, "AFEIR must converge under live injection");
 
-    // ---- 4. A small fault campaign ----------------------------------------
+    // ---- 4. A small fault campaign over both solver variants --------------
     let campaign = FaultCampaign {
+        solvers: vec![CampaignSolver::Cg, CampaignSolver::Pcg],
         policies: vec![
             RecoveryPolicy::Afeir,
             RecoveryPolicy::Feir,
@@ -136,6 +176,6 @@ fn main() {
         max_iterations: 50_000,
         seed: 0xFE1A,
     };
-    println!("\nfault campaign (policy x ranks x frequency):");
+    println!("\nfault campaign (solver x policy x ranks x frequency):");
     print!("{}", campaign.run(&a, &b).table());
 }

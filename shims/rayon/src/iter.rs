@@ -103,7 +103,7 @@ where
 }
 
 /// Chunk length for splittable (non-reduction) work over `len` items with a
-/// per-item minimum worthwhile chunk: aim for [`CHUNKS_PER_WORKER`] chunks
+/// per-item minimum worthwhile chunk: aim for `CHUNKS_PER_WORKER` chunks
 /// per worker of the ambient pool, never below `min_chunk`, and one single
 /// chunk on a single-worker pool (where splitting is pure overhead).
 ///

@@ -1,6 +1,7 @@
-//! Reproducible benchmark snapshot: times the solver kernels (serial and
-//! parallel), the `rayon::join` overlap primitive and a CG solve, then emits
-//! one JSON object on stdout. The committed `BENCH_PR2.json` embeds a run of
+//! Reproducible benchmark snapshot: times the solver kernels (serial,
+//! parallel and fused), the `rayon::join` overlap primitive, the classic and
+//! merged-reduction solves and the allreduce batching, then emits one JSON
+//! object on stdout. The committed `BENCH_PR<N>.json` files embed runs of
 //! this tool; regenerate with
 //!
 //! ```text
@@ -9,18 +10,27 @@
 //!
 //! Pass `--smoke` for a seconds-scale run on tiny sizes (used by CI to keep
 //! the tool from bit-rotting). `FEIR_NUM_THREADS` sizes the pool as usual.
+//!
+//! `--compare <baseline.json>` additionally diffs the fresh run against a
+//! committed snapshot: every scenario present in both runs gets a delta
+//! line, and the process exits non-zero if any shared scenario regressed by
+//! more than the threshold (default 25%, override with `--threshold <pct>`
+//! — CI's smoke leg uses a loose threshold because microsecond-scale
+//! timings on shared runners are noisy).
 
 use std::hint::black_box;
+use std::process::ExitCode;
 use std::time::{Duration, Instant};
 
 use feir_dist::{
-    distributed_resilient_cg, distributed_resilient_pcg, DistResilienceConfig, HaloPlan,
-    ProtectedVector, RankComm, ScriptedFault,
+    distributed_resilient_cg, distributed_resilient_cg_merged, distributed_resilient_pcg,
+    distributed_resilient_pcg_merged, DistResilienceConfig, HaloPlan, ProtectedVector, RankComm,
+    ScriptedFault,
 };
 use feir_recovery::RecoveryPolicy;
-use feir_solvers::{cg, SolveOptions};
+use feir_solvers::{cg, cg_merged, SolveOptions};
 use feir_sparse::generators::{manufactured_rhs, poisson_2d};
-use feir_sparse::vecops;
+use feir_sparse::{fused, vecops};
 
 /// Target measurement time per benchmark.
 const TARGET_MEASURE: Duration = Duration::from_millis(250);
@@ -49,8 +59,92 @@ impl Harness {
     }
 }
 
-fn main() {
-    let smoke = std::env::args().any(|a| a == "--smoke");
+/// Extracts `(name, mean_ns)` pairs from a snapshot emitted by this tool.
+/// Hand-rolled (this environment vendors no JSON crate): one bench row per
+/// line, `"name": "…"` and `"mean_ns": …` fields in order.
+fn parse_snapshot(text: &str) -> Vec<(String, f64)> {
+    let mut rows = Vec::new();
+    for line in text.lines() {
+        let Some(name_at) = line.find("\"name\":") else {
+            continue;
+        };
+        let rest = &line[name_at + 7..];
+        let Some(open) = rest.find('"') else { continue };
+        let Some(close) = rest[open + 1..].find('"') else {
+            continue;
+        };
+        let name = &rest[open + 1..open + 1 + close];
+        let Some(mean_at) = line.find("\"mean_ns\":") else {
+            continue;
+        };
+        let tail = &line[mean_at + 10..];
+        let digits: String = tail
+            .chars()
+            .skip_while(|c| c.is_whitespace())
+            .take_while(|c| c.is_ascii_digit() || *c == '.' || *c == '-' || *c == 'e')
+            .collect();
+        if let Ok(mean_ns) = digits.parse::<f64>() {
+            rows.push((name.to_string(), mean_ns));
+        }
+    }
+    rows
+}
+
+/// Prints per-scenario deltas against `baseline` and returns
+/// `Err(shared_count)` when nothing could be compared — a gate that finds
+/// zero shared scenarios must fail loudly, not pass vacuously (a renamed
+/// scenario set, a non-snapshot file or a drifted emitter format would
+/// otherwise silently disable the regression check). On success returns the
+/// names of shared scenarios that regressed by more than `threshold_pct`.
+fn compare_against(
+    results: &[(String, f64, u64)],
+    baseline: &[(String, f64)],
+    threshold_pct: f64,
+) -> Result<Vec<String>, usize> {
+    let mut regressions = Vec::new();
+    let mut shared = 0;
+    eprintln!(
+        "\n{:<44} {:>12} {:>12} {:>8}",
+        "scenario", "base ns", "now ns", "delta"
+    );
+    for (name, mean_ns, _) in results {
+        let Some((_, base_ns)) = baseline.iter().find(|(b, _)| b == name) else {
+            continue;
+        };
+        shared += 1;
+        let delta_pct = (mean_ns / base_ns - 1.0) * 100.0;
+        let flag = if delta_pct > threshold_pct {
+            "  << REGRESSION"
+        } else {
+            ""
+        };
+        eprintln!("{name:<44} {base_ns:>12.0} {mean_ns:>12.0} {delta_pct:>+7.1}%{flag}");
+        if delta_pct > threshold_pct {
+            regressions.push(name.clone());
+        }
+    }
+    eprintln!(
+        "compared {shared} shared scenarios, threshold {threshold_pct}%: {} regression(s)",
+        regressions.len()
+    );
+    if shared == 0 {
+        return Err(shared);
+    }
+    Ok(regressions)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let flag_value = |flag: &str| {
+        args.iter()
+            .position(|a| a == flag)
+            .and_then(|i| args.get(i + 1).cloned())
+    };
+    let compare_path = flag_value("--compare");
+    let threshold_pct: f64 = flag_value("--threshold")
+        .map(|v| v.parse().expect("--threshold takes a percentage"))
+        .unwrap_or(25.0);
     let mut h = Harness {
         budget: if smoke { SMOKE_MEASURE } else { TARGET_MEASURE },
         results: Vec::new(),
@@ -91,6 +185,47 @@ fn main() {
         vecops::axpy_parallel(black_box(1.0001), black_box(&x), black_box(&mut y))
     });
 
+    // PR 5: the fused hot-path kernels against the unfused compositions
+    // they replace (bitwise-identical results, one memory sweep instead of
+    // two). The deltas here are the per-iteration traffic the fused CG/PCG
+    // paths save.
+    h.bench(&format!("axpy_norm2/unfused/{n}"), || {
+        vecops::axpy(black_box(1.0001), black_box(&x), black_box(&mut y));
+        black_box(vecops::norm2_squared(black_box(&y)))
+    });
+    h.bench(&format!("axpy_norm2/fused/{n}"), || {
+        black_box(fused::axpy_norm2(
+            black_box(1.0001),
+            black_box(&x),
+            black_box(&mut y),
+        ))
+    });
+    h.bench(&format!("dotn/separate/3x{n}"), || {
+        let a = vecops::dot(black_box(&x), black_box(&z));
+        let b = vecops::dot(black_box(&x), black_box(&x));
+        let c = vecops::dot(black_box(&z), black_box(&y));
+        black_box([a, b, c])
+    });
+    h.bench(&format!("dotn/fused/3x{n}"), || {
+        black_box(fused::dotn(&[
+            (black_box(&x), black_box(&z)),
+            (black_box(&x), black_box(&x)),
+            (black_box(&z), black_box(&y)),
+        ]))
+    });
+    {
+        let a = poisson_2d(if smoke { 16 } else { 48 });
+        let xs: Vec<f64> = (0..a.cols()).map(|i| (i as f64).sin()).collect();
+        let mut ys = vec![0.0; a.rows()];
+        h.bench(&format!("spmv_dot/unfused/{}", a.rows()), || {
+            a.spmv(black_box(&xs), black_box(&mut ys));
+            black_box(vecops::dot(black_box(&xs), black_box(&ys)))
+        });
+        h.bench(&format!("spmv_dot/fused/{}", a.rows()), || {
+            black_box(fused::spmv_dot(&a, black_box(&xs), black_box(&mut ys)))
+        });
+    }
+
     // The AFEIR overlap primitive: a join of two tiny closures measures the
     // fork/sync overhead that used to be a full OS-thread spawn per call.
     h.bench("join/overhead", || {
@@ -116,6 +251,17 @@ fn main() {
             black_box(&b),
             None,
             black_box(&options_par),
+        ))
+    });
+    // PR 5: the merged-reduction (Chronopoulos–Gear) CG — one fused
+    // spmv_dot, one fused update sweep, both scalars from a single
+    // reduction pass.
+    h.bench(&format!("cg_merged/serial/poisson_{side}x{side}"), || {
+        black_box(cg_merged(
+            black_box(&a),
+            black_box(&b),
+            None,
+            black_box(&options),
         ))
     });
 
@@ -210,6 +356,51 @@ fn main() {
                 black_box(report)
             });
         }
+        // PR 5: the merged-reduction hot path — one batched allreduce per
+        // iteration (asserted), started split-phase and overlapped with the
+        // halo exchange + matvec. Compare against dist_cg/ideal and
+        // dist_pcg/ideal above: same engine scaffolding, collapsed
+        // collectives.
+        h.bench(&format!("dist_cg_merged/ideal/ranks{ranks}"), || {
+            let report = distributed_resilient_cg_merged(
+                black_box(&a),
+                black_box(&b),
+                ranks,
+                dist_config(RecoveryPolicy::Ideal, false),
+            );
+            assert!(report.converged);
+            assert_eq!(report.allreduces, report.residual_history.len() as u64 + 1);
+            black_box(report)
+        });
+        h.bench(&format!("dist_pcg_merged/ideal/ranks{ranks}"), || {
+            let report = distributed_resilient_pcg_merged(
+                black_box(&a),
+                black_box(&b),
+                ranks,
+                dist_config(RecoveryPolicy::Ideal, false),
+            );
+            assert!(report.converged);
+            assert_eq!(report.allreduces, report.residual_history.len() as u64 + 1);
+            black_box(report)
+        });
+        for (label, policy) in [
+            ("feir", RecoveryPolicy::Feir),
+            ("afeir", RecoveryPolicy::Afeir),
+        ] {
+            h.bench(
+                &format!("dist_recovery_merged/{label}/ranks{ranks}"),
+                || {
+                    let report = distributed_resilient_cg_merged(
+                        black_box(&a),
+                        black_box(&b),
+                        ranks,
+                        dist_config(policy, true),
+                    );
+                    assert!(report.converged && report.pages_recovered + report.pages_ignored >= 3);
+                    black_box(report)
+                },
+            );
+        }
     }
 
     // PR 4: the split-phase allreduce in isolation. Every rank performs the
@@ -262,6 +453,47 @@ fn main() {
         }
     }
 
+    // PR 5: the collective schedule itself — a classic CG iteration's two
+    // scalar allreduces versus the merged iteration's single two-component
+    // vector allreduce. The gap is pure synchronization cost: same partials,
+    // same rank-ordered arithmetic, half the gather/broadcast round trips.
+    {
+        let ranks = 4;
+        let rounds = if smoke { 8 } else { 64 };
+        for (label, merged) in [("classic_2_scalar", false), ("merged_1_vec2", true)] {
+            h.bench(
+                &format!("allreduce_per_iteration/{label}/ranks{ranks}"),
+                || {
+                    let comms = RankComm::for_ranks(&HaloPlan::empty(ranks), ranks);
+                    let totals: Vec<f64> = std::thread::scope(|scope| {
+                        let handles: Vec<_> = comms
+                            .into_iter()
+                            .map(|comm| {
+                                scope.spawn(move || {
+                                    let rank = comm.rank();
+                                    let mut total = 0.0;
+                                    for round in 0..rounds {
+                                        let u = rank as f64 + round as f64 * 0.01;
+                                        let v = rank as f64 * 0.5 - round as f64 * 0.02;
+                                        total += if merged {
+                                            let sums = comm.allreduce_vec(vec![u, v]);
+                                            sums[0] + sums[1]
+                                        } else {
+                                            comm.allreduce_sum(u) + comm.allreduce_sum(v)
+                                        };
+                                    }
+                                    total
+                                })
+                            })
+                            .collect();
+                        handles.into_iter().map(|h| h.join().unwrap()).collect()
+                    });
+                    black_box(totals)
+                },
+            );
+        }
+    }
+
     // Emit the snapshot JSON (no external JSON crate in this environment).
     let mut out = String::new();
     out.push_str("{\n");
@@ -295,4 +527,27 @@ fn main() {
     out.push_str(&rows.join(",\n"));
     out.push_str("\n  ]\n}\n");
     print!("{out}");
+
+    // Regression gate: diff against a committed baseline snapshot.
+    if let Some(path) = compare_path {
+        let text =
+            std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("--compare {path}: {e}"));
+        let baseline = parse_snapshot(&text);
+        match compare_against(&h.results, &baseline, threshold_pct) {
+            Err(_) => {
+                eprintln!(
+                    "FAIL: no shared scenarios between this run and {path} — wrong \
+                     baseline file, renamed scenarios, or a drifted snapshot format \
+                     (the gate refuses to pass vacuously)"
+                );
+                return ExitCode::FAILURE;
+            }
+            Ok(regressions) if !regressions.is_empty() => {
+                eprintln!("FAIL: scenarios regressed over {threshold_pct}%: {regressions:?}");
+                return ExitCode::FAILURE;
+            }
+            Ok(_) => {}
+        }
+    }
+    ExitCode::SUCCESS
 }

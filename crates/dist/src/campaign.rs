@@ -24,15 +24,23 @@ use feir_sparse::CsrMatrix;
 use crate::resilient::{DistResilienceConfig, DistResilientSolver, InjectionDriver};
 
 /// The solver axis of a campaign: which engine instantiation runs the
-/// sweep's cells. The PCG variant measures its overhead against the ideal
-/// distributed *PCG* baseline, so the two solvers' overhead tables are
-/// directly comparable without a second sweep driver.
+/// sweep's cells. Every variant measures its overhead against its *own*
+/// ideal distributed baseline, so the overhead tables are directly
+/// comparable across solvers without a second sweep driver. The merged
+/// variants are the single-reduction (pipelined Chronopoulos–Gear) hot
+/// path; sweeping them against the classic loops shows what the collapsed
+/// collective costs — or saves — under each recovery policy.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum CampaignSolver {
     /// Plain distributed CG.
     Cg,
     /// Block-Jacobi preconditioned distributed CG (rank-local page blocks).
     Pcg,
+    /// Merged-reduction CG: one vector allreduce per iteration.
+    CgMerged,
+    /// Merged-reduction block-Jacobi PCG: one vector allreduce per
+    /// iteration (versus classic PCG's three).
+    PcgMerged,
 }
 
 impl CampaignSolver {
@@ -41,6 +49,8 @@ impl CampaignSolver {
         match self {
             CampaignSolver::Cg => "cg",
             CampaignSolver::Pcg => "pcg",
+            CampaignSolver::CgMerged => "cg_m",
+            CampaignSolver::PcgMerged => "pcg_m",
         }
     }
 
@@ -54,6 +64,8 @@ impl CampaignSolver {
         match self {
             CampaignSolver::Cg => DistResilientSolver::cg(a, b, ranks, config),
             CampaignSolver::Pcg => DistResilientSolver::pcg(a, b, ranks, config),
+            CampaignSolver::CgMerged => DistResilientSolver::cg_merged(a, b, ranks, config),
+            CampaignSolver::PcgMerged => DistResilientSolver::pcg_merged(a, b, ranks, config),
         }
     }
 }
@@ -334,6 +346,43 @@ mod tests {
         let table = campaign.run(&a, &b).table();
         assert!(table.contains("AFEIR") && table.contains("FEIR"));
         assert!(table.lines().count() >= 9);
+    }
+
+    #[test]
+    fn solver_axis_covers_the_merged_variants() {
+        let a = poisson_2d(10);
+        let (_, b) = manufactured_rhs(&a, 5);
+        let campaign = FaultCampaign {
+            solvers: vec![
+                CampaignSolver::Cg,
+                CampaignSolver::CgMerged,
+                CampaignSolver::PcgMerged,
+            ],
+            policies: vec![RecoveryPolicy::Afeir, RecoveryPolicy::Feir],
+            rank_counts: vec![2],
+            error_frequencies: vec![0.0, 1.5],
+            page_doubles: 10,
+            tolerance: 1e-8,
+            max_iterations: 20_000,
+            seed: 11,
+        };
+        let report = campaign.run(&a, &b);
+        assert_eq!(report.baselines.len(), 3);
+        assert_eq!(report.cells.len(), 3 * 2 * 2);
+        let classic = report.baseline(CampaignSolver::Cg, 2).unwrap();
+        let merged = report.baseline(CampaignSolver::CgMerged, 2).unwrap();
+        // Same Krylov space: the merged baseline's iteration count stays
+        // within ±10% of classic CG's.
+        let allowed = (classic.iterations as f64 * 0.10).ceil() as i64 + 1;
+        assert!((merged.iterations as i64 - classic.iterations as i64).abs() <= allowed);
+        for cell in &report.cells {
+            assert!(cell.converged, "{:?} {:?}", cell.solver, cell.policy);
+            if cell.frequency == 0.0 {
+                assert_eq!(cell.iteration_overhead_percent, 0.0);
+            }
+        }
+        let table = report.table();
+        assert!(table.contains("cg_m") && table.contains("pcg_m"));
     }
 
     #[test]

@@ -32,6 +32,11 @@ pub struct DistSolveResult {
     /// the deterministic rank-ordered allreduce). The resilient solver's
     /// zero-fault history is bitwise-identical to this one.
     pub residual_history: Vec<f64>,
+    /// Collectives rank 0 entered during the solve (scalar and vector
+    /// allreduces; halo exchanges are point-to-point and excluded). Classic
+    /// CG pays two per iteration and PCG three; the merged-reduction
+    /// variants pay exactly one.
+    pub allreduces: u64,
 }
 
 impl DistSolveResult {
@@ -61,35 +66,63 @@ pub fn distributed_cg(
 ) -> DistSolveResult {
     assert_eq!(a.rows(), a.cols(), "distributed CG needs a square matrix");
     assert_eq!(a.rows(), b.len(), "rhs length mismatch");
+    let domains = RankDomains::new(effective_ranks(a.rows(), ranks));
+    // One memory page per owned vector per rank is the coarsest useful fault
+    // granularity here; finer page splits are a RankDomains parameter.
+    for rank in 0..domains.num_ranks() {
+        domains.register_rank_vectors(rank, &["x", "g", "d", "q"], 1);
+    }
+    run_ranks(a, b, ranks, tolerance, move |ctx| {
+        rank_cg(a, b, ctx.comm, &ctx.partition, tolerance, max_iterations)
+    })
+}
+
+/// Per-rank context handed to the rank closures of [`run_ranks`].
+pub(crate) struct RankLaunch {
+    pub(crate) comm: RankComm,
+    pub(crate) partition: RankPartition,
+}
+
+/// Shared fork/join scaffolding of every *plain* distributed solver (CG,
+/// PCG and their merged variants): one thread per rank, assembly of the
+/// owned blocks, rank-0 history/collective collection and the
+/// explicit-residual report. Pure orchestration — no kernel runs here, so
+/// routing a solver through it cannot affect any numeric result.
+pub(crate) fn run_ranks<F>(
+    a: &CsrMatrix,
+    b: &[f64],
+    ranks: usize,
+    tolerance: f64,
+    body: F,
+) -> DistSolveResult
+where
+    F: Fn(RankLaunch) -> (usize, Vec<f64>, usize, Vec<f64>, u64) + Sync,
+{
     let n = a.rows();
     let ranks = effective_ranks(n, ranks);
     let partition = RankPartition::new(n, ranks);
     let plan = HaloPlan::build(a, &partition);
     let comms = RankComm::for_ranks(&plan, ranks);
-    let domains = RankDomains::new(ranks);
-    // One memory page per owned vector per rank is the coarsest useful fault
-    // granularity here; finer page splits are a RankDomains parameter.
-    for rank in 0..ranks {
-        domains.register_rank_vectors(rank, &["x", "g", "d", "q"], 1);
-    }
 
     let mut x = vec![0.0; n];
     let mut iterations = 0;
     let mut residual_history = Vec::new();
+    let mut allreduces = 0;
     std::thread::scope(|scope| {
         let mut handles = Vec::with_capacity(ranks);
         for comm in comms {
             let partition = partition.clone();
-            let handle =
-                scope.spawn(move || rank_cg(a, b, comm, &partition, tolerance, max_iterations));
-            handles.push(handle);
+            let body = &body;
+            handles.push(scope.spawn(move || body(RankLaunch { comm, partition })));
         }
         for handle in handles {
-            let (rank, local_x, iters, history) = handle.join().expect("rank thread panicked");
+            let (rank, local_x, iters, history, collectives) =
+                handle.join().expect("rank thread panicked");
             x[partition.range(rank)].copy_from_slice(&local_x);
             iterations = iters;
             if rank == 0 {
                 residual_history = history;
+                allreduces = collectives;
             }
         }
     });
@@ -103,11 +136,12 @@ pub fn distributed_cg(
         ranks,
         converged: relative_residual <= tolerance,
         residual_history,
+        allreduces,
     }
 }
 
 /// The per-rank CG loop. Returns `(rank, owned x block, iterations, residual
-/// history)`.
+/// history, collectives entered)`.
 fn rank_cg(
     a: &CsrMatrix,
     b: &[f64],
@@ -115,7 +149,7 @@ fn rank_cg(
     partition: &RankPartition,
     tolerance: f64,
     max_iterations: usize,
-) -> (usize, Vec<f64>, usize, Vec<f64>) {
+) -> (usize, Vec<f64>, usize, Vec<f64>, u64) {
     let rank = comm.rank();
     let own = partition.range(rank);
     let local_n = own.len();
@@ -147,20 +181,21 @@ fn rank_cg(
         d_full[own.clone()].copy_from_slice(&d);
         comm.exchange_halo(&mut d_full);
 
-        // q ⇐ A·d over the owned rows.
-        a.spmv_rows(own.start, own.end, &d_full, &mut q);
-        let dq = comm.allreduce_sum(kernels::dot(&d, &q));
+        // q ⇐ A·d over the owned rows, fused with the local ⟨d, q⟩ partial
+        // (one sweep; bitwise-identical to the unfused pair).
+        let dq_local = kernels::spmv_rows_dot(a, own.start, own.end, &d_full, &mut q);
+        let dq = comm.allreduce_sum(dq_local);
         if kernels::is_breakdown(dq) {
             break;
         }
         let alpha = eps / dq;
         kernels::axpy(alpha, &d, &mut x);
-        kernels::axpy(-alpha, &q, &mut g);
-
+        // g ⇐ g − α·q fused with the local ‖g‖² partial of the next ε.
         eps_old = eps;
-        eps = comm.allreduce_sum(kernels::norm2_squared(&g));
+        eps = comm.allreduce_sum(kernels::axpy_norm2(-alpha, &q, &mut g));
     }
-    (rank, x, iterations, history)
+    let collectives = comm.collectives();
+    (rank, x, iterations, history, collectives)
 }
 
 #[cfg(test)]

@@ -120,23 +120,38 @@ pub enum RecoveryMsg {
 /// order** (so the result is bitwise deterministic run-to-run) and broadcasts
 /// the sum back. This is the reduction under every `⟨d,q⟩` and `‖g‖²` of the
 /// distributed CG.
+///
+/// Scalars and short vectors travel on separate channel pairs: the vector
+/// form ([`Reducer::allreduce_vec`]) batches all of an iteration's scalars
+/// into **one** collective — the merged-reduction solvers' single
+/// synchronization point — and reduces each component in rank order, so
+/// component `j` of the result is bitwise-identical to a scalar allreduce of
+/// the same partials.
 #[derive(Debug)]
 pub enum Reducer {
     /// Rank 0: gathers from every peer and broadcasts the total.
     Root {
-        /// Receiving side of the gather channel.
+        /// Receiving side of the scalar gather channel.
         gather: Receiver<(usize, f64)>,
-        /// Broadcast sender per peer rank (index 0 unused).
+        /// Scalar broadcast sender per peer rank (index 0 unused).
         broadcast: Vec<Sender<f64>>,
+        /// Receiving side of the vector gather channel.
+        gather_vec: Receiver<(usize, Vec<f64>)>,
+        /// Vector broadcast sender per peer rank (index 0 unused).
+        broadcast_vec: Vec<Sender<Vec<f64>>>,
     },
     /// Ranks 1..: send their partial and await the total.
     Leaf {
         /// This rank's id.
         rank: usize,
-        /// Sending side of the gather channel.
+        /// Sending side of the scalar gather channel.
         gather: Sender<(usize, f64)>,
-        /// Receiving side of the broadcast channel.
+        /// Receiving side of the scalar broadcast channel.
         broadcast: Receiver<f64>,
+        /// Sending side of the vector gather channel.
+        gather_vec: Sender<(usize, Vec<f64>)>,
+        /// Receiving side of the vector broadcast channel.
+        broadcast_vec: Receiver<Vec<f64>>,
     },
 }
 
@@ -145,23 +160,38 @@ impl Reducer {
     pub fn for_ranks(ranks: usize) -> Vec<Reducer> {
         assert!(ranks > 0, "need at least one rank");
         let (gather_tx, gather_rx) = channel();
+        let (gather_vec_tx, gather_vec_rx) = channel();
         let mut broadcast_txs = Vec::with_capacity(ranks);
         let mut broadcast_rxs = Vec::with_capacity(ranks);
+        let mut broadcast_vec_txs = Vec::with_capacity(ranks);
+        let mut broadcast_vec_rxs = Vec::with_capacity(ranks);
         for _ in 0..ranks {
             let (tx, rx) = channel();
             broadcast_txs.push(tx);
             broadcast_rxs.push(rx);
+            let (tx, rx) = channel();
+            broadcast_vec_txs.push(tx);
+            broadcast_vec_rxs.push(rx);
         }
         let mut reducers = Vec::with_capacity(ranks);
         reducers.push(Reducer::Root {
             gather: gather_rx,
             broadcast: broadcast_txs,
+            gather_vec: gather_vec_rx,
+            broadcast_vec: broadcast_vec_txs,
         });
-        for (rank, rx) in broadcast_rxs.into_iter().enumerate().skip(1) {
+        for (rank, (rx, rx_vec)) in broadcast_rxs
+            .into_iter()
+            .zip(broadcast_vec_rxs)
+            .enumerate()
+            .skip(1)
+        {
             reducers.push(Reducer::Leaf {
                 rank,
                 gather: gather_tx.clone(),
                 broadcast: rx,
+                gather_vec: gather_vec_tx.clone(),
+                broadcast_vec: rx_vec,
             });
         }
         reducers
@@ -200,6 +230,45 @@ impl Reducer {
             local,
         }
     }
+
+    /// Contributes one *vector* of partials and returns the component-wise
+    /// global sums; every rank must pass the same number of components. This
+    /// is the single collective of the merged-reduction solvers: all of an
+    /// iteration's scalars (`γ`, `δ`, the fault flag, …) ride in one
+    /// message, one gather and one broadcast.
+    ///
+    /// Component `j` of the result is bitwise-identical to
+    /// [`Reducer::allreduce_sum`] over the same per-rank partials — the root
+    /// folds each component in rank order, exactly like the scalar path.
+    pub fn allreduce_vec(&self, local: Vec<f64>) -> Vec<f64> {
+        self.start_allreduce_vec(local).finish()
+    }
+
+    /// Split-phase form of [`Reducer::allreduce_vec`]: the partial vector is
+    /// posted immediately, the blocking wait is deferred to
+    /// [`PendingVecAllreduce::finish`]. The merged-reduction solvers start
+    /// the collective, run the halo exchange and the next matvec while it is
+    /// in flight, and only then collect the sums — the reduction latency
+    /// hides behind the matvec instead of serializing with it. The same
+    /// single-flight / same-order contract as [`Reducer::start_allreduce`]
+    /// applies.
+    pub fn start_allreduce_vec(&self, local: Vec<f64>) -> PendingVecAllreduce<'_> {
+        let local = match self {
+            Reducer::Leaf {
+                rank, gather_vec, ..
+            } => {
+                gather_vec
+                    .send((*rank, local))
+                    .expect("root rank disconnected");
+                Vec::new()
+            }
+            Reducer::Root { .. } => local,
+        };
+        PendingVecAllreduce {
+            reducer: self,
+            local,
+        }
+    }
 }
 
 /// An in-flight split-phase allreduce (see [`Reducer::start_allreduce`]).
@@ -220,7 +289,9 @@ impl PendingAllreduce<'_> {
     /// the broadcast of the total.
     pub fn finish(self) -> f64 {
         match self.reducer {
-            Reducer::Root { gather, broadcast } => {
+            Reducer::Root {
+                gather, broadcast, ..
+            } => {
                 let peers = broadcast.len() - 1;
                 let mut partials = vec![0.0; peers + 1];
                 partials[0] = self.local;
@@ -235,6 +306,61 @@ impl PendingAllreduce<'_> {
                 total
             }
             Reducer::Leaf { broadcast, .. } => broadcast.recv().expect("root rank disconnected"),
+        }
+    }
+}
+
+/// An in-flight split-phase *vector* allreduce (see
+/// [`Reducer::start_allreduce_vec`]).
+#[must_use = "finish() completes the collective; dropping the handle deadlocks the peers"]
+#[derive(Debug)]
+pub struct PendingVecAllreduce<'a> {
+    reducer: &'a Reducer,
+    /// The root's own partial (leaves posted theirs at start).
+    local: Vec<f64>,
+}
+
+impl PendingVecAllreduce<'_> {
+    /// Completes the collective and returns the component-wise global sums.
+    /// On the root this performs the rank-ordered gather + broadcast; on a
+    /// leaf it blocks on the broadcast of the totals.
+    pub fn finish(self) -> Vec<f64> {
+        match self.reducer {
+            Reducer::Root {
+                gather_vec,
+                broadcast_vec,
+                ..
+            } => {
+                let peers = broadcast_vec.len() - 1;
+                let mut partials: Vec<Vec<f64>> = vec![Vec::new(); peers + 1];
+                partials[0] = self.local;
+                for _ in 0..peers {
+                    let (rank, values) = gather_vec.recv().expect("peer rank disconnected");
+                    partials[rank] = values;
+                }
+                let components = partials[0].len();
+                // Component-wise rank-ordered fold: each component's sum is
+                // exactly what the scalar allreduce of the same partials
+                // would produce.
+                let mut totals = vec![0.0; components];
+                for partial in &partials {
+                    assert_eq!(
+                        partial.len(),
+                        components,
+                        "vector allreduce: ranks disagree on component count"
+                    );
+                    for (t, v) in totals.iter_mut().zip(partial) {
+                        *t += v;
+                    }
+                }
+                for tx in broadcast_vec.iter().skip(1) {
+                    tx.send(totals.clone()).expect("peer rank disconnected");
+                }
+                totals
+            }
+            Reducer::Leaf { broadcast_vec, .. } => {
+                broadcast_vec.recv().expect("root rank disconnected")
+            }
         }
     }
 }
@@ -255,6 +381,10 @@ pub struct RankComm {
     /// peer rank: `(peer, sender to peer, receiver from peer)`.
     recovery: Vec<(usize, Sender<RecoveryMsg>, Receiver<RecoveryMsg>)>,
     reducer: Reducer,
+    /// Collectives entered through this endpoint (scalar and vector alike,
+    /// blocking or split-phase). The merged-reduction solver tests assert
+    /// "exactly one allreduce per iteration" against this counter.
+    collectives: std::cell::Cell<u64>,
 }
 
 impl RankComm {
@@ -269,6 +399,7 @@ impl RankComm {
                 halo_in: Vec::new(),
                 recovery: Vec::new(),
                 reducer,
+                collectives: std::cell::Cell::new(0),
             })
             .collect();
         // One channel per (sender, receiver) pair with a non-empty halo.
@@ -347,6 +478,7 @@ impl RankComm {
 
     /// Global sum of `local` over all ranks (see [`Reducer::allreduce_sum`]).
     pub fn allreduce_sum(&self, local: f64) -> f64 {
+        self.collectives.set(self.collectives.get() + 1);
         self.reducer.allreduce_sum(local)
     }
 
@@ -355,7 +487,30 @@ impl RankComm {
     /// work with the reduction, collect the sum with
     /// [`PendingAllreduce::finish`].
     pub fn start_allreduce(&self, local: f64) -> PendingAllreduce<'_> {
+        self.collectives.set(self.collectives.get() + 1);
         self.reducer.start_allreduce(local)
+    }
+
+    /// Blocking vector allreduce (see [`Reducer::allreduce_vec`]): all of an
+    /// iteration's scalars in one collective.
+    pub fn allreduce_vec(&self, local: Vec<f64>) -> Vec<f64> {
+        self.collectives.set(self.collectives.get() + 1);
+        self.reducer.allreduce_vec(local)
+    }
+
+    /// Starts a split-phase vector allreduce (see
+    /// [`Reducer::start_allreduce_vec`]); the merged-reduction solvers keep
+    /// it in flight across the halo exchange and the matvec.
+    pub fn start_allreduce_vec(&self, local: Vec<f64>) -> PendingVecAllreduce<'_> {
+        self.collectives.set(self.collectives.get() + 1);
+        self.reducer.start_allreduce_vec(local)
+    }
+
+    /// Number of collectives this endpoint has entered (scalar and vector,
+    /// blocking and split-phase, including [`RankComm::fault_flag`]). Halo
+    /// and recovery exchanges are point-to-point and do not count.
+    pub fn collectives(&self) -> u64 {
+        self.collectives.get()
     }
 
     /// Global "did anyone fault?" indicator, built on the deterministic sum
@@ -364,7 +519,7 @@ impl RankComm {
     /// true, so the fault-free path pays one scalar reduction and no data
     /// movement.
     pub fn fault_flag(&self, local_faults: usize) -> bool {
-        self.reducer.allreduce_sum(local_faults as f64) > 0.0
+        self.allreduce_sum(local_faults as f64) > 0.0
     }
 
     /// The ranks this rank can exchange recovery data with (its halo
@@ -747,6 +902,83 @@ mod tests {
                 assert_eq!(u.to_bits(), v.to_bits(), "{ranks} ranks");
             }
         }
+    }
+
+    #[test]
+    fn vector_allreduce_matches_scalar_allreduces_bitwise() {
+        // Each component of the batched collective must carry exactly the
+        // bits a scalar allreduce of the same partials produces.
+        for ranks in [1usize, 2, 4] {
+            let partial = |rank: usize, j: usize| 0.1 + rank as f64 * 0.3 + j as f64 * 0.7;
+            let scalar: Vec<Vec<f64>> = {
+                let reducers = Reducer::for_ranks(ranks);
+                std::thread::scope(|scope| {
+                    let handles: Vec<_> = reducers
+                        .into_iter()
+                        .enumerate()
+                        .map(|(rank, reducer)| {
+                            scope.spawn(move || {
+                                (0..3)
+                                    .map(|j| reducer.allreduce_sum(partial(rank, j)))
+                                    .collect::<Vec<f64>>()
+                            })
+                        })
+                        .collect();
+                    handles.into_iter().map(|h| h.join().unwrap()).collect()
+                })
+            };
+            let vectored: Vec<Vec<f64>> = {
+                let reducers = Reducer::for_ranks(ranks);
+                std::thread::scope(|scope| {
+                    let handles: Vec<_> = reducers
+                        .into_iter()
+                        .enumerate()
+                        .map(|(rank, reducer)| {
+                            scope.spawn(move || {
+                                let local: Vec<f64> = (0..3).map(|j| partial(rank, j)).collect();
+                                let pending = reducer.start_allreduce_vec(local);
+                                // Local work overlapping the reduction.
+                                let mut acc = 0.0;
+                                for i in 0..200 {
+                                    acc += (i as f64).sqrt();
+                                }
+                                assert!(acc > 0.0);
+                                pending.finish()
+                            })
+                        })
+                        .collect();
+                    handles.into_iter().map(|h| h.join().unwrap()).collect()
+                })
+            };
+            for (s, v) in scalar.iter().zip(&vectored) {
+                assert_eq!(s.len(), v.len());
+                for (a, b) in s.iter().zip(v) {
+                    assert_eq!(a.to_bits(), b.to_bits(), "{ranks} ranks");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn rank_comm_counts_collectives() {
+        let comms = RankComm::for_ranks(&HaloPlan::empty(2), 2);
+        let counts: Vec<u64> = std::thread::scope(|scope| {
+            let handles: Vec<_> = comms
+                .into_iter()
+                .map(|comm| {
+                    scope.spawn(move || {
+                        comm.allreduce_sum(1.0);
+                        let _ = comm.allreduce_vec(vec![1.0, 2.0]);
+                        comm.fault_flag(0);
+                        let pending = comm.start_allreduce(0.5);
+                        pending.finish();
+                        comm.collectives()
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        assert_eq!(counts, vec![4, 4]);
     }
 
     #[test]

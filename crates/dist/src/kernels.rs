@@ -6,7 +6,17 @@
 //! on the assembled solution. They live here exactly once so the fault-free
 //! arithmetic of the plain and resilient paths is *the same code*, which is
 //! what makes the bitwise-identity tests meaningful rather than lucky.
+//!
+//! The plain loops additionally use the fused hot-path kernels
+//! ([`feir_sparse::fused`]): `q ⇐ A·d` merged with the local `⟨d, q⟩`
+//! partial and `g ⇐ g − α·q` merged with the next `‖g‖²` partial. The
+//! resilient loop keeps the unfused sequence (its scrub points must
+//! materialise faults *between* the matvec and the reduction), which is safe
+//! because every fused kernel is bitwise-identical to the composition it
+//! replaces — asserted directly in `feir-sparse/tests/parallel_kernels.rs`
+//! and end-to-end by the plain-vs-resilient identity tests.
 
+pub(crate) use feir_sparse::fused::{axpy_dot, axpy_norm2, dotn, spmv_rows_dot};
 pub(crate) use feir_sparse::vecops::{axpy, dot, norm2_squared, xpay};
 
 use feir_sparse::{vecops, CsrMatrix};

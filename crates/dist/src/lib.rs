@@ -50,22 +50,27 @@ pub mod cg;
 pub mod comm;
 pub mod domains;
 mod kernels;
+pub mod merged;
 pub mod model;
 pub mod partition;
 pub mod pcg;
 mod rank_loop;
+mod rank_loop_merged;
 pub mod resilient;
 
 pub use campaign::{CampaignBaseline, CampaignCell, CampaignReport, CampaignSolver, FaultCampaign};
 pub use cg::{distributed_cg, DistSolveResult};
 pub use comm::{
-    distributed_dot, distributed_spmv, HaloPlan, PendingAllreduce, RankComm, RecoveryMsg, Reducer,
+    distributed_dot, distributed_spmv, HaloPlan, PendingAllreduce, PendingVecAllreduce, RankComm,
+    RecoveryMsg, Reducer,
 };
 pub use domains::{RankDomains, RankFaultCounts};
+pub use merged::{distributed_cg_merged, distributed_pcg_merged};
 pub use model::{ScalingModel, ScalingPoint};
 pub use partition::RankPartition;
 pub use pcg::distributed_pcg;
 pub use resilient::{
-    distributed_resilient_cg, distributed_resilient_pcg, DistResilienceConfig, DistResilientCg,
-    DistResilientReport, DistResilientSolver, InjectionDriver, ProtectedVector, ScriptedFault,
+    distributed_resilient_cg, distributed_resilient_cg_merged, distributed_resilient_pcg,
+    distributed_resilient_pcg_merged, DistResilienceConfig, DistResilientCg, DistResilientReport,
+    DistResilientSolver, InjectionDriver, ProtectedVector, ScriptedFault,
 };

@@ -1,0 +1,405 @@
+//! Merged-reduction distributed CG and PCG: **one allreduce per iteration**,
+//! started split-phase and kept in flight across the halo exchange and the
+//! matvec.
+//!
+//! The classic distributed loops synchronize two (CG) or three (PCG) times
+//! per iteration, and every reduction sits *between* dependent kernels, so
+//! its latency lands on the critical path. The merged variants use the
+//! pipelined Chronopoulos–Gear recurrences (the Ghysels–Vanroose
+//! rearrangement): the matvec moves onto an auxiliary vector, every scalar
+//! the iteration needs is computed as a *local partial* by the previous
+//! iteration's fused update sweep, and the batched vector allreduce
+//! ([`RankComm::start_allreduce_vec`]) is posted **before** the halo
+//! exchange and the local matvec — the collective's latency hides behind
+//! the heaviest work of the iteration instead of serializing with it.
+//!
+//! Per iteration, per rank:
+//!
+//! ```text
+//! post     allreduce([γ, δ(, ε)])        ← partials from the last sweep
+//! overlap  halo(w) ; n ⇐ A·w            ← (PCG: m ⇐ M⁻¹w first, halo(m), n ⇐ A·m)
+//! finish   allreduce → global γ, δ(, ε)
+//! scalars  β = γ/γ_old ; α = γ/(δ − β·γ/α_old)
+//! sweep    z ⇐ n + β·z ; s ⇐ w + β·s ; p ⇐ r + β·p ; x ⇐ x + α·p ;
+//!          r ⇐ r − α·s  (fused: next ‖r‖²) ; w ⇐ w − α·z  (fused: next ⟨w,r⟩)
+//! ```
+//!
+//! The sweep maintains `s = A·p` and `z = A·s` by recurrence (for PCG also
+//! `u = M⁻¹·r` and `q = M⁻¹·s`), so the iterates span the same Krylov space
+//! as the classic loops — iteration counts agree within a few percent, but
+//! the floating-point trajectory is **not** bitwise-identical to classic
+//! CG/PCG (different recurrences). What *is* promised bitwise: the result is
+//! deterministic run-to-run at every rank count, and the fault-free
+//! resilient twins ([`crate::resilient::distributed_resilient_cg_merged`] /
+//! [`distributed_resilient_pcg_merged`](crate::resilient::distributed_resilient_pcg_merged))
+//! reproduce these loops bit-for-bit.
+
+use feir_sparse::{CsrMatrix, LocalBlockJacobi};
+
+use crate::cg::{run_ranks, DistSolveResult};
+use crate::comm::RankComm;
+use crate::kernels;
+use crate::partition::RankPartition;
+
+/// The guarded Chronopoulos–Gear step length `α = γ / (δ − β·γ/α_old)`;
+/// `None` signals breakdown (zero or non-finite denominator).
+pub(crate) fn merged_alpha(gamma: f64, delta: f64, beta: f64, alpha_old: f64) -> Option<f64> {
+    let denom = if beta == 0.0 {
+        delta
+    } else {
+        delta - beta * gamma / alpha_old
+    };
+    if kernels::is_breakdown(denom) {
+        None
+    } else {
+        Some(gamma / denom)
+    }
+}
+
+/// Solves `A x = b` with merged-reduction distributed CG: one batched
+/// `[γ, δ]` allreduce per iteration, overlapped with the halo exchange and
+/// the matvec. Interface and result match
+/// [`distributed_cg`](crate::cg::distributed_cg).
+///
+/// # Panics
+/// Panics if the matrix is not square or `b` has the wrong length.
+pub fn distributed_cg_merged(
+    a: &CsrMatrix,
+    b: &[f64],
+    ranks: usize,
+    tolerance: f64,
+    max_iterations: usize,
+) -> DistSolveResult {
+    assert_eq!(a.rows(), a.cols(), "distributed CG needs a square matrix");
+    assert_eq!(a.rows(), b.len(), "rhs length mismatch");
+    run_ranks(a, b, ranks, tolerance, move |ctx| {
+        rank_cg_merged(a, b, ctx.comm, &ctx.partition, tolerance, max_iterations)
+    })
+}
+
+/// Solves `A x = b` with merged-reduction block-Jacobi distributed PCG: one
+/// batched `[γ, δ, ε]` allreduce per iteration, overlapped with the
+/// preconditioner application, the halo exchange and the matvec. Interface
+/// and result match [`distributed_pcg`](crate::pcg::distributed_pcg).
+///
+/// # Panics
+/// Panics if the matrix is not square or `b` has the wrong length.
+pub fn distributed_pcg_merged(
+    a: &CsrMatrix,
+    b: &[f64],
+    ranks: usize,
+    page_doubles: usize,
+    tolerance: f64,
+    max_iterations: usize,
+) -> DistSolveResult {
+    assert_eq!(a.rows(), a.cols(), "distributed PCG needs a square matrix");
+    assert_eq!(a.rows(), b.len(), "rhs length mismatch");
+    let page_doubles = page_doubles.max(1);
+    run_ranks(a, b, ranks, tolerance, move |ctx| {
+        rank_pcg_merged(
+            a,
+            b,
+            ctx.comm,
+            &ctx.partition,
+            page_doubles,
+            tolerance,
+            max_iterations,
+        )
+    })
+}
+
+/// The per-rank merged CG loop (see the module docs for the iteration
+/// shape). Returns `(rank, owned x block, iterations, residual history,
+/// collectives entered)`.
+fn rank_cg_merged(
+    a: &CsrMatrix,
+    b: &[f64],
+    comm: RankComm,
+    partition: &RankPartition,
+    tolerance: f64,
+    max_iterations: usize,
+) -> (usize, Vec<f64>, usize, Vec<f64>, u64) {
+    let rank = comm.rank();
+    let own = partition.range(rank);
+    let local_n = own.len();
+
+    let mut x = vec![0.0; local_n];
+    let mut r: Vec<f64> = b[own.clone()].to_vec(); // r = b − A·0
+    let mut p = vec![0.0; local_n]; // direction
+    let mut s = vec![0.0; local_n]; // A·p, by recurrence
+    let mut z = vec![0.0; local_n]; // A·s, by recurrence
+    let mut w = vec![0.0; local_n]; // A·r
+    let mut n_buf = vec![0.0; local_n]; // A·w, fresh each iteration
+                                        // Private full-length buffer for whichever vector the matvec reads.
+    let mut mv_full = vec![0.0; a.cols()];
+
+    let norm_b = kernels::global_rhs_norm(&comm, &b[own.clone()]);
+    // w = A·r needs one setup halo exchange of the initial residual.
+    mv_full[own.clone()].copy_from_slice(&r);
+    comm.exchange_halo(&mut mv_full);
+    a.spmv_rows(own.start, own.end, &mv_full, &mut w);
+    // Local partials of the first iteration's batched reduction.
+    let mut partials = kernels::dotn(&[(&r, &r), (&w, &r)]);
+
+    let mut gamma_old = f64::INFINITY;
+    let mut alpha_old = 0.0;
+    let mut iterations = 0;
+    let mut history = Vec::new();
+
+    for t in 0..max_iterations {
+        // The iteration's single collective: posted now, finished after the
+        // halo exchange and the matvec it overlaps.
+        let pending = comm.start_allreduce_vec(partials.clone());
+        mv_full[own.clone()].copy_from_slice(&w);
+        comm.exchange_halo(&mut mv_full);
+        a.spmv_rows(own.start, own.end, &mv_full, &mut n_buf);
+        let totals = pending.finish();
+        let (gamma, delta) = (totals[0], totals[1]);
+
+        let rel = gamma.max(0.0).sqrt() / norm_b;
+        history.push(rel);
+        if rel <= tolerance {
+            break;
+        }
+        iterations = t + 1;
+
+        let beta = kernels::beta_ratio(gamma, gamma_old);
+        let Some(alpha) = merged_alpha(gamma, delta, beta, alpha_old) else {
+            break;
+        };
+        // The fused update sweep: recurrences first (old values on the right
+        // of each ⇐), then the two updates that also produce the next
+        // iteration's reduction partials in the same pass.
+        kernels::xpay(&n_buf, beta, &mut z);
+        kernels::xpay(&w, beta, &mut s);
+        kernels::xpay(&r, beta, &mut p);
+        kernels::axpy(alpha, &p, &mut x);
+        let gamma_next = kernels::axpy_norm2(-alpha, &s, &mut r);
+        let delta_next = kernels::axpy_dot(-alpha, &z, &mut w, &r);
+        partials = vec![gamma_next, delta_next];
+
+        gamma_old = gamma;
+        alpha_old = alpha;
+    }
+    let collectives = comm.collectives();
+    (rank, x, iterations, history, collectives)
+}
+
+/// The per-rank merged block-Jacobi PCG loop. Returns
+/// `(rank, owned x block, iterations, residual history, collectives)`.
+fn rank_pcg_merged(
+    a: &CsrMatrix,
+    b: &[f64],
+    comm: RankComm,
+    partition: &RankPartition,
+    page_doubles: usize,
+    tolerance: f64,
+    max_iterations: usize,
+) -> (usize, Vec<f64>, usize, Vec<f64>, u64) {
+    let rank = comm.rank();
+    let own = partition.range(rank);
+    let local_n = own.len();
+    let jacobi = LocalBlockJacobi::new(a, own.clone(), page_doubles, true)
+        .expect("rank-local block-Jacobi construction failed");
+
+    let mut x = vec![0.0; local_n];
+    let mut r: Vec<f64> = b[own.clone()].to_vec(); // r = b − A·0
+    let mut u = vec![0.0; local_n]; // M⁻¹·r, by recurrence
+    let mut w = vec![0.0; local_n]; // A·u
+    let mut p = vec![0.0; local_n]; // direction
+    let mut s = vec![0.0; local_n]; // A·p, by recurrence
+    let mut q = vec![0.0; local_n]; // M⁻¹·s, by recurrence
+    let mut z = vec![0.0; local_n]; // A·q, by recurrence
+    let mut m_buf = vec![0.0; local_n]; // M⁻¹·w, fresh each iteration
+    let mut n_buf = vec![0.0; local_n]; // A·m, fresh each iteration
+    let mut mv_full = vec![0.0; a.cols()];
+
+    let norm_b = kernels::global_rhs_norm(&comm, &b[own.clone()]);
+    // u = M⁻¹·r (local), then w = A·u with one setup halo exchange.
+    jacobi.apply(&r, &mut u);
+    mv_full[own.clone()].copy_from_slice(&u);
+    comm.exchange_halo(&mut mv_full);
+    a.spmv_rows(own.start, own.end, &mv_full, &mut w);
+    // γ = ⟨r, u⟩, δ = ⟨w, u⟩, ε = ‖r‖² — the three scalars of one batched
+    // reduction (classic PCG pays three separate allreduces for these).
+    let mut partials = kernels::dotn(&[(&r, &u), (&w, &u), (&r, &r)]);
+
+    let mut gamma_old = f64::INFINITY;
+    let mut alpha_old = 0.0;
+    let mut iterations = 0;
+    let mut history = Vec::new();
+
+    for t in 0..max_iterations {
+        let pending = comm.start_allreduce_vec(partials.clone());
+        // Inside the reduction window: the (communication-free) block-Jacobi
+        // application, the halo exchange and the matvec.
+        jacobi.apply(&w, &mut m_buf);
+        mv_full[own.clone()].copy_from_slice(&m_buf);
+        comm.exchange_halo(&mut mv_full);
+        a.spmv_rows(own.start, own.end, &mv_full, &mut n_buf);
+        let totals = pending.finish();
+        let (gamma, delta, eps) = (totals[0], totals[1], totals[2]);
+
+        let rel = eps.max(0.0).sqrt() / norm_b;
+        history.push(rel);
+        if rel <= tolerance {
+            break;
+        }
+        iterations = t + 1;
+
+        if kernels::is_breakdown(gamma) {
+            break;
+        }
+        let beta = kernels::beta_ratio(gamma, gamma_old);
+        let Some(alpha) = merged_alpha(gamma, delta, beta, alpha_old) else {
+            break;
+        };
+        // Fused update sweep (recurrences on old values first, then the
+        // three updates that produce the next [γ, δ, ε] partials).
+        kernels::xpay(&n_buf, beta, &mut z);
+        kernels::xpay(&m_buf, beta, &mut q);
+        kernels::xpay(&w, beta, &mut s);
+        kernels::xpay(&u, beta, &mut p);
+        kernels::axpy(alpha, &p, &mut x);
+        let eps_next = kernels::axpy_norm2(-alpha, &s, &mut r);
+        let gamma_next = kernels::axpy_dot(-alpha, &q, &mut u, &r);
+        let delta_next = kernels::axpy_dot(-alpha, &z, &mut w, &u);
+        partials = vec![gamma_next, delta_next, eps_next];
+
+        gamma_old = gamma;
+        alpha_old = alpha;
+    }
+    let collectives = comm.collectives();
+    (rank, x, iterations, history, collectives)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cg::distributed_cg;
+    use crate::pcg::distributed_pcg;
+    use feir_sparse::generators::{anisotropic_2d, manufactured_rhs, poisson_2d};
+
+    fn assert_iterations_close(merged: usize, classic: usize) {
+        let tolerance = (classic as f64 * 0.10).ceil() as i64 + 1;
+        let diff = (merged as i64 - classic as i64).abs();
+        assert!(
+            diff <= tolerance,
+            "merged {merged} vs classic {classic} iterations (allowed ±{tolerance})"
+        );
+    }
+
+    #[test]
+    fn merged_cg_converges_and_matches_classic_iterations() {
+        let a = poisson_2d(12);
+        let (x_true, b) = manufactured_rhs(&a, 5);
+        let classic = distributed_cg(&a, &b, 2, 1e-10, 10_000);
+        for ranks in [1usize, 2, 3] {
+            let merged = distributed_cg_merged(&a, &b, ranks, 1e-10, 10_000);
+            assert!(merged.converged(), "{ranks} ranks did not converge");
+            assert_iterations_close(merged.iterations, classic.iterations);
+            for (u, v) in merged.x.iter().zip(&x_true) {
+                assert!((u - v).abs() < 1e-7, "{ranks} ranks: {u} vs {v}");
+            }
+        }
+    }
+
+    #[test]
+    fn merged_cg_issues_exactly_one_allreduce_per_iteration() {
+        let a = poisson_2d(10);
+        let (_, b) = manufactured_rhs(&a, 3);
+        for ranks in [1usize, 2, 4] {
+            let merged = distributed_cg_merged(&a, &b, ranks, 1e-10, 10_000);
+            assert!(merged.converged());
+            // One collective per convergence check (= history entry) plus the
+            // setup ‖b‖ reduction — nothing else.
+            assert_eq!(
+                merged.allreduces,
+                merged.residual_history.len() as u64 + 1,
+                "{ranks} ranks"
+            );
+            let classic = distributed_cg(&a, &b, ranks, 1e-10, 10_000);
+            // Classic CG pays two allreduces per iteration (⟨d,q⟩ and ε)
+            // plus the setup ‖b‖ and initial ε.
+            assert_eq!(
+                classic.allreduces,
+                2 * classic.iterations as u64 + 2,
+                "{ranks} ranks"
+            );
+        }
+    }
+
+    #[test]
+    fn merged_pcg_converges_and_issues_one_allreduce_per_iteration() {
+        let a = poisson_2d(12);
+        let (x_true, b) = manufactured_rhs(&a, 7);
+        let classic = distributed_pcg(&a, &b, 2, 16, 1e-10, 10_000);
+        for ranks in [1usize, 2, 3] {
+            let merged = distributed_pcg_merged(&a, &b, ranks, 16, 1e-10, 10_000);
+            assert!(merged.converged(), "{ranks} ranks did not converge");
+            assert_iterations_close(merged.iterations, classic.iterations);
+            assert_eq!(
+                merged.allreduces,
+                merged.residual_history.len() as u64 + 1,
+                "{ranks} ranks"
+            );
+            for (u, v) in merged.x.iter().zip(&x_true) {
+                assert!((u - v).abs() < 1e-7, "{ranks} ranks: {u} vs {v}");
+            }
+        }
+    }
+
+    #[test]
+    fn merged_pcg_preconditioning_pays_off() {
+        let a = anisotropic_2d(24, 0.02);
+        let (_, b) = manufactured_rhs(&a, 9);
+        let plain = distributed_cg_merged(&a, &b, 2, 1e-8, 50_000);
+        let pre = distributed_pcg_merged(&a, &b, 2, 64, 1e-8, 50_000);
+        assert!(plain.converged() && pre.converged());
+        assert!(
+            pre.iterations < plain.iterations,
+            "merged PCG ({}) should beat merged CG ({})",
+            pre.iterations,
+            plain.iterations
+        );
+    }
+
+    #[test]
+    fn merged_history_is_rank_count_invariant_to_roundoff() {
+        let a = poisson_2d(10);
+        let (_, b) = manufactured_rhs(&a, 3);
+        let one = distributed_cg_merged(&a, &b, 1, 1e-10, 10_000);
+        assert_eq!(one.residual_history.len(), one.iterations + 1);
+        for ranks in [2usize, 5] {
+            let multi = distributed_cg_merged(&a, &b, ranks, 1e-10, 10_000);
+            assert_eq!(multi.residual_history.len(), one.residual_history.len());
+            for (u, v) in multi.residual_history.iter().zip(&one.residual_history) {
+                assert!((u - v).abs() <= 1e-9 * (1.0 + v.abs()), "{u} vs {v}");
+            }
+        }
+    }
+
+    #[test]
+    fn merged_cg_is_deterministic_run_to_run() {
+        let a = poisson_2d(8);
+        let (_, b) = manufactured_rhs(&a, 2);
+        let first = distributed_cg_merged(&a, &b, 3, 1e-10, 10_000);
+        let second = distributed_cg_merged(&a, &b, 3, 1e-10, 10_000);
+        assert_eq!(first.iterations, second.iterations);
+        for (u, v) in first.x.iter().zip(&second.x) {
+            assert_eq!(u.to_bits(), v.to_bits());
+        }
+        for (u, v) in first.residual_history.iter().zip(&second.residual_history) {
+            assert_eq!(u.to_bits(), v.to_bits());
+        }
+    }
+
+    #[test]
+    fn merged_iteration_cap_is_honoured() {
+        let a = poisson_2d(10);
+        let (_, b) = manufactured_rhs(&a, 2);
+        let merged = distributed_cg_merged(&a, &b, 4, 1e-14, 3);
+        assert_eq!(merged.iterations, 3);
+        assert!(!merged.converged());
+    }
+}

@@ -16,8 +16,8 @@
 
 use feir_sparse::{CsrMatrix, LocalBlockJacobi};
 
-use crate::cg::DistSolveResult;
-use crate::comm::{effective_ranks, HaloPlan, RankComm};
+use crate::cg::{run_ranks, DistSolveResult};
+use crate::comm::RankComm;
 use crate::kernels;
 use crate::partition::RankPartition;
 
@@ -37,56 +37,22 @@ pub fn distributed_pcg(
 ) -> DistSolveResult {
     assert_eq!(a.rows(), a.cols(), "distributed PCG needs a square matrix");
     assert_eq!(a.rows(), b.len(), "rhs length mismatch");
-    let n = a.rows();
-    let ranks = effective_ranks(n, ranks);
-    let partition = RankPartition::new(n, ranks);
-    let plan = HaloPlan::build(a, &partition);
-    let comms = RankComm::for_ranks(&plan, ranks);
     let page_doubles = page_doubles.max(1);
-
-    let mut x = vec![0.0; n];
-    let mut iterations = 0;
-    let mut residual_history = Vec::new();
-    std::thread::scope(|scope| {
-        let mut handles = Vec::with_capacity(ranks);
-        for comm in comms {
-            let partition = partition.clone();
-            let handle = scope.spawn(move || {
-                rank_pcg(
-                    a,
-                    b,
-                    comm,
-                    &partition,
-                    page_doubles,
-                    tolerance,
-                    max_iterations,
-                )
-            });
-            handles.push(handle);
-        }
-        for handle in handles {
-            let (rank, local_x, iters, history) = handle.join().expect("rank thread panicked");
-            x[partition.range(rank)].copy_from_slice(&local_x);
-            iterations = iters;
-            if rank == 0 {
-                residual_history = history;
-            }
-        }
-    });
-
-    let relative_residual = kernels::explicit_relative_residual(a, b, &x);
-    DistSolveResult {
-        x,
-        iterations,
-        relative_residual,
-        ranks,
-        converged: relative_residual <= tolerance,
-        residual_history,
-    }
+    run_ranks(a, b, ranks, tolerance, move |ctx| {
+        rank_pcg(
+            a,
+            b,
+            ctx.comm,
+            &ctx.partition,
+            page_doubles,
+            tolerance,
+            max_iterations,
+        )
+    })
 }
 
 /// The per-rank PCG loop. Returns `(rank, owned x block, iterations,
-/// residual history)`.
+/// residual history, collectives entered)`.
 fn rank_pcg(
     a: &CsrMatrix,
     b: &[f64],
@@ -95,7 +61,7 @@ fn rank_pcg(
     page_doubles: usize,
     tolerance: f64,
     max_iterations: usize,
-) -> (usize, Vec<f64>, usize, Vec<f64>) {
+) -> (usize, Vec<f64>, usize, Vec<f64>, u64) {
     let rank = comm.rank();
     let own = partition.range(rank);
     let local_n = own.len();
@@ -138,20 +104,20 @@ fn rank_pcg(
         d_full[own.clone()].copy_from_slice(&d);
         comm.exchange_halo(&mut d_full);
 
-        // q ⇐ A·d over the owned rows.
-        a.spmv_rows(own.start, own.end, &d_full, &mut q);
-        let dq = comm.allreduce_sum(kernels::dot(&d, &q));
+        // q ⇐ A·d over the owned rows, fused with the local ⟨d, q⟩ partial.
+        let dq_local = kernels::spmv_rows_dot(a, own.start, own.end, &d_full, &mut q);
+        let dq = comm.allreduce_sum(dq_local);
         if kernels::is_breakdown(dq) {
             break;
         }
         let alpha = rho / dq;
         kernels::axpy(alpha, &d, &mut x);
-        kernels::axpy(-alpha, &q, &mut g);
-
+        // g ⇐ g − α·q fused with the local ‖g‖² partial of the next ε.
         rho_old = rho;
-        eps = comm.allreduce_sum(kernels::norm2_squared(&g));
+        eps = comm.allreduce_sum(kernels::axpy_norm2(-alpha, &q, &mut g));
     }
-    (rank, x, iterations, history)
+    let collectives = comm.collectives();
+    (rank, x, iterations, history, collectives)
 }
 
 #[cfg(test)]

@@ -83,17 +83,18 @@ pub(crate) struct RankOutcome {
     pub cross_rank_values: usize,
     pub rollbacks: usize,
     pub restarts: usize,
+    pub allreduces: u64,
 }
 
 /// Global row range of rank-local page `p`.
-fn global_rows(own_start: usize, pages: &BlockPartition, p: usize) -> Range<usize> {
+pub(crate) fn global_rows(own_start: usize, pages: &BlockPartition, p: usize) -> Range<usize> {
     let local = pages.range(p);
     own_start + local.start..own_start + local.end
 }
 
 /// For every given global row, the remote stencil columns grouped by owning
 /// rank — the request set of one recovery exchange.
-fn remote_stencil_requests(
+pub(crate) fn remote_stencil_requests(
     a: &CsrMatrix,
     partition: &RankPartition,
     rank: usize,
@@ -118,9 +119,9 @@ fn remote_stencil_requests(
 
 /// Page bookkeeping of one state-plan installation.
 #[derive(Default)]
-struct InstallCounters {
-    recovered: usize,
-    ignored: usize,
+pub(crate) struct InstallCounters {
+    pub(crate) recovered: usize,
+    pub(crate) ignored: usize,
 }
 
 /// Installs a planned iterate/residual reconstruction into the live vectors
@@ -129,7 +130,7 @@ struct InstallCounters {
 /// the local partial, so the installation (memcpy + registry bookkeeping)
 /// cannot change the value in flight.
 #[allow(clippy::too_many_arguments)]
-fn install_state_plan(
+pub(crate) fn install_state_plan(
     plan: &feir_recovery::engine::StatePlan,
     pages: &BlockPartition,
     registry: &PageRegistry,
@@ -171,7 +172,7 @@ fn install_state_plan(
 /// pages and marking them healthy again; returns how many pages were
 /// blanked. Shared by the Trivial / Checkpoint / LossyRestart end-of-
 /// iteration sweeps.
-fn blank_sweep(
+pub(crate) fn blank_sweep(
     registry: &PageRegistry,
     pages: &BlockPartition,
     entries: Vec<(feir_pagemem::VectorId, &mut [f64])>,
@@ -752,6 +753,7 @@ pub(crate) fn rank_resilient_solve<S: RecoverableIteration>(
         }
     }
 
+    let allreduces = comm.collectives();
     RankOutcome {
         rank: ctx.rank,
         x_own: x_full[own].to_vec(),
@@ -762,5 +764,6 @@ pub(crate) fn rank_resilient_solve<S: RecoverableIteration>(
         cross_rank_values,
         rollbacks,
         restarts,
+        allreduces,
     }
 }

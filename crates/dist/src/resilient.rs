@@ -36,7 +36,9 @@ use std::time::{Duration, Instant};
 
 use feir_pagemem::{FaultInjector, InjectionPlan, InjectionReport, VectorId};
 use feir_recovery::report::DistributedFaultReport;
-use feir_recovery::{CgRelations, PcgRelations, RecoveryPolicy};
+use feir_recovery::{
+    CgRelations, MergedCgRelations, MergedPcgRelations, PcgRelations, RecoveryPolicy,
+};
 use feir_sparse::blocking::BlockPartition;
 use feir_sparse::{CsrMatrix, LocalBlockJacobi};
 
@@ -52,6 +54,7 @@ use crate::domains::RankDomains;
 use crate::kernels;
 use crate::partition::RankPartition;
 use crate::rank_loop::{rank_resilient_solve, RankCtx};
+use crate::rank_loop_merged::rank_merged_resilient_solve;
 
 /// The protected vectors of a distributed solve, in registration order
 /// (their [`VectorId`]s are 0..=4 within each rank's registry; `Z` exists
@@ -284,6 +287,12 @@ pub struct DistResilientReport {
     pub rollbacks: usize,
     /// Restarts (Lossy Restart policy only).
     pub restarts: usize,
+    /// Collectives rank 0 entered (see
+    /// [`DistSolveResult::allreduces`](crate::cg::DistSolveResult)). For the
+    /// merged solvers under the forward policies this stays at one per
+    /// iteration even though the fault flag travels too — it rides inside
+    /// the same vector allreduce.
+    pub allreduces: u64,
     /// Wall-clock solve time.
     pub elapsed: Duration,
 }
@@ -301,6 +310,23 @@ impl DistResilientReport {
 enum SolverKind {
     Cg,
     Pcg,
+    CgMerged,
+    PcgMerged,
+}
+
+impl SolverKind {
+    fn name(self) -> &'static str {
+        match self {
+            SolverKind::Cg => "cg",
+            SolverKind::Pcg => "pcg",
+            SolverKind::CgMerged => "cg_merged",
+            SolverKind::PcgMerged => "pcg_merged",
+        }
+    }
+
+    fn preconditioned(self) -> bool {
+        matches!(self, SolverKind::Pcg | SolverKind::PcgMerged)
+    }
 }
 
 /// A distributed resilient solver bound to one system, one rank count and
@@ -358,6 +384,44 @@ impl<'a> DistResilientSolver<'a> {
         Self::build(a, b, ranks, config, SolverKind::Pcg)
     }
 
+    /// Creates the resilient **merged-reduction CG** solver (the pipelined
+    /// Chronopoulos–Gear hot path of
+    /// [`distributed_cg_merged`](crate::merged::distributed_cg_merged)). The
+    /// protected ids map onto the merged vectors: `x` (iterate), `r`
+    /// (residual, id `G`), `p` (direction, id `D`) and `s = A·p` (id `Q`);
+    /// the forward policies fold their fault flag into the iteration's one
+    /// vector allreduce, so the fault-free solve is bitwise-identical to the
+    /// plain merged loop *and* still issues exactly one collective per
+    /// iteration.
+    ///
+    /// # Panics
+    /// Same conditions as [`DistResilientSolver::cg`].
+    pub fn cg_merged(
+        a: &'a CsrMatrix,
+        b: &'a [f64],
+        ranks: usize,
+        config: DistResilienceConfig,
+    ) -> Self {
+        Self::build(a, b, ranks, config, SolverKind::CgMerged)
+    }
+
+    /// Creates the resilient **merged-reduction block-Jacobi PCG** solver
+    /// (the engine twin of
+    /// [`distributed_pcg_merged`](crate::merged::distributed_pcg_merged));
+    /// the protected set gains `u = M⁻¹·r` at id `Z`, re-solved from the
+    /// factorized diagonal blocks exactly like classic PCG's `z`.
+    ///
+    /// # Panics
+    /// Same conditions as [`DistResilientSolver::cg`].
+    pub fn pcg_merged(
+        a: &'a CsrMatrix,
+        b: &'a [f64],
+        ranks: usize,
+        config: DistResilienceConfig,
+    ) -> Self {
+        Self::build(a, b, ranks, config, SolverKind::PcgMerged)
+    }
+
     fn build(
         a: &'a CsrMatrix,
         b: &'a [f64],
@@ -371,20 +435,24 @@ impl<'a> DistResilientSolver<'a> {
         let partition = RankPartition::new(a.rows(), ranks);
         let plan = HaloPlan::build(a, &partition);
         let domains = RankDomains::new(ranks);
-        let protected: &[ProtectedVector] = match kind {
-            SolverKind::Cg => &[
-                ProtectedVector::X,
-                ProtectedVector::G,
-                ProtectedVector::D,
-                ProtectedVector::Q,
-            ],
-            SolverKind::Pcg => &[
+        // The merged solvers reuse the classic ids for their renamed
+        // vectors (G = r, D = p, Q = s, Z = u), so fault scripts and
+        // campaigns target both families uniformly.
+        let protected: &[ProtectedVector] = if kind.preconditioned() {
+            &[
                 ProtectedVector::X,
                 ProtectedVector::G,
                 ProtectedVector::D,
                 ProtectedVector::Q,
                 ProtectedVector::Z,
-            ],
+            ]
+        } else {
+            &[
+                ProtectedVector::X,
+                ProtectedVector::G,
+                ProtectedVector::D,
+                ProtectedVector::Q,
+            ]
         };
         // Clamp like `distributed_pcg` does, so the bitwise-identity pairing
         // of the plain and resilient entry points holds for every input.
@@ -479,6 +547,7 @@ impl<'a> DistResilientSolver<'a> {
         let mut cross_rank_values = 0;
         let mut rollbacks = 0;
         let mut restarts = 0;
+        let mut allreduces = 0;
 
         std::thread::scope(|scope| {
             let mut handles = Vec::with_capacity(self.ranks);
@@ -523,6 +592,21 @@ impl<'a> DistResilientSolver<'a> {
                             let relations = PcgRelations::new(ctx.a, ctx.b, &jacobi);
                             rank_resilient_solve(ctx, &relations, comm)
                         }
+                        SolverKind::CgMerged => {
+                            let relations = MergedCgRelations::new(ctx.a, ctx.b);
+                            rank_merged_resilient_solve(ctx, &relations, comm)
+                        }
+                        SolverKind::PcgMerged => {
+                            let jacobi = LocalBlockJacobi::new(
+                                ctx.a,
+                                ctx.own.clone(),
+                                ctx.pages.block_size(),
+                                true,
+                            )
+                            .expect("rank-local block-Jacobi construction failed");
+                            let relations = MergedPcgRelations::new(ctx.a, ctx.b, &jacobi);
+                            rank_merged_resilient_solve(ctx, &relations, comm)
+                        }
                     }
                 }));
             }
@@ -542,6 +626,7 @@ impl<'a> DistResilientSolver<'a> {
                 if outcome.rank == 0 {
                     rollbacks = outcome.rollbacks;
                     restarts = outcome.restarts;
+                    allreduces = outcome.allreduces;
                 }
             }
         });
@@ -561,10 +646,7 @@ impl<'a> DistResilientSolver<'a> {
         }
 
         DistResilientReport {
-            solver: match kind {
-                SolverKind::Cg => "cg",
-                SolverKind::Pcg => "pcg",
-            },
+            solver: kind.name(),
             x,
             iterations,
             relative_residual,
@@ -578,6 +660,7 @@ impl<'a> DistResilientSolver<'a> {
             cross_rank_values,
             rollbacks,
             restarts,
+            allreduces,
             elapsed: start.elapsed(),
         }
     }
@@ -605,4 +688,36 @@ pub fn distributed_resilient_pcg(
     config: DistResilienceConfig,
 ) -> DistResilientReport {
     DistResilientSolver::pcg(a, b, ranks, config).solve()
+}
+
+/// One-shot form of the resilient merged-reduction CG (see
+/// [`DistResilientSolver::cg_merged`]). With zero faults the solve is
+/// bitwise-identical to
+/// [`distributed_cg_merged`](crate::merged::distributed_cg_merged), and the
+/// forward policies still issue exactly one allreduce per fault-free
+/// iteration — the fault flag rides inside the vector collective. Extra
+/// scalar collectives appear only where unavoidable: on *faulted* forward
+/// rounds (the blank-acceptance rebuild flag) and in the checkpoint/lossy
+/// baselines' end-of-iteration sweeps.
+pub fn distributed_resilient_cg_merged(
+    a: &CsrMatrix,
+    b: &[f64],
+    ranks: usize,
+    config: DistResilienceConfig,
+) -> DistResilientReport {
+    DistResilientSolver::cg_merged(a, b, ranks, config).solve()
+}
+
+/// One-shot form of the resilient merged-reduction block-Jacobi PCG (see
+/// [`DistResilientSolver::pcg_merged`]). With zero faults the solve is
+/// bitwise-identical to
+/// [`distributed_pcg_merged`](crate::merged::distributed_pcg_merged) at the
+/// same page size.
+pub fn distributed_resilient_pcg_merged(
+    a: &CsrMatrix,
+    b: &[f64],
+    ranks: usize,
+    config: DistResilienceConfig,
+) -> DistResilientReport {
+    DistResilientSolver::pcg_merged(a, b, ranks, config).solve()
 }

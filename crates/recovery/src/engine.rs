@@ -253,6 +253,125 @@ impl RecoverableIteration for PcgRelations<'_> {
     }
 }
 
+/// The algebraic relations of **merged-reduction** (pipelined
+/// Chronopoulos–Gear) CG.
+///
+/// The merged iteration renames the protected vectors — the recurrence
+/// residual is `r`, the direction `p`, its matvec image `s = A·p` — but the
+/// *relations between them are exactly CG's*: `r = b − A·x` recovers lost
+/// iterate and residual pages, and `s = A·p` recovers directions, so this is
+/// a delegating wrapper whose only job is to give the engine the merged
+/// solver's identity. The merged iteration's *companion* vectors (`w = A·r`
+/// and the `z = A·s` recurrence helper) are deliberately **not** protected:
+/// each is a pure function of a protected vector and is recomputable from it
+/// on demand, so protecting them would spend scrub traffic on redundant
+/// state.
+#[derive(Debug, Clone, Copy)]
+pub struct MergedCgRelations<'a> {
+    cg: CgRelations<'a>,
+}
+
+impl<'a> MergedCgRelations<'a> {
+    /// Binds the relations to one linear system (see [`CgRelations::new`]).
+    pub fn new(a: &'a CsrMatrix, b: &'a [f64]) -> Self {
+        Self {
+            cg: CgRelations::new(a, b),
+        }
+    }
+}
+
+impl RecoverableIteration for MergedCgRelations<'_> {
+    fn solver_name(&self) -> &'static str {
+        "cg_merged"
+    }
+
+    fn reconstruct_iterate(
+        &self,
+        rows: &[usize],
+        g_at_rows: &[f64],
+        x_view: &[f64],
+    ) -> Option<Vec<f64>> {
+        self.cg.reconstruct_iterate(rows, g_at_rows, x_view)
+    }
+
+    fn reconstruct_direction(
+        &self,
+        rows: &[usize],
+        q_at_rows: &[f64],
+        d_view: &[f64],
+    ) -> Option<Vec<f64>> {
+        self.cg.reconstruct_direction(rows, q_at_rows, d_view)
+    }
+
+    fn residual_rows(&self, rows: Range<usize>, x_view: &[f64], out: &mut [f64]) {
+        self.cg.residual_rows(rows, x_view, out);
+    }
+
+    fn lossy_iterate_rows(&self, rows: &[usize], x_view: &[f64]) -> Option<Vec<f64>> {
+        self.cg.lossy_iterate_rows(rows, x_view)
+    }
+}
+
+/// The algebraic relations of merged-reduction block-Jacobi PCG: everything
+/// [`MergedCgRelations`] has, plus the preconditioned residual `u = M⁻¹·r`
+/// re-solved per page from the factorized diagonal block (the same relation
+/// classic PCG uses for `z`). The merged iteration's `q = M⁻¹·s` and
+/// `z = A·q` companions stay unprotected for the same reason as `w`.
+#[derive(Debug, Clone, Copy)]
+pub struct MergedPcgRelations<'a> {
+    pcg: PcgRelations<'a>,
+}
+
+impl<'a> MergedPcgRelations<'a> {
+    /// Binds the CG relations plus a (rank-)local block-Jacobi
+    /// preconditioner (see [`PcgRelations::new`]).
+    pub fn new(a: &'a CsrMatrix, b: &'a [f64], jacobi: &'a LocalBlockJacobi) -> Self {
+        Self {
+            pcg: PcgRelations::new(a, b, jacobi),
+        }
+    }
+}
+
+impl RecoverableIteration for MergedPcgRelations<'_> {
+    fn solver_name(&self) -> &'static str {
+        "pcg_merged"
+    }
+
+    fn preconditioned(&self) -> bool {
+        true
+    }
+
+    fn reconstruct_iterate(
+        &self,
+        rows: &[usize],
+        g_at_rows: &[f64],
+        x_view: &[f64],
+    ) -> Option<Vec<f64>> {
+        self.pcg.reconstruct_iterate(rows, g_at_rows, x_view)
+    }
+
+    fn reconstruct_direction(
+        &self,
+        rows: &[usize],
+        q_at_rows: &[f64],
+        d_view: &[f64],
+    ) -> Option<Vec<f64>> {
+        self.pcg.reconstruct_direction(rows, q_at_rows, d_view)
+    }
+
+    fn residual_rows(&self, rows: Range<usize>, x_view: &[f64], out: &mut [f64]) {
+        self.pcg.residual_rows(rows, x_view, out);
+    }
+
+    fn lossy_iterate_rows(&self, rows: &[usize], x_view: &[f64]) -> Option<Vec<f64>> {
+        self.pcg.lossy_iterate_rows(rows, x_view)
+    }
+
+    fn reapply_preconditioner(&self, page: usize, g_page: &[f64], z_page: &mut [f64]) -> bool {
+        self.pcg.reapply_preconditioner(page, g_page, z_page)
+    }
+}
+
 // ----- coupled-row page-reconstruction kernels -----------------------------
 
 /// Solves the coupled dense system `A_RR · y = rhs` over the given sorted

@@ -42,7 +42,9 @@ pub mod report;
 pub mod resilient_cg;
 
 pub use checkpoint::{optimal_checkpoint_interval, CheckpointStore};
-pub use engine::{CgRelations, PcgRelations, RecoverableIteration};
+pub use engine::{
+    CgRelations, MergedCgRelations, MergedPcgRelations, PcgRelations, RecoverableIteration,
+};
 pub use interpolate::BlockRecovery;
 pub use lossy::lossy_interpolate_block;
 pub use policy::{RecoveryPolicy, ResilienceConfig};

@@ -14,6 +14,7 @@
 
 pub mod bicgstab;
 pub mod cg;
+pub mod cg_merged;
 pub mod gmres;
 pub mod history;
 pub mod pcg;
@@ -22,6 +23,7 @@ pub mod relations;
 
 pub use bicgstab::bicgstab;
 pub use cg::cg;
+pub use cg_merged::cg_merged;
 pub use gmres::gmres;
 pub use history::{ConvergenceHistory, SolveOptions, SolveResult, StopReason};
 pub use pcg::pcg;

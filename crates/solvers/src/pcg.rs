@@ -2,7 +2,7 @@
 
 use std::time::Instant;
 
-use feir_sparse::{vecops, CsrMatrix};
+use feir_sparse::{fused, vecops, CsrMatrix};
 
 use crate::history::{ConvergenceHistory, SolveOptions, SolveResult, StopReason};
 use crate::preconditioner::Preconditioner;
@@ -70,8 +70,15 @@ pub fn pcg(
     let mut stop_reason = StopReason::MaxIterations;
     let mut iterations = 0usize;
 
+    // ‖g‖² of the upcoming convergence check, refreshed by the fused
+    // residual update at the bottom of each iteration. The scalar reductions
+    // of this loop have always been serial (they feed the recurrence
+    // immediately), so the fused matvec+dot applies on the serial SpMV path
+    // only — fusing against the parallel SpMV would change the dot's fold
+    // order and break bitwise identity with the pre-fusion loop.
+    let mut g_norm2 = vecops::norm2_squared(&g);
     for t in 0..options.max_iterations {
-        let rel = vecops::norm2(&g) / norm_b;
+        let rel = g_norm2.sqrt() / norm_b;
         if options.record_history {
             history.push(t, rel, start.elapsed());
         }
@@ -95,9 +102,13 @@ pub fn pcg(
         };
         // d ⇐ β·d + z
         vecops::xpay(&z, beta, &mut d);
-        // q ⇐ A·d
-        spmv(a, &d, &mut q);
-        let dq = vecops::dot(&q, &d);
+        // q ⇐ A·d, fused with ⟨d, q⟩ on the serial path.
+        let dq = if options.parallel {
+            a.spmv_parallel(&d, &mut q);
+            vecops::dot(&q, &d)
+        } else {
+            fused::spmv_dot(a, &d, &mut q)
+        };
         if dq == 0.0 || !dq.is_finite() {
             stop_reason = StopReason::Breakdown;
             iterations = t;
@@ -105,7 +116,8 @@ pub fn pcg(
         }
         let alpha = rho / dq;
         vecops::axpy(alpha, &d, &mut x);
-        vecops::axpy(-alpha, &q, &mut g);
+        // g ⇐ g − α·q fused with ‖g‖² for the next convergence check.
+        g_norm2 = fused::axpy_norm2(-alpha, &q, &mut g);
         rho_old = rho;
         iterations = t + 1;
     }

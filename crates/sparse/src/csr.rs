@@ -12,7 +12,10 @@ const MIN_SPMV_ROW_CHUNK: usize = 256;
 
 /// Below this row count `spmv_parallel` runs the serial kernel: the whole
 /// product costs only a few microseconds, less than waking the workers.
-const MIN_PARALLEL_SPMV_ROWS: usize = 4096;
+/// Sized independently of the dot and axpy gates in [`crate::vecops`] — an
+/// SpMV row carries several multiply-adds, so it breaks even much earlier
+/// than a scalar element does.
+pub(crate) const MIN_PARALLEL_SPMV_ROWS: usize = 4096;
 
 /// A sparse matrix stored in Compressed Sparse Row format.
 ///

@@ -25,7 +25,10 @@
 //! * [`matrixmarket`] — MatrixMarket I/O so real matrices can be used instead
 //!   of the proxies,
 //! * [`vecops`] — the dense vector kernels (dot, axpy, norms) used by all
-//!   solvers, in serial and parallel form.
+//!   solvers, in serial and parallel form,
+//! * [`fused`] — fused BLAS-1/SpMV kernels (`spmv_dot`, `axpy_norm2`,
+//!   `xpay_dot`, multi-dot `dotn`) that merge an update or matvec with the
+//!   reduction consuming it, bitwise-identical to the unfused compositions.
 
 #![warn(missing_docs)]
 
@@ -35,6 +38,7 @@ pub mod coo;
 pub mod csr;
 pub mod dense;
 pub mod error;
+pub mod fused;
 pub mod generators;
 pub mod matrixmarket;
 pub mod proxies;

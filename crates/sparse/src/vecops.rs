@@ -43,13 +43,38 @@ pub fn dot(x: &[f64], y: &[f64]) -> f64 {
     x.iter().zip(y).map(|(a, b)| a * b).sum()
 }
 
+/// Below this length `dot_parallel` / `norm2_squared_parallel` skip the
+/// parallel machinery entirely: a short reduction is a few microseconds of
+/// arithmetic, less than the fan-out cost. Sized independently of the
+/// element-wise ([`MIN_PARALLEL_AXPY_ELEMS`]) and SpMV gates — a dot carries
+/// one multiply-add per element but also a reduction dependence, so its
+/// break-even differs from both.
+pub const MIN_PARALLEL_DOT_ELEMS: usize = 32_768;
+
+/// The serial evaluation of the *parallel* reduction order: per-chunk dots
+/// folded left-to-right in chunk order. This is bitwise-identical to
+/// [`dot_parallel`] at every thread count (it *is* that fold, computed on one
+/// thread), which is what lets the serial gate below change only scheduling,
+/// never values.
+fn dot_chunked(x: &[f64], y: &[f64]) -> f64 {
+    x.chunks(DOT_CHUNK)
+        .zip(y.chunks(DOT_CHUNK))
+        .map(|(xc, yc)| dot(xc, yc))
+        .sum()
+}
+
 /// Rayon-parallel dot product over fixed [`DOT_CHUNK`]-sized chunks.
 ///
 /// Per-chunk partial sums are combined in chunk order, so the result is
 /// bitwise-deterministic: identical across repeated runs *and* across thread
 /// counts (it equals the left-to-right fold of the per-chunk serial dots).
+/// Short inputs (or a single-worker pool) take a serial fast path computing
+/// exactly that fold, so the gate never affects values.
 pub fn dot_parallel(x: &[f64], y: &[f64]) -> f64 {
     assert_eq!(x.len(), y.len(), "dot: length mismatch");
+    if x.len() < MIN_PARALLEL_DOT_ELEMS || rayon::current_num_threads() <= 1 {
+        return dot_chunked(x, y);
+    }
     x.par_chunks(DOT_CHUNK)
         .zip(y.par_chunks(DOT_CHUNK))
         .map(|(xc, yc)| dot(xc, yc))
@@ -90,16 +115,17 @@ pub fn axpy(alpha: f64, x: &[f64], y: &mut [f64]) {
     }
 }
 
-/// Below this length the element-wise parallel kernels run serially: the
-/// arithmetic is cheaper than waking workers. (The result is element-wise
-/// identical either way, so the gate never affects values.)
-const MIN_PARALLEL_ELEMS: usize = 32_768;
+/// Below this length the element-wise parallel kernels (`axpy`/`xpay`) run
+/// serially: the arithmetic is cheaper than waking workers. (The result is
+/// element-wise identical either way, so the gate never affects values.)
+/// Sized independently of the dot and SpMV gates.
+pub const MIN_PARALLEL_AXPY_ELEMS: usize = 32_768;
 
 /// Rayon-parallel `y ← y + α·x`, chunked for the ambient pool. Element-wise,
 /// so the result is bitwise-identical to [`axpy`] at any thread count.
 pub fn axpy_parallel(alpha: f64, x: &[f64], y: &mut [f64]) {
     assert_eq!(x.len(), y.len(), "axpy: length mismatch");
-    if y.len() < MIN_PARALLEL_ELEMS || rayon::current_num_threads() <= 1 {
+    if y.len() < MIN_PARALLEL_AXPY_ELEMS || rayon::current_num_threads() <= 1 {
         return axpy(alpha, x, y);
     }
     let chunk = parallel_chunk_len(y.len());
@@ -124,7 +150,7 @@ pub fn xpay(x: &[f64], beta: f64, y: &mut [f64]) {
 /// so the result is bitwise-identical to [`xpay`] at any thread count.
 pub fn xpay_parallel(x: &[f64], beta: f64, y: &mut [f64]) {
     assert_eq!(x.len(), y.len(), "xpay: length mismatch");
-    if y.len() < MIN_PARALLEL_ELEMS || rayon::current_num_threads() <= 1 {
+    if y.len() < MIN_PARALLEL_AXPY_ELEMS || rayon::current_num_threads() <= 1 {
         return xpay(x, beta, y);
     }
     let chunk = parallel_chunk_len(y.len());

@@ -169,3 +169,100 @@ fn norm_parallel_agrees_with_serial() {
     let parallel_sq = p.install(|| vecops::norm2_squared_parallel(&x));
     assert!((serial_sq - parallel_sq).abs() < 1e-11 * serial_sq.max(1.0));
 }
+
+// ----- fused-kernel acceptance (ISSUE 5) ------------------------------------
+//
+// Every fused kernel must be bitwise-identical to the unfused composition it
+// replaces at 1, 2, 4 and 8 threads, and bitwise-identical across those
+// thread counts. These are the guarantees that let the classic solver paths
+// adopt the fused hot path without changing a single output bit.
+
+#[test]
+fn fused_kernels_are_bitwise_identical_to_unfused_across_thread_counts() {
+    use feir_sparse::fused;
+
+    let a = poisson_2d(72); // 5184 rows: above every serial gate.
+    let n = a.rows();
+    let (x, w) = test_vectors(n);
+    let y0: Vec<f64> = (0..n).map(|i| (i as f64 * 0.19).cos() * 2.0).collect();
+
+    // Reference bits from the single-thread pool.
+    let reference = pool(1).install(|| {
+        let mut sy = vec![0.0; n];
+        a.spmv_parallel(&x, &mut sy);
+        let spmv_dot_ref = vecops::dot_parallel(&x, &sy);
+        let mut ay = y0.clone();
+        vecops::axpy_parallel(0.375, &x, &mut ay);
+        let axpy_norm2_ref = vecops::norm2_squared_parallel(&ay);
+        let dotn_ref = [vecops::dot_parallel(&x, &w), vecops::dot_parallel(&x, &x)];
+        (sy, spmv_dot_ref, ay, axpy_norm2_ref, dotn_ref)
+    });
+
+    for threads in [1usize, 2, 4, 8] {
+        let p = pool(threads);
+        // spmv_dot vs spmv_parallel + dot_parallel.
+        let (fused_y, fused_dot) = p.install(|| {
+            let mut y = vec![0.0; n];
+            let d = fused::spmv_dot_parallel(&a, &x, &mut y);
+            (y, d)
+        });
+        assert_eq!(fused_y, reference.0, "spmv_dot y at {threads} threads");
+        assert_eq!(
+            fused_dot.to_bits(),
+            reference.1.to_bits(),
+            "spmv_dot at {threads} threads"
+        );
+        // axpy_norm2 vs axpy_parallel + norm2_squared_parallel.
+        let (fused_ay, fused_norm) = p.install(|| {
+            let mut y = y0.clone();
+            let nrm = fused::axpy_norm2_parallel(0.375, &x, &mut y);
+            (y, nrm)
+        });
+        assert_eq!(fused_ay, reference.2, "axpy_norm2 y at {threads} threads");
+        assert_eq!(
+            fused_norm.to_bits(),
+            reference.3.to_bits(),
+            "axpy_norm2 at {threads} threads"
+        );
+        // axpy_dot / xpay_dot vs their unfused pairs, inside the same pool.
+        let (ad, xd, au, xu) = p.install(|| {
+            let mut y = y0.clone();
+            let ad = fused::axpy_dot_parallel(-0.25, &x, &mut y, &w);
+            let mut y = y0.clone();
+            let xd = fused::xpay_dot_parallel(&x, 1.5, &mut y, &w);
+            let mut y = y0.clone();
+            vecops::axpy_parallel(-0.25, &x, &mut y);
+            let au = vecops::dot_parallel(&y, &w);
+            let mut y = y0.clone();
+            vecops::xpay_parallel(&x, 1.5, &mut y);
+            let xu = vecops::dot_parallel(&y, &w);
+            (ad, xd, au, xu)
+        });
+        assert_eq!(ad.to_bits(), au.to_bits(), "axpy_dot at {threads} threads");
+        assert_eq!(xd.to_bits(), xu.to_bits(), "xpay_dot at {threads} threads");
+        // dotn vs k separate dot_parallels.
+        let folded = p.install(|| fused::dotn_parallel(&[(&x, &w), (&x, &x)]));
+        assert_eq!(folded[0].to_bits(), reference.4[0].to_bits());
+        assert_eq!(folded[1].to_bits(), reference.4[1].to_bits());
+    }
+}
+
+#[test]
+fn dot_parallel_serial_gate_changes_scheduling_not_values() {
+    // Above one DOT_CHUNK but below the parallel gate: the gated fast path
+    // must still produce the chunk-ordered fold, at every pool size.
+    let (x, y) = test_vectors(3 * vecops::DOT_CHUNK + 17);
+    let reference = pool(1).install(|| vecops::dot_parallel(&x, &y));
+    for threads in [2usize, 8] {
+        let p = pool(threads);
+        let gated = p.install(|| vecops::dot_parallel(&x, &y));
+        assert_eq!(gated.to_bits(), reference.to_bits(), "{threads} threads");
+    }
+    // And the chunk fold is *not* the plain serial fold (the gate must not
+    // silently change the reduction semantics).
+    let plain = vecops::dot(&x, &y);
+    assert!(
+        plain.to_bits() != reference.to_bits() || (plain - reference).abs() == 0.0,
+        "sanity: chunked and plain folds may only coincide by value"
+    );
+}

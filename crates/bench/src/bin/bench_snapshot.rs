@@ -24,8 +24,8 @@ use std::time::{Duration, Instant};
 
 use feir_dist::{
     distributed_resilient_cg, distributed_resilient_cg_merged, distributed_resilient_pcg,
-    distributed_resilient_pcg_merged, DistResilienceConfig, HaloPlan, ProtectedVector, RankComm,
-    ScriptedFault,
+    distributed_resilient_pcg_merged, solve_with_processes, spawned_as_worker, worker_main,
+    DistResilienceConfig, HaloPlan, ProcessSpec, ProtectedVector, RankComm, ScriptedFault,
 };
 use feir_recovery::RecoveryPolicy;
 use feir_solvers::{cg, cg_merged, SolveOptions};
@@ -62,7 +62,13 @@ impl Harness {
 /// Extracts `(name, mean_ns)` pairs from a snapshot emitted by this tool.
 /// Hand-rolled (this environment vendors no JSON crate): one bench row per
 /// line, `"name": "…"` and `"mean_ns": …` fields in order.
-fn parse_snapshot(text: &str) -> Vec<(String, f64)> {
+///
+/// A line that carries a bench name but no parsable `mean_ns` is a **hard
+/// error**: the old behaviour (skip the row) meant a scenario whose timing
+/// was serialized in a form the scanner mistokenized — `1.2e+05` truncated
+/// at the `+`, `3E5` truncated at the `E` — silently vanished from the
+/// `--compare` gate, which then passed vacuously for that scenario.
+fn parse_snapshot(text: &str) -> Result<Vec<(String, f64)>, String> {
     let mut rows = Vec::new();
     for line in text.lines() {
         let Some(name_at) = line.find("\"name\":") else {
@@ -75,19 +81,26 @@ fn parse_snapshot(text: &str) -> Vec<(String, f64)> {
         };
         let name = &rest[open + 1..open + 1 + close];
         let Some(mean_at) = line.find("\"mean_ns\":") else {
-            continue;
+            return Err(format!("bench row for {name:?} has no \"mean_ns\" field"));
         };
         let tail = &line[mean_at + 10..];
-        let digits: String = tail
+        // Full float token: digits, '.', both exponent markers and both
+        // signs ('+' appears inside exponents like 1.2e+05).
+        let token: String = tail
             .chars()
             .skip_while(|c| c.is_whitespace())
-            .take_while(|c| c.is_ascii_digit() || *c == '.' || *c == '-' || *c == 'e')
+            .take_while(|c| matches!(c, '0'..='9' | '.' | '-' | '+' | 'e' | 'E'))
             .collect();
-        if let Ok(mean_ns) = digits.parse::<f64>() {
-            rows.push((name.to_string(), mean_ns));
+        match token.parse::<f64>() {
+            Ok(mean_ns) => rows.push((name.to_string(), mean_ns)),
+            Err(_) => {
+                return Err(format!(
+                    "bench row for {name:?} has unparsable mean_ns token {token:?}"
+                ))
+            }
         }
     }
-    rows
+    Ok(rows)
 }
 
 /// Prints per-scenario deltas against `baseline` and returns
@@ -134,6 +147,11 @@ fn compare_against(
 }
 
 fn main() -> ExitCode {
+    // The process-transport scenarios re-execute this binary as the rank
+    // workers (same self-exec trick as `examples/dist_process.rs`).
+    if spawned_as_worker() {
+        return worker_main();
+    }
     let args: Vec<String> = std::env::args().collect();
     let smoke = args.iter().any(|a| a == "--smoke");
     let flag_value = |flag: &str| {
@@ -403,6 +421,26 @@ fn main() -> ExitCode {
         }
     }
 
+    // PR 6: the same distributed CG over the *real* multi-process transport
+    // — one OS process per rank, Unix-socket mesh, `feir-wire` frames. The
+    // result is bitwise-identical to the in-process run (asserted in the
+    // transport test suite); the delta against dist_cg/ideal above is the
+    // true cost of process spawn + socket collectives, no time-slicing
+    // caveat attached.
+    {
+        let worker = std::env::current_exe().expect("cannot locate own executable");
+        let grid = if smoke { 8 } else { 16 };
+        for ranks in [2usize, 4] {
+            h.bench(&format!("dist_cg/processes/ranks{ranks}"), || {
+                let spec = ProcessSpec::cg(grid, ranks);
+                let result =
+                    solve_with_processes(&worker, &spec).expect("multi-process solve failed");
+                assert!(result.converged);
+                black_box(result)
+            });
+        }
+    }
+
     // PR 4: the split-phase allreduce in isolation. Every rank performs the
     // same local filler work per round; the blocking variant pays
     // work-then-wait serially, the split variant posts its partial first and
@@ -433,12 +471,12 @@ fn main() -> ExitCode {
                                     for round in 0..rounds {
                                         let local = rank as f64 + round as f64 * 0.01;
                                         total += if split {
-                                            let pending = comm.start_allreduce(local);
+                                            let pending = comm.start_allreduce(local).unwrap();
                                             black_box(filler(rank));
-                                            pending.finish()
+                                            pending.finish().unwrap()
                                         } else {
                                             black_box(filler(rank));
-                                            comm.allreduce_sum(local)
+                                            comm.allreduce_sum(local).unwrap()
                                         };
                                     }
                                     total
@@ -476,10 +514,11 @@ fn main() -> ExitCode {
                                         let u = rank as f64 + round as f64 * 0.01;
                                         let v = rank as f64 * 0.5 - round as f64 * 0.02;
                                         total += if merged {
-                                            let sums = comm.allreduce_vec(vec![u, v]);
+                                            let sums = comm.allreduce_vec(vec![u, v]).unwrap();
                                             sums[0] + sums[1]
                                         } else {
-                                            comm.allreduce_sum(u) + comm.allreduce_sum(v)
+                                            comm.allreduce_sum(u).unwrap()
+                                                + comm.allreduce_sum(v).unwrap()
                                         };
                                     }
                                     total
@@ -532,7 +571,13 @@ fn main() -> ExitCode {
     if let Some(path) = compare_path {
         let text =
             std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("--compare {path}: {e}"));
-        let baseline = parse_snapshot(&text);
+        let baseline = match parse_snapshot(&text) {
+            Ok(rows) => rows,
+            Err(message) => {
+                eprintln!("FAIL: --compare {path}: {message}");
+                return ExitCode::FAILURE;
+            }
+        };
         match compare_against(&h.results, &baseline, threshold_pct) {
             Err(_) => {
                 eprintln!(
@@ -550,4 +595,64 @@ fn main() -> ExitCode {
         }
     }
     ExitCode::SUCCESS
+}
+
+#[cfg(test)]
+mod tests {
+    use super::parse_snapshot;
+
+    #[test]
+    fn plain_and_negative_floats_parse() {
+        let rows = parse_snapshot(
+            "{\"name\": \"a\", \"mean_ns\": 123.5, \"iters\": 4}\n\
+             {\"name\": \"b\", \"mean_ns\": -1.25, \"iters\": 4}\n",
+        )
+        .unwrap();
+        assert_eq!(
+            rows,
+            vec![("a".to_string(), 123.5), ("b".to_string(), -1.25)]
+        );
+    }
+
+    #[test]
+    fn scientific_notation_with_plus_sign_parses_fully() {
+        // Regression: the old scanner stopped at '+', truncating "1.2e+05"
+        // to "1.2e" (unparsable) and silently dropping the row.
+        let rows =
+            parse_snapshot("{\"name\": \"spmv\", \"mean_ns\": 1.2e+05, \"iters\": 9}").unwrap();
+        assert_eq!(rows, vec![("spmv".to_string(), 1.2e5)]);
+    }
+
+    #[test]
+    fn uppercase_exponent_marker_parses_fully() {
+        // Regression: the old scanner only knew lowercase 'e', so "3E5"
+        // truncated to "3" — a silently wrong baseline, worse than a skip.
+        let rows = parse_snapshot("{\"name\": \"dot\", \"mean_ns\": 3E5, \"iters\": 2}").unwrap();
+        assert_eq!(rows, vec![("dot".to_string(), 3e5)]);
+    }
+
+    #[test]
+    fn negative_exponent_parses() {
+        let rows =
+            parse_snapshot("{\"name\": \"tiny\", \"mean_ns\": 4.5e-3, \"iters\": 1}").unwrap();
+        assert_eq!(rows, vec![("tiny".to_string(), 4.5e-3)]);
+    }
+
+    #[test]
+    fn unparsable_mean_on_a_named_row_is_a_hard_error() {
+        let err = parse_snapshot("{\"name\": \"broken\", \"mean_ns\": oops}").unwrap_err();
+        assert!(err.contains("broken"), "error names the scenario: {err}");
+    }
+
+    #[test]
+    fn missing_mean_field_on_a_named_row_is_a_hard_error() {
+        let err = parse_snapshot("{\"name\": \"lonely\", \"iters\": 3}").unwrap_err();
+        assert!(err.contains("lonely"), "error names the scenario: {err}");
+    }
+
+    #[test]
+    fn lines_without_a_name_are_still_skipped() {
+        let rows = parse_snapshot("{\n  \"schema\": \"feir-bench-snapshot/v1\",\n}").unwrap();
+        assert!(rows.is_empty());
+    }
 }

@@ -8,7 +8,7 @@
 
 use feir_sparse::CsrMatrix;
 
-use crate::comm::{effective_ranks, HaloPlan, RankComm};
+use crate::comm::{effective_ranks, CommError, HaloPlan, RankComm};
 use crate::domains::RankDomains;
 use crate::kernels;
 use crate::partition::RankPartition;
@@ -83,6 +83,10 @@ pub(crate) struct RankLaunch {
     pub(crate) partition: RankPartition,
 }
 
+/// What every per-rank loop reports: `(rank, owned x block, iterations,
+/// residual history, collectives entered)`.
+pub(crate) type RankOutcome = (usize, Vec<f64>, usize, Vec<f64>, u64);
+
 /// Shared fork/join scaffolding of every *plain* distributed solver (CG,
 /// PCG and their merged variants): one thread per rank, assembly of the
 /// owned blocks, rank-0 history/collective collection and the
@@ -96,7 +100,7 @@ pub(crate) fn run_ranks<F>(
     body: F,
 ) -> DistSolveResult
 where
-    F: Fn(RankLaunch) -> (usize, Vec<f64>, usize, Vec<f64>, u64) + Sync,
+    F: Fn(RankLaunch) -> Result<RankOutcome, CommError> + Sync,
 {
     let n = a.rows();
     let ranks = effective_ranks(n, ranks);
@@ -116,8 +120,12 @@ where
             handles.push(scope.spawn(move || body(RankLaunch { comm, partition })));
         }
         for handle in handles {
-            let (rank, local_x, iters, history, collectives) =
-                handle.join().expect("rank thread panicked");
+            // The in-process backend only disconnects when a sibling rank
+            // thread died, which the join below reports first anyway.
+            let (rank, local_x, iters, history, collectives) = handle
+                .join()
+                .expect("rank thread panicked")
+                .expect("in-process comm failed");
             x[partition.range(rank)].copy_from_slice(&local_x);
             iterations = iters;
             if rank == 0 {
@@ -140,16 +148,17 @@ where
     }
 }
 
-/// The per-rank CG loop. Returns `(rank, owned x block, iterations, residual
-/// history, collectives entered)`.
-fn rank_cg(
+/// The per-rank CG loop, backend-agnostic: the same body runs on in-process
+/// channels and on the socket mesh of the process transport (which is what
+/// the worker in [`crate::process`] calls).
+pub(crate) fn rank_cg(
     a: &CsrMatrix,
     b: &[f64],
     comm: RankComm,
     partition: &RankPartition,
     tolerance: f64,
     max_iterations: usize,
-) -> (usize, Vec<f64>, usize, Vec<f64>, u64) {
+) -> Result<RankOutcome, CommError> {
     let rank = comm.rank();
     let own = partition.range(rank);
     let local_n = own.len();
@@ -161,8 +170,8 @@ fn rank_cg(
     // Private full-length buffer for the halo exchange of d.
     let mut d_full = vec![0.0; a.cols()];
 
-    let norm_b = kernels::global_rhs_norm(&comm, &b[own.clone()]);
-    let mut eps = comm.allreduce_sum(kernels::norm2_squared(&g));
+    let norm_b = kernels::global_rhs_norm(&comm, &b[own.clone()])?;
+    let mut eps = comm.allreduce_sum(kernels::norm2_squared(&g))?;
     let mut eps_old = f64::INFINITY;
     let mut iterations = 0;
     let mut history = Vec::new();
@@ -179,12 +188,12 @@ fn rank_cg(
         // d ⇐ g + β·d, then ship the halo of d.
         kernels::xpay(&g, beta, &mut d);
         d_full[own.clone()].copy_from_slice(&d);
-        comm.exchange_halo(&mut d_full);
+        comm.exchange_halo(&mut d_full)?;
 
         // q ⇐ A·d over the owned rows, fused with the local ⟨d, q⟩ partial
         // (one sweep; bitwise-identical to the unfused pair).
         let dq_local = kernels::spmv_rows_dot(a, own.start, own.end, &d_full, &mut q);
-        let dq = comm.allreduce_sum(dq_local);
+        let dq = comm.allreduce_sum(dq_local)?;
         if kernels::is_breakdown(dq) {
             break;
         }
@@ -192,10 +201,10 @@ fn rank_cg(
         kernels::axpy(alpha, &d, &mut x);
         // g ⇐ g − α·q fused with the local ‖g‖² partial of the next ε.
         eps_old = eps;
-        eps = comm.allreduce_sum(kernels::axpy_norm2(-alpha, &q, &mut g));
+        eps = comm.allreduce_sum(kernels::axpy_norm2(-alpha, &q, &mut g))?;
     }
     let collectives = comm.collectives();
-    (rank, x, iterations, history, collectives)
+    Ok((rank, x, iterations, history, collectives))
 }
 
 #[cfg(test)]

@@ -1,16 +1,92 @@
-//! Message-passing primitives between simulated ranks: halo exchange for the
-//! block-row SpMV and the rank-ordered sum allreduce for the CG dot products.
+//! Message-passing primitives between ranks: halo exchange for the block-row
+//! SpMV and the rank-ordered sum allreduce for the CG dot products.
 //!
-//! Ranks communicate exclusively through `std::sync::mpsc` channels — no rank
-//! ever reads another rank's buffers — so the data movement is exactly the
-//! send/receive pattern an MPI implementation of Section 3.4 would perform.
+//! Two backends live behind the same [`RankComm`] surface:
+//!
+//! * **In-process** — ranks are threads wired with `std::sync::mpsc` channels.
+//!   No rank ever reads another rank's buffers, so the data movement is
+//!   exactly the send/receive pattern an MPI implementation of Section 3.4
+//!   would perform. This is the default for unit tests and the thread-backed
+//!   solver entry points.
+//! * **Process** — ranks are real OS processes connected over Unix domain
+//!   sockets (TCP fallback) speaking the versioned `feir-wire` frame protocol
+//!   (see [`crate::process`]). Every collective performs the *same*
+//!   rank-ordered arithmetic as the in-process backend, so results are
+//!   bitwise identical across backends.
+//!
+//! Every communication method returns `Result<_, CommError>`: a vanished
+//! peer — a disconnected channel in-process, a closed socket across
+//! processes — surfaces as a typed [`CommError`] instead of a panic, so the
+//! resilience engine can observe rank failure the same way on both backends.
 
 use std::collections::HashMap;
+use std::fmt;
 use std::sync::mpsc::{channel, Receiver, Sender};
 
 use feir_sparse::CsrMatrix;
 
 use crate::partition::RankPartition;
+use crate::process::ProcessLinks;
+
+/// A communication failure observed by one rank.
+///
+/// Both backends produce the same variants for the same situations: a peer
+/// that is gone mid-collective is [`CommError::Disconnected`] whether it was
+/// a dropped channel endpoint or a closed socket.
+#[derive(Debug)]
+pub enum CommError {
+    /// A peer rank is gone: its channel endpoint was dropped (in-process) or
+    /// its socket closed / reset (process backend).
+    Disconnected {
+        /// The peer that vanished, when identifiable.
+        peer: Option<usize>,
+        /// The operation that observed the failure.
+        during: &'static str,
+    },
+    /// A read deadline expired while waiting on a peer (process backend).
+    Timeout {
+        /// The peer that failed to respond.
+        peer: usize,
+        /// The operation that timed out.
+        during: &'static str,
+    },
+    /// A frame failed to decode (bad magic, version mismatch, truncation...).
+    Wire(feir_wire::WireError),
+    /// The peers violated the comm protocol (wrong message, bad handshake,
+    /// mismatched component counts, ...).
+    Protocol(String),
+}
+
+impl fmt::Display for CommError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CommError::Disconnected { peer, during } => match peer {
+                Some(p) => write!(f, "rank {p} disconnected during {during}"),
+                None => write!(f, "peer rank disconnected during {during}"),
+            },
+            CommError::Timeout { peer, during } => {
+                write!(f, "timed out waiting on rank {peer} during {during}")
+            }
+            CommError::Wire(e) => write!(f, "wire protocol error: {e}"),
+            CommError::Protocol(msg) => write!(f, "comm protocol violation: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for CommError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CommError::Wire(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<feir_wire::WireError> for CommError {
+    fn from(e: feir_wire::WireError) -> Self {
+        CommError::Wire(e)
+    }
+}
 
 /// For every rank, the remote entries its local rows reference, grouped by
 /// owning rank.
@@ -80,6 +156,18 @@ impl HaloPlan {
             .flat_map(|m| m.values())
             .map(Vec::len)
             .sum()
+    }
+
+    /// The halo neighbours of `rank` (traffic in either direction), sorted.
+    pub(crate) fn neighbours_of(&self, rank: usize) -> Vec<usize> {
+        let mut peers: Vec<usize> = self.needs[rank].keys().copied().collect();
+        for p in self.sends[rank].keys() {
+            if !peers.contains(p) {
+                peers.push(*p);
+            }
+        }
+        peers.sort_unstable();
+        peers
     }
 }
 
@@ -197,21 +285,128 @@ impl Reducer {
         reducers
     }
 
+    /// Posts the local partial (a leaf sends it to the root; the root holds
+    /// it until the fold). First half of the split-phase protocol.
+    fn post_scalar(&self, local: f64) -> Result<(), CommError> {
+        if let Reducer::Leaf { rank, gather, .. } = self {
+            gather
+                .send((*rank, local))
+                .map_err(|_| CommError::Disconnected {
+                    peer: Some(0),
+                    during: "allreduce gather",
+                })?;
+            let _ = rank;
+        }
+        Ok(())
+    }
+
+    /// Completes a scalar allreduce whose partial was already posted.
+    fn finish_scalar(&self, local: f64) -> Result<f64, CommError> {
+        match self {
+            Reducer::Root {
+                gather, broadcast, ..
+            } => {
+                let peers = broadcast.len() - 1;
+                let mut partials = vec![0.0; peers + 1];
+                partials[0] = local;
+                for _ in 0..peers {
+                    let (rank, value) = gather.recv().map_err(|_| CommError::Disconnected {
+                        peer: None,
+                        during: "allreduce gather",
+                    })?;
+                    partials[rank] = value;
+                }
+                let total: f64 = partials.iter().sum();
+                for (peer, tx) in broadcast.iter().enumerate().skip(1) {
+                    tx.send(total).map_err(|_| CommError::Disconnected {
+                        peer: Some(peer),
+                        during: "allreduce broadcast",
+                    })?;
+                }
+                Ok(total)
+            }
+            Reducer::Leaf { broadcast, .. } => {
+                broadcast.recv().map_err(|_| CommError::Disconnected {
+                    peer: Some(0),
+                    during: "allreduce broadcast",
+                })
+            }
+        }
+    }
+
+    /// Posts the local partial vector; a leaf relinquishes ownership (the
+    /// returned vector is what the caller must hold for the fold — empty on
+    /// leaves, `local` itself on the root).
+    fn post_vec(&self, local: Vec<f64>) -> Result<Vec<f64>, CommError> {
+        match self {
+            Reducer::Leaf {
+                rank, gather_vec, ..
+            } => {
+                gather_vec
+                    .send((*rank, local))
+                    .map_err(|_| CommError::Disconnected {
+                        peer: Some(0),
+                        during: "vector allreduce gather",
+                    })?;
+                Ok(Vec::new())
+            }
+            Reducer::Root { .. } => Ok(local),
+        }
+    }
+
+    /// Completes a vector allreduce whose partial was already posted.
+    fn finish_vec(&self, local: Vec<f64>) -> Result<Vec<f64>, CommError> {
+        match self {
+            Reducer::Root {
+                gather_vec,
+                broadcast_vec,
+                ..
+            } => {
+                let peers = broadcast_vec.len() - 1;
+                let mut partials: Vec<Vec<f64>> = vec![Vec::new(); peers + 1];
+                partials[0] = local;
+                for _ in 0..peers {
+                    let (rank, values) =
+                        gather_vec.recv().map_err(|_| CommError::Disconnected {
+                            peer: None,
+                            during: "vector allreduce gather",
+                        })?;
+                    partials[rank] = values;
+                }
+                let totals = fold_partials_rank_ordered(&partials)?;
+                for (peer, tx) in broadcast_vec.iter().enumerate().skip(1) {
+                    tx.send(totals.clone())
+                        .map_err(|_| CommError::Disconnected {
+                            peer: Some(peer),
+                            during: "vector allreduce broadcast",
+                        })?;
+                }
+                Ok(totals)
+            }
+            Reducer::Leaf { broadcast_vec, .. } => {
+                broadcast_vec.recv().map_err(|_| CommError::Disconnected {
+                    peer: Some(0),
+                    during: "vector allreduce broadcast",
+                })
+            }
+        }
+    }
+
     /// Contributes `local` and returns the global sum; every rank must call
     /// this the same number of times in the same order.
     ///
     /// This is the blocking form of the split-phase pair
-    /// [`Reducer::start_allreduce`] / [`PendingAllreduce::finish`] and is
+    /// [`Reducer::start_allreduce`] / [`ReducerPending::finish`] and is
     /// bitwise-identical to it (same partials, same rank-ordered
     /// accumulation).
-    pub fn allreduce_sum(&self, local: f64) -> f64 {
-        self.start_allreduce(local).finish()
+    pub fn allreduce_sum(&self, local: f64) -> Result<f64, CommError> {
+        self.start_allreduce(local)?.finish()
     }
 
     /// Starts a split-phase allreduce: the local partial is posted
     /// immediately (leaf ranks send it to the root before returning), but
     /// the blocking wait for the global sum is deferred to
-    /// [`PendingAllreduce::finish`]. Work done between the two calls
+    /// [`ReducerPending::finish`]. Work done between the two calls
     /// overlaps the reduction wait — this is the window AFEIR uses to run
     /// page reconstruction *inside* the collective instead of only beside
     /// local updates.
@@ -221,14 +416,12 @@ impl Reducer {
     /// is a protocol contract, not a compile-time guarantee: a leaf posts
     /// its partial in `start`, so starting a second collective before
     /// finishing the first desynchronizes the root's gather.
-    pub fn start_allreduce(&self, local: f64) -> PendingAllreduce<'_> {
-        if let Reducer::Leaf { rank, gather, .. } = self {
-            gather.send((*rank, local)).expect("root rank disconnected");
-        }
-        PendingAllreduce {
+    pub fn start_allreduce(&self, local: f64) -> Result<ReducerPending<'_>, CommError> {
+        self.post_scalar(local)?;
+        Ok(ReducerPending {
             reducer: self,
             local,
-        }
+        })
     }
 
     /// Contributes one *vector* of partials and returns the component-wise
@@ -240,139 +433,90 @@ impl Reducer {
     /// Component `j` of the result is bitwise-identical to
     /// [`Reducer::allreduce_sum`] over the same per-rank partials — the root
     /// folds each component in rank order, exactly like the scalar path.
-    pub fn allreduce_vec(&self, local: Vec<f64>) -> Vec<f64> {
-        self.start_allreduce_vec(local).finish()
+    pub fn allreduce_vec(&self, local: Vec<f64>) -> Result<Vec<f64>, CommError> {
+        self.start_allreduce_vec(local)?.finish()
     }
 
     /// Split-phase form of [`Reducer::allreduce_vec`]: the partial vector is
     /// posted immediately, the blocking wait is deferred to
-    /// [`PendingVecAllreduce::finish`]. The merged-reduction solvers start
+    /// [`ReducerVecPending::finish`]. The merged-reduction solvers start
     /// the collective, run the halo exchange and the next matvec while it is
     /// in flight, and only then collect the sums — the reduction latency
     /// hides behind the matvec instead of serializing with it. The same
     /// single-flight / same-order contract as [`Reducer::start_allreduce`]
     /// applies.
-    pub fn start_allreduce_vec(&self, local: Vec<f64>) -> PendingVecAllreduce<'_> {
-        let local = match self {
-            Reducer::Leaf {
-                rank, gather_vec, ..
-            } => {
-                gather_vec
-                    .send((*rank, local))
-                    .expect("root rank disconnected");
-                Vec::new()
-            }
-            Reducer::Root { .. } => local,
-        };
-        PendingVecAllreduce {
+    pub fn start_allreduce_vec(&self, local: Vec<f64>) -> Result<ReducerVecPending<'_>, CommError> {
+        let local = self.post_vec(local)?;
+        Ok(ReducerVecPending {
             reducer: self,
             local,
-        }
+        })
     }
 }
 
-/// An in-flight split-phase allreduce (see [`Reducer::start_allreduce`]).
+/// Component-wise rank-ordered fold shared by every vector-allreduce path
+/// (in-process root and process root alike): each component's sum is exactly
+/// what the scalar allreduce of the same partials would produce.
+pub(crate) fn fold_partials_rank_ordered(partials: &[Vec<f64>]) -> Result<Vec<f64>, CommError> {
+    let components = partials[0].len();
+    let mut totals = vec![0.0; components];
+    for partial in partials {
+        if partial.len() != components {
+            return Err(CommError::Protocol(format!(
+                "vector allreduce: ranks disagree on component count ({} vs {components})",
+                partial.len()
+            )));
+        }
+        for (t, v) in totals.iter_mut().zip(partial) {
+            *t += v;
+        }
+    }
+    Ok(totals)
+}
+
+/// An in-flight split-phase allreduce on a bare [`Reducer`] (see
+/// [`Reducer::start_allreduce`]).
 ///
 /// The contribution has already been posted; dropping the handle without
-/// calling [`PendingAllreduce::finish`] would deadlock the collective on the
+/// calling [`ReducerPending::finish`] would deadlock the collective on the
 /// other ranks, hence the `must_use`.
 #[must_use = "finish() completes the collective; dropping the handle deadlocks the peers"]
 #[derive(Debug)]
-pub struct PendingAllreduce<'a> {
+pub struct ReducerPending<'a> {
     reducer: &'a Reducer,
     local: f64,
 }
 
-impl PendingAllreduce<'_> {
+impl ReducerPending<'_> {
     /// Completes the collective and returns the global sum. On the root this
     /// performs the rank-ordered gather + broadcast; on a leaf it blocks on
     /// the broadcast of the total.
-    pub fn finish(self) -> f64 {
-        match self.reducer {
-            Reducer::Root {
-                gather, broadcast, ..
-            } => {
-                let peers = broadcast.len() - 1;
-                let mut partials = vec![0.0; peers + 1];
-                partials[0] = self.local;
-                for _ in 0..peers {
-                    let (rank, value) = gather.recv().expect("peer rank disconnected");
-                    partials[rank] = value;
-                }
-                let total: f64 = partials.iter().sum();
-                for tx in broadcast.iter().skip(1) {
-                    tx.send(total).expect("peer rank disconnected");
-                }
-                total
-            }
-            Reducer::Leaf { broadcast, .. } => broadcast.recv().expect("root rank disconnected"),
-        }
+    pub fn finish(self) -> Result<f64, CommError> {
+        self.reducer.finish_scalar(self.local)
     }
 }
 
-/// An in-flight split-phase *vector* allreduce (see
+/// An in-flight split-phase *vector* allreduce on a bare [`Reducer`] (see
 /// [`Reducer::start_allreduce_vec`]).
 #[must_use = "finish() completes the collective; dropping the handle deadlocks the peers"]
 #[derive(Debug)]
-pub struct PendingVecAllreduce<'a> {
+pub struct ReducerVecPending<'a> {
     reducer: &'a Reducer,
     /// The root's own partial (leaves posted theirs at start).
     local: Vec<f64>,
 }
 
-impl PendingVecAllreduce<'_> {
+impl ReducerVecPending<'_> {
     /// Completes the collective and returns the component-wise global sums.
-    /// On the root this performs the rank-ordered gather + broadcast; on a
-    /// leaf it blocks on the broadcast of the totals.
-    pub fn finish(self) -> Vec<f64> {
-        match self.reducer {
-            Reducer::Root {
-                gather_vec,
-                broadcast_vec,
-                ..
-            } => {
-                let peers = broadcast_vec.len() - 1;
-                let mut partials: Vec<Vec<f64>> = vec![Vec::new(); peers + 1];
-                partials[0] = self.local;
-                for _ in 0..peers {
-                    let (rank, values) = gather_vec.recv().expect("peer rank disconnected");
-                    partials[rank] = values;
-                }
-                let components = partials[0].len();
-                // Component-wise rank-ordered fold: each component's sum is
-                // exactly what the scalar allreduce of the same partials
-                // would produce.
-                let mut totals = vec![0.0; components];
-                for partial in &partials {
-                    assert_eq!(
-                        partial.len(),
-                        components,
-                        "vector allreduce: ranks disagree on component count"
-                    );
-                    for (t, v) in totals.iter_mut().zip(partial) {
-                        *t += v;
-                    }
-                }
-                for tx in broadcast_vec.iter().skip(1) {
-                    tx.send(totals.clone()).expect("peer rank disconnected");
-                }
-                totals
-            }
-            Reducer::Leaf { broadcast_vec, .. } => {
-                broadcast_vec.recv().expect("root rank disconnected")
-            }
-        }
+    pub fn finish(self) -> Result<Vec<f64>, CommError> {
+        self.reducer.finish_vec(self.local)
     }
 }
 
-/// One rank's endpoints: halo senders/receivers plus its [`Reducer`].
-///
-/// Build one per rank with [`RankComm::for_ranks`], move each into its rank's
-/// thread, and drive an iteration with [`RankComm::exchange_halo`] /
-/// [`RankComm::allreduce_sum`].
+/// The in-process backend's endpoints: mpsc halo and recovery channels plus
+/// the channel [`Reducer`].
 #[derive(Debug)]
-pub struct RankComm {
-    rank: usize,
+struct InProcessLinks {
     /// Outgoing halo: `(destination, indices to ship, sender)`.
     halo_out: Vec<(usize, Vec<usize>, Sender<Vec<f64>>)>,
     /// Incoming halo: `(source, indices received, receiver)`.
@@ -381,6 +525,27 @@ pub struct RankComm {
     /// peer rank: `(peer, sender to peer, receiver from peer)`.
     recovery: Vec<(usize, Sender<RecoveryMsg>, Receiver<RecoveryMsg>)>,
     reducer: Reducer,
+}
+
+/// Which transport carries this rank's traffic.
+#[derive(Debug)]
+enum Backend {
+    InProcess(InProcessLinks),
+    Process(Box<ProcessLinks>),
+}
+
+/// One rank's communication endpoint.
+///
+/// Build one per rank with [`RankComm::for_ranks`] (threads + channels) or
+/// [`RankComm::over_process`] (one per OS process, sockets + `feir-wire`
+/// frames), move it into the rank's thread/process, and drive an iteration
+/// with [`RankComm::exchange_halo`] / [`RankComm::allreduce_sum`]. Solver
+/// code is backend-agnostic: the collectives perform identical rank-ordered
+/// arithmetic on both transports.
+#[derive(Debug)]
+pub struct RankComm {
+    rank: usize,
+    backend: Backend,
     /// Collectives entered through this endpoint (scalar and vector alike,
     /// blocking or split-phase). The merged-reduction solver tests assert
     /// "exactly one allreduce per iteration" against this counter.
@@ -388,20 +553,28 @@ pub struct RankComm {
 }
 
 impl RankComm {
-    /// Creates the connected endpoints for every rank of `plan`.
+    /// Creates the connected in-process endpoints for every rank of `plan`.
     pub fn for_ranks(plan: &HaloPlan, ranks: usize) -> Vec<RankComm> {
         let mut comms: Vec<RankComm> = Reducer::for_ranks(ranks)
             .into_iter()
             .enumerate()
             .map(|(rank, reducer)| RankComm {
                 rank,
-                halo_out: Vec::new(),
-                halo_in: Vec::new(),
-                recovery: Vec::new(),
-                reducer,
+                backend: Backend::InProcess(InProcessLinks {
+                    halo_out: Vec::new(),
+                    halo_in: Vec::new(),
+                    recovery: Vec::new(),
+                    reducer,
+                }),
                 collectives: std::cell::Cell::new(0),
             })
             .collect();
+        fn links(comm: &mut RankComm) -> &mut InProcessLinks {
+            match &mut comm.backend {
+                Backend::InProcess(l) => l,
+                Backend::Process(_) => unreachable!("for_ranks builds in-process endpoints"),
+            }
+        }
         // One channel per (sender, receiver) pair with a non-empty halo.
         for receiver_rank in 0..ranks {
             let mut sources: Vec<(usize, Vec<usize>)> = plan
@@ -412,43 +585,54 @@ impl RankComm {
             sources.sort_unstable_by_key(|(s, _)| *s);
             for (sender_rank, cols) in sources {
                 let (tx, rx) = channel();
-                comms[sender_rank]
+                links(&mut comms[sender_rank])
                     .halo_out
                     .push((receiver_rank, cols.clone(), tx));
-                comms[receiver_rank].halo_in.push((sender_rank, cols, rx));
+                links(&mut comms[receiver_rank])
+                    .halo_in
+                    .push((sender_rank, cols, rx));
             }
         }
         // Recovery channels: one bidirectional pair per unordered neighbour
         // pair with halo traffic in either direction, so a recovering rank can
         // request the off-diagonal contributions of its interpolation from any
         // rank its stencil reaches.
-        let mut neighbours: Vec<Vec<usize>> = vec![Vec::new(); ranks];
         for r in 0..ranks {
-            for &s in plan.needs_of(r).keys() {
-                if !neighbours[r].contains(&s) {
-                    neighbours[r].push(s);
-                }
-                if !neighbours[s].contains(&r) {
-                    neighbours[s].push(r);
-                }
-            }
-        }
-        for r in 0..ranks {
-            neighbours[r].sort_unstable();
-            for &s in &neighbours[r] {
+            for s in plan.neighbours_of(r) {
                 if s <= r {
                     continue;
                 }
                 let (r_to_s_tx, r_to_s_rx) = channel();
                 let (s_to_r_tx, s_to_r_rx) = channel();
-                comms[r].recovery.push((s, r_to_s_tx, s_to_r_rx));
-                comms[s].recovery.push((r, s_to_r_tx, r_to_s_rx));
+                links(&mut comms[r])
+                    .recovery
+                    .push((s, r_to_s_tx, s_to_r_rx));
+                links(&mut comms[s])
+                    .recovery
+                    .push((r, s_to_r_tx, r_to_s_rx));
             }
         }
         for comm in &mut comms {
-            comm.recovery.sort_unstable_by_key(|(peer, _, _)| *peer);
+            links(comm)
+                .recovery
+                .sort_unstable_by_key(|(peer, _, _)| *peer);
         }
         comms
+    }
+
+    /// Wraps a connected process-backend endpoint (see
+    /// [`crate::process::connect_mesh`]) as this rank's [`RankComm`].
+    ///
+    /// The halo send/receive lists and the recovery neighbourhood are derived
+    /// from `plan` exactly as [`RankComm::for_ranks`] derives them, so the
+    /// two backends move the same values in the same order.
+    pub fn over_process(plan: &HaloPlan, endpoint: crate::process::ProcessEndpoint) -> RankComm {
+        let rank = endpoint.rank();
+        RankComm {
+            rank,
+            backend: Backend::Process(Box::new(ProcessLinks::new(plan, endpoint))),
+            collectives: std::cell::Cell::new(0),
+        }
     }
 
     /// This rank's id.
@@ -462,48 +646,68 @@ impl RankComm {
     /// `full` is this rank's private full-length working copy of the vector;
     /// only its owned range is authoritative before the call, and exactly the
     /// halo entries referenced by its rows are valid after it.
-    pub fn exchange_halo(&self, full: &mut [f64]) {
-        for (_, cols, tx) in &self.halo_out {
-            let payload: Vec<f64> = cols.iter().map(|&c| full[c]).collect();
-            tx.send(payload).expect("halo receiver disconnected");
-        }
-        for (_, cols, rx) in &self.halo_in {
-            let payload = rx.recv().expect("halo sender disconnected");
-            debug_assert_eq!(payload.len(), cols.len());
-            for (&c, v) in cols.iter().zip(payload) {
-                full[c] = v;
+    pub fn exchange_halo(&self, full: &mut [f64]) -> Result<(), CommError> {
+        match &self.backend {
+            Backend::InProcess(links) => {
+                for (peer, cols, tx) in &links.halo_out {
+                    let payload: Vec<f64> = cols.iter().map(|&c| full[c]).collect();
+                    tx.send(payload).map_err(|_| CommError::Disconnected {
+                        peer: Some(*peer),
+                        during: "halo send",
+                    })?;
+                }
+                for (peer, cols, rx) in &links.halo_in {
+                    let payload = rx.recv().map_err(|_| CommError::Disconnected {
+                        peer: Some(*peer),
+                        during: "halo receive",
+                    })?;
+                    debug_assert_eq!(payload.len(), cols.len());
+                    for (&c, v) in cols.iter().zip(payload) {
+                        full[c] = v;
+                    }
+                }
+                Ok(())
             }
+            Backend::Process(links) => links.exchange_halo(full),
         }
     }
 
     /// Global sum of `local` over all ranks (see [`Reducer::allreduce_sum`]).
-    pub fn allreduce_sum(&self, local: f64) -> f64 {
-        self.collectives.set(self.collectives.get() + 1);
-        self.reducer.allreduce_sum(local)
+    pub fn allreduce_sum(&self, local: f64) -> Result<f64, CommError> {
+        self.start_allreduce(local)?.finish()
     }
 
-    /// Starts a split-phase allreduce on this rank's reducer (see
-    /// [`Reducer::start_allreduce`]): post the partial now, overlap local
-    /// work with the reduction, collect the sum with
-    /// [`PendingAllreduce::finish`].
-    pub fn start_allreduce(&self, local: f64) -> PendingAllreduce<'_> {
+    /// Starts a split-phase allreduce (see [`Reducer::start_allreduce`]):
+    /// post the partial now, overlap local work with the reduction, collect
+    /// the sum with [`PendingAllreduce::finish`].
+    pub fn start_allreduce(&self, local: f64) -> Result<PendingAllreduce<'_>, CommError> {
         self.collectives.set(self.collectives.get() + 1);
-        self.reducer.start_allreduce(local)
+        match &self.backend {
+            Backend::InProcess(links) => links.reducer.post_scalar(local)?,
+            Backend::Process(links) => links.post_scalar(local)?,
+        }
+        Ok(PendingAllreduce { comm: self, local })
     }
 
     /// Blocking vector allreduce (see [`Reducer::allreduce_vec`]): all of an
     /// iteration's scalars in one collective.
-    pub fn allreduce_vec(&self, local: Vec<f64>) -> Vec<f64> {
-        self.collectives.set(self.collectives.get() + 1);
-        self.reducer.allreduce_vec(local)
+    pub fn allreduce_vec(&self, local: Vec<f64>) -> Result<Vec<f64>, CommError> {
+        self.start_allreduce_vec(local)?.finish()
     }
 
     /// Starts a split-phase vector allreduce (see
     /// [`Reducer::start_allreduce_vec`]); the merged-reduction solvers keep
     /// it in flight across the halo exchange and the matvec.
-    pub fn start_allreduce_vec(&self, local: Vec<f64>) -> PendingVecAllreduce<'_> {
+    pub fn start_allreduce_vec(
+        &self,
+        local: Vec<f64>,
+    ) -> Result<PendingVecAllreduce<'_>, CommError> {
         self.collectives.set(self.collectives.get() + 1);
-        self.reducer.start_allreduce_vec(local)
+        let local = match &self.backend {
+            Backend::InProcess(links) => links.reducer.post_vec(local)?,
+            Backend::Process(links) => links.post_vec(local)?,
+        };
+        Ok(PendingVecAllreduce { comm: self, local })
     }
 
     /// Number of collectives this endpoint has entered (scalar and vector,
@@ -518,14 +722,17 @@ impl RankComm {
     /// discovered losses; the recovery round only runs when the result is
     /// true, so the fault-free path pays one scalar reduction and no data
     /// movement.
-    pub fn fault_flag(&self, local_faults: usize) -> bool {
-        self.allreduce_sum(local_faults as f64) > 0.0
+    pub fn fault_flag(&self, local_faults: usize) -> Result<bool, CommError> {
+        Ok(self.allreduce_sum(local_faults as f64)? > 0.0)
     }
 
     /// The ranks this rank can exchange recovery data with (its halo
     /// neighbours), in ascending order.
     pub fn recovery_peers(&self) -> Vec<usize> {
-        self.recovery.iter().map(|(peer, _, _)| *peer).collect()
+        match &self.backend {
+            Backend::InProcess(links) => links.recovery.iter().map(|(peer, _, _)| *peer).collect(),
+            Backend::Process(links) => links.recovery_peers().to_vec(),
+        }
     }
 
     /// One collective cross-rank recovery round (see [`RecoveryMsg`]).
@@ -552,67 +759,138 @@ impl RankComm {
         requests: &HashMap<usize, Vec<usize>>,
         data: &mut [f64],
         unserviceable: &[usize],
-    ) -> (usize, Vec<usize>) {
-        // A request outside the neighbourhood has no channel to travel on and
-        // would otherwise be dropped silently — reject it loudly instead.
-        assert!(
-            requests
-                .keys()
-                .all(|peer| self.recovery.iter().any(|(p, _, _)| p == peer)),
-            "recovery request targets a rank outside the halo neighbourhood"
-        );
-        // Phase 1: every rank posts its (possibly empty) requests.
-        for (peer, tx, _) in &self.recovery {
-            let indices = requests.get(peer).cloned().unwrap_or_default();
-            tx.send(RecoveryMsg::Request(indices))
-                .expect("recovery peer disconnected");
-        }
-        // Phase 2: answer each incoming request from the owned data,
-        // flagging the entries this rank cannot vouch for.
+    ) -> Result<(usize, Vec<usize>), CommError> {
         debug_assert!(
             unserviceable.windows(2).all(|w| w[0] < w[1]),
             "unserviceable indices must be sorted"
         );
-        for (peer, tx, rx) in &self.recovery {
-            match rx.recv().expect("recovery peer disconnected") {
-                RecoveryMsg::Request(indices) => {
-                    let values: Vec<f64> = indices.iter().map(|&i| data[i]).collect();
-                    let valid: Vec<bool> = indices
-                        .iter()
-                        .map(|i| unserviceable.binary_search(i).is_err())
-                        .collect();
-                    tx.send(RecoveryMsg::Reply { values, valid })
-                        .expect("recovery peer disconnected");
+        match &self.backend {
+            Backend::InProcess(links) => {
+                // A request outside the neighbourhood has no channel to travel
+                // on and would otherwise be dropped silently — reject it
+                // loudly instead.
+                assert!(
+                    requests
+                        .keys()
+                        .all(|peer| links.recovery.iter().any(|(p, _, _)| p == peer)),
+                    "recovery request targets a rank outside the halo neighbourhood"
+                );
+                // Phase 1: every rank posts its (possibly empty) requests.
+                for (peer, tx, _) in &links.recovery {
+                    let indices = requests.get(peer).cloned().unwrap_or_default();
+                    tx.send(RecoveryMsg::Request(indices)).map_err(|_| {
+                        CommError::Disconnected {
+                            peer: Some(*peer),
+                            during: "recovery request",
+                        }
+                    })?;
                 }
-                RecoveryMsg::Reply { .. } => {
-                    panic!("recovery protocol violation: reply from rank {peer} before request")
-                }
-            }
-        }
-        // Phase 3: scatter the fetched values into the working buffer.
-        let mut fetched = 0;
-        let mut invalid = Vec::new();
-        for (peer, _, rx) in &self.recovery {
-            match rx.recv().expect("recovery peer disconnected") {
-                RecoveryMsg::Reply { values, valid } => {
-                    let indices = requests.get(peer).map(Vec::as_slice).unwrap_or(&[]);
-                    debug_assert_eq!(values.len(), indices.len());
-                    debug_assert_eq!(valid.len(), indices.len());
-                    for ((&i, v), ok) in indices.iter().zip(values).zip(valid) {
-                        data[i] = v;
-                        fetched += 1;
-                        if !ok {
-                            invalid.push(i);
+                // Phase 2: answer each incoming request from the owned data,
+                // flagging the entries this rank cannot vouch for.
+                for (peer, tx, rx) in &links.recovery {
+                    match rx.recv().map_err(|_| CommError::Disconnected {
+                        peer: Some(*peer),
+                        during: "recovery request receive",
+                    })? {
+                        RecoveryMsg::Request(indices) => {
+                            let values: Vec<f64> = indices.iter().map(|&i| data[i]).collect();
+                            let valid: Vec<bool> = indices
+                                .iter()
+                                .map(|i| unserviceable.binary_search(i).is_err())
+                                .collect();
+                            tx.send(RecoveryMsg::Reply { values, valid }).map_err(|_| {
+                                CommError::Disconnected {
+                                    peer: Some(*peer),
+                                    during: "recovery reply",
+                                }
+                            })?;
+                        }
+                        RecoveryMsg::Reply { .. } => {
+                            return Err(CommError::Protocol(format!(
+                                "reply from rank {peer} before request"
+                            )))
                         }
                     }
                 }
-                RecoveryMsg::Request(_) => {
-                    panic!("recovery protocol violation: second request from rank {peer}")
+                // Phase 3: scatter the fetched values into the working buffer.
+                let mut fetched = 0;
+                let mut invalid = Vec::new();
+                for (peer, _, rx) in &links.recovery {
+                    match rx.recv().map_err(|_| CommError::Disconnected {
+                        peer: Some(*peer),
+                        during: "recovery reply receive",
+                    })? {
+                        RecoveryMsg::Reply { values, valid } => {
+                            let indices = requests.get(peer).map(Vec::as_slice).unwrap_or(&[]);
+                            debug_assert_eq!(values.len(), indices.len());
+                            debug_assert_eq!(valid.len(), indices.len());
+                            for ((&i, v), ok) in indices.iter().zip(values).zip(valid) {
+                                data[i] = v;
+                                fetched += 1;
+                                if !ok {
+                                    invalid.push(i);
+                                }
+                            }
+                        }
+                        RecoveryMsg::Request(_) => {
+                            return Err(CommError::Protocol(format!(
+                                "second request from rank {peer}"
+                            )))
+                        }
+                    }
                 }
+                invalid.sort_unstable();
+                Ok((fetched, invalid))
             }
+            Backend::Process(links) => links.recovery_exchange(requests, data, unserviceable),
         }
-        invalid.sort_unstable();
-        (fetched, invalid)
+    }
+}
+
+/// An in-flight split-phase allreduce on a [`RankComm`] (see
+/// [`RankComm::start_allreduce`]).
+///
+/// The contribution has already been posted; dropping the handle without
+/// calling [`PendingAllreduce::finish`] would deadlock the collective on the
+/// other ranks, hence the `must_use`.
+#[must_use = "finish() completes the collective; dropping the handle deadlocks the peers"]
+#[derive(Debug)]
+pub struct PendingAllreduce<'a> {
+    comm: &'a RankComm,
+    local: f64,
+}
+
+impl PendingAllreduce<'_> {
+    /// Completes the collective and returns the global sum. On the root this
+    /// performs the rank-ordered gather + broadcast; on a leaf it blocks on
+    /// the broadcast of the total.
+    pub fn finish(self) -> Result<f64, CommError> {
+        match &self.comm.backend {
+            Backend::InProcess(links) => links.reducer.finish_scalar(self.local),
+            Backend::Process(links) => links.finish_scalar(self.local),
+        }
+    }
+}
+
+/// An in-flight split-phase *vector* allreduce on a [`RankComm`] (see
+/// [`RankComm::start_allreduce_vec`]).
+#[must_use = "finish() completes the collective; dropping the handle deadlocks the peers"]
+#[derive(Debug)]
+pub struct PendingVecAllreduce<'a> {
+    comm: &'a RankComm,
+    /// The root's own partial (leaves posted theirs at start).
+    local: Vec<f64>,
+}
+
+impl PendingVecAllreduce<'_> {
+    /// Completes the collective and returns the component-wise global sums.
+    /// On the root this performs the rank-ordered gather + broadcast; on a
+    /// leaf it blocks on the broadcast of the totals.
+    pub fn finish(self) -> Result<Vec<f64>, CommError> {
+        match &self.comm.backend {
+            Backend::InProcess(links) => links.reducer.finish_vec(self.local),
+            Backend::Process(links) => links.finish_vec(self.local),
+        }
     }
 }
 
@@ -620,7 +898,9 @@ impl RankComm {
 /// followed by each rank's local block-row product.
 ///
 /// This is the communication round-trip of one CG iteration in isolation,
-/// used by tests to validate the halo plan against the serial kernel.
+/// used by tests to validate the halo plan against the serial kernel; a comm
+/// failure (impossible unless a rank thread dies) panics here rather than
+/// propagating.
 pub fn distributed_spmv(a: &CsrMatrix, x: &[f64], ranks: usize) -> Vec<f64> {
     assert_eq!(x.len(), a.cols(), "distributed_spmv: x has wrong length");
     assert_eq!(
@@ -644,7 +924,7 @@ pub fn distributed_spmv(a: &CsrMatrix, x: &[f64], ranks: usize) -> Vec<f64> {
                 // Private working copy: authoritative only on the owned range.
                 let mut full = vec![0.0; a.cols()];
                 full[own.clone()].copy_from_slice(&x[own.clone()]);
-                comm.exchange_halo(&mut full);
+                comm.exchange_halo(&mut full).expect("halo exchange failed");
                 let mut local = vec![0.0; own.len()];
                 a.spmv_rows(own.start, own.end, &full, &mut local);
                 (rank, local)
@@ -673,7 +953,7 @@ pub fn distributed_dot(x: &[f64], y: &[f64], ranks: usize) -> f64 {
             let range = partition.range(comm.rank());
             let handle = scope.spawn(move || {
                 let local = feir_sparse::vecops::dot(&x[range.clone()], &y[range]);
-                comm.allreduce_sum(local)
+                comm.allreduce_sum(local).expect("allreduce failed")
             });
             handles.push(handle);
         }
@@ -747,7 +1027,9 @@ mod tests {
                     } else {
                         HashMap::new()
                     };
-                    let (count, invalid) = comm.recovery_exchange(&requests, &mut data, &[]);
+                    let (count, invalid) = comm
+                        .recovery_exchange(&requests, &mut data, &[])
+                        .expect("recovery exchange failed");
                     assert!(invalid.is_empty(), "no owner declared pages lost");
                     let values: Vec<f64> = requests
                         .values()
@@ -808,7 +1090,9 @@ mod tests {
                         } else {
                             Vec::new()
                         };
-                        let (_, invalid) = comm.recovery_exchange(&requests, &mut data, &lost);
+                        let (_, invalid) = comm
+                            .recovery_exchange(&requests, &mut data, &lost)
+                            .expect("recovery exchange failed");
                         (rank, invalid)
                     })
                 })
@@ -841,8 +1125,8 @@ mod tests {
                 .map(|comm| {
                     scope.spawn(move || {
                         // Only rank 1 reports a fault; everyone must see it.
-                        let first = comm.fault_flag(usize::from(comm.rank() == 1));
-                        let second = comm.fault_flag(0);
+                        let first = comm.fault_flag(usize::from(comm.rank() == 1)).unwrap();
+                        let second = comm.fault_flag(0).unwrap();
                         (first, second)
                     })
                 })
@@ -870,7 +1154,9 @@ mod tests {
                         .into_iter()
                         .enumerate()
                         .map(|(rank, reducer)| {
-                            scope.spawn(move || reducer.allreduce_sum(0.1 + rank as f64 * 0.3))
+                            scope.spawn(move || {
+                                reducer.allreduce_sum(0.1 + rank as f64 * 0.3).unwrap()
+                            })
                         })
                         .collect();
                     handles.into_iter().map(|h| h.join().unwrap()).collect()
@@ -884,14 +1170,15 @@ mod tests {
                         .enumerate()
                         .map(|(rank, reducer)| {
                             scope.spawn(move || {
-                                let pending = reducer.start_allreduce(0.1 + rank as f64 * 0.3);
+                                let pending =
+                                    reducer.start_allreduce(0.1 + rank as f64 * 0.3).unwrap();
                                 // Local work overlapping the reduction wait.
                                 let mut acc = 0.0;
                                 for i in 0..500 {
                                     acc += (i as f64).sqrt();
                                 }
                                 assert!(acc > 0.0);
-                                pending.finish()
+                                pending.finish().unwrap()
                             })
                         })
                         .collect();
@@ -919,7 +1206,7 @@ mod tests {
                         .map(|(rank, reducer)| {
                             scope.spawn(move || {
                                 (0..3)
-                                    .map(|j| reducer.allreduce_sum(partial(rank, j)))
+                                    .map(|j| reducer.allreduce_sum(partial(rank, j)).unwrap())
                                     .collect::<Vec<f64>>()
                             })
                         })
@@ -936,14 +1223,14 @@ mod tests {
                         .map(|(rank, reducer)| {
                             scope.spawn(move || {
                                 let local: Vec<f64> = (0..3).map(|j| partial(rank, j)).collect();
-                                let pending = reducer.start_allreduce_vec(local);
+                                let pending = reducer.start_allreduce_vec(local).unwrap();
                                 // Local work overlapping the reduction.
                                 let mut acc = 0.0;
                                 for i in 0..200 {
                                     acc += (i as f64).sqrt();
                                 }
                                 assert!(acc > 0.0);
-                                pending.finish()
+                                pending.finish().unwrap()
                             })
                         })
                         .collect();
@@ -967,11 +1254,11 @@ mod tests {
                 .into_iter()
                 .map(|comm| {
                     scope.spawn(move || {
-                        comm.allreduce_sum(1.0);
-                        let _ = comm.allreduce_vec(vec![1.0, 2.0]);
-                        comm.fault_flag(0);
-                        let pending = comm.start_allreduce(0.5);
-                        pending.finish();
+                        comm.allreduce_sum(1.0).unwrap();
+                        let _ = comm.allreduce_vec(vec![1.0, 2.0]).unwrap();
+                        comm.fault_flag(0).unwrap();
+                        let pending = comm.start_allreduce(0.5).unwrap();
+                        pending.finish().unwrap();
                         comm.collectives()
                     })
                 })
@@ -990,7 +1277,7 @@ mod tests {
                     .into_iter()
                     .enumerate()
                     .map(|(rank, reducer)| {
-                        scope.spawn(move || reducer.allreduce_sum((rank + 1) as f64))
+                        scope.spawn(move || reducer.allreduce_sum((rank + 1) as f64).unwrap())
                     })
                     .collect();
                 let mut totals: Vec<f64> = handles
@@ -1004,5 +1291,37 @@ mod tests {
             let expected: f64 = (1..=ranks).map(|r| r as f64).sum();
             assert_eq!(total, expected);
         }
+    }
+
+    #[test]
+    fn dropped_peer_surfaces_as_typed_comm_error() {
+        // Rank 1 drops its endpoint without entering the collective; rank 0
+        // must observe a CommError::Disconnected, not a panic.
+        let mut comms = RankComm::for_ranks(&HaloPlan::empty(2), 2);
+        let c1 = comms.pop().unwrap();
+        let c0 = comms.pop().unwrap();
+        drop(c1);
+        let err = c0.allreduce_sum(1.0).unwrap_err();
+        assert!(
+            matches!(err, CommError::Disconnected { .. }),
+            "expected Disconnected, got {err:?}"
+        );
+    }
+
+    #[test]
+    fn dropped_halo_peer_surfaces_as_typed_comm_error() {
+        let a = poisson_2d(4);
+        let partition = RankPartition::new(a.rows(), 2);
+        let plan = HaloPlan::build(&a, &partition);
+        let mut comms = RankComm::for_ranks(&plan, 2);
+        let c1 = comms.pop().unwrap();
+        let c0 = comms.pop().unwrap();
+        drop(c1);
+        let mut full = vec![0.0; a.cols()];
+        let err = c0.exchange_halo(&mut full).unwrap_err();
+        assert!(
+            matches!(err, CommError::Disconnected { peer: Some(1), .. }),
+            "expected Disconnected from rank 1, got {err:?}"
+        );
     }
 }

@@ -21,7 +21,7 @@ pub(crate) use feir_sparse::vecops::{axpy, dot, norm2_squared, xpay};
 
 use feir_sparse::{vecops, CsrMatrix};
 
-use crate::comm::RankComm;
+use crate::comm::{CommError, RankComm};
 
 /// The guarded scalar recurrence ratio `num / den` of the CG/PCG β update:
 /// zero while the denominator is still the `∞` sentinel of iteration 0 (or
@@ -42,10 +42,11 @@ pub(crate) fn is_breakdown(value: f64) -> bool {
 
 /// Global `‖b‖₂` via the deterministic rank-ordered allreduce, floored away
 /// from zero so relative residuals stay finite.
-pub(crate) fn global_rhs_norm(comm: &RankComm, b_own: &[f64]) -> f64 {
-    comm.allreduce_sum(vecops::norm2_squared(b_own))
+pub(crate) fn global_rhs_norm(comm: &RankComm, b_own: &[f64]) -> Result<f64, CommError> {
+    Ok(comm
+        .allreduce_sum(vecops::norm2_squared(b_own))?
         .sqrt()
-        .max(f64::MIN_POSITIVE)
+        .max(f64::MIN_POSITIVE))
 }
 
 /// Explicit relative residual `‖b − A·x‖₂ / ‖b‖₂`, recomputed serially on an

@@ -17,7 +17,12 @@
 //!   distribution of the 27-point Poisson operator;
 //! * [`HaloPlan`] / [`RankComm`] — per-pair exchange lists of exactly the
 //!   remote entries each rank's rows reference, sent over channels each
-//!   iteration ([`distributed_spmv`] is the one-shot form);
+//!   iteration ([`distributed_spmv`] is the one-shot form). Since PR 6 the
+//!   same interface also runs over a **real multi-process transport**
+//!   ([`process`]): each rank an OS process, a full socket mesh (Unix
+//!   domain sockets, TCP fallback) speaking the versioned [`feir_wire`]
+//!   frame protocol, with disconnects surfacing as typed [`CommError`]s on
+//!   both backends and bitwise-identical collectives;
 //! * [`Reducer`] — deterministic rank-ordered sum allreduce used for the CG
 //!   dot products ([`distributed_dot`] is the one-shot form);
 //! * [`RankDomains`] — one [`feir_pagemem::PageRegistry`] per rank: DUEs are
@@ -54,6 +59,7 @@ pub mod merged;
 pub mod model;
 pub mod partition;
 pub mod pcg;
+pub mod process;
 mod rank_loop;
 mod rank_loop_merged;
 pub mod resilient;
@@ -61,14 +67,18 @@ pub mod resilient;
 pub use campaign::{CampaignBaseline, CampaignCell, CampaignReport, CampaignSolver, FaultCampaign};
 pub use cg::{distributed_cg, DistSolveResult};
 pub use comm::{
-    distributed_dot, distributed_spmv, HaloPlan, PendingAllreduce, PendingVecAllreduce, RankComm,
-    RecoveryMsg, Reducer,
+    distributed_dot, distributed_spmv, CommError, HaloPlan, PendingAllreduce, PendingVecAllreduce,
+    RankComm, RecoveryMsg, Reducer, ReducerPending, ReducerVecPending,
 };
 pub use domains::{RankDomains, RankFaultCounts};
 pub use merged::{distributed_cg_merged, distributed_pcg_merged};
 pub use model::{ScalingModel, ScalingPoint};
 pub use partition::RankPartition;
 pub use pcg::distributed_pcg;
+pub use process::{
+    connect_mesh, solve_with_processes, spawn_workers, spawned_as_worker, worker_main, MeshOptions,
+    ProcessEndpoint, ProcessError, ProcessSpec, Transport, WorkerHandles, WorkerSolver,
+};
 pub use resilient::{
     distributed_resilient_cg, distributed_resilient_cg_merged, distributed_resilient_pcg,
     distributed_resilient_pcg_merged, DistResilienceConfig, DistResilientCg, DistResilientReport,

@@ -36,8 +36,8 @@
 
 use feir_sparse::{CsrMatrix, LocalBlockJacobi};
 
-use crate::cg::{run_ranks, DistSolveResult};
-use crate::comm::RankComm;
+use crate::cg::{run_ranks, DistSolveResult, RankOutcome};
+use crate::comm::{CommError, RankComm};
 use crate::kernels;
 use crate::partition::RankPartition;
 
@@ -109,16 +109,15 @@ pub fn distributed_pcg_merged(
 }
 
 /// The per-rank merged CG loop (see the module docs for the iteration
-/// shape). Returns `(rank, owned x block, iterations, residual history,
-/// collectives entered)`.
-fn rank_cg_merged(
+/// shape), backend-agnostic like every rank loop.
+pub(crate) fn rank_cg_merged(
     a: &CsrMatrix,
     b: &[f64],
     comm: RankComm,
     partition: &RankPartition,
     tolerance: f64,
     max_iterations: usize,
-) -> (usize, Vec<f64>, usize, Vec<f64>, u64) {
+) -> Result<RankOutcome, CommError> {
     let rank = comm.rank();
     let own = partition.range(rank);
     let local_n = own.len();
@@ -133,10 +132,10 @@ fn rank_cg_merged(
                                         // Private full-length buffer for whichever vector the matvec reads.
     let mut mv_full = vec![0.0; a.cols()];
 
-    let norm_b = kernels::global_rhs_norm(&comm, &b[own.clone()]);
+    let norm_b = kernels::global_rhs_norm(&comm, &b[own.clone()])?;
     // w = A·r needs one setup halo exchange of the initial residual.
     mv_full[own.clone()].copy_from_slice(&r);
-    comm.exchange_halo(&mut mv_full);
+    comm.exchange_halo(&mut mv_full)?;
     a.spmv_rows(own.start, own.end, &mv_full, &mut w);
     // Local partials of the first iteration's batched reduction.
     let mut partials = kernels::dotn(&[(&r, &r), (&w, &r)]);
@@ -149,11 +148,11 @@ fn rank_cg_merged(
     for t in 0..max_iterations {
         // The iteration's single collective: posted now, finished after the
         // halo exchange and the matvec it overlaps.
-        let pending = comm.start_allreduce_vec(partials.clone());
+        let pending = comm.start_allreduce_vec(partials.clone())?;
         mv_full[own.clone()].copy_from_slice(&w);
-        comm.exchange_halo(&mut mv_full);
+        comm.exchange_halo(&mut mv_full)?;
         a.spmv_rows(own.start, own.end, &mv_full, &mut n_buf);
-        let totals = pending.finish();
+        let totals = pending.finish()?;
         let (gamma, delta) = (totals[0], totals[1]);
 
         let rel = gamma.max(0.0).sqrt() / norm_b;
@@ -182,12 +181,11 @@ fn rank_cg_merged(
         alpha_old = alpha;
     }
     let collectives = comm.collectives();
-    (rank, x, iterations, history, collectives)
+    Ok((rank, x, iterations, history, collectives))
 }
 
-/// The per-rank merged block-Jacobi PCG loop. Returns
-/// `(rank, owned x block, iterations, residual history, collectives)`.
-fn rank_pcg_merged(
+/// The per-rank merged block-Jacobi PCG loop, backend-agnostic.
+pub(crate) fn rank_pcg_merged(
     a: &CsrMatrix,
     b: &[f64],
     comm: RankComm,
@@ -195,7 +193,7 @@ fn rank_pcg_merged(
     page_doubles: usize,
     tolerance: f64,
     max_iterations: usize,
-) -> (usize, Vec<f64>, usize, Vec<f64>, u64) {
+) -> Result<RankOutcome, CommError> {
     let rank = comm.rank();
     let own = partition.range(rank);
     let local_n = own.len();
@@ -214,11 +212,11 @@ fn rank_pcg_merged(
     let mut n_buf = vec![0.0; local_n]; // A·m, fresh each iteration
     let mut mv_full = vec![0.0; a.cols()];
 
-    let norm_b = kernels::global_rhs_norm(&comm, &b[own.clone()]);
+    let norm_b = kernels::global_rhs_norm(&comm, &b[own.clone()])?;
     // u = M⁻¹·r (local), then w = A·u with one setup halo exchange.
     jacobi.apply(&r, &mut u);
     mv_full[own.clone()].copy_from_slice(&u);
-    comm.exchange_halo(&mut mv_full);
+    comm.exchange_halo(&mut mv_full)?;
     a.spmv_rows(own.start, own.end, &mv_full, &mut w);
     // γ = ⟨r, u⟩, δ = ⟨w, u⟩, ε = ‖r‖² — the three scalars of one batched
     // reduction (classic PCG pays three separate allreduces for these).
@@ -230,14 +228,14 @@ fn rank_pcg_merged(
     let mut history = Vec::new();
 
     for t in 0..max_iterations {
-        let pending = comm.start_allreduce_vec(partials.clone());
+        let pending = comm.start_allreduce_vec(partials.clone())?;
         // Inside the reduction window: the (communication-free) block-Jacobi
         // application, the halo exchange and the matvec.
         jacobi.apply(&w, &mut m_buf);
         mv_full[own.clone()].copy_from_slice(&m_buf);
-        comm.exchange_halo(&mut mv_full);
+        comm.exchange_halo(&mut mv_full)?;
         a.spmv_rows(own.start, own.end, &mv_full, &mut n_buf);
-        let totals = pending.finish();
+        let totals = pending.finish()?;
         let (gamma, delta, eps) = (totals[0], totals[1], totals[2]);
 
         let rel = eps.max(0.0).sqrt() / norm_b;
@@ -270,7 +268,7 @@ fn rank_pcg_merged(
         alpha_old = alpha;
     }
     let collectives = comm.collectives();
-    (rank, x, iterations, history, collectives)
+    Ok((rank, x, iterations, history, collectives))
 }
 
 #[cfg(test)]

@@ -16,8 +16,8 @@
 
 use feir_sparse::{CsrMatrix, LocalBlockJacobi};
 
-use crate::cg::{run_ranks, DistSolveResult};
-use crate::comm::RankComm;
+use crate::cg::{run_ranks, DistSolveResult, RankOutcome};
+use crate::comm::{CommError, RankComm};
 use crate::kernels;
 use crate::partition::RankPartition;
 
@@ -51,9 +51,9 @@ pub fn distributed_pcg(
     })
 }
 
-/// The per-rank PCG loop. Returns `(rank, owned x block, iterations,
-/// residual history, collectives entered)`.
-fn rank_pcg(
+/// The per-rank PCG loop, backend-agnostic (same body on in-process channels
+/// and on the socket mesh of the process transport).
+pub(crate) fn rank_pcg(
     a: &CsrMatrix,
     b: &[f64],
     comm: RankComm,
@@ -61,7 +61,7 @@ fn rank_pcg(
     page_doubles: usize,
     tolerance: f64,
     max_iterations: usize,
-) -> (usize, Vec<f64>, usize, Vec<f64>, u64) {
+) -> Result<RankOutcome, CommError> {
     let rank = comm.rank();
     let own = partition.range(rank);
     let local_n = own.len();
@@ -78,8 +78,8 @@ fn rank_pcg(
     // Private full-length buffer for the halo exchange of d.
     let mut d_full = vec![0.0; a.cols()];
 
-    let norm_b = kernels::global_rhs_norm(&comm, &b[own.clone()]);
-    let mut eps = comm.allreduce_sum(kernels::norm2_squared(&g));
+    let norm_b = kernels::global_rhs_norm(&comm, &b[own.clone()])?;
+    let mut eps = comm.allreduce_sum(kernels::norm2_squared(&g))?;
     let mut rho_old = f64::INFINITY;
     let mut iterations = 0;
     let mut history = Vec::new();
@@ -94,7 +94,7 @@ fn rank_pcg(
 
         // z ⇐ M⁻¹ g: one coupled block solve per page, no communication.
         jacobi.apply(&g, &mut z);
-        let rho = comm.allreduce_sum(kernels::dot(&z, &g));
+        let rho = comm.allreduce_sum(kernels::dot(&z, &g))?;
         if kernels::is_breakdown(rho) {
             break;
         }
@@ -102,11 +102,11 @@ fn rank_pcg(
         // d ⇐ z + β·d, then ship the halo of d.
         kernels::xpay(&z, beta, &mut d);
         d_full[own.clone()].copy_from_slice(&d);
-        comm.exchange_halo(&mut d_full);
+        comm.exchange_halo(&mut d_full)?;
 
         // q ⇐ A·d over the owned rows, fused with the local ⟨d, q⟩ partial.
         let dq_local = kernels::spmv_rows_dot(a, own.start, own.end, &d_full, &mut q);
-        let dq = comm.allreduce_sum(dq_local);
+        let dq = comm.allreduce_sum(dq_local)?;
         if kernels::is_breakdown(dq) {
             break;
         }
@@ -114,10 +114,10 @@ fn rank_pcg(
         kernels::axpy(alpha, &d, &mut x);
         // g ⇐ g − α·q fused with the local ‖g‖² partial of the next ε.
         rho_old = rho;
-        eps = comm.allreduce_sum(kernels::axpy_norm2(-alpha, &q, &mut g));
+        eps = comm.allreduce_sum(kernels::axpy_norm2(-alpha, &q, &mut g))?;
     }
     let collectives = comm.collectives();
-    (rank, x, iterations, history, collectives)
+    Ok((rank, x, iterations, history, collectives))
 }
 
 #[cfg(test)]

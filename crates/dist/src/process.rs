@@ -1,0 +1,1531 @@
+//! Process-backed transport: each rank is a real OS process, connected in a
+//! full mesh over Unix domain sockets (TCP fallback) and speaking the
+//! versioned `feir-wire` frame protocol.
+//!
+//! # Topology and handshake
+//!
+//! Every rank binds a listener (`{dir}/rank{r}.sock` for UDS, port
+//! `base + r` for TCP), then **connects** to every lower rank and **accepts**
+//! from every higher rank — a deadlock-free rendezvous because the
+//! connect-to targets form a DAG. Connection attempts retry with exponential
+//! backoff until [`MeshOptions::connect_timeout`], so ranks may start in any
+//! order. Both sides of every link exchange a `Hello { rank, ranks }` frame;
+//! the frame header carries the schema version, so a version skew is
+//! rejected at the handshake as [`feir_wire::WireError::VersionMismatch`].
+//!
+//! # Failure model
+//!
+//! A rank that dies closes all of its sockets. Peers observe the close as an
+//! EOF (reads) or `EPIPE`/reset (writes) and surface it as
+//! [`CommError::Disconnected`] — never a panic. A rank that errors out drops
+//! its endpoint before reporting, so the disconnect cascades through the
+//! mesh and unblocks every rank that was waiting on a collective; an
+//! optional per-read deadline ([`MeshOptions::read_timeout`], default 30 s)
+//! backstops pathological cases as [`CommError::Timeout`].
+//!
+//! # Determinism
+//!
+//! The collectives gather per-rank partials and fold them **in rank order**
+//! with the very same arithmetic as the in-process backend (see
+//! [`crate::comm`]), and halo payloads are raw little-endian f64 — so a
+//! solve over this transport is bitwise identical to the thread-backed one.
+//!
+//! # Worker processes
+//!
+//! [`spawn_workers`]/[`solve_with_processes`] launch one worker executable
+//! per rank (the `feir-rank-worker` binary, or any process that calls
+//! [`worker_main`]), parameterised through `FEIR_WORKER_*` environment
+//! variables. Each worker rebuilds the deterministic problem
+//! (`poisson_2d(grid)` + `manufactured_rhs(seed)`), joins the mesh, runs its
+//! rank loop and reports a `RankResult` (or typed `RankError`) wire frame on
+//! stdout.
+
+use std::cell::RefCell;
+use std::collections::{HashMap, VecDeque};
+use std::fmt;
+use std::io::{Read, Write};
+use std::net::{Ipv4Addr, SocketAddr, TcpListener, TcpStream};
+use std::os::unix::net::{UnixListener, UnixStream};
+use std::path::{Path, PathBuf};
+use std::process::{Child, Command, Stdio};
+use std::time::{Duration, Instant};
+
+use feir_wire::{FrameReader, Message, RankErrorKind, Tag, WireError};
+
+use crate::cg::DistSolveResult;
+use crate::comm::{fold_partials_rank_ordered, CommError, HaloPlan, RankComm};
+use crate::kernels;
+use crate::partition::RankPartition;
+
+/// How the rank mesh is carried.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Transport {
+    /// Unix domain sockets: rank `r` listens on `{dir}/rank{r}.sock`.
+    /// The default — lowest latency, no port allocation.
+    Uds {
+        /// Rendezvous directory holding the per-rank socket files.
+        dir: PathBuf,
+    },
+    /// TCP loopback fallback: rank `r` listens on `127.0.0.1:{base_port+r}`.
+    Tcp {
+        /// First port of the contiguous per-rank port range.
+        base_port: u16,
+    },
+}
+
+/// Tuning knobs for [`connect_mesh`].
+#[derive(Debug, Clone)]
+pub struct MeshOptions {
+    /// Overall deadline for establishing every link of the mesh; connection
+    /// attempts to not-yet-listening peers retry with exponential backoff
+    /// (2 ms doubling to 100 ms) until it expires.
+    pub connect_timeout: Duration,
+    /// Per-read deadline once connected; `None` blocks forever. The default
+    /// (30 s) turns a silently wedged peer into [`CommError::Timeout`]
+    /// instead of a hang.
+    pub read_timeout: Option<Duration>,
+}
+
+impl Default for MeshOptions {
+    fn default() -> Self {
+        MeshOptions {
+            connect_timeout: Duration::from_secs(10),
+            read_timeout: Some(Duration::from_secs(30)),
+        }
+    }
+}
+
+/// One socket, either flavour.
+#[derive(Debug)]
+enum Stream {
+    Unix(UnixStream),
+    Tcp(TcpStream),
+}
+
+impl Stream {
+    fn try_clone(&self) -> std::io::Result<Stream> {
+        Ok(match self {
+            Stream::Unix(s) => Stream::Unix(s.try_clone()?),
+            Stream::Tcp(s) => Stream::Tcp(s.try_clone()?),
+        })
+    }
+
+    fn set_read_timeout(&self, dur: Option<Duration>) -> std::io::Result<()> {
+        match self {
+            Stream::Unix(s) => s.set_read_timeout(dur),
+            Stream::Tcp(s) => s.set_read_timeout(dur),
+        }
+    }
+}
+
+impl Read for Stream {
+    fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+        match self {
+            Stream::Unix(s) => s.read(buf),
+            Stream::Tcp(s) => s.read(buf),
+        }
+    }
+}
+
+impl Write for Stream {
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        match self {
+            Stream::Unix(s) => s.write(buf),
+            Stream::Tcp(s) => s.write(buf),
+        }
+    }
+
+    fn flush(&mut self) -> std::io::Result<()> {
+        match self {
+            Stream::Unix(s) => s.flush(),
+            Stream::Tcp(s) => s.flush(),
+        }
+    }
+}
+
+/// One established link to a peer rank: framed reader + writer plus the
+/// typed inbox the demultiplexer stashes out-of-order frames into (e.g. a
+/// split-phase gather posted ahead of the same stream's halo payload).
+#[derive(Debug)]
+struct Link {
+    reader: Stream,
+    writer: Stream,
+    frames: FrameReader,
+    inbox: VecDeque<Message>,
+}
+
+/// A connected process-backend endpoint for one rank: one framed
+/// reader/writer link per peer.
+#[derive(Debug)]
+pub struct ProcessEndpoint {
+    rank: usize,
+    ranks: usize,
+    /// Indexed by peer rank; `None` at `links[rank]`.
+    links: Vec<Option<RefCell<Link>>>,
+    scratch: RefCell<Vec<u8>>,
+}
+
+/// Maps a low-level frame/IO failure on a peer link to the typed comm error.
+fn comm_err(peer: usize, during: &'static str, e: WireError) -> CommError {
+    use std::io::ErrorKind;
+    match e {
+        WireError::Closed => CommError::Disconnected {
+            peer: Some(peer),
+            during,
+        },
+        WireError::Io(io) => match io.kind() {
+            ErrorKind::UnexpectedEof
+            | ErrorKind::BrokenPipe
+            | ErrorKind::ConnectionReset
+            | ErrorKind::ConnectionAborted
+            | ErrorKind::NotConnected => CommError::Disconnected {
+                peer: Some(peer),
+                during,
+            },
+            ErrorKind::WouldBlock | ErrorKind::TimedOut => CommError::Timeout { peer, during },
+            _ => CommError::Wire(WireError::Io(io)),
+        },
+        // A peer truncated mid-frame is a peer that died mid-write.
+        WireError::Truncated { .. } => CommError::Disconnected {
+            peer: Some(peer),
+            during,
+        },
+        other => CommError::Wire(other),
+    }
+}
+
+impl ProcessEndpoint {
+    /// This rank's id.
+    pub fn rank(&self) -> usize {
+        self.rank
+    }
+
+    /// World size of the mesh.
+    pub fn ranks(&self) -> usize {
+        self.ranks
+    }
+
+    fn link(&self, peer: usize) -> &RefCell<Link> {
+        self.links[peer]
+            .as_ref()
+            .expect("no link to self or out-of-range peer")
+    }
+
+    /// Sends one message to `peer`.
+    fn send(&self, peer: usize, msg: &Message, during: &'static str) -> Result<(), CommError> {
+        let mut link = self.link(peer).borrow_mut();
+        let mut scratch = self.scratch.borrow_mut();
+        feir_wire::write_message(&mut link.writer, msg, &mut scratch)
+            .map_err(|e| comm_err(peer, during, e))
+    }
+
+    /// Receives the next message of `want` from `peer`, stashing any other
+    /// frame that arrives first into the link's inbox.
+    fn recv(&self, peer: usize, want: Tag, during: &'static str) -> Result<Message, CommError> {
+        let mut link = self.link(peer).borrow_mut();
+        if let Some(at) = link.inbox.iter().position(|m| m.tag() == want) {
+            return Ok(link.inbox.remove(at).expect("position just found"));
+        }
+        loop {
+            let Link { reader, frames, .. } = &mut *link;
+            let (tag, payload) = frames
+                .read_frame(reader)
+                .map_err(|e| comm_err(peer, during, e))?;
+            let msg = Message::decode(tag, payload).map_err(|e| comm_err(peer, during, e))?;
+            if tag == want {
+                return Ok(msg);
+            }
+            link.inbox.push_back(msg);
+        }
+    }
+
+    /// Receives a halo frame from `peer` and scatters it into `full` at
+    /// `cols`, straight from the frame buffer when the frame is read off the
+    /// wire (no intermediate `Vec<f64>`).
+    fn recv_halo_into(
+        &self,
+        peer: usize,
+        cols: &[usize],
+        full: &mut [f64],
+    ) -> Result<(), CommError> {
+        const DURING: &str = "halo receive";
+        let mut link = self.link(peer).borrow_mut();
+        if let Some(at) = link.inbox.iter().position(|m| m.tag() == Tag::Halo) {
+            let Some(Message::Halo { values }) = link.inbox.remove(at) else {
+                unreachable!("inbox position held a halo frame");
+            };
+            scatter_checked(peer, cols, &values, full)?;
+            return Ok(());
+        }
+        loop {
+            let Link { reader, frames, .. } = &mut *link;
+            let (tag, payload) = frames
+                .read_frame(reader)
+                .map_err(|e| comm_err(peer, DURING, e))?;
+            if tag == Tag::Halo {
+                if payload.len() != cols.len() * 8 {
+                    return Err(CommError::Protocol(format!(
+                        "halo from rank {peer}: got {} bytes, expected {} values",
+                        payload.len(),
+                        cols.len()
+                    )));
+                }
+                // Zero-copy scatter: decode each f64 out of the frame buffer
+                // directly into its destination slot.
+                for (&c, v) in cols.iter().zip(feir_wire::f64_payload_iter(payload)) {
+                    full[c] = v;
+                }
+                return Ok(());
+            }
+            let msg = Message::decode(tag, payload).map_err(|e| comm_err(peer, DURING, e))?;
+            link.inbox.push_back(msg);
+        }
+    }
+}
+
+fn scatter_checked(
+    peer: usize,
+    cols: &[usize],
+    values: &[f64],
+    full: &mut [f64],
+) -> Result<(), CommError> {
+    if values.len() != cols.len() {
+        return Err(CommError::Protocol(format!(
+            "halo from rank {peer}: got {} values, expected {}",
+            values.len(),
+            cols.len()
+        )));
+    }
+    for (&c, &v) in cols.iter().zip(values) {
+        full[c] = v;
+    }
+    Ok(())
+}
+
+/// Establishes this rank's full mesh: bind, connect to lower ranks with
+/// backoff, accept from higher ranks, handshake each link.
+pub fn connect_mesh(
+    rank: usize,
+    ranks: usize,
+    transport: &Transport,
+    options: &MeshOptions,
+) -> Result<ProcessEndpoint, CommError> {
+    assert!(rank < ranks, "rank out of range");
+    let deadline = Instant::now() + options.connect_timeout;
+    let setup_err =
+        |what: &str, e: std::io::Error| CommError::Protocol(format!("rank {rank}: {what}: {e}"));
+
+    // Bind this rank's listener before dialling anyone, so peers retrying
+    // against us succeed as soon as possible.
+    enum Listener {
+        Unix(UnixListener),
+        Tcp(TcpListener),
+    }
+    let listener = match transport {
+        Transport::Uds { dir } => {
+            let path = uds_path(dir, rank);
+            let _ = std::fs::remove_file(&path); // stale socket from a dead run
+            Listener::Unix(
+                UnixListener::bind(&path)
+                    .map_err(|e| setup_err(&format!("bind {}", path.display()), e))?,
+            )
+        }
+        Transport::Tcp { base_port } => {
+            let addr = SocketAddr::from((Ipv4Addr::LOCALHOST, base_port + rank as u16));
+            Listener::Tcp(
+                TcpListener::bind(addr).map_err(|e| setup_err(&format!("bind {addr}"), e))?,
+            )
+        }
+    };
+
+    let mut links: Vec<Option<RefCell<Link>>> = (0..ranks).map(|_| None).collect();
+    let mut scratch = Vec::new();
+
+    // Dial every lower rank, retrying with exponential backoff while its
+    // listener may not exist yet.
+    #[allow(clippy::needless_range_loop)] // `peer` is a rank id, not just an index
+    for peer in 0..rank {
+        let mut backoff = Duration::from_millis(2);
+        let stream = loop {
+            let attempt = match transport {
+                Transport::Uds { dir } => {
+                    UnixStream::connect(uds_path(dir, peer)).map(Stream::Unix)
+                }
+                Transport::Tcp { base_port } => TcpStream::connect(SocketAddr::from((
+                    Ipv4Addr::LOCALHOST,
+                    base_port + peer as u16,
+                )))
+                .map(Stream::Tcp),
+            };
+            match attempt {
+                Ok(s) => break s,
+                Err(_) if Instant::now() < deadline => {
+                    std::thread::sleep(backoff);
+                    backoff = (backoff * 2).min(Duration::from_millis(100));
+                }
+                Err(e) => {
+                    return Err(setup_err(&format!("connect to rank {peer}"), e));
+                }
+            }
+        };
+        let link = handshake(stream, rank, ranks, Some(peer), options, &mut scratch)?;
+        links[peer] = Some(RefCell::new(link.link));
+    }
+
+    // Accept one connection from every higher rank; they self-identify in
+    // their Hello, so arrival order does not matter.
+    let expected_higher = ranks - rank - 1;
+    match &listener {
+        Listener::Unix(l) => l.set_nonblocking(true),
+        Listener::Tcp(l) => l.set_nonblocking(true),
+    }
+    .map_err(|e| setup_err("listener set_nonblocking", e))?;
+    for _ in 0..expected_higher {
+        let stream = loop {
+            let accepted = match &listener {
+                Listener::Unix(l) => l.accept().map(|(s, _)| Stream::Unix(s)),
+                Listener::Tcp(l) => l.accept().map(|(s, _)| Stream::Tcp(s)),
+            };
+            match accepted {
+                Ok(s) => break s,
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                    if Instant::now() >= deadline {
+                        return Err(CommError::Timeout {
+                            peer: rank, // unidentified: nobody dialled us
+                            during: "mesh accept",
+                        });
+                    }
+                    std::thread::sleep(Duration::from_millis(2));
+                }
+                Err(e) => return Err(setup_err("accept", e)),
+            }
+        };
+        match &stream {
+            Stream::Unix(s) => s.set_nonblocking(false),
+            Stream::Tcp(s) => s.set_nonblocking(false),
+        }
+        .map_err(|e| setup_err("stream set_nonblocking", e))?;
+        let link = handshake(stream, rank, ranks, None, options, &mut scratch)?;
+        let peer = link.peer_rank;
+        if peer <= rank || peer >= ranks {
+            return Err(CommError::Protocol(format!(
+                "rank {rank}: unexpected hello from rank {peer}"
+            )));
+        }
+        if links[peer].is_some() {
+            return Err(CommError::Protocol(format!(
+                "rank {rank}: duplicate connection from rank {peer}"
+            )));
+        }
+        links[peer] = Some(RefCell::new(link.link));
+    }
+
+    // Keep the rendezvous socket file around until the run directory is
+    // cleaned up; dropping the listener closes it either way.
+    Ok(ProcessEndpoint {
+        rank,
+        ranks,
+        links,
+        scratch: RefCell::new(scratch),
+    })
+}
+
+/// A handshaken link plus who turned out to be on the other end.
+struct IdentifiedLink {
+    link: Link,
+    peer_rank: usize,
+}
+
+impl std::ops::Deref for IdentifiedLink {
+    type Target = Link;
+    fn deref(&self) -> &Link {
+        &self.link
+    }
+}
+
+/// Exchanges `Hello` frames on a fresh stream and validates them. `expect`
+/// is the peer we dialled (connect side) or `None` when accepting.
+fn handshake(
+    stream: Stream,
+    rank: usize,
+    ranks: usize,
+    expect: Option<usize>,
+    options: &MeshOptions,
+    scratch: &mut Vec<u8>,
+) -> Result<IdentifiedLink, CommError> {
+    let fallible = |e: WireError| comm_err(expect.unwrap_or(usize::MAX), "handshake", e);
+    stream
+        .set_read_timeout(options.read_timeout)
+        .map_err(|e| CommError::Protocol(format!("set_read_timeout: {e}")))?;
+    let reader = stream;
+    let mut writer = reader
+        .try_clone()
+        .map_err(|e| CommError::Protocol(format!("rank {rank}: stream clone failed: {e}")))?;
+    let hello = Message::Hello {
+        rank: rank as u32,
+        ranks: ranks as u32,
+    };
+    feir_wire::write_message(&mut writer, &hello, scratch).map_err(fallible)?;
+    let mut link = Link {
+        reader,
+        writer,
+        frames: FrameReader::new(),
+        inbox: VecDeque::new(),
+    };
+    let msg = link
+        .frames
+        .read_message(&mut link.reader)
+        .map_err(fallible)?;
+    let Message::Hello {
+        rank: peer_rank,
+        ranks: peer_ranks,
+    } = msg
+    else {
+        return Err(CommError::Protocol(format!(
+            "rank {rank}: expected Hello, got {:?}",
+            msg.tag()
+        )));
+    };
+    let peer_rank = peer_rank as usize;
+    if peer_ranks as usize != ranks {
+        return Err(CommError::Protocol(format!(
+            "rank {rank}: world-size mismatch (we say {ranks}, rank {peer_rank} says {peer_ranks})"
+        )));
+    }
+    if let Some(expected) = expect {
+        if peer_rank != expected {
+            return Err(CommError::Protocol(format!(
+                "rank {rank}: dialled rank {expected} but rank {peer_rank} answered"
+            )));
+        }
+    }
+    Ok(IdentifiedLink { link, peer_rank })
+}
+
+fn uds_path(dir: &Path, rank: usize) -> PathBuf {
+    dir.join(format!("rank{rank}.sock"))
+}
+
+/// The process backend's per-rank state behind [`RankComm`]: the endpoint
+/// plus the plan-derived halo lists and recovery neighbourhood, mirroring
+/// exactly what the in-process backend wires with channels.
+#[derive(Debug)]
+pub(crate) struct ProcessLinks {
+    endpoint: ProcessEndpoint,
+    /// Outgoing halo `(destination, owned indices to ship)`, sorted by peer.
+    halo_out: Vec<(usize, Vec<usize>)>,
+    /// Incoming halo `(source, indices received)`, sorted by peer.
+    halo_in: Vec<(usize, Vec<usize>)>,
+    /// Halo neighbours (either direction), ascending.
+    recovery_peers: Vec<usize>,
+}
+
+impl ProcessLinks {
+    pub(crate) fn new(plan: &HaloPlan, endpoint: ProcessEndpoint) -> ProcessLinks {
+        let rank = endpoint.rank();
+        let mut halo_out: Vec<(usize, Vec<usize>)> = plan
+            .sends_of(rank)
+            .iter()
+            .map(|(&dest, cols)| (dest, cols.clone()))
+            .collect();
+        halo_out.sort_unstable_by_key(|(dest, _)| *dest);
+        let mut halo_in: Vec<(usize, Vec<usize>)> = plan
+            .needs_of(rank)
+            .iter()
+            .map(|(&src, cols)| (src, cols.clone()))
+            .collect();
+        halo_in.sort_unstable_by_key(|(src, _)| *src);
+        let recovery_peers = plan.neighbours_of(rank);
+        ProcessLinks {
+            endpoint,
+            halo_out,
+            halo_in,
+            recovery_peers,
+        }
+    }
+
+    pub(crate) fn recovery_peers(&self) -> &[usize] {
+        &self.recovery_peers
+    }
+
+    pub(crate) fn exchange_halo(&self, full: &mut [f64]) -> Result<(), CommError> {
+        for (dest, cols) in &self.halo_out {
+            let values: Vec<f64> = cols.iter().map(|&c| full[c]).collect();
+            self.endpoint
+                .send(*dest, &Message::Halo { values }, "halo send")?;
+        }
+        for (src, cols) in &self.halo_in {
+            self.endpoint.recv_halo_into(*src, cols, full)?;
+        }
+        Ok(())
+    }
+
+    /// Leaf half of the scalar allreduce post (root holds its partial).
+    pub(crate) fn post_scalar(&self, local: f64) -> Result<(), CommError> {
+        if self.endpoint.rank() != 0 {
+            self.endpoint.send(
+                0,
+                &Message::GatherScalar {
+                    rank: self.endpoint.rank() as u32,
+                    value: local,
+                },
+                "allreduce gather",
+            )?;
+        }
+        Ok(())
+    }
+
+    /// Completes a scalar allreduce: rank 0 gathers every partial, folds in
+    /// rank order (identical arithmetic to the in-process root) and
+    /// broadcasts; leaves await the broadcast.
+    pub(crate) fn finish_scalar(&self, local: f64) -> Result<f64, CommError> {
+        let ranks = self.endpoint.ranks();
+        if self.endpoint.rank() == 0 {
+            let mut partials = vec![0.0; ranks];
+            partials[0] = local;
+            #[allow(clippy::needless_range_loop)] // `peer` is a rank id, not just an index
+            for peer in 1..ranks {
+                match self
+                    .endpoint
+                    .recv(peer, Tag::GatherScalar, "allreduce gather")?
+                {
+                    Message::GatherScalar { rank, value } => {
+                        if rank as usize != peer {
+                            return Err(CommError::Protocol(format!(
+                                "gather from rank {peer} claims rank {rank}"
+                            )));
+                        }
+                        partials[peer] = value;
+                    }
+                    _ => unreachable!("recv() returns the requested tag"),
+                }
+            }
+            let total: f64 = partials.iter().sum();
+            for peer in 1..ranks {
+                self.endpoint.send(
+                    peer,
+                    &Message::BroadcastScalar { value: total },
+                    "allreduce broadcast",
+                )?;
+            }
+            Ok(total)
+        } else {
+            match self
+                .endpoint
+                .recv(0, Tag::BroadcastScalar, "allreduce broadcast")?
+            {
+                Message::BroadcastScalar { value } => Ok(value),
+                _ => unreachable!("recv() returns the requested tag"),
+            }
+        }
+    }
+
+    /// Leaf half of the vector allreduce post; returns the partial the
+    /// caller must retain for the fold (root keeps its own, leaves none).
+    pub(crate) fn post_vec(&self, local: Vec<f64>) -> Result<Vec<f64>, CommError> {
+        if self.endpoint.rank() == 0 {
+            return Ok(local);
+        }
+        self.endpoint.send(
+            0,
+            &Message::GatherVec {
+                rank: self.endpoint.rank() as u32,
+                values: local,
+            },
+            "vector allreduce gather",
+        )?;
+        Ok(Vec::new())
+    }
+
+    /// Completes a vector allreduce with the rank-ordered component fold.
+    pub(crate) fn finish_vec(&self, local: Vec<f64>) -> Result<Vec<f64>, CommError> {
+        let ranks = self.endpoint.ranks();
+        if self.endpoint.rank() == 0 {
+            let mut partials: Vec<Vec<f64>> = vec![Vec::new(); ranks];
+            partials[0] = local;
+            for (peer, slot) in partials.iter_mut().enumerate().skip(1) {
+                match self
+                    .endpoint
+                    .recv(peer, Tag::GatherVec, "vector allreduce gather")?
+                {
+                    Message::GatherVec { rank, values } => {
+                        if rank as usize != peer {
+                            return Err(CommError::Protocol(format!(
+                                "vector gather from rank {peer} claims rank {rank}"
+                            )));
+                        }
+                        *slot = values;
+                    }
+                    _ => unreachable!("recv() returns the requested tag"),
+                }
+            }
+            let totals = fold_partials_rank_ordered(&partials)?;
+            for peer in 1..ranks {
+                self.endpoint.send(
+                    peer,
+                    &Message::BroadcastVec {
+                        values: totals.clone(),
+                    },
+                    "vector allreduce broadcast",
+                )?;
+            }
+            Ok(totals)
+        } else {
+            match self
+                .endpoint
+                .recv(0, Tag::BroadcastVec, "vector allreduce broadcast")?
+            {
+                Message::BroadcastVec { values } => Ok(values),
+                _ => unreachable!("recv() returns the requested tag"),
+            }
+        }
+    }
+
+    /// The three-phase recovery neighbourhood collective, frame-for-frame
+    /// the in-process protocol: post requests, answer requests, scatter
+    /// replies. Per-link FIFO ordering guarantees a request is always read
+    /// before the same peer's reply.
+    pub(crate) fn recovery_exchange(
+        &self,
+        requests: &HashMap<usize, Vec<usize>>,
+        data: &mut [f64],
+        unserviceable: &[usize],
+    ) -> Result<(usize, Vec<usize>), CommError> {
+        assert!(
+            requests.keys().all(|p| self.recovery_peers.contains(p)),
+            "recovery request targets a rank outside the halo neighbourhood"
+        );
+        for peer in &self.recovery_peers {
+            let indices: Vec<u64> = requests
+                .get(peer)
+                .map(|v| v.iter().map(|&i| i as u64).collect())
+                .unwrap_or_default();
+            self.endpoint.send(
+                *peer,
+                &Message::RecoveryRequest { indices },
+                "recovery request",
+            )?;
+        }
+        for peer in &self.recovery_peers {
+            match self
+                .endpoint
+                .recv(*peer, Tag::RecoveryRequest, "recovery request receive")?
+            {
+                Message::RecoveryRequest { indices } => {
+                    let mut values = Vec::with_capacity(indices.len());
+                    let mut valid = Vec::with_capacity(indices.len());
+                    for &i in &indices {
+                        let i = i as usize;
+                        if i >= data.len() {
+                            return Err(CommError::Protocol(format!(
+                                "rank {peer} requested out-of-range index {i}"
+                            )));
+                        }
+                        values.push(data[i]);
+                        valid.push(unserviceable.binary_search(&i).is_err());
+                    }
+                    self.endpoint.send(
+                        *peer,
+                        &Message::RecoveryReply { values, valid },
+                        "recovery reply",
+                    )?;
+                }
+                _ => unreachable!("recv() returns the requested tag"),
+            }
+        }
+        let mut fetched = 0;
+        let mut invalid = Vec::new();
+        for peer in &self.recovery_peers {
+            match self
+                .endpoint
+                .recv(*peer, Tag::RecoveryReply, "recovery reply receive")?
+            {
+                Message::RecoveryReply { values, valid } => {
+                    let indices = requests.get(peer).map(Vec::as_slice).unwrap_or(&[]);
+                    if values.len() != indices.len() || valid.len() != indices.len() {
+                        return Err(CommError::Protocol(format!(
+                            "recovery reply from rank {peer}: {} values for {} requests",
+                            values.len(),
+                            indices.len()
+                        )));
+                    }
+                    for ((&i, v), ok) in indices.iter().zip(values).zip(valid) {
+                        data[i] = v;
+                        fetched += 1;
+                        if !ok {
+                            invalid.push(i);
+                        }
+                    }
+                }
+                _ => unreachable!("recv() returns the requested tag"),
+            }
+        }
+        invalid.sort_unstable();
+        Ok((fetched, invalid))
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Worker processes: spec, launcher, worker entry point.
+// ---------------------------------------------------------------------------
+
+/// Which rank loop a worker process runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WorkerSolver {
+    /// Classic distributed CG.
+    Cg,
+    /// Block-Jacobi distributed PCG.
+    Pcg,
+    /// Merged-reduction (Chronopoulos–Gear) CG.
+    CgMerged,
+    /// Merged-reduction block-Jacobi PCG.
+    PcgMerged,
+}
+
+impl WorkerSolver {
+    fn as_str(self) -> &'static str {
+        match self {
+            WorkerSolver::Cg => "cg",
+            WorkerSolver::Pcg => "pcg",
+            WorkerSolver::CgMerged => "cg-merged",
+            WorkerSolver::PcgMerged => "pcg-merged",
+        }
+    }
+
+    fn parse(s: &str) -> Option<WorkerSolver> {
+        Some(match s {
+            "cg" => WorkerSolver::Cg,
+            "pcg" => WorkerSolver::Pcg,
+            "cg-merged" => WorkerSolver::CgMerged,
+            "pcg-merged" => WorkerSolver::PcgMerged,
+            _ => return None,
+        })
+    }
+}
+
+/// A deterministic multi-process solve: every worker rebuilds the same
+/// problem from `(grid, rhs_seed)`, so no matrix data crosses the wire.
+#[derive(Debug, Clone)]
+pub struct ProcessSpec {
+    /// Rank loop to run.
+    pub solver: WorkerSolver,
+    /// Poisson grid side; the system has `grid²` unknowns.
+    pub grid: usize,
+    /// Seed of the manufactured right-hand side.
+    pub rhs_seed: u64,
+    /// Number of worker processes.
+    pub ranks: usize,
+    /// Page-doubles granularity for the PCG preconditioner.
+    pub page_doubles: usize,
+    /// Convergence tolerance on the relative residual.
+    pub tolerance: f64,
+    /// Iteration cap.
+    pub max_iterations: usize,
+}
+
+impl ProcessSpec {
+    /// A small CG spec, convenient for tests and smoke runs.
+    pub fn cg(grid: usize, ranks: usize) -> ProcessSpec {
+        ProcessSpec {
+            solver: WorkerSolver::Cg,
+            grid,
+            rhs_seed: 5,
+            ranks,
+            page_doubles: 1,
+            tolerance: 1e-10,
+            max_iterations: 10_000,
+        }
+    }
+}
+
+/// A failure of the multi-process launcher or one of its workers.
+#[derive(Debug)]
+pub enum ProcessError {
+    /// Could not create the rendezvous or spawn a worker.
+    Spawn(std::io::Error),
+    /// A worker reported a typed communication failure.
+    Comm {
+        /// The rank that reported it.
+        rank: usize,
+        /// The reconstructed communication error.
+        error: CommError,
+    },
+    /// A worker failed outside the comm layer, or died without reporting.
+    Worker {
+        /// The rank concerned.
+        rank: usize,
+        /// What happened.
+        message: String,
+    },
+    /// A worker's report frame could not be understood.
+    Protocol {
+        /// The rank concerned.
+        rank: usize,
+        /// What was wrong with the report.
+        message: String,
+    },
+}
+
+impl fmt::Display for ProcessError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ProcessError::Spawn(e) => write!(f, "failed to launch workers: {e}"),
+            ProcessError::Comm { rank, error } => write!(f, "rank {rank}: {error}"),
+            ProcessError::Worker { rank, message } => write!(f, "rank {rank} failed: {message}"),
+            ProcessError::Protocol { rank, message } => {
+                write!(f, "rank {rank} sent a bad report: {message}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ProcessError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ProcessError::Spawn(e) => Some(e),
+            ProcessError::Comm { error, .. } => Some(error),
+            _ => None,
+        }
+    }
+}
+
+/// Removes the rendezvous directory when the run is over.
+#[derive(Debug)]
+struct RunDirGuard(PathBuf);
+
+impl Drop for RunDirGuard {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.0);
+    }
+}
+
+/// The spawned worker fleet of one multi-process solve.
+#[derive(Debug)]
+pub struct WorkerHandles {
+    children: Vec<Child>,
+    spec: ProcessSpec,
+    _dir: Option<RunDirGuard>,
+}
+
+impl WorkerHandles {
+    /// Kills the worker process of `rank` (SIGKILL), simulating a node
+    /// failure mid-solve. Surviving ranks observe the closed sockets as
+    /// [`CommError::Disconnected`].
+    pub fn kill_rank(&mut self, rank: usize) -> std::io::Result<()> {
+        self.children[rank].kill()
+    }
+
+    /// Collects every worker's report and assembles the solve result,
+    /// exactly as the thread-backed `run_ranks` assembles rank outcomes.
+    pub fn join(mut self) -> Result<DistSolveResult, ProcessError> {
+        let spec = self.spec.clone();
+        let n = spec.grid * spec.grid;
+        let ranks = crate::comm::effective_ranks(n, spec.ranks);
+        let partition = RankPartition::new(n, ranks);
+
+        let mut reports: Vec<Result<Message, ProcessError>> = Vec::with_capacity(ranks);
+        for (rank, child) in self.children.iter_mut().enumerate() {
+            let stdout = child.stdout.as_mut().expect("worker stdout is piped");
+            let mut frames = FrameReader::new();
+            let report = match frames.read_message(stdout) {
+                Ok(msg) => Ok(msg),
+                Err(WireError::Closed) | Err(WireError::Truncated { .. }) => {
+                    Err(ProcessError::Worker {
+                        rank,
+                        message: "exited without a report (killed or crashed)".into(),
+                    })
+                }
+                Err(e) => Err(ProcessError::Protocol {
+                    rank,
+                    message: e.to_string(),
+                }),
+            };
+            reports.push(report);
+        }
+        // Reap everything (kill is a no-op on the already-exited).
+        for child in &mut self.children {
+            let _ = child.kill();
+            let _ = child.wait();
+        }
+
+        let mut x = vec![0.0; n];
+        let mut iterations = 0;
+        let mut residual_history = Vec::new();
+        let mut allreduces = 0;
+        let mut first_error: Option<ProcessError> = None;
+        let mut comm_error: Option<ProcessError> = None;
+        for (rank, report) in reports.into_iter().enumerate() {
+            match report {
+                Ok(Message::RankResult {
+                    rank: reported,
+                    iterations: iters,
+                    collectives,
+                    x: x_own,
+                    history,
+                }) => {
+                    if reported as usize != rank {
+                        return Err(ProcessError::Protocol {
+                            rank,
+                            message: format!("report claims rank {reported}"),
+                        });
+                    }
+                    let own = partition.range(rank);
+                    if x_own.len() != own.len() {
+                        return Err(ProcessError::Protocol {
+                            rank,
+                            message: format!(
+                                "solution block has {} entries, expected {}",
+                                x_own.len(),
+                                own.len()
+                            ),
+                        });
+                    }
+                    x[own].copy_from_slice(&x_own);
+                    iterations = iters as usize;
+                    if rank == 0 {
+                        residual_history = history;
+                        allreduces = collectives;
+                    }
+                }
+                Ok(Message::RankError {
+                    kind,
+                    peer,
+                    message,
+                    ..
+                }) => {
+                    let err = rank_error_to_process_error(rank, kind, peer, message);
+                    if matches!(err, ProcessError::Comm { .. }) && comm_error.is_none() {
+                        comm_error = Some(err);
+                    } else if first_error.is_none() {
+                        first_error = Some(err);
+                    }
+                }
+                Ok(other) => {
+                    return Err(ProcessError::Protocol {
+                        rank,
+                        message: format!("unexpected report frame {:?}", other.tag()),
+                    })
+                }
+                Err(e) => {
+                    if first_error.is_none() {
+                        first_error = Some(e);
+                    }
+                }
+            }
+        }
+        // A typed comm failure is the most informative outcome: it names the
+        // disconnect the surviving ranks observed.
+        if let Some(err) = comm_error.or(first_error) {
+            return Err(err);
+        }
+
+        let a = feir_sparse::generators::poisson_2d(spec.grid);
+        let (_, b) = feir_sparse::generators::manufactured_rhs(&a, spec.rhs_seed);
+        let relative_residual = kernels::explicit_relative_residual(&a, &b, &x);
+        Ok(DistSolveResult {
+            x,
+            iterations,
+            relative_residual,
+            ranks,
+            converged: relative_residual <= spec.tolerance,
+            residual_history,
+            allreduces,
+        })
+    }
+}
+
+/// Reconstructs the typed error a worker reported over the wire.
+fn rank_error_to_process_error(
+    rank: usize,
+    kind: RankErrorKind,
+    peer: i32,
+    message: String,
+) -> ProcessError {
+    match kind {
+        RankErrorKind::Disconnected => ProcessError::Comm {
+            rank,
+            error: CommError::Disconnected {
+                peer: usize::try_from(peer).ok(),
+                during: "remote solve",
+            },
+        },
+        RankErrorKind::Timeout => ProcessError::Comm {
+            rank,
+            error: CommError::Timeout {
+                peer: usize::try_from(peer).unwrap_or(0),
+                during: "remote solve",
+            },
+        },
+        RankErrorKind::Wire => ProcessError::Comm {
+            rank,
+            error: CommError::Protocol(format!("wire error on remote rank: {message}")),
+        },
+        RankErrorKind::Other => ProcessError::Worker { rank, message },
+    }
+}
+
+static RUN_COUNTER: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+
+/// A unique rendezvous directory for one mesh run.
+fn fresh_run_dir() -> std::io::Result<PathBuf> {
+    let nanos = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.subsec_nanos())
+        .unwrap_or(0);
+    let dir = std::env::temp_dir().join(format!(
+        "feir-mesh-{}-{}-{}",
+        std::process::id(),
+        RUN_COUNTER.fetch_add(1, std::sync::atomic::Ordering::Relaxed),
+        nanos
+    ));
+    std::fs::create_dir_all(&dir)?;
+    Ok(dir)
+}
+
+/// Spawns one worker process per rank over the given transport. `worker` is
+/// any executable whose main calls [`worker_main`] (e.g. the
+/// `feir-rank-worker` binary, or a self-re-executing example).
+pub fn spawn_workers(
+    worker: &Path,
+    spec: &ProcessSpec,
+    transport: &Transport,
+) -> Result<WorkerHandles, ProcessError> {
+    let n = spec.grid * spec.grid;
+    let ranks = crate::comm::effective_ranks(n, spec.ranks);
+    let dir_guard = match transport {
+        Transport::Uds { dir } => {
+            // The rendezvous directory must exist before any worker binds.
+            std::fs::create_dir_all(dir).map_err(ProcessError::Spawn)?;
+            Some(RunDirGuard(dir.clone()))
+        }
+        Transport::Tcp { .. } => None,
+    };
+    let mut children = Vec::with_capacity(ranks);
+    for rank in 0..ranks {
+        let mut cmd = Command::new(worker);
+        cmd.env(ENV_RANK, rank.to_string())
+            .env(ENV_RANKS, ranks.to_string())
+            .env(ENV_SOLVER, spec.solver.as_str())
+            .env(ENV_GRID, spec.grid.to_string())
+            .env(ENV_SEED, spec.rhs_seed.to_string())
+            .env(ENV_TOL, format!("{:e}", spec.tolerance))
+            .env(ENV_MAXIT, spec.max_iterations.to_string())
+            .env(ENV_PAGE, spec.page_doubles.to_string())
+            .stdout(Stdio::piped())
+            .stdin(Stdio::null());
+        match transport {
+            Transport::Uds { dir } => {
+                cmd.env(ENV_TRANSPORT, "uds").env(ENV_DIR, dir);
+            }
+            Transport::Tcp { base_port } => {
+                cmd.env(ENV_TRANSPORT, "tcp")
+                    .env(ENV_TCP_BASE, base_port.to_string());
+            }
+        }
+        match cmd.spawn() {
+            Ok(child) => children.push(child),
+            Err(e) => {
+                // Tear down what already started.
+                for mut c in children {
+                    let _ = c.kill();
+                    let _ = c.wait();
+                }
+                return Err(ProcessError::Spawn(e));
+            }
+        }
+    }
+    Ok(WorkerHandles {
+        children,
+        spec: spec.clone(),
+        _dir: dir_guard,
+    })
+}
+
+/// Runs a complete multi-process solve over Unix domain sockets in a fresh
+/// rendezvous directory and returns the assembled result.
+pub fn solve_with_processes(
+    worker: &Path,
+    spec: &ProcessSpec,
+) -> Result<DistSolveResult, ProcessError> {
+    let dir = fresh_run_dir().map_err(ProcessError::Spawn)?;
+    spawn_workers(worker, spec, &Transport::Uds { dir })?.join()
+}
+
+const ENV_RANK: &str = "FEIR_WORKER_RANK";
+const ENV_RANKS: &str = "FEIR_WORKER_RANKS";
+const ENV_TRANSPORT: &str = "FEIR_WORKER_TRANSPORT";
+const ENV_DIR: &str = "FEIR_WORKER_DIR";
+const ENV_TCP_BASE: &str = "FEIR_WORKER_TCP_BASE";
+const ENV_SOLVER: &str = "FEIR_WORKER_SOLVER";
+const ENV_GRID: &str = "FEIR_WORKER_GRID";
+const ENV_SEED: &str = "FEIR_WORKER_SEED";
+const ENV_TOL: &str = "FEIR_WORKER_TOL";
+const ENV_MAXIT: &str = "FEIR_WORKER_MAXIT";
+const ENV_PAGE: &str = "FEIR_WORKER_PAGE";
+
+/// True when this process was spawned as a rank worker (the launcher set the
+/// `FEIR_WORKER_*` environment). A self-re-executing launcher (like
+/// `examples/dist_process.rs`) checks this first and calls [`worker_main`].
+pub fn spawned_as_worker() -> bool {
+    std::env::var_os(ENV_RANK).is_some()
+}
+
+#[derive(Debug)]
+struct WorkerEnv {
+    rank: usize,
+    ranks: usize,
+    transport: Transport,
+    solver: WorkerSolver,
+    grid: usize,
+    rhs_seed: u64,
+    page_doubles: usize,
+    tolerance: f64,
+    max_iterations: usize,
+}
+
+fn env_parse<T: std::str::FromStr>(key: &str) -> Result<T, String> {
+    let raw = std::env::var(key).map_err(|_| format!("{key} is not set"))?;
+    raw.parse().map_err(|_| format!("{key}={raw} is invalid"))
+}
+
+impl WorkerEnv {
+    fn from_env() -> Result<WorkerEnv, String> {
+        let transport = match std::env::var(ENV_TRANSPORT).as_deref() {
+            Ok("uds") => Transport::Uds {
+                dir: PathBuf::from(
+                    std::env::var_os(ENV_DIR).ok_or_else(|| format!("{ENV_DIR} is not set"))?,
+                ),
+            },
+            Ok("tcp") => Transport::Tcp {
+                base_port: env_parse(ENV_TCP_BASE)?,
+            },
+            other => return Err(format!("{ENV_TRANSPORT}={other:?} is invalid")),
+        };
+        let solver_raw: String = env_parse(ENV_SOLVER)?;
+        let solver = WorkerSolver::parse(&solver_raw)
+            .ok_or_else(|| format!("{ENV_SOLVER}={solver_raw} is invalid"))?;
+        Ok(WorkerEnv {
+            rank: env_parse(ENV_RANK)?,
+            ranks: env_parse(ENV_RANKS)?,
+            transport,
+            solver,
+            grid: env_parse(ENV_GRID)?,
+            rhs_seed: env_parse(ENV_SEED)?,
+            page_doubles: env_parse(ENV_PAGE)?,
+            tolerance: env_parse(ENV_TOL)?,
+            max_iterations: env_parse(ENV_MAXIT)?,
+        })
+    }
+}
+
+/// Joins the mesh, runs this rank's loop and returns the report frame.
+fn run_worker(env: &WorkerEnv) -> Result<Message, CommError> {
+    let a = feir_sparse::generators::poisson_2d(env.grid);
+    let (_, b) = feir_sparse::generators::manufactured_rhs(&a, env.rhs_seed);
+    let n = a.rows();
+    let ranks = crate::comm::effective_ranks(n, env.ranks);
+    let partition = RankPartition::new(n, ranks);
+    let plan = HaloPlan::build(&a, &partition);
+    let endpoint = connect_mesh(env.rank, ranks, &env.transport, &MeshOptions::default())?;
+    let comm = RankComm::over_process(&plan, endpoint);
+    let (rank, x_own, iterations, history, collectives) = match env.solver {
+        WorkerSolver::Cg => {
+            crate::cg::rank_cg(&a, &b, comm, &partition, env.tolerance, env.max_iterations)?
+        }
+        WorkerSolver::Pcg => crate::pcg::rank_pcg(
+            &a,
+            &b,
+            comm,
+            &partition,
+            env.page_doubles,
+            env.tolerance,
+            env.max_iterations,
+        )?,
+        WorkerSolver::CgMerged => crate::merged::rank_cg_merged(
+            &a,
+            &b,
+            comm,
+            &partition,
+            env.tolerance,
+            env.max_iterations,
+        )?,
+        WorkerSolver::PcgMerged => crate::merged::rank_pcg_merged(
+            &a,
+            &b,
+            comm,
+            &partition,
+            env.page_doubles,
+            env.tolerance,
+            env.max_iterations,
+        )?,
+    };
+    Ok(Message::RankResult {
+        rank: rank as u32,
+        iterations: iterations as u64,
+        collectives,
+        x: x_own,
+        history,
+    })
+}
+
+/// Encodes a comm failure as the typed wire report.
+fn comm_error_report(rank: usize, error: &CommError) -> Message {
+    let (kind, peer) = match error {
+        CommError::Disconnected { peer, .. } => (
+            RankErrorKind::Disconnected,
+            peer.map(|p| p as i32).unwrap_or(-1),
+        ),
+        CommError::Timeout { peer, .. } => (RankErrorKind::Timeout, *peer as i32),
+        CommError::Wire(_) => (RankErrorKind::Wire, -1),
+        CommError::Protocol(_) => (RankErrorKind::Other, -1),
+    };
+    Message::RankError {
+        rank: rank as u32,
+        kind,
+        peer,
+        message: error.to_string(),
+    }
+}
+
+/// Entry point of a rank worker process: parse the `FEIR_WORKER_*`
+/// environment, run the rank loop and write the report frame to stdout.
+///
+/// Call this from a dedicated binary (`feir-rank-worker`) or from any
+/// launcher that re-executes itself (check [`spawned_as_worker`] first).
+pub fn worker_main() -> std::process::ExitCode {
+    let env = match WorkerEnv::from_env() {
+        Ok(env) => env,
+        Err(msg) => {
+            eprintln!("feir rank worker: {msg}");
+            return std::process::ExitCode::FAILURE;
+        }
+    };
+    let rank = env.rank;
+    let report = match run_worker(&env) {
+        Ok(result) => result,
+        // `run_worker` returning drops the endpoint, closing this rank's
+        // sockets so any peer still blocked on us unblocks with a
+        // disconnect of its own before we even report.
+        Err(e) => comm_error_report(rank, &e),
+    };
+    let failed = matches!(report, Message::RankError { .. });
+    let mut out = std::io::stdout().lock();
+    let mut scratch = Vec::new();
+    if feir_wire::write_message(&mut out, &report, &mut scratch).is_err() || out.flush().is_err() {
+        return std::process::ExitCode::FAILURE;
+    }
+    if failed {
+        std::process::ExitCode::FAILURE
+    } else {
+        std::process::ExitCode::SUCCESS
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use feir_sparse::generators::poisson_2d;
+
+    /// Builds a thread-backed mesh of process endpoints over the transport
+    /// and runs `body` on every rank concurrently.
+    fn with_mesh<T: Send>(
+        ranks: usize,
+        transport: &Transport,
+        body: impl Fn(ProcessEndpoint) -> T + Sync,
+    ) -> Vec<T> {
+        let options = MeshOptions {
+            connect_timeout: Duration::from_secs(20),
+            read_timeout: Some(Duration::from_secs(20)),
+        };
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..ranks)
+                .map(|rank| {
+                    let transport = transport.clone();
+                    let options = options.clone();
+                    let body = &body;
+                    scope.spawn(move || {
+                        let ep = connect_mesh(rank, ranks, &transport, &options)
+                            .expect("mesh connect failed");
+                        body(ep)
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("rank thread panicked"))
+                .collect()
+        })
+    }
+
+    fn uds_transport() -> Transport {
+        Transport::Uds {
+            dir: fresh_run_dir().expect("temp dir"),
+        }
+    }
+
+    #[test]
+    fn mesh_allreduce_matches_in_process_bitwise() {
+        for ranks in [1usize, 2, 4] {
+            let transport = uds_transport();
+            let _guard = match &transport {
+                Transport::Uds { dir } => RunDirGuard(dir.clone()),
+                _ => unreachable!(),
+            };
+            let plan = HaloPlan::empty(ranks);
+            let over_wire: Vec<f64> = with_mesh(ranks, &transport, |ep| {
+                let comm = RankComm::over_process(&plan, ep);
+                comm.allreduce_sum(0.1 + comm.rank() as f64 * 0.3).unwrap()
+            });
+            let in_process: Vec<f64> = {
+                let comms = RankComm::for_ranks(&plan, ranks);
+                std::thread::scope(|scope| {
+                    let handles: Vec<_> = comms
+                        .into_iter()
+                        .map(|comm| {
+                            scope.spawn(move || {
+                                comm.allreduce_sum(0.1 + comm.rank() as f64 * 0.3).unwrap()
+                            })
+                        })
+                        .collect();
+                    handles.into_iter().map(|h| h.join().unwrap()).collect()
+                })
+            };
+            for (a, b) in over_wire.iter().zip(&in_process) {
+                assert_eq!(a.to_bits(), b.to_bits(), "{ranks} ranks");
+            }
+        }
+    }
+
+    #[test]
+    fn mesh_halo_exchange_moves_the_same_values() {
+        let a = poisson_2d(8);
+        let n = a.rows();
+        let ranks = 4;
+        let partition = RankPartition::new(n, ranks);
+        let plan = HaloPlan::build(&a, &partition);
+        let transport = uds_transport();
+        let _guard = match &transport {
+            Transport::Uds { dir } => RunDirGuard(dir.clone()),
+            _ => unreachable!(),
+        };
+        let fulls = with_mesh(ranks, &transport, |ep| {
+            let comm = RankComm::over_process(&plan, ep);
+            let own = partition.range(comm.rank());
+            let mut full = vec![0.0; n];
+            for i in own {
+                full[i] = (i * i) as f64 + 0.25;
+            }
+            comm.exchange_halo(&mut full).unwrap();
+            (comm.rank(), full)
+        });
+        for (rank, full) in fulls {
+            for (&src, cols) in plan.needs_of(rank) {
+                let _ = src;
+                for &c in cols {
+                    assert_eq!(full[c], (c * c) as f64 + 0.25, "rank {rank} col {c}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn tcp_fallback_carries_the_same_collectives() {
+        // Find a free contiguous port range, then run a mesh over loopback.
+        let ranks = 2;
+        let base = (0..40)
+            .map(|k| 42617 + k * 13)
+            .find(|&base| {
+                (0..ranks as u16).all(|r| {
+                    TcpListener::bind(SocketAddr::from((Ipv4Addr::LOCALHOST, base + r))).is_ok()
+                })
+            })
+            .expect("no free port range on loopback");
+        let transport = Transport::Tcp { base_port: base };
+        let plan = HaloPlan::empty(ranks);
+        let sums = with_mesh(ranks, &transport, |ep| {
+            let comm = RankComm::over_process(&plan, ep);
+            comm.allreduce_vec(vec![1.5 + comm.rank() as f64, -2.0])
+                .unwrap()
+        });
+        for sum in sums {
+            assert_eq!(sum, vec![1.5 + 2.5, -4.0]);
+        }
+    }
+
+    #[test]
+    fn dropped_process_peer_is_a_typed_disconnect() {
+        let ranks = 2;
+        let transport = uds_transport();
+        let _guard = match &transport {
+            Transport::Uds { dir } => RunDirGuard(dir.clone()),
+            _ => unreachable!(),
+        };
+        let plan = HaloPlan::empty(ranks);
+        let outcomes = with_mesh(ranks, &transport, |ep| {
+            let comm = RankComm::over_process(&plan, ep);
+            if comm.rank() == 1 {
+                // Simulate a dying rank: vanish without entering the
+                // collective. Dropping the endpoint closes the sockets.
+                drop(comm);
+                return None;
+            }
+            Some(comm.allreduce_sum(1.0))
+        });
+        let rank0 = outcomes.into_iter().flatten().next().expect("rank 0 ran");
+        match rank0 {
+            Err(CommError::Disconnected { peer: Some(1), .. }) => {}
+            other => panic!("expected typed disconnect from rank 1, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn mesh_recovery_exchange_matches_in_process() {
+        let a = poisson_2d(8);
+        let n = a.rows();
+        let ranks = 2;
+        let partition = RankPartition::new(n, ranks);
+        let plan = HaloPlan::build(&a, &partition);
+        let transport = uds_transport();
+        let _guard = match &transport {
+            Transport::Uds { dir } => RunDirGuard(dir.clone()),
+            _ => unreachable!(),
+        };
+        let results = with_mesh(ranks, &transport, |ep| {
+            let comm = RankComm::over_process(&plan, ep);
+            let rank = comm.rank();
+            let own = partition.range(rank);
+            let mut data = vec![0.0; n];
+            for i in own.clone() {
+                data[i] = i as f64;
+            }
+            let requests: HashMap<usize, Vec<usize>> = if rank == 0 {
+                plan.needs_of(0).clone()
+            } else {
+                HashMap::new()
+            };
+            let lost: Vec<usize> = if rank == 1 {
+                (own.start..own.start + 4).collect()
+            } else {
+                Vec::new()
+            };
+            let (fetched, invalid) = comm.recovery_exchange(&requests, &mut data, &lost).unwrap();
+            (rank, fetched, invalid, data)
+        });
+        let boundary = partition.range(1).start;
+        for (rank, fetched, invalid, data) in results {
+            if rank == 0 {
+                assert!(fetched > 0);
+                assert!(invalid.contains(&boundary), "lost row not flagged");
+                for (&src, cols) in plan.needs_of(0) {
+                    let _ = src;
+                    for &c in cols {
+                        assert_eq!(data[c], c as f64);
+                    }
+                }
+            } else {
+                assert_eq!(fetched, 0);
+                assert!(invalid.is_empty());
+            }
+        }
+    }
+}

@@ -40,7 +40,7 @@ use feir_recovery::{RecoverableIteration, RecoveryPolicy};
 use feir_sparse::blocking::BlockPartition;
 use feir_sparse::CsrMatrix;
 
-use crate::comm::RankComm;
+use crate::comm::{CommError, RankComm};
 use crate::kernels;
 use crate::partition::RankPartition;
 use crate::resilient::ScriptedFault;
@@ -187,13 +187,15 @@ pub(crate) fn blank_sweep(
     blanked
 }
 
-/// The generic per-rank resilient loop (see the module docs).
+/// The generic per-rank resilient loop (see the module docs). Like the
+/// plain rank loops it is backend-agnostic and surfaces any transport
+/// failure as a typed [`CommError`].
 #[allow(clippy::too_many_lines)]
 pub(crate) fn rank_resilient_solve<S: RecoverableIteration>(
     ctx: RankCtx<'_>,
     relations: &S,
     comm: RankComm,
-) -> RankOutcome {
+) -> Result<RankOutcome, CommError> {
     let a = ctx.a;
     let b = ctx.b;
     let own = ctx.own.clone();
@@ -250,8 +252,8 @@ pub(crate) fn rank_resilient_solve<S: RecoverableIteration>(
         _ => None,
     };
 
-    let norm_b = kernels::global_rhs_norm(&comm, &b[own.clone()]);
-    let mut eps = comm.allreduce_sum(kernels::norm2_squared(&g));
+    let norm_b = kernels::global_rhs_norm(&comm, &b[own.clone()])?;
+    let mut eps = comm.allreduce_sum(kernels::norm2_squared(&g))?;
     // For CG `ρ = ε` and this is the ε of the previous iteration; for PCG it
     // is the previous `⟨z, g⟩`. Both start from the ∞ sentinel (β = 0).
     let mut rho_old = f64::INFINITY;
@@ -305,7 +307,7 @@ pub(crate) fn rank_resilient_solve<S: RecoverableIteration>(
                 mark_page(registry, ids::Z, p);
             }
             pages_recovered += lost_z.len();
-            let rho = comm.allreduce_sum(kernels::dot(&z, &g));
+            let rho = comm.allreduce_sum(kernels::dot(&z, &g))?;
             if kernels::is_breakdown(rho) {
                 break;
             }
@@ -409,14 +411,14 @@ pub(crate) fn rank_resilient_solve<S: RecoverableIteration>(
         }
 
         d_full[own.clone()].copy_from_slice(&d);
-        comm.exchange_halo(&mut d_full);
+        comm.exchange_halo(&mut d_full)?;
         a.spmv_rows(own.start, own.end, &d_full, &mut q);
 
         // ---- q protection (FEIR/AFEIR; local recompute, r1 of Figure 1) ---
         let dq = if forward {
             let lost_q = scrub_blank(registry, ids::Q, pages, &mut q);
             if lost_q.is_empty() {
-                comm.allreduce_sum(kernels::dot(&d, &q))
+                comm.allreduce_sum(kernels::dot(&d, &q))?
             } else if ctx.policy == RecoveryPolicy::Feir {
                 // Critical path: recompute, then reduce over clean data.
                 for &p in &lost_q {
@@ -426,7 +428,7 @@ pub(crate) fn rank_resilient_solve<S: RecoverableIteration>(
                     mark_page(registry, ids::Q, p);
                 }
                 pages_recovered += lost_q.len();
-                comm.allreduce_sum(kernels::dot(&d, &q))
+                comm.allreduce_sum(kernels::dot(&d, &q))?
             } else {
                 // AFEIR: the recomputation overlaps the partial reduction,
                 // the skipped contributions are patched into the partial
@@ -462,17 +464,17 @@ pub(crate) fn rank_resilient_solve<S: RecoverableIteration>(
                     let local = pages.range(*p);
                     sum += kernels::dot(&d[local], values);
                 }
-                let pending = comm.start_allreduce(sum);
+                let pending = comm.start_allreduce(sum)?;
                 for (p, values) in fixes {
                     let local = pages.range(p);
                     q[local].copy_from_slice(&values);
                     mark_page(registry, ids::Q, p);
                 }
                 pages_recovered += lost_q.len();
-                pending.finish()
+                pending.finish()?
             }
         } else {
-            comm.allreduce_sum(kernels::dot(&d, &q))
+            comm.allreduce_sum(kernels::dot(&d, &q))?
         };
         if kernels::is_breakdown(dq) {
             break;
@@ -485,15 +487,15 @@ pub(crate) fn rank_resilient_solve<S: RecoverableIteration>(
         match ctx.policy {
             RecoveryPolicy::Ideal => {
                 rho_old = rho;
-                eps = comm.allreduce_sum(kernels::norm2_squared(&g));
+                eps = comm.allreduce_sum(kernels::norm2_squared(&g))?;
             }
             RecoveryPolicy::Feir | RecoveryPolicy::Afeir => {
                 let lost_x = scrub_blank(registry, ids::X, pages, &mut x_full[own.clone()]);
                 let lost_g = scrub_blank(registry, ids::G, pages, &mut g);
-                let faulty = comm.fault_flag(lost_x.len() + lost_g.len());
+                let faulty = comm.fault_flag(lost_x.len() + lost_g.len())?;
                 rho_old = rho;
                 if !faulty {
-                    eps = comm.allreduce_sum(kernels::norm2_squared(&g));
+                    eps = comm.allreduce_sum(kernels::norm2_squared(&g))?;
                     continue;
                 }
                 // Cross-rank round: fetch the remote stencil entries of
@@ -513,7 +515,7 @@ pub(crate) fn rank_resilient_solve<S: RecoverableIteration>(
                     .flat_map(|&p| global_rows(own.start, pages, p))
                     .collect();
                 let (fetched, invalid_fetched) =
-                    comm.recovery_exchange(&requests, &mut x_full, &own_blank_x);
+                    comm.recovery_exchange(&requests, &mut x_full, &own_blank_x)?;
                 cross_rank_values += fetched;
                 // Pages lost in both x and g are the unrecoverable
                 // related-loss case: blank-accepted. Remote entries the
@@ -554,7 +556,7 @@ pub(crate) fn rank_resilient_solve<S: RecoverableIteration>(
                         &mut g,
                         &mut counters,
                     );
-                    eps = comm.allreduce_sum(kernels::norm2_squared(&g));
+                    eps = comm.allreduce_sum(kernels::norm2_squared(&g))?;
                 } else if lost_g.is_empty() {
                     // AFEIR with only iterate losses: ε does not depend on x,
                     // so the local partial is final immediately and the
@@ -564,7 +566,7 @@ pub(crate) fn rank_resilient_solve<S: RecoverableIteration>(
                     for p in 0..pages.num_blocks() {
                         sum += kernels::norm2_squared(&g[pages.range(p)]);
                     }
-                    let pending = comm.start_allreduce(sum);
+                    let pending = comm.start_allreduce(sum)?;
                     let plan = plan_state_fixes(
                         relations,
                         a,
@@ -587,7 +589,7 @@ pub(crate) fn rank_resilient_solve<S: RecoverableIteration>(
                         &mut g,
                         &mut counters,
                     );
-                    eps = pending.finish();
+                    eps = pending.finish()?;
                 } else {
                     // AFEIR with residual losses: plan beside the partial ε
                     // reduction, patch the recovered pages' contributions
@@ -629,7 +631,7 @@ pub(crate) fn rank_resilient_solve<S: RecoverableIteration>(
                             sum += kernels::norm2_squared(values);
                         }
                     }
-                    let pending = comm.start_allreduce(sum);
+                    let pending = comm.start_allreduce(sum)?;
                     install_state_plan(
                         &plan,
                         pages,
@@ -639,7 +641,7 @@ pub(crate) fn rank_resilient_solve<S: RecoverableIteration>(
                         &mut g,
                         &mut counters,
                     );
-                    eps = pending.finish();
+                    eps = pending.finish()?;
                 }
                 pages_recovered += counters.recovered;
                 pages_ignored += counters.ignored;
@@ -660,7 +662,7 @@ pub(crate) fn rank_resilient_solve<S: RecoverableIteration>(
                 }
                 pages_ignored += blank_sweep(registry, pages, sweep);
                 rho_old = rho;
-                eps = comm.allreduce_sum(kernels::norm2_squared(&g));
+                eps = comm.allreduce_sum(kernels::norm2_squared(&g))?;
             }
             RecoveryPolicy::Checkpoint { .. } => {
                 let mut sweep: Vec<(_, &mut [f64])> = vec![
@@ -673,7 +675,7 @@ pub(crate) fn rank_resilient_solve<S: RecoverableIteration>(
                     sweep.push((ids::Z, &mut z[..]));
                 }
                 let lost_total = blank_sweep(registry, pages, sweep);
-                if comm.fault_flag(lost_total) {
+                if comm.fault_flag(lost_total)? {
                     // Global rollback: every rank restores its local
                     // checkpoint, then the residual is recomputed from the
                     // restored iterate (one extra halo exchange of x).
@@ -685,17 +687,17 @@ pub(crate) fn rank_resilient_solve<S: RecoverableIteration>(
                     {
                         rollbacks += 1;
                     }
-                    comm.exchange_halo(&mut x_full);
+                    comm.exchange_halo(&mut x_full)?;
                     a.spmv_rows(own.start, own.end, &x_full, &mut g);
                     for (k, r) in own.clone().enumerate() {
                         g[k] = b[r] - g[k];
                     }
                     rho_old = scalars.get(1).copied().unwrap_or(f64::INFINITY);
-                    eps = comm.allreduce_sum(kernels::norm2_squared(&g));
+                    eps = comm.allreduce_sum(kernels::norm2_squared(&g))?;
                     continue;
                 }
                 rho_old = rho;
-                eps = comm.allreduce_sum(kernels::norm2_squared(&g));
+                eps = comm.allreduce_sum(kernels::norm2_squared(&g))?;
             }
             RecoveryPolicy::LossyRestart => {
                 let lost_x = scrub_blank(registry, ids::X, pages, &mut x_full[own.clone()]);
@@ -708,7 +710,7 @@ pub(crate) fn rank_resilient_solve<S: RecoverableIteration>(
                     sweep.push((ids::Z, &mut z[..]));
                 }
                 let lost_total = lost_x.len() + blank_sweep(registry, pages, sweep);
-                if comm.fault_flag(lost_total) {
+                if comm.fault_flag(lost_total)? {
                     // Interpolate the lost iterate pages (block-Jacobi step,
                     // no residual term), fetching the remote stencil entries
                     // first, then restart globally. Lossy interpolation has
@@ -719,7 +721,8 @@ pub(crate) fn rank_resilient_solve<S: RecoverableIteration>(
                         .flat_map(|&p| global_rows(own.start, pages, p))
                         .collect();
                     let requests = remote_stencil_requests(a, &ctx.partition, ctx.rank, &lost_rows);
-                    let (fetched, _) = comm.recovery_exchange(&requests, &mut x_full, &lost_rows);
+                    let (fetched, _) =
+                        comm.recovery_exchange(&requests, &mut x_full, &lost_rows)?;
                     cross_rank_values += fetched;
                     for &p in &lost_x {
                         let rows: Vec<usize> = global_rows(own.start, pages, p).collect();
@@ -736,7 +739,7 @@ pub(crate) fn rank_resilient_solve<S: RecoverableIteration>(
                     }
                     // Restart: recompute g from the interpolated iterate and
                     // discard the Krylov space.
-                    comm.exchange_halo(&mut x_full);
+                    comm.exchange_halo(&mut x_full)?;
                     a.spmv_rows(own.start, own.end, &x_full, &mut g);
                     for (k, r) in own.clone().enumerate() {
                         g[k] = b[r] - g[k];
@@ -744,17 +747,17 @@ pub(crate) fn rank_resilient_solve<S: RecoverableIteration>(
                     d.iter_mut().for_each(|v| *v = 0.0);
                     restarts += 1;
                     rho_old = f64::INFINITY;
-                    eps = comm.allreduce_sum(kernels::norm2_squared(&g));
+                    eps = comm.allreduce_sum(kernels::norm2_squared(&g))?;
                     continue;
                 }
                 rho_old = rho;
-                eps = comm.allreduce_sum(kernels::norm2_squared(&g));
+                eps = comm.allreduce_sum(kernels::norm2_squared(&g))?;
             }
         }
     }
 
     let allreduces = comm.collectives();
-    RankOutcome {
+    Ok(RankOutcome {
         rank: ctx.rank,
         x_own: x_full[own].to_vec(),
         iterations,
@@ -765,5 +768,5 @@ pub(crate) fn rank_resilient_solve<S: RecoverableIteration>(
         rollbacks,
         restarts,
         allreduces,
-    }
+    })
 }

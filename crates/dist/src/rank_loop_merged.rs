@@ -47,7 +47,7 @@ use feir_recovery::{RecoverableIteration, RecoveryPolicy};
 use feir_sparse::blocking::BlockPartition;
 use feir_sparse::CsrMatrix;
 
-use crate::comm::RankComm;
+use crate::comm::{CommError, RankComm};
 use crate::kernels;
 use crate::merged::merged_alpha;
 use crate::rank_loop::{
@@ -168,12 +168,13 @@ fn plan_window_fixes<S: RecoverableIteration>(
 }
 
 /// The generic per-rank merged resilient loop (see the module docs).
+/// Backend-agnostic; transport failures surface as typed [`CommError`]s.
 #[allow(clippy::too_many_lines)]
 pub(crate) fn rank_merged_resilient_solve<S: RecoverableIteration>(
     ctx: RankCtx<'_>,
     relations: &S,
     comm: RankComm,
-) -> RankOutcome {
+) -> Result<RankOutcome, CommError> {
     let a = ctx.a;
     let b = ctx.b;
     let own = ctx.own.clone();
@@ -236,7 +237,7 @@ pub(crate) fn rank_merged_resilient_solve<S: RecoverableIteration>(
         _ => None,
     };
 
-    let norm_b = kernels::global_rhs_norm(&comm, &b[own.clone()]);
+    let norm_b = kernels::global_rhs_norm(&comm, &b[own.clone()])?;
     // Setup, identical to the plain merged loops: u = M⁻¹·r (PCG), one halo
     // exchange of the matvec source, w = A·(u|r), first reduction partials.
     if preconditioned {
@@ -248,7 +249,7 @@ pub(crate) fn rank_merged_resilient_solve<S: RecoverableIteration>(
     } else {
         mv_full[own.clone()].copy_from_slice(&r);
     }
-    comm.exchange_halo(&mut mv_full);
+    comm.exchange_halo(&mut mv_full)?;
     a.spmv_rows(own.start, own.end, &mv_full, &mut w);
     let mut partials = if preconditioned {
         kernels::dotn(&[(&r, &u), (&w, &u), (&r, &r)])
@@ -306,7 +307,7 @@ pub(crate) fn rank_merged_resilient_solve<S: RecoverableIteration>(
         if forward {
             post.push(local_faults as f64);
         }
-        let pending = comm.start_allreduce_vec(post);
+        let pending = comm.start_allreduce_vec(post)?;
 
         // ---- reduction window: preconditioner application, halo exchange
         // and matvec all run with the collective in flight — plus, under
@@ -323,7 +324,7 @@ pub(crate) fn rank_merged_resilient_solve<S: RecoverableIteration>(
         } else {
             mv_full[own.clone()].copy_from_slice(&w);
         }
-        comm.exchange_halo(&mut mv_full);
+        comm.exchange_halo(&mut mv_full)?;
         let window = if ctx.policy == RecoveryPolicy::Afeir && local_faults > 0 {
             overlap(
                 true,
@@ -340,7 +341,7 @@ pub(crate) fn rank_merged_resilient_solve<S: RecoverableIteration>(
             WindowPlan::default()
         };
 
-        let totals = pending.finish();
+        let totals = pending.finish()?;
         let gamma = totals[0];
         let delta = totals[1];
         let check = if preconditioned { totals[2] } else { gamma };
@@ -392,7 +393,8 @@ pub(crate) fn rank_merged_resilient_solve<S: RecoverableIteration>(
                 .iter()
                 .flat_map(|&pg| global_rows(own.start, pages, pg))
                 .collect();
-            let (fetched, invalid_p) = comm.recovery_exchange(&requests, &mut p_full, &own_blank_p);
+            let (fetched, invalid_p) =
+                comm.recovery_exchange(&requests, &mut p_full, &own_blank_p)?;
             cross_rank_values += fetched;
 
             // Related p/s losses on the same page are unrecoverable.
@@ -501,7 +503,8 @@ pub(crate) fn rank_merged_resilient_solve<S: RecoverableIteration>(
                 .iter()
                 .flat_map(|&pg| global_rows(own.start, pages, pg))
                 .collect();
-            let (fetched, invalid_x) = comm.recovery_exchange(&requests, &mut x_full, &own_blank_x);
+            let (fetched, invalid_x) =
+                comm.recovery_exchange(&requests, &mut x_full, &own_blank_x)?;
             cross_rank_values += fetched;
             let (rec_x, rec_r, conflicted_xr) = split_related(&lost_x, &lost_r);
             let mut blank_x: Vec<usize> = conflicted_xr
@@ -563,7 +566,7 @@ pub(crate) fn rank_merged_resilient_solve<S: RecoverableIteration>(
             // remedy of the pipelined-CG literature. Exact recoveries do
             // not pay this: the restored bits equal the pre-fault state, so
             // the recurrences are already consistent.
-            if comm.fault_flag(pages_ignored - ignored_before) {
+            if comm.fault_flag(pages_ignored - ignored_before)? {
                 gamma_old = f64::INFINITY;
                 alpha_old = 0.0;
                 partials = rebuild_recurrence_state(RebuildCtx {
@@ -584,7 +587,7 @@ pub(crate) fn rank_merged_resilient_solve<S: RecoverableIteration>(
                     q_aux: &mut q_aux,
                     z_aux: &mut z_aux,
                     mv_full: &mut mv_full,
-                });
+                })?;
                 history.push(rel);
                 if rel <= ctx.tolerance {
                     break;
@@ -664,7 +667,7 @@ pub(crate) fn rank_merged_resilient_solve<S: RecoverableIteration>(
                     sweep.push((ids::Z, &mut u[..]));
                 }
                 let lost_total = blank_sweep(registry, pages, sweep);
-                if comm.fault_flag(lost_total) {
+                if comm.fault_flag(lost_total)? {
                     // Global rollback: restore (x, p, scalars), then rebuild
                     // the whole recurrence state from the exact relations.
                     let store = store.as_mut().expect("checkpoint store exists");
@@ -695,7 +698,7 @@ pub(crate) fn rank_merged_resilient_solve<S: RecoverableIteration>(
                         q_aux: &mut q_aux,
                         z_aux: &mut z_aux,
                         mv_full: &mut mv_full,
-                    });
+                    })?;
                 }
             }
             RecoveryPolicy::LossyRestart => {
@@ -709,7 +712,7 @@ pub(crate) fn rank_merged_resilient_solve<S: RecoverableIteration>(
                     sweep.push((ids::Z, &mut u[..]));
                 }
                 let lost_total = lost_x.len() + blank_sweep(registry, pages, sweep);
-                if comm.fault_flag(lost_total) {
+                if comm.fault_flag(lost_total)? {
                     // Interpolate the lost iterate pages (lossy block-Jacobi
                     // step, remote stencil entries fetched first), then
                     // restart the Krylov space globally.
@@ -718,7 +721,8 @@ pub(crate) fn rank_merged_resilient_solve<S: RecoverableIteration>(
                         .flat_map(|&pg| global_rows(own.start, pages, pg))
                         .collect();
                     let requests = remote_stencil_requests(a, &ctx.partition, ctx.rank, &lost_rows);
-                    let (fetched, _) = comm.recovery_exchange(&requests, &mut x_full, &lost_rows);
+                    let (fetched, _) =
+                        comm.recovery_exchange(&requests, &mut x_full, &lost_rows)?;
                     cross_rank_values += fetched;
                     for &pg in &lost_x {
                         let rows: Vec<usize> = global_rows(own.start, pages, pg).collect();
@@ -753,7 +757,7 @@ pub(crate) fn rank_merged_resilient_solve<S: RecoverableIteration>(
                         q_aux: &mut q_aux,
                         z_aux: &mut z_aux,
                         mv_full: &mut mv_full,
-                    });
+                    })?;
                     restarts += 1;
                 }
             }
@@ -761,7 +765,7 @@ pub(crate) fn rank_merged_resilient_solve<S: RecoverableIteration>(
     }
 
     let allreduces = comm.collectives();
-    RankOutcome {
+    Ok(RankOutcome {
         rank: ctx.rank,
         x_own: x_full[own].to_vec(),
         iterations,
@@ -772,7 +776,7 @@ pub(crate) fn rank_merged_resilient_solve<S: RecoverableIteration>(
         rollbacks,
         restarts,
         allreduces,
-    }
+    })
 }
 
 /// Everything [`rebuild_recurrence_state`] needs, bundled so the rollback and
@@ -805,10 +809,12 @@ struct RebuildCtx<'a, S: RecoverableIteration> {
 /// rank executes this together (the halo exchanges are collective over
 /// neighbours), which is how the checkpoint rollback and lossy restart stay
 /// globally consistent.
-fn rebuild_recurrence_state<S: RecoverableIteration>(ctx: RebuildCtx<'_, S>) -> Vec<f64> {
+fn rebuild_recurrence_state<S: RecoverableIteration>(
+    ctx: RebuildCtx<'_, S>,
+) -> Result<Vec<f64>, CommError> {
     let own = ctx.own.clone();
     // r = b − A·x (one halo exchange of the restored iterate).
-    ctx.comm.exchange_halo(ctx.x_full);
+    ctx.comm.exchange_halo(ctx.x_full)?;
     ctx.a
         .spmv_rows(own.start, own.end, ctx.x_full, &mut ctx.r[..]);
     for (k, row) in own.clone().enumerate() {
@@ -828,14 +834,14 @@ fn rebuild_recurrence_state<S: RecoverableIteration>(ctx: RebuildCtx<'_, S>) -> 
     } else {
         ctx.mv_full[own.clone()].copy_from_slice(ctx.r);
     }
-    ctx.comm.exchange_halo(ctx.mv_full);
+    ctx.comm.exchange_halo(ctx.mv_full)?;
     ctx.a
         .spmv_rows(own.start, own.end, ctx.mv_full, &mut ctx.w[..]);
     if ctx.keep_direction {
         // s = A·p, q = M⁻¹·s, z = A·q — the Krylov direction survives the
         // rollback with its matvec images rebuilt exactly.
         ctx.mv_full[own.clone()].copy_from_slice(ctx.p);
-        ctx.comm.exchange_halo(ctx.mv_full);
+        ctx.comm.exchange_halo(ctx.mv_full)?;
         ctx.a
             .spmv_rows(own.start, own.end, ctx.mv_full, &mut ctx.s[..]);
         if ctx.preconditioned {
@@ -844,7 +850,7 @@ fn rebuild_recurrence_state<S: RecoverableIteration>(ctx: RebuildCtx<'_, S>) -> 
         } else {
             ctx.mv_full[own.clone()].copy_from_slice(ctx.s);
         }
-        ctx.comm.exchange_halo(ctx.mv_full);
+        ctx.comm.exchange_halo(ctx.mv_full)?;
         ctx.a
             .spmv_rows(own.start, own.end, ctx.mv_full, &mut ctx.z_aux[..]);
     } else {
@@ -864,10 +870,10 @@ fn rebuild_recurrence_state<S: RecoverableIteration>(ctx: RebuildCtx<'_, S>) -> 
         // ranks that restarted can never coexist: the policy is global, so
         // every rank takes the same branch — these exchanges keep the two
         // branches' communication schedules aligned if that ever changes.
-        ctx.comm.exchange_halo(ctx.mv_full);
-        ctx.comm.exchange_halo(ctx.mv_full);
+        ctx.comm.exchange_halo(ctx.mv_full)?;
+        ctx.comm.exchange_halo(ctx.mv_full)?;
     }
-    if ctx.preconditioned {
+    Ok(if ctx.preconditioned {
         kernels::dotn(&[
             (&ctx.r[..], &ctx.u[..]),
             (&ctx.w[..], &ctx.u[..]),
@@ -875,5 +881,5 @@ fn rebuild_recurrence_state<S: RecoverableIteration>(ctx: RebuildCtx<'_, S>) -> 
         ])
     } else {
         kernels::dotn(&[(&ctx.r[..], &ctx.r[..]), (&ctx.w[..], &ctx.r[..])])
-    }
+    })
 }

@@ -611,7 +611,12 @@ impl<'a> DistResilientSolver<'a> {
                 }));
             }
             for handle in handles {
-                let outcome = handle.join().expect("rank thread panicked");
+                // On the in-process backend a comm error implies a dead
+                // sibling thread, which the join reports first.
+                let outcome = handle
+                    .join()
+                    .expect("rank thread panicked")
+                    .expect("in-process comm failed");
                 x[self.partition.range(outcome.rank)].copy_from_slice(&outcome.x_own);
                 iterations = outcome.iterations;
                 if outcome.rank == 0 {

@@ -119,7 +119,7 @@ fn split_phase_allreduce_is_bitwise_identical_to_blocking_at_1_2_4_ranks() {
                                 // Partials whose accumulation order matters.
                                 let local = (comm.rank() as f64 + 1.0) * 0.1 + round as f64 * 1e-13;
                                 let total = if split {
-                                    let pending = comm.start_allreduce(local);
+                                    let pending = comm.start_allreduce(local).unwrap();
                                     // Local work standing in for the page
                                     // reconstruction AFEIR runs inside the
                                     // collective.
@@ -128,9 +128,9 @@ fn split_phase_allreduce_is_bitwise_identical_to_blocking_at_1_2_4_ranks() {
                                         acc += (i as f64).sqrt();
                                     }
                                     assert!(acc >= 0.0);
-                                    pending.finish()
+                                    pending.finish().unwrap()
                                 } else {
-                                    comm.allreduce_sum(local)
+                                    comm.allreduce_sum(local).unwrap()
                                 };
                                 totals.push(total);
                             }

@@ -110,12 +110,18 @@ pub fn read_matrix_market<R: BufRead>(reader: R) -> Result<CsrMatrix, SparseErro
             .ok_or_else(|| SparseError::Parse("missing column index".into()))?
             .parse()
             .map_err(|e| SparseError::Parse(format!("bad column index: {e}")))?;
-        let v: f64 = match it.next() {
-            Some(tok) => tok
-                .parse()
-                .map_err(|e| SparseError::Parse(format!("bad value: {e}")))?,
-            None => 1.0,
-        };
+        // A missing value token means the file is `pattern` format (or
+        // damaged); defaulting it to 1.0 silently fabricates matrix data,
+        // so it is a hard parse error.
+        let v: f64 = it
+            .next()
+            .ok_or_else(|| {
+                SparseError::Parse(format!(
+                    "entry {r} {c} has no value token (pattern-format data in a real file?)"
+                ))
+            })?
+            .parse()
+            .map_err(|e| SparseError::Parse(format!("bad value: {e}")))?;
         if r == 0 || c == 0 {
             return Err(SparseError::Parse(
                 "MatrixMarket indices are 1-based; found 0".into(),
@@ -123,7 +129,19 @@ pub fn read_matrix_market<R: BufRead>(reader: R) -> Result<CsrMatrix, SparseErro
         }
         match symmetry {
             MmSymmetry::General => coo.push(r - 1, c - 1, v)?,
-            MmSymmetry::Symmetric => coo.push_symmetric(r - 1, c - 1, v)?,
+            MmSymmetry::Symmetric => {
+                // The format stores only the lower triangle of a symmetric
+                // matrix; an upper-triangle entry means the writer did not
+                // follow the spec, and mirroring it would double-count
+                // against a matching lower entry.
+                if c > r {
+                    return Err(SparseError::Parse(format!(
+                        "symmetric file stores upper-triangle entry {r} {c}; \
+                         the format requires the lower triangle only"
+                    )));
+                }
+                coo.push_symmetric(r - 1, c - 1, v)?
+            }
         }
         seen += 1;
     }
@@ -229,6 +247,33 @@ mod tests {
         assert!(
             read_matrix_market("%%MatrixMarket matrix array real general\n1 1\n".as_bytes())
                 .is_err()
+        );
+    }
+
+    #[test]
+    fn rejects_missing_value_token() {
+        // `coordinate real` declares a value per entry; a bare index pair is
+        // pattern-format data and must not silently become 1.0.
+        let text = "%%MatrixMarket matrix coordinate real general\n2 2 1\n1 2\n";
+        let err = read_matrix_market(text.as_bytes()).unwrap_err();
+        assert!(
+            err.to_string().contains("no value token"),
+            "unexpected error: {err}"
+        );
+    }
+
+    #[test]
+    fn rejects_upper_triangle_entries_in_symmetric_files() {
+        // "1 2" is above the diagonal: a spec-violating symmetric file whose
+        // mirror would double-count against a stored "2 1".
+        let text = "%%MatrixMarket matrix coordinate real symmetric\n\
+                    2 2 2\n\
+                    1 1 2.0\n\
+                    1 2 -1.0\n";
+        let err = read_matrix_market(text.as_bytes()).unwrap_err();
+        assert!(
+            err.to_string().contains("upper-triangle"),
+            "unexpected error: {err}"
         );
     }
 

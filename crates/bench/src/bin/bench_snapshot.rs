@@ -24,8 +24,9 @@ use std::time::{Duration, Instant};
 
 use feir_dist::{
     distributed_resilient_cg, distributed_resilient_cg_merged, distributed_resilient_pcg,
-    distributed_resilient_pcg_merged, solve_with_processes, spawned_as_worker, worker_main,
-    DistResilienceConfig, HaloPlan, ProcessSpec, ProtectedVector, RankComm, ScriptedFault,
+    distributed_resilient_pcg_merged, solve_with_processes, spawn_workers_with, spawned_as_worker,
+    worker_main, ChaosConfig, DistResilienceConfig, HaloPlan, ProcessSpec, ProtectedVector,
+    RankComm, ScriptedFault, Transport, WorkerOptions,
 };
 use feir_recovery::RecoveryPolicy;
 use feir_solvers::{cg, cg_merged, SolveOptions};
@@ -439,6 +440,76 @@ fn main() -> ExitCode {
                 black_box(result)
             });
         }
+    }
+
+    // PR 7: the same multi-process solve under a hostile network. `lossy`
+    // runs over a chaos-injected mesh (drops, duplicates, reorders,
+    // corruption) that the ack/retransmit sublayer absorbs — the solve is
+    // bitwise-identical to the clean run (asserted in the transport suite),
+    // so the delta against dist_cg/processes above is the pure cost of
+    // sequencing, acknowledgments and retransmission stalls. `rejoin` kills
+    // rank 1 mid-solve and respawns it into the elastic mesh: the price of
+    // a whole-process loss healed by re-handshake + Krylov restart.
+    {
+        use std::sync::atomic::{AtomicU64, Ordering};
+        static RUN: AtomicU64 = AtomicU64::new(0);
+        let fresh_dir = || {
+            std::env::temp_dir().join(format!(
+                "feir-bench-net-{}-{}",
+                std::process::id(),
+                RUN.fetch_add(1, Ordering::Relaxed)
+            ))
+        };
+        let worker = std::env::current_exe().expect("cannot locate own executable");
+        let grid = if smoke { 8 } else { 16 };
+        let ranks = 2;
+        h.bench("dist_cg/processes/lossy/ranks2", || {
+            let spec = ProcessSpec::cg(grid, ranks);
+            let options = WorkerOptions {
+                chaos: Some(
+                    ChaosConfig::parse("seed=7,drop=0.01,dup=0.005,delay=0.005,corrupt=0.005")
+                        .expect("chaos schedule parses"),
+                ),
+                retransmit_timeout: Some(Duration::from_millis(10)),
+                ..WorkerOptions::default()
+            };
+            let result = spawn_workers_with(
+                &worker,
+                &spec,
+                &Transport::Uds { dir: fresh_dir() },
+                &options,
+            )
+            .expect("lossy spawn failed")
+            .join()
+            .expect("lossy solve failed");
+            assert!(result.converged);
+            black_box(result)
+        });
+        h.bench("dist_cg/processes/rejoin/ranks2", || {
+            let spec = ProcessSpec::cg(grid, ranks);
+            let options = WorkerOptions {
+                policy: Some(RecoveryPolicy::Feir),
+                elastic: true,
+                // Dilate the iterations so the kill lands mid-solve; the
+                // sleep does no floating-point work.
+                spin: Some(Duration::from_millis(8)),
+                ..WorkerOptions::default()
+            };
+            let mut handles = spawn_workers_with(
+                &worker,
+                &spec,
+                &Transport::Uds { dir: fresh_dir() },
+                &options,
+            )
+            .expect("elastic spawn failed");
+            std::thread::sleep(Duration::from_millis(60));
+            handles.kill_rank(1).expect("kill failed");
+            std::thread::sleep(Duration::from_millis(30));
+            handles.respawn_rank(1).expect("respawn failed");
+            let result = handles.join().expect("rejoined solve failed");
+            assert!(result.converged);
+            black_box(result)
+        });
     }
 
     // PR 4: the split-phase allreduce in isolation. Every rank performs the

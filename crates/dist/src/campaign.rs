@@ -14,13 +14,19 @@
 //! [`DistributedFaultReport`] — so a report can say not just *how many*
 //! errors occurred but *which ranks* absorbed and recovered them.
 
-use std::time::Duration;
+use std::path::Path;
+use std::time::{Duration, Instant};
 
 use feir_pagemem::InjectionPlan;
 use feir_recovery::report::{DistributedFaultReport, RankFaultStats};
 use feir_recovery::RecoveryPolicy;
 use feir_sparse::CsrMatrix;
+use feir_wire::chaos::FaultRates;
 
+use crate::process::{
+    spawn_workers_with, ChaosConfig, ProcessError, ProcessSpec, Transport, WorkerOptions,
+    WorkerSolver,
+};
 use crate::resilient::{DistResilienceConfig, DistResilientSolver, InjectionDriver};
 
 /// The solver axis of a campaign: which engine instantiation runs the
@@ -305,6 +311,293 @@ impl FaultCampaign {
             .with_page_doubles(self.page_doubles)
             .with_tolerance(self.tolerance)
             .with_max_iterations(self.max_iterations)
+    }
+}
+
+/// Process-failure schedule of one [`NetFaultCampaign`] cell.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum KillSchedule {
+    /// No process failure: the cell measures the pure frame-fault overhead.
+    None,
+    /// Kill the worker of `rank` after `after` of wall clock, then respawn
+    /// it immediately; the elastic mesh rejoins it mid-solve. Rank 0 hosts
+    /// the collectives and cannot be scheduled.
+    KillRespawn {
+        /// Victim rank (`0 < rank < ranks`).
+        rank: usize,
+        /// Wall-clock delay before the kill.
+        after: Duration,
+    },
+}
+
+impl KillSchedule {
+    fn label(&self) -> String {
+        match self {
+            KillSchedule::None => "-".into(),
+            KillSchedule::KillRespawn { rank, after } => {
+                format!("r{rank}@{}ms", after.as_millis())
+            }
+        }
+    }
+}
+
+/// The transport-fault counterpart of [`FaultCampaign`]: a policy ×
+/// frame-fault-rate × kill/respawn-schedule sweep over the **real
+/// multi-process mesh**. Where [`FaultCampaign`] injects memory DUEs into
+/// simulated ranks, this campaign subjects worker processes to a hostile
+/// network — chaos-injected frames absorbed by the ack/retransmit sublayer
+/// — and to whole-process loss healed by the elastic rejoin protocol, and
+/// reports the overhead of each against the same clean-mesh ideal baseline.
+///
+/// Cells time the complete spawn → solve → join round trip (process
+/// start-up included — it is part of what a respawn costs), and every cell
+/// including the baseline runs under the same [`NetFaultCampaign::spin`]
+/// throttle so kill schedules land mid-solve without skewing the
+/// comparison.
+#[derive(Debug, Clone)]
+pub struct NetFaultCampaign {
+    /// Rank loop the workers run (classic `cg`/`pcg` only — the resilient
+    /// loop does not cover the merged variants).
+    pub solver: WorkerSolver,
+    /// Policies to compare.
+    pub policies: Vec<RecoveryPolicy>,
+    /// Aggregate frame-fault rates to sweep; each is split over the fault
+    /// kinds (40% drop, 20% duplicate, 20% delay, 10% corrupt, 10%
+    /// truncate) with retransmissions travelling clean. `0.0` measures the
+    /// pure reliability-layer overhead.
+    pub frame_fault_rates: Vec<f64>,
+    /// Kill/respawn schedules to sweep. Schedules other than
+    /// [`KillSchedule::None`] run the workers elastic.
+    pub schedules: Vec<KillSchedule>,
+    /// Poisson grid side (`grid²` unknowns).
+    pub grid: usize,
+    /// Seed of the manufactured right-hand side.
+    pub rhs_seed: u64,
+    /// Worker process count.
+    pub ranks: usize,
+    /// Convergence tolerance.
+    pub tolerance: f64,
+    /// Iteration cap per solve.
+    pub max_iterations: usize,
+    /// Page size in doubles of the per-rank fault domains.
+    pub page_doubles: usize,
+    /// Base chaos seed; every cell derives an independent deterministic
+    /// per-link plan from it.
+    pub seed: u64,
+    /// Per-iteration worker throttle applied to *every* cell and the
+    /// baseline alike; dilates the solve so a kill schedule reliably lands
+    /// mid-iteration.
+    pub spin: Duration,
+}
+
+impl Default for NetFaultCampaign {
+    fn default() -> Self {
+        Self {
+            solver: WorkerSolver::Cg,
+            policies: vec![
+                RecoveryPolicy::Afeir,
+                RecoveryPolicy::Feir,
+                RecoveryPolicy::Checkpoint { interval: 25 },
+                RecoveryPolicy::Trivial,
+            ],
+            frame_fault_rates: vec![0.0, 0.02],
+            schedules: vec![KillSchedule::None],
+            grid: 24,
+            rhs_seed: 9,
+            ranks: 2,
+            tolerance: 1e-8,
+            max_iterations: 50_000,
+            page_doubles: 64,
+            seed: 0x00D1_CE00,
+            spin: Duration::ZERO,
+        }
+    }
+}
+
+/// Clean-mesh ideal baseline of a net campaign.
+#[derive(Debug, Clone, Copy)]
+pub struct NetCampaignBaseline {
+    /// Spawn → join wall time of the clean ideal solve.
+    pub elapsed: Duration,
+    /// Iterations of the clean ideal solve.
+    pub iterations: usize,
+}
+
+/// One measured cell of a net campaign.
+#[derive(Debug, Clone)]
+pub struct NetCampaignCell {
+    /// Policy of this cell.
+    pub policy: RecoveryPolicy,
+    /// Aggregate frame-fault rate of this cell.
+    pub fault_rate: f64,
+    /// Kill/respawn schedule of this cell.
+    pub schedule: KillSchedule,
+    /// True if the assembled solution met the tolerance.
+    pub converged: bool,
+    /// Explicit relative residual of the assembled solution.
+    pub relative_residual: f64,
+    /// Iterations performed (restart re-work included).
+    pub iterations: usize,
+    /// Spawn → join wall time.
+    pub elapsed: Duration,
+    /// Wall-time overhead versus the clean ideal baseline, in percent.
+    pub overhead_percent: f64,
+    /// Iteration overhead versus the baseline, in percent — the
+    /// timing-noise-free cost of the Krylov restart a rejoin forces.
+    pub iteration_overhead_percent: f64,
+}
+
+/// All measurements of one [`NetFaultCampaign`] run.
+#[derive(Debug, Clone)]
+pub struct NetCampaignReport {
+    /// The clean-mesh ideal baseline.
+    pub baseline: NetCampaignBaseline,
+    /// Every measured cell, in sweep order (policy, then rate, then
+    /// schedule).
+    pub cells: Vec<NetCampaignCell>,
+}
+
+impl NetCampaignReport {
+    /// Renders the fixed-width overhead table (one row per cell).
+    pub fn table(&self) -> String {
+        let mut out = String::new();
+        out.push_str("policy   rate   kill      conv  iters    time_ms  overhd%  it_ovh%\n");
+        for cell in &self.cells {
+            out.push_str(&format!(
+                "{:<7}  {:>5.3}  {:<8}  {:>4}  {:>5}  {:>9.2}  {:>7.1}  {:>7.1}\n",
+                cell.policy.name(),
+                cell.fault_rate,
+                cell.schedule.label(),
+                if cell.converged { "yes" } else { "NO" },
+                cell.iterations,
+                cell.elapsed.as_secs_f64() * 1e3,
+                cell.overhead_percent,
+                cell.iteration_overhead_percent,
+            ));
+        }
+        out
+    }
+}
+
+impl NetFaultCampaign {
+    /// Runs the sweep. `worker` is the rank-worker executable (any binary
+    /// whose main calls [`crate::process::worker_main`]). Every cell runs
+    /// over Unix domain sockets in its own fresh rendezvous directory.
+    pub fn run(&self, worker: &Path) -> Result<NetCampaignReport, ProcessError> {
+        for schedule in &self.schedules {
+            if let KillSchedule::KillRespawn { rank, .. } = schedule {
+                if *rank == 0 || *rank >= self.ranks {
+                    return Err(ProcessError::Spawn(std::io::Error::new(
+                        std::io::ErrorKind::InvalidInput,
+                        format!(
+                            "kill schedule targets rank {rank} of {} (rank 0 hosts the \
+                             collectives and cannot be respawned)",
+                            self.ranks
+                        ),
+                    )));
+                }
+            }
+        }
+        let spec = ProcessSpec {
+            solver: self.solver,
+            grid: self.grid,
+            rhs_seed: self.rhs_seed,
+            ranks: self.ranks,
+            tolerance: self.tolerance,
+            max_iterations: self.max_iterations,
+            page_doubles: self.page_doubles,
+        };
+        let (baseline_solve, baseline_elapsed) = self.run_cell(
+            worker,
+            &spec,
+            RecoveryPolicy::Ideal,
+            0.0,
+            KillSchedule::None,
+            0,
+        )?;
+        let baseline = NetCampaignBaseline {
+            elapsed: baseline_elapsed,
+            iterations: baseline_solve.iterations,
+        };
+        let overhead = |value: f64, base: f64| {
+            if base > 0.0 {
+                (value / base - 1.0) * 100.0
+            } else {
+                0.0
+            }
+        };
+        let mut cells = Vec::new();
+        for (pi, &policy) in self.policies.iter().enumerate() {
+            for (fi, &rate) in self.frame_fault_rates.iter().enumerate() {
+                for (si, &schedule) in self.schedules.iter().enumerate() {
+                    let cell_seed = self
+                        .seed
+                        .wrapping_add(1_000_000 * pi as u64)
+                        .wrapping_add(10_000 * fi as u64)
+                        .wrapping_add(100 * si as u64);
+                    let (solve, elapsed) =
+                        self.run_cell(worker, &spec, policy, rate, schedule, cell_seed)?;
+                    cells.push(NetCampaignCell {
+                        policy,
+                        fault_rate: rate,
+                        schedule,
+                        converged: solve.converged,
+                        relative_residual: solve.relative_residual,
+                        iterations: solve.iterations,
+                        elapsed,
+                        overhead_percent: overhead(
+                            elapsed.as_secs_f64(),
+                            baseline.elapsed.as_secs_f64(),
+                        ),
+                        iteration_overhead_percent: overhead(
+                            solve.iterations as f64,
+                            baseline.iterations as f64,
+                        ),
+                    });
+                }
+            }
+        }
+        Ok(NetCampaignReport { baseline, cells })
+    }
+
+    fn run_cell(
+        &self,
+        worker: &Path,
+        spec: &ProcessSpec,
+        policy: RecoveryPolicy,
+        rate: f64,
+        schedule: KillSchedule,
+        cell_seed: u64,
+    ) -> Result<(crate::cg::DistSolveResult, Duration), ProcessError> {
+        let dir = crate::process::fresh_run_dir().map_err(ProcessError::Spawn)?;
+        let options = WorkerOptions {
+            policy: Some(policy),
+            elastic: !matches!(schedule, KillSchedule::None),
+            chaos: (rate > 0.0).then_some(ChaosConfig {
+                seed: cell_seed,
+                rates: FaultRates {
+                    drop: 0.4 * rate,
+                    duplicate: 0.2 * rate,
+                    delay: 0.2 * rate,
+                    corrupt: 0.1 * rate,
+                    truncate: 0.1 * rate,
+                },
+                fault_retransmits: false,
+            }),
+            spin: (!self.spin.is_zero()).then_some(self.spin),
+            ..WorkerOptions::default()
+        };
+        let started = Instant::now();
+        let mut handles = spawn_workers_with(worker, spec, &Transport::Uds { dir }, &options)?;
+        if let KillSchedule::KillRespawn { rank, after } = schedule {
+            std::thread::sleep(after);
+            handles.kill_rank(rank).map_err(ProcessError::Spawn)?;
+            // Give the survivors a moment to notice and park at the barrier.
+            std::thread::sleep(Duration::from_millis(30));
+            handles.respawn_rank(rank).map_err(ProcessError::Spawn)?;
+        }
+        let solve = handles.join()?;
+        Ok((solve, started.elapsed()))
     }
 }
 

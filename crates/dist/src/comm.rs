@@ -717,6 +717,22 @@ impl RankComm {
         self.collectives.get()
     }
 
+    /// Elastic-mesh rejoin (process backend only): re-links the failed peer
+    /// (when `failed` is `Some`; a respawned newcomer passes `None`), then
+    /// parks at the rejoin barrier until every rank of the new mesh epoch
+    /// has arrived. `iteration` is the iteration this rank had reached;
+    /// returns the barrier's agreed resume iteration (the maximum across
+    /// ranks). See `crate::elastic` for the repair protocol layered on
+    /// top.
+    pub fn rejoin(&self, failed: Option<usize>, iteration: u64) -> Result<u64, CommError> {
+        match &self.backend {
+            Backend::InProcess(_) => Err(CommError::Protocol(
+                "rank elasticity requires the process transport".into(),
+            )),
+            Backend::Process(links) => links.rejoin(failed, iteration),
+        }
+    }
+
     /// Global "did anyone fault?" indicator, built on the deterministic sum
     /// allreduce. Every rank contributes its local count of freshly
     /// discovered losses; the recovery round only runs when the result is

@@ -1,0 +1,171 @@
+//! Rank elasticity: resuming a distributed resilient solve after a worker
+//! process dies and is respawned.
+//!
+//! The transport layer turns a dead peer into a typed
+//! [`CommError::Disconnected`] (never a hang — see the ack/retransmit
+//! sublayer in [`crate::process`]). This module is the policy layer above
+//! that signal: survivors park at a **rejoin barrier**, the elastic
+//! endpoint re-handshakes the respawned newcomer at a bumped link epoch,
+//! every rank agrees on the resume iteration (the maximum any survivor
+//! reached), and the solve state is repaired in lockstep before the
+//! iteration phase re-enters.
+//!
+//! The repair treats the newcomer's pages exactly like the memory-fault
+//! model treats lost pages at a scrub point, restricted to what survives a
+//! process death (nothing — so only relations with a local reconstruction
+//! that needs no prior state apply):
+//!
+//! * every policy recomputes the two restart invariants — ‖b‖ and the
+//!   residual `g = b − A·x` — from the post-repair iterate, zeroes the
+//!   search direction, and resets `ρ_old` to the ∞ sentinel (a Krylov
+//!   restart, same as [`RecoveryPolicy::LossyRestart`] after a fault);
+//! * [`RecoveryPolicy::Checkpoint`] survivors roll back to their last
+//!   local checkpoint first, so the global iterate is the checkpointed one
+//!   everywhere except the newcomer's rows;
+//! * the newcomer interpolates its own rows with the lossy block-Jacobi
+//!   relation (`lossy_iterate_rows`) from the neighbours' fetched stencil
+//!   entries — under Checkpoint/FEIR/AFEIR this rebuilds a usable iterate
+//!   page-by-page, counted in `pages_recovered`;
+//! * [`RecoveryPolicy::Trivial`] honestly degrades: the newcomer's rows
+//!   restart from zero and are counted in `pages_ignored`.
+//!
+//! Restarting the Krylov space costs iterations but keeps every policy
+//! convergent; the overhead shows up in the
+//! [`NetFaultCampaign`](crate::campaign::NetFaultCampaign) tables rather
+//! than being hidden. Rank 0 is the result collector and cannot be
+//! respawned; one failed rank at a time is supported (the paper's fault
+//! model, Section 2).
+
+use feir_recovery::{RecoverableIteration, RecoveryPolicy};
+
+use crate::comm::{CommError, RankComm};
+use crate::kernels;
+use crate::rank_loop::{
+    alloc_state, finish_outcome, global_rows, init_collectives, remote_stencil_requests,
+    resilient_iterations, RankCtx, RankOutcome, SolveState,
+};
+
+/// How the elastic harness behaves for this process.
+pub(crate) struct ElasticCfg {
+    /// True when this worker is a respawned replacement (its link epoch is
+    /// non-zero): it skips the opening collectives and goes straight to the
+    /// rejoin barrier the survivors are parked at.
+    pub newcomer: bool,
+    /// Upper bound on rejoin rounds before a disconnect is propagated as
+    /// fatal; guards against a crash-looping replacement.
+    pub max_rejoins: usize,
+}
+
+/// The elastic wrapper around the resilient iteration phase: runs the solve,
+/// and on a recoverable peer disconnect re-links the mesh, agrees on the
+/// resume iteration at the rejoin barrier, repairs the state and re-enters.
+pub(crate) fn rank_elastic_solve<S: RecoverableIteration>(
+    ctx: &RankCtx<'_>,
+    relations: &S,
+    comm: RankComm,
+    cfg: &ElasticCfg,
+) -> Result<RankOutcome, CommError> {
+    let mut state = alloc_state(ctx);
+    if cfg.newcomer {
+        // The survivors are already parked at the barrier waiting for this
+        // process; `rejoin(None, ..)` connects the fresh mesh and joins them.
+        let t_resume = comm.rejoin(None, 0)?;
+        rejoin_repair(ctx, relations, &comm, &mut state, t_resume, true)?;
+    } else {
+        init_collectives(ctx, &comm, &mut state)?;
+    }
+    let mut rejoins = 0usize;
+    loop {
+        match resilient_iterations(ctx, relations, &comm, &mut state) {
+            Ok(()) => return Ok(finish_outcome(ctx, &comm, state)),
+            Err(CommError::Disconnected { peer: Some(k), .. })
+                if k != 0 && k != ctx.rank && rejoins < cfg.max_rejoins =>
+            {
+                rejoins += 1;
+                let t_resume = comm.rejoin(Some(k), state.t as u64)?;
+                rejoin_repair(ctx, relations, &comm, &mut state, t_resume, false)?;
+            }
+            Err(e) => return Err(e),
+        }
+    }
+}
+
+/// The lockstep post-rejoin repair. Every rank — survivors and newcomer —
+/// runs the same sequence of collectives in the same order, so the repaired
+/// mesh leaves this function with a globally consistent restart state.
+fn rejoin_repair<S: RecoverableIteration>(
+    ctx: &RankCtx<'_>,
+    relations: &S,
+    comm: &RankComm,
+    state: &mut SolveState,
+    t_resume: u64,
+    newcomer: bool,
+) -> Result<(), CommError> {
+    let own = ctx.own.clone();
+
+    // 1. ‖b‖ first: the cheapest collective doubles as a mesh liveness
+    //    check right after the barrier, and the newcomer needs it anyway.
+    state.norm_b = kernels::global_rhs_norm(comm, &ctx.b[own.clone()])?;
+
+    // 2. Checkpoint survivors roll back to their last local checkpoint; the
+    //    newcomer's store is empty, so `rollback` is a harmless no-op there.
+    if let Some(store) = state.store.as_mut() {
+        let mut scalars = Vec::new();
+        if store
+            .rollback(&mut state.x_full[own.clone()], &mut state.d, &mut scalars)
+            .is_some()
+        {
+            state.rollbacks += 1;
+        }
+    }
+
+    // 3. One recovery exchange, entered by every rank (the collective is
+    //    all-to-all). The newcomer requests the remote stencil entries of
+    //    all its rows for the interpolation below; survivors request
+    //    nothing but still serve their side.
+    let requests = if newcomer && ctx.policy != RecoveryPolicy::Trivial {
+        let rows: Vec<usize> = own.clone().collect();
+        remote_stencil_requests(ctx.a, &ctx.partition, ctx.rank, &rows)
+    } else {
+        Default::default()
+    };
+    let (fetched, _) = comm.recovery_exchange(&requests, &mut state.x_full, &[])?;
+    state.cross_rank_values += fetched;
+
+    // 4. The newcomer rebuilds its iterate rows page-by-page with the lossy
+    //    interpolation (Trivial skips this and honestly restarts from zero).
+    if newcomer {
+        if ctx.policy == RecoveryPolicy::Trivial {
+            state.pages_ignored += ctx.pages.num_blocks();
+        } else {
+            for p in 0..ctx.pages.num_blocks() {
+                let rows: Vec<usize> = global_rows(own.start, &ctx.pages, p).collect();
+                match relations.lossy_iterate_rows(&rows, &state.x_full) {
+                    Some(values) => {
+                        for (&r, v) in rows.iter().zip(&values) {
+                            state.x_full[r] = *v;
+                        }
+                        state.pages_recovered += 1;
+                    }
+                    None => state.pages_ignored += 1,
+                }
+            }
+        }
+    }
+
+    // 5–6. Propagate the repaired iterate and recompute the true residual.
+    comm.exchange_halo(&mut state.x_full)?;
+    ctx.a
+        .spmv_rows(own.start, own.end, &state.x_full, &mut state.g);
+    for (k, r) in own.clone().enumerate() {
+        state.g[k] = ctx.b[r] - state.g[k];
+    }
+
+    // 7–9. Krylov restart at the agreed iteration.
+    state.d.iter_mut().for_each(|v| *v = 0.0);
+    state.rho_old = f64::INFINITY;
+    state.eps = comm.allreduce_sum(kernels::norm2_squared(&state.g))?;
+    state.t = t_resume as usize;
+    state.restarts += 1;
+    Ok(())
+}

@@ -54,6 +54,7 @@ pub mod campaign;
 pub mod cg;
 pub mod comm;
 pub mod domains;
+mod elastic;
 mod kernels;
 pub mod merged;
 pub mod model;
@@ -64,7 +65,10 @@ mod rank_loop;
 mod rank_loop_merged;
 pub mod resilient;
 
-pub use campaign::{CampaignBaseline, CampaignCell, CampaignReport, CampaignSolver, FaultCampaign};
+pub use campaign::{
+    CampaignBaseline, CampaignCell, CampaignReport, CampaignSolver, FaultCampaign, KillSchedule,
+    NetCampaignBaseline, NetCampaignCell, NetCampaignReport, NetFaultCampaign,
+};
 pub use cg::{distributed_cg, DistSolveResult};
 pub use comm::{
     distributed_dot, distributed_spmv, CommError, HaloPlan, PendingAllreduce, PendingVecAllreduce,
@@ -76,8 +80,9 @@ pub use model::{ScalingModel, ScalingPoint};
 pub use partition::RankPartition;
 pub use pcg::distributed_pcg;
 pub use process::{
-    connect_mesh, solve_with_processes, spawn_workers, spawned_as_worker, worker_main, MeshOptions,
-    ProcessEndpoint, ProcessError, ProcessSpec, Transport, WorkerHandles, WorkerSolver,
+    connect_mesh, solve_with_processes, spawn_workers, spawn_workers_with, spawned_as_worker,
+    worker_main, ChaosConfig, MeshOptions, ProcessEndpoint, ProcessError, ProcessSpec, Transport,
+    WorkerHandles, WorkerOptions, WorkerSolver,
 };
 pub use resilient::{
     distributed_resilient_cg, distributed_resilient_cg_merged, distributed_resilient_pcg,

@@ -1,6 +1,7 @@
 //! Process-backed transport: each rank is a real OS process, connected in a
 //! full mesh over Unix domain sockets (TCP fallback) and speaking the
-//! versioned `feir-wire` frame protocol.
+//! versioned `feir-wire` frame protocol — hardened (PR 7) by a reliability
+//! sublayer and an elastic rejoin protocol.
 //!
 //! # Topology and handshake
 //!
@@ -9,47 +10,87 @@
 //! from every higher rank — a deadlock-free rendezvous because the
 //! connect-to targets form a DAG. Connection attempts retry with exponential
 //! backoff until [`MeshOptions::connect_timeout`], so ranks may start in any
-//! order. Both sides of every link exchange a `Hello { rank, ranks }` frame;
-//! the frame header carries the schema version, so a version skew is
-//! rejected at the handshake as [`feir_wire::WireError::VersionMismatch`].
+//! order. Both sides of every link exchange a `Hello { rank, ranks, epoch }`
+//! frame; the frame header carries the schema version, so a version skew is
+//! rejected at the handshake as [`feir_wire::WireError::VersionMismatch`],
+//! and an epoch skew (a stale pre-respawn worker) as
+//! [`CommError::Protocol`].
 //!
-//! # Failure model
+//! # Reliability sublayer
+//!
+//! After the handshake every link switches to the 13-byte chaos envelope of
+//! [`feir_wire::chaos`]: each inner wire frame travels as a numbered data
+//! record, a per-link reader thread reassembles records **in sequence order**
+//! (dropping duplicates, holding reordered records back) and acknowledges
+//! cumulatively, and the sender retransmits the oldest unacknowledged record
+//! with exponential backoff until [`MeshOptions::max_retries`] is exhausted.
+//! Because delivery is exactly-once-in-order, the message sequence the
+//! solver observes over a faulty link is *identical* to the clean one — a
+//! lossy-mesh solve is therefore bitwise-identical to a clean-mesh solve.
+//! Exhausted retries degrade to [`CommError::Timeout`]; a corrupted frame
+//! with retries disabled surfaces the underlying [`feir_wire::WireError`].
+//!
+//! Fault injection itself lives in [`MeshOptions::chaos`]: a deterministic,
+//! seeded [`feir_wire::chaos::FaultPlan`] per directed link (see
+//! [`ChaosConfig::plan_for`]), so two runs with the same config misbehave
+//! identically. One cost of the sublayer: halo payloads are decoded from the
+//! reassembly queue rather than scattered zero-copy out of the socket
+//! buffer (the PR 6 fast path) — the copy is the price of retransmission.
+//!
+//! # Failure model and elasticity
 //!
 //! A rank that dies closes all of its sockets. Peers observe the close as an
-//! EOF (reads) or `EPIPE`/reset (writes) and surface it as
-//! [`CommError::Disconnected`] — never a panic. A rank that errors out drops
-//! its endpoint before reporting, so the disconnect cascades through the
-//! mesh and unblocks every rank that was waiting on a collective; an
-//! optional per-read deadline ([`MeshOptions::read_timeout`], default 30 s)
-//! backstops pathological cases as [`CommError::Timeout`].
+//! EOF and surface it as [`CommError::Disconnected`] — never a panic. A rank
+//! that errors out drops its endpoint before reporting, so the disconnect
+//! cascades through the mesh; an optional per-read deadline
+//! ([`MeshOptions::read_timeout`], default 30 s) backstops silently wedged
+//! peers as [`CommError::Timeout`].
+//!
+//! With [`MeshOptions::elastic`] the story continues past the disconnect:
+//! [`WorkerHandles::respawn_rank`] restarts the dead worker under a bumped
+//! *epoch*, survivors re-handshake it ([`ProcessEndpoint::relink`]: the
+//! newcomer re-dials lower ranks, higher ranks dial its epoch-qualified
+//! listener address) and every rank meets at a rejoin barrier that agrees on
+//! the resume iteration. The rank loops then treat the newcomer's pages as
+//! lost and rebuild them through the existing recovery collective (see
+//! `crate::elastic`).
 //!
 //! # Determinism
 //!
 //! The collectives gather per-rank partials and fold them **in rank order**
 //! with the very same arithmetic as the in-process backend (see
-//! [`crate::comm`]), and halo payloads are raw little-endian f64 — so a
-//! solve over this transport is bitwise identical to the thread-backed one.
+//! [`crate::comm`]), so a solve over this transport is bitwise identical to
+//! the thread-backed one — chaos or not, as long as every fault is absorbed
+//! by the reliability sublayer.
 //!
 //! # Worker processes
 //!
 //! [`spawn_workers`]/[`solve_with_processes`] launch one worker executable
 //! per rank (the `feir-rank-worker` binary, or any process that calls
 //! [`worker_main`]), parameterised through `FEIR_WORKER_*` environment
-//! variables. Each worker rebuilds the deterministic problem
+//! variables — including the full [`MeshOptions`] surface and the resilient
+//! path ([`WorkerOptions`]). Each worker rebuilds the deterministic problem
 //! (`poisson_2d(grid)` + `manufactured_rhs(seed)`), joins the mesh, runs its
 //! rank loop and reports a `RankResult` (or typed `RankError`) wire frame on
-//! stdout.
+//! stdout. Malformed `FEIR_WORKER_*` values are hard errors: the worker
+//! refuses to start rather than silently running defaults.
 
 use std::cell::RefCell;
-use std::collections::{HashMap, VecDeque};
+use std::collections::{BTreeMap, BTreeSet, HashMap, VecDeque};
 use std::fmt;
 use std::io::{Read, Write};
-use std::net::{Ipv4Addr, SocketAddr, TcpListener, TcpStream};
+use std::net::{Ipv4Addr, Shutdown, SocketAddr, TcpListener, TcpStream};
 use std::os::unix::net::{UnixListener, UnixStream};
 use std::path::{Path, PathBuf};
 use std::process::{Child, Command, Stdio};
+use std::sync::atomic::Ordering;
+use std::sync::{mpsc, Arc, Mutex};
 use std::time::{Duration, Instant};
 
+use feir_recovery::RecoveryPolicy;
+use feir_wire::chaos::{
+    parse_envelope, ChaosLink, FaultPlan, FaultRates, LinkStats, ENVELOPE_LEN, ENV_ACK, ENV_DATA,
+};
 use feir_wire::{FrameReader, Message, RankErrorKind, Tag, WireError};
 
 use crate::cg::DistSolveResult;
@@ -60,17 +101,122 @@ use crate::partition::RankPartition;
 /// How the rank mesh is carried.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum Transport {
-    /// Unix domain sockets: rank `r` listens on `{dir}/rank{r}.sock`.
+    /// Unix domain sockets: rank `r` listens on `{dir}/rank{r}.sock`
+    /// (epoch `e > 0` respawns on `{dir}/rank{r}.e{e}.sock`).
     /// The default — lowest latency, no port allocation.
     Uds {
         /// Rendezvous directory holding the per-rank socket files.
         dir: PathBuf,
     },
-    /// TCP loopback fallback: rank `r` listens on `127.0.0.1:{base_port+r}`.
+    /// TCP loopback fallback: rank `r` listens on
+    /// `127.0.0.1:{base_port + epoch·ranks + r}` — leave `ranks` ports of
+    /// headroom per expected respawn.
     Tcp {
         /// First port of the contiguous per-rank port range.
         base_port: u16,
     },
+}
+
+/// Deterministic transport fault injection for a whole mesh: a seed plus
+/// per-kind frame-fault rates, expanded into one directed-link
+/// [`FaultPlan`] per `(sender, receiver)` pair by [`ChaosConfig::plan_for`].
+///
+/// The textual form (round-tripped by `Display`/[`ChaosConfig::parse`], and
+/// carried by the `FEIR_WORKER_CHAOS` environment variable) is a
+/// comma-separated `key=value` list:
+///
+/// ```text
+/// seed=42,drop=0.05,dup=0.02,delay=0.02,corrupt=0.01,trunc=0.01,all_attempts=0
+/// ```
+///
+/// All keys are optional; rates must lie in `[0, 1]` and sum to at most 1.
+/// `all_attempts=1` lets faults hit retransmissions too (used by the
+/// exhausted-retry tests — with it, bitwise identity is *not* promised).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ChaosConfig {
+    /// Seed mixed into every per-link fault plan.
+    pub seed: u64,
+    /// Per-kind frame fault rates, each in `[0, 1]`.
+    pub rates: FaultRates,
+    /// When `true`, retransmissions can be faulted too (`all_attempts=1`);
+    /// the default `false` faults only first attempts, keeping every fault
+    /// recoverable.
+    pub fault_retransmits: bool,
+}
+
+impl ChaosConfig {
+    /// Parses the comma-separated `key=value` form (see the type docs).
+    /// Unknown keys, out-of-range rates and malformed numbers are errors.
+    pub fn parse(s: &str) -> Result<ChaosConfig, String> {
+        fn rate(v: &str) -> Option<f64> {
+            let v: f64 = v.trim().parse().ok()?;
+            (0.0..=1.0).contains(&v).then_some(v)
+        }
+        let mut cfg = ChaosConfig::default();
+        for part in s.split(',') {
+            let part = part.trim();
+            if part.is_empty() {
+                continue;
+            }
+            let (key, value) = part
+                .split_once('=')
+                .ok_or_else(|| format!("chaos entry {part:?} is not key=value"))?;
+            let bad = || format!("chaos entry {part:?} has an invalid value");
+            match key.trim() {
+                "seed" => cfg.seed = value.trim().parse().map_err(|_| bad())?,
+                "drop" => cfg.rates.drop = rate(value).ok_or_else(bad)?,
+                "dup" => cfg.rates.duplicate = rate(value).ok_or_else(bad)?,
+                "delay" => cfg.rates.delay = rate(value).ok_or_else(bad)?,
+                "corrupt" => cfg.rates.corrupt = rate(value).ok_or_else(bad)?,
+                "trunc" => cfg.rates.truncate = rate(value).ok_or_else(bad)?,
+                "all_attempts" => {
+                    cfg.fault_retransmits = match value.trim() {
+                        "0" => false,
+                        "1" => true,
+                        _ => return Err(bad()),
+                    }
+                }
+                other => return Err(format!("unknown chaos key {other:?}")),
+            }
+        }
+        let total = cfg.rates.drop
+            + cfg.rates.duplicate
+            + cfg.rates.delay
+            + cfg.rates.corrupt
+            + cfg.rates.truncate;
+        if total > 1.0 {
+            return Err(format!("chaos fault rates sum to {total}, over 1"));
+        }
+        Ok(cfg)
+    }
+
+    /// The fault plan of the directed link `sender → receiver`: the mesh
+    /// seed mixed with both rank ids, so every link misbehaves independently
+    /// but reproducibly.
+    pub fn plan_for(&self, sender: usize, receiver: usize) -> FaultPlan {
+        let seed = self.seed
+            ^ (sender as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)
+            ^ (receiver as u64).wrapping_mul(0xC2B2_AE3D_27D4_EB4F);
+        let mut plan = FaultPlan::from_rates(seed, self.rates);
+        plan.first_attempt_only = !self.fault_retransmits;
+        plan
+    }
+}
+
+impl fmt::Display for ChaosConfig {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "seed={},drop={},dup={},delay={},corrupt={},trunc={},all_attempts={}",
+            self.seed,
+            self.rates.drop,
+            self.rates.duplicate,
+            self.rates.delay,
+            self.rates.corrupt,
+            self.rates.truncate,
+            u8::from(self.fault_retransmits)
+        )
+    }
 }
 
 /// Tuning knobs for [`connect_mesh`].
@@ -78,12 +224,31 @@ pub enum Transport {
 pub struct MeshOptions {
     /// Overall deadline for establishing every link of the mesh; connection
     /// attempts to not-yet-listening peers retry with exponential backoff
-    /// (2 ms doubling to 100 ms) until it expires.
+    /// (2 ms doubling to 100 ms) until it expires. Also bounds the relink
+    /// phase of an elastic rejoin.
     pub connect_timeout: Duration,
-    /// Per-read deadline once connected; `None` blocks forever. The default
-    /// (30 s) turns a silently wedged peer into [`CommError::Timeout`]
-    /// instead of a hang.
+    /// Per-receive deadline once connected; `None` blocks forever. The
+    /// default (30 s) turns a silently wedged peer into
+    /// [`CommError::Timeout`] instead of a hang.
     pub read_timeout: Option<Duration>,
+    /// Retransmissions of one record before the link is declared dead
+    /// ([`CommError::Timeout`]). `0` disables the ack/retransmit machinery's
+    /// tolerance entirely: the first rejected frame kills the link.
+    pub max_retries: u32,
+    /// Base retransmission timeout; the backoff doubles it per attempt
+    /// (capped at 1 s).
+    pub retransmit_timeout: Duration,
+    /// Deterministic fault injection; `None` runs every link clean.
+    pub chaos: Option<ChaosConfig>,
+    /// Enables rank elasticity: receives watch for *any* dead peer (not just
+    /// the one being received from) so every rank discovers a failure within
+    /// one poll tick and can park at the rejoin barrier.
+    pub elastic: bool,
+    /// Per-rank listener epochs (how often each rank has been respawned);
+    /// empty means all zero. A respawned rank binds an epoch-qualified
+    /// address so stale sockets of its predecessor cannot be confused with
+    /// it, and Hello frames carry the epoch so both sides agree.
+    pub epochs: Vec<u64>,
 }
 
 impl Default for MeshOptions {
@@ -91,6 +256,11 @@ impl Default for MeshOptions {
         MeshOptions {
             connect_timeout: Duration::from_secs(10),
             read_timeout: Some(Duration::from_secs(30)),
+            max_retries: 10,
+            retransmit_timeout: Duration::from_millis(50),
+            chaos: None,
+            elastic: false,
+            epochs: Vec::new(),
         }
     }
 }
@@ -114,6 +284,15 @@ impl Stream {
         match self {
             Stream::Unix(s) => s.set_read_timeout(dur),
             Stream::Tcp(s) => s.set_read_timeout(dur),
+        }
+    }
+
+    /// Shuts down both directions, making any blocked read on a clone of
+    /// this socket return immediately (used to stop reader threads).
+    fn shutdown(&self) -> std::io::Result<()> {
+        match self {
+            Stream::Unix(s) => s.shutdown(Shutdown::Both),
+            Stream::Tcp(s) => s.shutdown(Shutdown::Both),
         }
     }
 }
@@ -143,29 +322,9 @@ impl Write for Stream {
     }
 }
 
-/// One established link to a peer rank: framed reader + writer plus the
-/// typed inbox the demultiplexer stashes out-of-order frames into (e.g. a
-/// split-phase gather posted ahead of the same stream's halo payload).
-#[derive(Debug)]
-struct Link {
-    reader: Stream,
-    writer: Stream,
-    frames: FrameReader,
-    inbox: VecDeque<Message>,
-}
-
-/// A connected process-backend endpoint for one rank: one framed
-/// reader/writer link per peer.
-#[derive(Debug)]
-pub struct ProcessEndpoint {
-    rank: usize,
-    ranks: usize,
-    /// Indexed by peer rank; `None` at `links[rank]`.
-    links: Vec<Option<RefCell<Link>>>,
-    scratch: RefCell<Vec<u8>>,
-}
-
-/// Maps a low-level frame/IO failure on a peer link to the typed comm error.
+/// Maps a low-level frame/IO failure on a peer link to the typed comm error
+/// (handshake traffic only — post-handshake links report through
+/// [`LinkShared::down_error`]).
 fn comm_err(peer: usize, during: &'static str, e: WireError) -> CommError {
     use std::io::ErrorKind;
     match e {
@@ -194,92 +353,635 @@ fn comm_err(peer: usize, during: &'static str, e: WireError) -> CommError {
     }
 }
 
+// ---------------------------------------------------------------------------
+// Reliability sublayer: sequence numbers, acks, retransmission.
+// ---------------------------------------------------------------------------
+
+/// Poll granularity of the reliability layer: reader threads wake at this
+/// period to service retransmissions, and receives poll their queue at it to
+/// notice dead links.
+const TICK: Duration = Duration::from_millis(20);
+
+/// Why a link was declared dead.
+#[derive(Debug)]
+enum LinkDown {
+    /// The socket closed or an IO error ended it (peer death).
+    Eof,
+    /// The oldest unacknowledged record exhausted its retransmissions.
+    AckTimeout,
+    /// An unrecoverable protocol violation (corrupt frame with retries
+    /// disabled, oversized or unknown record). The wire error, when there is
+    /// one, is surfaced exactly once.
+    Corrupt(Option<WireError>),
+}
+
+/// One transmitted-but-unacknowledged record.
+#[derive(Debug)]
+struct SendRecord {
+    seq: u64,
+    attempt: u32,
+    sent_at: Instant,
+    frame: Vec<u8>,
+}
+
+/// Sender-side sequence state of one directed link.
+#[derive(Debug, Default)]
+struct SendState {
+    next_seq: u64,
+    unacked: VecDeque<SendRecord>,
+}
+
+/// State shared between a link's owner (sends) and its reader thread
+/// (acks, retransmissions, teardown). Lock order: `sendq` before `writer`.
+#[derive(Debug)]
+struct LinkShared {
+    peer: usize,
+    writer: Mutex<ChaosLink<Stream>>,
+    sendq: Mutex<SendState>,
+    down: Mutex<Option<LinkDown>>,
+    max_retries: u32,
+    rto: Duration,
+    stats: Arc<LinkStats>,
+}
+
+impl LinkShared {
+    /// Records why the link died; the first cause wins.
+    fn mark_down(&self, why: LinkDown) {
+        let mut down = self.down.lock().expect("link down lock");
+        if down.is_none() {
+            *down = Some(why);
+        }
+    }
+
+    /// The typed error of a dead link, `None` while it is healthy. A stored
+    /// wire error is yielded once; later calls degrade to `Disconnected`.
+    fn down_error(&self, peer: usize, during: &'static str) -> Option<CommError> {
+        let mut down = self.down.lock().expect("link down lock");
+        match down.as_mut() {
+            None => None,
+            Some(LinkDown::AckTimeout) => Some(CommError::Timeout { peer, during }),
+            Some(LinkDown::Corrupt(slot)) => match slot.take() {
+                Some(e) => Some(CommError::Wire(e)),
+                None => Some(CommError::Disconnected {
+                    peer: Some(peer),
+                    during,
+                }),
+            },
+            Some(LinkDown::Eof) => Some(CommError::Disconnected {
+                peer: Some(peer),
+                during,
+            }),
+        }
+    }
+
+    /// Retransmits the oldest unacknowledged record if its backoff expired.
+    /// Returns `false` when the link is (now) dead and the reader should
+    /// exit.
+    fn service_retransmits(&self) -> bool {
+        if self.down.lock().expect("link down lock").is_some() {
+            return false;
+        }
+        let mut sendq = self.sendq.lock().expect("link send lock");
+        let Some(head) = sendq.unacked.front() else {
+            return true;
+        };
+        let backoff = self
+            .rto
+            .saturating_mul(1u32 << head.attempt.min(5))
+            .min(Duration::from_secs(1));
+        if head.sent_at.elapsed() < backoff {
+            return true;
+        }
+        if head.attempt >= self.max_retries {
+            // Give up: fail the link rather than hang the solve.
+            sendq.unacked.clear();
+            drop(sendq);
+            self.mark_down(LinkDown::AckTimeout);
+            return false;
+        }
+        let head = sendq.unacked.front_mut().expect("head just observed");
+        head.attempt += 1;
+        head.sent_at = Instant::now();
+        let (seq, attempt, frame) = (head.seq, head.attempt, head.frame.clone());
+        // sendq stays held across the write (lock order sendq → writer) so a
+        // concurrent send cannot interleave a fresh record mid-retransmit.
+        let ok = {
+            let mut writer = self.writer.lock().expect("link writer lock");
+            writer.write_data(seq, attempt, &frame).is_ok()
+        };
+        drop(sendq);
+        if !ok {
+            self.mark_down(LinkDown::Eof);
+            return false;
+        }
+        true
+    }
+}
+
+/// Reads exactly `buf.len()` bytes, servicing retransmissions on every read
+/// timeout. `false` means the link died (already marked down).
+fn read_full(stream: &mut Stream, buf: &mut [u8], shared: &LinkShared) -> bool {
+    use std::io::ErrorKind;
+    let mut at = 0;
+    while at < buf.len() {
+        match stream.read(&mut buf[at..]) {
+            Ok(0) => {
+                shared.mark_down(LinkDown::Eof);
+                return false;
+            }
+            Ok(n) => at += n,
+            Err(e) if matches!(e.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut) => {
+                if !shared.service_retransmits() {
+                    return false;
+                }
+            }
+            Err(e) if e.kind() == ErrorKind::Interrupted => {}
+            Err(_) => {
+                shared.mark_down(LinkDown::Eof);
+                return false;
+            }
+        }
+    }
+    true
+}
+
+/// The per-link reader thread: reassembles data records in sequence order,
+/// forwards exactly-once-in-order messages to the owner, acknowledges
+/// cumulatively, and services the sender-side retransmission timer while
+/// the socket is idle. On exit the peer is registered in the endpoint's
+/// `downed` set so elastic receives notice the failure.
+fn reader_loop(
+    mut stream: Stream,
+    shared: Arc<LinkShared>,
+    tx: mpsc::Sender<Message>,
+    downed: Arc<Mutex<BTreeSet<usize>>>,
+) {
+    let mut expected: u64 = 0;
+    let mut reordered: BTreeMap<u64, Message> = BTreeMap::new();
+    let mut env = [0u8; ENVELOPE_LEN];
+    'link: loop {
+        if !read_full(&mut stream, &mut env, &shared) {
+            break 'link;
+        }
+        let (kind, seq, inner_len) = parse_envelope(&env);
+        match kind {
+            ENV_ACK => {
+                // Cumulative: "every record below `seq` was delivered."
+                let mut sendq = shared.sendq.lock().expect("link send lock");
+                let mut popped = false;
+                while sendq.unacked.front().is_some_and(|r| r.seq < seq) {
+                    sendq.unacked.pop_front();
+                    popped = true;
+                }
+                // Progress resets the survivor's timer (its flight time was
+                // spent behind the acked records); a pure duplicate ack must
+                // not keep resetting it or retransmission would starve.
+                if popped {
+                    if let Some(head) = sendq.unacked.front_mut() {
+                        head.sent_at = Instant::now();
+                    }
+                }
+            }
+            ENV_DATA => {
+                if inner_len as usize > feir_wire::HEADER_LEN + feir_wire::MAX_PAYLOAD as usize {
+                    shared.mark_down(LinkDown::Corrupt(None));
+                    break 'link;
+                }
+                let mut inner = vec![0u8; inner_len as usize];
+                if !read_full(&mut stream, &mut inner, &shared) {
+                    break 'link;
+                }
+                match feir_wire::decode_frame_buf(&inner) {
+                    Ok(msg) => {
+                        if seq < expected {
+                            shared.stats.dup_received.fetch_add(1, Ordering::Relaxed);
+                        } else if seq > expected {
+                            // Reordered ahead: park until the gap fills.
+                            reordered.insert(seq, msg);
+                        } else {
+                            if tx.send(msg).is_err() {
+                                break 'link; // owner hung up
+                            }
+                            expected += 1;
+                            while let Some(next) = reordered.remove(&expected) {
+                                if tx.send(next).is_err() {
+                                    break 'link;
+                                }
+                                expected += 1;
+                            }
+                        }
+                        // Always (re-)acknowledge: a lost ack is recovered by
+                        // the duplicate the sender's retransmission causes.
+                        if shared
+                            .writer
+                            .lock()
+                            .expect("link writer lock")
+                            .write_ack(expected)
+                            .is_err()
+                        {
+                            shared.mark_down(LinkDown::Eof);
+                            break 'link;
+                        }
+                    }
+                    Err(e) => {
+                        shared.stats.rejected.fetch_add(1, Ordering::Relaxed);
+                        if shared.max_retries == 0 {
+                            shared.mark_down(LinkDown::Corrupt(Some(e)));
+                            break 'link;
+                        }
+                        // No ack: the sender's timeout re-delivers the frame
+                        // (retransmissions travel clean under the default
+                        // first-attempt-only fault plans).
+                    }
+                }
+            }
+            _ => {
+                shared.mark_down(LinkDown::Corrupt(None));
+                break 'link;
+            }
+        }
+    }
+    shared.mark_down(LinkDown::Eof); // no-op if a cause is already recorded
+    downed.lock().expect("downed set lock").insert(shared.peer);
+    // `tx` drops here, closing the owner's receive queue.
+}
+
+/// One established reliable link to a peer rank.
+#[derive(Debug)]
+struct RLink {
+    shared: Arc<LinkShared>,
+    /// In-order messages from the reader thread.
+    rx: mpsc::Receiver<Message>,
+    /// Tag-demultiplexer stash (e.g. a split-phase gather posted ahead of
+    /// the same stream's halo payload).
+    inbox: VecDeque<Message>,
+    thread: Option<std::thread::JoinHandle<()>>,
+    /// Socket handle kept for teardown: shutting it down unblocks the
+    /// reader thread immediately.
+    ctl: Stream,
+}
+
+impl RLink {
+    fn shutdown(&mut self) {
+        // Graceful drain: the last frames of a solve may still be waiting on
+        // a retransmission (chaos can drop the first attempt), and closing
+        // the socket now would lose them forever. Let the reader thread —
+        // which services the retransmit timer and collects acks — finish the
+        // delivery first, bounded so a genuinely dead peer cannot stall
+        // teardown longer than the retry budget itself.
+        let budget = self
+            .shared
+            .rto
+            .saturating_mul(2u32.saturating_pow(self.shared.max_retries.min(5) + 1))
+            .min(Duration::from_secs(3));
+        let deadline = Instant::now() + budget;
+        loop {
+            let down = self.shared.down.lock().expect("link down lock").is_some();
+            let drained = self
+                .shared
+                .sendq
+                .lock()
+                .expect("link send lock")
+                .unacked
+                .is_empty();
+            if down || drained || Instant::now() >= deadline {
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        let _ = self.ctl.shutdown();
+        if let Some(thread) = self.thread.take() {
+            let _ = thread.join();
+        }
+    }
+}
+
+impl Drop for RLink {
+    fn drop(&mut self) {
+        // Dropping an endpoint therefore closes every socket, which is what
+        // cascades a failure through the mesh and unblocks the peers.
+        self.shutdown();
+    }
+}
+
+/// Wraps a handshaken stream in the reliability sublayer: chaos writer,
+/// sequence state and reader thread.
+fn build_rlink(
+    stream: Stream,
+    rank: usize,
+    peer: usize,
+    options: &MeshOptions,
+    downed: Arc<Mutex<BTreeSet<usize>>>,
+) -> Result<RLink, CommError> {
+    let proto = |what: &str, e: std::io::Error| {
+        CommError::Protocol(format!("rank {rank}: link to {peer}: {what}: {e}"))
+    };
+    stream
+        .set_read_timeout(Some(TICK))
+        .map_err(|e| proto("set_read_timeout", e))?;
+    let reader = stream.try_clone().map_err(|e| proto("stream clone", e))?;
+    let ctl = stream.try_clone().map_err(|e| proto("stream clone", e))?;
+    let plan = options
+        .chaos
+        .as_ref()
+        .map(|c| c.plan_for(rank, peer))
+        .unwrap_or_else(FaultPlan::clean);
+    let stats = Arc::new(LinkStats::default());
+    let shared = Arc::new(LinkShared {
+        peer,
+        writer: Mutex::new(ChaosLink::new(stream, plan, stats.clone())),
+        sendq: Mutex::new(SendState::default()),
+        down: Mutex::new(None),
+        max_retries: options.max_retries,
+        rto: options.retransmit_timeout.max(Duration::from_millis(1)),
+        stats,
+    });
+    let (tx, rx) = mpsc::channel();
+    let thread = std::thread::Builder::new()
+        .name(format!("feir-link-r{rank}p{peer}"))
+        .spawn({
+            let shared = shared.clone();
+            move || reader_loop(reader, shared, tx, downed)
+        })
+        .map_err(|e| proto("reader thread spawn", e))?;
+    Ok(RLink {
+        shared,
+        rx,
+        inbox: VecDeque::new(),
+        thread: Some(thread),
+        ctl,
+    })
+}
+
+/// One rank's view of the established mesh: a reliable link per peer, the
+/// retained listener (for elastic re-accepts) and the shared `downed` set
+/// reader threads report dead peers into.
+#[derive(Debug)]
+pub struct ProcessEndpoint {
+    rank: usize,
+    ranks: usize,
+    links: Vec<RefCell<Option<RLink>>>,
+    scratch: RefCell<Vec<u8>>,
+    listener: MeshListener,
+    transport: Transport,
+    options: MeshOptions,
+    epochs: RefCell<Vec<u64>>,
+    downed: Arc<Mutex<BTreeSet<usize>>>,
+}
+
 impl ProcessEndpoint {
     /// This rank's id.
     pub fn rank(&self) -> usize {
         self.rank
     }
 
-    /// World size of the mesh.
+    /// Total ranks in the mesh.
     pub fn ranks(&self) -> usize {
         self.ranks
     }
 
-    fn link(&self, peer: usize) -> &RefCell<Link> {
-        self.links[peer]
-            .as_ref()
-            .expect("no link to self or out-of-range peer")
+    /// The fault/retransmission counters of the link to `peer` (shared with
+    /// the link itself, so it keeps counting after this call).
+    pub fn link_stats(&self, peer: usize) -> Arc<LinkStats> {
+        self.with_link(peer, |link| link.shared.stats.clone())
     }
 
-    /// Sends one message to `peer`.
+    fn with_link<T>(&self, peer: usize, f: impl FnOnce(&mut RLink) -> T) -> T {
+        let mut slot = self.links[peer].borrow_mut();
+        let link = slot.as_mut().expect("no link to self or out-of-range peer");
+        f(link)
+    }
+
     fn send(&self, peer: usize, msg: &Message, during: &'static str) -> Result<(), CommError> {
-        let mut link = self.link(peer).borrow_mut();
-        let mut scratch = self.scratch.borrow_mut();
-        feir_wire::write_message(&mut link.writer, msg, &mut scratch)
-            .map_err(|e| comm_err(peer, during, e))
-    }
-
-    /// Receives the next message of `want` from `peer`, stashing any other
-    /// frame that arrives first into the link's inbox.
-    fn recv(&self, peer: usize, want: Tag, during: &'static str) -> Result<Message, CommError> {
-        let mut link = self.link(peer).borrow_mut();
-        if let Some(at) = link.inbox.iter().position(|m| m.tag() == want) {
-            return Ok(link.inbox.remove(at).expect("position just found"));
-        }
-        loop {
-            let Link { reader, frames, .. } = &mut *link;
-            let (tag, payload) = frames
-                .read_frame(reader)
-                .map_err(|e| comm_err(peer, during, e))?;
-            let msg = Message::decode(tag, payload).map_err(|e| comm_err(peer, during, e))?;
-            if tag == want {
-                return Ok(msg);
+        self.with_link(peer, |link| {
+            if let Some(err) = link.shared.down_error(peer, during) {
+                return Err(err);
             }
-            link.inbox.push_back(msg);
-        }
+            let mut scratch = self.scratch.borrow_mut();
+            scratch.clear();
+            msg.encode_into(&mut scratch);
+            // Record first (lock order sendq → writer), then transmit.
+            let mut sendq = link.shared.sendq.lock().expect("link send lock");
+            let seq = sendq.next_seq;
+            sendq.next_seq += 1;
+            sendq.unacked.push_back(SendRecord {
+                seq,
+                attempt: 0,
+                sent_at: Instant::now(),
+                frame: scratch.clone(),
+            });
+            let ok = {
+                let mut writer = link.shared.writer.lock().expect("link writer lock");
+                writer.write_data(seq, 0, &scratch).is_ok()
+            };
+            drop(sendq);
+            if !ok {
+                link.shared.mark_down(LinkDown::Eof);
+                self.downed.lock().expect("downed set lock").insert(peer);
+                return Err(CommError::Disconnected {
+                    peer: Some(peer),
+                    during,
+                });
+            }
+            Ok(())
+        })
     }
 
-    /// Receives a halo frame from `peer` and scatters it into `full` at
-    /// `cols`, straight from the frame buffer when the frame is read off the
-    /// wire (no intermediate `Vec<f64>`).
+    fn recv(&self, peer: usize, want: Tag, during: &'static str) -> Result<Message, CommError> {
+        self.with_link(peer, |link| {
+            if let Some(at) = link.inbox.iter().position(|m| m.tag() == want) {
+                return Ok(link.inbox.remove(at).expect("inbox position just found"));
+            }
+            let deadline = self.options.read_timeout.map(|d| Instant::now() + d);
+            loop {
+                match link.rx.recv_timeout(TICK) {
+                    Ok(msg) if msg.tag() == want => return Ok(msg),
+                    Ok(msg) => link.inbox.push_back(msg),
+                    Err(mpsc::RecvTimeoutError::Timeout) => {
+                        if self.options.elastic {
+                            // Any dead peer aborts the collective so every
+                            // rank reaches the rejoin barrier, not just the
+                            // dead rank's direct correspondents.
+                            let downed = self.downed.lock().expect("downed set lock");
+                            if let Some(&dead) = downed.iter().next() {
+                                return Err(CommError::Disconnected {
+                                    peer: Some(dead),
+                                    during,
+                                });
+                            }
+                        }
+                        if let Some(err) = link.shared.down_error(peer, during) {
+                            return Err(err);
+                        }
+                        if deadline.is_some_and(|d| Instant::now() >= d) {
+                            return Err(CommError::Timeout { peer, during });
+                        }
+                    }
+                    Err(mpsc::RecvTimeoutError::Disconnected) => {
+                        return Err(link.shared.down_error(peer, during).unwrap_or(
+                            CommError::Disconnected {
+                                peer: Some(peer),
+                                during,
+                            },
+                        ));
+                    }
+                }
+            }
+        })
+    }
+
     fn recv_halo_into(
         &self,
         peer: usize,
         cols: &[usize],
         full: &mut [f64],
     ) -> Result<(), CommError> {
-        const DURING: &str = "halo receive";
-        let mut link = self.link(peer).borrow_mut();
-        if let Some(at) = link.inbox.iter().position(|m| m.tag() == Tag::Halo) {
-            let Some(Message::Halo { values }) = link.inbox.remove(at) else {
-                unreachable!("inbox position held a halo frame");
-            };
-            scatter_checked(peer, cols, &values, full)?;
-            return Ok(());
+        match self.recv(peer, Tag::Halo, "halo receive")? {
+            Message::Halo { values } => scatter_checked(peer, cols, &values, full),
+            other => Err(CommError::Protocol(format!(
+                "halo receive from rank {peer}: unexpected {:?} frame",
+                other.tag()
+            ))),
         }
-        loop {
-            let Link { reader, frames, .. } = &mut *link;
-            let (tag, payload) = frames
-                .read_frame(reader)
-                .map_err(|e| comm_err(peer, DURING, e))?;
-            if tag == Tag::Halo {
-                if payload.len() != cols.len() * 8 {
-                    return Err(CommError::Protocol(format!(
-                        "halo from rank {peer}: got {} bytes, expected {} values",
-                        payload.len(),
-                        cols.len()
-                    )));
-                }
-                // Zero-copy scatter: decode each f64 out of the frame buffer
-                // directly into its destination slot.
-                for (&c, v) in cols.iter().zip(feir_wire::f64_payload_iter(payload)) {
-                    full[c] = v;
-                }
-                return Ok(());
+    }
+
+    /// Tears down the dead link to `failed` and re-handshakes its
+    /// replacement under the next epoch. Lower ranks accept the newcomer's
+    /// dial; higher ranks dial its epoch-qualified address. Part of the
+    /// elastic rejoin choreography — see `crate::elastic`.
+    pub fn relink(&self, failed: usize) -> Result<(), CommError> {
+        if failed == self.rank || failed >= self.ranks {
+            return Err(CommError::Protocol(format!(
+                "rank {}: cannot relink rank {failed}",
+                self.rank
+            )));
+        }
+        let target_epoch = {
+            let mut epochs = self.epochs.borrow_mut();
+            epochs[failed] += 1;
+            epochs[failed]
+        };
+        // Joining the old reader thread (via RLink::drop) before clearing
+        // the downed entry below means it cannot re-register the peer as
+        // dead after we have relinked it.
+        drop(self.links[failed].borrow_mut().take());
+        let deadline = Instant::now() + self.options.connect_timeout;
+        let stream = if self.rank < failed {
+            accept_stream(&self.listener, deadline, self.rank)?
+        } else {
+            dial_stream(&self.transport, failed, self.ranks, target_epoch, deadline)?
+        };
+        let my_epoch = self.epochs.borrow()[self.rank];
+        let mut scratch = self.scratch.borrow_mut();
+        let (stream, _) = handshake(
+            stream,
+            self.rank,
+            self.ranks,
+            my_epoch,
+            Some((failed, target_epoch)),
+            &self.epochs.borrow(),
+            &self.options,
+            &mut scratch,
+        )?;
+        drop(scratch);
+        let link = build_rlink(
+            stream,
+            self.rank,
+            failed,
+            &self.options,
+            self.downed.clone(),
+        )?;
+        *self.links[failed].borrow_mut() = Some(link);
+        self.downed.lock().expect("downed set lock").remove(&failed);
+        Ok(())
+    }
+
+    /// Meets every peer at the rejoin barrier: exchanges
+    /// `RejoinBarrier { epoch, iteration }` with all of them and returns the
+    /// maximum iteration seen (the agreed resume point). The epoch is the
+    /// sum of all per-rank epochs — a mesh generation number every rank can
+    /// compute identically — so a stale barrier from a previous rejoin
+    /// cannot satisfy this one.
+    pub fn rejoin_barrier(&self, my_iteration: u64) -> Result<u64, CommError> {
+        let mesh_epoch: u64 = self.epochs.borrow().iter().sum();
+        let mesh_epoch = mesh_epoch as u32;
+        let msg = Message::RejoinBarrier {
+            epoch: mesh_epoch,
+            iteration: my_iteration,
+        };
+        for peer in 0..self.ranks {
+            if peer != self.rank {
+                self.send(peer, &msg, "rejoin barrier")?;
             }
-            let msg = Message::decode(tag, payload).map_err(|e| comm_err(peer, DURING, e))?;
-            link.inbox.push_back(msg);
         }
+        let mut resume = my_iteration;
+        for peer in 0..self.ranks {
+            if peer != self.rank {
+                resume = resume.max(self.recv_barrier(peer, mesh_epoch)?);
+            }
+        }
+        Ok(resume)
+    }
+
+    /// Waits for `peer`'s barrier frame of generation `epoch`, discarding
+    /// whatever in-flight collective traffic the aborted solve left behind.
+    fn recv_barrier(&self, peer: usize, epoch: u32) -> Result<u64, CommError> {
+        const DURING: &str = "rejoin barrier";
+        self.with_link(peer, |link| {
+            // The aborted collective may already have stashed the barrier
+            // frame in the inbox; sweep it before draining the queue.
+            for msg in link.inbox.drain(..) {
+                if let Message::RejoinBarrier { epoch: e, iteration } = msg {
+                    if e == epoch {
+                        return Ok(iteration);
+                    }
+                    if e > epoch {
+                        return Err(CommError::Protocol(format!(
+                            "rejoin barrier from rank {peer}: epoch {e} is ahead of ours ({epoch})"
+                        )));
+                    }
+                    // Stale barrier of an earlier rejoin: discard.
+                }
+                // Leftover collective traffic of the aborted solve: discard.
+            }
+            let budget = self.options.connect_timeout
+                + self.options.read_timeout.unwrap_or(Duration::from_secs(30));
+            let deadline = Instant::now() + budget;
+            loop {
+                match link.rx.recv_timeout(TICK) {
+                    Ok(Message::RejoinBarrier { epoch: e, iteration }) => {
+                        if e == epoch {
+                            return Ok(iteration);
+                        }
+                        if e > epoch {
+                            return Err(CommError::Protocol(format!(
+                                "rejoin barrier from rank {peer}: epoch {e} is ahead of ours ({epoch})"
+                            )));
+                        }
+                    }
+                    Ok(_) => {} // aborted-solve traffic
+                    Err(mpsc::RecvTimeoutError::Timeout) => {
+                        if let Some(err) = link.shared.down_error(peer, DURING) {
+                            return Err(err);
+                        }
+                        if Instant::now() >= deadline {
+                            return Err(CommError::Timeout {
+                                peer,
+                                during: DURING,
+                            });
+                        }
+                    }
+                    Err(mpsc::RecvTimeoutError::Disconnected) => {
+                        return Err(link.shared.down_error(peer, DURING).unwrap_or(
+                            CommError::Disconnected {
+                                peer: Some(peer),
+                                during: DURING,
+                            },
+                        ));
+                    }
+                }
+            }
+        })
     }
 }
 
@@ -302,208 +1004,307 @@ fn scatter_checked(
     Ok(())
 }
 
+// ---------------------------------------------------------------------------
+// Mesh establishment: addressing, rendezvous, handshake.
+// ---------------------------------------------------------------------------
+
+/// This rank's retained listener (elastic rejoins re-accept on it).
+#[derive(Debug)]
+enum MeshListener {
+    Unix(UnixListener),
+    Tcp(TcpListener),
+}
+
+/// The UDS socket path of `rank` at `epoch` (epoch 0 keeps the plain name).
+fn uds_path(dir: &Path, rank: usize, epoch: u64) -> PathBuf {
+    if epoch == 0 {
+        dir.join(format!("rank{rank}.sock"))
+    } else {
+        dir.join(format!("rank{rank}.e{epoch}.sock"))
+    }
+}
+
+/// The TCP address of `rank` at `epoch`.
+fn rank_addr(base_port: u16, ranks: usize, rank: usize, epoch: u64) -> SocketAddr {
+    let port = base_port
+        .wrapping_add((epoch as u16).wrapping_mul(ranks as u16))
+        .wrapping_add(rank as u16);
+    SocketAddr::from((Ipv4Addr::LOCALHOST, port))
+}
+
+fn setup_err(rank: usize, what: &str, e: std::io::Error) -> CommError {
+    CommError::Protocol(format!("rank {rank}: {what}: {e}"))
+}
+
+/// Binds this rank's listener at its epoch-aware address.
+fn bind_listener(
+    transport: &Transport,
+    rank: usize,
+    ranks: usize,
+    epoch: u64,
+) -> Result<MeshListener, CommError> {
+    match transport {
+        Transport::Uds { dir } => {
+            std::fs::create_dir_all(dir)
+                .map_err(|e| setup_err(rank, "rendezvous dir create", e))?;
+            let path = uds_path(dir, rank, epoch);
+            let _ = std::fs::remove_file(&path);
+            let listener = UnixListener::bind(&path).map_err(|e| setup_err(rank, "uds bind", e))?;
+            Ok(MeshListener::Unix(listener))
+        }
+        Transport::Tcp { base_port } => {
+            let addr = rank_addr(*base_port, ranks, rank, epoch);
+            let listener = TcpListener::bind(addr).map_err(|e| setup_err(rank, "tcp bind", e))?;
+            Ok(MeshListener::Tcp(listener))
+        }
+    }
+}
+
+/// Accepts one inbound connection before `deadline` (the listener is
+/// switched to non-blocking and polled so a never-arriving dial cannot hang
+/// the rank).
+fn accept_stream(
+    listener: &MeshListener,
+    deadline: Instant,
+    rank: usize,
+) -> Result<Stream, CommError> {
+    use std::io::ErrorKind;
+    let set_nonblocking = |on: bool| match listener {
+        MeshListener::Unix(l) => l.set_nonblocking(on),
+        MeshListener::Tcp(l) => l.set_nonblocking(on),
+    };
+    set_nonblocking(true).map_err(|e| setup_err(rank, "listener nonblocking", e))?;
+    loop {
+        let accepted = match listener {
+            MeshListener::Unix(l) => l.accept().map(|(s, _)| Stream::Unix(s)),
+            MeshListener::Tcp(l) => l.accept().map(|(s, _)| Stream::Tcp(s)),
+        };
+        match accepted {
+            Ok(stream) => {
+                match &stream {
+                    Stream::Unix(s) => s
+                        .set_nonblocking(false)
+                        .map_err(|e| setup_err(rank, "stream blocking", e))?,
+                    Stream::Tcp(s) => s
+                        .set_nonblocking(false)
+                        .map_err(|e| setup_err(rank, "stream blocking", e))?,
+                }
+                return Ok(stream);
+            }
+            Err(e) if e.kind() == ErrorKind::WouldBlock => {
+                if Instant::now() >= deadline {
+                    return Err(CommError::Timeout {
+                        peer: rank,
+                        during: "mesh accept",
+                    });
+                }
+                std::thread::sleep(Duration::from_millis(2));
+            }
+            Err(e) if e.kind() == ErrorKind::Interrupted => {}
+            Err(e) => return Err(setup_err(rank, "mesh accept", e)),
+        }
+    }
+}
+
+/// Dials `peer`'s listener at `epoch`, retrying with backoff until
+/// `deadline` (the peer may not have bound yet).
+fn dial_stream(
+    transport: &Transport,
+    peer: usize,
+    ranks: usize,
+    epoch: u64,
+    deadline: Instant,
+) -> Result<Stream, CommError> {
+    let mut backoff = Duration::from_millis(2);
+    loop {
+        let attempt = match transport {
+            Transport::Uds { dir } => {
+                UnixStream::connect(uds_path(dir, peer, epoch)).map(Stream::Unix)
+            }
+            Transport::Tcp { base_port } => {
+                TcpStream::connect(rank_addr(*base_port, ranks, peer, epoch)).map(Stream::Tcp)
+            }
+        };
+        match attempt {
+            Ok(stream) => return Ok(stream),
+            Err(_) if Instant::now() < deadline => {
+                std::thread::sleep(backoff);
+                backoff = (backoff * 2).min(Duration::from_millis(100));
+            }
+            Err(_) => {
+                return Err(CommError::Timeout {
+                    peer,
+                    during: "mesh connect",
+                })
+            }
+        }
+    }
+}
+
+/// Exchanges `Hello` frames on a fresh stream and validates the peer's
+/// identity, mesh size and epoch. `expect` pins the peer (dial side);
+/// `None` accepts any higher rank (accept side) at its recorded epoch.
+#[allow(clippy::too_many_arguments)]
+fn handshake(
+    mut stream: Stream,
+    rank: usize,
+    ranks: usize,
+    my_epoch: u64,
+    expect: Option<(usize, u64)>,
+    epochs: &[u64],
+    options: &MeshOptions,
+    scratch: &mut Vec<u8>,
+) -> Result<(Stream, usize), CommError> {
+    let fallible =
+        |e: WireError| comm_err(expect.map(|(p, _)| p).unwrap_or(usize::MAX), "handshake", e);
+    stream
+        .set_read_timeout(options.read_timeout)
+        .map_err(|e| setup_err(rank, "handshake read timeout", e))?;
+    feir_wire::write_message(
+        &mut stream,
+        &Message::Hello {
+            rank: rank as u32,
+            ranks: ranks as u32,
+            epoch: my_epoch as u32,
+        },
+        scratch,
+    )
+    .map_err(fallible)?;
+    // FrameReader performs exact-length reads, so it cannot swallow bytes of
+    // the envelope traffic that follows the handshake.
+    let hello = FrameReader::new()
+        .read_message(&mut stream)
+        .map_err(fallible)?;
+    let Message::Hello {
+        rank: peer_rank,
+        ranks: peer_ranks,
+        epoch: peer_epoch,
+    } = hello
+    else {
+        return Err(CommError::Protocol(format!(
+            "rank {rank}: handshake expected Hello, got {:?}",
+            hello.tag()
+        )));
+    };
+    let peer_rank = peer_rank as usize;
+    if peer_ranks as usize != ranks {
+        return Err(CommError::Protocol(format!(
+            "rank {rank}: peer {peer_rank} believes in {peer_ranks} ranks, we have {ranks}"
+        )));
+    }
+    if peer_rank >= ranks || peer_rank == rank {
+        return Err(CommError::Protocol(format!(
+            "rank {rank}: handshake from invalid rank {peer_rank}"
+        )));
+    }
+    if let Some((expected_peer, _)) = expect {
+        if peer_rank != expected_peer {
+            return Err(CommError::Protocol(format!(
+                "rank {rank}: dialled rank {expected_peer} but rank {peer_rank} answered"
+            )));
+        }
+    }
+    let expected_epoch = expect
+        .map(|(_, e)| e)
+        .unwrap_or_else(|| epochs.get(peer_rank).copied().unwrap_or(0));
+    if peer_epoch as u64 != expected_epoch {
+        return Err(CommError::Protocol(format!(
+            "rank {rank}: peer {peer_rank} is at epoch {peer_epoch}, expected {expected_epoch} \
+             (stale pre-respawn worker?)"
+        )));
+    }
+    Ok((stream, peer_rank))
+}
+
 /// Establishes this rank's full mesh: bind, connect to lower ranks with
-/// backoff, accept from higher ranks, handshake each link.
+/// backoff, accept from higher ranks, handshake and wrap every link in the
+/// reliability sublayer.
 pub fn connect_mesh(
     rank: usize,
     ranks: usize,
     transport: &Transport,
     options: &MeshOptions,
 ) -> Result<ProcessEndpoint, CommError> {
-    assert!(rank < ranks, "rank out of range");
-    let deadline = Instant::now() + options.connect_timeout;
-    let setup_err =
-        |what: &str, e: std::io::Error| CommError::Protocol(format!("rank {rank}: {what}: {e}"));
-
-    // Bind this rank's listener before dialling anyone, so peers retrying
-    // against us succeed as soon as possible.
-    enum Listener {
-        Unix(UnixListener),
-        Tcp(TcpListener),
-    }
-    let listener = match transport {
-        Transport::Uds { dir } => {
-            let path = uds_path(dir, rank);
-            let _ = std::fs::remove_file(&path); // stale socket from a dead run
-            Listener::Unix(
-                UnixListener::bind(&path)
-                    .map_err(|e| setup_err(&format!("bind {}", path.display()), e))?,
-            )
-        }
-        Transport::Tcp { base_port } => {
-            let addr = SocketAddr::from((Ipv4Addr::LOCALHOST, base_port + rank as u16));
-            Listener::Tcp(
-                TcpListener::bind(addr).map_err(|e| setup_err(&format!("bind {addr}"), e))?,
-            )
-        }
+    assert!(rank < ranks, "rank {rank} out of range for {ranks} ranks");
+    let epochs = if options.epochs.is_empty() {
+        vec![0u64; ranks]
+    } else if options.epochs.len() == ranks {
+        options.epochs.clone()
+    } else {
+        return Err(CommError::Protocol(format!(
+            "rank {rank}: {} epochs configured for {ranks} ranks",
+            options.epochs.len()
+        )));
     };
-
-    let mut links: Vec<Option<RefCell<Link>>> = (0..ranks).map(|_| None).collect();
+    let listener = bind_listener(transport, rank, ranks, epochs[rank])?;
+    let downed: Arc<Mutex<BTreeSet<usize>>> = Arc::new(Mutex::new(BTreeSet::new()));
+    let mut links: Vec<RefCell<Option<RLink>>> = (0..ranks).map(|_| RefCell::new(None)).collect();
+    let deadline = Instant::now() + options.connect_timeout;
     let mut scratch = Vec::new();
-
-    // Dial every lower rank, retrying with exponential backoff while its
-    // listener may not exist yet.
-    #[allow(clippy::needless_range_loop)] // `peer` is a rank id, not just an index
+    // Dial every lower rank (they bound their listeners first or will
+    // shortly; the backoff absorbs start-order races).
     for peer in 0..rank {
-        let mut backoff = Duration::from_millis(2);
-        let stream = loop {
-            let attempt = match transport {
-                Transport::Uds { dir } => {
-                    UnixStream::connect(uds_path(dir, peer)).map(Stream::Unix)
-                }
-                Transport::Tcp { base_port } => TcpStream::connect(SocketAddr::from((
-                    Ipv4Addr::LOCALHOST,
-                    base_port + peer as u16,
-                )))
-                .map(Stream::Tcp),
-            };
-            match attempt {
-                Ok(s) => break s,
-                Err(_) if Instant::now() < deadline => {
-                    std::thread::sleep(backoff);
-                    backoff = (backoff * 2).min(Duration::from_millis(100));
-                }
-                Err(e) => {
-                    return Err(setup_err(&format!("connect to rank {peer}"), e));
-                }
-            }
-        };
-        let link = handshake(stream, rank, ranks, Some(peer), options, &mut scratch)?;
-        links[peer] = Some(RefCell::new(link.link));
+        let stream = dial_stream(transport, peer, ranks, epochs[peer], deadline)?;
+        let (stream, _) = handshake(
+            stream,
+            rank,
+            ranks,
+            epochs[rank],
+            Some((peer, epochs[peer])),
+            &epochs,
+            options,
+            &mut scratch,
+        )?;
+        links[peer] = RefCell::new(Some(build_rlink(
+            stream,
+            rank,
+            peer,
+            options,
+            downed.clone(),
+        )?));
     }
-
-    // Accept one connection from every higher rank; they self-identify in
-    // their Hello, so arrival order does not matter.
-    let expected_higher = ranks - rank - 1;
-    match &listener {
-        Listener::Unix(l) => l.set_nonblocking(true),
-        Listener::Tcp(l) => l.set_nonblocking(true),
-    }
-    .map_err(|e| setup_err("listener set_nonblocking", e))?;
-    for _ in 0..expected_higher {
-        let stream = loop {
-            let accepted = match &listener {
-                Listener::Unix(l) => l.accept().map(|(s, _)| Stream::Unix(s)),
-                Listener::Tcp(l) => l.accept().map(|(s, _)| Stream::Tcp(s)),
-            };
-            match accepted {
-                Ok(s) => break s,
-                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
-                    if Instant::now() >= deadline {
-                        return Err(CommError::Timeout {
-                            peer: rank, // unidentified: nobody dialled us
-                            during: "mesh accept",
-                        });
-                    }
-                    std::thread::sleep(Duration::from_millis(2));
-                }
-                Err(e) => return Err(setup_err("accept", e)),
-            }
-        };
-        match &stream {
-            Stream::Unix(s) => s.set_nonblocking(false),
-            Stream::Tcp(s) => s.set_nonblocking(false),
-        }
-        .map_err(|e| setup_err("stream set_nonblocking", e))?;
-        let link = handshake(stream, rank, ranks, None, options, &mut scratch)?;
-        let peer = link.peer_rank;
-        if peer <= rank || peer >= ranks {
+    // Accept every higher rank, in whatever order they dial.
+    for _ in rank + 1..ranks {
+        let stream = accept_stream(&listener, deadline, rank)?;
+        let (stream, peer) = handshake(
+            stream,
+            rank,
+            ranks,
+            epochs[rank],
+            None,
+            &epochs,
+            options,
+            &mut scratch,
+        )?;
+        if peer <= rank {
             return Err(CommError::Protocol(format!(
-                "rank {rank}: unexpected hello from rank {peer}"
+                "rank {rank}: unexpected dial from lower rank {peer}"
             )));
         }
-        if links[peer].is_some() {
+        if links[peer].borrow().is_some() {
             return Err(CommError::Protocol(format!(
                 "rank {rank}: duplicate connection from rank {peer}"
             )));
         }
-        links[peer] = Some(RefCell::new(link.link));
+        links[peer] = RefCell::new(Some(build_rlink(
+            stream,
+            rank,
+            peer,
+            options,
+            downed.clone(),
+        )?));
     }
-
-    // Keep the rendezvous socket file around until the run directory is
-    // cleaned up; dropping the listener closes it either way.
     Ok(ProcessEndpoint {
         rank,
         ranks,
         links,
         scratch: RefCell::new(scratch),
+        listener,
+        transport: transport.clone(),
+        options: options.clone(),
+        epochs: RefCell::new(epochs),
+        downed,
     })
-}
-
-/// A handshaken link plus who turned out to be on the other end.
-struct IdentifiedLink {
-    link: Link,
-    peer_rank: usize,
-}
-
-impl std::ops::Deref for IdentifiedLink {
-    type Target = Link;
-    fn deref(&self) -> &Link {
-        &self.link
-    }
-}
-
-/// Exchanges `Hello` frames on a fresh stream and validates them. `expect`
-/// is the peer we dialled (connect side) or `None` when accepting.
-fn handshake(
-    stream: Stream,
-    rank: usize,
-    ranks: usize,
-    expect: Option<usize>,
-    options: &MeshOptions,
-    scratch: &mut Vec<u8>,
-) -> Result<IdentifiedLink, CommError> {
-    let fallible = |e: WireError| comm_err(expect.unwrap_or(usize::MAX), "handshake", e);
-    stream
-        .set_read_timeout(options.read_timeout)
-        .map_err(|e| CommError::Protocol(format!("set_read_timeout: {e}")))?;
-    let reader = stream;
-    let mut writer = reader
-        .try_clone()
-        .map_err(|e| CommError::Protocol(format!("rank {rank}: stream clone failed: {e}")))?;
-    let hello = Message::Hello {
-        rank: rank as u32,
-        ranks: ranks as u32,
-    };
-    feir_wire::write_message(&mut writer, &hello, scratch).map_err(fallible)?;
-    let mut link = Link {
-        reader,
-        writer,
-        frames: FrameReader::new(),
-        inbox: VecDeque::new(),
-    };
-    let msg = link
-        .frames
-        .read_message(&mut link.reader)
-        .map_err(fallible)?;
-    let Message::Hello {
-        rank: peer_rank,
-        ranks: peer_ranks,
-    } = msg
-    else {
-        return Err(CommError::Protocol(format!(
-            "rank {rank}: expected Hello, got {:?}",
-            msg.tag()
-        )));
-    };
-    let peer_rank = peer_rank as usize;
-    if peer_ranks as usize != ranks {
-        return Err(CommError::Protocol(format!(
-            "rank {rank}: world-size mismatch (we say {ranks}, rank {peer_rank} says {peer_ranks})"
-        )));
-    }
-    if let Some(expected) = expect {
-        if peer_rank != expected {
-            return Err(CommError::Protocol(format!(
-                "rank {rank}: dialled rank {expected} but rank {peer_rank} answered"
-            )));
-        }
-    }
-    Ok(IdentifiedLink { link, peer_rank })
-}
-
-fn uds_path(dir: &Path, rank: usize) -> PathBuf {
-    dir.join(format!("rank{rank}.sock"))
 }
 
 /// The process backend's per-rank state behind [`RankComm`]: the endpoint
@@ -546,6 +1347,14 @@ impl ProcessLinks {
 
     pub(crate) fn recovery_peers(&self) -> &[usize] {
         &self.recovery_peers
+    }
+
+    /// Relinks a failed peer (when named) and meets the rejoin barrier.
+    pub(crate) fn rejoin(&self, failed: Option<usize>, iteration: u64) -> Result<u64, CommError> {
+        if let Some(k) = failed {
+            self.endpoint.relink(k)?;
+        }
+        self.endpoint.rejoin_barrier(iteration)
     }
 
     pub(crate) fn exchange_halo(&self, full: &mut [f64]) -> Result<(), CommError> {
@@ -803,6 +1612,32 @@ impl WorkerSolver {
     }
 }
 
+/// The textual form of a recovery policy carried by `FEIR_WORKER_POLICY`.
+fn policy_str(policy: RecoveryPolicy) -> String {
+    match policy {
+        RecoveryPolicy::Ideal => "ideal".into(),
+        RecoveryPolicy::Trivial => "trivial".into(),
+        RecoveryPolicy::Checkpoint { interval } => format!("checkpoint:{interval}"),
+        RecoveryPolicy::LossyRestart => "lossy".into(),
+        RecoveryPolicy::Feir => "feir".into(),
+        RecoveryPolicy::Afeir => "afeir".into(),
+    }
+}
+
+fn parse_policy(s: &str) -> Option<RecoveryPolicy> {
+    Some(match s {
+        "ideal" => RecoveryPolicy::Ideal,
+        "trivial" => RecoveryPolicy::Trivial,
+        "lossy" => RecoveryPolicy::LossyRestart,
+        "feir" => RecoveryPolicy::Feir,
+        "afeir" => RecoveryPolicy::Afeir,
+        other => {
+            let interval: usize = other.strip_prefix("checkpoint:")?.parse().ok()?;
+            RecoveryPolicy::Checkpoint { interval }
+        }
+    })
+}
+
 /// A deterministic multi-process solve: every worker rebuilds the same
 /// problem from `(grid, rhs_seed)`, so no matrix data crosses the wire.
 #[derive(Debug, Clone)]
@@ -836,6 +1671,35 @@ impl ProcessSpec {
             max_iterations: 10_000,
         }
     }
+}
+
+/// Optional behaviour of a worker fleet beyond the plain [`ProcessSpec`]:
+/// the resilient/elastic path, transport fault injection and mesh tuning.
+/// Everything defaults to "off"/inherit-the-mesh-default, so
+/// `WorkerOptions::default()` reproduces the plain PR 6 fleet.
+#[derive(Debug, Clone, Default)]
+pub struct WorkerOptions {
+    /// Run the resilient rank loop under this recovery policy (classic
+    /// `cg`/`pcg` solvers only). `None` runs the plain loop.
+    pub policy: Option<RecoveryPolicy>,
+    /// Enable rank elasticity: workers park at the rejoin barrier on a
+    /// peer's death instead of failing, awaiting [`WorkerHandles::respawn_rank`].
+    pub elastic: bool,
+    /// Deterministic transport fault injection for every worker's links.
+    pub chaos: Option<ChaosConfig>,
+    /// Overrides [`MeshOptions::max_retries`].
+    pub max_retries: Option<u32>,
+    /// Overrides [`MeshOptions::retransmit_timeout`].
+    pub retransmit_timeout: Option<Duration>,
+    /// Overrides [`MeshOptions::connect_timeout`].
+    pub connect_timeout: Option<Duration>,
+    /// Overrides [`MeshOptions::read_timeout`]; `Some(None)` disables the
+    /// read deadline entirely.
+    pub read_timeout: Option<Option<Duration>>,
+    /// Per-iteration throttle sleep inside each worker's rank loop — lets
+    /// kill/respawn tests land a failure mid-solve deterministically
+    /// without a huge problem.
+    pub spin: Option<Duration>,
 }
 
 /// A failure of the multi-process launcher or one of its workers.
@@ -904,6 +1768,13 @@ impl Drop for RunDirGuard {
 pub struct WorkerHandles {
     children: Vec<Child>,
     spec: ProcessSpec,
+    worker: PathBuf,
+    transport: Transport,
+    options: WorkerOptions,
+    /// Respawn count per rank; a respawned worker rebinds under its bumped
+    /// epoch and the survivors expect exactly that epoch in its Hello.
+    epochs: Vec<u64>,
+    ranks: usize,
     _dir: Option<RunDirGuard>,
 }
 
@@ -913,6 +1784,33 @@ impl WorkerHandles {
     /// [`CommError::Disconnected`].
     pub fn kill_rank(&mut self, rank: usize) -> std::io::Result<()> {
         self.children[rank].kill()
+    }
+
+    /// OS process ids of the current worker incarnations, in rank order.
+    pub fn pids(&self) -> Vec<u32> {
+        self.children.iter().map(Child::id).collect()
+    }
+
+    /// Restarts the (killed) worker of `rank` under the next epoch. With
+    /// [`WorkerOptions::elastic`] set, the survivors re-handshake the
+    /// newcomer at the rejoin barrier and the solve continues; rank 0 hosts
+    /// the collectives and cannot be respawned.
+    pub fn respawn_rank(&mut self, rank: usize) -> std::io::Result<()> {
+        // Make sure the old incarnation is gone before its successor binds.
+        let _ = self.children[rank].kill();
+        let _ = self.children[rank].wait();
+        self.epochs[rank] += 1;
+        let child = spawn_one(
+            &self.worker,
+            &self.spec,
+            &self.transport,
+            &self.options,
+            rank,
+            self.ranks,
+            &self.epochs,
+        )?;
+        self.children[rank] = child;
+        Ok(())
     }
 
     /// Collects every worker's report and assembles the solve result,
@@ -1034,6 +1932,21 @@ impl WorkerHandles {
     }
 }
 
+impl Drop for WorkerHandles {
+    /// A dropped fleet is a dead fleet: without this, a panicking test (or a
+    /// caller that simply forgets to `join`) leaks orphan worker processes
+    /// that keep their sockets — and possibly a rendezvous directory — alive
+    /// indefinitely. `join` reaps everything itself, so reaching this with
+    /// already-waited children is a harmless no-op (`kill` on a reaped child
+    /// errors and is ignored; `wait` returns the cached status).
+    fn drop(&mut self) {
+        for child in &mut self.children {
+            let _ = child.kill();
+            let _ = child.wait();
+        }
+    }
+}
+
 /// Reconstructs the typed error a worker reported over the wire.
 fn rank_error_to_process_error(
     rank: usize,
@@ -1067,7 +1980,7 @@ fn rank_error_to_process_error(
 static RUN_COUNTER: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
 
 /// A unique rendezvous directory for one mesh run.
-fn fresh_run_dir() -> std::io::Result<PathBuf> {
+pub(crate) fn fresh_run_dir() -> std::io::Result<PathBuf> {
     let nanos = std::time::SystemTime::now()
         .duration_since(std::time::UNIX_EPOCH)
         .map(|d| d.subsec_nanos())
@@ -1082,13 +1995,82 @@ fn fresh_run_dir() -> std::io::Result<PathBuf> {
     Ok(dir)
 }
 
-/// Spawns one worker process per rank over the given transport. `worker` is
-/// any executable whose main calls [`worker_main`] (e.g. the
-/// `feir-rank-worker` binary, or a self-re-executing example).
-pub fn spawn_workers(
+/// Spawns the worker process of one rank with the full env protocol.
+fn spawn_one(
     worker: &Path,
     spec: &ProcessSpec,
     transport: &Transport,
+    options: &WorkerOptions,
+    rank: usize,
+    ranks: usize,
+    epochs: &[u64],
+) -> std::io::Result<Child> {
+    let mut cmd = Command::new(worker);
+    cmd.env(ENV_RANK, rank.to_string())
+        .env(ENV_RANKS, ranks.to_string())
+        .env(ENV_SOLVER, spec.solver.as_str())
+        .env(ENV_GRID, spec.grid.to_string())
+        .env(ENV_SEED, spec.rhs_seed.to_string())
+        .env(ENV_TOL, format!("{:e}", spec.tolerance))
+        .env(ENV_MAXIT, spec.max_iterations.to_string())
+        .env(ENV_PAGE, spec.page_doubles.to_string())
+        .env(
+            ENV_EPOCHS,
+            epochs
+                .iter()
+                .map(u64::to_string)
+                .collect::<Vec<_>>()
+                .join(","),
+        )
+        .stdout(Stdio::piped())
+        .stdin(Stdio::null());
+    match transport {
+        Transport::Uds { dir } => {
+            cmd.env(ENV_TRANSPORT, "uds").env(ENV_DIR, dir);
+        }
+        Transport::Tcp { base_port } => {
+            cmd.env(ENV_TRANSPORT, "tcp")
+                .env(ENV_TCP_BASE, base_port.to_string());
+        }
+    }
+    if let Some(policy) = options.policy {
+        cmd.env(ENV_POLICY, policy_str(policy));
+    }
+    if options.elastic {
+        cmd.env(ENV_ELASTIC, "1");
+    }
+    if let Some(chaos) = &options.chaos {
+        cmd.env(ENV_CHAOS, chaos.to_string());
+    }
+    if let Some(retries) = options.max_retries {
+        cmd.env(ENV_RETRY_MAX, retries.to_string());
+    }
+    if let Some(rto) = options.retransmit_timeout {
+        cmd.env(ENV_RTO_MS, rto.as_millis().to_string());
+    }
+    if let Some(connect) = options.connect_timeout {
+        cmd.env(ENV_CONNECT_TIMEOUT_MS, connect.as_millis().to_string());
+    }
+    if let Some(read) = options.read_timeout {
+        // `0` is the explicit "no deadline" encoding.
+        let ms = read.map(|d| d.as_millis()).unwrap_or(0);
+        cmd.env(ENV_READ_TIMEOUT_MS, ms.to_string());
+    }
+    if let Some(spin) = options.spin {
+        cmd.env(ENV_SPIN_MS, spin.as_millis().to_string());
+    }
+    cmd.spawn()
+}
+
+/// Spawns one worker process per rank over the given transport, with
+/// [`WorkerOptions`] controlling resilience, elasticity and fault
+/// injection. `worker` is any executable whose main calls [`worker_main`]
+/// (e.g. the `feir-rank-worker` binary, or a self-re-executing example).
+pub fn spawn_workers_with(
+    worker: &Path,
+    spec: &ProcessSpec,
+    transport: &Transport,
+    options: &WorkerOptions,
 ) -> Result<WorkerHandles, ProcessError> {
     let n = spec.grid * spec.grid;
     let ranks = crate::comm::effective_ranks(n, spec.ranks);
@@ -1100,29 +2082,10 @@ pub fn spawn_workers(
         }
         Transport::Tcp { .. } => None,
     };
+    let epochs = vec![0u64; ranks];
     let mut children = Vec::with_capacity(ranks);
     for rank in 0..ranks {
-        let mut cmd = Command::new(worker);
-        cmd.env(ENV_RANK, rank.to_string())
-            .env(ENV_RANKS, ranks.to_string())
-            .env(ENV_SOLVER, spec.solver.as_str())
-            .env(ENV_GRID, spec.grid.to_string())
-            .env(ENV_SEED, spec.rhs_seed.to_string())
-            .env(ENV_TOL, format!("{:e}", spec.tolerance))
-            .env(ENV_MAXIT, spec.max_iterations.to_string())
-            .env(ENV_PAGE, spec.page_doubles.to_string())
-            .stdout(Stdio::piped())
-            .stdin(Stdio::null());
-        match transport {
-            Transport::Uds { dir } => {
-                cmd.env(ENV_TRANSPORT, "uds").env(ENV_DIR, dir);
-            }
-            Transport::Tcp { base_port } => {
-                cmd.env(ENV_TRANSPORT, "tcp")
-                    .env(ENV_TCP_BASE, base_port.to_string());
-            }
-        }
-        match cmd.spawn() {
+        match spawn_one(worker, spec, transport, options, rank, ranks, &epochs) {
             Ok(child) => children.push(child),
             Err(e) => {
                 // Tear down what already started.
@@ -1137,8 +2100,23 @@ pub fn spawn_workers(
     Ok(WorkerHandles {
         children,
         spec: spec.clone(),
+        worker: worker.to_path_buf(),
+        transport: transport.clone(),
+        options: options.clone(),
+        epochs,
+        ranks,
         _dir: dir_guard,
     })
+}
+
+/// [`spawn_workers_with`] under default [`WorkerOptions`] — the plain
+/// (non-resilient, fault-free) fleet.
+pub fn spawn_workers(
+    worker: &Path,
+    spec: &ProcessSpec,
+    transport: &Transport,
+) -> Result<WorkerHandles, ProcessError> {
+    spawn_workers_with(worker, spec, transport, &WorkerOptions::default())
 }
 
 /// Runs a complete multi-process solve over Unix domain sockets in a fresh
@@ -1162,6 +2140,15 @@ const ENV_SEED: &str = "FEIR_WORKER_SEED";
 const ENV_TOL: &str = "FEIR_WORKER_TOL";
 const ENV_MAXIT: &str = "FEIR_WORKER_MAXIT";
 const ENV_PAGE: &str = "FEIR_WORKER_PAGE";
+const ENV_POLICY: &str = "FEIR_WORKER_POLICY";
+const ENV_ELASTIC: &str = "FEIR_WORKER_ELASTIC";
+const ENV_EPOCHS: &str = "FEIR_WORKER_EPOCHS";
+const ENV_CHAOS: &str = "FEIR_WORKER_CHAOS";
+const ENV_CONNECT_TIMEOUT_MS: &str = "FEIR_WORKER_CONNECT_TIMEOUT_MS";
+const ENV_READ_TIMEOUT_MS: &str = "FEIR_WORKER_READ_TIMEOUT_MS";
+const ENV_RETRY_MAX: &str = "FEIR_WORKER_RETRY_MAX";
+const ENV_RTO_MS: &str = "FEIR_WORKER_RTO_MS";
+const ENV_SPIN_MS: &str = "FEIR_WORKER_SPIN_MS";
 
 /// True when this process was spawned as a rank worker (the launcher set the
 /// `FEIR_WORKER_*` environment). A self-re-executing launcher (like
@@ -1181,11 +2168,34 @@ struct WorkerEnv {
     page_doubles: usize,
     tolerance: f64,
     max_iterations: usize,
+    policy: Option<RecoveryPolicy>,
+    elastic: bool,
+    epochs: Vec<u64>,
+    chaos: Option<ChaosConfig>,
+    connect_timeout: Option<Duration>,
+    read_timeout: Option<Option<Duration>>,
+    max_retries: Option<u32>,
+    retransmit_timeout: Option<Duration>,
+    spin: Duration,
 }
 
 fn env_parse<T: std::str::FromStr>(key: &str) -> Result<T, String> {
     let raw = std::env::var(key).map_err(|_| format!("{key} is not set"))?;
     raw.parse().map_err(|_| format!("{key}={raw} is invalid"))
+}
+
+/// Parses an optional `FEIR_WORKER_*` variable: absent is `None`, present
+/// but malformed is a hard error — a worker must never run on silently
+/// misread configuration.
+fn env_parse_opt<T: std::str::FromStr>(key: &str) -> Result<Option<T>, String> {
+    match std::env::var(key) {
+        Err(std::env::VarError::NotPresent) => Ok(None),
+        Err(std::env::VarError::NotUnicode(_)) => Err(format!("{key} is not unicode")),
+        Ok(raw) => raw
+            .parse()
+            .map(Some)
+            .map_err(|_| format!("{key}={raw} is invalid")),
+    }
 }
 
 impl WorkerEnv {
@@ -1204,6 +2214,47 @@ impl WorkerEnv {
         let solver_raw: String = env_parse(ENV_SOLVER)?;
         let solver = WorkerSolver::parse(&solver_raw)
             .ok_or_else(|| format!("{ENV_SOLVER}={solver_raw} is invalid"))?;
+        let policy = match env_parse_opt::<String>(ENV_POLICY)? {
+            None => None,
+            Some(raw) => {
+                Some(parse_policy(&raw).ok_or_else(|| format!("{ENV_POLICY}={raw} is invalid"))?)
+            }
+        };
+        let elastic = match env_parse_opt::<String>(ENV_ELASTIC)? {
+            None => false,
+            Some(raw) => match raw.as_str() {
+                "0" => false,
+                "1" => true,
+                _ => return Err(format!("{ENV_ELASTIC}={raw} is invalid")),
+            },
+        };
+        let epochs = match env_parse_opt::<String>(ENV_EPOCHS)? {
+            None => Vec::new(),
+            Some(raw) => {
+                let mut epochs = Vec::new();
+                for part in raw.split(',') {
+                    let part = part.trim();
+                    if part.is_empty() {
+                        continue;
+                    }
+                    epochs.push(
+                        part.parse::<u64>()
+                            .map_err(|_| format!("{ENV_EPOCHS}={raw} is invalid"))?,
+                    );
+                }
+                epochs
+            }
+        };
+        let chaos = match env_parse_opt::<String>(ENV_CHAOS)? {
+            None => None,
+            Some(raw) => {
+                Some(ChaosConfig::parse(&raw).map_err(|e| format!("{ENV_CHAOS}={raw}: {e}"))?)
+            }
+        };
+        let read_timeout = env_parse_opt::<u64>(ENV_READ_TIMEOUT_MS)?.map(|ms| {
+            // 0 explicitly disables the deadline.
+            (ms > 0).then(|| Duration::from_millis(ms))
+        });
         Ok(WorkerEnv {
             rank: env_parse(ENV_RANK)?,
             ranks: env_parse(ENV_RANKS)?,
@@ -1214,8 +2265,41 @@ impl WorkerEnv {
             page_doubles: env_parse(ENV_PAGE)?,
             tolerance: env_parse(ENV_TOL)?,
             max_iterations: env_parse(ENV_MAXIT)?,
+            policy,
+            elastic,
+            epochs,
+            chaos,
+            connect_timeout: env_parse_opt::<u64>(ENV_CONNECT_TIMEOUT_MS)?
+                .map(Duration::from_millis),
+            read_timeout,
+            max_retries: env_parse_opt(ENV_RETRY_MAX)?,
+            retransmit_timeout: env_parse_opt::<u64>(ENV_RTO_MS)?.map(Duration::from_millis),
+            spin: env_parse_opt::<u64>(ENV_SPIN_MS)?
+                .map(Duration::from_millis)
+                .unwrap_or(Duration::ZERO),
         })
     }
+}
+
+/// The mesh options a worker's env overrides resolve to.
+fn mesh_options_from_env(env: &WorkerEnv) -> MeshOptions {
+    let mut options = MeshOptions::default();
+    if let Some(connect) = env.connect_timeout {
+        options.connect_timeout = connect;
+    }
+    if let Some(read) = env.read_timeout {
+        options.read_timeout = read;
+    }
+    if let Some(retries) = env.max_retries {
+        options.max_retries = retries;
+    }
+    if let Some(rto) = env.retransmit_timeout {
+        options.retransmit_timeout = rto;
+    }
+    options.chaos = env.chaos.clone();
+    options.elastic = env.elastic;
+    options.epochs = env.epochs.clone();
+    options
 }
 
 /// Joins the mesh, runs this rank's loop and returns the report frame.
@@ -1225,8 +2309,12 @@ fn run_worker(env: &WorkerEnv) -> Result<Message, CommError> {
     let n = a.rows();
     let ranks = crate::comm::effective_ranks(n, env.ranks);
     let partition = RankPartition::new(n, ranks);
+    let options = mesh_options_from_env(env);
+    if env.policy.is_some() || env.elastic {
+        return run_worker_resilient(env, &a, &b, &partition, ranks, &options);
+    }
     let plan = HaloPlan::build(&a, &partition);
-    let endpoint = connect_mesh(env.rank, ranks, &env.transport, &MeshOptions::default())?;
+    let endpoint = connect_mesh(env.rank, ranks, &env.transport, &options)?;
     let comm = RankComm::over_process(&plan, endpoint);
     let (rank, x_own, iterations, history, collectives) = match env.solver {
         WorkerSolver::Cg => {
@@ -1265,6 +2353,113 @@ fn run_worker(env: &WorkerEnv) -> Result<Message, CommError> {
         collectives,
         x: x_own,
         history,
+    })
+}
+
+/// The resilient/elastic worker path: the full recovery-policy rank loop
+/// ([`crate::rank_loop`]) over the process mesh, optionally under the
+/// elastic rejoin harness (`crate::elastic`). Supports the classic
+/// `cg`/`pcg` solvers (the merged loops have no resilient engine binding
+/// on this transport yet).
+fn run_worker_resilient(
+    env: &WorkerEnv,
+    a: &feir_sparse::CsrMatrix,
+    b: &[f64],
+    partition: &RankPartition,
+    ranks: usize,
+    options: &MeshOptions,
+) -> Result<Message, CommError> {
+    use crate::elastic::{rank_elastic_solve, ElasticCfg};
+    use crate::rank_loop::{rank_resilient_solve, RankCtx};
+    use crate::resilient::ProtectedVector;
+    use feir_recovery::{CgRelations, PcgRelations};
+    use feir_sparse::blocking::BlockPartition;
+
+    let policy = env.policy.unwrap_or(RecoveryPolicy::Ideal);
+    if !matches!(env.solver, WorkerSolver::Cg | WorkerSolver::Pcg) {
+        return Err(CommError::Protocol(
+            "the resilient/elastic worker path supports only the classic cg and pcg solvers".into(),
+        ));
+    }
+    let plan = HaloPlan::build(a, partition);
+    let endpoint = connect_mesh(env.rank, ranks, &env.transport, options)?;
+    let comm = RankComm::over_process(&plan, endpoint);
+    let rank = env.rank;
+    let own = partition.range(rank);
+    let pages = BlockPartition::new(own.len(), env.page_doubles.max(1));
+    let registry = std::sync::Arc::new(feir_pagemem::PageRegistry::new());
+    if policy.needs_protection() {
+        let protected: &[ProtectedVector] = if env.solver == WorkerSolver::Pcg {
+            &[
+                ProtectedVector::X,
+                ProtectedVector::G,
+                ProtectedVector::D,
+                ProtectedVector::Q,
+                ProtectedVector::Z,
+            ]
+        } else {
+            &[
+                ProtectedVector::X,
+                ProtectedVector::G,
+                ProtectedVector::D,
+                ProtectedVector::Q,
+            ]
+        };
+        for vector in protected {
+            let id = registry.register(format!("rank{rank}/{}", vector.name()), pages.num_blocks());
+            debug_assert_eq!(id, vector.id());
+        }
+    }
+    let ctx = RankCtx {
+        a,
+        b,
+        policy,
+        tolerance: env.tolerance,
+        max_iterations: env.max_iterations,
+        rank,
+        own,
+        pages,
+        registry,
+        partition: partition.clone(),
+        scripted: Vec::new(),
+        throttle: env.spin,
+    };
+    let cfg = ElasticCfg {
+        newcomer: env.epochs.get(rank).copied().unwrap_or(0) > 0,
+        max_rejoins: 4,
+    };
+    let outcome = match env.solver {
+        WorkerSolver::Cg => {
+            let relations = CgRelations::new(a, b);
+            if env.elastic {
+                rank_elastic_solve(&ctx, &relations, comm, &cfg)?
+            } else {
+                rank_resilient_solve(ctx, &relations, comm)?
+            }
+        }
+        WorkerSolver::Pcg => {
+            let jacobi = feir_sparse::LocalBlockJacobi::new(
+                ctx.a,
+                ctx.own.clone(),
+                ctx.pages.block_size(),
+                true,
+            )
+            .expect("rank-local block-Jacobi construction failed");
+            let relations = PcgRelations::new(a, b, &jacobi);
+            if env.elastic {
+                rank_elastic_solve(&ctx, &relations, comm, &cfg)?
+            } else {
+                rank_resilient_solve(ctx, &relations, comm)?
+            }
+        }
+        _ => unreachable!("guarded above"),
+    };
+    Ok(Message::RankResult {
+        rank: outcome.rank as u32,
+        iterations: outcome.iterations as u64,
+        collectives: outcome.allreduces,
+        x: outcome.x_own,
+        history: outcome.history,
     })
 }
 
@@ -1325,18 +2520,16 @@ pub fn worker_main() -> std::process::ExitCode {
 mod tests {
     use super::*;
     use feir_sparse::generators::poisson_2d;
+    use std::sync::Barrier;
 
     /// Builds a thread-backed mesh of process endpoints over the transport
     /// and runs `body` on every rank concurrently.
-    fn with_mesh<T: Send>(
+    fn with_mesh_opts<T: Send>(
         ranks: usize,
         transport: &Transport,
+        options: &MeshOptions,
         body: impl Fn(ProcessEndpoint) -> T + Sync,
     ) -> Vec<T> {
-        let options = MeshOptions {
-            connect_timeout: Duration::from_secs(20),
-            read_timeout: Some(Duration::from_secs(20)),
-        };
         std::thread::scope(|scope| {
             let handles: Vec<_> = (0..ranks)
                 .map(|rank| {
@@ -1357,10 +2550,67 @@ mod tests {
         })
     }
 
+    fn test_options() -> MeshOptions {
+        MeshOptions {
+            connect_timeout: Duration::from_secs(20),
+            read_timeout: Some(Duration::from_secs(20)),
+            ..MeshOptions::default()
+        }
+    }
+
+    fn with_mesh<T: Send>(
+        ranks: usize,
+        transport: &Transport,
+        body: impl Fn(ProcessEndpoint) -> T + Sync,
+    ) -> Vec<T> {
+        with_mesh_opts(ranks, transport, &test_options(), body)
+    }
+
     fn uds_transport() -> Transport {
         Transport::Uds {
             dir: fresh_run_dir().expect("temp dir"),
         }
+    }
+
+    #[test]
+    fn chaos_config_round_trips_through_its_display_form() {
+        let cfg = ChaosConfig {
+            seed: 42,
+            rates: FaultRates {
+                drop: 0.1,
+                duplicate: 0.05,
+                delay: 0.025,
+                corrupt: 0.0125,
+                truncate: 0.03,
+            },
+            fault_retransmits: true,
+        };
+        assert_eq!(ChaosConfig::parse(&cfg.to_string()), Ok(cfg.clone()));
+        // Two links never share a plan, and the same link always gets the
+        // same plan.
+        assert_eq!(cfg.plan_for(0, 1), cfg.plan_for(0, 1));
+        assert_ne!(cfg.plan_for(0, 1), cfg.plan_for(1, 0));
+    }
+
+    #[test]
+    fn chaos_config_rejects_malformed_input() {
+        for bad in [
+            "drop",             // not key=value
+            "drop=1.5",         // out of range
+            "drop=-0.1",        // out of range
+            "drop=abc",         // not a number
+            "warp=0.1",         // unknown key
+            "all_attempts=2",   // not a flag
+            "drop=0.6,dup=0.6", // rates sum over 1
+        ] {
+            assert!(ChaosConfig::parse(bad).is_err(), "accepted {bad:?}");
+        }
+        assert_eq!(ChaosConfig::parse(""), Ok(ChaosConfig::default()));
+        assert_eq!(
+            ChaosConfig::parse("seed=7").map(|c| c.seed),
+            Ok(7),
+            "lone seed should parse"
+        );
     }
 
     #[test]
@@ -1527,5 +2777,244 @@ mod tests {
                 assert!(invalid.is_empty());
             }
         }
+    }
+
+    #[test]
+    fn lossy_mesh_collectives_are_bitwise_identical_to_clean() {
+        let ranks = 2;
+        let rounds = 40;
+        let run = |options: &MeshOptions| -> Vec<(Vec<f64>, u64)> {
+            let transport = uds_transport();
+            let _guard = match &transport {
+                Transport::Uds { dir } => RunDirGuard(dir.clone()),
+                _ => unreachable!(),
+            };
+            let plan = HaloPlan::empty(ranks);
+            with_mesh_opts(ranks, &transport, options, |ep| {
+                let stats: Vec<_> = (0..ranks)
+                    .filter(|&p| p != ep.rank())
+                    .map(|p| ep.link_stats(p))
+                    .collect();
+                let comm = RankComm::over_process(&plan, ep);
+                let sums: Vec<f64> = (0..rounds)
+                    .map(|round| {
+                        comm.allreduce_sum(0.31 * comm.rank() as f64 + 1e-3 * round as f64)
+                            .unwrap()
+                    })
+                    .collect();
+                let faults: u64 = stats.iter().map(|s| s.faults()).sum();
+                (sums, faults)
+            })
+        };
+        let clean = run(&test_options());
+        let lossy = run(&MeshOptions {
+            chaos: Some(
+                ChaosConfig::parse("seed=42,drop=0.1,dup=0.05,delay=0.05,corrupt=0.05,trunc=0.05")
+                    .unwrap(),
+            ),
+            retransmit_timeout: Duration::from_millis(15),
+            ..test_options()
+        });
+        let injected: u64 = lossy.iter().map(|(_, faults)| faults).sum();
+        assert!(injected > 0, "chaos plan injected no faults");
+        for (rank, ((clean_sums, _), (lossy_sums, _))) in clean.iter().zip(&lossy).enumerate() {
+            for (round, (c, l)) in clean_sums.iter().zip(lossy_sums).enumerate() {
+                assert_eq!(
+                    c.to_bits(),
+                    l.to_bits(),
+                    "rank {rank} diverges at round {round}: {c:e} vs {l:e}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn exhausted_retries_surface_as_timeout_not_a_hang() {
+        let started = Instant::now();
+        let ranks = 2;
+        let transport = uds_transport();
+        let _guard = match &transport {
+            Transport::Uds { dir } => RunDirGuard(dir.clone()),
+            _ => unreachable!(),
+        };
+        let options = MeshOptions {
+            // Every data record — including retransmissions — is dropped, so
+            // the sender's retries must exhaust and fail typed.
+            chaos: Some(ChaosConfig::parse("drop=1,all_attempts=1").unwrap()),
+            max_retries: 2,
+            retransmit_timeout: Duration::from_millis(5),
+            read_timeout: Some(Duration::from_secs(2)),
+            connect_timeout: Duration::from_secs(20),
+            ..MeshOptions::default()
+        };
+        let outcomes = with_mesh_opts(ranks, &transport, &options, |ep| {
+            if ep.rank() == 1 {
+                ep.send(
+                    0,
+                    &Message::GatherScalar {
+                        rank: 1,
+                        value: 1.0,
+                    },
+                    "allreduce gather",
+                )
+                .expect("the first transmission is accepted locally");
+                ep.recv(0, Tag::BroadcastScalar, "allreduce broadcast")
+            } else {
+                ep.recv(1, Tag::GatherScalar, "allreduce gather")
+            }
+        });
+        for (rank, outcome) in outcomes.into_iter().enumerate() {
+            match outcome {
+                // Rank 1 (the sender whose retries exhaust) must see the
+                // ack-timeout. Rank 0 is passive: it sees either its own
+                // read deadline or — when rank 1 fails first and closes the
+                // mesh — the peer's disappearance. Both are typed; neither
+                // hangs.
+                Err(CommError::Timeout { .. }) => {}
+                Err(CommError::Disconnected { .. }) if rank == 0 => {}
+                other => panic!("rank {rank}: expected a typed timeout, got {other:?}"),
+            }
+        }
+        assert!(
+            started.elapsed() < Duration::from_secs(10),
+            "retry exhaustion took {:?} — the bounded-retry path is hanging",
+            started.elapsed()
+        );
+    }
+
+    #[test]
+    fn corrupt_with_retries_disabled_is_a_typed_wire_error() {
+        let ranks = 2;
+        let transport = uds_transport();
+        let _guard = match &transport {
+            Transport::Uds { dir } => RunDirGuard(dir.clone()),
+            _ => unreachable!(),
+        };
+        let options = MeshOptions {
+            chaos: Some(ChaosConfig::parse("corrupt=1").unwrap()),
+            max_retries: 0,
+            read_timeout: Some(Duration::from_secs(5)),
+            connect_timeout: Duration::from_secs(20),
+            ..MeshOptions::default()
+        };
+        let park = Barrier::new(ranks);
+        let outcomes = with_mesh_opts(ranks, &transport, &options, |ep| {
+            if ep.rank() == 1 {
+                let sent = ep.send(
+                    0,
+                    &Message::GatherScalar {
+                        rank: 1,
+                        value: 1.0,
+                    },
+                    "allreduce gather",
+                );
+                // Keep the sockets open until rank 0 has seen the corrupt
+                // frame (an early drop would race a disconnect in).
+                park.wait();
+                sent.map(|()| None)
+            } else {
+                let got = ep.recv(1, Tag::GatherScalar, "allreduce gather");
+                park.wait();
+                got.map(Some)
+            }
+        });
+        let rank0 = outcomes.into_iter().next().expect("rank 0 ran");
+        match rank0 {
+            Err(CommError::Wire(WireError::BadMagic { .. }))
+            | Err(CommError::Wire(WireError::VersionMismatch { .. })) => {}
+            other => panic!("expected the corrupt frame's wire error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn silent_peer_trips_the_read_deadline() {
+        let ranks = 2;
+        let transport = uds_transport();
+        let _guard = match &transport {
+            Transport::Uds { dir } => RunDirGuard(dir.clone()),
+            _ => unreachable!(),
+        };
+        let options = MeshOptions {
+            read_timeout: Some(Duration::from_millis(200)),
+            connect_timeout: Duration::from_secs(20),
+            ..MeshOptions::default()
+        };
+        let park = Barrier::new(ranks);
+        let outcomes = with_mesh_opts(ranks, &transport, &options, |ep| {
+            if ep.rank() == 1 {
+                // Connect, handshake — then go silent mid-collective.
+                park.wait();
+                None
+            } else {
+                let got = ep.recv(1, Tag::GatherScalar, "collective");
+                park.wait();
+                Some(got)
+            }
+        });
+        let rank0 = outcomes.into_iter().flatten().next().expect("rank 0 ran");
+        match rank0 {
+            Err(CommError::Timeout {
+                peer: 1,
+                during: "collective",
+            }) => {}
+            other => panic!("expected the read deadline to fire, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn elastic_mesh_relinks_a_replaced_rank_and_agrees_at_the_barrier() {
+        let ranks = 3;
+        let transport = uds_transport();
+        let _guard = match &transport {
+            Transport::Uds { dir } => RunDirGuard(dir.clone()),
+            _ => unreachable!(),
+        };
+        let options = MeshOptions {
+            elastic: true,
+            connect_timeout: Duration::from_secs(20),
+            read_timeout: Some(Duration::from_secs(20)),
+            ..MeshOptions::default()
+        };
+        let mesh_up = Barrier::new(ranks);
+        std::thread::scope(|scope| {
+            let mut handles = Vec::new();
+            for rank in 0..ranks {
+                let transport = transport.clone();
+                let options = options.clone();
+                let mesh_up = &mesh_up;
+                handles.push(scope.spawn(move || {
+                    let ep = connect_mesh(rank, ranks, &transport, &options)
+                        .expect("mesh connect failed");
+                    mesh_up.wait();
+                    if rank == 1 {
+                        // Die, then come back as the epoch-1 incarnation and
+                        // join the barrier fresh — exactly what a respawned
+                        // worker process does.
+                        drop(ep);
+                        let newcomer_options = MeshOptions {
+                            epochs: vec![0, 1, 0],
+                            ..options
+                        };
+                        let ep = connect_mesh(rank, ranks, &transport, &newcomer_options)
+                            .expect("newcomer reconnect failed");
+                        let resume = ep.rejoin_barrier(0).expect("newcomer barrier failed");
+                        assert_eq!(resume, 7, "newcomer must adopt the survivors' iteration");
+                    } else {
+                        // Survivors: notice the death mid-collective, relink
+                        // the newcomer, meet the barrier.
+                        match ep.recv(1, Tag::GatherScalar, "collective") {
+                            Err(CommError::Disconnected { peer: Some(1), .. }) => {}
+                            other => panic!("rank {rank}: expected rank 1's death, got {other:?}"),
+                        }
+                        ep.relink(1).expect("relink failed");
+                        let resume = ep.rejoin_barrier(7).expect("survivor barrier failed");
+                        assert_eq!(resume, 7);
+                    }
+                }));
+            }
+            for h in handles {
+                h.join().expect("rank thread panicked");
+            }
+        });
     }
 }

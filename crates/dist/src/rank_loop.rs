@@ -26,10 +26,20 @@
 //!   first and reducing after would have produced on this AFEIR path (the
 //!   FEIR path's whole-slice reductions may group the same sums
 //!   differently, as in PR 3).
+//!
+//! Since PR 7 the loop is split into resumable phases
+//! ([`alloc_state`] → [`init_collectives`] → [`resilient_iterations`] →
+//! [`finish_outcome`]) around an explicit [`SolveState`], so the elastic
+//! harness ([`crate::elastic`]) can abort the iteration phase on a peer
+//! failure, repair the state after the rejoin barrier, and re-enter the
+//! loop at the agreed iteration. [`rank_resilient_solve`] composes the
+//! phases back into the original single-shot solve — same calls, same
+//! order, bitwise-identical to the pre-split loop.
 
 use std::collections::HashMap;
 use std::ops::Range;
 use std::sync::Arc;
+use std::time::Duration;
 
 use feir_pagemem::{AccessOutcome, PageRegistry};
 use feir_recovery::checkpoint::{CheckpointStore, CheckpointTarget};
@@ -70,6 +80,11 @@ pub(crate) struct RankCtx<'a> {
     pub registry: Arc<PageRegistry>,
     pub partition: RankPartition,
     pub scripted: Vec<ScriptedFault>,
+    /// Per-iteration sleep at the top of the loop body; `ZERO` (the normal
+    /// case) does nothing at all. Kill/respawn tests dilate the solve with
+    /// it so a failure deterministically lands mid-iteration — a sleep does
+    /// no floating-point work, so bitwise identity is untouched.
+    pub throttle: Duration,
 }
 
 /// What one rank's solver thread reports back.
@@ -187,39 +202,52 @@ pub(crate) fn blank_sweep(
     blanked
 }
 
-/// The generic per-rank resilient loop (see the module docs). Like the
-/// plain rank loops it is backend-agnostic and surfaces any transport
-/// failure as a typed [`CommError`].
-#[allow(clippy::too_many_lines)]
-pub(crate) fn rank_resilient_solve<S: RecoverableIteration>(
-    ctx: RankCtx<'_>,
-    relations: &S,
-    comm: RankComm,
-) -> Result<RankOutcome, CommError> {
-    let a = ctx.a;
-    let b = ctx.b;
+/// The complete mutable state of one rank's solve between iterations — what
+/// the elastic harness snapshots conceptually when a peer dies: everything
+/// here survives the aborted collective and is repaired (or rebuilt) before
+/// the loop re-enters at the rejoin iteration.
+pub(crate) struct SolveState {
+    pub x_full: Vec<f64>,
+    pub g: Vec<f64>,
+    pub d: Vec<f64>,
+    pub q: Vec<f64>,
+    pub z: Vec<f64>,
+    pub d_full: Vec<f64>,
+    pub store: Option<CheckpointStore>,
+    pub norm_b: f64,
+    pub eps: f64,
+    pub rho_old: f64,
+    /// Next iteration to run (the loop counter).
+    pub t: usize,
+    pub iterations: usize,
+    pub history: Vec<f64>,
+    pub pages_recovered: usize,
+    pub pages_ignored: usize,
+    pub cross_rank_values: usize,
+    pub rollbacks: usize,
+    pub restarts: usize,
+}
+
+/// Allocates the solve vectors, runs the pre-loop scrub and creates the
+/// checkpoint store. Purely rank-local: no collectives, so a newcomer can
+/// run it before the rejoin barrier.
+pub(crate) fn alloc_state(ctx: &RankCtx<'_>) -> SolveState {
     let own = ctx.own.clone();
-    let n = a.cols();
+    let n = ctx.a.cols();
     let protected = ctx.policy.needs_protection();
-    let forward = ctx.policy.is_forward_exact();
-    let preconditioned = relations.preconditioned();
     let registry = &ctx.registry;
     let pages = &ctx.pages;
 
     // x lives inside its full-length buffer so cross-rank recovery can
     // scatter fetched halo entries around the owned range.
     let mut x_full = vec![0.0; n];
-    let mut g: Vec<f64> = b[own.clone()].to_vec(); // g = b − A·0
+    let mut g: Vec<f64> = ctx.b[own.clone()].to_vec(); // g = b − A·0
     let mut d = vec![0.0; own.len()];
     let mut q = vec![0.0; own.len()];
-    let mut z = vec![0.0; if preconditioned { own.len() } else { 0 }];
-    let mut d_full = vec![0.0; n];
-
-    let mut pages_recovered = 0usize;
-    let mut pages_ignored = 0usize;
-    let mut cross_rank_values = 0usize;
-    let mut rollbacks = 0usize;
-    let mut restarts = 0usize;
+    // z is allocated unconditionally; the CG instantiation never touches it
+    // (resilient_iterations sizes its use by `relations.preconditioned()`).
+    let mut z = vec![0.0; own.len()];
+    let d_full = vec![0.0; n];
 
     // Pre-loop scrub: faults injected before the solve land on the known
     // initial state, so the blank page *is* the correct data (x = d = q = 0)
@@ -234,7 +262,7 @@ pub(crate) fn rank_resilient_solve<S: RecoverableIteration>(
         for p in scrub_blank(registry, ids::Q, pages, &mut q) {
             mark_page(registry, ids::Q, p);
         }
-        if preconditioned {
+        if registry.num_vectors() > ids::Z.0 {
             for p in scrub_blank(registry, ids::Z, pages, &mut z) {
                 mark_page(registry, ids::Z, p);
             }
@@ -242,36 +270,109 @@ pub(crate) fn rank_resilient_solve<S: RecoverableIteration>(
         for p in scrub_blank(registry, ids::G, pages, &mut g) {
             let local = pages.range(p);
             let global = global_rows(own.start, pages, p);
-            g[local].copy_from_slice(&b[global]);
+            g[local].copy_from_slice(&ctx.b[global]);
             mark_page(registry, ids::G, p);
         }
     }
 
-    let mut store = match ctx.policy {
+    let store = match ctx.policy {
         RecoveryPolicy::Checkpoint { .. } => Some(CheckpointStore::new(CheckpointTarget::Memory)),
         _ => None,
     };
 
-    let norm_b = kernels::global_rhs_norm(&comm, &b[own.clone()])?;
-    let mut eps = comm.allreduce_sum(kernels::norm2_squared(&g))?;
-    // For CG `ρ = ε` and this is the ε of the previous iteration; for PCG it
-    // is the previous `⟨z, g⟩`. Both start from the ∞ sentinel (β = 0).
-    let mut rho_old = f64::INFINITY;
-    let mut iterations = 0usize;
-    let mut history = Vec::new();
+    SolveState {
+        x_full,
+        g,
+        d,
+        q,
+        z,
+        d_full,
+        store,
+        norm_b: 1.0,
+        eps: 0.0,
+        // For CG `ρ = ε` and this is the ε of the previous iteration; for
+        // PCG it is the previous `⟨z, g⟩`. Both start from the ∞ sentinel
+        // (β = 0).
+        rho_old: f64::INFINITY,
+        t: 0,
+        iterations: 0,
+        history: Vec::new(),
+        pages_recovered: 0,
+        pages_ignored: 0,
+        cross_rank_values: 0,
+        rollbacks: 0,
+        restarts: 0,
+    }
+}
 
-    for t in 0..ctx.max_iterations {
-        let rel = eps.max(0.0).sqrt() / norm_b;
+/// The two opening collectives of the solve: ‖b‖ and the initial ε.
+pub(crate) fn init_collectives(
+    ctx: &RankCtx<'_>,
+    comm: &RankComm,
+    state: &mut SolveState,
+) -> Result<(), CommError> {
+    state.norm_b = kernels::global_rhs_norm(comm, &ctx.b[ctx.own.clone()])?;
+    state.eps = comm.allreduce_sum(kernels::norm2_squared(&state.g))?;
+    Ok(())
+}
+
+/// The iteration phase: runs from `state.t` until convergence, breakdown or
+/// the iteration cap, mutating `state` in place. A transport failure
+/// surfaces as the typed [`CommError`] with `state` intact at the failed
+/// iteration — which is exactly what the elastic rejoin path needs.
+#[allow(clippy::too_many_lines)]
+pub(crate) fn resilient_iterations<S: RecoverableIteration>(
+    ctx: &RankCtx<'_>,
+    relations: &S,
+    comm: &RankComm,
+    state: &mut SolveState,
+) -> Result<(), CommError> {
+    let a = ctx.a;
+    let b = ctx.b;
+    let own = ctx.own.clone();
+    let protected = ctx.policy.needs_protection();
+    let forward = ctx.policy.is_forward_exact();
+    let preconditioned = relations.preconditioned();
+    let registry = &ctx.registry;
+    let pages = &ctx.pages;
+
+    let SolveState {
+        x_full,
+        g,
+        d,
+        q,
+        z,
+        d_full,
+        store,
+        norm_b,
+        eps,
+        rho_old,
+        t,
+        iterations,
+        history,
+        pages_recovered,
+        pages_ignored,
+        cross_rank_values,
+        rollbacks,
+        restarts,
+    } = state;
+
+    while *t < ctx.max_iterations {
+        let rel = eps.max(0.0).sqrt() / *norm_b;
         history.push(rel);
         if rel <= ctx.tolerance {
             break;
         }
-        iterations = t + 1;
+        *iterations = *t + 1;
+
+        if !ctx.throttle.is_zero() {
+            std::thread::sleep(ctx.throttle);
+        }
 
         // Scripted faults for this iteration land now, before any touch.
         if protected {
             for fault in &ctx.scripted {
-                if fault.iteration == t {
+                if fault.iteration == *t {
                     registry.inject(fault.vector.id(), fault.page);
                 }
             }
@@ -280,8 +381,8 @@ pub(crate) fn rank_resilient_solve<S: RecoverableIteration>(
         // Periodic local checkpoint of (x, d, scalars).
         if let (RecoveryPolicy::Checkpoint { interval }, Some(store)) = (ctx.policy, store.as_mut())
         {
-            if t % interval.max(1) == 0 {
-                store.checkpoint(t, &x_full[own.clone()], &d, &[eps, rho_old]);
+            if *t % interval.max(1) == 0 {
+                store.checkpoint(*t, &x_full[own.clone()], d, &[*eps, *rho_old]);
             }
         }
 
@@ -295,7 +396,7 @@ pub(crate) fn rank_resilient_solve<S: RecoverableIteration>(
         // policy's own price (blanking, rollback, restart).
         let rho = if preconditioned {
             let lost_z = if forward {
-                scrub_blank(registry, ids::Z, pages, &mut z)
+                scrub_blank(registry, ids::Z, pages, z)
             } else {
                 Vec::new()
             };
@@ -306,36 +407,36 @@ pub(crate) fn rank_resilient_solve<S: RecoverableIteration>(
             for &p in &lost_z {
                 mark_page(registry, ids::Z, p);
             }
-            pages_recovered += lost_z.len();
-            let rho = comm.allreduce_sum(kernels::dot(&z, &g))?;
+            *pages_recovered += lost_z.len();
+            let rho = comm.allreduce_sum(kernels::dot(z, g))?;
             if kernels::is_breakdown(rho) {
                 break;
             }
             rho
         } else {
-            eps
+            *eps
         };
 
-        let beta = kernels::beta_ratio(rho, rho_old);
-        let src: &[f64] = if preconditioned { &z } else { &g };
+        let beta = kernels::beta_ratio(rho, *rho_old);
+        let src: &[f64] = if preconditioned { z } else { g };
 
         // ---- direction protection (FEIR/AFEIR; purely rank-local) --------
         // d still holds d(t−1) here and q holds A·d(t−1), so a lost page of
         // the direction is reconstructed from the inverse matvec relation
         // before the in-place update consumes it.
         let lost_d = if forward {
-            scrub_blank(registry, ids::D, pages, &mut d)
+            scrub_blank(registry, ids::D, pages, d)
         } else {
             Vec::new()
         };
         if lost_d.is_empty() {
             // Fault-free fast path: the exact arithmetic of the plain loop.
-            kernels::xpay(src, beta, &mut d);
+            kernels::xpay(src, beta, d);
         } else {
             // Refresh the owned range of the retained snapshot (blanks
             // included — the lost values must not be readable) while the halo
             // keeps the d(t−1) entries of the neighbours.
-            d_full[own.clone()].copy_from_slice(&d);
+            d_full[own.clone()].copy_from_slice(d);
             // A lost direction page is recoverable only if its q page
             // survived (simultaneous loss of d_R and q_R is the "related
             // data" case the paper ignores).
@@ -361,10 +462,10 @@ pub(crate) fn rank_resilient_solve<S: RecoverableIteration>(
                 if rows.is_empty() {
                     None
                 } else {
-                    relations.reconstruct_direction(&rows, &q_at_rows, &d_full)
+                    relations.reconstruct_direction(&rows, &q_at_rows, d_full)
                 }
             };
-            let update_surviving = |d: &mut Vec<f64>| {
+            let update_surviving = |d: &mut [f64]| {
                 for p in 0..pages.num_blocks() {
                     if !lost_d.contains(&p) {
                         for i in pages.range(p) {
@@ -377,7 +478,7 @@ pub(crate) fn rank_resilient_solve<S: RecoverableIteration>(
             // run their update on the work-stealing pool; FEIR runs the same
             // two steps in the critical path.
             let values = overlap(ctx.policy == RecoveryPolicy::Afeir, recover, || {
-                update_surviving(&mut d)
+                update_surviving(&mut d[..])
             })
             .0;
             // Finish the update on the lost pages with the reconstructed
@@ -388,7 +489,7 @@ pub(crate) fn rank_resilient_solve<S: RecoverableIteration>(
                         let i = r - own.start;
                         d[i] = src[i] + beta * v;
                     }
-                    pages_recovered += recoverable.len();
+                    *pages_recovered += recoverable.len();
                 }
                 None => {
                     for &p in &recoverable {
@@ -396,7 +497,7 @@ pub(crate) fn rank_resilient_solve<S: RecoverableIteration>(
                             d[i] = src[i];
                         }
                     }
-                    pages_ignored += recoverable.len();
+                    *pages_ignored += recoverable.len();
                 }
             }
             for &p in &abandoned {
@@ -404,31 +505,31 @@ pub(crate) fn rank_resilient_solve<S: RecoverableIteration>(
                     d[i] = src[i];
                 }
             }
-            pages_ignored += abandoned.len();
+            *pages_ignored += abandoned.len();
             for &p in &lost_d {
                 mark_page(registry, ids::D, p);
             }
         }
 
-        d_full[own.clone()].copy_from_slice(&d);
-        comm.exchange_halo(&mut d_full)?;
-        a.spmv_rows(own.start, own.end, &d_full, &mut q);
+        d_full[own.clone()].copy_from_slice(d);
+        comm.exchange_halo(d_full)?;
+        a.spmv_rows(own.start, own.end, d_full, q);
 
         // ---- q protection (FEIR/AFEIR; local recompute, r1 of Figure 1) ---
         let dq = if forward {
-            let lost_q = scrub_blank(registry, ids::Q, pages, &mut q);
+            let lost_q = scrub_blank(registry, ids::Q, pages, q);
             if lost_q.is_empty() {
-                comm.allreduce_sum(kernels::dot(&d, &q))?
+                comm.allreduce_sum(kernels::dot(d, q))?
             } else if ctx.policy == RecoveryPolicy::Feir {
                 // Critical path: recompute, then reduce over clean data.
                 for &p in &lost_q {
                     let rows = global_rows(own.start, pages, p);
                     let local = pages.range(p);
-                    a.spmv_rows(rows.start, rows.end, &d_full, &mut q[local]);
+                    a.spmv_rows(rows.start, rows.end, d_full, &mut q[local]);
                     mark_page(registry, ids::Q, p);
                 }
-                pages_recovered += lost_q.len();
-                comm.allreduce_sum(kernels::dot(&d, &q))?
+                *pages_recovered += lost_q.len();
+                comm.allreduce_sum(kernels::dot(d, q))?
             } else {
                 // AFEIR: the recomputation overlaps the partial reduction,
                 // the skipped contributions are patched into the partial
@@ -443,7 +544,7 @@ pub(crate) fn rank_resilient_solve<S: RecoverableIteration>(
                             .map(|&p| {
                                 let rows = global_rows(own.start, pages, p);
                                 let mut out = vec![0.0; rows.len()];
-                                a.spmv_rows(rows.start, rows.end, &d_full, &mut out);
+                                a.spmv_rows(rows.start, rows.end, d_full, &mut out);
                                 (p, out)
                             })
                             .collect::<Vec<_>>()
@@ -470,32 +571,33 @@ pub(crate) fn rank_resilient_solve<S: RecoverableIteration>(
                     q[local].copy_from_slice(&values);
                     mark_page(registry, ids::Q, p);
                 }
-                pages_recovered += lost_q.len();
+                *pages_recovered += lost_q.len();
                 pending.finish()?
             }
         } else {
-            comm.allreduce_sum(kernels::dot(&d, &q))?
+            comm.allreduce_sum(kernels::dot(d, q))?
         };
         if kernels::is_breakdown(dq) {
             break;
         }
         let alpha = rho / dq;
-        kernels::axpy(alpha, &d, &mut x_full[own.clone()]);
-        kernels::axpy(-alpha, &q, &mut g);
+        kernels::axpy(alpha, d, &mut x_full[own.clone()]);
+        kernels::axpy(-alpha, q, g);
 
         // ---- iterate/residual protection + ε reduction --------------------
         match ctx.policy {
             RecoveryPolicy::Ideal => {
-                rho_old = rho;
-                eps = comm.allreduce_sum(kernels::norm2_squared(&g))?;
+                *rho_old = rho;
+                *eps = comm.allreduce_sum(kernels::norm2_squared(g))?;
             }
             RecoveryPolicy::Feir | RecoveryPolicy::Afeir => {
                 let lost_x = scrub_blank(registry, ids::X, pages, &mut x_full[own.clone()]);
-                let lost_g = scrub_blank(registry, ids::G, pages, &mut g);
+                let lost_g = scrub_blank(registry, ids::G, pages, g);
                 let faulty = comm.fault_flag(lost_x.len() + lost_g.len())?;
-                rho_old = rho;
+                *rho_old = rho;
                 if !faulty {
-                    eps = comm.allreduce_sum(kernels::norm2_squared(&g))?;
+                    *eps = comm.allreduce_sum(kernels::norm2_squared(g))?;
+                    *t += 1;
                     continue;
                 }
                 // Cross-rank round: fetch the remote stencil entries of
@@ -515,8 +617,8 @@ pub(crate) fn rank_resilient_solve<S: RecoverableIteration>(
                     .flat_map(|&p| global_rows(own.start, pages, p))
                     .collect();
                 let (fetched, invalid_fetched) =
-                    comm.recovery_exchange(&requests, &mut x_full, &own_blank_x)?;
-                cross_rank_values += fetched;
+                    comm.recovery_exchange(&requests, x_full, &own_blank_x)?;
+                *cross_rank_values += fetched;
                 // Pages lost in both x and g are the unrecoverable
                 // related-loss case: blank-accepted. Remote entries the
                 // owner flagged invalid join the same set — reconstructing
@@ -544,19 +646,19 @@ pub(crate) fn rank_resilient_solve<S: RecoverableIteration>(
                             rec_g: &rec_g,
                             blank_x: &blank_x,
                         },
-                        &g,
-                        &x_full,
+                        g,
+                        x_full,
                     );
                     install_state_plan(
                         &plan,
                         pages,
                         registry,
                         &conflicted,
-                        &mut x_full,
-                        &mut g,
+                        x_full,
+                        g,
                         &mut counters,
                     );
-                    eps = comm.allreduce_sum(kernels::norm2_squared(&g))?;
+                    *eps = comm.allreduce_sum(kernels::norm2_squared(g))?;
                 } else if lost_g.is_empty() {
                     // AFEIR with only iterate losses: ε does not depend on x,
                     // so the local partial is final immediately and the
@@ -577,19 +679,19 @@ pub(crate) fn rank_resilient_solve<S: RecoverableIteration>(
                             rec_g: &rec_g,
                             blank_x: &blank_x,
                         },
-                        &g,
-                        &x_full,
+                        g,
+                        x_full,
                     );
                     install_state_plan(
                         &plan,
                         pages,
                         registry,
                         &conflicted,
-                        &mut x_full,
-                        &mut g,
+                        x_full,
+                        g,
                         &mut counters,
                     );
-                    eps = pending.finish()?;
+                    *eps = pending.finish()?;
                 } else {
                     // AFEIR with residual losses: plan beside the partial ε
                     // reduction, patch the recovered pages' contributions
@@ -608,8 +710,8 @@ pub(crate) fn rank_resilient_solve<S: RecoverableIteration>(
                                     rec_g: &rec_g,
                                     blank_x: &blank_x,
                                 },
-                                &g,
-                                &x_full,
+                                g,
+                                x_full,
                             )
                         },
                         || {
@@ -637,14 +739,14 @@ pub(crate) fn rank_resilient_solve<S: RecoverableIteration>(
                         pages,
                         registry,
                         &conflicted,
-                        &mut x_full,
-                        &mut g,
+                        x_full,
+                        g,
                         &mut counters,
                     );
-                    eps = pending.finish()?;
+                    *eps = pending.finish()?;
                 }
-                pages_recovered += counters.recovered;
-                pages_ignored += counters.ignored;
+                *pages_recovered += counters.recovered;
+                *pages_ignored += counters.ignored;
             }
             RecoveryPolicy::Trivial => {
                 // Blank every lost page and keep going (Section 4.1): purely
@@ -660,9 +762,9 @@ pub(crate) fn rank_resilient_solve<S: RecoverableIteration>(
                 if preconditioned {
                     sweep.push((ids::Z, &mut z[..]));
                 }
-                pages_ignored += blank_sweep(registry, pages, sweep);
-                rho_old = rho;
-                eps = comm.allreduce_sum(kernels::norm2_squared(&g))?;
+                *pages_ignored += blank_sweep(registry, pages, sweep);
+                *rho_old = rho;
+                *eps = comm.allreduce_sum(kernels::norm2_squared(g))?;
             }
             RecoveryPolicy::Checkpoint { .. } => {
                 let mut sweep: Vec<(_, &mut [f64])> = vec![
@@ -682,22 +784,23 @@ pub(crate) fn rank_resilient_solve<S: RecoverableIteration>(
                     let store = store.as_mut().expect("checkpoint store exists");
                     let mut scalars = Vec::new();
                     if store
-                        .rollback(&mut x_full[own.clone()], &mut d, &mut scalars)
+                        .rollback(&mut x_full[own.clone()], d, &mut scalars)
                         .is_some()
                     {
-                        rollbacks += 1;
+                        *rollbacks += 1;
                     }
-                    comm.exchange_halo(&mut x_full)?;
-                    a.spmv_rows(own.start, own.end, &x_full, &mut g);
+                    comm.exchange_halo(x_full)?;
+                    a.spmv_rows(own.start, own.end, x_full, g);
                     for (k, r) in own.clone().enumerate() {
                         g[k] = b[r] - g[k];
                     }
-                    rho_old = scalars.get(1).copied().unwrap_or(f64::INFINITY);
-                    eps = comm.allreduce_sum(kernels::norm2_squared(&g))?;
+                    *rho_old = scalars.get(1).copied().unwrap_or(f64::INFINITY);
+                    *eps = comm.allreduce_sum(kernels::norm2_squared(g))?;
+                    *t += 1;
                     continue;
                 }
-                rho_old = rho;
-                eps = comm.allreduce_sum(kernels::norm2_squared(&g))?;
+                *rho_old = rho;
+                *eps = comm.allreduce_sum(kernels::norm2_squared(g))?;
             }
             RecoveryPolicy::LossyRestart => {
                 let lost_x = scrub_blank(registry, ids::X, pages, &mut x_full[own.clone()]);
@@ -721,52 +824,71 @@ pub(crate) fn rank_resilient_solve<S: RecoverableIteration>(
                         .flat_map(|&p| global_rows(own.start, pages, p))
                         .collect();
                     let requests = remote_stencil_requests(a, &ctx.partition, ctx.rank, &lost_rows);
-                    let (fetched, _) =
-                        comm.recovery_exchange(&requests, &mut x_full, &lost_rows)?;
-                    cross_rank_values += fetched;
+                    let (fetched, _) = comm.recovery_exchange(&requests, x_full, &lost_rows)?;
+                    *cross_rank_values += fetched;
                     for &p in &lost_x {
                         let rows: Vec<usize> = global_rows(own.start, pages, p).collect();
-                        match relations.lossy_iterate_rows(&rows, &x_full) {
+                        match relations.lossy_iterate_rows(&rows, x_full) {
                             Some(values) => {
                                 for (&r, v) in rows.iter().zip(&values) {
                                     x_full[r] = *v;
                                 }
-                                pages_recovered += 1;
+                                *pages_recovered += 1;
                             }
-                            None => pages_ignored += 1,
+                            None => *pages_ignored += 1,
                         }
                         mark_page(registry, ids::X, p);
                     }
                     // Restart: recompute g from the interpolated iterate and
                     // discard the Krylov space.
-                    comm.exchange_halo(&mut x_full)?;
-                    a.spmv_rows(own.start, own.end, &x_full, &mut g);
+                    comm.exchange_halo(x_full)?;
+                    a.spmv_rows(own.start, own.end, x_full, g);
                     for (k, r) in own.clone().enumerate() {
                         g[k] = b[r] - g[k];
                     }
                     d.iter_mut().for_each(|v| *v = 0.0);
-                    restarts += 1;
-                    rho_old = f64::INFINITY;
-                    eps = comm.allreduce_sum(kernels::norm2_squared(&g))?;
+                    *restarts += 1;
+                    *rho_old = f64::INFINITY;
+                    *eps = comm.allreduce_sum(kernels::norm2_squared(g))?;
+                    *t += 1;
                     continue;
                 }
-                rho_old = rho;
-                eps = comm.allreduce_sum(kernels::norm2_squared(&g))?;
+                *rho_old = rho;
+                *eps = comm.allreduce_sum(kernels::norm2_squared(g))?;
             }
         }
+        *t += 1;
     }
+    Ok(())
+}
 
-    let allreduces = comm.collectives();
-    Ok(RankOutcome {
+/// Packages the finished state as the rank's outcome.
+pub(crate) fn finish_outcome(ctx: &RankCtx<'_>, comm: &RankComm, state: SolveState) -> RankOutcome {
+    RankOutcome {
         rank: ctx.rank,
-        x_own: x_full[own].to_vec(),
-        iterations,
-        history,
-        pages_recovered,
-        pages_ignored,
-        cross_rank_values,
-        rollbacks,
-        restarts,
-        allreduces,
-    })
+        x_own: state.x_full[ctx.own.clone()].to_vec(),
+        iterations: state.iterations,
+        history: state.history,
+        pages_recovered: state.pages_recovered,
+        pages_ignored: state.pages_ignored,
+        cross_rank_values: state.cross_rank_values,
+        rollbacks: state.rollbacks,
+        restarts: state.restarts,
+        allreduces: comm.collectives(),
+    }
+}
+
+/// The generic per-rank resilient loop (see the module docs): the four
+/// phases composed back into the original single-shot solve. Like the plain
+/// rank loops it is backend-agnostic and surfaces any transport failure as
+/// a typed [`CommError`].
+pub(crate) fn rank_resilient_solve<S: RecoverableIteration>(
+    ctx: RankCtx<'_>,
+    relations: &S,
+    comm: RankComm,
+) -> Result<RankOutcome, CommError> {
+    let mut state = alloc_state(&ctx);
+    init_collectives(&ctx, &comm, &mut state)?;
+    resilient_iterations(&ctx, relations, &comm, &mut state)?;
+    Ok(finish_outcome(&ctx, &comm, state))
 }

@@ -571,6 +571,7 @@ impl<'a> DistResilientSolver<'a> {
                         .filter(|f| f.rank == rank)
                         .copied()
                         .collect(),
+                    throttle: Duration::ZERO,
                 };
                 handles.push(scope.spawn(move || {
                     // The engine relations are built inside the rank thread:

@@ -1,16 +1,21 @@
-//! End-to-end validation of the multi-process transport (PR 6): real rank
+//! End-to-end validation of the multi-process transport (PR 6/7): real rank
 //! worker processes over Unix domain sockets must produce **bitwise** the
-//! same solve as the in-process channel backend, and killing a rank
-//! mid-solve must surface as a typed [`CommError::Disconnected`] — never a
-//! panic or a hang.
+//! same solve as the in-process channel backend — including over a
+//! chaos-injected lossy mesh, where the ack/retransmit sublayer absorbs
+//! every frame fault — and killing a rank mid-solve must surface as a typed
+//! [`CommError::Disconnected`] (never a panic or a hang) or, with
+//! elasticity on, heal through [`feir_dist::WorkerHandles::respawn_rank`]
+//! and the rejoin protocol.
 
 use std::path::Path;
 use std::time::Duration;
 
 use feir_dist::{
-    distributed_cg, distributed_pcg, solve_with_processes, spawn_workers, CommError,
-    DistSolveResult, ProcessError, ProcessSpec, Transport, WorkerSolver,
+    distributed_cg, distributed_pcg, solve_with_processes, spawn_workers, spawn_workers_with,
+    ChaosConfig, CommError, DistSolveResult, ProcessError, ProcessSpec, Transport, WorkerHandles,
+    WorkerOptions, WorkerSolver,
 };
+use feir_recovery::RecoveryPolicy;
 use feir_sparse::generators::{manufactured_rhs, poisson_2d};
 
 /// Path of the rank worker binary Cargo built alongside this test.
@@ -127,6 +132,284 @@ fn process_backend_over_tcp_matches_uds_bitwise() {
         .join()
         .expect("tcp solve failed");
     assert_bitwise_identical("cg/tcp-vs-uds", &tcp, &uds);
+}
+
+/// The scripted chaos mix of the lossy-mesh tests: drops, duplicates,
+/// one-slot reorders, header bit flips and truncations, with retransmissions
+/// travelling clean (the default), so every fault is absorbable.
+fn chaos_options() -> WorkerOptions {
+    WorkerOptions {
+        chaos: Some(
+            ChaosConfig::parse(
+                "seed=1207,drop=0.012,dup=0.006,delay=0.006,corrupt=0.004,trunc=0.004",
+            )
+            .expect("chaos schedule parses"),
+        ),
+        // A short timer keeps the retransmission stalls from dominating the
+        // test's wall clock.
+        retransmit_timeout: Some(Duration::from_millis(10)),
+        ..WorkerOptions::default()
+    }
+}
+
+/// Spawns a fresh UDS rendezvous for `spec` with `options` and joins it.
+fn solve_uds_with(spec: &ProcessSpec, options: &WorkerOptions) -> DistSolveResult {
+    let dir = std::env::temp_dir().join(format!(
+        "feir-chaos-{}-{}",
+        std::process::id(),
+        spec.ranks * 1000 + spec.grid
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    spawn_workers_with(worker(), spec, &Transport::Uds { dir }, options)
+        .expect("chaos spawn failed")
+        .join()
+        .expect("chaos solve failed")
+}
+
+#[test]
+fn chaos_mesh_cg_is_bitwise_identical_to_clean_at_2_and_4_ranks() {
+    let grid = 12;
+    let a = poisson_2d(grid);
+    let (_, b) = manufactured_rhs(&a, 5);
+    for ranks in [2usize, 4] {
+        let spec = ProcessSpec::cg(grid, ranks);
+        let lossy = solve_uds_with(&spec, &chaos_options());
+        let clean = distributed_cg(&a, &b, ranks, spec.tolerance, spec.max_iterations);
+        assert_bitwise_identical(&format!("chaos-cg/ranks{ranks}"), &lossy, &clean);
+    }
+}
+
+#[test]
+fn chaos_mesh_pcg_is_bitwise_identical_to_clean_at_2_and_4_ranks() {
+    let grid = 12;
+    let a = poisson_2d(grid);
+    let (_, b) = manufactured_rhs(&a, 5);
+    for ranks in [2usize, 4] {
+        let spec = ProcessSpec {
+            solver: WorkerSolver::Pcg,
+            page_doubles: 2,
+            ..ProcessSpec::cg(grid, ranks)
+        };
+        let lossy = solve_uds_with(&spec, &chaos_options());
+        let clean = distributed_pcg(
+            &a,
+            &b,
+            ranks,
+            spec.page_doubles,
+            spec.tolerance,
+            spec.max_iterations,
+        );
+        assert_bitwise_identical(&format!("chaos-pcg/ranks{ranks}"), &lossy, &clean);
+    }
+}
+
+#[test]
+fn chaos_mesh_over_tcp_is_bitwise_identical_to_clean_at_2_and_4_ranks() {
+    let grid = 10;
+    let a = poisson_2d(grid);
+    let (_, b) = manufactured_rhs(&a, 5);
+    for ranks in [2usize, 4] {
+        let spec = ProcessSpec::cg(grid, ranks);
+        let base_port = (0..40)
+            .map(|k| 44519 + k * 23)
+            .find(|p| {
+                (0..spec.ranks as u16)
+                    .all(|r| std::net::TcpListener::bind(("127.0.0.1", p + r)).is_ok())
+            })
+            .expect("no free tcp port range");
+        let lossy = spawn_workers_with(
+            worker(),
+            &spec,
+            &Transport::Tcp { base_port },
+            &chaos_options(),
+        )
+        .expect("tcp chaos spawn failed")
+        .join()
+        .expect("tcp chaos solve failed");
+        let clean = distributed_cg(&a, &b, ranks, spec.tolerance, spec.max_iterations);
+        assert_bitwise_identical(&format!("chaos-cg/tcp/ranks{ranks}"), &lossy, &clean);
+    }
+}
+
+/// Spawns an elastic fleet, kills rank 1 mid-solve, respawns it, and joins.
+fn kill_respawn_solve(spec: &ProcessSpec, policy: RecoveryPolicy, tag: &str) -> DistSolveResult {
+    let dir = std::env::temp_dir().join(format!("feir-rejoin-{}-{tag}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let options = WorkerOptions {
+        policy: Some(policy),
+        elastic: true,
+        // Dilate the iterations so the kill deterministically lands
+        // mid-solve (a sleep does no floating-point work).
+        spin: Some(Duration::from_millis(8)),
+        ..WorkerOptions::default()
+    };
+    let mut handles = spawn_workers_with(
+        worker(),
+        spec,
+        &Transport::Uds { dir: dir.clone() },
+        &options,
+    )
+    .expect("elastic spawn failed");
+    let deadline = std::time::Instant::now() + Duration::from_secs(10);
+    while (0..spec.ranks).any(|r| !dir.join(format!("rank{r}.sock")).exists()) {
+        assert!(
+            std::time::Instant::now() < deadline,
+            "workers never bound their sockets"
+        );
+        std::thread::sleep(Duration::from_millis(2));
+    }
+    // The solve starts right after the handshake and runs ≥ 8 ms per
+    // iteration; a quarter second in, the kill is safely mid-solve.
+    std::thread::sleep(Duration::from_millis(250));
+    handles.kill_rank(1).expect("kill failed");
+    std::thread::sleep(Duration::from_millis(50));
+    handles.respawn_rank(1).expect("respawn failed");
+    handles.join().expect("elastic solve failed after rejoin")
+}
+
+#[test]
+fn kill_and_respawn_completes_under_every_recovering_policy() {
+    let grid = 20;
+    let ranks = 3;
+    let a = poisson_2d(grid);
+    let (_, b) = manufactured_rhs(&a, 5);
+    let spec = ProcessSpec::cg(grid, ranks);
+    let reference = distributed_cg(&a, &b, ranks, spec.tolerance, spec.max_iterations);
+    assert!(reference.converged);
+    let norm_ref: f64 = reference.x.iter().map(|v| v * v).sum::<f64>().sqrt();
+    for policy in [
+        RecoveryPolicy::Checkpoint { interval: 25 },
+        RecoveryPolicy::Feir,
+        RecoveryPolicy::Afeir,
+    ] {
+        let solve = kill_respawn_solve(&spec, policy, policy.name());
+        assert!(
+            solve.converged,
+            "{policy:?}: rejoined solve did not converge"
+        );
+        assert!(
+            solve.relative_residual <= spec.tolerance * 10.0,
+            "{policy:?}: explicit residual {:e} after rejoin",
+            solve.relative_residual
+        );
+        // Both solves meet the same residual tolerance, so the rejoined
+        // solution must agree with the fault-free reference to round-off
+        // (the conditioning of the Poisson operator bounds the gap).
+        let diff: f64 = solve
+            .x
+            .iter()
+            .zip(&reference.x)
+            .map(|(u, v)| (u - v) * (u - v))
+            .sum::<f64>()
+            .sqrt();
+        assert!(
+            diff / norm_ref <= 1e-5,
+            "{policy:?}: rejoined solution drifts {:e} from the reference",
+            diff / norm_ref
+        );
+    }
+}
+
+#[test]
+fn kill_and_respawn_under_trivial_policy_degrades_honestly_but_completes() {
+    // Trivial restarts the rejoined rank's rows from zero instead of
+    // interpolating them — a worse iterate, more restart iterations — but
+    // CG still converges and the final answer still meets the tolerance.
+    let grid = 20;
+    let ranks = 3;
+    let a = poisson_2d(grid);
+    let (_, b) = manufactured_rhs(&a, 5);
+    let spec = ProcessSpec::cg(grid, ranks);
+    let reference = distributed_cg(&a, &b, ranks, spec.tolerance, spec.max_iterations);
+    let solve = kill_respawn_solve(&spec, RecoveryPolicy::Trivial, "trivial");
+    assert!(solve.converged, "trivial rejoin did not converge");
+    assert!(
+        solve.iterations >= reference.iterations,
+        "a zeroed restart cannot use fewer iterations than the clean solve \
+         ({} vs {})",
+        solve.iterations,
+        reference.iterations
+    );
+    assert!(solve.relative_residual <= spec.tolerance * 10.0);
+}
+
+#[test]
+fn dropping_worker_handles_reaps_the_fleet() {
+    // A solve that would run for minutes; dropping the handles must kill and
+    // reap every worker rather than leaking orphans holding sockets.
+    let spec = ProcessSpec {
+        tolerance: -1.0,
+        max_iterations: 50_000_000,
+        ..ProcessSpec::cg(64, 2)
+    };
+    let dir = std::env::temp_dir().join(format!("feir-drop-test-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let handles: WorkerHandles =
+        spawn_workers(worker(), &spec, &Transport::Uds { dir: dir.clone() }).expect("spawn failed");
+    let pids = handles.pids();
+    assert_eq!(pids.len(), 2);
+    for pid in &pids {
+        assert!(
+            Path::new(&format!("/proc/{pid}")).exists(),
+            "worker {pid} is not running"
+        );
+    }
+    drop(handles);
+    // Drop kills and waits synchronously, so the processes are reaped (no
+    // zombies) by the time it returns.
+    for pid in &pids {
+        assert!(
+            !Path::new(&format!("/proc/{pid}")).exists(),
+            "worker {pid} leaked past Drop"
+        );
+    }
+}
+
+#[test]
+fn malformed_worker_env_values_are_hard_errors() {
+    let dir = std::env::temp_dir().join(format!("feir-env-test-{}", std::process::id()));
+    let _ = std::fs::create_dir_all(&dir);
+    let base = |cmd: &mut std::process::Command| {
+        cmd.env("FEIR_WORKER_RANK", "0")
+            .env("FEIR_WORKER_RANKS", "1")
+            .env("FEIR_WORKER_TRANSPORT", "uds")
+            .env("FEIR_WORKER_DIR", &dir)
+            .env("FEIR_WORKER_SOLVER", "cg")
+            .env("FEIR_WORKER_GRID", "4")
+            .env("FEIR_WORKER_SEED", "1")
+            .env("FEIR_WORKER_TOL", "1e-8")
+            .env("FEIR_WORKER_MAXIT", "1000")
+            .env("FEIR_WORKER_PAGE", "16")
+            .stdout(std::process::Stdio::null())
+            .stderr(std::process::Stdio::null());
+    };
+    for (key, value) in [
+        ("FEIR_WORKER_CHAOS", "drop=2"),         // rate out of range
+        ("FEIR_WORKER_CHAOS", "blast=0.5"),      // unknown fault kind
+        ("FEIR_WORKER_READ_TIMEOUT_MS", "soon"), // not a number
+        ("FEIR_WORKER_ELASTIC", "yes"),          // not the strict 0/1
+        ("FEIR_WORKER_RETRY_MAX", "-3"),         // negative
+        ("FEIR_WORKER_POLICY", "optimism"),      // unknown policy
+        ("FEIR_WORKER_EPOCHS", "0,banana"),      // malformed list entry
+    ] {
+        let mut cmd = std::process::Command::new(worker());
+        base(&mut cmd);
+        cmd.env(key, value);
+        let status = cmd.status().expect("worker failed to start");
+        assert!(
+            !status.success(),
+            "{key}={value} was accepted instead of rejected"
+        );
+    }
+    // Control: the same env with the overrides well-formed must run the
+    // (single-rank) solve to completion, proving the base env is valid.
+    let mut cmd = std::process::Command::new(worker());
+    base(&mut cmd);
+    cmd.env("FEIR_WORKER_CHAOS", "drop=0.01")
+        .env("FEIR_WORKER_READ_TIMEOUT_MS", "30000")
+        .env("FEIR_WORKER_RETRY_MAX", "3");
+    let status = cmd.status().expect("worker failed to start");
+    assert!(status.success(), "well-formed env overrides were rejected");
 }
 
 #[test]

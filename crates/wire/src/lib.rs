@@ -6,7 +6,7 @@
 //! ```text
 //! offset  size  field
 //! 0       2     magic  (0xFE 0x17)
-//! 2       1     schema version (currently 1)
+//! 2       1     schema version (currently 2)
 //! 3       1     message tag
 //! 4       4     payload length in bytes, little-endian u32
 //! 8       ...   payload
@@ -22,6 +22,8 @@
 //! version, learn the message kind from the tag, and skip or reject unknown
 //! frames by length, independent of any out-of-band schema knowledge.
 
+pub mod chaos;
+
 use std::fmt;
 use std::io::{Read, Write};
 
@@ -29,7 +31,9 @@ use std::io::{Read, Write};
 pub const MAGIC: [u8; 2] = [0xFE, 0x17];
 
 /// Current schema version. Bump when the payload layout of any tag changes.
-pub const WIRE_VERSION: u8 = 1;
+/// v2 added the `epoch` field to [`Message::Hello`] and the
+/// [`Message::RejoinBarrier`] resynchronization frame for rank elasticity.
+pub const WIRE_VERSION: u8 = 2;
 
 /// Size of the fixed frame header in bytes.
 pub const HEADER_LEN: usize = 8;
@@ -140,11 +144,13 @@ pub enum Tag {
     RankResult = 9,
     /// Worker-to-launcher failure report.
     RankError = 10,
+    /// Mesh-wide resynchronization point after a rank rejoins.
+    RejoinBarrier = 11,
 }
 
 impl Tag {
     /// All tags, for exhaustive round-trip tests.
-    pub const ALL: [Tag; 10] = [
+    pub const ALL: [Tag; 11] = [
         Tag::Hello,
         Tag::Halo,
         Tag::GatherScalar,
@@ -155,6 +161,7 @@ impl Tag {
         Tag::RecoveryReply,
         Tag::RankResult,
         Tag::RankError,
+        Tag::RejoinBarrier,
     ];
 
     /// Decodes a tag byte.
@@ -170,6 +177,7 @@ impl Tag {
             8 => Tag::RecoveryReply,
             9 => Tag::RankResult,
             10 => Tag::RankError,
+            11 => Tag::RejoinBarrier,
             other => return Err(WireError::UnknownTag(other)),
         })
     }
@@ -211,6 +219,11 @@ pub enum Message {
         rank: u32,
         /// Sender's view of the world size.
         ranks: u32,
+        /// Respawn generation of the sending rank: 0 for an original mesh
+        /// member, incremented each time the rank is respawned. Lets a
+        /// survivor validate that the peer re-handshaking on an epoch-
+        /// suffixed address really is the expected newcomer.
+        epoch: u32,
     },
     /// Halo boundary values, in the column order both sides agreed on.
     Halo {
@@ -277,6 +290,18 @@ pub enum Message {
         /// Human-readable description.
         message: String,
     },
+    /// Mesh-wide resynchronization point after a rank rejoins. Every rank
+    /// sends one to every peer, then drains the link until the matching
+    /// barrier arrives; frames from before the barrier are stale and
+    /// discarded. `iteration` lets the mesh agree on the resume point (the
+    /// maximum over all ranks).
+    RejoinBarrier {
+        /// Mesh epoch the barrier belongs to (sum of per-rank respawn
+        /// generations — identical on every rank after a rejoin).
+        epoch: u32,
+        /// The sending rank's current iteration number.
+        iteration: u64,
+    },
 }
 
 impl Message {
@@ -293,6 +318,7 @@ impl Message {
             Message::RecoveryReply { .. } => Tag::RecoveryReply,
             Message::RankResult { .. } => Tag::RankResult,
             Message::RankError { .. } => Tag::RankError,
+            Message::RejoinBarrier { .. } => Tag::RejoinBarrier,
         }
     }
 
@@ -305,9 +331,10 @@ impl Message {
         out.extend_from_slice(&[0u8; 4]); // payload length backpatched below
         let payload_at = out.len();
         match self {
-            Message::Hello { rank, ranks } => {
+            Message::Hello { rank, ranks, epoch } => {
                 put_u32(out, *rank);
                 put_u32(out, *ranks);
+                put_u32(out, *epoch);
             }
             Message::Halo { values } => put_f64s(out, values),
             Message::GatherScalar { rank, value } => {
@@ -357,6 +384,10 @@ impl Message {
                 put_u32(out, *peer as u32);
                 out.extend_from_slice(message.as_bytes());
             }
+            Message::RejoinBarrier { epoch, iteration } => {
+                put_u32(out, *epoch);
+                put_u64(out, *iteration);
+            }
         }
         let payload_len = (out.len() - payload_at) as u32;
         assert!(payload_len <= MAX_PAYLOAD, "frame payload exceeds cap");
@@ -377,6 +408,7 @@ impl Message {
             Tag::Hello => Message::Hello {
                 rank: rd.take_u32()?,
                 ranks: rd.take_u32()?,
+                epoch: rd.take_u32()?,
             },
             Tag::Halo => Message::Halo {
                 values: rd.take_f64s_rest()?,
@@ -443,6 +475,10 @@ impl Message {
                     message,
                 }
             }
+            Tag::RejoinBarrier => Message::RejoinBarrier {
+                epoch: rd.take_u32()?,
+                iteration: rd.take_u64()?,
+            },
         };
         Ok(msg)
     }
@@ -477,6 +513,31 @@ pub fn parse_header(header: &[u8; HEADER_LEN]) -> Result<(Tag, u32), WireError> 
         return Err(WireError::Oversized(len));
     }
     Ok((tag, len))
+}
+
+/// Decodes one complete frame (header + payload) from an in-memory buffer,
+/// validating the header and that the buffer carries exactly the declared
+/// payload. This is the integrity gate the reliability sublayer applies to
+/// frames that arrived inside a chaos envelope: corruption injected by
+/// [`chaos::ChaosLink`] surfaces here as `BadMagic` / `VersionMismatch` /
+/// `Truncated`, never as a silently wrong message.
+pub fn decode_frame_buf(buf: &[u8]) -> Result<Message, WireError> {
+    if buf.len() < HEADER_LEN {
+        return Err(WireError::Truncated {
+            needed: HEADER_LEN,
+            have: buf.len(),
+        });
+    }
+    let header: [u8; HEADER_LEN] = buf[..HEADER_LEN].try_into().unwrap();
+    let (tag, len) = parse_header(&header)?;
+    let payload = &buf[HEADER_LEN..];
+    if payload.len() != len as usize {
+        return Err(WireError::Truncated {
+            needed: HEADER_LEN + len as usize,
+            have: buf.len(),
+        });
+    }
+    Message::decode(tag, payload)
 }
 
 /// Iterates the `f64` values of a flat float payload (e.g. a halo frame)
@@ -637,7 +698,11 @@ mod tests {
 
     fn sample_messages() -> Vec<Message> {
         vec![
-            Message::Hello { rank: 3, ranks: 4 },
+            Message::Hello {
+                rank: 3,
+                ranks: 4,
+                epoch: 2,
+            },
             Message::Halo {
                 values: vec![1.5, -2.25, 1.2e+05, f64::MIN_POSITIVE],
             },
@@ -672,6 +737,10 @@ mod tests {
                 kind: RankErrorKind::Disconnected,
                 peer: 1,
                 message: "peer 1 vanished".into(),
+            },
+            Message::RejoinBarrier {
+                epoch: 3,
+                iteration: 1729,
             },
         ]
     }
@@ -737,7 +806,12 @@ mod tests {
 
     #[test]
     fn version_mismatch_is_rejected() {
-        let mut frame = Message::Hello { rank: 0, ranks: 2 }.encode();
+        let mut frame = Message::Hello {
+            rank: 0,
+            ranks: 2,
+            epoch: 0,
+        }
+        .encode();
         frame[2] = WIRE_VERSION + 1;
         let mut reader = FrameReader::new();
         let err = reader.read_message(&mut frame.as_slice()).unwrap_err();
@@ -752,7 +826,12 @@ mod tests {
 
     #[test]
     fn bad_magic_and_unknown_tag_are_rejected() {
-        let good = Message::Hello { rank: 0, ranks: 2 }.encode();
+        let good = Message::Hello {
+            rank: 0,
+            ranks: 2,
+            epoch: 0,
+        }
+        .encode();
 
         let mut bad_magic = good.clone();
         bad_magic[0] = 0x00;
@@ -771,7 +850,12 @@ mod tests {
 
     #[test]
     fn oversized_length_is_rejected_without_allocating() {
-        let mut frame = Message::Hello { rank: 0, ranks: 2 }.encode();
+        let mut frame = Message::Hello {
+            rank: 0,
+            ranks: 2,
+            epoch: 0,
+        }
+        .encode();
         frame[4..8].copy_from_slice(&(MAX_PAYLOAD + 1).to_le_bytes());
         assert!(matches!(
             FrameReader::new().read_message(&mut frame.as_slice()),

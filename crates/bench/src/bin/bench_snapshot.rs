@@ -37,13 +37,31 @@ use feir_sparse::{fused, vecops};
 const TARGET_MEASURE: Duration = Duration::from_millis(250);
 const SMOKE_MEASURE: Duration = Duration::from_millis(25);
 
+/// One measured scenario: the bulk mean plus log-bucketed tail percentiles
+/// from a separate individually-timed sample pass.
+struct BenchRow {
+    name: String,
+    mean_ns: f64,
+    iters: u64,
+    p50_ns: u64,
+    p99_ns: u64,
+}
+
+/// Per-scenario cap on the individually-timed sample pass that feeds the
+/// percentile histogram (the bulk mean loop is unbounded by this).
+const MAX_SAMPLES: u64 = 512;
+
 struct Harness {
     budget: Duration,
-    results: Vec<(String, f64, u64)>,
+    results: Vec<BenchRow>,
 }
 
 impl Harness {
-    /// Times `routine`, recording the mean per-iteration nanoseconds.
+    /// Times `routine`, recording the mean per-iteration nanoseconds plus
+    /// p50/p99 from a bounded sample pass. The mean comes from the same
+    /// bulk-timed loop as always — the sampling pass runs afterwards so
+    /// per-call `Instant::now()` overhead never leaks into `mean_ns` (the
+    /// value the `--compare` regression gate judges).
     fn bench<R>(&mut self, name: &str, mut routine: impl FnMut() -> R) {
         // Calibrate with a single run, then spend the budget.
         let start = Instant::now();
@@ -55,8 +73,24 @@ impl Harness {
             black_box(routine());
         }
         let mean_ns = start.elapsed().as_nanos() as f64 / iters as f64;
-        eprintln!("{name:<40} {:>12.0} ns/iter  ({iters} iters)", mean_ns);
-        self.results.push((name.to_string(), mean_ns, iters));
+        // Tail pass: individually timed runs into a log-bucketed histogram.
+        // Percentiles are bucket upper bounds (≤2× overestimate) — good for
+        // spotting tail blowups, not for sub-bucket precision.
+        let mut hist = feir_trace::Histogram::new();
+        for _ in 0..iters.min(MAX_SAMPLES) {
+            let start = Instant::now();
+            black_box(routine());
+            hist.observe(start.elapsed().as_nanos() as u64);
+        }
+        let (p50_ns, p99_ns) = (hist.p50(), hist.p99());
+        eprintln!("{name:<40} {mean_ns:>12.0} ns/iter  ({iters} iters, p50≤{p50_ns} p99≤{p99_ns})");
+        self.results.push(BenchRow {
+            name: name.to_string(),
+            mean_ns,
+            iters,
+            p50_ns,
+            p99_ns,
+        });
     }
 }
 
@@ -111,7 +145,7 @@ fn parse_snapshot(text: &str) -> Result<Vec<(String, f64)>, String> {
 /// otherwise silently disable the regression check). On success returns the
 /// names of shared scenarios that regressed by more than `threshold_pct`.
 fn compare_against(
-    results: &[(String, f64, u64)],
+    results: &[BenchRow],
     baseline: &[(String, f64)],
     threshold_pct: f64,
 ) -> Result<Vec<String>, usize> {
@@ -121,7 +155,7 @@ fn compare_against(
         "\n{:<44} {:>12} {:>12} {:>8}",
         "scenario", "base ns", "now ns", "delta"
     );
-    for (name, mean_ns, _) in results {
+    for BenchRow { name, mean_ns, .. } in results {
         let Some((_, base_ns)) = baseline.iter().find(|(b, _)| b == name) else {
             continue;
         };
@@ -630,8 +664,11 @@ fn main() -> ExitCode {
     let rows: Vec<String> = h
         .results
         .iter()
-        .map(|(name, mean_ns, iters)| {
-            format!("    {{\"name\": \"{name}\", \"mean_ns\": {mean_ns:.1}, \"iters\": {iters}}}")
+        .map(|row| {
+            format!(
+                "    {{\"name\": \"{}\", \"mean_ns\": {:.1}, \"iters\": {}, \"p50_ns\": {}, \"p99_ns\": {}}}",
+                row.name, row.mean_ns, row.iters, row.p50_ns, row.p99_ns
+            )
         })
         .collect();
     out.push_str(&rows.join(",\n"));
@@ -725,5 +762,16 @@ mod tests {
     fn lines_without_a_name_are_still_skipped() {
         let rows = parse_snapshot("{\n  \"schema\": \"feir-bench-snapshot/v1\",\n}").unwrap();
         assert!(rows.is_empty());
+    }
+
+    #[test]
+    fn rows_with_percentile_fields_still_compare_on_mean() {
+        // New snapshots append p50_ns/p99_ns after iters; the scanner keys
+        // on mean_ns, so old and new formats stay mutually comparable.
+        let rows = parse_snapshot(
+            "{\"name\": \"x\", \"mean_ns\": 10.5, \"iters\": 3, \"p50_ns\": 7, \"p99_ns\": 63}",
+        )
+        .unwrap();
+        assert_eq!(rows, vec![("x".to_string(), 10.5)]);
     }
 }

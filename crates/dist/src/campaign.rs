@@ -166,6 +166,22 @@ pub struct CampaignCell {
     pub rollbacks: usize,
     /// Restarts (Lossy Restart policy).
     pub restarts: usize,
+    /// Per-phase trace summary of the solve, present when `FEIR_TRACE=spans`
+    /// was active while the cell ran.
+    pub trace: Option<feir_trace::TraceSummary>,
+}
+
+impl CampaignCell {
+    /// Total time the cell spent inside the recovery phases (plan +
+    /// reconstruct + install), from the trace; `None` without tracing.
+    pub fn recovery_ns(&self) -> Option<u64> {
+        use feir_trace::Phase;
+        self.trace.as_ref().map(|t| {
+            t.phase_total_ns(Phase::RecoveryPlan)
+                + t.phase_total_ns(Phase::RecoveryReconstruct)
+                + t.phase_total_ns(Phase::RecoveryInstall)
+        })
+    }
 }
 
 impl CampaignCell {
@@ -202,11 +218,15 @@ impl CampaignReport {
     pub fn table(&self) -> String {
         let mut out = String::new();
         out.push_str(
-            "solver  ranks  policy   freq  conv  iters    time_ms  overhd%  it_ovh%  inj/disc/rec  hit_ranks  xrank\n",
+            "solver  ranks  policy   freq  conv  iters    time_ms  overhd%  it_ovh%  inj/disc/rec  hit_ranks  xrank  rec_ms\n",
         );
         for cell in &self.cells {
+            let rec_ms = match cell.recovery_ns() {
+                Some(ns) => format!("{:>6.2}", ns as f64 / 1e6),
+                None => format!("{:>6}", "-"),
+            };
             out.push_str(&format!(
-                "{:<6}  {:>5}  {:<7}  {:>4.1}  {:>4}  {:>5}  {:>9.2}  {:>7.1}  {:>7.1}  {:>4}/{:>4}/{:>3}  {:>9}  {:>5}\n",
+                "{:<6}  {:>5}  {:<7}  {:>4.1}  {:>4}  {:>5}  {:>9.2}  {:>7.1}  {:>7.1}  {:>4}/{:>4}/{:>3}  {:>9}  {:>5}  {}\n",
                 cell.solver.name(),
                 cell.ranks,
                 cell.policy.name(),
@@ -221,6 +241,7 @@ impl CampaignReport {
                 cell.faults.total_recovered(),
                 cell.faulty_ranks(),
                 cell.cross_rank_values,
+                rec_ms,
             ));
         }
         out
@@ -298,6 +319,7 @@ impl FaultCampaign {
                             cross_rank_values: solve.cross_rank_values,
                             rollbacks: solve.rollbacks,
                             restarts: solve.restarts,
+                            trace: solve.trace.as_ref().map(feir_trace::SolveTrace::summary),
                         });
                     }
                 }
@@ -445,6 +467,13 @@ pub struct NetCampaignCell {
     /// Iteration overhead versus the baseline, in percent — the
     /// timing-noise-free cost of the Krylov restart a rejoin forces.
     pub iteration_overhead_percent: f64,
+    /// Reliability-layer retransmissions summed over every link of the mesh.
+    pub retransmits: u64,
+    /// Chaos-injected frame faults summed over every link of the mesh.
+    pub frame_faults: u64,
+    /// Per-phase trace summary of the solve, present when the workers ran
+    /// with `FEIR_TRACE=spans` in their environment.
+    pub trace: Option<feir_trace::TraceSummary>,
 }
 
 /// All measurements of one [`NetFaultCampaign`] run.
@@ -461,10 +490,12 @@ impl NetCampaignReport {
     /// Renders the fixed-width overhead table (one row per cell).
     pub fn table(&self) -> String {
         let mut out = String::new();
-        out.push_str("policy   rate   kill      conv  iters    time_ms  overhd%  it_ovh%\n");
+        out.push_str(
+            "policy   rate   kill      conv  iters    time_ms  overhd%  it_ovh%  retrans  faults\n",
+        );
         for cell in &self.cells {
             out.push_str(&format!(
-                "{:<7}  {:>5.3}  {:<8}  {:>4}  {:>5}  {:>9.2}  {:>7.1}  {:>7.1}\n",
+                "{:<7}  {:>5.3}  {:<8}  {:>4}  {:>5}  {:>9.2}  {:>7.1}  {:>7.1}  {:>7}  {:>6}\n",
                 cell.policy.name(),
                 cell.fault_rate,
                 cell.schedule.label(),
@@ -473,6 +504,8 @@ impl NetCampaignReport {
                 cell.elapsed.as_secs_f64() * 1e3,
                 cell.overhead_percent,
                 cell.iteration_overhead_percent,
+                cell.retransmits,
+                cell.frame_faults,
             ));
         }
         out
@@ -553,6 +586,9 @@ impl NetFaultCampaign {
                             solve.iterations as f64,
                             baseline.iterations as f64,
                         ),
+                        retransmits: solve.net.retransmits,
+                        frame_faults: solve.net.injected_faults,
+                        trace: solve.trace.as_ref().map(feir_trace::SolveTrace::summary),
                     });
                 }
             }

@@ -13,6 +13,58 @@ use crate::domains::RankDomains;
 use crate::kernels;
 use crate::partition::RankPartition;
 
+/// Reliability-sublayer counters of one solve, summed over every rank's
+/// links. All zeros for the in-process backend, which has no links — the
+/// counters only tick on the socket mesh of [`crate::process`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct NetStats {
+    /// Data frames handed to the wire (every attempt, retransmits included).
+    pub data_frames: u64,
+    /// Frames retransmitted after an acknowledgement timeout.
+    pub retransmits: u64,
+    /// Chaos-injected frame faults (drops, duplicates, delays, corruptions,
+    /// truncations) on outgoing links.
+    pub injected_faults: u64,
+    /// Inbound frames rejected by the integrity gate (bad envelope/decode).
+    pub rejected: u64,
+    /// Duplicate data frames received and suppressed by sequence tracking.
+    pub dup_received: u64,
+}
+
+impl NetStats {
+    /// The wire encoding of these counters (the `link` array of a
+    /// `TraceDump` frame), in field order.
+    pub fn to_wire(self) -> [u64; 5] {
+        [
+            self.data_frames,
+            self.retransmits,
+            self.injected_faults,
+            self.rejected,
+            self.dup_received,
+        ]
+    }
+
+    /// Decodes the `link` array of a `TraceDump` frame.
+    pub fn from_wire(link: [u64; 5]) -> NetStats {
+        NetStats {
+            data_frames: link[0],
+            retransmits: link[1],
+            injected_faults: link[2],
+            rejected: link[3],
+            dup_received: link[4],
+        }
+    }
+
+    /// Adds another rank's counters into this sum.
+    pub fn accumulate(&mut self, other: NetStats) {
+        self.data_frames += other.data_frames;
+        self.retransmits += other.retransmits;
+        self.injected_faults += other.injected_faults;
+        self.rejected += other.rejected;
+        self.dup_received += other.dup_received;
+    }
+}
+
 /// Outcome of a distributed solve.
 #[derive(Debug, Clone)]
 pub struct DistSolveResult {
@@ -37,6 +89,14 @@ pub struct DistSolveResult {
     /// CG pays two per iteration and PCG three; the merged-reduction
     /// variants pay exactly one.
     pub allreduces: u64,
+    /// Reliability-layer frame counters summed over every rank (all zeros
+    /// for the channel-backed in-process transport).
+    pub net: NetStats,
+    /// Merged per-rank trace streams, present when the solve ran with
+    /// `FEIR_TRACE=spans` and at least one event was recorded. Export with
+    /// [`feir_trace::SolveTrace::chrome_json`] or fold into a summary with
+    /// [`feir_trace::SolveTrace::summary`].
+    pub trace: Option<feir_trace::SolveTrace>,
 }
 
 impl DistSolveResult {
@@ -117,7 +177,10 @@ where
         for comm in comms {
             let partition = partition.clone();
             let body = &body;
-            handles.push(scope.spawn(move || body(RankLaunch { comm, partition })));
+            handles.push(scope.spawn(move || {
+                feir_trace::set_thread_rank(comm.rank() as u32);
+                body(RankLaunch { comm, partition })
+            }));
         }
         for handle in handles {
             // The in-process backend only disconnects when a sibling rank
@@ -145,7 +208,21 @@ where
         converged: relative_residual <= tolerance,
         residual_history,
         allreduces,
+        net: NetStats::default(),
+        trace: collect_thread_trace(),
     }
+}
+
+/// Drains the rank-tagged thread sinks of this process into a merged trace;
+/// `None` when tracing is below `spans` or nothing was recorded. Shared by
+/// every in-process solver (the rank threads all tagged themselves in their
+/// spawn closures).
+pub(crate) fn collect_thread_trace() -> Option<feir_trace::SolveTrace> {
+    if feir_trace::level() != feir_trace::TraceLevel::Spans {
+        return None;
+    }
+    let trace = feir_trace::SolveTrace::new(feir_trace::drain_all());
+    (!trace.is_empty()).then_some(trace)
 }
 
 /// The per-rank CG loop, backend-agnostic: the same body runs on in-process
@@ -183,6 +260,7 @@ pub(crate) fn rank_cg(
             break;
         }
         iterations += 1;
+        let _it = feir_trace::span(feir_trace::Phase::Iteration);
 
         let beta = kernels::beta_ratio(eps, eps_old);
         // d ⇐ g + β·d, then ship the halo of d.
@@ -192,7 +270,10 @@ pub(crate) fn rank_cg(
 
         // q ⇐ A·d over the owned rows, fused with the local ⟨d, q⟩ partial
         // (one sweep; bitwise-identical to the unfused pair).
-        let dq_local = kernels::spmv_rows_dot(a, own.start, own.end, &d_full, &mut q);
+        let dq_local = {
+            let _probe = feir_trace::span(feir_trace::Phase::Spmv);
+            kernels::spmv_rows_dot(a, own.start, own.end, &d_full, &mut q)
+        };
         let dq = comm.allreduce_sum(dq_local)?;
         if kernels::is_breakdown(dq) {
             break;

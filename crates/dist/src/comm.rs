@@ -647,6 +647,7 @@ impl RankComm {
     /// only its owned range is authoritative before the call, and exactly the
     /// halo entries referenced by its rows are valid after it.
     pub fn exchange_halo(&self, full: &mut [f64]) -> Result<(), CommError> {
+        let _probe = feir_trace::span(feir_trace::Phase::Halo);
         match &self.backend {
             Backend::InProcess(links) => {
                 for (peer, cols, tx) in &links.halo_out {
@@ -674,6 +675,7 @@ impl RankComm {
 
     /// Global sum of `local` over all ranks (see [`Reducer::allreduce_sum`]).
     pub fn allreduce_sum(&self, local: f64) -> Result<f64, CommError> {
+        let _probe = feir_trace::span(feir_trace::Phase::Allreduce);
         self.start_allreduce(local)?.finish()
     }
 
@@ -681,6 +683,7 @@ impl RankComm {
     /// post the partial now, overlap local work with the reduction, collect
     /// the sum with [`PendingAllreduce::finish`].
     pub fn start_allreduce(&self, local: f64) -> Result<PendingAllreduce<'_>, CommError> {
+        let _probe = feir_trace::span(feir_trace::Phase::AllreducePost);
         self.collectives.set(self.collectives.get() + 1);
         match &self.backend {
             Backend::InProcess(links) => links.reducer.post_scalar(local)?,
@@ -692,6 +695,7 @@ impl RankComm {
     /// Blocking vector allreduce (see [`Reducer::allreduce_vec`]): all of an
     /// iteration's scalars in one collective.
     pub fn allreduce_vec(&self, local: Vec<f64>) -> Result<Vec<f64>, CommError> {
+        let _probe = feir_trace::span(feir_trace::Phase::Allreduce);
         self.start_allreduce_vec(local)?.finish()
     }
 
@@ -702,6 +706,7 @@ impl RankComm {
         &self,
         local: Vec<f64>,
     ) -> Result<PendingVecAllreduce<'_>, CommError> {
+        let _probe = feir_trace::span(feir_trace::Phase::AllreducePost);
         self.collectives.set(self.collectives.get() + 1);
         let local = match &self.backend {
             Backend::InProcess(links) => links.reducer.post_vec(local)?,
@@ -881,6 +886,7 @@ impl PendingAllreduce<'_> {
     /// performs the rank-ordered gather + broadcast; on a leaf it blocks on
     /// the broadcast of the total.
     pub fn finish(self) -> Result<f64, CommError> {
+        let _probe = feir_trace::span(feir_trace::Phase::AllreduceWait);
         match &self.comm.backend {
             Backend::InProcess(links) => links.reducer.finish_scalar(self.local),
             Backend::Process(links) => links.finish_scalar(self.local),
@@ -903,6 +909,7 @@ impl PendingVecAllreduce<'_> {
     /// On the root this performs the rank-ordered gather + broadcast; on a
     /// leaf it blocks on the broadcast of the totals.
     pub fn finish(self) -> Result<Vec<f64>, CommError> {
+        let _probe = feir_trace::span(feir_trace::Phase::AllreduceWait);
         match &self.comm.backend {
             Backend::InProcess(links) => links.reducer.finish_vec(self.local),
             Backend::Process(links) => links.finish_vec(self.local),

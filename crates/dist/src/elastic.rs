@@ -69,6 +69,7 @@ pub(crate) fn rank_elastic_solve<S: RecoverableIteration>(
     if cfg.newcomer {
         // The survivors are already parked at the barrier waiting for this
         // process; `rejoin(None, ..)` connects the fresh mesh and joins them.
+        let _probe = feir_trace::span(feir_trace::Phase::Rejoin);
         let t_resume = comm.rejoin(None, 0)?;
         rejoin_repair(ctx, relations, &comm, &mut state, t_resume, true)?;
     } else {
@@ -82,6 +83,7 @@ pub(crate) fn rank_elastic_solve<S: RecoverableIteration>(
                 if k != 0 && k != ctx.rank && rejoins < cfg.max_rejoins =>
             {
                 rejoins += 1;
+                let _probe = feir_trace::span(feir_trace::Phase::Rejoin);
                 let t_resume = comm.rejoin(Some(k), state.t as u64)?;
                 rejoin_repair(ctx, relations, &comm, &mut state, t_resume, false)?;
             }

@@ -69,7 +69,7 @@ pub use campaign::{
     CampaignBaseline, CampaignCell, CampaignReport, CampaignSolver, FaultCampaign, KillSchedule,
     NetCampaignBaseline, NetCampaignCell, NetCampaignReport, NetFaultCampaign,
 };
-pub use cg::{distributed_cg, DistSolveResult};
+pub use cg::{distributed_cg, DistSolveResult, NetStats};
 pub use comm::{
     distributed_dot, distributed_spmv, CommError, HaloPlan, PendingAllreduce, PendingVecAllreduce,
     RankComm, RecoveryMsg, Reducer, ReducerPending, ReducerVecPending,

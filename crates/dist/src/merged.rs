@@ -146,12 +146,16 @@ pub(crate) fn rank_cg_merged(
     let mut history = Vec::new();
 
     for t in 0..max_iterations {
+        let _it = feir_trace::span(feir_trace::Phase::Iteration);
         // The iteration's single collective: posted now, finished after the
         // halo exchange and the matvec it overlaps.
         let pending = comm.start_allreduce_vec(partials.clone())?;
         mv_full[own.clone()].copy_from_slice(&w);
         comm.exchange_halo(&mut mv_full)?;
-        a.spmv_rows(own.start, own.end, &mv_full, &mut n_buf);
+        {
+            let _probe = feir_trace::span(feir_trace::Phase::Spmv);
+            a.spmv_rows(own.start, own.end, &mv_full, &mut n_buf);
+        }
         let totals = pending.finish()?;
         let (gamma, delta) = (totals[0], totals[1]);
 
@@ -228,13 +232,17 @@ pub(crate) fn rank_pcg_merged(
     let mut history = Vec::new();
 
     for t in 0..max_iterations {
+        let _it = feir_trace::span(feir_trace::Phase::Iteration);
         let pending = comm.start_allreduce_vec(partials.clone())?;
         // Inside the reduction window: the (communication-free) block-Jacobi
         // application, the halo exchange and the matvec.
         jacobi.apply(&w, &mut m_buf);
         mv_full[own.clone()].copy_from_slice(&m_buf);
         comm.exchange_halo(&mut mv_full)?;
-        a.spmv_rows(own.start, own.end, &mv_full, &mut n_buf);
+        {
+            let _probe = feir_trace::span(feir_trace::Phase::Spmv);
+            a.spmv_rows(own.start, own.end, &mv_full, &mut n_buf);
+        }
         let totals = pending.finish()?;
         let (gamma, delta, eps) = (totals[0], totals[1], totals[2]);
 

@@ -91,6 +91,7 @@ pub(crate) fn rank_pcg(
             break;
         }
         iterations = t + 1;
+        let _it = feir_trace::span(feir_trace::Phase::Iteration);
 
         // z ⇐ M⁻¹ g: one coupled block solve per page, no communication.
         jacobi.apply(&g, &mut z);
@@ -105,7 +106,10 @@ pub(crate) fn rank_pcg(
         comm.exchange_halo(&mut d_full)?;
 
         // q ⇐ A·d over the owned rows, fused with the local ⟨d, q⟩ partial.
-        let dq_local = kernels::spmv_rows_dot(a, own.start, own.end, &d_full, &mut q);
+        let dq_local = {
+            let _probe = feir_trace::span(feir_trace::Phase::Spmv);
+            kernels::spmv_rows_dot(a, own.start, own.end, &d_full, &mut q)
+        };
         let dq = comm.allreduce_sum(dq_local)?;
         if kernels::is_breakdown(dq) {
             break;

@@ -462,6 +462,7 @@ impl LinkShared {
         let head = sendq.unacked.front_mut().expect("head just observed");
         head.attempt += 1;
         head.sent_at = Instant::now();
+        feir_trace::instant(feir_trace::Phase::Retransmit);
         let (seq, attempt, frame) = (head.seq, head.attempt, head.frame.clone());
         // sendq stays held across the write (lock order sendq → writer) so a
         // concurrent send cannot interleave a fresh record mid-retransmit.
@@ -665,13 +666,16 @@ impl Drop for RLink {
 }
 
 /// Wraps a handshaken stream in the reliability sublayer: chaos writer,
-/// sequence state and reader thread.
+/// sequence state and reader thread. `stats` is owned by the endpoint and
+/// shared into the link, so the counters survive a relink (elastic rejoin)
+/// and keep accumulating across link incarnations.
 fn build_rlink(
     stream: Stream,
     rank: usize,
     peer: usize,
     options: &MeshOptions,
     downed: Arc<Mutex<BTreeSet<usize>>>,
+    stats: Arc<LinkStats>,
 ) -> Result<RLink, CommError> {
     let proto = |what: &str, e: std::io::Error| {
         CommError::Protocol(format!("rank {rank}: link to {peer}: {what}: {e}"))
@@ -686,7 +690,6 @@ fn build_rlink(
         .as_ref()
         .map(|c| c.plan_for(rank, peer))
         .unwrap_or_else(FaultPlan::clean);
-    let stats = Arc::new(LinkStats::default());
     let shared = Arc::new(LinkShared {
         peer,
         writer: Mutex::new(ChaosLink::new(stream, plan, stats.clone())),
@@ -713,6 +716,22 @@ fn build_rlink(
     })
 }
 
+/// Sums per-peer [`LinkStats`] into one rank's [`crate::cg::NetStats`].
+fn sum_link_stats(stats: &[Arc<LinkStats>]) -> crate::cg::NetStats {
+    use std::sync::atomic::Ordering::Relaxed;
+    let mut net = crate::cg::NetStats::default();
+    for s in stats {
+        net.accumulate(crate::cg::NetStats {
+            data_frames: s.data_frames.load(Relaxed),
+            retransmits: s.retransmits.load(Relaxed),
+            injected_faults: s.faults(),
+            rejected: s.rejected.load(Relaxed),
+            dup_received: s.dup_received.load(Relaxed),
+        });
+    }
+    net
+}
+
 /// One rank's view of the established mesh: a reliable link per peer, the
 /// retained listener (for elastic re-accepts) and the shared `downed` set
 /// reader threads report dead peers into.
@@ -721,6 +740,10 @@ pub struct ProcessEndpoint {
     rank: usize,
     ranks: usize,
     links: Vec<RefCell<Option<RLink>>>,
+    /// Per-peer reliability counters, owned here (not by the links) so they
+    /// persist across elastic relinks; index = peer rank, the self slot
+    /// stays at zero.
+    stats: Vec<Arc<LinkStats>>,
     scratch: RefCell<Vec<u8>>,
     listener: MeshListener,
     transport: Transport,
@@ -741,9 +764,17 @@ impl ProcessEndpoint {
     }
 
     /// The fault/retransmission counters of the link to `peer` (shared with
-    /// the link itself, so it keeps counting after this call).
+    /// the link itself, so it keeps counting after this call). The counters
+    /// are owned by the endpoint and survive elastic relinks.
     pub fn link_stats(&self, peer: usize) -> Arc<LinkStats> {
-        self.with_link(peer, |link| link.shared.stats.clone())
+        self.stats[peer].clone()
+    }
+
+    /// Sums this endpoint's per-peer reliability counters into one
+    /// [`crate::cg::NetStats`] (the rank's contribution to a solve's
+    /// cross-rank total).
+    pub fn net_stats(&self) -> crate::cg::NetStats {
+        sum_link_stats(&self.stats)
     }
 
     fn with_link<T>(&self, peer: usize, f: impl FnOnce(&mut RLink) -> T) -> T {
@@ -890,6 +921,7 @@ impl ProcessEndpoint {
             failed,
             &self.options,
             self.downed.clone(),
+            self.stats[failed].clone(),
         )?;
         *self.links[failed].borrow_mut() = Some(link);
         self.downed.lock().expect("downed set lock").remove(&failed);
@@ -1166,6 +1198,7 @@ fn handshake(
             rank: rank as u32,
             ranks: ranks as u32,
             epoch: my_epoch as u32,
+            t0_micros: feir_trace::origin_unix_micros(),
         },
         scratch,
     )
@@ -1179,6 +1212,7 @@ fn handshake(
         rank: peer_rank,
         ranks: peer_ranks,
         epoch: peer_epoch,
+        t0_micros: _,
     } = hello
     else {
         return Err(CommError::Protocol(format!(
@@ -1239,6 +1273,7 @@ pub fn connect_mesh(
     let listener = bind_listener(transport, rank, ranks, epochs[rank])?;
     let downed: Arc<Mutex<BTreeSet<usize>>> = Arc::new(Mutex::new(BTreeSet::new()));
     let mut links: Vec<RefCell<Option<RLink>>> = (0..ranks).map(|_| RefCell::new(None)).collect();
+    let stats: Vec<Arc<LinkStats>> = (0..ranks).map(|_| Arc::default()).collect();
     let deadline = Instant::now() + options.connect_timeout;
     let mut scratch = Vec::new();
     // Dial every lower rank (they bound their listeners first or will
@@ -1261,6 +1296,7 @@ pub fn connect_mesh(
             peer,
             options,
             downed.clone(),
+            stats[peer].clone(),
         )?));
     }
     // Accept every higher rank, in whatever order they dial.
@@ -1292,12 +1328,14 @@ pub fn connect_mesh(
             peer,
             options,
             downed.clone(),
+            stats[peer].clone(),
         )?));
     }
     Ok(ProcessEndpoint {
         rank,
         ranks,
         links,
+        stats,
         scratch: RefCell::new(scratch),
         listener,
         transport: transport.clone(),
@@ -1822,6 +1860,7 @@ impl WorkerHandles {
         let partition = RankPartition::new(n, ranks);
 
         let mut reports: Vec<Result<Message, ProcessError>> = Vec::with_capacity(ranks);
+        let mut dumps: Vec<Message> = Vec::with_capacity(ranks);
         for (rank, child) in self.children.iter_mut().enumerate() {
             let stdout = child.stdout.as_mut().expect("worker stdout is piped");
             let mut frames = FrameReader::new();
@@ -1838,6 +1877,14 @@ impl WorkerHandles {
                     message: e.to_string(),
                 }),
             };
+            // Every worker follows its report with a TraceDump frame; a
+            // missing or malformed one (worker killed mid-write) only costs
+            // the trace, never the solve result.
+            if report.is_ok() {
+                if let Ok(dump @ Message::TraceDump { .. }) = frames.read_message(stdout) {
+                    dumps.push(dump);
+                }
+            }
             reports.push(report);
         }
         // Reap everything (kill is a no-op on the already-exited).
@@ -1917,6 +1964,50 @@ impl WorkerHandles {
             return Err(err);
         }
 
+        // Merge the workers' trace dumps: the launcher is the "rank 0" of
+        // the collection — it holds every rank's stream plus the summed
+        // link counters.
+        let mut net = crate::cg::NetStats::default();
+        let mut rank_traces = Vec::new();
+        for dump in dumps {
+            let Message::TraceDump {
+                rank,
+                origin_micros,
+                dropped,
+                link,
+                events,
+            } = dump
+            else {
+                unreachable!("only TraceDump frames are collected above");
+            };
+            let stats = crate::cg::NetStats::from_wire(link);
+            net.accumulate(stats);
+            let events: Vec<feir_trace::Event> = events
+                .iter()
+                .filter_map(|&(p, start_ns, dur_ns)| {
+                    feir_trace::Phase::from_u8(p).map(|phase| feir_trace::Event {
+                        phase,
+                        start_ns,
+                        dur_ns,
+                    })
+                })
+                .collect();
+            if !events.is_empty() || dropped > 0 {
+                rank_traces.push(feir_trace::RankTrace {
+                    rank,
+                    origin_micros,
+                    dropped,
+                    events,
+                    link_frames: stats.data_frames,
+                    link_retransmits: stats.retransmits,
+                    link_faults: stats.injected_faults,
+                    link_rejected: stats.rejected,
+                    link_dup_received: stats.dup_received,
+                });
+            }
+        }
+        let trace = (!rank_traces.is_empty()).then(|| feir_trace::SolveTrace::new(rank_traces));
+
         let a = feir_sparse::generators::poisson_2d(spec.grid);
         let (_, b) = feir_sparse::generators::manufactured_rhs(&a, spec.rhs_seed);
         let relative_residual = kernels::explicit_relative_residual(&a, &b, &x);
@@ -1928,6 +2019,8 @@ impl WorkerHandles {
             converged: relative_residual <= spec.tolerance,
             residual_history,
             allreduces,
+            net,
+            trace,
         })
     }
 }
@@ -2303,7 +2396,10 @@ fn mesh_options_from_env(env: &WorkerEnv) -> MeshOptions {
 }
 
 /// Joins the mesh, runs this rank's loop and returns the report frame.
-fn run_worker(env: &WorkerEnv) -> Result<Message, CommError> {
+/// `links_out` receives the endpoint's per-peer reliability counters as
+/// soon as the mesh is up, so the caller can report them even when the
+/// solve later fails.
+fn run_worker(env: &WorkerEnv, links_out: &mut Vec<Arc<LinkStats>>) -> Result<Message, CommError> {
     let a = feir_sparse::generators::poisson_2d(env.grid);
     let (_, b) = feir_sparse::generators::manufactured_rhs(&a, env.rhs_seed);
     let n = a.rows();
@@ -2311,10 +2407,11 @@ fn run_worker(env: &WorkerEnv) -> Result<Message, CommError> {
     let partition = RankPartition::new(n, ranks);
     let options = mesh_options_from_env(env);
     if env.policy.is_some() || env.elastic {
-        return run_worker_resilient(env, &a, &b, &partition, ranks, &options);
+        return run_worker_resilient(env, &a, &b, &partition, ranks, &options, links_out);
     }
     let plan = HaloPlan::build(&a, &partition);
     let endpoint = connect_mesh(env.rank, ranks, &env.transport, &options)?;
+    *links_out = endpoint.stats.clone();
     let comm = RankComm::over_process(&plan, endpoint);
     let (rank, x_own, iterations, history, collectives) = match env.solver {
         WorkerSolver::Cg => {
@@ -2368,6 +2465,7 @@ fn run_worker_resilient(
     partition: &RankPartition,
     ranks: usize,
     options: &MeshOptions,
+    links_out: &mut Vec<Arc<LinkStats>>,
 ) -> Result<Message, CommError> {
     use crate::elastic::{rank_elastic_solve, ElasticCfg};
     use crate::rank_loop::{rank_resilient_solve, RankCtx};
@@ -2383,6 +2481,7 @@ fn run_worker_resilient(
     }
     let plan = HaloPlan::build(a, partition);
     let endpoint = connect_mesh(env.rank, ranks, &env.transport, options)?;
+    *links_out = endpoint.stats.clone();
     let comm = RankComm::over_process(&plan, endpoint);
     let rank = env.rank;
     let own = partition.range(rank);
@@ -2496,7 +2595,11 @@ pub fn worker_main() -> std::process::ExitCode {
         }
     };
     let rank = env.rank;
-    let report = match run_worker(&env) {
+    // Everything this process records — solver thread and per-link reader
+    // threads alike — belongs to this one rank.
+    feir_trace::set_process_rank(rank as u32);
+    let mut links: Vec<Arc<LinkStats>> = Vec::new();
+    let report = match run_worker(&env, &mut links) {
         Ok(result) => result,
         // `run_worker` returning drops the endpoint, closing this rank's
         // sockets so any peer still blocked on us unblocks with a
@@ -2509,6 +2612,24 @@ pub fn worker_main() -> std::process::ExitCode {
     if feir_wire::write_message(&mut out, &report, &mut scratch).is_err() || out.flush().is_err() {
         return std::process::ExitCode::FAILURE;
     }
+    // The report is always followed by this rank's trace dump (empty when
+    // tracing is off) so the launcher can merge streams and surface the
+    // link counters; the frame is advisory, so its write errors are
+    // ignored — the report above already carried the solve outcome.
+    let trace = feir_trace::drain_rank(rank as u32);
+    let dump = Message::TraceDump {
+        rank: rank as u32,
+        origin_micros: trace.origin_micros,
+        dropped: trace.dropped,
+        link: sum_link_stats(&links).to_wire(),
+        events: trace
+            .events
+            .iter()
+            .map(|e| (e.phase as u8, e.start_ns, e.dur_ns))
+            .collect(),
+    };
+    let _ = feir_wire::write_message(&mut out, &dump, &mut scratch);
+    let _ = out.flush();
     if failed {
         std::process::ExitCode::FAILURE
     } else {

@@ -154,6 +154,7 @@ pub(crate) fn install_state_plan(
     g: &mut [f64],
     counters: &mut InstallCounters,
 ) {
+    let _probe = feir_trace::span(feir_trace::Phase::RecoveryInstall);
     match &plan.x_values {
         Some(values) => {
             for (&r, v) in plan.x_rows.iter().zip(values) {
@@ -364,6 +365,7 @@ pub(crate) fn resilient_iterations<S: RecoverableIteration>(
             break;
         }
         *iterations = *t + 1;
+        let _it = feir_trace::span(feir_trace::Phase::Iteration);
 
         if !ctx.throttle.is_zero() {
             std::thread::sleep(ctx.throttle);
@@ -513,7 +515,10 @@ pub(crate) fn resilient_iterations<S: RecoverableIteration>(
 
         d_full[own.clone()].copy_from_slice(d);
         comm.exchange_halo(d_full)?;
-        a.spmv_rows(own.start, own.end, d_full, q);
+        {
+            let _probe = feir_trace::span(feir_trace::Phase::Spmv);
+            a.spmv_rows(own.start, own.end, d_full, q);
+        }
 
         // ---- q protection (FEIR/AFEIR; local recompute, r1 of Figure 1) ---
         let dq = if forward {

@@ -263,6 +263,7 @@ pub(crate) fn rank_merged_resilient_solve<S: RecoverableIteration>(
     let mut history = Vec::new();
 
     for t in 0..ctx.max_iterations {
+        let _it = feir_trace::span(feir_trace::Phase::Iteration);
         // Scripted faults for this iteration land now, before any touch.
         if protected {
             for fault in &ctx.scripted {
@@ -333,10 +334,14 @@ pub(crate) fn rank_merged_resilient_solve<S: RecoverableIteration>(
                         relations, a, &own, pages, &lost_p, &lost_s, &lost_r, &lost_u, &p, &s, &r,
                     )
                 },
-                || a.spmv_rows(own.start, own.end, &mv_full, &mut n_buf),
+                || {
+                    let _probe = feir_trace::span(feir_trace::Phase::Spmv);
+                    a.spmv_rows(own.start, own.end, &mv_full, &mut n_buf);
+                },
             )
             .0
         } else {
+            let _probe = feir_trace::span(feir_trace::Phase::Spmv);
             a.spmv_rows(own.start, own.end, &mv_full, &mut n_buf);
             WindowPlan::default()
         };

@@ -295,6 +295,9 @@ pub struct DistResilientReport {
     pub allreduces: u64,
     /// Wall-clock solve time.
     pub elapsed: Duration,
+    /// Per-rank trace streams, present when `FEIR_TRACE=spans` was active
+    /// during the solve (see [`feir_trace`]). `None` otherwise.
+    pub trace: Option<feir_trace::SolveTrace>,
 }
 
 impl DistResilientReport {
@@ -574,6 +577,7 @@ impl<'a> DistResilientSolver<'a> {
                     throttle: Duration::ZERO,
                 };
                 handles.push(scope.spawn(move || {
+                    feir_trace::set_thread_rank(rank as u32);
                     // The engine relations are built inside the rank thread:
                     // on a real machine the preconditioner factorization is
                     // rank-local work.
@@ -668,6 +672,7 @@ impl<'a> DistResilientSolver<'a> {
             restarts,
             allreduces,
             elapsed: start.elapsed(),
+            trace: crate::cg::collect_thread_trace(),
         }
     }
 }

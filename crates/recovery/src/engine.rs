@@ -408,6 +408,7 @@ pub fn recover_iterate_rows(
     x_full: &[f64],
 ) -> Option<Vec<f64>> {
     debug_assert_eq!(g_at_rows.len(), rows.len());
+    let _probe = feir_trace::span(feir_trace::Phase::RecoveryReconstruct);
     let rhs: Vec<f64> = rows
         .iter()
         .zip(g_at_rows)
@@ -439,6 +440,7 @@ pub fn recover_direction_rows(
     d_full: &[f64],
 ) -> Option<Vec<f64>> {
     debug_assert_eq!(q_at_rows.len(), rows.len());
+    let _probe = feir_trace::span(feir_trace::Phase::RecoveryReconstruct);
     let rhs: Vec<f64> = rows
         .iter()
         .zip(q_at_rows)
@@ -465,6 +467,7 @@ pub fn lossy_interpolate_rows(
     rows: &[usize],
     x_full: &[f64],
 ) -> Option<Vec<f64>> {
+    let _probe = feir_trace::span(feir_trace::Phase::RecoveryReconstruct);
     let rhs: Vec<f64> = rows
         .iter()
         .map(|&r| {
@@ -617,6 +620,7 @@ pub fn plan_state_fixes<S: RecoverableIteration + ?Sized>(
     g: &[f64],
     x_full: &[f64],
 ) -> StatePlan {
+    let _probe = feir_trace::span(feir_trace::Phase::RecoveryPlan);
     let StateLosses {
         rec_x,
         rec_g,

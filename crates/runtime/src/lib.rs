@@ -25,8 +25,14 @@
 
 pub mod executor;
 pub mod graph;
-pub mod stats;
 pub mod task;
+
+/// Worker-state accounting now lives in [`mod@feir_trace::metrics`] — the
+/// workspace's single counter/histogram home; re-exported here so runtime
+/// consumers keep their import paths.
+pub mod stats {
+    pub use feir_trace::metrics::{StateBreakdown, StateTimes};
+}
 
 pub use executor::{Executor, RunStats};
 pub use graph::{Access, AccessMode, RegionId, TaskGraph, TaskId};

@@ -122,6 +122,7 @@ pub fn cg(a: &CsrMatrix, b: &[f64], x0: Option<&[f64]>, options: &SolveOptions) 
             iterations = t;
             break;
         }
+        let _it = feir_trace::span(feir_trace::Phase::Iteration);
         let beta = if epsilon_old.is_finite() {
             epsilon / epsilon_old
         } else {
@@ -130,7 +131,10 @@ pub fn cg(a: &CsrMatrix, b: &[f64], x0: Option<&[f64]>, options: &SolveOptions) 
         // d ⇐ β·d + g
         xpay(&g, beta, &mut d);
         // q ⇐ A·d fused with ⟨d, q⟩.
-        let dq = spmv_dot(a, &d, &mut q);
+        let dq = {
+            let _probe = feir_trace::span(feir_trace::Phase::Spmv);
+            spmv_dot(a, &d, &mut q)
+        };
         if dq == 0.0 || !dq.is_finite() {
             stop_reason = StopReason::Breakdown;
             iterations = t;

@@ -135,9 +135,13 @@ pub fn cg_merged(
             iterations = t;
             break;
         }
+        let _it = feir_trace::span(feir_trace::Phase::Iteration);
         // w ⇐ A·g fused with δ = ⟨g, w⟩; γ is carried from the previous
         // fused residual update (or the pre-loop norm).
-        let delta = spmv_dot(a, &g, &mut w);
+        let delta = {
+            let _probe = feir_trace::span(feir_trace::Phase::Spmv);
+            spmv_dot(a, &g, &mut w)
+        };
         let beta = if gamma_old.is_finite() {
             gamma / gamma_old
         } else {

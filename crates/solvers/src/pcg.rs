@@ -87,6 +87,7 @@ pub fn pcg(
             iterations = t;
             break;
         }
+        let _it = feir_trace::span(feir_trace::Phase::Iteration);
         // solve M z = g
         preconditioner.apply(&g, &mut z);
         let rho = vecops::dot(&z, &g);
@@ -103,11 +104,14 @@ pub fn pcg(
         // d ⇐ β·d + z
         vecops::xpay(&z, beta, &mut d);
         // q ⇐ A·d, fused with ⟨d, q⟩ on the serial path.
-        let dq = if options.parallel {
-            a.spmv_parallel(&d, &mut q);
-            vecops::dot(&q, &d)
-        } else {
-            fused::spmv_dot(a, &d, &mut q)
+        let dq = {
+            let _probe = feir_trace::span(feir_trace::Phase::Spmv);
+            if options.parallel {
+                a.spmv_parallel(&d, &mut q);
+                vecops::dot(&q, &d)
+            } else {
+                fused::spmv_dot(a, &d, &mut q)
+            }
         };
         if dq == 0.0 || !dq.is_finite() {
             stop_reason = StopReason::Breakdown;

@@ -1,0 +1,442 @@
+//! Cross-rank merge, Chrome trace-event export and the per-phase summary.
+//!
+//! Rank 0 collects one [`RankTrace`] per rank (its own via
+//! [`crate::drain_rank`], the workers' via the `TraceDump` wire message),
+//! wraps them in a [`SolveTrace`], and either exports Chrome trace-event
+//! JSON — loadable in `chrome://tracing` or [Perfetto](https://ui.perfetto.dev),
+//! one track (`tid`) per rank — or folds everything into a
+//! [`TraceSummary`] table.
+//!
+//! Per-process clocks are aligned on each rank's trace origin: every rank
+//! ships the unix-microsecond wall time of its monotonic origin, and the
+//! merge subtracts the minimum so all tracks share `t = 0` at the earliest
+//! origin. Within one machine (the only deployment here) wall clocks agree
+//! to well under the span durations being plotted.
+
+use crate::metrics::Histogram;
+use crate::{Event, Phase};
+
+/// One rank's drained events plus the link-layer counters that traveled
+/// with them (zero for in-process backends, which have no links).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct RankTrace {
+    /// The rank these events belong to.
+    pub rank: u32,
+    /// Unix microseconds of this process's trace origin (merge alignment).
+    pub origin_micros: u64,
+    /// Events lost to ring-buffer overflow on this rank.
+    pub dropped: u64,
+    /// Recorded events, sorted by start time.
+    pub events: Vec<Event>,
+    /// Reliability-layer data frames sent by this rank.
+    pub link_frames: u64,
+    /// Reliability-layer retransmissions performed by this rank.
+    pub link_retransmits: u64,
+    /// Chaos-injected frame faults observed on this rank's outgoing links.
+    pub link_faults: u64,
+    /// Inbound frames rejected (bad envelope / failed parse).
+    pub link_rejected: u64,
+    /// Duplicate data frames received (and suppressed) by this rank.
+    pub link_dup_received: u64,
+}
+
+/// Per-phase aggregate across every rank of a solve.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PhaseStat {
+    /// Which phase.
+    pub phase: Phase,
+    /// Number of events (spans + instants).
+    pub count: u64,
+    /// Summed span duration in nanoseconds.
+    pub total_ns: u64,
+    /// Mean span duration in nanoseconds.
+    pub mean_ns: f64,
+    /// 99th-percentile span duration in nanoseconds (log-bucket bound).
+    pub p99_ns: u64,
+}
+
+/// The per-phase totals and fault counts of one solve — what
+/// `DistSolveResult`/`DistResilientReport` carry and campaigns print.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct TraceSummary {
+    /// Phases that occurred at least once, in [`Phase::ALL`] order.
+    pub phases: Vec<PhaseStat>,
+    /// Reliability-layer retransmissions across all ranks (link counters,
+    /// falling back to retransmit trace events when no links exist).
+    pub retransmits: u64,
+    /// Chaos-injected frame faults across all ranks.
+    pub frame_faults: u64,
+    /// Elastic rejoins observed in the trace.
+    pub rejoins: u64,
+    /// Events lost to ring-buffer overflow across all ranks.
+    pub dropped_events: u64,
+}
+
+impl TraceSummary {
+    /// Total nanoseconds recorded for `phase`, 0 if it never occurred.
+    pub fn phase_total_ns(&self, phase: Phase) -> u64 {
+        self.phases
+            .iter()
+            .find(|p| p.phase == phase)
+            .map_or(0, |p| p.total_ns)
+    }
+
+    /// A plain-text table: one row per phase plus a fault-count footer.
+    pub fn table(&self) -> String {
+        let mut out = String::new();
+        out.push_str("phase                  count    total_ms    mean_us     p99_us\n");
+        for p in &self.phases {
+            out.push_str(&format!(
+                "{:<20} {:>8} {:>11.3} {:>10.2} {:>10.2}\n",
+                p.phase.name(),
+                p.count,
+                p.total_ns as f64 / 1e6,
+                p.mean_ns / 1e3,
+                p.p99_ns as f64 / 1e3,
+            ));
+        }
+        out.push_str(&format!(
+            "retransmits={} frame_faults={} rejoins={} dropped_events={}\n",
+            self.retransmits, self.frame_faults, self.rejoins, self.dropped_events
+        ));
+        out
+    }
+}
+
+/// The merged traces of one distributed solve: one [`RankTrace`] per rank.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct SolveTrace {
+    /// Per-rank streams, sorted by rank.
+    pub ranks: Vec<RankTrace>,
+}
+
+impl SolveTrace {
+    /// Wraps per-rank traces, sorting them by rank.
+    pub fn new(mut ranks: Vec<RankTrace>) -> Self {
+        ranks.sort_by_key(|r| r.rank);
+        SolveTrace { ranks }
+    }
+
+    /// True when no rank recorded any event.
+    pub fn is_empty(&self) -> bool {
+        self.ranks.iter().all(|r| r.events.is_empty())
+    }
+
+    /// The earliest origin among the ranks — the merged timeline's zero.
+    fn min_origin_micros(&self) -> u64 {
+        self.ranks
+            .iter()
+            .map(|r| r.origin_micros)
+            .min()
+            .unwrap_or(0)
+    }
+
+    /// Exports Chrome trace-event JSON: `pid` 0, one `tid` per rank,
+    /// `ph:"B"`/`ph:"E"` pairs for spans and `ph:"i"` for instants, `ts` in
+    /// microseconds on the shared clock origin. Loadable in
+    /// `chrome://tracing` and Perfetto.
+    pub fn chrome_json(&self) -> String {
+        // (ts_ns, order, name, ph, tid); `order` breaks ties at equal ts:
+        // E before i before B so adjacent spans don't read as nested, E ties
+        // close the innermost (shortest) span first, B ties open the
+        // outermost (longest) first.
+        let mut records: Vec<(u64, u64, &'static str, u8, u32)> = Vec::new();
+        const PH_B: u8 = 0;
+        const PH_E: u8 = 1;
+        const PH_I: u8 = 2;
+        let t0 = self.min_origin_micros();
+        for rank in &self.ranks {
+            let offset_ns = rank.origin_micros.saturating_sub(t0) * 1_000;
+            for e in &rank.events {
+                let start = e.start_ns + offset_ns;
+                if e.dur_ns == 0 {
+                    records.push((start, 1 << 62, e.phase.name(), PH_I, rank.rank));
+                } else {
+                    records.push((start, u64::MAX - e.dur_ns, e.phase.name(), PH_B, rank.rank));
+                    records.push((start + e.dur_ns, e.dur_ns, e.phase.name(), PH_E, rank.rank));
+                }
+            }
+        }
+        records.sort_by_key(|r| (r.4, r.0, r.1));
+        let mut out = String::with_capacity(64 + records.len() * 96);
+        out.push_str("{\"displayTimeUnit\":\"ms\",\"traceEvents\":[");
+        for (i, (ts_ns, _, name, ph, tid)) in records.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let ph_str = match *ph {
+                PH_B => "B",
+                PH_E => "E",
+                _ => "i",
+            };
+            out.push_str(&format!(
+                "\n{{\"name\":\"{}\",\"ph\":\"{}\",\"ts\":{}.{:03},\"pid\":0,\"tid\":{}",
+                name,
+                ph_str,
+                ts_ns / 1_000,
+                ts_ns % 1_000,
+                tid
+            ));
+            if *ph == PH_I {
+                out.push_str(",\"s\":\"t\"");
+            }
+            out.push('}');
+        }
+        out.push_str("\n]}\n");
+        out
+    }
+
+    /// Folds every rank's events into per-phase totals and fault counts.
+    pub fn summary(&self) -> TraceSummary {
+        let mut hists: Vec<Histogram> = (0..Phase::ALL.len()).map(|_| Histogram::new()).collect();
+        let mut instants = [0u64; 11];
+        let mut dropped = 0;
+        let mut link_retransmits = 0;
+        let mut frame_faults = 0;
+        for rank in &self.ranks {
+            dropped += rank.dropped;
+            link_retransmits += rank.link_retransmits;
+            frame_faults += rank.link_faults;
+            for e in &rank.events {
+                if e.dur_ns == 0 {
+                    instants[e.phase as usize] += 1;
+                } else {
+                    hists[e.phase as usize].observe(e.dur_ns);
+                }
+            }
+        }
+        let mut phases = Vec::new();
+        for phase in Phase::ALL {
+            let h = &hists[phase as usize];
+            let count = h.count() + instants[phase as usize];
+            if count == 0 {
+                continue;
+            }
+            phases.push(PhaseStat {
+                phase,
+                count,
+                total_ns: h.sum(),
+                mean_ns: h.mean(),
+                p99_ns: h.p99(),
+            });
+        }
+        let event_retransmits = phases
+            .iter()
+            .find(|p| p.phase == Phase::Retransmit)
+            .map_or(0, |p| p.count);
+        let rejoins = phases
+            .iter()
+            .find(|p| p.phase == Phase::Rejoin)
+            .map_or(0, |p| p.count);
+        TraceSummary {
+            phases,
+            retransmits: link_retransmits.max(event_retransmits),
+            frame_faults,
+            rejoins,
+            dropped_events: dropped,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(phase: Phase, start_ns: u64, dur_ns: u64) -> Event {
+        Event {
+            phase,
+            start_ns,
+            dur_ns,
+        }
+    }
+
+    fn rank_trace(rank: u32, origin_micros: u64, events: Vec<Event>) -> RankTrace {
+        RankTrace {
+            rank,
+            origin_micros,
+            events,
+            ..RankTrace::default()
+        }
+    }
+
+    /// Minimal structural validation of the exported JSON: balanced
+    /// braces/brackets, equal B/E counts, per-tid monotonic ts.
+    fn validate_chrome_json(json: &str) {
+        let mut depth_brace = 0i64;
+        let mut depth_bracket = 0i64;
+        let mut in_string = false;
+        let mut prev = ' ';
+        for c in json.chars() {
+            if in_string {
+                if c == '"' && prev != '\\' {
+                    in_string = false;
+                }
+            } else {
+                match c {
+                    '"' => in_string = true,
+                    '{' => depth_brace += 1,
+                    '}' => depth_brace -= 1,
+                    '[' => depth_bracket += 1,
+                    ']' => depth_bracket -= 1,
+                    _ => {}
+                }
+                assert!(depth_brace >= 0 && depth_bracket >= 0, "unbalanced");
+            }
+            prev = c;
+        }
+        assert_eq!(depth_brace, 0, "unbalanced braces");
+        assert_eq!(depth_bracket, 0, "unbalanced brackets");
+        assert!(!in_string, "unterminated string");
+        let begins = json.matches("\"ph\":\"B\"").count();
+        let ends = json.matches("\"ph\":\"E\"").count();
+        assert_eq!(begins, ends, "unmatched B/E pairs");
+        // Per-tid ts monotonicity.
+        let mut per_tid: std::collections::BTreeMap<u32, f64> = Default::default();
+        for line in json.lines().filter(|l| l.contains("\"ts\":")) {
+            let ts: f64 = line
+                .split("\"ts\":")
+                .nth(1)
+                .unwrap()
+                .split(',')
+                .next()
+                .unwrap()
+                .parse()
+                .unwrap();
+            let tid: u32 = line
+                .split("\"tid\":")
+                .nth(1)
+                .unwrap()
+                .trim_end_matches(['}', ','])
+                .split(',')
+                .next()
+                .unwrap()
+                .parse()
+                .unwrap();
+            let last = per_tid.entry(tid).or_insert(0.0);
+            assert!(ts >= *last, "ts went backwards on tid {tid}: {ts} < {last}");
+            *last = ts;
+        }
+    }
+
+    #[test]
+    fn chrome_export_is_well_formed_and_monotonic() {
+        let trace = SolveTrace::new(vec![
+            rank_trace(
+                0,
+                1_000_000,
+                vec![
+                    ev(Phase::Iteration, 0, 10_000),
+                    ev(Phase::Spmv, 1_000, 4_000),
+                    ev(Phase::Retransmit, 5_000, 0),
+                    ev(Phase::Allreduce, 6_000, 3_000),
+                ],
+            ),
+            rank_trace(
+                1,
+                1_000_500, // origin 500us later than rank 0
+                vec![ev(Phase::Iteration, 0, 9_000), ev(Phase::Halo, 500, 2_000)],
+            ),
+        ]);
+        let json = trace.chrome_json();
+        validate_chrome_json(&json);
+        assert!(json.contains("\"tid\":0"));
+        assert!(json.contains("\"tid\":1"));
+        assert!(json.contains("\"name\":\"spmv\""));
+        assert!(json.contains("\"ph\":\"i\""));
+        // Rank 1's iteration starts at its local 0ns = 500us on the merged
+        // clock (its origin is 500us after rank 0's).
+        assert!(
+            json.contains("\"name\":\"iteration\",\"ph\":\"B\",\"ts\":500.000,\"pid\":0,\"tid\":1")
+        );
+    }
+
+    #[test]
+    fn nested_spans_emit_properly_ordered_pairs() {
+        // Inner span ends exactly when outer does: the E for the inner
+        // (shorter) span must come first, and at the shared start the outer
+        // (longer) B must come first.
+        let trace = SolveTrace::new(vec![rank_trace(
+            0,
+            0,
+            vec![
+                ev(Phase::Iteration, 100, 900),
+                ev(Phase::Spmv, 100, 900 - 1),
+            ],
+        )]);
+        let json = trace.chrome_json();
+        validate_chrome_json(&json);
+        let b_iter = json.find("\"name\":\"iteration\",\"ph\":\"B\"").unwrap();
+        let b_spmv = json.find("\"name\":\"spmv\",\"ph\":\"B\"").unwrap();
+        let e_iter = json.find("\"name\":\"iteration\",\"ph\":\"E\"").unwrap();
+        let e_spmv = json.find("\"name\":\"spmv\",\"ph\":\"E\"").unwrap();
+        assert!(b_iter < b_spmv, "outer B before inner B");
+        assert!(e_spmv < e_iter, "inner E before outer E");
+    }
+
+    #[test]
+    fn merge_orders_ranks_and_aligns_origins() {
+        let trace = SolveTrace::new(vec![
+            rank_trace(3, 2_000, vec![ev(Phase::Halo, 0, 100)]),
+            rank_trace(1, 1_000, vec![ev(Phase::Halo, 0, 100)]),
+            rank_trace(0, 1_500, vec![ev(Phase::Halo, 0, 100)]),
+            rank_trace(2, 3_000, vec![ev(Phase::Halo, 0, 100)]),
+        ]);
+        assert_eq!(
+            trace.ranks.iter().map(|r| r.rank).collect::<Vec<_>>(),
+            vec![0, 1, 2, 3]
+        );
+        let json = trace.chrome_json();
+        validate_chrome_json(&json);
+        // Rank 1 has the earliest origin → its halo B sits at ts 0; rank 2 is
+        // 2000us later.
+        assert!(json.contains("\"name\":\"halo\",\"ph\":\"B\",\"ts\":0.000,\"pid\":0,\"tid\":1"));
+        assert!(json.contains("\"name\":\"halo\",\"ph\":\"B\",\"ts\":2000.000,\"pid\":0,\"tid\":2"));
+    }
+
+    #[test]
+    fn summary_totals_and_counts() {
+        let mut r0 = rank_trace(
+            0,
+            0,
+            vec![
+                ev(Phase::Iteration, 0, 1_000),
+                ev(Phase::Iteration, 1_000, 3_000),
+                ev(Phase::Retransmit, 500, 0),
+            ],
+        );
+        r0.dropped = 7;
+        r0.link_retransmits = 4;
+        r0.link_faults = 9;
+        let r1 = rank_trace(1, 0, vec![ev(Phase::Rejoin, 0, 2_000)]);
+        let summary = SolveTrace::new(vec![r0, r1]).summary();
+        assert_eq!(summary.phase_total_ns(Phase::Iteration), 4_000);
+        assert_eq!(summary.phase_total_ns(Phase::Halo), 0);
+        let iter = summary
+            .phases
+            .iter()
+            .find(|p| p.phase == Phase::Iteration)
+            .unwrap();
+        assert_eq!(iter.count, 2);
+        assert!((iter.mean_ns - 2_000.0).abs() < 1e-9);
+        // Link counter (4) beats the single retransmit instant.
+        assert_eq!(summary.retransmits, 4);
+        assert_eq!(summary.frame_faults, 9);
+        assert_eq!(summary.rejoins, 1);
+        assert_eq!(summary.dropped_events, 7);
+        let table = summary.table();
+        assert!(table.contains("iteration"));
+        assert!(table.contains("rejoin"));
+        assert!(table.contains("retransmits=4"));
+    }
+
+    #[test]
+    fn empty_trace_summary_is_default_shaped() {
+        let trace = SolveTrace::default();
+        assert!(trace.is_empty());
+        let summary = trace.summary();
+        assert!(summary.phases.is_empty());
+        assert_eq!(summary.retransmits, 0);
+        let json = trace.chrome_json();
+        validate_chrome_json(&json);
+    }
+}

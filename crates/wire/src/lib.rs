@@ -33,7 +33,9 @@ pub const MAGIC: [u8; 2] = [0xFE, 0x17];
 /// Current schema version. Bump when the payload layout of any tag changes.
 /// v2 added the `epoch` field to [`Message::Hello`] and the
 /// [`Message::RejoinBarrier`] resynchronization frame for rank elasticity.
-pub const WIRE_VERSION: u8 = 2;
+/// v3 added the `t0_micros` clock-origin field to [`Message::Hello`] and the
+/// [`Message::TraceDump`] trace-collection frame.
+pub const WIRE_VERSION: u8 = 3;
 
 /// Size of the fixed frame header in bytes.
 pub const HEADER_LEN: usize = 8;
@@ -146,11 +148,13 @@ pub enum Tag {
     RankError = 10,
     /// Mesh-wide resynchronization point after a rank rejoins.
     RejoinBarrier = 11,
+    /// Worker-to-launcher trace buffer dump (follows the final report).
+    TraceDump = 12,
 }
 
 impl Tag {
     /// All tags, for exhaustive round-trip tests.
-    pub const ALL: [Tag; 11] = [
+    pub const ALL: [Tag; 12] = [
         Tag::Hello,
         Tag::Halo,
         Tag::GatherScalar,
@@ -162,6 +166,7 @@ impl Tag {
         Tag::RankResult,
         Tag::RankError,
         Tag::RejoinBarrier,
+        Tag::TraceDump,
     ];
 
     /// Decodes a tag byte.
@@ -178,6 +183,7 @@ impl Tag {
             9 => Tag::RankResult,
             10 => Tag::RankError,
             11 => Tag::RejoinBarrier,
+            12 => Tag::TraceDump,
             other => return Err(WireError::UnknownTag(other)),
         })
     }
@@ -224,6 +230,10 @@ pub enum Message {
         /// survivor validate that the peer re-handshaking on an epoch-
         /// suffixed address really is the expected newcomer.
         epoch: u32,
+        /// Wall-clock unix microseconds of the sender's trace clock origin
+        /// (`t0`). Lets any receiver place the sender's monotonic trace
+        /// timestamps on a shared timeline; 0 when tracing is off.
+        t0_micros: u64,
     },
     /// Halo boundary values, in the column order both sides agreed on.
     Halo {
@@ -302,6 +312,24 @@ pub enum Message {
         /// The sending rank's current iteration number.
         iteration: u64,
     },
+    /// A worker's drained trace buffer, written to the launcher after the
+    /// final [`Message::RankResult`]/[`Message::RankError`] report. Events
+    /// are raw `(phase, start_ns, dur_ns)` tuples so this crate stays free
+    /// of a `feir-trace` dependency; the launcher reassembles them.
+    TraceDump {
+        /// Reporting rank.
+        rank: u32,
+        /// Unix microseconds of the worker's trace clock origin.
+        origin_micros: u64,
+        /// Events lost to ring-buffer overflow on the worker.
+        dropped: u64,
+        /// Link-layer counters summed over the worker's peers:
+        /// `[data_frames, retransmits, injected_faults, rejected,
+        /// dup_received]`.
+        link: [u64; 5],
+        /// Recorded events as `(phase_byte, start_ns, dur_ns)`.
+        events: Vec<(u8, u64, u64)>,
+    },
 }
 
 impl Message {
@@ -319,6 +347,7 @@ impl Message {
             Message::RankResult { .. } => Tag::RankResult,
             Message::RankError { .. } => Tag::RankError,
             Message::RejoinBarrier { .. } => Tag::RejoinBarrier,
+            Message::TraceDump { .. } => Tag::TraceDump,
         }
     }
 
@@ -331,10 +360,16 @@ impl Message {
         out.extend_from_slice(&[0u8; 4]); // payload length backpatched below
         let payload_at = out.len();
         match self {
-            Message::Hello { rank, ranks, epoch } => {
+            Message::Hello {
+                rank,
+                ranks,
+                epoch,
+                t0_micros,
+            } => {
                 put_u32(out, *rank);
                 put_u32(out, *ranks);
                 put_u32(out, *epoch);
+                put_u64(out, *t0_micros);
             }
             Message::Halo { values } => put_f64s(out, values),
             Message::GatherScalar { rank, value } => {
@@ -388,6 +423,26 @@ impl Message {
                 put_u32(out, *epoch);
                 put_u64(out, *iteration);
             }
+            Message::TraceDump {
+                rank,
+                origin_micros,
+                dropped,
+                link,
+                events,
+            } => {
+                put_u32(out, *rank);
+                put_u64(out, *origin_micros);
+                put_u64(out, *dropped);
+                for v in link {
+                    put_u64(out, *v);
+                }
+                put_u32(out, events.len() as u32);
+                for (phase, start_ns, dur_ns) in events {
+                    out.push(*phase);
+                    put_u64(out, *start_ns);
+                    put_u64(out, *dur_ns);
+                }
+            }
         }
         let payload_len = (out.len() - payload_at) as u32;
         assert!(payload_len <= MAX_PAYLOAD, "frame payload exceeds cap");
@@ -409,6 +464,7 @@ impl Message {
                 rank: rd.take_u32()?,
                 ranks: rd.take_u32()?,
                 epoch: rd.take_u32()?,
+                t0_micros: rd.take_u64()?,
             },
             Tag::Halo => Message::Halo {
                 values: rd.take_f64s_rest()?,
@@ -479,6 +535,30 @@ impl Message {
                 epoch: rd.take_u32()?,
                 iteration: rd.take_u64()?,
             },
+            Tag::TraceDump => {
+                let rank = rd.take_u32()?;
+                let origin_micros = rd.take_u64()?;
+                let dropped = rd.take_u64()?;
+                let mut link = [0u64; 5];
+                for v in &mut link {
+                    *v = rd.take_u64()?;
+                }
+                let count = rd.take_u32()? as usize;
+                let mut events = Vec::with_capacity(count.min(MAX_PAYLOAD as usize / 17));
+                for _ in 0..count {
+                    let phase = rd.take_u8()?;
+                    let start_ns = rd.take_u64()?;
+                    let dur_ns = rd.take_u64()?;
+                    events.push((phase, start_ns, dur_ns));
+                }
+                Message::TraceDump {
+                    rank,
+                    origin_micros,
+                    dropped,
+                    link,
+                    events,
+                }
+            }
         };
         Ok(msg)
     }
@@ -702,6 +782,7 @@ mod tests {
                 rank: 3,
                 ranks: 4,
                 epoch: 2,
+                t0_micros: 1_700_000_000_000_000,
             },
             Message::Halo {
                 values: vec![1.5, -2.25, 1.2e+05, f64::MIN_POSITIVE],
@@ -741,6 +822,13 @@ mod tests {
             Message::RejoinBarrier {
                 epoch: 3,
                 iteration: 1729,
+            },
+            Message::TraceDump {
+                rank: 1,
+                origin_micros: 1_700_000_000_000_123,
+                dropped: 5,
+                link: [400, 12, 31, 2, 9],
+                events: vec![(0, 10, 1_000), (9, 500, 0), (3, 2_000, 750)],
             },
         ]
     }
@@ -810,6 +898,7 @@ mod tests {
             rank: 0,
             ranks: 2,
             epoch: 0,
+            t0_micros: 0,
         }
         .encode();
         frame[2] = WIRE_VERSION + 1;
@@ -830,6 +919,7 @@ mod tests {
             rank: 0,
             ranks: 2,
             epoch: 0,
+            t0_micros: 0,
         }
         .encode();
 
@@ -854,6 +944,7 @@ mod tests {
             rank: 0,
             ranks: 2,
             epoch: 0,
+            t0_micros: 0,
         }
         .encode();
         frame[4..8].copy_from_slice(&(MAX_PAYLOAD + 1).to_le_bytes());

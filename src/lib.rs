@@ -52,6 +52,7 @@ pub use feir_recovery as recovery;
 pub use feir_runtime as runtime;
 pub use feir_solvers as solvers;
 pub use feir_sparse as sparse;
+pub use feir_trace as trace;
 
 /// Commonly used types, re-exported for convenience.
 pub mod prelude {

@@ -7,7 +7,7 @@ use std::hint::black_box;
 
 use feir_solvers::{cg, SolveOptions};
 use feir_sparse::generators::{manufactured_rhs, poisson_2d, poisson_3d_27pt};
-use feir_sparse::vecops;
+use feir_sparse::{vecops, SellMatrix};
 
 fn bench_spmv(c: &mut Criterion) {
     let mut group = c.benchmark_group("spmv");
@@ -29,6 +29,39 @@ fn bench_spmv(c: &mut Criterion) {
     let mut y = vec![0.0; a.rows()];
     group.bench_function("serial/27pt_16", |bench| {
         bench.iter(|| a.spmv(black_box(&x), black_box(&mut y)))
+    });
+    group.finish();
+}
+
+/// SELL-C-σ against CSR on the same operators (bitwise-identical results,
+/// different memory layout): the deltas here are what the per-matrix format
+/// analyzer trades on.
+fn bench_spmv_sell(c: &mut Criterion) {
+    let mut group = c.benchmark_group("spmv_sell");
+    group.sample_size(20);
+    for n in [32usize, 64] {
+        let a = poisson_2d(n);
+        let sell = SellMatrix::from_csr(&a).expect("SELL conversion failed");
+        let x: Vec<f64> = (0..a.cols()).map(|i| (i as f64).sin()).collect();
+        let mut y = vec![0.0; a.rows()];
+        group.bench_with_input(BenchmarkId::new("csr", a.rows()), &a, |bench, a| {
+            bench.iter(|| a.spmv(black_box(&x), black_box(&mut y)))
+        });
+        group.bench_with_input(BenchmarkId::new("sell", a.rows()), &sell, |bench, sell| {
+            bench.iter(|| sell.spmv(black_box(&x), black_box(&mut y)))
+        });
+        group.bench_with_input(
+            BenchmarkId::new("sell_rayon", a.rows()),
+            &sell,
+            |bench, sell| bench.iter(|| sell.spmv_parallel(black_box(&x), black_box(&mut y))),
+        );
+    }
+    let a = poisson_3d_27pt(16);
+    let sell = SellMatrix::from_csr(&a).expect("SELL conversion failed");
+    let x: Vec<f64> = (0..a.cols()).map(|i| (i as f64).cos()).collect();
+    let mut y = vec![0.0; a.rows()];
+    group.bench_function("sell/27pt_16", |bench| {
+        bench.iter(|| sell.spmv(black_box(&x), black_box(&mut y)))
     });
     group.finish();
 }
@@ -60,5 +93,11 @@ fn bench_cg_solve(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(kernels, bench_spmv, bench_vector_kernels, bench_cg_solve);
+criterion_group!(
+    kernels,
+    bench_spmv,
+    bench_spmv_sell,
+    bench_vector_kernels,
+    bench_cg_solve
+);
 criterion_main!(kernels);

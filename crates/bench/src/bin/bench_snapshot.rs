@@ -30,8 +30,8 @@ use feir_dist::{
 };
 use feir_recovery::RecoveryPolicy;
 use feir_solvers::{cg, cg_merged, SolveOptions};
-use feir_sparse::generators::{manufactured_rhs, poisson_2d};
-use feir_sparse::{fused, vecops};
+use feir_sparse::generators::{anisotropic_2d, manufactured_rhs, poisson_2d};
+use feir_sparse::{fused, vecops, CooMatrix, CsrMatrix, SellMatrix, ENV_SPMV_FORMAT};
 
 /// Target measurement time per benchmark.
 const TARGET_MEASURE: Duration = Duration::from_millis(250);
@@ -50,6 +50,28 @@ struct BenchRow {
 /// Per-scenario cap on the individually-timed sample pass that feeds the
 /// percentile histogram (the bulk mean loop is unbounded by this).
 const MAX_SAMPLES: u64 = 512;
+
+/// A tridiagonal matrix with every 64th row widened to `spike` extra
+/// entries: high row-length variance, the worst case for SELL padding.
+fn spiked_rows(n: usize, spike: usize) -> CsrMatrix {
+    let mut coo = CooMatrix::new(n, n);
+    for i in 0..n {
+        coo.push(i, i, 4.0).expect("in bounds");
+        if i + 1 < n {
+            coo.push(i, i + 1, -1.0).expect("in bounds");
+            coo.push(i + 1, i, -1.0).expect("in bounds");
+        }
+        if i % 64 == 0 {
+            for k in 0..spike {
+                let j = (i + 2 + k * 97) % n;
+                if j != i && j != i + 1 && (j + 1) != i {
+                    coo.push(i, j, 0.01).expect("in bounds");
+                }
+            }
+        }
+    }
+    coo.to_csr()
+}
 
 struct Harness {
     budget: Duration,
@@ -219,6 +241,63 @@ fn main() -> ExitCode {
         h.bench(&format!("spmv/parallel/{}", a.rows()), || {
             a.spmv_parallel(black_box(&x), black_box(&mut y))
         });
+    }
+
+    // PR 9: SELL-C-σ against CSR on three structure classes — the banded
+    // Poisson and convection–diffusion operators the sliced format is built
+    // for, and a high-row-variance matrix that punishes SELL padding (the
+    // case the format analyzer routes back to CSR).
+    {
+        let side = if smoke { 16 } else { 96 };
+        let scenarios: Vec<(String, CsrMatrix)> = vec![
+            (format!("poisson_{side}x{side}"), poisson_2d(side)),
+            (
+                format!("convdiff_{side}x{side}"),
+                anisotropic_2d(side, 0.05),
+            ),
+            (
+                format!("spiked_{}", side * side),
+                spiked_rows(side * side, 64),
+            ),
+        ];
+        for (name, a) in &scenarios {
+            let sell = SellMatrix::from_csr(a).expect("SELL conversion failed");
+            let x: Vec<f64> = (0..a.cols()).map(|i| (i as f64 * 0.13).sin()).collect();
+            let mut y = vec![0.0; a.rows()];
+            h.bench(&format!("spmv/csr/{name}"), || {
+                a.spmv(black_box(&x), black_box(&mut y))
+            });
+            h.bench(&format!("spmv/sell/{name}"), || {
+                sell.spmv(black_box(&x), black_box(&mut y))
+            });
+            // The fused spmv+dot is the kernel the CG iteration actually
+            // runs; SELL's lane-parallel accumulators overlap the dot chain
+            // where the CSR fold serializes on it, so this is where the
+            // sliced layout pays off on scalar hosts.
+            h.bench(&format!("spmv_dot/csr/{name}"), || {
+                black_box(fused::spmv_dot(
+                    black_box(a),
+                    black_box(&x),
+                    black_box(&mut y),
+                ))
+            });
+            h.bench(&format!("spmv_dot/sell/{name}"), || {
+                black_box(sell.spmv_dot(black_box(&x), black_box(&mut y)))
+            });
+        }
+        // End-to-end: the same CG solve with the storage format forced each
+        // way (the results are bitwise-identical; only the matvec engine —
+        // and its memory traffic — changes).
+        let a = anisotropic_2d(if smoke { 12 } else { 48 }, 0.05);
+        let (_, b) = manufactured_rhs(&a, 3);
+        let options = SolveOptions::default().with_tolerance(1e-8);
+        for format in ["csr", "sell"] {
+            std::env::set_var(ENV_SPMV_FORMAT, format);
+            h.bench(&format!("cg/{format}/convdiff_{}", a.rows()), || {
+                black_box(cg(black_box(&a), black_box(&b), None, black_box(&options)))
+            });
+        }
+        std::env::remove_var(ENV_SPMV_FORMAT);
     }
 
     let n = if smoke { 1 << 12 } else { 1 << 17 };

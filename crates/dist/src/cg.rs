@@ -6,7 +6,7 @@
 //! exactly the communication structure of the paper's MPI+OmpSs solver
 //! (Section 3.4), with channels standing in for MPI.
 
-use feir_sparse::CsrMatrix;
+use feir_sparse::{CsrMatrix, SpmvBackend};
 
 use crate::comm::{effective_ranks, CommError, HaloPlan, RankComm};
 use crate::domains::RankDomains;
@@ -239,6 +239,11 @@ pub(crate) fn rank_cg(
     let rank = comm.rank();
     let own = partition.range(rank);
     let local_n = own.len();
+    // Rank-local storage backend over the owned row block: each rank
+    // analyzes and (possibly) converts only its own rows, one-shot before
+    // the loop. The SELL kernels are bitwise-identical to CSR's, so the
+    // format never changes the solve.
+    let op = SpmvBackend::select_rows(a, own.clone());
 
     let mut x = vec![0.0; local_n];
     let mut g: Vec<f64> = b[own.clone()].to_vec(); // g = b − A·0
@@ -272,7 +277,7 @@ pub(crate) fn rank_cg(
         // (one sweep; bitwise-identical to the unfused pair).
         let dq_local = {
             let _probe = feir_trace::span(feir_trace::Phase::Spmv);
-            kernels::spmv_rows_dot(a, own.start, own.end, &d_full, &mut q)
+            op.spmv_dot(a, &d_full, &mut q)
         };
         let dq = comm.allreduce_sum(dq_local)?;
         if kernels::is_breakdown(dq) {

@@ -9,14 +9,15 @@
 //!
 //! The plain loops additionally use the fused hot-path kernels
 //! ([`feir_sparse::fused`]): `q ⇐ A·d` merged with the local `⟨d, q⟩`
-//! partial and `g ⇐ g − α·q` merged with the next `‖g‖²` partial. The
-//! resilient loop keeps the unfused sequence (its scrub points must
-//! materialise faults *between* the matvec and the reduction), which is safe
-//! because every fused kernel is bitwise-identical to the composition it
-//! replaces — asserted directly in `feir-sparse/tests/parallel_kernels.rs`
-//! and end-to-end by the plain-vs-resilient identity tests.
+//! partial (via [`feir_sparse::SpmvBackend::spmv_dot`]) and `g ⇐ g − α·q`
+//! merged with the next `‖g‖²` partial. The resilient loop keeps the unfused
+//! sequence (its scrub points must materialise faults *between* the matvec
+//! and the reduction), which is safe because every fused kernel is
+//! bitwise-identical to the composition it replaces — asserted directly in
+//! `feir-sparse/tests/parallel_kernels.rs` and end-to-end by the
+//! plain-vs-resilient identity tests.
 
-pub(crate) use feir_sparse::fused::{axpy_dot, axpy_norm2, dotn, spmv_rows_dot};
+pub(crate) use feir_sparse::fused::{axpy_dot, axpy_norm2, dotn};
 pub(crate) use feir_sparse::vecops::{axpy, dot, norm2_squared, xpay};
 
 use feir_sparse::{vecops, CsrMatrix};

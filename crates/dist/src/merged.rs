@@ -34,7 +34,7 @@
 //! [`distributed_resilient_pcg_merged`](crate::resilient::distributed_resilient_pcg_merged))
 //! reproduce these loops bit-for-bit.
 
-use feir_sparse::{CsrMatrix, LocalBlockJacobi};
+use feir_sparse::{CsrMatrix, LocalBlockJacobi, SpmvBackend};
 
 use crate::cg::{run_ranks, DistSolveResult, RankOutcome};
 use crate::comm::{CommError, RankComm};
@@ -121,6 +121,8 @@ pub(crate) fn rank_cg_merged(
     let rank = comm.rank();
     let own = partition.range(rank);
     let local_n = own.len();
+    // Rank-local storage backend over the owned row block (see rank_cg).
+    let op = SpmvBackend::select_rows(a, own.clone());
 
     let mut x = vec![0.0; local_n];
     let mut r: Vec<f64> = b[own.clone()].to_vec(); // r = b − A·0
@@ -136,7 +138,7 @@ pub(crate) fn rank_cg_merged(
     // w = A·r needs one setup halo exchange of the initial residual.
     mv_full[own.clone()].copy_from_slice(&r);
     comm.exchange_halo(&mut mv_full)?;
-    a.spmv_rows(own.start, own.end, &mv_full, &mut w);
+    op.spmv(a, &mv_full, &mut w);
     // Local partials of the first iteration's batched reduction.
     let mut partials = kernels::dotn(&[(&r, &r), (&w, &r)]);
 
@@ -154,7 +156,7 @@ pub(crate) fn rank_cg_merged(
         comm.exchange_halo(&mut mv_full)?;
         {
             let _probe = feir_trace::span(feir_trace::Phase::Spmv);
-            a.spmv_rows(own.start, own.end, &mv_full, &mut n_buf);
+            op.spmv(a, &mv_full, &mut n_buf);
         }
         let totals = pending.finish()?;
         let (gamma, delta) = (totals[0], totals[1]);
@@ -203,6 +205,8 @@ pub(crate) fn rank_pcg_merged(
     let local_n = own.len();
     let jacobi = LocalBlockJacobi::new(a, own.clone(), page_doubles, true)
         .expect("rank-local block-Jacobi construction failed");
+    // Rank-local storage backend over the owned row block (see rank_cg).
+    let op = SpmvBackend::select_rows(a, own.clone());
 
     let mut x = vec![0.0; local_n];
     let mut r: Vec<f64> = b[own.clone()].to_vec(); // r = b − A·0
@@ -221,7 +225,7 @@ pub(crate) fn rank_pcg_merged(
     jacobi.apply(&r, &mut u);
     mv_full[own.clone()].copy_from_slice(&u);
     comm.exchange_halo(&mut mv_full)?;
-    a.spmv_rows(own.start, own.end, &mv_full, &mut w);
+    op.spmv(a, &mv_full, &mut w);
     // γ = ⟨r, u⟩, δ = ⟨w, u⟩, ε = ‖r‖² — the three scalars of one batched
     // reduction (classic PCG pays three separate allreduces for these).
     let mut partials = kernels::dotn(&[(&r, &u), (&w, &u), (&r, &r)]);
@@ -241,7 +245,7 @@ pub(crate) fn rank_pcg_merged(
         comm.exchange_halo(&mut mv_full)?;
         {
             let _probe = feir_trace::span(feir_trace::Phase::Spmv);
-            a.spmv_rows(own.start, own.end, &mv_full, &mut n_buf);
+            op.spmv(a, &mv_full, &mut n_buf);
         }
         let totals = pending.finish()?;
         let (gamma, delta, eps) = (totals[0], totals[1], totals[2]);

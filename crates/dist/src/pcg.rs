@@ -14,7 +14,7 @@
 //! `tests/resilience.rs`), which keeps the two code paths honest about
 //! executing the same arithmetic in the same order.
 
-use feir_sparse::{CsrMatrix, LocalBlockJacobi};
+use feir_sparse::{CsrMatrix, LocalBlockJacobi, SpmvBackend};
 
 use crate::cg::{run_ranks, DistSolveResult, RankOutcome};
 use crate::comm::{CommError, RankComm};
@@ -69,6 +69,8 @@ pub(crate) fn rank_pcg(
     // setup work, overlapping across ranks.
     let jacobi = LocalBlockJacobi::new(a, own.clone(), page_doubles, true)
         .expect("rank-local block-Jacobi construction failed");
+    // Rank-local storage backend over the owned row block (see rank_cg).
+    let op = SpmvBackend::select_rows(a, own.clone());
 
     let mut x = vec![0.0; local_n];
     let mut g: Vec<f64> = b[own.clone()].to_vec(); // g = b − A·0
@@ -108,7 +110,7 @@ pub(crate) fn rank_pcg(
         // q ⇐ A·d over the owned rows, fused with the local ⟨d, q⟩ partial.
         let dq_local = {
             let _probe = feir_trace::span(feir_trace::Phase::Spmv);
-            kernels::spmv_rows_dot(a, own.start, own.end, &d_full, &mut q)
+            op.spmv_dot(a, &d_full, &mut q)
         };
         let dq = comm.allreduce_sum(dq_local)?;
         if kernels::is_breakdown(dq) {

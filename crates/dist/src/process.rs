@@ -88,6 +88,7 @@ use std::sync::{mpsc, Arc, Mutex};
 use std::time::{Duration, Instant};
 
 use feir_recovery::RecoveryPolicy;
+use feir_sparse::{SpmvFormat, ENV_SPMV_FORMAT};
 use feir_wire::chaos::{
     parse_envelope, ChaosLink, FaultPlan, FaultRates, LinkStats, ENVELOPE_LEN, ENV_ACK, ENV_DATA,
 };
@@ -2152,6 +2153,15 @@ fn spawn_one(
     if let Some(spin) = options.spin {
         cmd.env(ENV_SPIN_MS, spin.as_millis().to_string());
     }
+    // Forward the SpMV storage-format override explicitly (rather than by
+    // env inheritance) so every rank of a mesh solves with the same format,
+    // and validate it here: a malformed value must fail the launch, not
+    // panic inside a remote rank mid-solve.
+    if let Ok(raw) = std::env::var(ENV_SPMV_FORMAT) {
+        SpmvFormat::parse(&raw)
+            .map_err(|msg| std::io::Error::new(std::io::ErrorKind::InvalidInput, msg))?;
+        cmd.env(ENV_SPMV_FORMAT, raw);
+    }
     cmd.spawn()
 }
 
@@ -2348,6 +2358,13 @@ impl WorkerEnv {
             // 0 explicitly disables the deadline.
             (ms > 0).then(|| Duration::from_millis(ms))
         });
+        // The storage-format override is read directly by `SpmvBackend`
+        // inside the solver loops; validate it up front so a malformed value
+        // fails the worker at startup like every other env knob, instead of
+        // panicking mid-solve.
+        if let Some(raw) = env_parse_opt::<String>(ENV_SPMV_FORMAT)? {
+            SpmvFormat::parse(&raw)?;
+        }
         Ok(WorkerEnv {
             rank: env_parse(ENV_RANK)?,
             ranks: env_parse(ENV_RANKS)?,

@@ -48,7 +48,7 @@ use feir_recovery::engine::{
 };
 use feir_recovery::{RecoverableIteration, RecoveryPolicy};
 use feir_sparse::blocking::BlockPartition;
-use feir_sparse::CsrMatrix;
+use feir_sparse::{CsrMatrix, SpmvBackend};
 
 use crate::comm::{CommError, RankComm};
 use crate::kernels;
@@ -336,6 +336,11 @@ pub(crate) fn resilient_iterations<S: RecoverableIteration>(
     let preconditioned = relations.preconditioned();
     let registry = &ctx.registry;
     let pages = &ctx.pages;
+    // Rank-local storage backend (CSR or SELL-C-σ) for the forward matvec
+    // and the residual recomputations; per-page recovery matvecs build
+    // their own backend over the lost rows on demand (the analyzer's row
+    // floor keeps page-sized blocks on CSR under `auto`).
+    let op = SpmvBackend::select_rows(a, own.clone());
 
     let SolveState {
         x_full,
@@ -517,7 +522,7 @@ pub(crate) fn resilient_iterations<S: RecoverableIteration>(
         comm.exchange_halo(d_full)?;
         {
             let _probe = feir_trace::span(feir_trace::Phase::Spmv);
-            a.spmv_rows(own.start, own.end, d_full, q);
+            op.spmv(a, d_full, q);
         }
 
         // ---- q protection (FEIR/AFEIR; local recompute, r1 of Figure 1) ---
@@ -530,7 +535,7 @@ pub(crate) fn resilient_iterations<S: RecoverableIteration>(
                 for &p in &lost_q {
                     let rows = global_rows(own.start, pages, p);
                     let local = pages.range(p);
-                    a.spmv_rows(rows.start, rows.end, d_full, &mut q[local]);
+                    SpmvBackend::select_rows(a, rows).spmv(a, d_full, &mut q[local]);
                     mark_page(registry, ids::Q, p);
                 }
                 *pages_recovered += lost_q.len();
@@ -549,7 +554,7 @@ pub(crate) fn resilient_iterations<S: RecoverableIteration>(
                             .map(|&p| {
                                 let rows = global_rows(own.start, pages, p);
                                 let mut out = vec![0.0; rows.len()];
-                                a.spmv_rows(rows.start, rows.end, d_full, &mut out);
+                                SpmvBackend::select_rows(a, rows).spmv(a, d_full, &mut out);
                                 (p, out)
                             })
                             .collect::<Vec<_>>()
@@ -795,7 +800,7 @@ pub(crate) fn resilient_iterations<S: RecoverableIteration>(
                         *rollbacks += 1;
                     }
                     comm.exchange_halo(x_full)?;
-                    a.spmv_rows(own.start, own.end, x_full, g);
+                    op.spmv(a, x_full, g);
                     for (k, r) in own.clone().enumerate() {
                         g[k] = b[r] - g[k];
                     }
@@ -847,7 +852,7 @@ pub(crate) fn resilient_iterations<S: RecoverableIteration>(
                     // Restart: recompute g from the interpolated iterate and
                     // discard the Krylov space.
                     comm.exchange_halo(x_full)?;
-                    a.spmv_rows(own.start, own.end, x_full, g);
+                    op.spmv(a, x_full, g);
                     for (k, r) in own.clone().enumerate() {
                         g[k] = b[r] - g[k];
                     }

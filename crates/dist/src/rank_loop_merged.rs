@@ -45,7 +45,7 @@ use feir_recovery::engine::{
 };
 use feir_recovery::{RecoverableIteration, RecoveryPolicy};
 use feir_sparse::blocking::BlockPartition;
-use feir_sparse::CsrMatrix;
+use feir_sparse::{CsrMatrix, SpmvBackend};
 
 use crate::comm::{CommError, RankComm};
 use crate::kernels;
@@ -149,7 +149,7 @@ fn plan_window_fixes<S: RecoverableIteration>(
         });
         let rows = global_rows(own.start, pages, pg);
         let mut out = vec![0.0; rows.len()];
-        a.spmv_rows(rows.start, rows.end, view, &mut out);
+        SpmvBackend::select_rows(a, rows).spmv(a, view, &mut out);
         plan.s_fixes.push((pg, out));
     }
     // Preconditioned-residual pages: the matching r page survived — the
@@ -185,6 +185,9 @@ pub(crate) fn rank_merged_resilient_solve<S: RecoverableIteration>(
     let preconditioned = relations.preconditioned();
     let registry = &ctx.registry;
     let pages = &ctx.pages;
+    // Rank-local storage backend (CSR or SELL-C-σ) for the forward matvecs;
+    // per-page recovery matvecs build their own over the lost rows.
+    let op = SpmvBackend::select_rows(a, own.clone());
 
     // x lives inside its full-length buffer (cross-rank recovery scatters
     // fetched halo entries around the owned range); p gets one too for the
@@ -250,7 +253,7 @@ pub(crate) fn rank_merged_resilient_solve<S: RecoverableIteration>(
         mv_full[own.clone()].copy_from_slice(&r);
     }
     comm.exchange_halo(&mut mv_full)?;
-    a.spmv_rows(own.start, own.end, &mv_full, &mut w);
+    op.spmv(a, &mv_full, &mut w);
     let mut partials = if preconditioned {
         kernels::dotn(&[(&r, &u), (&w, &u), (&r, &r)])
     } else {
@@ -336,13 +339,13 @@ pub(crate) fn rank_merged_resilient_solve<S: RecoverableIteration>(
                 },
                 || {
                     let _probe = feir_trace::span(feir_trace::Phase::Spmv);
-                    a.spmv_rows(own.start, own.end, &mv_full, &mut n_buf);
+                    op.spmv(a, &mv_full, &mut n_buf);
                 },
             )
             .0
         } else {
             let _probe = feir_trace::span(feir_trace::Phase::Spmv);
-            a.spmv_rows(own.start, own.end, &mv_full, &mut n_buf);
+            op.spmv(a, &mv_full, &mut n_buf);
             WindowPlan::default()
         };
 
@@ -483,7 +486,7 @@ pub(crate) fn rank_merged_resilient_solve<S: RecoverableIteration>(
                     pages_ignored += 1;
                 } else {
                     let mut out = vec![0.0; rows.len()];
-                    a.spmv_rows(rows.start, rows.end, &p_full, &mut out);
+                    SpmvBackend::select_rows(a, rows.clone()).spmv(a, &p_full, &mut out);
                     s[pages.range(pg)].copy_from_slice(&out);
                     pages_recovered += 1;
                 }
@@ -818,10 +821,12 @@ fn rebuild_recurrence_state<S: RecoverableIteration>(
     ctx: RebuildCtx<'_, S>,
 ) -> Result<Vec<f64>, CommError> {
     let own = ctx.own.clone();
+    // Cold path (rollback/restart): the backend is rebuilt here rather than
+    // threaded through RebuildCtx — rebuilds are rare by construction.
+    let op = SpmvBackend::select_rows(ctx.a, own.clone());
     // r = b − A·x (one halo exchange of the restored iterate).
     ctx.comm.exchange_halo(ctx.x_full)?;
-    ctx.a
-        .spmv_rows(own.start, own.end, ctx.x_full, &mut ctx.r[..]);
+    op.spmv(ctx.a, ctx.x_full, &mut ctx.r[..]);
     for (k, row) in own.clone().enumerate() {
         ctx.r[k] = ctx.b[row] - ctx.r[k];
     }
@@ -840,15 +845,13 @@ fn rebuild_recurrence_state<S: RecoverableIteration>(
         ctx.mv_full[own.clone()].copy_from_slice(ctx.r);
     }
     ctx.comm.exchange_halo(ctx.mv_full)?;
-    ctx.a
-        .spmv_rows(own.start, own.end, ctx.mv_full, &mut ctx.w[..]);
+    op.spmv(ctx.a, ctx.mv_full, &mut ctx.w[..]);
     if ctx.keep_direction {
         // s = A·p, q = M⁻¹·s, z = A·q — the Krylov direction survives the
         // rollback with its matvec images rebuilt exactly.
         ctx.mv_full[own.clone()].copy_from_slice(ctx.p);
         ctx.comm.exchange_halo(ctx.mv_full)?;
-        ctx.a
-            .spmv_rows(own.start, own.end, ctx.mv_full, &mut ctx.s[..]);
+        op.spmv(ctx.a, ctx.mv_full, &mut ctx.s[..]);
         if ctx.preconditioned {
             apply(ctx.pages, ctx.s, ctx.q_aux);
             ctx.mv_full[own.clone()].copy_from_slice(ctx.q_aux);
@@ -856,8 +859,7 @@ fn rebuild_recurrence_state<S: RecoverableIteration>(
             ctx.mv_full[own.clone()].copy_from_slice(ctx.s);
         }
         ctx.comm.exchange_halo(ctx.mv_full)?;
-        ctx.a
-            .spmv_rows(own.start, own.end, ctx.mv_full, &mut ctx.z_aux[..]);
+        op.spmv(ctx.a, ctx.mv_full, &mut ctx.z_aux[..]);
     } else {
         for v in ctx.p.iter_mut() {
             *v = 0.0;

@@ -1,0 +1,118 @@
+//! Storage-format parity: the distributed solvers must produce *bitwise*
+//! identical results — solution bits, iteration count, residual history —
+//! whether their rank-local matvecs run on CSR or SELL-C-σ, at every rank
+//! count. This is the distributed end of the SELL≡CSR kernel-identity
+//! contract asserted in `feir-sparse/tests/parallel_kernels.rs`, and it is
+//! what makes `FEIR_SPMV_FORMAT` a pure performance knob.
+//!
+//! The env var is process-global, so every test serializes on one mutex and
+//! restores the previous value before releasing it. Only *valid* values are
+//! ever set (a concurrent reader landing on any of them gets bitwise-equal
+//! results by the contract under test); malformed-value handling is covered
+//! by `SpmvFormat::parse` unit tests without touching the environment.
+
+use std::sync::Mutex;
+
+use feir_dist::{
+    distributed_cg, distributed_cg_merged, distributed_pcg, distributed_pcg_merged, DistSolveResult,
+};
+use feir_sparse::generators::{anisotropic_2d, manufactured_rhs, poisson_2d};
+use feir_sparse::ENV_SPMV_FORMAT;
+
+static ENV_LOCK: Mutex<()> = Mutex::new(());
+
+/// Runs `f` with `FEIR_SPMV_FORMAT=format`, restoring the previous value.
+fn with_format<T>(format: &str, f: impl FnOnce() -> T) -> T {
+    let _guard = ENV_LOCK.lock().unwrap();
+    let previous = std::env::var(ENV_SPMV_FORMAT).ok();
+    std::env::set_var(ENV_SPMV_FORMAT, format);
+    let value = f();
+    match previous {
+        Some(prev) => std::env::set_var(ENV_SPMV_FORMAT, prev),
+        None => std::env::remove_var(ENV_SPMV_FORMAT),
+    }
+    value
+}
+
+/// Asserts two solves are indistinguishable: same iteration count, same
+/// residual history bits, same solution bits.
+fn assert_bitwise_identical(csr: &DistSolveResult, sell: &DistSolveResult, label: &str) {
+    assert_eq!(csr.iterations, sell.iterations, "{label}: iteration count");
+    assert_eq!(
+        csr.residual_history.len(),
+        sell.residual_history.len(),
+        "{label}: history length"
+    );
+    for (i, (c, s)) in csr
+        .residual_history
+        .iter()
+        .zip(&sell.residual_history)
+        .enumerate()
+    {
+        assert_eq!(
+            c.to_bits(),
+            s.to_bits(),
+            "{label}: residual history diverged at iteration {i}"
+        );
+    }
+    for (i, (c, s)) in csr.x.iter().zip(&sell.x).enumerate() {
+        assert_eq!(
+            c.to_bits(),
+            s.to_bits(),
+            "{label}: solution diverged at row {i}"
+        );
+    }
+}
+
+#[test]
+fn distributed_cg_is_bitwise_identical_across_formats_and_rank_counts() {
+    let a = poisson_2d(24); // 576 rows: above the analyzer's SELL row floor.
+    let (_, b) = manufactured_rhs(&a, 7);
+    for ranks in [1usize, 2, 4] {
+        let csr = with_format("csr", || distributed_cg(&a, &b, ranks, 1e-10, 20_000));
+        let sell = with_format("sell", || distributed_cg(&a, &b, ranks, 1e-10, 20_000));
+        assert!(csr.converged() && sell.converged(), "{ranks} ranks");
+        assert_bitwise_identical(&csr, &sell, &format!("CG at {ranks} ranks"));
+        // `auto` must agree too — whichever format it picks per rank block.
+        let auto = with_format("auto", || distributed_cg(&a, &b, ranks, 1e-10, 20_000));
+        assert_bitwise_identical(&csr, &auto, &format!("CG auto at {ranks} ranks"));
+    }
+}
+
+#[test]
+fn distributed_pcg_is_bitwise_identical_across_formats_and_rank_counts() {
+    // A banded anisotropic operator — the matrix class SELL is built for.
+    let a = anisotropic_2d(24, 0.05);
+    let (_, b) = manufactured_rhs(&a, 9);
+    for ranks in [1usize, 2, 4] {
+        let csr = with_format("csr", || distributed_pcg(&a, &b, ranks, 16, 1e-10, 20_000));
+        let sell = with_format("sell", || distributed_pcg(&a, &b, ranks, 16, 1e-10, 20_000));
+        assert!(csr.converged() && sell.converged(), "{ranks} ranks");
+        assert_bitwise_identical(&csr, &sell, &format!("PCG at {ranks} ranks"));
+    }
+}
+
+#[test]
+fn merged_solvers_are_bitwise_identical_across_formats() {
+    let a = poisson_2d(16);
+    let (_, b) = manufactured_rhs(&a, 3);
+    for ranks in [1usize, 2, 4] {
+        let csr = with_format("csr", || {
+            distributed_cg_merged(&a, &b, ranks, 1e-10, 20_000)
+        });
+        let sell = with_format("sell", || {
+            distributed_cg_merged(&a, &b, ranks, 1e-10, 20_000)
+        });
+        assert!(csr.converged() && sell.converged());
+        assert_bitwise_identical(&csr, &sell, &format!("merged CG at {ranks} ranks"));
+
+        let csr = with_format("csr", || {
+            distributed_pcg_merged(&a, &b, ranks, 16, 1e-10, 20_000)
+        });
+        let sell = with_format("sell", || {
+            distributed_pcg_merged(&a, &b, ranks, 16, 1e-10, 20_000)
+        });
+        assert!(csr.converged() && sell.converged());
+        assert_bitwise_identical(&csr, &sell, &format!("merged PCG at {ranks} ranks"));
+    }
+}

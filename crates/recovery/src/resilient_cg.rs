@@ -31,7 +31,7 @@ use std::time::Instant;
 use feir_pagemem::{AccessOutcome, PageRegistry, SkipMask, VectorId};
 use feir_solvers::history::{ConvergenceHistory, SolveOptions, StopReason};
 use feir_sparse::blocking::BlockPartition;
-use feir_sparse::{vecops, BlockJacobi, CsrMatrix};
+use feir_sparse::{vecops, BlockJacobi, CsrMatrix, SpmvBackend};
 use rayon::prelude::*;
 
 use crate::checkpoint::{CheckpointStore, CheckpointTarget};
@@ -113,6 +113,12 @@ pub struct ResilientCg<'a> {
     preconditioner: Option<BlockJacobi>,
     /// For each output page of the SpMV, the input pages its rows touch.
     touched_pages: Vec<Vec<usize>>,
+    /// Storage backend (CSR or SELL-C-σ) for the full-matrix matvecs.
+    op: SpmvBackend,
+    /// One backend per output page for the skip-masked matvec of
+    /// [`Self::phase_matvec`] — built once here so the hot per-page loop
+    /// never re-analyzes or re-converts.
+    page_ops: Vec<SpmvBackend>,
     /// Registry ids of the protected vectors (registered at construction so a
     /// fault injector can target them before the solve starts).
     ids: VectorIds,
@@ -163,6 +169,10 @@ impl<'a> ResilientCg<'a> {
         };
 
         let touched_pages = engine::compute_touched_pages(a, partition);
+        let op = SpmvBackend::select(a);
+        let page_ops = (0..partition.num_blocks())
+            .map(|p| SpmvBackend::select_rows(a, partition.range(p)))
+            .collect();
 
         // Register the protected dynamic vectors up front so fault injectors
         // attached to the registry can target them for the whole run.
@@ -201,6 +211,8 @@ impl<'a> ResilientCg<'a> {
             recovery,
             preconditioner,
             touched_pages,
+            op,
+            page_ops,
             ids,
         }
     }
@@ -582,7 +594,7 @@ impl<'a> ResilientCg<'a> {
                             action: RecoveryAction::Rollback,
                         });
                         // Recompute the residual from the restored iterate.
-                        self.a.spmv_parallel(&x, &mut g);
+                        self.op.spmv_parallel(self.a, &x, &mut g);
                         g.par_iter_mut()
                             .zip(self.b.par_iter())
                             .for_each(|(gi, bi)| *gi = bi - *gi);
@@ -644,7 +656,7 @@ impl<'a> ResilientCg<'a> {
                         });
                     }
                     // Restart: recompute g, reset the Krylov space.
-                    self.a.spmv_parallel(&x, &mut g);
+                    self.op.spmv_parallel(self.a, &x, &mut g);
                     g.par_iter_mut()
                         .zip(self.b.par_iter())
                         .for_each(|(gi, bi)| *gi = bi - *gi);
@@ -670,7 +682,7 @@ impl<'a> ResilientCg<'a> {
 
         // Final explicit residual check.
         let mut residual = vec![0.0; n];
-        self.a.spmv(&x, &mut residual);
+        self.op.spmv(self.a, &x, &mut residual);
         for (ri, bi) in residual.iter_mut().zip(self.b) {
             *ri = bi - *ri;
         }
@@ -778,8 +790,7 @@ impl<'a> ResilientCg<'a> {
                     .iter()
                     .all(|&ip| !self.page_invalid(d_cur_id, d_cur_bit, ip, skip));
                 if inputs_ok {
-                    let range = partition.range(p);
-                    self.a.spmv_rows(range.start, range.end, d_cur, out);
+                    self.page_ops[p].spmv(self.a, d_cur, out);
                     self.mark_output_valid(q_id, bits::Q, p, skip);
                 } else {
                     skip.set(p, bits::Q);

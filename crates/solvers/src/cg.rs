@@ -2,7 +2,7 @@
 
 use std::time::Instant;
 
-use feir_sparse::{fused, vecops, CsrMatrix};
+use feir_sparse::{fused, vecops, CsrMatrix, SpmvBackend};
 
 use crate::history::{ConvergenceHistory, SolveOptions, SolveResult, StopReason};
 
@@ -44,17 +44,21 @@ pub fn cg(a: &CsrMatrix, b: &[f64], x0: Option<&[f64]>, options: &SolveOptions) 
         };
     }
 
-    let spmv = |m: &CsrMatrix, v: &[f64], out: &mut [f64]| {
+    // Storage backend for every matvec of this solve: CSR or SELL-C-σ,
+    // resolved per matrix (FEIR_SPMV_FORMAT / analyzer). The SELL kernels
+    // are bitwise-identical to CSR's, so the choice never affects results.
+    let op = SpmvBackend::select(a);
+    let spmv = |v: &[f64], out: &mut [f64]| {
         if options.parallel {
-            m.spmv_parallel(v, out);
+            op.spmv_parallel(a, v, out);
         } else {
-            m.spmv(v, out);
+            op.spmv(a, v, out);
         }
     };
 
     // g = b - A x
     let mut g = vec![0.0; n];
-    spmv(a, &x, &mut g);
+    spmv(&x, &mut g);
     for (gi, bi) in g.iter_mut().zip(b) {
         *gi = bi - *gi;
     }
@@ -80,11 +84,11 @@ pub fn cg(a: &CsrMatrix, b: &[f64], x0: Option<&[f64]>, options: &SolveOptions) 
             vecops::norm2_squared(v)
         }
     };
-    let spmv_dot = |m: &CsrMatrix, v: &[f64], out: &mut [f64]| {
+    let spmv_dot = |v: &[f64], out: &mut [f64]| {
         if options.parallel {
-            fused::spmv_dot_parallel(m, v, out)
+            op.spmv_dot_parallel(a, v, out)
         } else {
-            fused::spmv_dot(m, v, out)
+            op.spmv_dot(a, v, out)
         }
     };
     let axpy = |alpha: f64, u: &[f64], v: &mut [f64]| {
@@ -133,7 +137,7 @@ pub fn cg(a: &CsrMatrix, b: &[f64], x0: Option<&[f64]>, options: &SolveOptions) 
         // q ⇐ A·d fused with ⟨d, q⟩.
         let dq = {
             let _probe = feir_trace::span(feir_trace::Phase::Spmv);
-            spmv_dot(a, &d, &mut q)
+            spmv_dot(&d, &mut q)
         };
         if dq == 0.0 || !dq.is_finite() {
             stop_reason = StopReason::Breakdown;
@@ -150,7 +154,7 @@ pub fn cg(a: &CsrMatrix, b: &[f64], x0: Option<&[f64]>, options: &SolveOptions) 
 
     // Recompute the true residual explicitly for the report.
     let mut r = vec![0.0; n];
-    spmv(a, &x, &mut r);
+    spmv(&x, &mut r);
     for (ri, bi) in r.iter_mut().zip(b) {
         *ri = bi - *ri;
     }

@@ -28,7 +28,7 @@
 
 use std::time::Instant;
 
-use feir_sparse::{fused, vecops, CsrMatrix};
+use feir_sparse::{fused, vecops, CsrMatrix, SpmvBackend};
 
 use crate::history::{ConvergenceHistory, SolveOptions, SolveResult, StopReason};
 
@@ -68,18 +68,21 @@ pub fn cg_merged(
         };
     }
 
-    let spmv = |m: &CsrMatrix, v: &[f64], out: &mut [f64]| {
+    // Storage backend for every matvec of this solve (CSR or SELL-C-σ);
+    // bitwise-identical kernels either way, see `feir_sparse::format`.
+    let op = SpmvBackend::select(a);
+    let spmv = |v: &[f64], out: &mut [f64]| {
         if options.parallel {
-            m.spmv_parallel(v, out);
+            op.spmv_parallel(a, v, out);
         } else {
-            m.spmv(v, out);
+            op.spmv(a, v, out);
         }
     };
-    let spmv_dot = |m: &CsrMatrix, v: &[f64], out: &mut [f64]| {
+    let spmv_dot = |v: &[f64], out: &mut [f64]| {
         if options.parallel {
-            fused::spmv_dot_parallel(m, v, out)
+            op.spmv_dot_parallel(a, v, out)
         } else {
-            fused::spmv_dot(m, v, out)
+            op.spmv_dot(a, v, out)
         }
     };
     let axpy = |alpha: f64, u: &[f64], v: &mut [f64]| {
@@ -106,7 +109,7 @@ pub fn cg_merged(
 
     // g = b − A x
     let mut g = vec![0.0; n];
-    spmv(a, &x, &mut g);
+    spmv(&x, &mut g);
     for (gi, bi) in g.iter_mut().zip(b) {
         *gi = bi - *gi;
     }
@@ -140,7 +143,7 @@ pub fn cg_merged(
         // fused residual update (or the pre-loop norm).
         let delta = {
             let _probe = feir_trace::span(feir_trace::Phase::Spmv);
-            spmv_dot(a, &g, &mut w)
+            spmv_dot(&g, &mut w)
         };
         let beta = if gamma_old.is_finite() {
             gamma / gamma_old
@@ -173,7 +176,7 @@ pub fn cg_merged(
 
     // Recompute the true residual explicitly for the report.
     let mut r = vec![0.0; n];
-    spmv(a, &x, &mut r);
+    spmv(&x, &mut r);
     for (ri, bi) in r.iter_mut().zip(b) {
         *ri = bi - *ri;
     }

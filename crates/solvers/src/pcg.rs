@@ -2,7 +2,7 @@
 
 use std::time::Instant;
 
-use feir_sparse::{fused, vecops, CsrMatrix};
+use feir_sparse::{fused, vecops, CsrMatrix, SpmvBackend};
 
 use crate::history::{ConvergenceHistory, SolveOptions, SolveResult, StopReason};
 use crate::preconditioner::Preconditioner;
@@ -48,16 +48,19 @@ pub fn pcg(
         };
     }
 
-    let spmv = |m: &CsrMatrix, v: &[f64], out: &mut [f64]| {
+    // Storage backend for every matvec of this solve (CSR or SELL-C-σ);
+    // bitwise-identical kernels either way, see `feir_sparse::format`.
+    let op = SpmvBackend::select(a);
+    let spmv = |v: &[f64], out: &mut [f64]| {
         if options.parallel {
-            m.spmv_parallel(v, out);
+            op.spmv_parallel(a, v, out);
         } else {
-            m.spmv(v, out);
+            op.spmv(a, v, out);
         }
     };
 
     let mut g = vec![0.0; n];
-    spmv(a, &x, &mut g);
+    spmv(&x, &mut g);
     for (gi, bi) in g.iter_mut().zip(b) {
         *gi = bi - *gi;
     }
@@ -107,10 +110,10 @@ pub fn pcg(
         let dq = {
             let _probe = feir_trace::span(feir_trace::Phase::Spmv);
             if options.parallel {
-                a.spmv_parallel(&d, &mut q);
+                op.spmv_parallel(a, &d, &mut q);
                 vecops::dot(&q, &d)
             } else {
-                fused::spmv_dot(a, &d, &mut q)
+                op.spmv_dot(a, &d, &mut q)
             }
         };
         if dq == 0.0 || !dq.is_finite() {
@@ -127,7 +130,7 @@ pub fn pcg(
     }
 
     let mut r = vec![0.0; n];
-    spmv(a, &x, &mut r);
+    spmv(&x, &mut r);
     for (ri, bi) in r.iter_mut().zip(b) {
         *ri = bi - *ri;
     }

@@ -5,10 +5,42 @@ use serde::{Deserialize, Serialize};
 
 use crate::{DenseMatrix, SparseError};
 
+/// Row tile of the SpMV sweeps: each pass touches one tile of output rows
+/// before moving on, bounding the live `y` working set to 2 KiB. The value
+/// is coordinated with the rest of the hot path — it equals the minimum
+/// parallel row chunk (so pool chunks are whole tiles), divides
+/// [`MIN_PARALLEL_SPMV_ROWS`] (16 tiles) and the reduction chunk
+/// [`crate::vecops::DOT_CHUNK`] (16 tiles), and matches the SELL sorting
+/// window [`crate::sell::SELL_SIGMA`], so every backend blocks rows on the
+/// same boundaries.
+pub(crate) const SPMV_ROW_TILE: usize = 256;
+
 /// Minimum rows per parallel SpMV chunk: rows carry several multiply-adds
 /// each, so they amortize scheduling overhead much sooner than scalar
 /// elements do.
-const MIN_SPMV_ROW_CHUNK: usize = 256;
+const MIN_SPMV_ROW_CHUNK: usize = SPMV_ROW_TILE;
+
+/// One row of the product: `Σ_c A[r,c]·x[c]` folded in stored-column order
+/// with a single accumulator. The 4-wide unroll issues exactly the same
+/// adds in exactly the same order as the plain loop — it trims loop-control
+/// overhead and exposes the gathers early, but never reassociates, so every
+/// caller keeps its bitwise contract.
+#[inline]
+pub(crate) fn row_product(cols: &[usize], vals: &[f64], x: &[f64]) -> f64 {
+    let mut acc = 0.0;
+    let mut c4 = cols.chunks_exact(4);
+    let mut v4 = vals.chunks_exact(4);
+    for (c, v) in (&mut c4).zip(&mut v4) {
+        acc += v[0] * x[c[0]];
+        acc += v[1] * x[c[1]];
+        acc += v[2] * x[c[2]];
+        acc += v[3] * x[c[3]];
+    }
+    for (c, v) in c4.remainder().iter().zip(v4.remainder()) {
+        acc += v * x[*c];
+    }
+    acc
+}
 
 /// Below this row count `spmv_parallel` runs the serial kernel: the whole
 /// product costs only a few microseconds, less than waking the workers.
@@ -201,13 +233,14 @@ impl CsrMatrix {
     pub fn spmv(&self, x: &[f64], y: &mut [f64]) {
         assert_eq!(x.len(), self.cols, "spmv: x has wrong length");
         assert_eq!(y.len(), self.rows, "spmv: y has wrong length");
-        for (r, out) in y.iter_mut().enumerate() {
-            let (cols, vals) = self.row(r);
-            let mut acc = 0.0;
-            for (c, v) in cols.iter().zip(vals) {
-                acc += v * x[*c];
+        // Tiled sweep: per-row accumulation is independent, so the tiling
+        // changes traversal locality only, never values.
+        for (t, yt) in y.chunks_mut(SPMV_ROW_TILE).enumerate() {
+            let base = t * SPMV_ROW_TILE;
+            for (i, out) in yt.iter_mut().enumerate() {
+                let (cols, vals) = self.row(base + i);
+                *out = row_product(cols, vals, x);
             }
-            *out = acc;
         }
     }
 
@@ -231,11 +264,7 @@ impl CsrMatrix {
             let base = ci * chunk;
             for (i, out) in yc.iter_mut().enumerate() {
                 let (cols, vals) = self.row(base + i);
-                let mut acc = 0.0;
-                for (c, v) in cols.iter().zip(vals) {
-                    acc += v * x[*c];
-                }
-                *out = acc;
+                *out = row_product(cols, vals, x);
             }
         });
     }
@@ -249,13 +278,12 @@ impl CsrMatrix {
         assert!(row_end <= self.rows);
         assert_eq!(x.len(), self.cols);
         assert_eq!(y.len(), row_end - row_begin);
-        for (out, r) in y.iter_mut().zip(row_begin..row_end) {
-            let (cols, vals) = self.row(r);
-            let mut acc = 0.0;
-            for (c, v) in cols.iter().zip(vals) {
-                acc += v * x[*c];
+        for (t, yt) in y.chunks_mut(SPMV_ROW_TILE).enumerate() {
+            let base = row_begin + t * SPMV_ROW_TILE;
+            for (i, out) in yt.iter_mut().enumerate() {
+                let (cols, vals) = self.row(base + i);
+                *out = row_product(cols, vals, x);
             }
-            *out = acc;
         }
     }
 

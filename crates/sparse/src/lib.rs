@@ -28,7 +28,10 @@
 //!   solvers, in serial and parallel form,
 //! * [`fused`] — fused BLAS-1/SpMV kernels (`spmv_dot`, `axpy_norm2`,
 //!   `xpay_dot`, multi-dot `dotn`) that merge an update or matvec with the
-//!   reduction consuming it, bitwise-identical to the unfused compositions.
+//!   reduction consuming it, bitwise-identical to the unfused compositions,
+//! * [`sell`] — the SELL-C-σ storage backend whose kernels are
+//!   bitwise-identical to CSR's, and [`mod@format`] — the per-matrix CSR/SELL
+//!   auto-selection ([`SpmvBackend`], `FEIR_SPMV_FORMAT`).
 
 #![warn(missing_docs)]
 
@@ -38,10 +41,12 @@ pub mod coo;
 pub mod csr;
 pub mod dense;
 pub mod error;
+pub mod format;
 pub mod fused;
 pub mod generators;
 pub mod matrixmarket;
 pub mod proxies;
+pub mod sell;
 pub mod vecops;
 
 pub use blocking::{BlockPartition, DiagonalBlocks};
@@ -50,6 +55,11 @@ pub use coo::CooMatrix;
 pub use csr::CsrMatrix;
 pub use dense::{Cholesky, DenseMatrix, Lu, Qr};
 pub use error::SparseError;
+pub use format::{
+    analyze, analyze_rows, FormatAnalysis, MatrixFormat, SparseOps, SpmvBackend, SpmvFormat,
+    ENV_SPMV_FORMAT,
+};
+pub use sell::SellMatrix;
 
 /// Number of `f64` values in one 4 KiB memory page — the granularity at which
 /// the paper's hardware error model reports Detected-and-Uncorrected Errors.

@@ -247,6 +247,140 @@ fn fused_kernels_are_bitwise_identical_to_unfused_across_thread_counts() {
     }
 }
 
+// ----- SELL-C-σ format parity (ISSUE 9) -------------------------------------
+//
+// The SELL backend promises *bitwise* identity with CSR — not just to
+// round-off — at every thread count. That promise is what lets the format
+// auto-selector flip a solve to SELL without perturbing a single output bit
+// (and what keeps the resilient engine's plain-vs-resilient identity tests
+// meaningful regardless of the storage format in use).
+
+#[test]
+fn sell_spmv_is_bitwise_identical_to_csr_across_thread_counts() {
+    use feir_sparse::SellMatrix;
+
+    let a = poisson_2d(96); // 9216 rows: above every serial gate.
+    let sell = SellMatrix::from_csr(&a).expect("conversion failed");
+    let x: Vec<f64> = (0..a.cols())
+        .map(|i| (i as f64 * 0.23).sin() * 2.0)
+        .collect();
+    let mut csr_y = vec![0.0; a.rows()];
+    a.spmv(&x, &mut csr_y);
+
+    let mut sell_y = vec![0.0; a.rows()];
+    sell.spmv(&x, &mut sell_y);
+    assert!(
+        csr_y
+            .iter()
+            .zip(&sell_y)
+            .all(|(c, s)| c.to_bits() == s.to_bits()),
+        "serial SELL spmv diverged from CSR"
+    );
+
+    for threads in [1usize, 2, 4, 8] {
+        let p = pool(threads);
+        for run in 0..3 {
+            let mut y = vec![0.0; a.rows()];
+            p.install(|| sell.spmv_parallel(&x, &mut y));
+            assert!(
+                csr_y
+                    .iter()
+                    .zip(&y)
+                    .all(|(c, s)| c.to_bits() == s.to_bits()),
+                "threads={threads} run={run}: SELL spmv_parallel diverged from CSR"
+            );
+        }
+    }
+}
+
+#[test]
+fn sell_fused_spmv_dot_is_bitwise_identical_to_csr_across_thread_counts() {
+    use feir_sparse::{fused, SellMatrix};
+
+    let a = poisson_2d(96);
+    let sell = SellMatrix::from_csr(&a).expect("conversion failed");
+    let x: Vec<f64> = (0..a.cols())
+        .map(|i| (i as f64 * 0.41).cos() * 3.0)
+        .collect();
+
+    let mut csr_y = vec![0.0; a.rows()];
+    let csr_dot = fused::spmv_rows_dot(&a, 0, a.rows(), &x, &mut csr_y);
+
+    let mut sell_y = vec![0.0; a.rows()];
+    let sell_dot = sell.spmv_dot(&x, &mut sell_y);
+    assert_eq!(sell_dot.to_bits(), csr_dot.to_bits(), "serial fused dot");
+    assert!(csr_y
+        .iter()
+        .zip(&sell_y)
+        .all(|(c, s)| c.to_bits() == s.to_bits()));
+
+    // The parallel kernels fold per DOT_CHUNK (a different — but equally
+    // deterministic — fold than the serial single-accumulator one), so the
+    // parallel reference is CSR's parallel fused kernel in the same pool.
+    for threads in [1usize, 2, 4, 8] {
+        let p = pool(threads);
+        let (y, d, ref_y, ref_d) = p.install(|| {
+            let mut y = vec![0.0; a.rows()];
+            let d = sell.spmv_dot_parallel(&x, &mut y);
+            let mut ref_y = vec![0.0; a.rows()];
+            let ref_d = fused::spmv_dot_parallel(&a, &x, &mut ref_y);
+            (y, d, ref_y, ref_d)
+        });
+        assert_eq!(
+            d.to_bits(),
+            ref_d.to_bits(),
+            "threads={threads}: SELL fused dot diverged from CSR"
+        );
+        assert!(
+            ref_y
+                .iter()
+                .zip(&y)
+                .all(|(c, s)| c.to_bits() == s.to_bits()),
+            "threads={threads}: SELL fused y diverged from CSR"
+        );
+    }
+}
+
+#[test]
+fn backend_dispatch_is_bitwise_identical_across_formats() {
+    use feir_sparse::{SpmvBackend, SpmvFormat};
+
+    let a = poisson_2d(80);
+    let x: Vec<f64> = (0..a.cols()).map(|i| (i as f64 * 0.17).sin()).collect();
+    let reference = {
+        let op = SpmvBackend::with_format(&a, SpmvFormat::Csr);
+        let mut y = vec![0.0; a.rows()];
+        let d = op.spmv_dot(&a, &x, &mut y);
+        (y, d)
+    };
+    for format in [SpmvFormat::Sell, SpmvFormat::Auto] {
+        let op = SpmvBackend::with_format(&a, format);
+        let mut y = vec![0.0; a.rows()];
+        let d = op.spmv_dot(&a, &x, &mut y);
+        assert_eq!(d.to_bits(), reference.1.to_bits(), "{format:?} fused dot");
+        assert!(
+            reference
+                .0
+                .iter()
+                .zip(&y)
+                .all(|(c, s)| c.to_bits() == s.to_bits()),
+            "{format:?}: dispatched spmv_dot diverged from CSR"
+        );
+        let p = pool(4);
+        let mut y = vec![0.0; a.rows()];
+        p.install(|| op.spmv_parallel(&a, &x, &mut y));
+        let mut csr_y = vec![0.0; a.rows()];
+        p.install(|| a.spmv_parallel(&x, &mut csr_y));
+        assert!(
+            csr_y
+                .iter()
+                .zip(&y)
+                .all(|(c, s)| c.to_bits() == s.to_bits()),
+            "{format:?}: dispatched spmv_parallel diverged from CSR"
+        );
+    }
+}
+
 #[test]
 fn dot_parallel_serial_gate_changes_scheduling_not_values() {
     // Above one DOT_CHUNK but below the parallel gate: the gated fast path

@@ -535,6 +535,57 @@ fn main() -> ExitCode {
         }
     }
 
+    // PR 10: coupled cross-rank recovery — adjacent iterate pages lost on
+    // *both* sides of a rank boundary in the same iteration, so neither
+    // rank can interpolate alone and the plain request/reply round comes
+    // back invalid. The wave collective gathers the union of lost rows and
+    // one coupled solve reconstructs both pages exactly (pages_ignored is
+    // asserted zero). The delta against dist_recovery/* above prices the
+    // impasse detection + gather wave + coupled solve + revalidation round.
+    {
+        let a = poisson_2d(16); // 256 rows → 16-row pages at page_doubles=16
+        let (_, b) = manufactured_rhs(&a, 5);
+        for ranks in [2usize, 4] {
+            let last_page_r0 = 256 / ranks / 16 - 1;
+            for (label, policy) in [
+                ("feir", RecoveryPolicy::Feir),
+                ("afeir", RecoveryPolicy::Afeir),
+            ] {
+                h.bench(
+                    &format!("dist_recovery/coupled_xrank/{label}/ranks{ranks}"),
+                    || {
+                        let config = DistResilienceConfig::for_policy(policy)
+                            .with_page_doubles(16)
+                            .with_tolerance(1e-8)
+                            .with_max_iterations(20_000)
+                            .with_scripted_faults(vec![
+                                ScriptedFault {
+                                    iteration: 3,
+                                    rank: 0,
+                                    vector: ProtectedVector::X,
+                                    page: last_page_r0,
+                                },
+                                ScriptedFault {
+                                    iteration: 3,
+                                    rank: 1,
+                                    vector: ProtectedVector::X,
+                                    page: 0,
+                                },
+                            ]);
+                        let report =
+                            distributed_resilient_cg(black_box(&a), black_box(&b), ranks, config);
+                        assert!(
+                            report.converged
+                                && report.pages_coupled == 2
+                                && report.pages_ignored == 0
+                        );
+                        black_box(report)
+                    },
+                );
+            }
+        }
+    }
+
     // PR 6: the same distributed CG over the *real* multi-process transport
     // — one OS process per rank, Unix-socket mesh, `feir-wire` frames. The
     // result is bitwise-identical to the in-process run (asserted in the

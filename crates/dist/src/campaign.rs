@@ -109,6 +109,7 @@ impl Default for FaultCampaign {
                 RecoveryPolicy::LossyRestart,
                 RecoveryPolicy::Checkpoint { interval: 50 },
                 RecoveryPolicy::Trivial,
+                RecoveryPolicy::TrivialReplace,
             ],
             rank_counts: vec![1, 2, 4],
             error_frequencies: vec![0.0, 2.0],
@@ -421,6 +422,7 @@ impl Default for NetFaultCampaign {
                 RecoveryPolicy::Feir,
                 RecoveryPolicy::Checkpoint { interval: 25 },
                 RecoveryPolicy::Trivial,
+                RecoveryPolicy::TrivialReplace,
             ],
             frame_fault_rates: vec![0.0, 0.02],
             schedules: vec![KillSchedule::None],

@@ -200,6 +200,26 @@ pub enum RecoveryMsg {
         /// than install a reconstruction built on garbage.
         valid: Vec<bool>,
     },
+    /// Coupled cross-rank recovery offer, travelling *down* the rank chain
+    /// (each rank receives from its higher-ranked halo neighbours, merges
+    /// its own offer in and forwards to its lower-ranked neighbours): the
+    /// sender's view of the lost-row union plus the surviving stencil
+    /// support the coupled solve needs from outside it.
+    CoupledGather {
+        /// `(global row, rhs value)` of lost rows in the coupled union (the
+        /// surviving residual / matvec value at each row).
+        rows: Vec<(usize, f64)>,
+        /// `(global col, value, valid)` stencil entries outside the union;
+        /// `valid == false` marks an entry its owner lost this round.
+        support: Vec<(usize, f64, bool)>,
+    },
+    /// Coupled cross-rank recovery result, travelling *up* the rank chain:
+    /// reconstructed `(global row, value)` entries for installation by the
+    /// rows' owners.
+    CoupledResult {
+        /// Reconstructed entries.
+        entries: Vec<(usize, f64)>,
+    },
 }
 
 /// Rank-ordered sum allreduce over channels.
@@ -534,6 +554,11 @@ enum Backend {
     Process(Box<ProcessLinks>),
 }
 
+/// The merged view a coupled-recovery gather wave accumulates: lost-row
+/// offers as `(global row, rhs value)` and surviving stencil entries as
+/// `(global column, value, valid)`, both sorted by their global id.
+pub type CoupledGatherView = (Vec<(usize, f64)>, Vec<(usize, f64, bool)>);
+
 /// One rank's communication endpoint.
 ///
 /// Build one per rank with [`RankComm::for_ranks`] (threads + channels) or
@@ -781,10 +806,23 @@ impl RankComm {
         data: &mut [f64],
         unserviceable: &[usize],
     ) -> Result<(usize, Vec<usize>), CommError> {
-        debug_assert!(
-            unserviceable.windows(2).all(|w| w[0] < w[1]),
-            "unserviceable indices must be sorted"
-        );
+        self.complete_recovery_exchange(requests, data, unserviceable, false)
+    }
+
+    /// Phase 1 of [`RankComm::recovery_exchange`] in isolation: post this
+    /// rank's (possibly empty) requests to every recovery peer and return
+    /// immediately, without serving incoming requests or collecting replies.
+    ///
+    /// This is the AFEIR in-window prefetch hook: a rank that already knows
+    /// its round-1 requests posts them while the fault-flag / merged-scalar
+    /// reduction is still in flight, so the peers' answers overlap the
+    /// reduction wait. The caller must later finish the round with
+    /// [`RankComm::complete_recovery_exchange`] passing `posted = true` and
+    /// the *same* request map, or the neighbourhood deadlocks.
+    pub fn post_recovery_requests(
+        &self,
+        requests: &HashMap<usize, Vec<usize>>,
+    ) -> Result<(), CommError> {
         match &self.backend {
             Backend::InProcess(links) => {
                 // A request outside the neighbourhood has no channel to travel
@@ -796,7 +834,6 @@ impl RankComm {
                         .all(|peer| links.recovery.iter().any(|(p, _, _)| p == peer)),
                     "recovery request targets a rank outside the halo neighbourhood"
                 );
-                // Phase 1: every rank posts its (possibly empty) requests.
                 for (peer, tx, _) in &links.recovery {
                     let indices = requests.get(peer).cloned().unwrap_or_default();
                     tx.send(RecoveryMsg::Request(indices)).map_err(|_| {
@@ -806,6 +843,34 @@ impl RankComm {
                         }
                     })?;
                 }
+                Ok(())
+            }
+            Backend::Process(links) => links.post_recovery_requests(requests),
+        }
+    }
+
+    /// Phases 2–3 of [`RankComm::recovery_exchange`]: serve the peers'
+    /// incoming requests from `data` and scatter their replies back into it.
+    /// When `posted` is false the requests are posted first (making the call
+    /// equivalent to [`RankComm::recovery_exchange`]); when true the caller
+    /// already posted this exact `requests` map via
+    /// [`RankComm::post_recovery_requests`].
+    pub fn complete_recovery_exchange(
+        &self,
+        requests: &HashMap<usize, Vec<usize>>,
+        data: &mut [f64],
+        unserviceable: &[usize],
+        posted: bool,
+    ) -> Result<(usize, Vec<usize>), CommError> {
+        debug_assert!(
+            unserviceable.windows(2).all(|w| w[0] < w[1]),
+            "unserviceable indices must be sorted"
+        );
+        if !posted {
+            self.post_recovery_requests(requests)?;
+        }
+        match &self.backend {
+            Backend::InProcess(links) => {
                 // Phase 2: answer each incoming request from the owned data,
                 // flagging the entries this rank cannot vouch for.
                 for (peer, tx, rx) in &links.recovery {
@@ -826,9 +891,9 @@ impl RankComm {
                                 }
                             })?;
                         }
-                        RecoveryMsg::Reply { .. } => {
+                        _ => {
                             return Err(CommError::Protocol(format!(
-                                "reply from rank {peer} before request"
+                                "unexpected message from rank {peer} before its request"
                             )))
                         }
                     }
@@ -853,9 +918,9 @@ impl RankComm {
                                 }
                             }
                         }
-                        RecoveryMsg::Request(_) => {
+                        _ => {
                             return Err(CommError::Protocol(format!(
-                                "second request from rank {peer}"
+                                "unexpected message from rank {peer} instead of its reply"
                             )))
                         }
                     }
@@ -863,9 +928,151 @@ impl RankComm {
                 invalid.sort_unstable();
                 Ok((fetched, invalid))
             }
-            Backend::Process(links) => links.recovery_exchange(requests, data, unserviceable),
+            Backend::Process(links) => {
+                links.complete_recovery_exchange(requests, data, unserviceable)
+            }
         }
     }
+
+    /// Downward wave of the coupled cross-rank recovery round: every rank
+    /// receives the [`RecoveryMsg::CoupledGather`] offers of its
+    /// *higher-ranked* halo neighbours (in ascending peer order), merges its
+    /// own offer in, forwards the merged offer to every *lower-ranked*
+    /// neighbour, and returns the merged view.
+    ///
+    /// `rows` are this rank's `(global row, rhs value)` lost-row offers and
+    /// `support` its `(global col, value, valid)` surviving stencil entries
+    /// outside the offered row set. Merging deduplicates rows by row id and
+    /// support by column id, keeping the first occurrence in
+    /// own-then-ascending-peer order; since every offerer copies a value from
+    /// its owner, duplicates are bitwise-identical and the merge is
+    /// deterministic. Both returned lists are sorted by their global id.
+    ///
+    /// Like [`RankComm::recovery_exchange`] this is a neighbourhood
+    /// collective: every rank must call it the same number of times in the
+    /// same order, passing empty offers when it has nothing to contribute.
+    pub fn coupled_gather_wave(
+        &self,
+        rows: &[(usize, f64)],
+        support: &[(usize, f64, bool)],
+    ) -> Result<CoupledGatherView, CommError> {
+        let mut rows: Vec<(usize, f64)> = rows.to_vec();
+        let mut support: Vec<(usize, f64, bool)> = support.to_vec();
+        match &self.backend {
+            Backend::InProcess(links) => {
+                // Receive the offers flowing down from every higher peer
+                // (links.recovery is sorted ascending, so this order is the
+                // same on every rank).
+                for (peer, _, rx) in &links.recovery {
+                    if *peer < self.rank {
+                        continue;
+                    }
+                    match rx.recv().map_err(|_| CommError::Disconnected {
+                        peer: Some(*peer),
+                        during: "coupled gather receive",
+                    })? {
+                        RecoveryMsg::CoupledGather {
+                            rows: peer_rows,
+                            support: peer_support,
+                        } => {
+                            rows.extend(peer_rows);
+                            support.extend(peer_support);
+                        }
+                        _ => {
+                            return Err(CommError::Protocol(format!(
+                                "unexpected message from rank {peer} during coupled gather"
+                            )))
+                        }
+                    }
+                }
+                merge_coupled_offer(&mut rows, &mut support);
+                // Forward the merged view to every lower peer.
+                for (peer, tx, _) in &links.recovery {
+                    if *peer > self.rank {
+                        continue;
+                    }
+                    tx.send(RecoveryMsg::CoupledGather {
+                        rows: rows.clone(),
+                        support: support.clone(),
+                    })
+                    .map_err(|_| CommError::Disconnected {
+                        peer: Some(*peer),
+                        during: "coupled gather send",
+                    })?;
+                }
+                Ok((rows, support))
+            }
+            Backend::Process(links) => links.coupled_gather_wave(rows, support),
+        }
+    }
+
+    /// Upward wave closing the coupled cross-rank recovery round: every rank
+    /// receives the [`RecoveryMsg::CoupledResult`] entries of its
+    /// *lower-ranked* halo neighbours (in ascending peer order), merges its
+    /// own solved entries in, relays the merged set to every *higher-ranked*
+    /// neighbour, and returns the merged `(global row, value)` list sorted by
+    /// row. The caller installs the rows it owns (or needs as halo input)
+    /// from the returned set.
+    ///
+    /// Deduplication keeps the first occurrence in own-then-ascending-peer
+    /// order; a row is only ever solved by the lowest rank owning part of
+    /// its component, so duplicates are relays of the same solution and the
+    /// merge is deterministic. A neighbourhood collective with the same
+    /// call-discipline as [`RankComm::coupled_gather_wave`].
+    pub fn coupled_result_wave(
+        &self,
+        entries: &[(usize, f64)],
+    ) -> Result<Vec<(usize, f64)>, CommError> {
+        let mut entries: Vec<(usize, f64)> = entries.to_vec();
+        match &self.backend {
+            Backend::InProcess(links) => {
+                for (peer, _, rx) in &links.recovery {
+                    if *peer > self.rank {
+                        continue;
+                    }
+                    match rx.recv().map_err(|_| CommError::Disconnected {
+                        peer: Some(*peer),
+                        during: "coupled result receive",
+                    })? {
+                        RecoveryMsg::CoupledResult {
+                            entries: peer_entries,
+                        } => entries.extend(peer_entries),
+                        _ => {
+                            return Err(CommError::Protocol(format!(
+                                "unexpected message from rank {peer} during coupled result"
+                            )))
+                        }
+                    }
+                }
+                entries.sort_by_key(|&(row, _)| row);
+                entries.dedup_by_key(|&mut (row, _)| row);
+                for (peer, tx, _) in &links.recovery {
+                    if *peer < self.rank {
+                        continue;
+                    }
+                    tx.send(RecoveryMsg::CoupledResult {
+                        entries: entries.clone(),
+                    })
+                    .map_err(|_| CommError::Disconnected {
+                        peer: Some(*peer),
+                        during: "coupled result send",
+                    })?;
+                }
+                Ok(entries)
+            }
+            Backend::Process(links) => links.coupled_result_wave(entries),
+        }
+    }
+}
+
+/// Sorts and deduplicates a merged coupled offer in place. Rust's sort is
+/// stable, so after a stable sort by global id `dedup` keeps the first
+/// occurrence in the pre-sort (own-then-ascending-peer) order.
+fn merge_coupled_offer(rows: &mut Vec<(usize, f64)>, support: &mut Vec<(usize, f64, bool)>) {
+    rows.sort_by_key(|&(row, _)| row);
+    rows.dedup_by_key(|&mut (row, _)| row);
+    support.sort_by_key(|&(col, _, _)| col);
+    support.dedup_by_key(|&mut (col, _, _)| col);
 }
 
 /// An in-flight split-phase allreduce on a [`RankComm`] (see

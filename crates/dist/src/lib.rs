@@ -53,6 +53,7 @@
 pub mod campaign;
 pub mod cg;
 pub mod comm;
+mod coupled;
 pub mod domains;
 mod elastic;
 mod kernels;

@@ -121,6 +121,9 @@ impl ScalingModel {
             RecoveryPolicy::LossyRestart => self.lossy_iteration_overhead,
             RecoveryPolicy::Checkpoint { .. } => self.checkpoint_iteration_overhead,
             RecoveryPolicy::Trivial => self.trivial_iteration_overhead,
+            // Same fault-free cost as Trivial: the rebuild only runs on an
+            // actual loss.
+            RecoveryPolicy::TrivialReplace => self.trivial_iteration_overhead,
         }
     }
 
@@ -133,6 +136,11 @@ impl ScalingModel {
             RecoveryPolicy::LossyRestart => self.lossy_error_cost,
             RecoveryPolicy::Checkpoint { .. } => self.checkpoint_error_cost,
             RecoveryPolicy::Trivial => self.trivial_error_cost,
+            // Blank-accept loses more information than Lossy's interpolation
+            // but the rebuild restores convergence, unlike plain Trivial.
+            RecoveryPolicy::TrivialReplace => {
+                0.5 * (self.lossy_error_cost + self.trivial_error_cost)
+            }
         }
     }
 
@@ -145,6 +153,8 @@ impl ScalingModel {
             RecoveryPolicy::LossyRestart => self.lossy_error_scale_exponent,
             RecoveryPolicy::Checkpoint { .. } => self.checkpoint_error_scale_exponent,
             RecoveryPolicy::Trivial => self.trivial_error_scale_exponent,
+            // Restart-like global rebuild: scales like Lossy Restart.
+            RecoveryPolicy::TrivialReplace => self.lossy_error_scale_exponent,
         }
     }
 

@@ -1529,16 +1529,13 @@ impl ProcessLinks {
         }
     }
 
-    /// The three-phase recovery neighbourhood collective, frame-for-frame
-    /// the in-process protocol: post requests, answer requests, scatter
-    /// replies. Per-link FIFO ordering guarantees a request is always read
-    /// before the same peer's reply.
-    pub(crate) fn recovery_exchange(
+    /// Phase 1 of the recovery neighbourhood collective in isolation (the
+    /// AFEIR in-window prefetch hook; see
+    /// [`crate::comm::RankComm::post_recovery_requests`]).
+    pub(crate) fn post_recovery_requests(
         &self,
         requests: &HashMap<usize, Vec<usize>>,
-        data: &mut [f64],
-        unserviceable: &[usize],
-    ) -> Result<(usize, Vec<usize>), CommError> {
+    ) -> Result<(), CommError> {
         assert!(
             requests.keys().all(|p| self.recovery_peers.contains(p)),
             "recovery request targets a rank outside the halo neighbourhood"
@@ -1554,6 +1551,21 @@ impl ProcessLinks {
                 "recovery request",
             )?;
         }
+        Ok(())
+    }
+
+    /// Phases 2–3 of the recovery neighbourhood collective, frame-for-frame
+    /// the in-process protocol: answer incoming requests, scatter replies.
+    /// The caller's own requests must already be on the wire (the comm layer
+    /// posts them via [`ProcessLinks::post_recovery_requests`] unless the
+    /// AFEIR window prefetched them). The tag-aware inbox guarantees a
+    /// request is always read before the same peer's reply.
+    pub(crate) fn complete_recovery_exchange(
+        &self,
+        requests: &HashMap<usize, Vec<usize>>,
+        data: &mut [f64],
+        unserviceable: &[usize],
+    ) -> Result<(usize, Vec<usize>), CommError> {
         for peer in &self.recovery_peers {
             match self
                 .endpoint
@@ -1611,6 +1623,122 @@ impl ProcessLinks {
         invalid.sort_unstable();
         Ok((fetched, invalid))
     }
+
+    /// Downward coupled-recovery wave over the wire (see
+    /// [`crate::comm::RankComm::coupled_gather_wave`]): receive the merged
+    /// offers of every higher-ranked peer, merge this rank's own offer in,
+    /// forward downward, return the merged view.
+    pub(crate) fn coupled_gather_wave(
+        &self,
+        mut rows: Vec<(usize, f64)>,
+        mut support: Vec<(usize, f64, bool)>,
+    ) -> Result<crate::comm::CoupledGatherView, CommError> {
+        let rank = self.endpoint.rank();
+        for peer in &self.recovery_peers {
+            if *peer < rank {
+                continue;
+            }
+            match self
+                .endpoint
+                .recv(*peer, Tag::CoupledGather, "coupled gather receive")?
+            {
+                Message::CoupledGather {
+                    rows: peer_rows,
+                    values,
+                    support_cols,
+                    support_values,
+                    support_valid,
+                } => {
+                    if peer_rows.len() != values.len()
+                        || support_cols.len() != support_values.len()
+                        || support_cols.len() != support_valid.len()
+                    {
+                        return Err(CommError::Protocol(format!(
+                            "coupled gather from rank {peer}: mismatched array lengths"
+                        )));
+                    }
+                    rows.extend(peer_rows.into_iter().map(|r| r as usize).zip(values));
+                    support.extend(
+                        support_cols
+                            .into_iter()
+                            .map(|c| c as usize)
+                            .zip(support_values)
+                            .zip(support_valid)
+                            .map(|((c, v), ok)| (c, v, ok)),
+                    );
+                }
+                _ => unreachable!("recv() returns the requested tag"),
+            }
+        }
+        rows.sort_by_key(|&(row, _)| row);
+        rows.dedup_by_key(|&mut (row, _)| row);
+        support.sort_by_key(|&(col, _, _)| col);
+        support.dedup_by_key(|&mut (col, _, _)| col);
+        for peer in &self.recovery_peers {
+            if *peer > rank {
+                continue;
+            }
+            self.endpoint.send(
+                *peer,
+                &Message::CoupledGather {
+                    rows: rows.iter().map(|&(r, _)| r as u64).collect(),
+                    values: rows.iter().map(|&(_, v)| v).collect(),
+                    support_cols: support.iter().map(|&(c, _, _)| c as u64).collect(),
+                    support_values: support.iter().map(|&(_, v, _)| v).collect(),
+                    support_valid: support.iter().map(|&(_, _, ok)| ok).collect(),
+                },
+                "coupled gather send",
+            )?;
+        }
+        Ok((rows, support))
+    }
+
+    /// Upward coupled-recovery wave over the wire (see
+    /// [`crate::comm::RankComm::coupled_result_wave`]): receive the solved
+    /// entries of every lower-ranked peer, merge, relay upward.
+    pub(crate) fn coupled_result_wave(
+        &self,
+        mut entries: Vec<(usize, f64)>,
+    ) -> Result<Vec<(usize, f64)>, CommError> {
+        let rank = self.endpoint.rank();
+        for peer in &self.recovery_peers {
+            if *peer > rank {
+                continue;
+            }
+            match self
+                .endpoint
+                .recv(*peer, Tag::CoupledResult, "coupled result receive")?
+            {
+                Message::CoupledResult { rows, values } => {
+                    if rows.len() != values.len() {
+                        return Err(CommError::Protocol(format!(
+                            "coupled result from rank {peer}: {} rows for {} values",
+                            rows.len(),
+                            values.len()
+                        )));
+                    }
+                    entries.extend(rows.into_iter().map(|r| r as usize).zip(values));
+                }
+                _ => unreachable!("recv() returns the requested tag"),
+            }
+        }
+        entries.sort_by_key(|&(row, _)| row);
+        entries.dedup_by_key(|&mut (row, _)| row);
+        for peer in &self.recovery_peers {
+            if *peer < rank {
+                continue;
+            }
+            self.endpoint.send(
+                *peer,
+                &Message::CoupledResult {
+                    rows: entries.iter().map(|&(r, _)| r as u64).collect(),
+                    values: entries.iter().map(|&(_, v)| v).collect(),
+                },
+                "coupled result send",
+            )?;
+        }
+        Ok(entries)
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -1656,6 +1784,7 @@ fn policy_str(policy: RecoveryPolicy) -> String {
     match policy {
         RecoveryPolicy::Ideal => "ideal".into(),
         RecoveryPolicy::Trivial => "trivial".into(),
+        RecoveryPolicy::TrivialReplace => "trivial-replace".into(),
         RecoveryPolicy::Checkpoint { interval } => format!("checkpoint:{interval}"),
         RecoveryPolicy::LossyRestart => "lossy".into(),
         RecoveryPolicy::Feir => "feir".into(),
@@ -1667,6 +1796,7 @@ fn parse_policy(s: &str) -> Option<RecoveryPolicy> {
     Some(match s {
         "ideal" => RecoveryPolicy::Ideal,
         "trivial" => RecoveryPolicy::Trivial,
+        "trivial-replace" => RecoveryPolicy::TrivialReplace,
         "lossy" => RecoveryPolicy::LossyRestart,
         "feir" => RecoveryPolicy::Feir,
         "afeir" => RecoveryPolicy::Afeir,

@@ -95,6 +95,9 @@ pub(crate) struct RankOutcome {
     pub history: Vec<f64>,
     pub pages_recovered: usize,
     pub pages_ignored: usize,
+    /// Subset of `pages_recovered` reconstructed by the cross-rank coupled
+    /// exchange (losses spanning a rank boundary, solved as one union).
+    pub pages_coupled: usize,
     pub cross_rank_values: usize,
     pub rollbacks: usize,
     pub restarts: usize,
@@ -137,6 +140,9 @@ pub(crate) fn remote_stencil_requests(
 pub(crate) struct InstallCounters {
     pub(crate) recovered: usize,
     pub(crate) ignored: usize,
+    /// Pages the cross-rank coupled exchange reconstructed (counted into
+    /// `recovered` as well).
+    pub(crate) coupled: usize,
 }
 
 /// Installs a planned iterate/residual reconstruction into the live vectors
@@ -155,6 +161,14 @@ pub(crate) fn install_state_plan(
     counters: &mut InstallCounters,
 ) {
     let _probe = feir_trace::span(feir_trace::Phase::RecoveryInstall);
+    // Pages the coupled cross-rank exchange repaired carry installed exact
+    // values already; here they only need their page-state cleared and the
+    // recovery credited.
+    for &p in &plan.cross_rank {
+        mark_page(registry, ids::X, p);
+    }
+    counters.recovered += plan.cross_rank.len();
+    counters.coupled += plan.cross_rank.len();
     match &plan.x_values {
         Some(values) => {
             for (&r, v) in plan.x_rows.iter().zip(values) {
@@ -224,6 +238,7 @@ pub(crate) struct SolveState {
     pub history: Vec<f64>,
     pub pages_recovered: usize,
     pub pages_ignored: usize,
+    pub pages_coupled: usize,
     pub cross_rank_values: usize,
     pub rollbacks: usize,
     pub restarts: usize,
@@ -300,10 +315,71 @@ pub(crate) fn alloc_state(ctx: &RankCtx<'_>) -> SolveState {
         history: Vec::new(),
         pages_recovered: 0,
         pages_ignored: 0,
+        pages_coupled: 0,
         cross_rank_values: 0,
         rollbacks: 0,
         restarts: 0,
     }
+}
+
+/// One coupled cross-rank recovery round plus the re-validation exchange
+/// that follows it: the candidates' union is gathered, solved and installed
+/// (see [`crate::coupled`]), then every fetched index round 1 flagged
+/// invalid is re-requested once — its owner may just have received an exact
+/// coupled reconstruction for it, in which case the refreshed value and
+/// verdict keep the local planner from abandoning a now-solvable page. A
+/// neighbourhood collective like its two halves; every rank calls it once
+/// per faulty iteration.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn coupled_round<F>(
+    comm: &RankComm,
+    a: &CsrMatrix,
+    pages: &BlockPartition,
+    own: &Range<usize>,
+    rec: &[usize],
+    lost: &[usize],
+    own_blank: &[usize],
+    requests: &HashMap<usize, Vec<usize>>,
+    invalid_fetched: &[usize],
+    rhs_local: &[f64],
+    target_full: &mut [f64],
+    solve: F,
+) -> Result<(crate::coupled::CoupledOutcome, Vec<usize>, usize), CommError>
+where
+    F: Fn(&[usize], &[f64], &[f64]) -> Option<Vec<f64>>,
+{
+    let outcome = crate::coupled::coupled_cross_rank_recovery(
+        comm,
+        a,
+        pages,
+        own,
+        rec,
+        own_blank,
+        invalid_fetched,
+        rhs_local,
+        target_full,
+        solve,
+    )?;
+    let mut revalidate: HashMap<usize, Vec<usize>> = HashMap::new();
+    for (peer, indices) in requests {
+        let still: Vec<usize> = indices
+            .iter()
+            .copied()
+            .filter(|i| invalid_fetched.binary_search(i).is_ok())
+            .collect();
+        if !still.is_empty() {
+            revalidate.insert(*peer, still);
+        }
+    }
+    // Rows of pages the coupled round did not repair are still blank here
+    // (local planning happens after this), so they stay unserviceable.
+    let unserviceable: Vec<usize> = lost
+        .iter()
+        .filter(|p| outcome.recovered_pages.binary_search(p).is_err())
+        .flat_map(|&p| global_rows(own.start, pages, p))
+        .collect();
+    let (fetched, invalid) = comm.recovery_exchange(&revalidate, target_full, &unserviceable)?;
+    Ok((outcome, invalid, fetched))
 }
 
 /// The two opening collectives of the solve: ‖b‖ and the initial ε.
@@ -358,6 +434,7 @@ pub(crate) fn resilient_iterations<S: RecoverableIteration>(
         history,
         pages_recovered,
         pages_ignored,
+        pages_coupled,
         cross_rank_values,
         rollbacks,
         restarts,
@@ -603,22 +680,21 @@ pub(crate) fn resilient_iterations<S: RecoverableIteration>(
             RecoveryPolicy::Feir | RecoveryPolicy::Afeir => {
                 let lost_x = scrub_blank(registry, ids::X, pages, &mut x_full[own.clone()]);
                 let lost_g = scrub_blank(registry, ids::G, pages, g);
-                let faulty = comm.fault_flag(lost_x.len() + lost_g.len())?;
-                *rho_old = rho;
-                if !faulty {
-                    *eps = comm.allreduce_sum(kernels::norm2_squared(g))?;
-                    *t += 1;
-                    continue;
-                }
-                // Cross-rank round: fetch the remote stencil entries of
-                // every lost row (x is never exchanged by CG, so this is
-                // the only way to evaluate the off-diagonal terms).
+                // Cross-rank round request set: the remote stencil entries
+                // of every lost row (x is never exchanged by CG, so this is
+                // the only way to evaluate the off-diagonal terms). Computed
+                // before the fault flag so the AFEIR path can post it inside
+                // the flag's own reduction window.
                 let lost_rows: Vec<usize> = lost_x
                     .iter()
                     .chain(&lost_g)
                     .flat_map(|&p| global_rows(own.start, pages, p))
                     .collect();
-                let requests = remote_stencil_requests(a, &ctx.partition, ctx.rank, &lost_rows);
+                let requests = if lost_rows.is_empty() {
+                    HashMap::new()
+                } else {
+                    remote_stencil_requests(a, &ctx.partition, ctx.rank, &lost_rows)
+                };
                 // This rank's own scrubbed x rows are post-blank garbage: a
                 // neighbour recovering at the same time must not treat them
                 // as authoritative, so they travel as the unserviceable set.
@@ -626,59 +702,78 @@ pub(crate) fn resilient_iterations<S: RecoverableIteration>(
                     .iter()
                     .flat_map(|&p| global_rows(own.start, pages, p))
                     .collect();
+                // In-window AFEIR: a rank that already knows it lost pages
+                // posts its round-1 recovery requests while the global fault
+                // flag is still in flight, so the peers' replies overlap the
+                // reduction wait. A local loss forces the flag true, so a
+                // posted request is always consumed; the fault-free path
+                // posts nothing and performs the identical scalar collective.
+                let posted = ctx.policy == RecoveryPolicy::Afeir && !lost_rows.is_empty();
+                let faulty = if ctx.policy == RecoveryPolicy::Afeir {
+                    let pending = comm.start_allreduce((lost_x.len() + lost_g.len()) as f64)?;
+                    if posted {
+                        comm.post_recovery_requests(&requests)?;
+                    }
+                    pending.finish()? > 0.0
+                } else {
+                    comm.fault_flag(lost_x.len() + lost_g.len())?
+                };
+                *rho_old = rho;
+                if !faulty {
+                    *eps = comm.allreduce_sum(kernels::norm2_squared(g))?;
+                    *t += 1;
+                    continue;
+                }
                 let (fetched, invalid_fetched) =
-                    comm.recovery_exchange(&requests, x_full, &own_blank_x)?;
+                    comm.complete_recovery_exchange(&requests, x_full, &own_blank_x, posted)?;
                 *cross_rank_values += fetched;
                 // Pages lost in both x and g are the unrecoverable
                 // related-loss case: blank-accepted. Remote entries the
-                // owner flagged invalid join the same set — reconstructing
-                // from a simultaneously faulted neighbour's blanks would
-                // install garbage while reporting an exact recovery.
+                // owner flagged invalid would poison a purely local solve —
+                // but before giving up on them, the coupled cross-rank round
+                // below tries to solve the boundary-spanning union exactly.
                 let (rec_x, rec_g, conflicted) = split_related(&lost_x, &lost_g);
-                let mut blank_x: Vec<usize> = conflicted
-                    .iter()
-                    .flat_map(|&p| global_rows(own.start, pages, p))
-                    .chain(invalid_fetched.iter().copied())
-                    .collect();
-                blank_x.sort_unstable();
-                blank_x.dedup();
                 let mut counters = InstallCounters::default();
-                if ctx.policy == RecoveryPolicy::Feir {
-                    // Critical path: reconstruct, install, reduce over the
-                    // repaired residual.
-                    let plan = plan_state_fixes(
-                        relations,
-                        a,
-                        pages,
-                        own.start,
-                        StateLosses {
-                            rec_x: &rec_x,
-                            rec_g: &rec_g,
-                            blank_x: &blank_x,
-                        },
-                        g,
-                        x_full,
-                    );
-                    install_state_plan(
-                        &plan,
-                        pages,
-                        registry,
-                        &conflicted,
-                        x_full,
-                        g,
-                        &mut counters,
-                    );
-                    *eps = comm.allreduce_sum(kernels::norm2_squared(g))?;
-                } else if lost_g.is_empty() {
+                let reconstruct = |rows: &[usize], rhs: &[f64], view: &[f64]| -> Option<Vec<f64>> {
+                    relations.reconstruct_iterate(rows, rhs, view)
+                };
+                let blanks_from = |invalid2: Vec<usize>| -> Vec<usize> {
+                    let mut blank_x: Vec<usize> = conflicted
+                        .iter()
+                        .flat_map(|&p| global_rows(own.start, pages, p))
+                        .chain(invalid2)
+                        .collect();
+                    blank_x.sort_unstable();
+                    blank_x.dedup();
+                    blank_x
+                };
+                if ctx.policy == RecoveryPolicy::Afeir && lost_g.is_empty() {
                     // AFEIR with only iterate losses: ε does not depend on x,
                     // so the local partial is final immediately and the
-                    // *entire* coupled reconstruction overlaps the reduction
+                    // *entire* reconstruction — coupled waves, re-validation,
+                    // planning and installation — overlaps the reduction
                     // wait through the split-phase allreduce.
                     let mut sum = 0.0;
                     for p in 0..pages.num_blocks() {
                         sum += kernels::norm2_squared(&g[pages.range(p)]);
                     }
                     let pending = comm.start_allreduce(sum)?;
+                    let (coupled, invalid2, fetched2) = coupled_round(
+                        comm,
+                        a,
+                        pages,
+                        &own,
+                        &rec_x,
+                        &lost_x,
+                        &own_blank_x,
+                        &requests,
+                        &invalid_fetched,
+                        g,
+                        x_full,
+                        reconstruct,
+                    )?;
+                    *cross_rank_values += fetched2 + coupled.values_gathered;
+                    let blank_x = blanks_from(invalid2);
                     let plan = plan_state_fixes(
                         relations,
                         a,
@@ -688,6 +783,7 @@ pub(crate) fn resilient_iterations<S: RecoverableIteration>(
                             rec_x: &rec_x,
                             rec_g: &rec_g,
                             blank_x: &blank_x,
+                            cross_rank: &coupled.recovered_pages,
                         },
                         g,
                         x_full,
@@ -703,60 +799,111 @@ pub(crate) fn resilient_iterations<S: RecoverableIteration>(
                     );
                     *eps = pending.finish()?;
                 } else {
-                    // AFEIR with residual losses: plan beside the partial ε
-                    // reduction, patch the recovered pages' contributions
-                    // from the planned values, then install during the
-                    // reduction wait.
-                    let (plan, partial) = overlap(
-                        true,
-                        || {
-                            plan_state_fixes(
-                                relations,
-                                a,
-                                pages,
-                                own.start,
-                                StateLosses {
-                                    rec_x: &rec_x,
-                                    rec_g: &rec_g,
-                                    blank_x: &blank_x,
-                                },
-                                g,
-                                x_full,
-                            )
-                        },
-                        || {
-                            let mut sum = 0.0;
-                            for p in 0..pages.num_blocks() {
-                                if !lost_g.contains(&p) {
-                                    sum += kernels::norm2_squared(&g[pages.range(p)]);
-                                }
-                            }
-                            sum
-                        },
-                    );
-                    let mut sum = partial;
-                    for &p in &lost_g {
-                        // Conflicted and abandoned pages stay blank and
-                        // contribute an exact zero, which adding would not
-                        // change the bits of a non-negative partial sum.
-                        if let Some((_, values)) = plan.g_fixes.iter().find(|(fp, _)| *fp == p) {
-                            sum += kernels::norm2_squared(values);
-                        }
-                    }
-                    let pending = comm.start_allreduce(sum)?;
-                    install_state_plan(
-                        &plan,
+                    // Coupled cross-rank round in the critical path (FEIR)
+                    // or ahead of the overlapped planning (AFEIR with
+                    // residual losses, whose ε needs the repaired g first).
+                    let (coupled, invalid2, fetched2) = coupled_round(
+                        comm,
+                        a,
                         pages,
-                        registry,
-                        &conflicted,
-                        x_full,
+                        &own,
+                        &rec_x,
+                        &lost_x,
+                        &own_blank_x,
+                        &requests,
+                        &invalid_fetched,
                         g,
-                        &mut counters,
-                    );
-                    *eps = pending.finish()?;
+                        x_full,
+                        reconstruct,
+                    )?;
+                    *cross_rank_values += fetched2 + coupled.values_gathered;
+                    let blank_x = blanks_from(invalid2);
+                    if ctx.policy == RecoveryPolicy::Feir {
+                        // Critical path: reconstruct, install, reduce over
+                        // the repaired residual.
+                        let plan = plan_state_fixes(
+                            relations,
+                            a,
+                            pages,
+                            own.start,
+                            StateLosses {
+                                rec_x: &rec_x,
+                                rec_g: &rec_g,
+                                blank_x: &blank_x,
+                                cross_rank: &coupled.recovered_pages,
+                            },
+                            g,
+                            x_full,
+                        );
+                        install_state_plan(
+                            &plan,
+                            pages,
+                            registry,
+                            &conflicted,
+                            x_full,
+                            g,
+                            &mut counters,
+                        );
+                        *eps = comm.allreduce_sum(kernels::norm2_squared(g))?;
+                    } else {
+                        // AFEIR with residual losses: plan beside the partial
+                        // ε reduction, patch the recovered pages'
+                        // contributions from the planned values, then install
+                        // during the reduction wait.
+                        let (plan, partial) = overlap(
+                            true,
+                            || {
+                                plan_state_fixes(
+                                    relations,
+                                    a,
+                                    pages,
+                                    own.start,
+                                    StateLosses {
+                                        rec_x: &rec_x,
+                                        rec_g: &rec_g,
+                                        blank_x: &blank_x,
+                                        cross_rank: &coupled.recovered_pages,
+                                    },
+                                    g,
+                                    x_full,
+                                )
+                            },
+                            || {
+                                let mut sum = 0.0;
+                                for p in 0..pages.num_blocks() {
+                                    if !lost_g.contains(&p) {
+                                        sum += kernels::norm2_squared(&g[pages.range(p)]);
+                                    }
+                                }
+                                sum
+                            },
+                        );
+                        let mut sum = partial;
+                        for &p in &lost_g {
+                            // Conflicted and abandoned pages stay blank and
+                            // contribute an exact zero, which adding would not
+                            // change the bits of a non-negative partial sum.
+                            if let Some((_, values)) = plan.g_fixes.iter().find(|(fp, _)| *fp == p)
+                            {
+                                sum += kernels::norm2_squared(values);
+                            }
+                        }
+                        let pending = comm.start_allreduce(sum)?;
+                        install_state_plan(
+                            &plan,
+                            pages,
+                            registry,
+                            &conflicted,
+                            x_full,
+                            g,
+                            &mut counters,
+                        );
+                        *eps = pending.finish()?;
+                    }
                 }
                 *pages_recovered += counters.recovered;
                 *pages_ignored += counters.ignored;
+                *pages_coupled += counters.coupled;
             }
             RecoveryPolicy::Trivial => {
                 // Blank every lost page and keep going (Section 4.1): purely
@@ -773,6 +920,41 @@ pub(crate) fn resilient_iterations<S: RecoverableIteration>(
                     sweep.push((ids::Z, &mut z[..]));
                 }
                 *pages_ignored += blank_sweep(registry, pages, sweep);
+                *rho_old = rho;
+                *eps = comm.allreduce_sum(kernels::norm2_squared(g))?;
+            }
+            RecoveryPolicy::TrivialReplace => {
+                // Trivial blank-accept plus a residual-replacement rebuild:
+                // lost pages are blanked exactly as Trivial does, but when
+                // anything was lost anywhere the Krylov state is made
+                // mutually consistent again — g is recomputed from the
+                // blanked iterate and the direction recurrence restarts —
+                // so the solve keeps converging at the price of a restart
+                // instead of silently drifting on inconsistent vectors.
+                let mut sweep: Vec<(_, &mut [f64])> = vec![
+                    (ids::X, &mut x_full[own.clone()]),
+                    (ids::G, &mut g[..]),
+                    (ids::D, &mut d[..]),
+                    (ids::Q, &mut q[..]),
+                ];
+                if preconditioned {
+                    sweep.push((ids::Z, &mut z[..]));
+                }
+                let lost_total = blank_sweep(registry, pages, sweep);
+                *pages_ignored += lost_total;
+                if comm.fault_flag(lost_total)? {
+                    comm.exchange_halo(x_full)?;
+                    op.spmv(a, x_full, g);
+                    for (k, r) in own.clone().enumerate() {
+                        g[k] = b[r] - g[k];
+                    }
+                    d.iter_mut().for_each(|v| *v = 0.0);
+                    *restarts += 1;
+                    *rho_old = f64::INFINITY;
+                    *eps = comm.allreduce_sum(kernels::norm2_squared(g))?;
+                    *t += 1;
+                    continue;
+                }
                 *rho_old = rho;
                 *eps = comm.allreduce_sum(kernels::norm2_squared(g))?;
             }
@@ -881,6 +1063,7 @@ pub(crate) fn finish_outcome(ctx: &RankCtx<'_>, comm: &RankComm, state: SolveSta
         history: state.history,
         pages_recovered: state.pages_recovered,
         pages_ignored: state.pages_ignored,
+        pages_coupled: state.pages_coupled,
         cross_rank_values: state.cross_rank_values,
         rollbacks: state.rollbacks,
         restarts: state.restarts,

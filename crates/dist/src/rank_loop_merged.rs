@@ -39,6 +39,8 @@
 //!   of the loop, so the assembled solution never silently contains a
 //!   scrubbed blank.
 
+use std::collections::HashMap;
+
 use feir_recovery::checkpoint::{CheckpointStore, CheckpointTarget};
 use feir_recovery::engine::{
     mark_page, overlap, plan_state_fixes, scrub_blank, split_related, StateLosses,
@@ -51,8 +53,8 @@ use crate::comm::{CommError, RankComm};
 use crate::kernels;
 use crate::merged::merged_alpha;
 use crate::rank_loop::{
-    blank_sweep, global_rows, ids, install_state_plan, remote_stencil_requests, InstallCounters,
-    RankCtx, RankOutcome,
+    blank_sweep, coupled_round, global_rows, ids, install_state_plan, remote_stencil_requests,
+    InstallCounters, RankCtx, RankOutcome,
 };
 
 /// Rank-local reconstructions planned inside the reduction window (AFEIR):
@@ -206,6 +208,7 @@ pub(crate) fn rank_merged_resilient_solve<S: RecoverableIteration>(
     let mut p_full = vec![0.0; n];
 
     let mut pages_recovered = 0usize;
+    let mut pages_coupled = 0usize;
     let mut pages_ignored = 0usize;
     let mut cross_rank_values = 0usize;
     let mut rollbacks = 0usize;
@@ -313,6 +316,28 @@ pub(crate) fn rank_merged_resilient_solve<S: RecoverableIteration>(
         }
         let pending = comm.start_allreduce_vec(post)?;
 
+        // In-window AFEIR prefetch: a faulted rank already knows its
+        // direction-side round-1 requests here — the window plan can only
+        // retire pages with purely local stencils, which request nothing,
+        // so retiring them later cannot change the set. Posting now lets
+        // the peers' replies overlap the reduction wait; a local loss
+        // forces the global flag, so the posted requests are always
+        // consumed. Fault-free iterations post nothing and the wire
+        // schedule stays bitwise-identical to the plain merged loop.
+        let posted = ctx.policy == RecoveryPolicy::Afeir && local_faults > 0;
+        let posted_requests: HashMap<usize, Vec<usize>> = if posted {
+            let ps_rows: Vec<usize> = lost_p
+                .iter()
+                .chain(&lost_s)
+                .flat_map(|&pg| global_rows(own.start, pages, pg))
+                .collect();
+            let requests = remote_stencil_requests(a, &ctx.partition, ctx.rank, &ps_rows);
+            comm.post_recovery_requests(&requests)?;
+            requests
+        } else {
+            HashMap::new()
+        };
+
         // ---- reduction window: preconditioner application, halo exchange
         // and matvec all run with the collective in flight — plus, under
         // AFEIR, the rank-local coupled solves, planned into side buffers on
@@ -389,24 +414,58 @@ pub(crate) fn rank_merged_resilient_solve<S: RecoverableIteration>(
                 pages_recovered += 1;
             }
             // -- round 1: direction-side recovery exchange on p. Every
-            // rank participates (empty requests when healthy).
+            // rank participates (empty requests when healthy). Under AFEIR
+            // the requests are already on the wire from inside the
+            // reduction window; only the replies are collected here.
             p_full[own.clone()].copy_from_slice(&p);
-            let ps_rows: Vec<usize> = lost_p
-                .iter()
-                .chain(&lost_s)
-                .flat_map(|&pg| global_rows(own.start, pages, pg))
-                .collect();
-            let requests = remote_stencil_requests(a, &ctx.partition, ctx.rank, &ps_rows);
+            let requests = if posted {
+                posted_requests
+            } else {
+                let ps_rows: Vec<usize> = lost_p
+                    .iter()
+                    .chain(&lost_s)
+                    .flat_map(|&pg| global_rows(own.start, pages, pg))
+                    .collect();
+                remote_stencil_requests(a, &ctx.partition, ctx.rank, &ps_rows)
+            };
             let own_blank_p: Vec<usize> = lost_p
                 .iter()
                 .flat_map(|&pg| global_rows(own.start, pages, pg))
                 .collect();
             let (fetched, invalid_p) =
-                comm.recovery_exchange(&requests, &mut p_full, &own_blank_p)?;
+                comm.complete_recovery_exchange(&requests, &mut p_full, &own_blank_p, posted)?;
             cross_rank_values += fetched;
 
             // Related p/s losses on the same page are unrecoverable.
             let (rec_p, rec_s, conflicted_ps) = split_related(&lost_p, &lost_s);
+
+            // Coupled cross-rank round on the direction: stencil-adjacent
+            // direction losses on neighbouring ranks merge into one union
+            // solve over s = A·p (see `coupled`), then the revalidation
+            // pass refreshes the invalid set against the repaired views.
+            let (coupled_p, invalid_p, fetched2) = coupled_round(
+                &comm,
+                a,
+                pages,
+                &own,
+                &rec_p,
+                &lost_p,
+                &own_blank_p,
+                &requests,
+                &invalid_p,
+                &s,
+                &mut p_full,
+                |rows, rhs, view| relations.reconstruct_direction(rows, rhs, view),
+            )?;
+            cross_rank_values += fetched2 + coupled_p.values_gathered;
+            for &pg in &coupled_p.recovered_pages {
+                for row in global_rows(own.start, pages, pg) {
+                    p[row - own.start] = p_full[row];
+                }
+            }
+            pages_recovered += coupled_p.recovered_pages.len();
+            pages_coupled += coupled_p.recovered_pages.len();
+
             let mut blank_p: Vec<usize> = conflicted_ps
                 .iter()
                 .flat_map(|&pg| global_rows(own.start, pages, pg))
@@ -416,8 +475,12 @@ pub(crate) fn rank_merged_resilient_solve<S: RecoverableIteration>(
             blank_p.dedup();
             // Taint fixpoint: a direction page whose stencil reads
             // known-blank entries is abandoned, and its own rows join
-            // the blank set.
-            let mut p_pages = rec_p.clone();
+            // the blank set. Coupled-recovered pages are done already.
+            let mut p_pages: Vec<usize> = rec_p
+                .iter()
+                .copied()
+                .filter(|pg| coupled_p.recovered_pages.binary_search(pg).is_err())
+                .collect();
             let mut p_ignored: Vec<usize> = Vec::new();
             loop {
                 let touches = |pg: usize| {
@@ -515,6 +578,26 @@ pub(crate) fn rank_merged_resilient_solve<S: RecoverableIteration>(
                 comm.recovery_exchange(&requests, &mut x_full, &own_blank_x)?;
             cross_rank_values += fetched;
             let (rec_x, rec_r, conflicted_xr) = split_related(&lost_x, &lost_r);
+
+            // Coupled cross-rank round on the iterate, mirroring the
+            // classic loop: adjacent x losses across a boundary solve as
+            // one union against the recurrence residual.
+            let (coupled_x, invalid_x, fetched2) = coupled_round(
+                &comm,
+                a,
+                pages,
+                &own,
+                &rec_x,
+                &lost_x,
+                &own_blank_x,
+                &requests,
+                &invalid_x,
+                &r,
+                &mut x_full,
+                |rows, rhs, view| relations.reconstruct_iterate(rows, rhs, view),
+            )?;
+            cross_rank_values += fetched2 + coupled_x.values_gathered;
+
             let mut blank_x: Vec<usize> = conflicted_xr
                 .iter()
                 .flat_map(|&pg| global_rows(own.start, pages, pg))
@@ -531,6 +614,7 @@ pub(crate) fn rank_merged_resilient_solve<S: RecoverableIteration>(
                     rec_x: &rec_x,
                     rec_g: &rec_r,
                     blank_x: &blank_x,
+                    cross_rank: &coupled_x.recovered_pages,
                 },
                 &r,
                 &x_full,
@@ -562,6 +646,7 @@ pub(crate) fn rank_merged_resilient_solve<S: RecoverableIteration>(
                 mark_page(registry, ids::Z, pg);
             }
             pages_recovered += counters.recovered;
+            pages_coupled += counters.coupled;
             pages_ignored += counters.ignored;
             // ---- residual replacement after blank-acceptance. Unlike the
             // classic loop — whose matvec recomputes q = A·d from scratch
@@ -663,6 +748,48 @@ pub(crate) fn rank_merged_resilient_solve<S: RecoverableIteration>(
                     sweep.push((ids::Z, &mut u[..]));
                 }
                 pages_ignored += blank_sweep(registry, pages, sweep);
+            }
+            RecoveryPolicy::TrivialReplace => {
+                // Hybrid: blank-accept like Trivial, but pay one residual
+                // replacement whenever any rank lost anything — the rebuilt
+                // recurrences stop the blanked pages from poisoning the
+                // merged recurrences permanently, at the cost of a Krylov
+                // restart (β = 0) instead of Trivial's silent drift.
+                let mut sweep: Vec<(_, &mut [f64])> = vec![
+                    (ids::X, &mut x_full[own.clone()]),
+                    (ids::G, &mut r[..]),
+                    (ids::D, &mut p[..]),
+                    (ids::Q, &mut s[..]),
+                ];
+                if preconditioned {
+                    sweep.push((ids::Z, &mut u[..]));
+                }
+                let lost_total = blank_sweep(registry, pages, sweep);
+                pages_ignored += lost_total;
+                if comm.fault_flag(lost_total)? {
+                    gamma_old = f64::INFINITY;
+                    alpha_old = 0.0;
+                    partials = rebuild_recurrence_state(RebuildCtx {
+                        relations,
+                        a,
+                        b,
+                        comm: &comm,
+                        own: &own,
+                        pages,
+                        preconditioned,
+                        keep_direction: false,
+                        x_full: &mut x_full,
+                        r: &mut r,
+                        u: &mut u,
+                        w: &mut w,
+                        p: &mut p,
+                        s: &mut s,
+                        q_aux: &mut q_aux,
+                        z_aux: &mut z_aux,
+                        mv_full: &mut mv_full,
+                    })?;
+                    restarts += 1;
+                }
             }
             RecoveryPolicy::Checkpoint { .. } => {
                 let mut sweep: Vec<(_, &mut [f64])> = vec![
@@ -779,6 +906,7 @@ pub(crate) fn rank_merged_resilient_solve<S: RecoverableIteration>(
         iterations,
         history,
         pages_recovered,
+        pages_coupled,
         pages_ignored,
         cross_rank_values,
         rollbacks,

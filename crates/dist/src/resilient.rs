@@ -278,6 +278,10 @@ pub struct DistResilientReport {
     pub faults: DistributedFaultReport,
     /// Pages reconstructed exactly or lossily across all ranks.
     pub pages_recovered: usize,
+    /// Subset of `pages_recovered` reconstructed by the cross-rank coupled
+    /// exchange (stencil-adjacent losses spanning a rank boundary that no
+    /// single rank could solve alone).
+    pub pages_coupled: usize,
     /// Pages blank-accepted because no recovery relation was solvable
     /// (simultaneous related losses — the paper "simply ignores" these).
     pub pages_ignored: usize,
@@ -546,6 +550,7 @@ impl<'a> DistResilientSolver<'a> {
         let mut iterations = 0;
         let mut residual_history = Vec::new();
         let mut pages_recovered = 0;
+        let mut pages_coupled = 0;
         let mut pages_ignored = 0;
         let mut cross_rank_values = 0;
         let mut rollbacks = 0;
@@ -628,6 +633,7 @@ impl<'a> DistResilientSolver<'a> {
                     residual_history = outcome.history;
                 }
                 pages_recovered += outcome.pages_recovered;
+                pages_coupled += outcome.pages_coupled;
                 pages_ignored += outcome.pages_ignored;
                 cross_rank_values += outcome.cross_rank_values;
                 // Rollbacks and restarts are global events: every rank
@@ -666,6 +672,7 @@ impl<'a> DistResilientSolver<'a> {
             residual_history,
             faults,
             pages_recovered,
+            pages_coupled,
             pages_ignored,
             cross_rank_values,
             rollbacks,

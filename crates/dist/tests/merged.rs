@@ -123,6 +123,7 @@ fn zero_fault_merged_runs_are_bitwise_identical_to_plain_merged() {
             RecoveryPolicy::Feir,
             RecoveryPolicy::Afeir,
             RecoveryPolicy::Trivial,
+            RecoveryPolicy::TrivialReplace,
             RecoveryPolicy::Checkpoint { interval: 25 },
             RecoveryPolicy::LossyRestart,
         ] {
@@ -450,6 +451,146 @@ fn merged_resilient_solves_are_bitwise_deterministic_under_scripted_faults() {
             assert_eq!(u.to_bits(), v.to_bits(), "{policy:?} history differs");
         }
     }
+}
+
+/// Adjacent iterate pages lost across a rank boundary in the same
+/// iteration: the merged loop runs the same coupled cross-rank round as the
+/// classic one, so the pages reconstruct exactly (`pages_ignored == 0`, no
+/// residual-replacement restart) for both merged solvers at 2 and 4 ranks —
+/// and the faulty solve stays bitwise run-to-run deterministic.
+#[test]
+fn merged_coupled_cross_rank_recovery_is_exact() {
+    let a = poisson_2d(16);
+    let (x_true, b) = manufactured_rhs(&a, 5);
+    for ranks in [2usize, 4] {
+        let last_page_r0 = 256 / ranks / 16 - 1;
+        let faults = vec![
+            ScriptedFault {
+                iteration: 4,
+                rank: 0,
+                vector: ProtectedVector::X,
+                page: last_page_r0,
+            },
+            ScriptedFault {
+                iteration: 4,
+                rank: 1,
+                vector: ProtectedVector::X,
+                page: 0,
+            },
+        ];
+        for policy in [RecoveryPolicy::Feir, RecoveryPolicy::Afeir] {
+            for pcg in [false, true] {
+                let run = || {
+                    let cfg = config(policy).with_scripted_faults(faults.clone());
+                    if pcg {
+                        distributed_resilient_pcg_merged(&a, &b, ranks, cfg)
+                    } else {
+                        distributed_resilient_cg_merged(&a, &b, ranks, cfg)
+                    }
+                };
+                let report = run();
+                let tag = format!("merged {policy:?}/pcg={pcg}/{ranks} ranks");
+                assert_eq!(report.pages_ignored, 0, "{tag} blank-accepted");
+                assert_eq!(report.pages_coupled, 2, "{tag}");
+                assert_eq!(
+                    report.restarts, 0,
+                    "{tag}: exact coupled recovery must not pay a restart"
+                );
+                assert!(report.converged, "{tag} did not converge");
+                let err: f64 = report
+                    .x
+                    .iter()
+                    .zip(&x_true)
+                    .map(|(u, v)| (u - v) * (u - v))
+                    .sum::<f64>()
+                    .sqrt();
+                assert!(err < 1e-6, "{tag}: solution error {err}");
+                let second = run();
+                assert_eq!(report.iterations, second.iterations, "{tag}");
+                for (u, v) in report.x.iter().zip(&second.x) {
+                    assert_eq!(u.to_bits(), v.to_bits(), "{tag} not reproducible");
+                }
+            }
+        }
+    }
+}
+
+/// Adjacent *direction* pages lost across the boundary reconstruct through
+/// the direction-side coupled round (`A_UU p_U = s_U − Σ A_Uc p_c`).
+#[test]
+fn merged_coupled_direction_losses_reconstruct_exactly() {
+    let a = poisson_2d(16);
+    let (x_true, b) = manufactured_rhs(&a, 8);
+    let faults = vec![
+        ScriptedFault {
+            iteration: 4,
+            rank: 0,
+            vector: ProtectedVector::D,
+            page: 7,
+        },
+        ScriptedFault {
+            iteration: 4,
+            rank: 1,
+            vector: ProtectedVector::D,
+            page: 0,
+        },
+    ];
+    for policy in [RecoveryPolicy::Feir, RecoveryPolicy::Afeir] {
+        let report = distributed_resilient_cg_merged(
+            &a,
+            &b,
+            2,
+            config(policy).with_scripted_faults(faults.clone()),
+        );
+        assert_eq!(report.pages_ignored, 0, "{policy:?} blank-accepted");
+        assert_eq!(report.pages_coupled, 2, "{policy:?}");
+        assert_eq!(report.restarts, 0, "{policy:?}");
+        assert!(report.converged, "{policy:?} did not converge");
+        let err: f64 = report
+            .x
+            .iter()
+            .zip(&x_true)
+            .map(|(u, v)| (u - v) * (u - v))
+            .sum::<f64>()
+            .sqrt();
+        assert!(err < 1e-6, "{policy:?}: solution error {err}");
+    }
+}
+
+/// TrivialReplace on the merged recurrences: blank-accept like Trivial but
+/// rebuild the recurrence state (residual replacement), which restores the
+/// convergence guarantee Trivial loses.
+#[test]
+fn merged_trivial_replace_restarts_and_converges() {
+    let a = poisson_2d(12);
+    let (x_true, b) = manufactured_rhs(&a, 4);
+    let faults = vec![ScriptedFault {
+        iteration: 4,
+        rank: 0,
+        vector: ProtectedVector::G,
+        page: 1,
+    }];
+    let report = distributed_resilient_cg_merged(
+        &a,
+        &b,
+        2,
+        config(RecoveryPolicy::TrivialReplace).with_scripted_faults(faults),
+    );
+    assert_eq!(report.pages_ignored, 1);
+    assert_eq!(report.pages_recovered, 0);
+    assert!(
+        report.restarts >= 1,
+        "triv+rr never rebuilt the recurrences"
+    );
+    assert!(report.converged, "residual replacement lost convergence");
+    let err: f64 = report
+        .x
+        .iter()
+        .zip(&x_true)
+        .map(|(u, v)| (u - v) * (u - v))
+        .sum::<f64>()
+        .sqrt();
+    assert!(err < 1e-6, "solution error {err}");
 }
 
 /// `Z` faults target `u = M⁻¹·r`, which only the preconditioned merged

@@ -63,6 +63,37 @@ fn net_campaign_sweeps_chaos_and_respawn_cells() {
 }
 
 #[test]
+fn net_campaign_trivial_replace_smoke_under_chaos() {
+    // The cheap hybrid policy over real worker processes: blank-accept plus
+    // residual-replacement restart. With no DUEs in the schedule the policy
+    // code never fires, so both cells — clean wire and a chaos-injected one
+    // the ack/retransmit sublayer absorbs (shipped via FEIR_WORKER_CHAOS) —
+    // must replay the ideal iteration sequence exactly.
+    let campaign = NetFaultCampaign {
+        solver: WorkerSolver::Cg,
+        policies: vec![RecoveryPolicy::TrivialReplace],
+        frame_fault_rates: vec![0.0, 0.02],
+        schedules: vec![KillSchedule::None],
+        grid: 16,
+        ranks: 2,
+        max_iterations: 20_000,
+        ..NetFaultCampaign::default()
+    };
+    let report = campaign.run(worker()).expect("campaign run failed");
+    assert_eq!(report.cells.len(), 2);
+    for cell in &report.cells {
+        assert!(
+            cell.converged,
+            "TrivialReplace rate {} did not converge",
+            cell.fault_rate
+        );
+        assert_eq!(cell.iterations, report.baseline.iterations);
+        assert_eq!(cell.iteration_overhead_percent, 0.0);
+    }
+    assert!(report.table().contains("triv+rr"));
+}
+
+#[test]
 fn net_campaign_rejects_a_schedule_targeting_rank_zero() {
     let campaign = NetFaultCampaign {
         schedules: vec![KillSchedule::KillRespawn {

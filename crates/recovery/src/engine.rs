@@ -588,6 +588,10 @@ pub struct StatePlan {
     /// Local residual pages abandoned because their recomputation would
     /// read blank iterate data.
     pub g_ignored: Vec<usize>,
+    /// Local iterate pages already reconstructed by the cross-rank coupled
+    /// exchange before planning; the plan leaves their (installed) values
+    /// alone and residual recomputation may read them.
+    pub cross_rank: Vec<usize>,
 }
 
 /// One scrub point's iterate/residual losses, as input to
@@ -607,6 +611,10 @@ pub struct StateLosses<'a> {
     /// reconstructed from garbage and reported as exact — the cross-rank
     /// form of the paper's "related data" case.
     pub blank_x: &'a [usize],
+    /// Sorted local pages (a subset of `rec_x`) the cross-rank coupled
+    /// exchange already reconstructed and installed into the iterate view;
+    /// planning must neither re-solve nor abandon them.
+    pub cross_rank: &'a [usize],
 }
 
 /// Plans the exact recovery of the lost iterate/residual pages in `losses`
@@ -628,8 +636,13 @@ pub fn plan_state_fixes<S: RecoverableIteration + ?Sized>(
         rec_x,
         rec_g,
         blank_x,
+        cross_rank,
     } = losses;
     debug_assert!(blank_x.windows(2).all(|w| w[0] < w[1]), "blank_x sorted");
+    debug_assert!(
+        cross_rank.windows(2).all(|w| w[0] < w[1]),
+        "cross_rank sorted"
+    );
     let page_rows = |p: usize| {
         let local = pages.range(p);
         row_offset + local.start..row_offset + local.end
@@ -645,8 +658,20 @@ pub fn plan_state_fixes<S: RecoverableIteration + ?Sized>(
     // is transitive — an abandoned page's own rows stay blank, poisoning
     // any neighbour page whose stencil reads them — so the partition runs
     // to a fixpoint before anything is solved.
+    // Pages the coupled cross-rank exchange already repaired hold exact,
+    // installed values in `x_full`: they leave the local partition entirely
+    // and simply count as healthy stencil input for everything below.
+    let cross_handled: Vec<usize> = rec_x
+        .iter()
+        .copied()
+        .filter(|p| cross_rank.binary_search(p).is_ok())
+        .collect();
     let mut blanks: Vec<usize> = blank_x.to_vec();
-    let mut x_pages: Vec<usize> = rec_x.to_vec();
+    let mut x_pages: Vec<usize> = rec_x
+        .iter()
+        .copied()
+        .filter(|p| cross_rank.binary_search(p).is_err())
+        .collect();
     let mut x_ignored: Vec<usize> = Vec::new();
     loop {
         let (keep, dropped): (Vec<usize>, Vec<usize>) =
@@ -707,6 +732,80 @@ pub fn plan_state_fixes<S: RecoverableIteration + ?Sized>(
         x_ignored,
         g_fixes,
         g_ignored,
+        cross_rank: cross_handled,
+    }
+}
+
+/// The subset of one rank's recoverable pages whose exact reconstruction is
+/// coupled *across a rank boundary*: their stencil reads remote entries the
+/// owning rank flagged invalid, so no purely local solve can repair them.
+/// [`cross_rank_candidates`] computes it; the distributed coupled-recovery
+/// exchange consumes it.
+#[derive(Debug, Default, Clone)]
+pub struct CrossRankPartition {
+    /// Sorted local page ids in the cross-rank coupled set.
+    pub pages: Vec<usize>,
+    /// Sorted global rows covered by `pages`.
+    pub rows: Vec<usize>,
+}
+
+impl CrossRankPartition {
+    /// True when no page needs the cross-rank exchange.
+    pub fn is_empty(&self) -> bool {
+        self.pages.is_empty()
+    }
+}
+
+/// Partitions the recoverable pages `rec` into the cross-rank coupled set:
+/// the transitive closure, under stencil adjacency within `rec`, of the
+/// pages whose stencil touches an `invalid` remote entry (sorted global
+/// indices a neighbouring rank reported blank). Because the operator is
+/// symmetric, any page another rank's coupled union demands from this rank
+/// also touches one of that rank's invalid rows, so both sides compute
+/// consistent candidate sets from their own loss views.
+pub fn cross_rank_candidates(
+    stencil: &CsrMatrix,
+    pages: &BlockPartition,
+    row_offset: usize,
+    rec: &[usize],
+    invalid: &[usize],
+) -> CrossRankPartition {
+    if rec.is_empty() || invalid.is_empty() {
+        return CrossRankPartition::default();
+    }
+    debug_assert!(invalid.windows(2).all(|w| w[0] < w[1]), "invalid sorted");
+    let page_rows = |p: usize| {
+        let local = pages.range(p);
+        row_offset + local.start..row_offset + local.end
+    };
+    let touches = |p: usize, set: &[usize]| {
+        page_rows(p).any(|r| {
+            let (cols, _) = stencil.row(r);
+            cols.iter().any(|c| set.binary_search(c).is_ok())
+        })
+    };
+    let (mut selected, mut remaining): (Vec<usize>, Vec<usize>) =
+        rec.iter().partition(|&&p| touches(p, invalid));
+    if selected.is_empty() {
+        return CrossRankPartition::default();
+    }
+    loop {
+        let mut sel_rows: Vec<usize> = selected.iter().flat_map(|&p| page_rows(p)).collect();
+        sel_rows.sort_unstable();
+        let (more, rest): (Vec<usize>, Vec<usize>) =
+            remaining.iter().partition(|&&p| touches(p, &sel_rows));
+        if more.is_empty() {
+            break;
+        }
+        selected.extend(more);
+        remaining = rest;
+    }
+    selected.sort_unstable();
+    let mut rows: Vec<usize> = selected.iter().flat_map(|&p| page_rows(p)).collect();
+    rows.sort_unstable();
+    CrossRankPartition {
+        pages: selected,
+        rows,
     }
 }
 

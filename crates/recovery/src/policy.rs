@@ -13,6 +13,12 @@ pub enum RecoveryPolicy {
     /// execution simply continues (Section 4.1). Convergence guarantees are
     /// lost.
     Trivial,
+    /// Trivial blank-accept followed by a residual-replacement rebuild of
+    /// the recurrence state (the merged solvers' restart machinery): the
+    /// blanked vectors are made mutually consistent again, so the iteration
+    /// keeps converging at the price of a restart. A fair comparison point
+    /// for `Trivial`, which honestly diverges on the merged loops.
+    TrivialReplace,
     /// Periodic checkpoint of `x` and `d` with rollback on error
     /// (Section 4.2). The interval is in solver iterations.
     Checkpoint {
@@ -45,6 +51,7 @@ impl RecoveryPolicy {
         match self {
             RecoveryPolicy::Ideal => "ideal",
             RecoveryPolicy::Trivial => "trivial",
+            RecoveryPolicy::TrivialReplace => "triv+rr",
             RecoveryPolicy::Checkpoint { .. } => "ckpt",
             RecoveryPolicy::LossyRestart => "lossy",
             RecoveryPolicy::Feir => "FEIR",
@@ -144,8 +151,11 @@ mod tests {
         assert!(RecoveryPolicy::Feir.is_forward_exact());
         assert!(RecoveryPolicy::Afeir.is_forward_exact());
         assert!(!RecoveryPolicy::LossyRestart.is_forward_exact());
+        assert!(!RecoveryPolicy::TrivialReplace.is_forward_exact());
         assert!(!RecoveryPolicy::Ideal.needs_protection());
         assert!(RecoveryPolicy::Trivial.needs_protection());
+        assert!(RecoveryPolicy::TrivialReplace.needs_protection());
+        assert_eq!(RecoveryPolicy::TrivialReplace.name(), "triv+rr");
     }
 
     #[test]

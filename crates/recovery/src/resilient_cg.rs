@@ -566,6 +566,44 @@ impl<'a> ResilientCg<'a> {
                     skip.clear_all();
                     time.recovery += mark.elapsed();
                 }
+                RecoveryPolicy::TrivialReplace if !self.registry.all_healthy() => {
+                    let mark = Instant::now();
+                    // Trivial blank-accept of every lost page ...
+                    let blanked = self.trivial_sweep(
+                        &mut [
+                            (&mut x, x_id, "x"),
+                            (&mut g, g_id, "g"),
+                            (&mut d0, d0_id, "d0"),
+                            (&mut d1, d1_id, "d1"),
+                            (&mut q, q_id, "q"),
+                        ],
+                        t,
+                        &mut events,
+                    );
+                    pages_recovered += blanked;
+                    if let Some(zid) = z_id {
+                        self.absorb_faults(&mut z, zid);
+                        for p in self.registry.lost_pages(zid) {
+                            self.registry.mark_recovered(zid, p);
+                        }
+                    }
+                    // ... then residual replacement: recompute g from the
+                    // blanked iterate and reset the Krylov space, so the
+                    // accepted blanks become a consistent (if worse) state
+                    // instead of silently breaking the recurrences.
+                    self.op.spmv_parallel(self.a, &x, &mut g);
+                    g.par_iter_mut()
+                        .zip(self.b.par_iter())
+                        .for_each(|(gi, bi)| *gi = bi - *gi);
+                    d0.iter_mut().for_each(|v| *v = 0.0);
+                    d1.iter_mut().for_each(|v| *v = 0.0);
+                    eps_old = f64::INFINITY;
+                    eps = vecops::norm2_squared(&g);
+                    restarts += 1;
+                    skip.clear_all();
+                    time.recovery += mark.elapsed();
+                    continue;
+                }
                 RecoveryPolicy::Checkpoint { .. } if !self.registry.all_healthy() => {
                     let mark = Instant::now();
                     // Blank / absorb every outstanding fault, then roll back.

@@ -367,6 +367,40 @@ impl SpmvBackend {
         }
     }
 
+    /// Recovery cold path: partial products of the global rows
+    /// `[row_begin, row_end)` (inside this backend's range) with the column
+    /// block `[col_skip_begin, col_skip_end)` excluded — the
+    /// `Σ_{j≠i} A_ij x_j` term of the inverse block relations, dispatched
+    /// over the formats and bitwise-identical across them.
+    #[allow(clippy::too_many_arguments)]
+    pub fn spmv_rows_excluding(
+        &self,
+        a: &CsrMatrix,
+        row_begin: usize,
+        row_end: usize,
+        col_skip_begin: usize,
+        col_skip_end: usize,
+        x: &[f64],
+        y: &mut [f64],
+    ) {
+        self.check(a);
+        assert!(
+            self.range.start <= row_begin && row_end <= self.range.end,
+            "row range outside the backend's block"
+        );
+        match &self.sell {
+            Some(sell) => sell.spmv_rows_excluding(
+                row_begin - self.range.start,
+                row_end - self.range.start,
+                col_skip_begin,
+                col_skip_end,
+                x,
+                y,
+            ),
+            None => a.spmv_rows_excluding(row_begin, row_end, col_skip_begin, col_skip_end, x, y),
+        }
+    }
+
     /// Fused parallel `y = A·x` with `⟨x, y⟩`; full-range backends only.
     pub fn spmv_dot_parallel(&self, a: &CsrMatrix, x: &[f64], y: &mut [f64]) -> f64 {
         self.check(a);

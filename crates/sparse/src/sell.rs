@@ -403,6 +403,54 @@ impl SellMatrix {
             .sum()
     }
 
+    /// Partial products of the (block-local) rows `[row_begin, row_end)`
+    /// with every column in `[col_skip_begin, col_skip_end)` excluded — the
+    /// recovery cold path behind the inverse block relations
+    /// (`Σ_{j≠i} A_ij x_j`), bitwise-identical to
+    /// [`CsrMatrix::spmv_rows_excluding`] on the source block: each row
+    /// folds its surviving entries in stored order, which the conversion
+    /// keeps equal to CSR's sorted-column order.
+    ///
+    /// Rows are located by scanning their σ-window of the permutation
+    /// (window-local by construction): O(σ) per row, which the page-sized
+    /// recovery ranges never notice.
+    ///
+    /// # Panics
+    /// Panics if the row range is out of bounds or `x`/`y` have the wrong
+    /// length.
+    pub fn spmv_rows_excluding(
+        &self,
+        row_begin: usize,
+        row_end: usize,
+        col_skip_begin: usize,
+        col_skip_end: usize,
+        x: &[f64],
+        y: &mut [f64],
+    ) {
+        assert!(row_begin <= row_end && row_end <= self.rows);
+        assert_eq!(x.len(), self.cols, "spmv_rows_excluding: x wrong length");
+        assert_eq!(y.len(), row_end - row_begin);
+        for (out, r) in y.iter_mut().zip(row_begin..row_end) {
+            let w0 = (r / SELL_SIGMA) * SELL_SIGMA;
+            let w1 = (w0 + SELL_SIGMA).min(self.perm.len());
+            let k = (w0..w1)
+                .find(|&k| self.perm[k] == r)
+                .expect("every real row has a lane in its σ-window");
+            let (s, lane) = (k / SELL_C, k % SELL_C);
+            let base = self.slice_ptr[s];
+            let mut acc = 0.0;
+            for j in 0..self.row_len[k] {
+                let off = base + j * SELL_C + lane;
+                let c = self.col_idx[off] as usize;
+                if c >= col_skip_begin && c < col_skip_end {
+                    continue;
+                }
+                acc += self.values[off] * x[c];
+            }
+            *out = acc;
+        }
+    }
+
     /// Checks the padding contract: every padded entry holds exactly `0.0`
     /// and an in-bounds column index, every real lane's length matches its
     /// source row, and the permutation stays inside its σ-window. Used by
@@ -583,6 +631,36 @@ mod tests {
         sell.spmv(&x, &mut y1);
         sell.spmv_parallel(&x, &mut y2);
         assert_eq!(y1, y2);
+    }
+
+    #[test]
+    fn rows_excluding_matches_csr_bitwise() {
+        let a = poisson_2d(24); // 576 rows
+        let x = test_x(a.cols());
+        // Full-matrix backend, page-sized row ranges, skip == the range
+        // itself (the inverse-block-relation shape) and a disjoint block.
+        let full = SellMatrix::from_csr(&a).unwrap();
+        for (begin, end, skip_b, skip_e) in
+            [(0, 64, 0, 64), (128, 256, 128, 256), (300, 420, 64, 128)]
+        {
+            let mut y_csr = vec![f64::NAN; end - begin];
+            let mut y_sell = vec![f64::NAN; end - begin];
+            a.spmv_rows_excluding(begin, end, skip_b, skip_e, &x, &mut y_csr);
+            full.spmv_rows_excluding(begin, end, skip_b, skip_e, &x, &mut y_sell);
+            for (u, v) in y_csr.iter().zip(&y_sell) {
+                assert_eq!(u.to_bits(), v.to_bits());
+            }
+        }
+        // Row-block conversion (σ-unaligned), local row indexing.
+        let (blk_b, blk_e) = (130, 460);
+        let block = SellMatrix::from_csr_rows(&a, blk_b, blk_e).unwrap();
+        let mut y_csr = vec![f64::NAN; 100];
+        let mut y_sell = vec![f64::NAN; 100];
+        a.spmv_rows_excluding(blk_b + 50, blk_b + 150, 200, 280, &x, &mut y_csr);
+        block.spmv_rows_excluding(50, 150, 200, 280, &x, &mut y_sell);
+        for (u, v) in y_csr.iter().zip(&y_sell) {
+            assert_eq!(u.to_bits(), v.to_bits());
+        }
     }
 
     #[test]

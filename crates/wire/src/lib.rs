@@ -35,7 +35,9 @@ pub const MAGIC: [u8; 2] = [0xFE, 0x17];
 /// [`Message::RejoinBarrier`] resynchronization frame for rank elasticity.
 /// v3 added the `t0_micros` clock-origin field to [`Message::Hello`] and the
 /// [`Message::TraceDump`] trace-collection frame.
-pub const WIRE_VERSION: u8 = 3;
+/// v4 added the [`Message::CoupledGather`] / [`Message::CoupledResult`]
+/// frames for cross-rank coupled recovery.
+pub const WIRE_VERSION: u8 = 4;
 
 /// Size of the fixed frame header in bytes.
 pub const HEADER_LEN: usize = 8;
@@ -150,11 +152,17 @@ pub enum Tag {
     RejoinBarrier = 11,
     /// Worker-to-launcher trace buffer dump (follows the final report).
     TraceDump = 12,
+    /// Coupled cross-rank recovery: lost rows + surviving stencil support
+    /// offered down the rank chain.
+    CoupledGather = 13,
+    /// Coupled cross-rank recovery: reconstructed row values shipped back
+    /// up the rank chain.
+    CoupledResult = 14,
 }
 
 impl Tag {
     /// All tags, for exhaustive round-trip tests.
-    pub const ALL: [Tag; 12] = [
+    pub const ALL: [Tag; 14] = [
         Tag::Hello,
         Tag::Halo,
         Tag::GatherScalar,
@@ -167,6 +175,8 @@ impl Tag {
         Tag::RankError,
         Tag::RejoinBarrier,
         Tag::TraceDump,
+        Tag::CoupledGather,
+        Tag::CoupledResult,
     ];
 
     /// Decodes a tag byte.
@@ -184,6 +194,8 @@ impl Tag {
             10 => Tag::RankError,
             11 => Tag::RejoinBarrier,
             12 => Tag::TraceDump,
+            13 => Tag::CoupledGather,
+            14 => Tag::CoupledResult,
             other => return Err(WireError::UnknownTag(other)),
         })
     }
@@ -330,6 +342,30 @@ pub enum Message {
         /// Recorded events as `(phase_byte, start_ns, dur_ns)`.
         events: Vec<(u8, u64, u64)>,
     },
+    /// Coupled cross-rank recovery offer, merged down the rank chain: the
+    /// sender's view of the lost-row union plus every surviving stencil
+    /// entry the coupled solve needs from outside that union.
+    CoupledGather {
+        /// Global row indices of lost rows in the coupled union.
+        rows: Vec<u64>,
+        /// Right-hand-side values retained for those rows (`g` or `s`).
+        values: Vec<f64>,
+        /// Global column indices of stencil support entries outside the
+        /// union.
+        support_cols: Vec<u64>,
+        /// Current values of the support entries on their owning rank.
+        support_values: Vec<f64>,
+        /// Whether each support entry is healthy on its owning rank.
+        support_valid: Vec<bool>,
+    },
+    /// Coupled cross-rank recovery result, relayed back up the rank chain:
+    /// reconstructed values for rows the solving rank does not own.
+    CoupledResult {
+        /// Global row indices of reconstructed entries.
+        rows: Vec<u64>,
+        /// Reconstructed values, in `rows` order.
+        values: Vec<f64>,
+    },
 }
 
 impl Message {
@@ -348,6 +384,8 @@ impl Message {
             Message::RankError { .. } => Tag::RankError,
             Message::RejoinBarrier { .. } => Tag::RejoinBarrier,
             Message::TraceDump { .. } => Tag::TraceDump,
+            Message::CoupledGather { .. } => Tag::CoupledGather,
+            Message::CoupledResult { .. } => Tag::CoupledResult,
         }
     }
 
@@ -442,6 +480,44 @@ impl Message {
                     put_u64(out, *start_ns);
                     put_u64(out, *dur_ns);
                 }
+            }
+            Message::CoupledGather {
+                rows,
+                values,
+                support_cols,
+                support_values,
+                support_valid,
+            } => {
+                assert_eq!(rows.len(), values.len(), "gather rows/values must align");
+                assert_eq!(
+                    support_cols.len(),
+                    support_values.len(),
+                    "gather support cols/values must align"
+                );
+                assert_eq!(
+                    support_cols.len(),
+                    support_valid.len(),
+                    "gather support cols/valid must align"
+                );
+                put_u32(out, rows.len() as u32);
+                for r in rows {
+                    put_u64(out, *r);
+                }
+                put_f64s(out, values);
+                put_u32(out, support_cols.len() as u32);
+                for c in support_cols {
+                    put_u64(out, *c);
+                }
+                put_f64s(out, support_values);
+                out.extend(support_valid.iter().map(|&b| b as u8));
+            }
+            Message::CoupledResult { rows, values } => {
+                assert_eq!(rows.len(), values.len(), "result rows/values must align");
+                put_u32(out, rows.len() as u32);
+                for r in rows {
+                    put_u64(out, *r);
+                }
+                put_f64s(out, values);
             }
         }
         let payload_len = (out.len() - payload_at) as u32;
@@ -558,6 +634,32 @@ impl Message {
                     link,
                     events,
                 }
+            }
+            Tag::CoupledGather => {
+                let row_count = rd.take_u32()? as usize;
+                let rows = rd.take_u64s(row_count)?;
+                let values = rd.take_f64s(row_count)?;
+                let support_count = rd.take_u32()? as usize;
+                let support_cols = rd.take_u64s(support_count)?;
+                let support_values = rd.take_f64s(support_count)?;
+                let support_valid = rd
+                    .take_bytes(support_count)?
+                    .iter()
+                    .map(|&b| b != 0)
+                    .collect();
+                Message::CoupledGather {
+                    rows,
+                    values,
+                    support_cols,
+                    support_values,
+                    support_valid,
+                }
+            }
+            Tag::CoupledResult => {
+                let count = rd.take_u32()? as usize;
+                let rows = rd.take_u64s(count)?;
+                let values = rd.take_f64s(count)?;
+                Message::CoupledResult { rows, values }
             }
         };
         Ok(msg)
@@ -757,6 +859,14 @@ impl<'a> Rd<'a> {
         Ok(f64_payload_iter(self.take_bytes(n * 8)?).collect())
     }
 
+    fn take_u64s(&mut self, n: usize) -> Result<Vec<u64>, WireError> {
+        Ok(self
+            .take_bytes(n * 8)?
+            .chunks_exact(8)
+            .map(|c| u64::from_le_bytes(c.try_into().unwrap()))
+            .collect())
+    }
+
     fn take_f64s_rest(&mut self) -> Result<Vec<f64>, WireError> {
         let rest = self.rest();
         if !rest.len().is_multiple_of(8) {
@@ -829,6 +939,17 @@ mod tests {
                 dropped: 5,
                 link: [400, 12, 31, 2, 9],
                 events: vec![(0, 10, 1_000), (9, 500, 0), (3, 2_000, 750)],
+            },
+            Message::CoupledGather {
+                rows: vec![30, 31, 32, 33],
+                values: vec![0.5, -0.25, 1.0e-3, 7.75],
+                support_cols: vec![14, 29, 34],
+                support_values: vec![2.5, -1.0, 0.0625],
+                support_valid: vec![true, false, true],
+            },
+            Message::CoupledResult {
+                rows: vec![30, 31],
+                values: vec![1.125, -3.5],
             },
         ]
     }
